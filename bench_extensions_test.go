@@ -1,0 +1,208 @@
+package olevgrid_test
+
+import (
+	"testing"
+	"time"
+
+	"olevgrid/internal/core"
+	"olevgrid/internal/coupling"
+	"olevgrid/internal/deploy"
+	"olevgrid/internal/experiments"
+	"olevgrid/internal/roadnet"
+	"olevgrid/internal/trace"
+	"olevgrid/internal/traffic"
+	"olevgrid/internal/units"
+)
+
+// BenchmarkPolicyComparison runs the nonlinear / linear / Stackelberg
+// triple on a fixed scenario.
+func BenchmarkPolicyComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		table, err := experiments.PolicyComparison(experiments.GameDefaults{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(table.Rows) != 3 {
+			b.Fatal("missing policy rows")
+		}
+	}
+}
+
+// BenchmarkAblationAlpha sweeps the pricing offset α.
+func BenchmarkAblationAlpha(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		series, err := experiments.AblationAlphaSweep(
+			[]float64{0.25, 0.5, 0.875, 1.5, 2.5}, experiments.GameDefaults{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !series.IsNonDecreasing(1e-9) {
+			b.Fatal("alpha sweep shape violated")
+		}
+	}
+}
+
+// BenchmarkAblationKappa sweeps the overload stiffness.
+func BenchmarkAblationKappa(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.AblationKappaSweep(
+			[]float64{50, 500, 5000}, experiments.GameDefaults{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if points[0].Overshoot <= points[len(points)-1].Overshoot {
+			b.Fatal("kappa sweep shape violated")
+		}
+	}
+}
+
+// BenchmarkAblationJacobiVsAsync contrasts simultaneous and
+// asynchronous best response on the symmetric saturated instance.
+func BenchmarkAblationJacobiVsAsync(b *testing.B) {
+	mk := func() *core.Game {
+		v, err := core.NewQuadraticCharging(0.02, 0.875, 53.55)
+		if err != nil {
+			b.Fatal(err)
+		}
+		players := make([]core.Player, 10)
+		for i := range players {
+			players[i] = core.Player{
+				ID:           string(rune('a' + i)),
+				MaxPowerKW:   70,
+				Satisfaction: core.LogSatisfaction{Weight: 2},
+			}
+		}
+		g, err := core.NewGame(core.Config{
+			Players: players, NumSections: 4, LineCapacityKW: 53.55, Eta: 0.9,
+			Cost: core.SectionCost{Charging: v, Overload: core.OverloadPenalty{Kappa: 10, Capacity: 48.2}},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return g
+	}
+	b.Run("jacobi", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res := mk().RunSynchronous(core.RunOptions{MaxUpdates: 1000})
+			if core.OscillationAmplitude(res.Congestion, 0.25) < 0.5 {
+				b.Fatal("expected oscillation")
+			}
+		}
+	})
+	b.Run("async", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			res := mk().Run(core.RunOptions{MaxUpdates: 1000, Tolerance: 1e-4})
+			if core.OscillationAmplitude(res.Congestion, 0.25) > 0.01 {
+				b.Fatal("expected settling")
+			}
+		}
+	})
+}
+
+// BenchmarkCorridorPeakHour simulates a 3-signal corridor through the
+// PM peak.
+func BenchmarkCorridorPeakHour(b *testing.B) {
+	plan := roadnet.DefaultSignalPlan()
+	for i := 0; i < b.N; i++ {
+		segs := make([]traffic.Segment, 3)
+		for j := range segs {
+			p := plan
+			p.Offset = time.Duration(j) * 30 * time.Second
+			segs[j] = traffic.Segment{
+				Length: units.Meters(400), SpeedLimit: units.KMH(50), Signal: &p,
+			}
+		}
+		sim, err := traffic.NewCorridorSim(traffic.CorridorConfig{
+			Segments: segs,
+			Counts:   trace.FlatlandsAvenue(),
+			Seed:     1,
+			Start:    17 * time.Hour,
+			End:      18 * time.Hour,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if m := sim.Run(); m.Completed == 0 {
+			b.Fatal("corridor jammed solid")
+		}
+	}
+}
+
+// BenchmarkDeploymentPlanning profiles a day of traffic and solves the
+// placement DP.
+func BenchmarkDeploymentPlanning(b *testing.B) {
+	plan := roadnet.DefaultSignalPlan()
+	for i := 0; i < b.N; i++ {
+		prof, err := deploy.MeasureOccupancy(traffic.SimConfig{
+			RoadLength: units.Meters(1000),
+			SpeedLimit: units.KMH(50),
+			Signal:     &plan,
+			Counts:     trace.FlatlandsAvenue(),
+			Seed:       1,
+			Start:      16 * time.Hour,
+			End:        19 * time.Hour,
+		}, units.Meters(10))
+		if err != nil {
+			b.Fatal(err)
+		}
+		best, err := deploy.OptimizePlacement(prof, units.Meters(50), 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		greedy, err := deploy.GreedyPlacement(prof, units.Meters(50), 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if best.CoveredVehicleSeconds < greedy.CoveredVehicleSeconds {
+			b.Fatal("DP lost to greedy")
+		}
+	}
+}
+
+// BenchmarkFactorSweep quantifies the Section III deployment factors
+// over a one-hour peak window.
+func BenchmarkFactorSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.FactorSweep(experiments.FactorSweepConfig{
+			Seed:  1,
+			Start: 17 * time.Hour,
+			End:   18 * time.Hour,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.PlacementAtLightKWh <= res.PlacementMidBlockKWh {
+			b.Fatal("placement ordering violated")
+		}
+	}
+}
+
+// BenchmarkMultiIntersection runs the city-extrapolation corridor.
+func BenchmarkMultiIntersection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.MultiIntersection(experiments.MultiIntersectionConfig{
+			Seed:  1,
+			Start: 17 * time.Hour,
+			End:   18 * time.Hour,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.CityEstimateMWh <= 0 {
+			b.Fatal("no city-scale estimate")
+		}
+	}
+}
+
+// BenchmarkCoupledDay runs the full traffic-to-game day.
+func BenchmarkCoupledDay(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := coupling.RunDay(coupling.DayConfig{Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.TotalEnergyKWh <= 0 {
+			b.Fatal("no energy delivered")
+		}
+	}
+}

@@ -1,0 +1,72 @@
+// Command coupled-day runs the traffic-to-game coupling for one day:
+// the Krauss simulator measures hourly vehicle presence on the
+// charging lane, and each hour a pricing game sized by that presence
+// runs at that hour's LBMP.
+//
+// With -scale it also feeds the (scaled) load back into the ISO day
+// and reports the operator-side impact: deficiency growth, reserve
+// shortfall hours, and the extra ancillary bill.
+//
+// Usage:
+//
+//	coupled-day [-seed N] [-participation F] [-sections C] [-eta F] [-scale K]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"olevgrid"
+	"olevgrid/internal/coupling"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "coupled-day:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	seed := flag.Int64("seed", 1, "seed")
+	participation := flag.Float64("participation", 0.3, "OLEV fraction of traffic")
+	sections := flag.Int("sections", 20, "charging sections on the lane")
+	eta := flag.Float64("eta", 0.9, "safety factor")
+	scale := flag.Float64("scale", 0, "if > 0, report grid impact at this many deployed lanes")
+	flag.Parse()
+
+	cfg := olevgrid.CoupledDayConfig{
+		Seed:          *seed,
+		Participation: *participation,
+		NumSections:   *sections,
+		Eta:           *eta,
+	}
+	if *scale > 0 {
+		impact, err := coupling.RunDayWithGridFeedback(cfg, *scale)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("grid impact at %.0f lanes:\n", *scale)
+		fmt.Printf("  worst forecast miss: %.1f -> %.1f MW\n",
+			impact.BaseMaxDeficiencyMW, impact.LoadedMaxDeficiencyMW)
+		fmt.Printf("  system peak:         %.1f -> %.1f MW\n",
+			impact.BasePeakMW, impact.LoadedPeakMW)
+		fmt.Printf("  reserve shortfall:   %d hours, extra ancillary $%.0f\n",
+			impact.ReserveShortfallHours, impact.ExtraAncillaryUSD)
+		return nil
+	}
+
+	res, err := olevgrid.RunCoupledDay(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println("hour  olevs  beta$/MWh  congestion  energy-kWh  revenue-$")
+	for _, h := range res.Hours {
+		fmt.Printf("%4d  %5d  %9.2f  %10.3f  %10.1f  %9.2f\n",
+			h.Hour, h.OLEVs, h.BetaPerMWh, h.CongestionDegree, h.EnergyKWh, h.RevenueUSD)
+	}
+	fmt.Printf("\nday total: %.0f kWh delivered, $%.2f collected, peak hour %02d:00, mean %.1f vehicles on lane\n",
+		res.TotalEnergyKWh, res.TotalRevenueUSD, res.PeakHour, res.MeanConcurrent)
+	return nil
+}

@@ -1,0 +1,46 @@
+// Command grid-report prints the synthetic ISO day behind Fig. 2:
+// integrated vs forecast load, deficiency, LBMP, and ancillary prices.
+//
+// Usage:
+//
+//	grid-report [-seed N] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"olevgrid/internal/experiments"
+	"olevgrid/internal/grid"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "grid-report:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	seed := flag.Int64("seed", 1, "synthesis seed")
+	csv := flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	flag.Parse()
+
+	cfg := grid.DefaultConfig()
+	cfg.Seed = *seed
+	res, err := experiments.Fig2(cfg)
+	if err != nil {
+		return err
+	}
+	for _, t := range res.Tables() {
+		if *csv {
+			fmt.Print(t.CSV())
+		} else {
+			fmt.Println(t)
+		}
+	}
+	fmt.Printf("load [%.1f, %.1f] MW | max deficiency %.1f MW | mean LBMP $%.2f/MWh | mean ancillary $%.2f/MW\n",
+		res.MinLoadMW, res.PeakLoadMW, res.MaxDeficiencyMW, res.MeanLBMP, res.MeanAncillary)
+	return nil
+}

@@ -1,0 +1,150 @@
+// Command pricing-game runs one instance of the Section IV pricing
+// game and prints the outcome. With -tcp it runs the same game as an
+// actual distributed system: a smart-grid coordinator listening on
+// localhost and one TCP client per OLEV.
+//
+// Usage:
+//
+//	pricing-game [-n 50] [-c 20] [-eta 0.9] [-beta 20] [-mph 60] [-policy nonlinear|linear|both] [-tcp]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"olevgrid"
+	"olevgrid/internal/pricing"
+	"olevgrid/internal/units"
+	"olevgrid/internal/v2i"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "pricing-game:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	n := flag.Int("n", 50, "number of OLEVs")
+	c := flag.Int("c", 20, "number of charging sections")
+	eta := flag.Float64("eta", 0.9, "safety factor / target congestion degree")
+	beta := flag.Float64("beta", 20, "LBMP beta in $/MWh")
+	mph := flag.Float64("mph", 60, "OLEV velocity")
+	policy := flag.String("policy", "both", "nonlinear, linear, or both")
+	seed := flag.Int64("seed", 1, "seed")
+	tcp := flag.Bool("tcp", false, "run distributed over localhost TCP")
+	flag.Parse()
+
+	vel := units.MPH(*mph)
+	lineCap := pricing.LineCapacityKW(units.Meters(15), vel)
+	_, players, err := olevgrid.BuildFleet(olevgrid.FleetConfig{
+		N: *n, Velocity: vel, SatisfactionWeight: 1, Seed: *seed,
+	})
+	if err != nil {
+		return err
+	}
+
+	if *tcp {
+		return runTCP(players, *c, lineCap, *eta, *beta, *seed)
+	}
+
+	scenario := olevgrid.Scenario{
+		Players: players, NumSections: *c, LineCapacityKW: lineCap,
+		Eta: *eta, BetaPerMWh: *beta, Seed: *seed,
+	}
+	var policies []pricing.Policy
+	switch *policy {
+	case "nonlinear":
+		policies = []pricing.Policy{olevgrid.NonlinearPolicy{}}
+	case "linear":
+		policies = []pricing.Policy{olevgrid.LinearPolicy{}}
+	case "both":
+		policies = []pricing.Policy{olevgrid.NonlinearPolicy{}, olevgrid.LinearPolicy{}}
+	default:
+		return fmt.Errorf("unknown -policy %q", *policy)
+	}
+	for _, p := range policies {
+		out, err := p.Run(scenario)
+		if err != nil {
+			return err
+		}
+		printOutcome(out)
+	}
+	return nil
+}
+
+func printOutcome(out olevgrid.Outcome) {
+	fmt.Printf("policy=%s\n", out.Policy)
+	fmt.Printf("  congestion degree  %.3f\n", out.CongestionDegree)
+	fmt.Printf("  total power        %.1f kW\n", out.TotalPowerKW)
+	fmt.Printf("  unit payment       $%.2f/MWh\n", out.UnitPaymentPerMWh)
+	fmt.Printf("  social welfare     %.2f $/h\n", out.Welfare)
+	fmt.Printf("  load imbalance CV  %.3f\n", out.LoadImbalance())
+	fmt.Printf("  updates            %d (converged=%v)\n", out.Updates, out.Converged)
+}
+
+func runTCP(players []olevgrid.Player, c int, lineCap, eta, beta float64, seed int64) error {
+	srv, err := olevgrid.ListenV2I("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer func() { _ = srv.Close() }()
+	fmt.Printf("smart grid listening on %s\n", srv.Addr())
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	errs := make([]error, len(players))
+	for i, p := range players {
+		wg.Add(1)
+		go func(i int, p olevgrid.Player) {
+			defer wg.Done()
+			_, errs[i] = olevgrid.RunAgentTCP(ctx, srv.Addr(), olevgrid.AgentConfig{
+				VehicleID:    p.ID,
+				MaxPowerKW:   p.MaxPowerKW,
+				Satisfaction: p.Satisfaction,
+			})
+		}(i, p)
+	}
+
+	links, err := olevgrid.CollectHellos(ctx, srv, len(players), 10*time.Second)
+	if err != nil {
+		return err
+	}
+	betaPerKWh := beta / 1000
+	coord, err := olevgrid.NewCoordinator(olevgrid.CoordinatorConfig{
+		NumSections:    c,
+		LineCapacityKW: lineCap,
+		Cost: v2i.CostSpec{
+			Kind:                "nonlinear",
+			BetaPerKWh:          betaPerKWh,
+			Alpha:               pricing.DefaultAlpha,
+			LineCapacityKW:      lineCap,
+			OverloadKappaPerKWh: pricing.DefaultOverloadKappaFactor * betaPerKWh,
+			OverloadCapacityKW:  eta * lineCap,
+		},
+		Seed: seed,
+	}, links)
+	if err != nil {
+		return err
+	}
+	report, err := coord.Run(ctx)
+	if err != nil {
+		return err
+	}
+	wg.Wait()
+	for i, e := range errs {
+		if e != nil {
+			return fmt.Errorf("agent %d: %w", i, e)
+		}
+	}
+	fmt.Printf("distributed game: rounds=%d converged=%v congestion=%.3f total=%.1f kW\n",
+		report.Rounds, report.Converged, report.CongestionDegree, report.TotalPowerKW)
+	return nil
+}

@@ -1,0 +1,42 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseWindow(t *testing.T) {
+	tests := []struct {
+		in         string
+		start, end time.Duration
+		wantErr    bool
+	}{
+		{in: "0-24", start: 0, end: 24 * time.Hour},
+		{in: "16-19", start: 16 * time.Hour, end: 19 * time.Hour},
+		{in: "23-24", start: 23 * time.Hour, end: 24 * time.Hour},
+		{in: "24-25", wantErr: true},
+		{in: "5-5", wantErr: true},
+		{in: "7-3", wantErr: true},
+		{in: "-1-3", wantErr: true},
+		{in: "abc-3", wantErr: true},
+		{in: "3-def", wantErr: true},
+		{in: "noseparator", wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.in, func(t *testing.T) {
+			start, end, err := parseWindow(tt.in)
+			if tt.wantErr {
+				if err == nil {
+					t.Errorf("parseWindow(%q) accepted", tt.in)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("parseWindow(%q): %v", tt.in, err)
+			}
+			if start != tt.start || end != tt.end {
+				t.Errorf("parseWindow(%q) = %v, %v", tt.in, start, end)
+			}
+		})
+	}
+}

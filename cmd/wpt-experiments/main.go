@@ -1,0 +1,128 @@
+// Command wpt-experiments regenerates every figure of the paper's
+// evaluation and prints the series as aligned text tables.
+//
+// Usage:
+//
+//	wpt-experiments [-quick] [-fig all|2|3|5|6]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"olevgrid"
+	"olevgrid/internal/experiments"
+	"olevgrid/internal/grid"
+	"olevgrid/internal/units"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "wpt-experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	quick := flag.Bool("quick", false, "fewer convergence runs (faster, same shapes)")
+	fig := flag.String("fig", "all", "which figure family to regenerate: all, 2, 3, 5, or 6")
+	csvDir := flag.String("csvdir", "", "also write the figure tables as CSV files into this directory")
+	flag.Parse()
+
+	out := os.Stdout
+	switch *fig {
+	case "all":
+		return olevgrid.RunAllExperiments(out, *quick)
+	case "2":
+		res, err := experiments.Fig2(grid.DefaultConfig())
+		if err != nil {
+			return err
+		}
+		for _, t := range res.Tables() {
+			fmt.Fprintln(out, t)
+		}
+		return exportCSV(*csvDir, res.Tables())
+	case "3":
+		res, err := experiments.Fig3(experiments.Fig3Config{Seed: 1})
+		if err != nil {
+			return err
+		}
+		for _, t := range res.Tables() {
+			fmt.Fprintln(out, t)
+		}
+		if err := exportCSV(*csvDir, res.Tables()); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "totals: at-light %.1f h / %.1f kWh, mid-block %.1f h / %.1f kWh\n",
+			res.AtLight.TotalIntersection.Hours(), res.AtLight.TotalEnergy.KWh(),
+			res.MidBlock.TotalIntersection.Hours(), res.MidBlock.TotalEnergy.KWh())
+		return nil
+	case "5", "6":
+		mph := 60.0
+		if *fig == "6" {
+			mph = 80
+		}
+		return runGameFigures(out, units.MPH(mph), *fig, *quick)
+	default:
+		return fmt.Errorf("unknown -fig %q", *fig)
+	}
+}
+
+// exportCSV writes tables as CSV files when a directory was requested.
+func exportCSV(dir string, tables []experiments.Table) error {
+	if dir == "" {
+		return nil
+	}
+	paths, err := experiments.SaveCSVs(dir, tables)
+	if err != nil {
+		return err
+	}
+	for _, p := range paths {
+		fmt.Println("wrote", p)
+	}
+	return nil
+}
+
+func runGameFigures(out *os.File, vel olevgrid.Speed, fig string, quick bool) error {
+	d := experiments.GameDefaults{}
+
+	points, err := experiments.PaymentVsCongestion(vel, d)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, experiments.PaymentTable(
+		fmt.Sprintf("Fig %s(a): payment vs congestion degree", fig), points))
+
+	welfare, err := experiments.WelfareVsSections(vel, []int{30, 40, 50}, d)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "# Fig %s(b): social welfare vs sections\n", fig)
+	for _, s := range welfare {
+		fmt.Fprintf(out, "%s: %v\n", s.Name, s.Ys())
+	}
+
+	balance, err := experiments.LoadBalance(vel, d)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "\n# Fig %s(c): load balance — nonlinear CV %.3f (total %.0f kW), linear CV %.3f (total %.0f kW)\n",
+		fig, balance.NonlinearCV, balance.NonlinearTotalKW, balance.LinearCV, balance.LinearTotalKW)
+
+	runs := 50
+	if quick {
+		runs = 5
+	}
+	conv, err := experiments.Convergence(vel, []int{30, 40, 50}, runs, 150, d)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "\n# Fig %s(d): updates to settle at 0.9 target\n", fig)
+	for _, n := range []int{30, 40, 50} {
+		fmt.Fprintf(out, "N=%d: %.0f updates (final %.3f)\n",
+			n, conv.UpdatesToSettle[n],
+			conv.Trajectories[n].Points[conv.Trajectories[n].Len()-1].Y)
+	}
+	return nil
+}

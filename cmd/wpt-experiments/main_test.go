@@ -1,0 +1,34 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"olevgrid/internal/experiments"
+)
+
+func TestExportCSVDisabled(t *testing.T) {
+	if err := exportCSV("", []experiments.Table{{Title: "t"}}); err != nil {
+		t.Errorf("empty dir should be a no-op, got %v", err)
+	}
+}
+
+func TestExportCSVWrites(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "figs")
+	tables := []experiments.Table{{
+		Title:   "Fig test",
+		Columns: []string{"a"},
+		Rows:    [][]string{{"1"}},
+	}}
+	if err := exportCSV(dir, tables); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("wrote %d files", len(entries))
+	}
+}

@@ -1,0 +1,82 @@
+// Congestion pricing: the nonlinear policy against the linear
+// baseline across the congestion sweep — the Fig. 5(a)/5(c) story in
+// one program. The nonlinear price rises with congestion and balances
+// load across sections; the flat tariff does neither.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"olevgrid"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "congestion_pricing:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	vel := olevgrid.MPH(60)
+	lineCap := olevgrid.LineCapacityKW(olevgrid.Meters(15), vel)
+	const sections = 20
+	const fleet = 50
+
+	fmt.Println("unit payment as demand pushes congestion up (β = $20/MWh):")
+	fmt.Println("congestion  nonlinear  linear")
+	for _, target := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+		// Derive the demand level whose equilibrium realizes the
+		// target congestion degree, then run the game.
+		weight, err := olevgrid.CongestionTargetWeight(
+			olevgrid.NonlinearPolicy{}, 20, lineCap, sections, fleet, target)
+		if err != nil {
+			return err
+		}
+		_, players, err := olevgrid.BuildFleet(olevgrid.FleetConfig{
+			N: fleet, Velocity: vel, SatisfactionWeight: weight, Seed: 1,
+		})
+		if err != nil {
+			return err
+		}
+		scenario := olevgrid.Scenario{
+			Players: players, NumSections: sections, LineCapacityKW: lineCap,
+			Eta: 1.0, BetaPerMWh: 20, Seed: 1,
+		}
+		nl, err := olevgrid.NonlinearPolicy{}.Run(scenario)
+		if err != nil {
+			return err
+		}
+		lin, err := olevgrid.LinearPolicy{}.Run(scenario)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("   %.1f      $%6.2f   $%6.2f\n",
+			target, nl.UnitPaymentPerMWh, lin.UnitPaymentPerMWh)
+	}
+
+	// Load balance at a fixed demand: compare per-section spread.
+	_, players, err := olevgrid.BuildFleet(olevgrid.FleetConfig{
+		N: fleet, Velocity: vel, SatisfactionWeight: 2, Seed: 1,
+	})
+	if err != nil {
+		return err
+	}
+	scenario := olevgrid.Scenario{
+		Players: players, NumSections: 100, LineCapacityKW: lineCap,
+		Eta: 0.9, BetaPerMWh: 20, Seed: 1, MaxUpdates: 1000,
+	}
+	nl, err := olevgrid.NonlinearPolicy{}.Run(scenario)
+	if err != nil {
+		return err
+	}
+	lin, err := olevgrid.LinearPolicy{}.Run(scenario)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nload balance over 100 sections (coefficient of variation):\n")
+	fmt.Printf("  nonlinear: CV %.3f — water-filling spreads the load\n", nl.LoadImbalance())
+	fmt.Printf("  linear:    CV %.3f — flat tariff lets sections saturate unevenly\n", lin.LoadImbalance())
+	return nil
+}

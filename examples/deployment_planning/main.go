@@ -1,0 +1,69 @@
+// Deployment planning: the paper's future-work pipeline — profile
+// where vehicles actually spend time on a signalized arterial, let the
+// optimizer place a budget of charging sections, compare the harvest
+// against the naive uniform layout, then run the coupled
+// traffic-and-pricing day to see what the deployment earns.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"olevgrid"
+	"olevgrid/internal/roadnet"
+	"olevgrid/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "deployment_planning:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// 1. Profile a day of traffic on a 1 km signalized arterial.
+	plan := roadnet.DefaultSignalPlan()
+	prof, err := olevgrid.MeasureOccupancy(olevgrid.TrafficConfig{
+		RoadLength: olevgrid.Meters(1000),
+		SpeedLimit: olevgrid.KMH(50),
+		Signal:     &plan,
+		Counts:     trace.FlatlandsAvenue(),
+		Seed:       1,
+	}, olevgrid.Meters(10))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("occupancy profile: %.0f vehicle-hours over the day\n", prof.Total()/3600)
+
+	// 2. Place a budget of three 50 m sections.
+	best, err := olevgrid.OptimizePlacement(prof, olevgrid.Meters(50), 3)
+	if err != nil {
+		return err
+	}
+	greedy, err := olevgrid.GreedyPlacement(prof, olevgrid.Meters(50), 3)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("optimal plan:  sections at %v — covers %.0f vehicle-hours\n",
+		best.Starts, best.CoveredVehicleSeconds/3600)
+	fmt.Printf("greedy plan:   covers %.0f vehicle-hours\n", greedy.CoveredVehicleSeconds/3600)
+	fmt.Printf("harvest estimate at 100 kW rating: %.0f kWh/day\n",
+		best.HarvestEstimate(olevgrid.KW(100)).KWh())
+	fmt.Println("(note how the optimizer stacks the budget just upstream of the stop line)")
+
+	// 3. Run the coupled day: traffic presence sizes each hour's
+	// pricing game; the hour's LBMP prices it.
+	day, err := olevgrid.RunCoupledDay(olevgrid.CoupledDayConfig{Seed: 1})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\ncoupled day: %.0f kWh delivered, $%.2f collected, peak hour %02d:00\n",
+		day.TotalEnergyKWh, day.TotalRevenueUSD, day.PeakHour)
+	for _, h := range []int{3, 8, 17} {
+		o := day.Hours[h]
+		fmt.Printf("  %02d:00  %2d OLEVs  β=$%6.2f/MWh  congestion %.2f  %7.1f kWh\n",
+			h, o.OLEVs, o.BetaPerMWh, o.CongestionDegree, o.EnergyKWh)
+	}
+	return nil
+}

@@ -1,0 +1,107 @@
+// Distributed V2I: the Section IV-D framework as an actual distributed
+// system — a smart-grid coordinator listening on localhost TCP and ten
+// OLEV agents, each holding its private satisfaction function,
+// converging to the socially optimal schedule over the wire.
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"olevgrid"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "distributed_v2i:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	const fleet = 10
+	const sections = 8
+	lineCap := olevgrid.LineCapacityKW(olevgrid.Meters(15), olevgrid.MPH(60))
+
+	srv, err := olevgrid.ListenV2I("127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	defer func() { _ = srv.Close() }()
+	fmt.Printf("smart grid listening on %s\n", srv.Addr())
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
+	// Launch the vehicles. Their satisfaction functions never cross
+	// the wire — only quotes and power requests do.
+	_, players, err := olevgrid.BuildFleet(olevgrid.FleetConfig{
+		N: fleet, Velocity: olevgrid.MPH(60), Seed: 1,
+	})
+	if err != nil {
+		return err
+	}
+	results := make([]olevgrid.AgentResult, fleet)
+	errs := make([]error, fleet)
+	var wg sync.WaitGroup
+	for i, p := range players {
+		wg.Add(1)
+		go func(i int, p olevgrid.Player) {
+			defer wg.Done()
+			results[i], errs[i] = olevgrid.RunAgentTCP(ctx, srv.Addr(), olevgrid.AgentConfig{
+				VehicleID:    p.ID,
+				MaxPowerKW:   p.MaxPowerKW,
+				Satisfaction: p.Satisfaction,
+				VelocityMS:   olevgrid.MPH(60).MPS(),
+			})
+		}(i, p)
+	}
+
+	// The smart grid accepts registrations, then drives the
+	// asynchronous best-response rounds.
+	links, err := olevgrid.CollectHellos(ctx, srv, fleet, 10*time.Second)
+	if err != nil {
+		return err
+	}
+	coord, err := olevgrid.NewCoordinator(olevgrid.CoordinatorConfig{
+		NumSections:    sections,
+		LineCapacityKW: lineCap,
+		Cost: olevgrid.CostSpec{
+			Kind:                "nonlinear",
+			BetaPerKWh:          0.02,
+			Alpha:               0.875,
+			LineCapacityKW:      lineCap,
+			OverloadKappaPerKWh: 10,
+			OverloadCapacityKW:  0.9 * lineCap,
+		},
+	}, links)
+	if err != nil {
+		return err
+	}
+	report, err := coord.Run(ctx)
+	if err != nil {
+		return err
+	}
+	wg.Wait()
+	for i, e := range errs {
+		if e != nil {
+			return fmt.Errorf("agent %d: %w", i, e)
+		}
+	}
+
+	fmt.Printf("converged=%v after %d rounds, congestion %.3f, total %.1f kW\n",
+		report.Converged, report.Rounds, report.CongestionDegree, report.TotalPowerKW)
+	ids := make([]string, 0, len(report.Requests))
+	for id := range report.Requests {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		fmt.Printf("  %s: %.2f kW\n", id, report.Requests[id])
+	}
+	return nil
+}

@@ -1,0 +1,75 @@
+// NYC Flatlands Avenue: the paper's Section III motivation study end
+// to end — synthesize the ISO day (Fig. 2), run a day of traffic over
+// a signalized arterial with a wireless charging section (Fig. 3), and
+// wire the day's mean LBMP into the pricing game as β the way the
+// evaluation does.
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"olevgrid"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "nyc_flatlands:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// --- Fig. 2: the grid side. ---
+	day, err := olevgrid.NewGridDay(olevgrid.DefaultGridConfig())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("ISO day: load [%.0f, %.0f] MW, max deficiency %.1f MW\n",
+		day.MinLoadMW(), day.PeakLoadMW(), day.MaxAbsDeficiencyMW())
+	fmt.Printf("LBMP at 04:00 $%.2f, at 18:00 $%.2f, day mean $%.2f/MWh\n",
+		day.LBMP(4*time.Hour), day.LBMP(18*time.Hour), day.MeanLBMP())
+	fmt.Printf("mean ancillary price $%.2f/MW — the cost OLEV load inflates\n\n",
+		day.MeanAncillary())
+
+	// --- Fig. 3: the traffic side. ---
+	study, err := olevgrid.RunMotivationStudy(olevgrid.MotivationConfig{Seed: 1})
+	if err != nil {
+		return err
+	}
+	fmt.Println("placement comparison over 24 h of Flatlands-like traffic:")
+	fmt.Printf("  at traffic light: %5.1f h intersection, %7.1f kWh, %d vehicles\n",
+		study.AtLight.TotalIntersection.Hours(),
+		study.AtLight.TotalEnergy.KWh(), study.AtLight.Vehicles)
+	fmt.Printf("  mid-block:        %5.1f h intersection, %7.1f kWh, %d vehicles\n",
+		study.MidBlock.TotalIntersection.Hours(),
+		study.MidBlock.TotalEnergy.KWh(), study.MidBlock.Vehicles)
+	peakAt, _ := study.AtLight.EnergyKWh.YAt(17)
+	nightAt, _ := study.AtLight.EnergyKWh.YAt(3)
+	fmt.Printf("  PM-peak hour draws %.0f kWh vs %.0f kWh overnight — the unpredictable load\n\n",
+		peakAt, nightAt)
+
+	// --- Close the loop: β from the day's LBMP into the game. ---
+	_, players, err := olevgrid.BuildFleet(olevgrid.FleetConfig{
+		N: 40, Velocity: olevgrid.MPH(60), Seed: 2,
+	})
+	if err != nil {
+		return err
+	}
+	out, err := olevgrid.NonlinearPolicy{}.Run(olevgrid.Scenario{
+		Players:        players,
+		NumSections:    30,
+		LineCapacityKW: olevgrid.LineCapacityKW(olevgrid.Meters(15), olevgrid.MPH(60)),
+		Eta:            0.9,
+		BetaPerMWh:     day.MeanLBMP(),
+		Seed:           2,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("pricing game with β = day's mean LBMP ($%.2f/MWh):\n", day.MeanLBMP())
+	fmt.Printf("  congestion %.3f, unit payment $%.2f/MWh, welfare %.1f $/h\n",
+		out.CongestionDegree, out.UnitPaymentPerMWh, out.Welfare)
+	return nil
+}

@@ -1,0 +1,59 @@
+// Quickstart: allocate wireless charging power to a fleet of OLEVs
+// with the paper's game-theoretic nonlinear pricing policy.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"olevgrid"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "quickstart:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// 1. Draw a fleet of 25 OLEVs cruising at 60 mph. Each vehicle's
+	// power ceiling comes from its battery state via Eq. (2).
+	vehicles, players, err := olevgrid.BuildFleet(olevgrid.FleetConfig{
+		N:        25,
+		Velocity: olevgrid.MPH(60),
+		Seed:     1,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("fleet: %d OLEVs, first vehicle SOC %.2f, headroom %s\n",
+		len(vehicles), vehicles[0].Battery().SOC(), vehicles[0].PowerHeadroom())
+
+	// 2. Describe the charging lane: 20 sections whose per-vehicle
+	// line capacity follows Eq. (1) at the fleet's velocity.
+	lineCap := olevgrid.LineCapacityKW(olevgrid.Meters(15), olevgrid.MPH(60))
+
+	// 3. Run the asynchronous best-response game to the socially
+	// optimal schedule.
+	out, err := olevgrid.NonlinearPolicy{}.Run(olevgrid.Scenario{
+		Players:        players,
+		NumSections:    20,
+		LineCapacityKW: lineCap,
+		Eta:            0.9, // Eq. (4) safety factor
+		BetaPerMWh:     20,  // LBMP-level price coefficient
+		Seed:           1,
+	})
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("converged in %d updates\n", out.Updates)
+	fmt.Printf("total power scheduled: %.1f kW across %d sections\n",
+		out.TotalPowerKW, len(out.SectionTotalsKW))
+	fmt.Printf("congestion degree:     %.3f (target %.1f)\n", out.CongestionDegree, 0.9)
+	fmt.Printf("unit payment:          $%.2f/MWh\n", out.UnitPaymentPerMWh)
+	fmt.Printf("social welfare:        %.2f $/h\n", out.Welfare)
+	fmt.Printf("load imbalance (CV):   %.4f — water-filling balances sections\n", out.LoadImbalance())
+	return nil
+}

@@ -1,0 +1,54 @@
+package olevgrid_test
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestExamplesRun executes every example binary end to end and checks
+// for its headline output. These are the programs README points new
+// users at, so they must not rot.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples take seconds each")
+	}
+	tests := []struct {
+		name   string
+		marker string
+	}{
+		{name: "quickstart", marker: "congestion degree"},
+		{name: "nyc_flatlands", marker: "placement comparison"},
+		{name: "congestion_pricing", marker: "load balance"},
+		{name: "distributed_v2i", marker: "converged=true"},
+		{name: "deployment_planning", marker: "optimal plan"},
+	}
+	for _, tt := range tests {
+		tt := tt
+		t.Run(tt.name, func(t *testing.T) {
+			t.Parallel()
+			cmd := exec.Command("go", "run", "olevgrid/examples/"+tt.name)
+			done := make(chan struct{})
+			var out []byte
+			var err error
+			go func() {
+				out, err = cmd.CombinedOutput()
+				close(done)
+			}()
+			select {
+			case <-done:
+			case <-time.After(3 * time.Minute):
+				_ = cmd.Process.Kill()
+				<-done
+				t.Fatal("example timed out")
+			}
+			if err != nil {
+				t.Fatalf("example failed: %v\n%s", err, out)
+			}
+			if !strings.Contains(string(out), tt.marker) {
+				t.Errorf("output missing %q:\n%s", tt.marker, out)
+			}
+		})
+	}
+}

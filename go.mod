@@ -1,0 +1,3 @@
+module olevgrid
+
+go 1.22

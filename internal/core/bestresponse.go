@@ -1,0 +1,42 @@
+package core
+
+// BestResponse solves Lemma IV.3: the total power request p* that
+// maximizes F_n(p) = U_n(p) − Ψ_n(p) over [0, pmax].
+//
+// F_n is strictly concave (U strictly concave, Ψ convex), so
+// F'_n(p) = U'_n(p) − Z'(λ*(p)) is strictly decreasing and the
+// three-case structure of Eq. (22) reduces to a bisection on the sign
+// of F'_n:
+//
+//	F'_n(0)    ≤ 0  →  p* = 0
+//	F'_n(pmax) ≥ 0  →  p* = pmax
+//	otherwise       →  the unique root of F'_n in (0, pmax)
+//
+// The request is additionally clamped to what the quoted schedule can
+// physically place (MaxAllocatable, finite under an Eq. (3) draw cap).
+func BestResponse(sat Satisfaction, psi *PaymentFunction, pmax float64) float64 {
+	if ceiling := psi.MaxAllocatable(); pmax > ceiling {
+		pmax = ceiling
+	}
+	if pmax <= 0 {
+		return 0
+	}
+	deriv := func(p float64) float64 { return sat.Marginal(p) - psi.Marginal(p) }
+
+	if deriv(0) <= 0 {
+		return 0
+	}
+	if deriv(pmax) >= 0 {
+		return pmax
+	}
+	lo, hi := 0.0, pmax
+	for i := 0; i < 64; i++ {
+		mid := lo + (hi-lo)/2
+		if deriv(mid) > 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo + (hi-lo)/2
+}

@@ -1,0 +1,46 @@
+package core
+
+// CappedWaterFill solves the Lemma IV.1 schedule under a *hard*
+// per-section ceiling instead of the soft overload penalty: allocate
+// total across sections, equalizing at a water level, but never
+// pushing any section past cap. It is the limit of the penalty
+// formulation as κ → ∞.
+//
+// The returned allocated may be less than total when the remaining
+// room Σ_c [cap − others_c]^+ cannot absorb the request; callers that
+// need feasibility decide how to handle the shortfall (the soft-wall
+// game never truncates, which is why it remains the default: hard
+// caps make the boundary equilibrium order-dependent, while the
+// penalty keeps the optimum unique — see DESIGN.md).
+func CappedWaterFill(others []float64, cap, total float64) (alloc []float64, level, allocated float64) {
+	alloc = make([]float64, len(others))
+	if len(others) == 0 || total <= 0 {
+		_, level = WaterFill(others, 0)
+		return alloc, level, 0
+	}
+
+	// Room under the ceiling.
+	var room float64
+	for _, o := range others {
+		if o < cap {
+			room += cap - o
+		}
+	}
+	if room <= 0 {
+		return alloc, cap, 0
+	}
+	if total >= room {
+		// Saturate everything.
+		for i, o := range others {
+			if o < cap {
+				alloc[i] = cap - o
+			}
+		}
+		return alloc, cap, room
+	}
+
+	// The uncapped level cannot exceed cap when total < room, because
+	// Y(cap) = room > total and Y is increasing.
+	alloc, level = WaterFill(others, total)
+	return alloc, level, total
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"olevgrid/internal/stats"
+)
+
+func TestCappedWaterFillInterior(t *testing.T) {
+	// Plenty of room: identical to the uncapped fill.
+	others := []float64{0, 5, 20}
+	alloc, level, allocated := CappedWaterFill(others, 100, 10)
+	wantAlloc, wantLevel := WaterFill(others, 10)
+	for i := range alloc {
+		if math.Abs(alloc[i]-wantAlloc[i]) > 1e-12 {
+			t.Errorf("alloc[%d] = %v, want %v", i, alloc[i], wantAlloc[i])
+		}
+	}
+	if level != wantLevel || allocated != 10 {
+		t.Errorf("level %v allocated %v", level, allocated)
+	}
+}
+
+func TestCappedWaterFillSaturates(t *testing.T) {
+	others := []float64{10, 40, 55}
+	alloc, level, allocated := CappedWaterFill(others, 50, 1000)
+	// Room: 40 + 10 + 0 = 50.
+	if math.Abs(allocated-50) > 1e-12 {
+		t.Errorf("allocated = %v, want 50", allocated)
+	}
+	if level != 50 {
+		t.Errorf("level = %v, want cap", level)
+	}
+	want := []float64{40, 10, 0}
+	for i := range want {
+		if math.Abs(alloc[i]-want[i]) > 1e-12 {
+			t.Errorf("alloc[%d] = %v, want %v", i, alloc[i], want[i])
+		}
+	}
+}
+
+func TestCappedWaterFillNoRoom(t *testing.T) {
+	others := []float64{60, 70}
+	alloc, level, allocated := CappedWaterFill(others, 50, 10)
+	if allocated != 0 || alloc[0] != 0 || alloc[1] != 0 {
+		t.Errorf("allocated %v into full sections", allocated)
+	}
+	if level != 50 {
+		t.Errorf("level = %v", level)
+	}
+}
+
+func TestCappedWaterFillDegenerate(t *testing.T) {
+	if alloc, _, allocated := CappedWaterFill(nil, 10, 5); len(alloc) != 0 || allocated != 0 {
+		t.Error("empty input mishandled")
+	}
+	alloc, _, allocated := CappedWaterFill([]float64{1, 2}, 10, 0)
+	if allocated != 0 || alloc[0] != 0 {
+		t.Error("zero total mishandled")
+	}
+	if _, _, allocated := CappedWaterFill([]float64{1, 2}, 10, -4); allocated != 0 {
+		t.Error("negative total mishandled")
+	}
+}
+
+func TestCappedWaterFillInvariants(t *testing.T) {
+	r := stats.NewRand(77)
+	for trial := 0; trial < 300; trial++ {
+		c := 1 + r.Intn(20)
+		others := make([]float64, c)
+		for i := range others {
+			others[i] = r.Float64() * 60
+		}
+		cap := 10 + r.Float64()*60
+		total := r.Float64() * 400
+		alloc, level, allocated := CappedWaterFill(others, cap, total)
+
+		var sum float64
+		for i, a := range alloc {
+			if a < -1e-12 {
+				t.Fatalf("negative alloc %v", a)
+			}
+			// A section whose background already exceeds the cap must
+			// receive nothing; others must not be pushed past it.
+			if a > 1e-12 && others[i]+a > cap+1e-9 {
+				t.Fatalf("section %d pushed to %v past cap %v", i, others[i]+a, cap)
+			}
+			sum += a
+		}
+		if math.Abs(sum-allocated) > 1e-6*(1+allocated) {
+			t.Fatalf("alloc sums %v, reported %v", sum, allocated)
+		}
+		if allocated > total+1e-9 {
+			t.Fatalf("allocated %v exceeds request %v", allocated, total)
+		}
+		if level > cap+1e-9 {
+			t.Fatalf("level %v above cap %v", level, cap)
+		}
+		// If the request was truncated, every section must be full.
+		if allocated < total-1e-9 {
+			for i := range others {
+				if others[i]+alloc[i] < cap-1e-6 {
+					t.Fatalf("truncated request but section %d not saturated", i)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func numericDerivative(f func(float64) float64, x float64) float64 {
+	const h = 1e-6
+	return (f(x+h) - f(x-h)) / (2 * h)
+}
+
+func TestQuadraticChargingValidation(t *testing.T) {
+	if _, err := NewQuadraticCharging(0.02, 0.875, 50); err != nil {
+		t.Errorf("valid params rejected: %v", err)
+	}
+	bad := []struct {
+		name              string
+		beta, alpha, capa float64
+	}{
+		{name: "zero beta", beta: 0, alpha: 0.875, capa: 50},
+		{name: "negative beta", beta: -1, alpha: 0.875, capa: 50},
+		{name: "negative alpha", beta: 0.02, alpha: -0.1, capa: 50},
+		{name: "zero capacity", beta: 0.02, alpha: 0.875, capa: 0},
+		{name: "NaN beta", beta: math.NaN(), alpha: 0.875, capa: 50},
+	}
+	for _, tt := range bad {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := NewQuadraticCharging(tt.beta, tt.alpha, tt.capa); err == nil {
+				t.Error("invalid params accepted")
+			}
+		})
+	}
+}
+
+func TestQuadraticChargingUnitPriceSweep(t *testing.T) {
+	// The normalization pins the unit price V(x)/x to β at full
+	// capacity and β·α²/(α+1)² at x→0.
+	q, err := NewQuadraticCharging(0.02, 0.875, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	atCap := q.Cost(50) / 50
+	if math.Abs(atCap-0.02) > 1e-12 {
+		t.Errorf("unit price at capacity = %v, want beta 0.02", atCap)
+	}
+	nearZero := q.Cost(1e-9) / 1e-9
+	want := 0.02 * 0.875 * 0.875 / (1.875 * 1.875)
+	if math.Abs(nearZero-want) > 1e-9 {
+		t.Errorf("unit price near zero = %v, want %v", nearZero, want)
+	}
+}
+
+func TestQuadraticChargingMarginalMatchesNumeric(t *testing.T) {
+	q, _ := NewQuadraticCharging(0.025, 0.875, 40)
+	for _, x := range []float64{0.5, 1, 10, 40, 80, 200} {
+		want := numericDerivative(q.Cost, x)
+		if got := q.Marginal(x); math.Abs(got-want) > 1e-6*(1+math.Abs(want)) {
+			t.Errorf("Marginal(%v) = %v, numeric %v", x, got, want)
+		}
+	}
+}
+
+func TestQuadraticChargingStrictlyConvex(t *testing.T) {
+	q, _ := NewQuadraticCharging(0.02, 0.875, 50)
+	f := func(rawA, rawB float64) bool {
+		a := math.Mod(math.Abs(rawA), 500)
+		b := math.Mod(math.Abs(rawB), 500)
+		if math.IsNaN(a) || math.IsNaN(b) || math.Abs(a-b) < 1e-9 {
+			return true
+		}
+		lo, hi := math.Min(a, b), math.Max(a, b)
+		// Strictly increasing marginal == strict convexity.
+		return q.Marginal(hi) > q.Marginal(lo)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuadraticChargingNonNegativeAndZeroAtZero(t *testing.T) {
+	q, _ := NewQuadraticCharging(0.02, 0.875, 50)
+	if got := q.Cost(0); got != 0 {
+		t.Errorf("Cost(0) = %v", got)
+	}
+	if got := q.Cost(-10); got != 0 {
+		t.Errorf("Cost(-10) = %v", got)
+	}
+}
+
+func TestLinearCharging(t *testing.T) {
+	l := LinearCharging{Beta: 0.015}
+	if got := l.Cost(100); math.Abs(got-1.5) > 1e-12 {
+		t.Errorf("Cost(100) = %v, want 1.5", got)
+	}
+	if got := l.Cost(-5); got != 0 {
+		t.Errorf("Cost(-5) = %v", got)
+	}
+	// Flat marginal: the defining property of the baseline.
+	for _, x := range []float64{0, 1, 50, 1e6} {
+		if got := l.Marginal(x); got != 0.015 {
+			t.Errorf("Marginal(%v) = %v, want constant 0.015", x, got)
+		}
+	}
+}
+
+func TestOverloadPenalty(t *testing.T) {
+	a := OverloadPenalty{Kappa: 1.0, Capacity: 50}
+	// Zero at and below capacity.
+	for _, x := range []float64{0, 25, 50} {
+		if got := a.Cost(x); got != 0 {
+			t.Errorf("Cost(%v) = %v, want 0", x, got)
+		}
+		if got := a.Marginal(x); got != 0 {
+			t.Errorf("Marginal(%v) = %v, want 0", x, got)
+		}
+	}
+	// Quadratic above: A(60) = 1/(2·50)·100 = 1.
+	if got := a.Cost(60); math.Abs(got-1) > 1e-12 {
+		t.Errorf("Cost(60) = %v, want 1", got)
+	}
+	if got := a.Marginal(60); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("Marginal(60) = %v, want 0.2", got)
+	}
+	// Marginal matches numeric derivative off the kink.
+	for _, x := range []float64{55, 70, 120} {
+		want := numericDerivative(a.Cost, x)
+		if got := a.Marginal(x); math.Abs(got-want) > 1e-6 {
+			t.Errorf("Marginal(%v) = %v, numeric %v", x, got, want)
+		}
+	}
+}
+
+func TestSectionCostComposes(t *testing.T) {
+	v, _ := NewQuadraticCharging(0.02, 0.875, 50)
+	z := SectionCost{Charging: v, Overload: OverloadPenalty{Kappa: 1, Capacity: 50}}
+	x := 65.0
+	wantCost := v.Cost(x) + OverloadPenalty{Kappa: 1, Capacity: 50}.Cost(x)
+	if got := z.Cost(x); math.Abs(got-wantCost) > 1e-12 {
+		t.Errorf("Cost = %v, want %v", got, wantCost)
+	}
+	wantM := v.Marginal(x) + OverloadPenalty{Kappa: 1, Capacity: 50}.Marginal(x)
+	if got := z.Marginal(x); math.Abs(got-wantM) > 1e-12 {
+		t.Errorf("Marginal = %v, want %v", got, wantM)
+	}
+}
+
+func TestSectionCostMarginalStrictlyIncreasing(t *testing.T) {
+	v, _ := NewQuadraticCharging(0.02, 0.875, 50)
+	z := SectionCost{Charging: v, Overload: OverloadPenalty{Kappa: 1, Capacity: 45}}
+	prev := z.Marginal(0)
+	for x := 1.0; x <= 100; x++ {
+		cur := z.Marginal(x)
+		if cur <= prev {
+			t.Fatalf("marginal not strictly increasing at %v: %v <= %v", x, cur, prev)
+		}
+		prev = cur
+	}
+}

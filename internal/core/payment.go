@@ -1,0 +1,91 @@
+package core
+
+// Payment computes ξ_n of Eq. (9): the cost-difference payment an
+// OLEV owes for the allocation alloc against the background load
+// others, summed across sections:
+//
+//	ξ_n = Σ_c [ Z(P_−n,c + p_n,c) − Z(P_−n,c) ]
+//
+// costs[c] is section c's Z. The function is unbiased — a zero
+// allocation pays zero — which tests assert. It panics on length
+// mismatches, which are programming errors.
+func Payment(costs []CostFunction, others, alloc []float64) float64 {
+	if len(costs) != len(others) || len(others) != len(alloc) {
+		panic("core: Payment length mismatch")
+	}
+	var total float64
+	for c := range costs {
+		if alloc[c] == 0 {
+			continue
+		}
+		total += costs[c].Cost(others[c]+alloc[c]) - costs[c].Cost(others[c])
+	}
+	return total
+}
+
+// PaymentFunction is Ψ_n of Eq. (16): the payment the smart grid
+// quotes OLEV n for any total request p_n, assuming the grid schedules
+// the request at minimum cost (water-filling, Lemma IV.1) against the
+// frozen background load of the other OLEVs.
+//
+// A PaymentFunction is immutable once built; the smart grid rebuilds
+// it (Eq. 20) after every best-response update.
+type PaymentFunction struct {
+	cost   CostFunction // shared section cost Z
+	others []float64    // P_−n snapshot
+	// drawCap is the Eq. (3) per-section coupling limit for this
+	// vehicle; non-positive means uncapped. Set via WithDrawCap.
+	drawCap float64
+}
+
+// NewPaymentFunction captures the payment function for one OLEV given
+// the shared section cost and the other OLEVs' current per-section
+// totals. The slice is copied.
+func NewPaymentFunction(cost CostFunction, others []float64) *PaymentFunction {
+	o := make([]float64, len(others))
+	copy(o, others)
+	return &PaymentFunction{cost: cost, others: o}
+}
+
+// At evaluates Ψ_n(p): the total payment for requesting p kW.
+func (f *PaymentFunction) At(p float64) float64 {
+	if p <= 0 {
+		return 0
+	}
+	alloc := f.Schedule(p)
+	var total float64
+	for c, a := range alloc {
+		if a == 0 {
+			continue
+		}
+		total += f.cost.Cost(f.others[c]+a) - f.cost.Cost(f.others[c])
+	}
+	return total
+}
+
+// Marginal evaluates Ψ'_n(p). By the envelope theorem the derivative
+// of the minimum-cost schedule's payment is the marginal section cost
+// at the water level: Ψ'_n(p) = Z'(λ*(p)). With an Eq. (3) draw cap
+// the marginal power still lands on sections below their cap at the
+// level, so the identity carries over.
+func (f *PaymentFunction) Marginal(p float64) float64 {
+	if p < 0 {
+		p = 0
+	}
+	_, level := f.fill(p)
+	return f.cost.Marginal(level)
+}
+
+// Schedule returns the water-filled allocation p̂_n(p) the quote is
+// based on.
+func (f *PaymentFunction) Schedule(p float64) []float64 {
+	alloc, _ := f.fill(p)
+	return alloc
+}
+
+func (f *PaymentFunction) fill(p float64) ([]float64, float64) {
+	if f.drawCap > 0 {
+		return PerDrawWaterFill(f.others, f.drawCap, p)
+	}
+	return WaterFill(f.others, p)
+}

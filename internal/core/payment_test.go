@@ -1,0 +1,143 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"olevgrid/internal/stats"
+)
+
+func testCost(t *testing.T) CostFunction {
+	t.Helper()
+	v, err := NewQuadraticCharging(0.02, 0.875, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return SectionCost{Charging: v, Overload: OverloadPenalty{Kappa: 1, Capacity: 45}}
+}
+
+func TestPaymentUnbiased(t *testing.T) {
+	// Eq. (9): ξ_n(p_−n, 0) = 0 — no power, no payment.
+	z := testCost(t)
+	costs := []CostFunction{z, z, z}
+	others := []float64{10, 20, 30}
+	if got := Payment(costs, others, []float64{0, 0, 0}); got != 0 {
+		t.Errorf("zero allocation pays %v, want 0", got)
+	}
+}
+
+func TestPaymentEqualsCostDifference(t *testing.T) {
+	z := testCost(t)
+	costs := []CostFunction{z, z}
+	others := []float64{10, 25}
+	alloc := []float64{5, 3}
+	want := (z.Cost(15) - z.Cost(10)) + (z.Cost(28) - z.Cost(25))
+	if got := Payment(costs, others, alloc); math.Abs(got-want) > 1e-12 {
+		t.Errorf("Payment = %v, want %v", got, want)
+	}
+}
+
+func TestPaymentPositiveForPositiveAllocation(t *testing.T) {
+	z := testCost(t)
+	costs := []CostFunction{z}
+	if got := Payment(costs, []float64{0}, []float64{1}); got <= 0 {
+		t.Errorf("Payment = %v, want positive", got)
+	}
+}
+
+func TestPaymentPanicsOnMismatch(t *testing.T) {
+	z := testCost(t)
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch did not panic")
+		}
+	}()
+	Payment([]CostFunction{z}, []float64{1, 2}, []float64{1})
+}
+
+func TestPaymentFunctionConsistentWithPayment(t *testing.T) {
+	// Ψ_n(p) must equal ξ_n evaluated at the water-filled schedule.
+	z := testCost(t)
+	others := []float64{5, 0, 12, 3}
+	psi := NewPaymentFunction(z, others)
+	costs := make([]CostFunction, len(others))
+	for i := range costs {
+		costs[i] = z
+	}
+	for _, p := range []float64{0, 1, 7.5, 40, 120} {
+		alloc := psi.Schedule(p)
+		want := Payment(costs, others, alloc)
+		if got := psi.At(p); math.Abs(got-want) > 1e-9 {
+			t.Errorf("Psi(%v) = %v, want %v", p, got, want)
+		}
+	}
+}
+
+func TestPaymentFunctionZeroAtZero(t *testing.T) {
+	psi := NewPaymentFunction(testCost(t), []float64{1, 2})
+	if got := psi.At(0); got != 0 {
+		t.Errorf("Psi(0) = %v", got)
+	}
+	if got := psi.At(-5); got != 0 {
+		t.Errorf("Psi(-5) = %v", got)
+	}
+}
+
+func TestPaymentFunctionConvexIncreasing(t *testing.T) {
+	psi := NewPaymentFunction(testCost(t), []float64{2, 9, 4})
+	prev, prevM := psi.At(0.5), psi.Marginal(0.5)
+	for p := 1.0; p <= 60; p++ {
+		v, m := psi.At(p), psi.Marginal(p)
+		if v <= prev {
+			t.Fatalf("Psi not increasing at %v", p)
+		}
+		if m < prevM-1e-9 {
+			t.Fatalf("Psi' decreasing at %v: %v < %v (convexity)", p, m, prevM)
+		}
+		prev, prevM = v, m
+	}
+}
+
+func TestPaymentFunctionEnvelopeTheorem(t *testing.T) {
+	// Ψ'(p) computed via Z'(λ*) must match the numeric derivative of
+	// Ψ — the envelope theorem in action.
+	psi := NewPaymentFunction(testCost(t), []float64{3, 7, 11, 2})
+	for _, p := range []float64{2, 9, 18, 35} {
+		const h = 1e-5
+		numeric := (psi.At(p+h) - psi.At(p-h)) / (2 * h)
+		if got := psi.Marginal(p); math.Abs(got-numeric) > 1e-4*(1+numeric) {
+			t.Errorf("Marginal(%v) = %v, numeric %v", p, got, numeric)
+		}
+	}
+}
+
+func TestPaymentFunctionSnapshotsOthers(t *testing.T) {
+	others := []float64{1, 2}
+	psi := NewPaymentFunction(testCost(t), others)
+	before := psi.At(5)
+	others[0] = 100 // mutate the caller's slice
+	if after := psi.At(5); after != before {
+		t.Error("payment function did not copy the background load")
+	}
+}
+
+func TestPaymentFunctionScheduleSumsToRequest(t *testing.T) {
+	r := stats.NewRand(5)
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + r.Intn(20)
+		others := make([]float64, n)
+		for i := range others {
+			others[i] = r.Float64() * 30
+		}
+		psi := NewPaymentFunction(testCost(t), others)
+		p := r.Float64() * 100
+		alloc := psi.Schedule(p)
+		var sum float64
+		for _, a := range alloc {
+			sum += a
+		}
+		if math.Abs(sum-p) > 1e-6*(1+p) {
+			t.Fatalf("schedule sums to %v, want %v", sum, p)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Satisfaction is U_n(·): a strictly increasing, strictly concave
+// function of the total power (kW) an OLEV receives, returning a
+// satisfaction rate in $/h so it is commensurable with cost.
+type Satisfaction interface {
+	// Value returns U(p).
+	Value(p float64) float64
+	// Marginal returns U'(p), which must be strictly decreasing.
+	Marginal(p float64) float64
+}
+
+// LogSatisfaction is the evaluation's U_n(p) = w·log(1 + p), the
+// classic diminishing-returns satisfaction (the paper uses w = 1).
+type LogSatisfaction struct {
+	Weight float64
+}
+
+var _ Satisfaction = LogSatisfaction{}
+
+// NewLogSatisfaction validates the weight and constructs the
+// satisfaction function.
+func NewLogSatisfaction(weight float64) (LogSatisfaction, error) {
+	if weight <= 0 || math.IsNaN(weight) {
+		return LogSatisfaction{}, fmt.Errorf("core: satisfaction weight %v must be positive", weight)
+	}
+	return LogSatisfaction{Weight: weight}, nil
+}
+
+// Value implements Satisfaction.
+func (l LogSatisfaction) Value(p float64) float64 {
+	if p < 0 {
+		p = 0
+	}
+	return l.Weight * math.Log1p(p)
+}
+
+// Marginal implements Satisfaction.
+func (l LogSatisfaction) Marginal(p float64) float64 {
+	if p < 0 {
+		p = 0
+	}
+	return l.Weight / (1 + p)
+}
+
+// SqrtSatisfaction is an alternative concave satisfaction
+// U(p) = w·√p, used by the ablation benches to show the framework is
+// agnostic to the particular concave U.
+type SqrtSatisfaction struct {
+	Weight float64
+}
+
+var _ Satisfaction = SqrtSatisfaction{}
+
+// Value implements Satisfaction.
+func (s SqrtSatisfaction) Value(p float64) float64 {
+	if p < 0 {
+		p = 0
+	}
+	return s.Weight * math.Sqrt(p)
+}
+
+// Marginal implements Satisfaction. The marginal at zero is capped to
+// a large finite value so bisection stays well-behaved.
+func (s SqrtSatisfaction) Marginal(p float64) float64 {
+	const floor = 1e-9
+	if p < floor {
+		p = floor
+	}
+	return s.Weight / (2 * math.Sqrt(p))
+}

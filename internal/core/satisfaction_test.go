@@ -1,0 +1,89 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLogSatisfaction(t *testing.T) {
+	u, err := NewLogSatisfaction(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := u.Value(0); got != 0 {
+		t.Errorf("Value(0) = %v", got)
+	}
+	if got := u.Value(math.E - 1); math.Abs(got-1) > 1e-12 {
+		t.Errorf("Value(e-1) = %v, want 1", got)
+	}
+	if got := u.Marginal(0); got != 1 {
+		t.Errorf("Marginal(0) = %v, want 1", got)
+	}
+	if got := u.Marginal(99); math.Abs(got-0.01) > 1e-12 {
+		t.Errorf("Marginal(99) = %v, want 0.01", got)
+	}
+	// Negative input clamps.
+	if got := u.Value(-5); got != 0 {
+		t.Errorf("Value(-5) = %v", got)
+	}
+	if got := u.Marginal(-5); got != 1 {
+		t.Errorf("Marginal(-5) = %v", got)
+	}
+}
+
+func TestNewLogSatisfactionValidation(t *testing.T) {
+	for _, w := range []float64{0, -1, math.NaN()} {
+		if _, err := NewLogSatisfaction(w); err == nil {
+			t.Errorf("weight %v accepted", w)
+		}
+	}
+}
+
+func TestSatisfactionsConcaveIncreasing(t *testing.T) {
+	sats := map[string]Satisfaction{
+		"log":  LogSatisfaction{Weight: 2},
+		"sqrt": SqrtSatisfaction{Weight: 2},
+	}
+	for name, u := range sats {
+		t.Run(name, func(t *testing.T) {
+			prevV, prevM := u.Value(0.01), u.Marginal(0.01)
+			for p := 1.0; p < 100; p += 1 {
+				v, m := u.Value(p), u.Marginal(p)
+				if v <= prevV {
+					t.Fatalf("value not increasing at %v", p)
+				}
+				if m >= prevM {
+					t.Fatalf("marginal not decreasing at %v (concavity)", p)
+				}
+				prevV, prevM = v, m
+			}
+		})
+	}
+}
+
+func TestSatisfactionMarginalMatchesNumeric(t *testing.T) {
+	sats := map[string]Satisfaction{
+		"log":  LogSatisfaction{Weight: 1.5},
+		"sqrt": SqrtSatisfaction{Weight: 1.5},
+	}
+	for name, u := range sats {
+		t.Run(name, func(t *testing.T) {
+			for _, p := range []float64{0.5, 1, 10, 80} {
+				want := numericDerivative(u.Value, p)
+				if got := u.Marginal(p); math.Abs(got-want) > 1e-5 {
+					t.Errorf("Marginal(%v) = %v, numeric %v", p, got, want)
+				}
+			}
+		})
+	}
+}
+
+func TestSqrtSatisfactionZeroGuard(t *testing.T) {
+	u := SqrtSatisfaction{Weight: 1}
+	if got := u.Marginal(0); math.IsInf(got, 1) || math.IsNaN(got) {
+		t.Errorf("Marginal(0) = %v, want finite", got)
+	}
+	if got := u.Value(-3); got != 0 {
+		t.Errorf("Value(-3) = %v", got)
+	}
+}

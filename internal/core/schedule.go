@@ -1,0 +1,116 @@
+package core
+
+import "fmt"
+
+// Schedule is the power schedule p of Section IV-B: an N×C matrix
+// where entry (n, c) is the power (kW) OLEV n draws from charging
+// section c. The zero value is unusable; construct with NewSchedule.
+type Schedule struct {
+	n, c int
+	p    []float64
+}
+
+// NewSchedule returns an all-zero schedule for n OLEVs and c sections.
+// It returns an error for non-positive dimensions.
+func NewSchedule(n, c int) (*Schedule, error) {
+	if n < 1 || c < 1 {
+		return nil, fmt.Errorf("core: schedule dimensions %dx%d must be positive", n, c)
+	}
+	return &Schedule{n: n, c: c, p: make([]float64, n*c)}, nil
+}
+
+// NumOLEVs returns N.
+func (s *Schedule) NumOLEVs() int { return s.n }
+
+// NumSections returns C.
+func (s *Schedule) NumSections() int { return s.c }
+
+// At returns p_{n,c}.
+func (s *Schedule) At(n, c int) float64 { return s.p[n*s.c+c] }
+
+// Set assigns p_{n,c}; negative values are clamped to zero since a
+// schedule entry is a physical power draw.
+func (s *Schedule) Set(n, c int, v float64) {
+	if v < 0 {
+		v = 0
+	}
+	s.p[n*s.c+c] = v
+}
+
+// SetRow replaces OLEV n's entire allocation vector. It panics if the
+// length differs from C — always a programming error.
+func (s *Schedule) SetRow(n int, row []float64) {
+	if len(row) != s.c {
+		panic(fmt.Sprintf("core: SetRow length %d != %d sections", len(row), s.c))
+	}
+	for c, v := range row {
+		s.Set(n, c, v)
+	}
+}
+
+// Row returns a copy of OLEV n's allocation vector p_n.
+func (s *Schedule) Row(n int) []float64 {
+	out := make([]float64, s.c)
+	copy(out, s.p[n*s.c:(n+1)*s.c])
+	return out
+}
+
+// OLEVTotal returns p_n = Σ_c p_{n,c}.
+func (s *Schedule) OLEVTotal(n int) float64 {
+	var sum float64
+	for _, v := range s.p[n*s.c : (n+1)*s.c] {
+		sum += v
+	}
+	return sum
+}
+
+// SectionTotal returns P_c = Σ_n p_{n,c}.
+func (s *Schedule) SectionTotal(c int) float64 {
+	var sum float64
+	for n := 0; n < s.n; n++ {
+		sum += s.p[n*s.c+c]
+	}
+	return sum
+}
+
+// SectionTotals returns the vector (P_1, …, P_C).
+func (s *Schedule) SectionTotals() []float64 {
+	out := make([]float64, s.c)
+	for n := 0; n < s.n; n++ {
+		row := s.p[n*s.c : (n+1)*s.c]
+		for c, v := range row {
+			out[c] += v
+		}
+	}
+	return out
+}
+
+// OthersSectionTotals returns P_−n: per-section totals excluding
+// OLEV n's own allocation.
+func (s *Schedule) OthersSectionTotals(n int) []float64 {
+	out := s.SectionTotals()
+	row := s.p[n*s.c : (n+1)*s.c]
+	for c, v := range row {
+		out[c] -= v
+		if out[c] < 0 { // guard against float drift
+			out[c] = 0
+		}
+	}
+	return out
+}
+
+// Total returns the grand total Σ_n Σ_c p_{n,c}.
+func (s *Schedule) Total() float64 {
+	var sum float64
+	for _, v := range s.p {
+		sum += v
+	}
+	return sum
+}
+
+// Clone returns a deep copy.
+func (s *Schedule) Clone() *Schedule {
+	p := make([]float64, len(s.p))
+	copy(p, s.p)
+	return &Schedule{n: s.n, c: s.c, p: p}
+}

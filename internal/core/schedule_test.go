@@ -1,0 +1,119 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func mustSchedule(t *testing.T, n, c int) *Schedule {
+	t.Helper()
+	s, err := NewSchedule(n, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewScheduleValidation(t *testing.T) {
+	for _, dims := range [][2]int{{0, 5}, {5, 0}, {-1, 3}} {
+		if _, err := NewSchedule(dims[0], dims[1]); err == nil {
+			t.Errorf("dimensions %v accepted", dims)
+		}
+	}
+	s := mustSchedule(t, 3, 4)
+	if s.NumOLEVs() != 3 || s.NumSections() != 4 {
+		t.Errorf("dims = %dx%d", s.NumOLEVs(), s.NumSections())
+	}
+}
+
+func TestScheduleSetGetTotals(t *testing.T) {
+	s := mustSchedule(t, 2, 3)
+	s.Set(0, 0, 5)
+	s.Set(0, 2, 7)
+	s.Set(1, 2, 3)
+
+	if got := s.At(0, 2); got != 7 {
+		t.Errorf("At(0,2) = %v", got)
+	}
+	if got := s.OLEVTotal(0); got != 12 {
+		t.Errorf("OLEVTotal(0) = %v", got)
+	}
+	if got := s.SectionTotal(2); got != 10 {
+		t.Errorf("SectionTotal(2) = %v", got)
+	}
+	if got := s.SectionTotals(); got[0] != 5 || got[1] != 0 || got[2] != 10 {
+		t.Errorf("SectionTotals = %v", got)
+	}
+	if got := s.Total(); got != 15 {
+		t.Errorf("Total = %v", got)
+	}
+}
+
+func TestScheduleNegativeClamped(t *testing.T) {
+	s := mustSchedule(t, 1, 2)
+	s.Set(0, 0, -3)
+	if got := s.At(0, 0); got != 0 {
+		t.Errorf("negative entry stored: %v", got)
+	}
+}
+
+func TestScheduleOthersSectionTotals(t *testing.T) {
+	s := mustSchedule(t, 3, 2)
+	s.SetRow(0, []float64{1, 2})
+	s.SetRow(1, []float64{10, 20})
+	s.SetRow(2, []float64{100, 200})
+
+	others := s.OthersSectionTotals(1)
+	if others[0] != 101 || others[1] != 202 {
+		t.Errorf("OthersSectionTotals(1) = %v, want [101 202]", others)
+	}
+	// Own row untouched by the computation.
+	if s.At(1, 0) != 10 {
+		t.Error("row mutated")
+	}
+}
+
+func TestScheduleSetRowPanicsOnBadLength(t *testing.T) {
+	s := mustSchedule(t, 1, 3)
+	defer func() {
+		if recover() == nil {
+			t.Error("SetRow with wrong length did not panic")
+		}
+	}()
+	s.SetRow(0, []float64{1, 2})
+}
+
+func TestScheduleRowIsCopy(t *testing.T) {
+	s := mustSchedule(t, 1, 2)
+	s.SetRow(0, []float64{4, 5})
+	row := s.Row(0)
+	row[0] = 99
+	if s.At(0, 0) != 4 {
+		t.Error("Row returned a live reference")
+	}
+}
+
+func TestScheduleClone(t *testing.T) {
+	s := mustSchedule(t, 2, 2)
+	s.Set(0, 0, 1)
+	c := s.Clone()
+	c.Set(0, 0, 42)
+	if s.At(0, 0) != 1 {
+		t.Error("Clone shares storage with original")
+	}
+	if c.NumOLEVs() != 2 || c.NumSections() != 2 {
+		t.Error("Clone lost dimensions")
+	}
+}
+
+func TestOthersSectionTotalsFloatDriftGuard(t *testing.T) {
+	s := mustSchedule(t, 1, 1)
+	s.Set(0, 0, 0.1+0.2) // 0.30000000000000004
+	others := s.OthersSectionTotals(0)
+	if others[0] < 0 {
+		t.Errorf("drift produced negative background: %v", others[0])
+	}
+	if math.Abs(others[0]) > 1e-12 {
+		t.Errorf("single player's background should be ~0, got %v", others[0])
+	}
+}

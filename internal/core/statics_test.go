@@ -1,0 +1,59 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+// equilibrium runs a homogeneous game to convergence and returns the
+// per-player total.
+func equilibriumShare(t *testing.T, n int, beta float64) float64 {
+	t.Helper()
+	v, err := NewQuadraticCharging(beta, 0.875, 53.55)
+	if err != nil {
+		t.Fatal(err)
+	}
+	players := make([]Player, n)
+	for i := range players {
+		players[i] = Player{
+			ID:           fmt.Sprintf("p%d", i),
+			MaxPowerKW:   95.76,
+			Satisfaction: LogSatisfaction{Weight: 1},
+		}
+	}
+	g, err := NewGame(Config{
+		Players: players, NumSections: 10, LineCapacityKW: 53.55, Eta: 1.0, Cost: v,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := g.Run(RunOptions{MaxUpdates: 50000, Tolerance: 1e-8}); !res.Converged {
+		t.Fatal("did not converge")
+	}
+	return g.TotalPowerKW() / float64(n)
+}
+
+// TestComparativeStaticsPrice: a higher β must reduce every OLEV's
+// equilibrium demand — the law of demand through the pricing game.
+func TestComparativeStaticsPrice(t *testing.T) {
+	cheap := equilibriumShare(t, 10, 0.01)
+	dear := equilibriumShare(t, 10, 0.04)
+	if dear >= cheap {
+		t.Errorf("share at 4x price (%v) not below cheap share (%v)", dear, cheap)
+	}
+}
+
+// TestComparativeStaticsCrowding: more OLEVs competing for the same
+// sections must shrink the per-OLEV share (the congestion externality
+// the price internalizes), while growing the total.
+func TestComparativeStaticsCrowding(t *testing.T) {
+	shareSmall := equilibriumShare(t, 5, 0.02)
+	shareBig := equilibriumShare(t, 25, 0.02)
+	if shareBig >= shareSmall {
+		t.Errorf("share with 25 OLEVs (%v) not below share with 5 (%v)", shareBig, shareSmall)
+	}
+	if 25*shareBig <= 5*shareSmall {
+		t.Errorf("total with 25 OLEVs (%v) not above total with 5 (%v)",
+			25*shareBig, 5*shareSmall)
+	}
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+)
+
+func symmetricGame(t *testing.T) *Game {
+	t.Helper()
+	v, err := NewQuadraticCharging(0.02, 0.875, 53.55)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z := SectionCost{Charging: v, Overload: OverloadPenalty{Kappa: 10, Capacity: 48.2}}
+	players := make([]Player, 10)
+	for i := range players {
+		players[i] = Player{
+			ID:           fmt.Sprintf("p%d", i),
+			MaxPowerKW:   70,
+			Satisfaction: LogSatisfaction{Weight: 2},
+		}
+	}
+	g, err := NewGame(Config{
+		Players: players, NumSections: 4, LineCapacityKW: 53.55, Eta: 0.9, Cost: z,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestSynchronousOscillatesWhereAsynchronousConverges is the ablation
+// that justifies the paper's design: on a symmetric demand-saturated
+// instance, simultaneous (Jacobi) best response herds every player
+// onto the same cheap sections at once and cycles violently, while
+// the paper's one-at-a-time scheme settles.
+func TestSynchronousOscillatesWhereAsynchronousConverges(t *testing.T) {
+	sync := symmetricGame(t)
+	syncRes := sync.RunSynchronous(RunOptions{MaxUpdates: 2000, Tolerance: 1e-6})
+	if syncRes.Converged {
+		t.Fatal("Jacobi unexpectedly converged; the ablation premise is broken")
+	}
+	syncAmp := OscillationAmplitude(syncRes.Congestion, 0.25)
+	if syncAmp < 0.5 {
+		t.Errorf("Jacobi tail amplitude %v; expected violent cycling", syncAmp)
+	}
+
+	async := symmetricGame(t)
+	asyncRes := async.Run(RunOptions{MaxUpdates: 2000, Tolerance: 1e-4})
+	asyncAmp := OscillationAmplitude(asyncRes.Congestion, 0.25)
+	if asyncAmp > 0.01 {
+		t.Errorf("asynchronous tail amplitude %v; expected settling", asyncAmp)
+	}
+	if asyncAmp*50 > syncAmp {
+		t.Errorf("contrast too weak: async %v vs sync %v", asyncAmp, syncAmp)
+	}
+}
+
+func TestSynchronousStillConvergesWhenDemandIsInterior(t *testing.T) {
+	// Far from the capacity wall the Jacobi map is a contraction for
+	// this cost family, so it does converge — the failure is
+	// specifically a congestion-boundary phenomenon.
+	v, err := NewQuadraticCharging(0.02, 0.875, 53.55)
+	if err != nil {
+		t.Fatal(err)
+	}
+	players := make([]Player, 6)
+	for i := range players {
+		players[i] = Player{
+			ID:           fmt.Sprintf("p%d", i),
+			MaxPowerKW:   40,
+			Satisfaction: LogSatisfaction{Weight: 0.05}, // light demand
+		}
+	}
+	g, err := NewGame(Config{
+		Players: players, NumSections: 12, LineCapacityKW: 53.55, Eta: 0.9,
+		Cost: SectionCost{Charging: v, Overload: OverloadPenalty{Kappa: 10, Capacity: 48.2}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := g.RunSynchronous(RunOptions{MaxUpdates: 5000, Tolerance: 1e-6})
+	if !res.Converged {
+		t.Errorf("interior Jacobi did not converge in %d updates", res.Updates)
+	}
+}
+
+func TestOscillationAmplitude(t *testing.T) {
+	if got := OscillationAmplitude(nil, 0.5); got != 0 {
+		t.Errorf("empty series amplitude %v", got)
+	}
+	flat := []float64{1, 1, 1, 1}
+	if got := OscillationAmplitude(flat, 0.5); got != 0 {
+		t.Errorf("flat amplitude %v", got)
+	}
+	// Transient then oscillation: tail picks up only the cycle.
+	series := []float64{0, 5, 1, 2, 1, 2, 1, 2}
+	if got := OscillationAmplitude(series, 0.5); got != 1 {
+		t.Errorf("tail amplitude %v, want 1", got)
+	}
+	// Bad tailFrac falls back.
+	if got := OscillationAmplitude(series, 2); got != 1 {
+		t.Errorf("fallback amplitude %v", got)
+	}
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"math"
+	"sort"
+)
+
+// WaterFill solves Lemma IV.1: split an OLEV's total power request
+// across charging sections so post-allocation section totals equalize
+// at a water level λ*,
+//
+//	alloc_c = [λ* − others_c]^+  with  Σ_c alloc_c = total,
+//
+// which is the unique minimum-cost schedule when every section shares
+// the same strictly convex cost. others_c is P_−n,c, the load already
+// scheduled by the other OLEVs on section c.
+//
+// It returns the per-section allocation and the level λ*. A
+// non-positive total yields a zero allocation with λ* equal to the
+// smallest entry of others (the level at which water would first
+// start to pool). The input slice is not modified.
+//
+// The exact O(C log C) breakpoint algorithm is used; WaterFillBisect
+// provides the paper's bisection formulation and the tests cross-check
+// the two.
+func WaterFill(others []float64, total float64) (alloc []float64, level float64) {
+	alloc = make([]float64, len(others))
+	if len(others) == 0 {
+		return alloc, 0
+	}
+	if total <= 0 {
+		min := others[0]
+		for _, o := range others[1:] {
+			if o < min {
+				min = o
+			}
+		}
+		return alloc, min
+	}
+
+	sorted := make([]float64, len(others))
+	copy(sorted, others)
+	sort.Float64s(sorted)
+
+	// Find the smallest k such that filling the k lowest sections up
+	// to a common level absorbs the whole request before the level
+	// reaches the (k+1)-th section's load.
+	var prefix float64
+	level = sorted[len(sorted)-1] + total // fallback: all sections flooded
+	for k := 1; k <= len(sorted); k++ {
+		prefix += sorted[k-1]
+		candidate := (total + prefix) / float64(k)
+		if k == len(sorted) || candidate <= sorted[k] {
+			level = candidate
+			break
+		}
+	}
+
+	for i, o := range others {
+		if level > o {
+			alloc[i] = level - o
+		}
+	}
+	return alloc, level
+}
+
+// WaterFillBisect solves the same problem by bisecting on the root of
+// Y(λ) = Σ_c [λ − others_c]^+ − total, the method the paper's
+// Section IV-F prescribes. It exists as an independently derived
+// implementation for cross-checking and for the benches that compare
+// the two. tol bounds the absolute error on the allocated total.
+func WaterFillBisect(others []float64, total float64, tol float64) (alloc []float64, level float64) {
+	alloc = make([]float64, len(others))
+	if len(others) == 0 {
+		return alloc, 0
+	}
+	if tol <= 0 {
+		tol = 1e-9
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, o := range others {
+		lo = math.Min(lo, o)
+		hi = math.Max(hi, o)
+	}
+	if total <= 0 {
+		return alloc, lo
+	}
+	hi += total // Y(hi) >= total with equality only if all others equal
+
+	yOf := func(lambda float64) float64 {
+		var sum float64
+		for _, o := range others {
+			if lambda > o {
+				sum += lambda - o
+			}
+		}
+		return sum
+	}
+	for i := 0; i < 200 && hi-lo > tol/float64(len(others)+1); i++ {
+		mid := lo + (hi-lo)/2
+		if yOf(mid) < total {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	level = lo + (hi-lo)/2
+
+	// Distribute, then repair the rounding residual proportionally so the
+	// allocation sums exactly to total.
+	var sum float64
+	for i, o := range others {
+		if level > o {
+			alloc[i] = level - o
+			sum += alloc[i]
+		}
+	}
+	if sum > 0 {
+		scale := total / sum
+		for i := range alloc {
+			alloc[i] *= scale
+		}
+	}
+	return alloc, level
+}
+
+// WaterLevel returns only λ*(p_n) for a request of total against the
+// given background load — the quantity the best-response derivative
+// needs (Ψ'_n(p_n) = Z'(λ*(p_n)) by the envelope theorem).
+func WaterLevel(others []float64, total float64) float64 {
+	_, level := WaterFill(others, total)
+	return level
+}

@@ -1,0 +1,205 @@
+// Package coupling closes the loop between the paper's two halves:
+// the Section III traffic substrate decides how many OLEVs are over
+// the charging lane each hour, and the Section IV game prices and
+// schedules their power with that hour's LBMP as β. The paper runs
+// this coupling through SUMO; here the Krauss simulator plays that
+// role ("we varied the number of OLEVs ... each time the smart grid
+// executed the game, considering the hourly traffic count").
+package coupling
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"olevgrid/internal/grid"
+	"olevgrid/internal/pricing"
+	"olevgrid/internal/roadnet"
+	"olevgrid/internal/trace"
+	"olevgrid/internal/traffic"
+	"olevgrid/internal/units"
+)
+
+// DayConfig configures a coupled day.
+type DayConfig struct {
+	// Counts drives the traffic side; zero value selects the embedded
+	// Flatlands profile.
+	Counts trace.HourlyCounts
+	// Participation is the OLEV fraction of traffic; zero means 0.3.
+	Participation float64
+	// RoadLength and SpeedLimit describe the charging lane's road;
+	// zeros mean 1 km at 50 km/h.
+	RoadLength units.Distance
+	SpeedLimit units.Speed
+	// NumSections is C; zero means 20.
+	NumSections int
+	// SectionLength feeds Eq. (1); zero means 15 m.
+	SectionLength units.Distance
+	// Eta is the safety factor; zero means 0.9.
+	Eta float64
+	// Grid prices each hour's β; zero value selects the default
+	// NYISO-calibrated day.
+	Grid grid.Config
+	// Seed drives traffic, fleets and update order.
+	Seed int64
+	// MaxOLEVs caps an hour's game size; zero means 50 (the paper's
+	// evaluation ceiling).
+	MaxOLEVs int
+}
+
+func (c *DayConfig) applyDefaults() {
+	if c.Counts == (trace.HourlyCounts{}) {
+		c.Counts = trace.FlatlandsAvenue()
+	}
+	if c.Participation == 0 {
+		c.Participation = 0.3
+	}
+	if c.RoadLength == 0 {
+		c.RoadLength = units.Meters(1000)
+	}
+	if c.SpeedLimit == 0 {
+		c.SpeedLimit = units.KMH(50)
+	}
+	if c.NumSections == 0 {
+		c.NumSections = 20
+	}
+	if c.SectionLength == 0 {
+		c.SectionLength = units.Meters(15)
+	}
+	if c.Eta == 0 {
+		c.Eta = 0.9
+	}
+	if c.Grid == (grid.Config{}) {
+		c.Grid = grid.DefaultConfig()
+	}
+	if c.MaxOLEVs == 0 {
+		c.MaxOLEVs = 50
+	}
+}
+
+// HourOutcome is one hour's coupled result.
+type HourOutcome struct {
+	Hour int
+	// OLEVs is the hour's game size, derived from simulated traffic
+	// presence and participation.
+	OLEVs int
+	// BetaPerMWh is the hour's LBMP.
+	BetaPerMWh float64
+	// CongestionDegree, UnitPaymentPerMWh and Welfare come from the
+	// converged game; zero OLEVs yields zeros.
+	CongestionDegree  float64
+	UnitPaymentPerMWh float64
+	Welfare           float64
+	// EnergyKWh is the energy delivered over the hour at the
+	// scheduled power.
+	EnergyKWh float64
+	// RevenueUSD is the grid's payment collection over the hour.
+	RevenueUSD float64
+}
+
+// DayResult is a full coupled day.
+type DayResult struct {
+	Hours [24]HourOutcome
+	// TotalEnergyKWh and TotalRevenueUSD sum the day.
+	TotalEnergyKWh  float64
+	TotalRevenueUSD float64
+	// PeakHour is the hour with the most delivered energy.
+	PeakHour int
+	// MeanConcurrent is the day's average simulated vehicle presence
+	// on the lane (before participation), for diagnostics.
+	MeanConcurrent float64
+}
+
+// RunDay executes the coupled day: one 24 h traffic simulation to
+// measure hourly vehicle presence on the lane, then one pricing game
+// per hour sized by that presence and priced by that hour's LBMP.
+func RunDay(cfg DayConfig) (*DayResult, error) {
+	cfg.applyDefaults()
+	if cfg.Participation < 0 || cfg.Participation > 1 {
+		return nil, fmt.Errorf("coupling: participation %v outside [0, 1]", cfg.Participation)
+	}
+
+	day, err := grid.NewDay(cfg.Grid)
+	if err != nil {
+		return nil, err
+	}
+	presence, err := hourlyPresence(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	lineCap := pricing.LineCapacityKW(cfg.SectionLength, cfg.SpeedLimit)
+	res := &DayResult{}
+	var presenceSum float64
+	for h := 0; h < 24; h++ {
+		presenceSum += presence[h]
+		beta := day.LBMP(time.Duration(h) * time.Hour)
+		n := int(math.Round(presence[h] * cfg.Participation))
+		if n > cfg.MaxOLEVs {
+			n = cfg.MaxOLEVs
+		}
+		out := HourOutcome{Hour: h, OLEVs: n, BetaPerMWh: beta}
+		if n >= 1 {
+			_, players, err := pricing.BuildFleet(pricing.FleetConfig{
+				N:        n,
+				Velocity: cfg.SpeedLimit,
+				Seed:     cfg.Seed + int64(h)*131,
+			})
+			if err != nil {
+				return nil, err
+			}
+			game, err := pricing.Nonlinear{}.Run(pricing.Scenario{
+				Players:        players,
+				NumSections:    cfg.NumSections,
+				LineCapacityKW: lineCap,
+				Eta:            cfg.Eta,
+				BetaPerMWh:     beta,
+				Seed:           cfg.Seed + int64(h)*131,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("coupling: hour %d game: %w", h, err)
+			}
+			out.CongestionDegree = game.CongestionDegree
+			out.UnitPaymentPerMWh = game.UnitPaymentPerMWh
+			out.Welfare = game.Welfare
+			out.EnergyKWh = game.TotalPowerKW // kW over one hour
+			out.RevenueUSD = game.TotalPaymentPerHour
+		}
+		res.Hours[h] = out
+		res.TotalEnergyKWh += out.EnergyKWh
+		res.TotalRevenueUSD += out.RevenueUSD
+		if out.EnergyKWh > res.Hours[res.PeakHour].EnergyKWh {
+			res.PeakHour = h
+		}
+	}
+	res.MeanConcurrent = presenceSum / 24
+	return res, nil
+}
+
+// hourlyPresence runs the day of traffic once and returns the average
+// number of vehicles present on the road per hour (vehicle-seconds
+// divided by 3600).
+func hourlyPresence(cfg DayConfig) ([24]float64, error) {
+	var presence [24]float64
+	plan := roadnet.DefaultSignalPlan()
+	sim, err := traffic.NewSim(traffic.SimConfig{
+		RoadLength: cfg.RoadLength,
+		SpeedLimit: cfg.SpeedLimit,
+		Signal:     &plan,
+		Counts:     cfg.Counts,
+		Seed:       cfg.Seed,
+	})
+	if err != nil {
+		return presence, err
+	}
+	var seconds [24]float64
+	sim.AddObserver(func(_ string, _ units.Distance, _ units.Speed, now, dt time.Duration) {
+		h := int(now.Hours()) % 24
+		seconds[h] += dt.Seconds()
+	})
+	sim.Run()
+	for h := 0; h < 24; h++ {
+		presence[h] = seconds[h] / 3600
+	}
+	return presence, nil
+}

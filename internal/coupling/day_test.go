@@ -1,0 +1,133 @@
+package coupling
+
+import (
+	"testing"
+
+	"olevgrid/internal/trace"
+)
+
+func TestRunDayShapes(t *testing.T) {
+	res, err := RunDay(DayConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalEnergyKWh <= 0 {
+		t.Fatal("no energy delivered over the day")
+	}
+	if res.TotalRevenueUSD <= 0 {
+		t.Fatal("no revenue collected")
+	}
+	// Peak-hour energy must dwarf the overnight trough — the paper's
+	// "unpredictable load" motif.
+	peak := res.Hours[res.PeakHour].EnergyKWh
+	trough := res.Hours[3].EnergyKWh
+	if peak < 2*trough {
+		t.Errorf("peak %v kWh not well above trough %v kWh", peak, trough)
+	}
+	if res.PeakHour < 6 || res.PeakHour > 21 {
+		t.Errorf("peak hour %d should be daytime", res.PeakHour)
+	}
+	// Game sizes track traffic presence.
+	if res.Hours[17].OLEVs <= res.Hours[3].OLEVs {
+		t.Errorf("PM-peak game size %d not above overnight %d",
+			res.Hours[17].OLEVs, res.Hours[3].OLEVs)
+	}
+	if res.MeanConcurrent <= 0 {
+		t.Error("no simulated presence measured")
+	}
+	// β per hour comes from the ISO day, so it varies.
+	var distinct int
+	seen := map[float64]bool{}
+	for _, h := range res.Hours {
+		if !seen[h.BetaPerMWh] {
+			seen[h.BetaPerMWh] = true
+			distinct++
+		}
+	}
+	if distinct < 12 {
+		t.Errorf("only %d distinct hourly betas; LBMP wiring broken?", distinct)
+	}
+}
+
+func TestRunDayParticipationScalesGameSize(t *testing.T) {
+	low, err := RunDay(DayConfig{Seed: 1, Participation: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := RunDay(DayConfig{Seed: 1, Participation: 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if high.TotalEnergyKWh <= low.TotalEnergyKWh {
+		t.Errorf("60%% participation energy %v not above 10%% %v",
+			high.TotalEnergyKWh, low.TotalEnergyKWh)
+	}
+	if high.Hours[17].OLEVs <= low.Hours[17].OLEVs {
+		t.Error("participation did not scale the PM-peak game")
+	}
+}
+
+func TestRunDayWeekendShiftsThePeak(t *testing.T) {
+	weekday, err := RunDay(DayConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	weekend, err := RunDay(DayConfig{Seed: 1, Counts: trace.FlatlandsAvenueWeekend()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The weekday peak rides the commute; the weekend's sits midday.
+	if weekday.PeakHour < 6 || weekday.PeakHour > 9 {
+		if weekday.PeakHour < 16 || weekday.PeakHour > 19 {
+			t.Errorf("weekday peak hour %d not at a commute peak", weekday.PeakHour)
+		}
+	}
+	if weekend.PeakHour < 10 || weekend.PeakHour > 16 {
+		t.Errorf("weekend peak hour %d not midday", weekend.PeakHour)
+	}
+	// Overnight the weekend lane carries more chargeable traffic.
+	if weekend.Hours[0].OLEVs < weekday.Hours[0].OLEVs {
+		t.Errorf("weekend midnight OLEVs %d below weekday %d",
+			weekend.Hours[0].OLEVs, weekday.Hours[0].OLEVs)
+	}
+}
+
+func TestRunDayValidation(t *testing.T) {
+	if _, err := RunDay(DayConfig{Participation: 1.5}); err == nil {
+		t.Error("participation > 1 accepted")
+	}
+	if _, err := RunDay(DayConfig{Participation: -0.5}); err == nil {
+		t.Error("negative participation accepted")
+	}
+}
+
+func TestRunDayDeterminism(t *testing.T) {
+	a, err := RunDay(DayConfig{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunDay(DayConfig{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalEnergyKWh != b.TotalEnergyKWh || a.TotalRevenueUSD != b.TotalRevenueUSD {
+		t.Error("same seed produced different days")
+	}
+}
+
+func TestRunDayQuietProfile(t *testing.T) {
+	// A nearly empty road should produce tiny games and little energy
+	// without crashing (hours with zero OLEVs are legal).
+	var counts trace.HourlyCounts
+	counts[12] = 120 // a single active hour
+	res, err := RunDay(DayConfig{Seed: 2, Counts: counts, Participation: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Hours[3].OLEVs != 0 {
+		t.Errorf("empty hour has %d OLEVs", res.Hours[3].OLEVs)
+	}
+	if res.Hours[3].EnergyKWh != 0 {
+		t.Error("energy delivered with no vehicles")
+	}
+}

@@ -1,0 +1,80 @@
+package coupling
+
+import (
+	"time"
+
+	"olevgrid/internal/grid"
+)
+
+// GridImpact quantifies what a day of WPT charging does to the grid
+// operator — the full circle of the paper's Section III argument: the
+// forecast was made without OLEVs, so every kWh the charging lanes
+// move lands in the deficiency, and reserves must cover the worst of
+// it.
+type GridImpact struct {
+	// Day is the coupled charging day that produced the load.
+	Day *DayResult
+	// BaseMaxDeficiencyMW and LoadedMaxDeficiencyMW compare the worst
+	// forecast miss without and with the OLEV load.
+	BaseMaxDeficiencyMW   float64
+	LoadedMaxDeficiencyMW float64
+	// BasePeakMW and LoadedPeakMW compare system peaks.
+	BasePeakMW   float64
+	LoadedPeakMW float64
+	// ReserveShortfallHours counts hours where the OLEV-added
+	// deficiency exceeds the reserve sizing implied by the historical
+	// bound — the hours that force new ancillary procurement.
+	ReserveShortfallHours int
+	// ExtraAncillaryUSD prices the additional reserve energy at each
+	// hour's regulation-capacity price: reserve deficit (MW) × price
+	// ($/MW), summed over shortfall hours.
+	ExtraAncillaryUSD float64
+}
+
+// RunDayWithGridFeedback runs the coupled charging day, injects its
+// hourly load into the ISO day, and measures the operator-side
+// damage. scale multiplies the single-lane load to a deployment of
+// that many lanes (the paper's many-intersections extrapolation);
+// values below 1 are clamped to 1.
+func RunDayWithGridFeedback(cfg DayConfig, scale float64) (*GridImpact, error) {
+	cfg.applyDefaults()
+	if scale < 1 {
+		scale = 1
+	}
+	day, err := RunDay(cfg)
+	if err != nil {
+		return nil, err
+	}
+	baseDay, err := grid.NewDay(cfg.Grid)
+	if err != nil {
+		return nil, err
+	}
+
+	var hourly [24]float64
+	for h, out := range day.Hours {
+		hourly[h] = out.EnergyKWh * scale // kWh over an hour == average kW
+	}
+	loaded := baseDay.WithOLEVLoad(hourly)
+
+	impact := &GridImpact{
+		Day:                   day,
+		BaseMaxDeficiencyMW:   baseDay.MaxAbsDeficiencyMW(),
+		LoadedMaxDeficiencyMW: loaded.MaxAbsDeficiencyMW(),
+		BasePeakMW:            baseDay.PeakLoadMW(),
+		LoadedPeakMW:          loaded.PeakLoadMW(),
+	}
+	// Reserves were sized to the historical worst miss; any hour the
+	// loaded deficiency exceeds it needs new procurement.
+	sizing := impact.BaseMaxDeficiencyMW
+	for h := 0; h < 24; h++ {
+		at := time.Duration(h) * time.Hour
+		deficit := loaded.DeficiencyMW(at) - sizing
+		if deficit <= 0 {
+			continue
+		}
+		impact.ReserveShortfallHours++
+		_, regCapacity, _ := loaded.Ancillary(at)
+		impact.ExtraAncillaryUSD += deficit * regCapacity
+	}
+	return impact, nil
+}

@@ -1,0 +1,59 @@
+package coupling
+
+import "testing"
+
+func TestGridFeedbackAtScaleRaisesDeficiency(t *testing.T) {
+	// One lane is grid-noise; a metropolitan deployment (the paper's
+	// thousands of intersections) is not.
+	impact, err := RunDayWithGridFeedback(DayConfig{Seed: 1}, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if impact.LoadedMaxDeficiencyMW <= impact.BaseMaxDeficiencyMW {
+		t.Errorf("deficiency did not grow: %v vs base %v",
+			impact.LoadedMaxDeficiencyMW, impact.BaseMaxDeficiencyMW)
+	}
+	if impact.LoadedPeakMW <= impact.BasePeakMW {
+		t.Errorf("system peak did not grow: %v vs %v",
+			impact.LoadedPeakMW, impact.BasePeakMW)
+	}
+	if impact.ReserveShortfallHours == 0 {
+		t.Error("no reserve shortfall hours at metropolitan scale")
+	}
+	if impact.ExtraAncillaryUSD <= 0 {
+		t.Error("no extra ancillary cost priced")
+	}
+	if impact.Day.TotalEnergyKWh <= 0 {
+		t.Error("no charging happened")
+	}
+}
+
+func TestGridFeedbackSingleLaneIsNoise(t *testing.T) {
+	impact, err := RunDayWithGridFeedback(DayConfig{Seed: 1}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A single lane moves <1 MW against a multi-GW system: the worst
+	// miss barely moves and reserves still cover it.
+	growth := impact.LoadedMaxDeficiencyMW - impact.BaseMaxDeficiencyMW
+	if growth > 2 {
+		t.Errorf("single lane grew the worst miss by %v MW", growth)
+	}
+	if impact.ReserveShortfallHours != 0 {
+		t.Errorf("single lane caused %d shortfall hours", impact.ReserveShortfallHours)
+	}
+}
+
+func TestGridFeedbackScaleClamped(t *testing.T) {
+	a, err := RunDayWithGridFeedback(DayConfig{Seed: 2}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunDayWithGridFeedback(DayConfig{Seed: 2}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.LoadedMaxDeficiencyMW != b.LoadedMaxDeficiencyMW {
+		t.Error("scale < 1 not clamped to 1")
+	}
+}

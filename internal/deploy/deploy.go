@@ -1,0 +1,240 @@
+// Package deploy implements the paper's stated future work on optimal
+// deployment of charging sections: given a day of simulated traffic,
+// measure where vehicles actually spend time on the road, then choose
+// non-overlapping section positions that maximize the vehicle-time a
+// fixed budget of sections covers. The optimizer makes the Fig. 3
+// observation — put sections where vehicles queue — quantitative: on a
+// signalized arterial it provably concentrates the budget at the stop
+// line.
+package deploy
+
+import (
+	"fmt"
+	"time"
+
+	"olevgrid/internal/traffic"
+	"olevgrid/internal/units"
+	"olevgrid/internal/wpt"
+)
+
+// OccupancyProfile is the spatial histogram of vehicle presence:
+// Bins[i] holds the vehicle-seconds spent in
+// [i·BinSize, (i+1)·BinSize) over the measured window.
+type OccupancyProfile struct {
+	BinSize units.Distance
+	Bins    []float64
+}
+
+// RoadLength returns the profiled length.
+func (p *OccupancyProfile) RoadLength() units.Distance {
+	return units.Distance(float64(len(p.Bins)) * p.BinSize.Meters())
+}
+
+// Total returns the total vehicle-seconds observed.
+func (p *OccupancyProfile) Total() float64 {
+	var sum float64
+	for _, b := range p.Bins {
+		sum += b
+	}
+	return sum
+}
+
+// MeasureOccupancy runs the traffic simulation and accumulates the
+// spatial occupancy histogram at the given bin size.
+func MeasureOccupancy(cfg traffic.SimConfig, binSize units.Distance) (*OccupancyProfile, error) {
+	if binSize <= 0 {
+		return nil, fmt.Errorf("deploy: bin size %v must be positive", binSize)
+	}
+	sim, err := traffic.NewSim(cfg)
+	if err != nil {
+		return nil, err
+	}
+	nBins := int(cfg.RoadLength.Meters()/binSize.Meters() + 0.5)
+	if nBins < 1 {
+		return nil, fmt.Errorf("deploy: road %v shorter than one bin %v", cfg.RoadLength, binSize)
+	}
+	prof := &OccupancyProfile{BinSize: binSize, Bins: make([]float64, nBins)}
+	sim.AddObserver(func(_ string, pos units.Distance, _ units.Speed, _, dt time.Duration) {
+		idx := int(pos.Meters() / binSize.Meters())
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= nBins {
+			idx = nBins - 1
+		}
+		prof.Bins[idx] += dt.Seconds()
+	})
+	sim.Run()
+	return prof, nil
+}
+
+// Plan is a chosen set of section positions.
+type Plan struct {
+	// Starts are the upstream edges of the chosen sections, sorted.
+	Starts []units.Distance
+	// CoveredVehicleSeconds is the occupancy the plan captures — the
+	// objective value.
+	CoveredVehicleSeconds float64
+}
+
+// HarvestEstimate converts covered vehicle-time into energy at a
+// section's rated power — the planning-level proxy for Fig. 3(c).
+func (p Plan) HarvestEstimate(rated units.Power) units.Energy {
+	return rated.Energy(time.Duration(p.CoveredVehicleSeconds * float64(time.Second)))
+}
+
+// Lane materializes the plan as a wpt.Lane.
+func (p Plan) Lane(roadLen units.Distance, spec wpt.SectionSpec) (*wpt.Lane, error) {
+	sections := make([]wpt.Section, len(p.Starts))
+	for i, start := range p.Starts {
+		sections[i] = wpt.Section{
+			ID:          i + 1,
+			Start:       start,
+			Length:      spec.Length,
+			LineVoltage: spec.LineVoltage,
+			MaxCurrent:  spec.MaxCurrent,
+			RatedPower:  spec.RatedPower,
+		}
+	}
+	return wpt.NewLane(roadLen, sections)
+}
+
+// OptimizePlacement chooses up to k non-overlapping sections of the
+// given length that maximize covered occupancy, by dynamic
+// programming over bin positions (exact for the discretized problem).
+func OptimizePlacement(prof *OccupancyProfile, sectionLen units.Distance, k int) (Plan, error) {
+	span, err := sectionSpan(prof, sectionLen, k)
+	if err != nil {
+		return Plan{}, err
+	}
+	n := len(prof.Bins)
+	weights := windowWeights(prof.Bins, span)
+
+	// dp[i][j]: best value using bins i.. with j sections left.
+	// choose[i][j]: whether a section starts at bin i in the optimum.
+	dp := make([][]float64, n+1)
+	choose := make([][]bool, n+1)
+	for i := range dp {
+		dp[i] = make([]float64, k+1)
+		choose[i] = make([]bool, k+1)
+	}
+	for i := n - 1; i >= 0; i-- {
+		for j := 1; j <= k; j++ {
+			skip := dp[i+1][j]
+			take := -1.0
+			if i+span <= n {
+				take = weights[i] + dp[i+span][j-1]
+			}
+			if take > skip {
+				dp[i][j] = take
+				choose[i][j] = true
+			} else {
+				dp[i][j] = skip
+			}
+		}
+	}
+
+	var plan Plan
+	for i, j := 0, k; i < n && j > 0; {
+		if choose[i][j] {
+			plan.Starts = append(plan.Starts, units.Distance(float64(i)*prof.BinSize.Meters()))
+			plan.CoveredVehicleSeconds += weights[i]
+			i += span
+			j--
+		} else {
+			i++
+		}
+	}
+	return plan, nil
+}
+
+// GreedyPlacement repeatedly takes the best remaining non-overlapping
+// window — the natural baseline the DP is compared against.
+func GreedyPlacement(prof *OccupancyProfile, sectionLen units.Distance, k int) (Plan, error) {
+	span, err := sectionSpan(prof, sectionLen, k)
+	if err != nil {
+		return Plan{}, err
+	}
+	n := len(prof.Bins)
+	weights := windowWeights(prof.Bins, span)
+	blocked := make([]bool, n)
+
+	var plan Plan
+	for picked := 0; picked < k; picked++ {
+		best, bestIdx := -1.0, -1
+		for i := 0; i+span <= n; i++ {
+			if overlapsBlocked(blocked, i, span) {
+				continue
+			}
+			if weights[i] > best {
+				best, bestIdx = weights[i], i
+			}
+		}
+		if bestIdx < 0 {
+			break
+		}
+		for b := bestIdx; b < bestIdx+span; b++ {
+			blocked[b] = true
+		}
+		plan.Starts = append(plan.Starts, units.Distance(float64(bestIdx)*prof.BinSize.Meters()))
+		plan.CoveredVehicleSeconds += best
+	}
+	sortDistances(plan.Starts)
+	return plan, nil
+}
+
+func sectionSpan(prof *OccupancyProfile, sectionLen units.Distance, k int) (int, error) {
+	if prof == nil || len(prof.Bins) == 0 {
+		return 0, fmt.Errorf("deploy: empty occupancy profile")
+	}
+	if k < 1 {
+		return 0, fmt.Errorf("deploy: need at least one section, got %d", k)
+	}
+	if sectionLen <= 0 {
+		return 0, fmt.Errorf("deploy: section length %v must be positive", sectionLen)
+	}
+	span := int(sectionLen.Meters()/prof.BinSize.Meters() + 0.5)
+	if span < 1 {
+		span = 1
+	}
+	if span > len(prof.Bins) {
+		return 0, fmt.Errorf("deploy: section %v longer than road %v", sectionLen, prof.RoadLength())
+	}
+	return span, nil
+}
+
+// windowWeights[i] is the occupancy covered by a section starting at
+// bin i, via prefix sums.
+func windowWeights(bins []float64, span int) []float64 {
+	n := len(bins)
+	prefix := make([]float64, n+1)
+	for i, b := range bins {
+		prefix[i+1] = prefix[i] + b
+	}
+	weights := make([]float64, n)
+	for i := 0; i < n; i++ {
+		end := i + span
+		if end > n {
+			end = n
+		}
+		weights[i] = prefix[end] - prefix[i]
+	}
+	return weights
+}
+
+func overlapsBlocked(blocked []bool, start, span int) bool {
+	for b := start; b < start+span && b < len(blocked); b++ {
+		if blocked[b] {
+			return true
+		}
+	}
+	return false
+}
+
+func sortDistances(ds []units.Distance) {
+	for i := 1; i < len(ds); i++ {
+		for j := i; j > 0 && ds[j] < ds[j-1]; j-- {
+			ds[j], ds[j-1] = ds[j-1], ds[j]
+		}
+	}
+}

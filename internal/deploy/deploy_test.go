@@ -1,0 +1,232 @@
+package deploy
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"olevgrid/internal/roadnet"
+	"olevgrid/internal/stats"
+	"olevgrid/internal/trace"
+	"olevgrid/internal/traffic"
+	"olevgrid/internal/units"
+	"olevgrid/internal/wpt"
+)
+
+func syntheticProfile(bins []float64) *OccupancyProfile {
+	return &OccupancyProfile{BinSize: units.Meters(10), Bins: bins}
+}
+
+func TestOptimizePlacementPicksTheMass(t *testing.T) {
+	// Occupancy concentrated in bins 6..7; a single 20 m (2-bin)
+	// section must land exactly there.
+	prof := syntheticProfile([]float64{1, 1, 1, 1, 1, 1, 50, 50, 1, 1})
+	plan, err := OptimizePlacement(prof, units.Meters(20), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Starts) != 1 || plan.Starts[0] != units.Meters(60) {
+		t.Errorf("plan starts %v, want [60m]", plan.Starts)
+	}
+	if plan.CoveredVehicleSeconds != 100 {
+		t.Errorf("covered %v, want 100", plan.CoveredVehicleSeconds)
+	}
+}
+
+func TestOptimizePlacementNonOverlapping(t *testing.T) {
+	prof := syntheticProfile([]float64{10, 9, 8, 7, 6, 5, 4, 3, 2, 1})
+	plan, err := OptimizePlacement(prof, units.Meters(30), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Starts) != 3 {
+		t.Fatalf("placed %d sections, want 3", len(plan.Starts))
+	}
+	for i := 1; i < len(plan.Starts); i++ {
+		if plan.Starts[i]-plan.Starts[i-1] < units.Meters(30) {
+			t.Errorf("sections overlap: %v", plan.Starts)
+		}
+	}
+	// Everything fits: 3×3 bins minimum 9 ≤ 10 → covered = 55 minus
+	// the one dropped bin (the smallest one the DP can spare).
+	if plan.CoveredVehicleSeconds < 54 {
+		t.Errorf("covered %v, want ≥ 54 of 55", plan.CoveredVehicleSeconds)
+	}
+}
+
+func TestOptimizeBeatsOrMatchesGreedy(t *testing.T) {
+	r := stats.NewRand(13)
+	for trial := 0; trial < 50; trial++ {
+		bins := make([]float64, 30+r.Intn(40))
+		for i := range bins {
+			bins[i] = r.Float64() * 100
+		}
+		prof := syntheticProfile(bins)
+		k := 1 + r.Intn(4)
+		secLen := units.Meters(float64(10 * (1 + r.Intn(5))))
+
+		opt, err := OptimizePlacement(prof, secLen, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		greedy, err := GreedyPlacement(prof, secLen, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if opt.CoveredVehicleSeconds < greedy.CoveredVehicleSeconds-1e-9 {
+			t.Fatalf("trial %d: DP %v below greedy %v",
+				trial, opt.CoveredVehicleSeconds, greedy.CoveredVehicleSeconds)
+		}
+	}
+}
+
+func TestPlacementValidation(t *testing.T) {
+	prof := syntheticProfile([]float64{1, 2, 3})
+	if _, err := OptimizePlacement(nil, units.Meters(10), 1); err == nil {
+		t.Error("nil profile accepted")
+	}
+	if _, err := OptimizePlacement(prof, units.Meters(10), 0); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := OptimizePlacement(prof, 0, 1); err == nil {
+		t.Error("zero length accepted")
+	}
+	if _, err := OptimizePlacement(prof, units.Meters(100), 1); err == nil {
+		t.Error("section longer than road accepted")
+	}
+	if _, err := GreedyPlacement(prof, units.Meters(100), 1); err == nil {
+		t.Error("greedy: section longer than road accepted")
+	}
+}
+
+func TestMeasureOccupancyQueuesAtStopLine(t *testing.T) {
+	// The whole point: on a signalized arterial the occupancy mass
+	// sits just upstream of the stop line.
+	plan := roadnet.DefaultSignalPlan()
+	cfg := traffic.SimConfig{
+		RoadLength: units.Meters(1000),
+		SpeedLimit: units.KMH(50),
+		Signal:     &plan,
+		Counts:     trace.FlatlandsAvenue(),
+		Seed:       1,
+		Start:      16 * time.Hour,
+		End:        18 * time.Hour,
+	}
+	prof, err := MeasureOccupancy(cfg, units.Meters(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.Total() <= 0 {
+		t.Fatal("no occupancy measured")
+	}
+	// The last 200 m should hold several times the occupancy of the
+	// 200 m mid-block stretch.
+	last, mid := 0.0, 0.0
+	n := len(prof.Bins)
+	for i := n - 20; i < n; i++ {
+		last += prof.Bins[i]
+	}
+	for i := n/2 - 10; i < n/2+10; i++ {
+		mid += prof.Bins[i]
+	}
+	if last < 2*mid {
+		t.Errorf("stop-line occupancy %v not well above mid-block %v", last, mid)
+	}
+}
+
+func TestOptimalPlanConcentratesAtStopLine(t *testing.T) {
+	plan := roadnet.DefaultSignalPlan()
+	cfg := traffic.SimConfig{
+		RoadLength: units.Meters(1000),
+		SpeedLimit: units.KMH(50),
+		Signal:     &plan,
+		Counts:     trace.FlatlandsAvenue(),
+		Seed:       1,
+		Start:      16 * time.Hour,
+		End:        18 * time.Hour,
+	}
+	prof, err := MeasureOccupancy(cfg, units.Meters(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, err := OptimizePlacement(prof, units.Meters(50), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(best.Starts) == 0 {
+		t.Fatal("no sections placed")
+	}
+	// At least two of the three sections land in the downstream
+	// quarter of the road.
+	var downstream int
+	for _, s := range best.Starts {
+		if s >= units.Meters(750) {
+			downstream++
+		}
+	}
+	if downstream < 2 {
+		t.Errorf("only %d of %v sections near the stop line", downstream, best.Starts)
+	}
+	// And the optimized plan beats the paper's uniform default.
+	uniformValue := uniformPlanValue(t, prof, units.Meters(50), 3)
+	if best.CoveredVehicleSeconds <= uniformValue {
+		t.Errorf("optimal %v not above uniform %v", best.CoveredVehicleSeconds, uniformValue)
+	}
+}
+
+func uniformPlanValue(t *testing.T, prof *OccupancyProfile, secLen units.Distance, k int) float64 {
+	t.Helper()
+	lane, err := wpt.UniformLane(prof.RoadLength(), k, wpt.SectionSpec{
+		Length: secLen, LineVoltage: 399, MaxCurrent: 240, RatedPower: units.KW(100),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total float64
+	for _, s := range lane.Sections() {
+		from := int(s.Start.Meters() / prof.BinSize.Meters())
+		to := int(s.End().Meters() / prof.BinSize.Meters())
+		for b := from; b < to && b < len(prof.Bins); b++ {
+			total += prof.Bins[b]
+		}
+	}
+	return total
+}
+
+func TestPlanLaneAndHarvest(t *testing.T) {
+	plan := Plan{
+		Starts:                []units.Distance{units.Meters(100), units.Meters(400)},
+		CoveredVehicleSeconds: 7200,
+	}
+	lane, err := plan.Lane(units.Meters(1000), wpt.MotivationSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lane.NumSections() != 2 {
+		t.Errorf("lane has %d sections", lane.NumSections())
+	}
+	// 100 kW over 7200 vehicle-seconds = 200 kWh.
+	got := plan.HarvestEstimate(units.KW(100)).KWh()
+	if math.Abs(got-200) > 1e-9 {
+		t.Errorf("harvest = %v kWh, want 200", got)
+	}
+}
+
+func TestMeasureOccupancyValidation(t *testing.T) {
+	cfg := traffic.SimConfig{
+		RoadLength: units.Meters(100),
+		SpeedLimit: units.KMH(50),
+		Counts:     trace.FlatlandsAvenue(),
+	}
+	if _, err := MeasureOccupancy(cfg, 0); err == nil {
+		t.Error("zero bin size accepted")
+	}
+	if _, err := MeasureOccupancy(cfg, units.Meters(500)); err == nil {
+		t.Error("bin larger than road accepted")
+	}
+	bad := cfg
+	bad.RoadLength = 0
+	if _, err := MeasureOccupancy(bad, units.Meters(10)); err == nil {
+		t.Error("invalid sim config accepted")
+	}
+}

@@ -1,0 +1,231 @@
+// Package ev models the online electric vehicle (OLEV): its battery
+// pack, state of charge (SOC) dynamics, and the paper's Eq. (2) power
+// headroom that limits how much power a vehicle can usefully accept
+// from the wireless power transfer system.
+//
+// The default pack constants are the ones the paper takes from the
+// Chevrolet Spark datasheet: 46.2 Ah, 399 V nominal, 325 V cutoff,
+// 240 A maximum current, with SOC confined to [0.2, 0.9] to protect
+// battery life.
+package ev
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"olevgrid/internal/units"
+)
+
+// BatteryPack describes the fixed electrical characteristics of an
+// OLEV battery.
+type BatteryPack struct {
+	// CapacityAh is the charge capacity in ampere-hours.
+	CapacityAh float64
+	// NominalVoltage is the regular operating voltage.
+	NominalVoltage units.Voltage
+	// CutoffVoltage is the discharge cutoff voltage.
+	CutoffVoltage units.Voltage
+	// MaxCurrent is the maximum rated charge/discharge current.
+	MaxCurrent units.Current
+}
+
+// SparkPack returns the Chevrolet Spark pack the paper's evaluation
+// uses: 46.2 Ah, 399 V regular, 325 V cutoff, 240 A.
+func SparkPack() BatteryPack {
+	return BatteryPack{
+		CapacityAh:     46.2,
+		NominalVoltage: 399,
+		CutoffVoltage:  325,
+		MaxCurrent:     240,
+	}
+}
+
+// Validate reports whether the pack's parameters are physically
+// sensible.
+func (b BatteryPack) Validate() error {
+	switch {
+	case b.CapacityAh <= 0:
+		return fmt.Errorf("ev: capacity must be positive, got %vAh", b.CapacityAh)
+	case b.NominalVoltage <= 0:
+		return fmt.Errorf("ev: nominal voltage must be positive, got %v", b.NominalVoltage)
+	case b.CutoffVoltage <= 0 || b.CutoffVoltage > b.NominalVoltage:
+		return fmt.Errorf("ev: cutoff voltage %v must be in (0, %v]", b.CutoffVoltage, b.NominalVoltage)
+	case b.MaxCurrent <= 0:
+		return fmt.Errorf("ev: max current must be positive, got %vA", b.MaxCurrent)
+	}
+	return nil
+}
+
+// Capacity returns the energy capacity of the pack at nominal voltage.
+func (b BatteryPack) Capacity() units.Energy {
+	return units.KWh(b.CapacityAh * b.NominalVoltage.Volts() / 1000)
+}
+
+// MaxPower returns the maximum power the pack can accept, V * I_max.
+// This is the P_max of the paper's Eq. (2).
+func (b BatteryPack) MaxPower() units.Power {
+	return b.NominalVoltage.Times(b.MaxCurrent)
+}
+
+// SOCLimits bound the usable state-of-charge window.
+type SOCLimits struct {
+	Min float64
+	Max float64
+}
+
+// DefaultSOCLimits returns the paper's window: SOC in [0.2, 0.9].
+func DefaultSOCLimits() SOCLimits { return SOCLimits{Min: 0.2, Max: 0.9} }
+
+// Validate reports whether the limits form a proper sub-interval of
+// [0, 1].
+func (l SOCLimits) Validate() error {
+	if l.Min < 0 || l.Max > 1 || l.Min >= l.Max {
+		return fmt.Errorf("ev: SOC limits [%v, %v] must satisfy 0 <= min < max <= 1", l.Min, l.Max)
+	}
+	return nil
+}
+
+// Battery is a mutable battery with a pack definition and a current
+// state of charge. It is not safe for concurrent use; each simulated
+// vehicle owns its battery.
+type Battery struct {
+	pack   BatteryPack
+	limits SOCLimits
+	soc    float64
+}
+
+// NewBattery returns a battery at the given initial SOC, clamped into
+// the limit window. It returns an error if the pack or limits are
+// invalid.
+func NewBattery(pack BatteryPack, limits SOCLimits, initialSOC float64) (*Battery, error) {
+	if err := pack.Validate(); err != nil {
+		return nil, err
+	}
+	if err := limits.Validate(); err != nil {
+		return nil, err
+	}
+	if math.IsNaN(initialSOC) {
+		return nil, fmt.Errorf("ev: initial SOC is NaN")
+	}
+	return &Battery{
+		pack:   pack,
+		limits: limits,
+		soc:    units.Clamp(initialSOC, limits.Min, limits.Max),
+	}, nil
+}
+
+// Pack returns the battery's pack definition.
+func (b *Battery) Pack() BatteryPack { return b.pack }
+
+// Limits returns the battery's SOC window.
+func (b *Battery) Limits() SOCLimits { return b.limits }
+
+// SOC returns the current state of charge in [limits.Min, limits.Max].
+func (b *Battery) SOC() float64 { return b.soc }
+
+// Stored returns the energy currently stored, SOC * capacity.
+func (b *Battery) Stored() units.Energy {
+	return units.Energy(b.soc * b.pack.Capacity().KWh())
+}
+
+// Headroom returns the energy the battery can still accept before
+// reaching the SOC ceiling.
+func (b *Battery) Headroom() units.Energy {
+	return units.Energy((b.limits.Max - b.soc) * b.pack.Capacity().KWh())
+}
+
+// Charge adds energy to the battery, clamping at the SOC ceiling, and
+// returns the energy actually absorbed. Negative input is ignored.
+func (b *Battery) Charge(e units.Energy) units.Energy {
+	if e <= 0 {
+		return 0
+	}
+	absorbed := math.Min(e.KWh(), b.Headroom().KWh())
+	b.soc += absorbed / b.pack.Capacity().KWh()
+	if b.soc > b.limits.Max {
+		b.soc = b.limits.Max
+	}
+	return units.KWh(absorbed)
+}
+
+// Discharge removes energy from the battery, clamping at the SOC
+// floor, and returns the energy actually delivered. Negative input is
+// ignored.
+func (b *Battery) Discharge(e units.Energy) units.Energy {
+	if e <= 0 {
+		return 0
+	}
+	available := (b.soc - b.limits.Min) * b.pack.Capacity().KWh()
+	delivered := math.Min(e.KWh(), available)
+	b.soc -= delivered / b.pack.Capacity().KWh()
+	if b.soc < b.limits.Min {
+		b.soc = b.limits.Min
+	}
+	return units.KWh(delivered)
+}
+
+// ChargeAtPower charges at a constant power for a duration, clamped by
+// both the pack's maximum power and the SOC ceiling. It returns the
+// energy absorbed.
+func (b *Battery) ChargeAtPower(p units.Power, d time.Duration) units.Energy {
+	if p <= 0 || d <= 0 {
+		return 0
+	}
+	if max := b.pack.MaxPower(); p > max {
+		p = max
+	}
+	return b.Charge(p.Energy(d))
+}
+
+// TaperThresholdSOC is where the constant-current phase hands over to
+// constant-voltage: above this SOC the acceptable charge power ramps
+// down linearly to zero at the ceiling, the standard CC-CV profile.
+const TaperThresholdSOC = 0.8
+
+// AcceptablePower returns the charge power the battery will actually
+// draw when offered `offered`: the full offer (capped at the pack
+// maximum) during the constant-current phase, tapering linearly to
+// zero between TaperThresholdSOC and the SOC ceiling. The WPT system
+// cannot push power into a nearly full pack no matter what the
+// schedule says, so allocators use this to derate near-full vehicles.
+func (b *Battery) AcceptablePower(offered units.Power) units.Power {
+	if offered <= 0 {
+		return 0
+	}
+	if max := b.pack.MaxPower(); offered > max {
+		offered = max
+	}
+	ceiling := b.limits.Max
+	if b.soc >= ceiling {
+		return 0
+	}
+	if b.soc <= TaperThresholdSOC {
+		return offered
+	}
+	frac := (ceiling - b.soc) / (ceiling - TaperThresholdSOC)
+	return units.Power(offered.KW() * frac)
+}
+
+// ChargeWithTaper charges for a duration at the offered power filtered
+// through the CC-CV taper, stepping in slices so the taper tracks the
+// rising SOC within the interval. It returns the energy absorbed.
+func (b *Battery) ChargeWithTaper(offered units.Power, d time.Duration) units.Energy {
+	if offered <= 0 || d <= 0 {
+		return 0
+	}
+	const slices = 16
+	step := d / slices
+	if step <= 0 {
+		step = d
+	}
+	var absorbed units.Energy
+	for elapsed := time.Duration(0); elapsed < d; elapsed += step {
+		p := b.AcceptablePower(offered)
+		if p <= 0 {
+			break
+		}
+		absorbed += b.Charge(p.Energy(step))
+	}
+	return absorbed
+}

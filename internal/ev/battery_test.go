@@ -1,0 +1,262 @@
+package ev
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"olevgrid/internal/units"
+)
+
+func TestSparkPackConstants(t *testing.T) {
+	p := SparkPack()
+	if p.CapacityAh != 46.2 || p.NominalVoltage != 399 || p.CutoffVoltage != 325 || p.MaxCurrent != 240 {
+		t.Errorf("SparkPack = %+v, want the paper's Chevrolet Spark constants", p)
+	}
+	if err := p.Validate(); err != nil {
+		t.Errorf("SparkPack invalid: %v", err)
+	}
+	// 46.2Ah * 399V = 18.4338 kWh.
+	if got := p.Capacity().KWh(); math.Abs(got-18.4338) > 1e-9 {
+		t.Errorf("Capacity = %v kWh, want 18.4338", got)
+	}
+	// 399V * 240A = 95.76 kW.
+	if got := p.MaxPower().KW(); math.Abs(got-95.76) > 1e-9 {
+		t.Errorf("MaxPower = %v kW, want 95.76", got)
+	}
+}
+
+func TestBatteryPackValidate(t *testing.T) {
+	base := SparkPack()
+	tests := []struct {
+		name   string
+		mutate func(*BatteryPack)
+	}{
+		{name: "zero capacity", mutate: func(p *BatteryPack) { p.CapacityAh = 0 }},
+		{name: "negative capacity", mutate: func(p *BatteryPack) { p.CapacityAh = -1 }},
+		{name: "zero voltage", mutate: func(p *BatteryPack) { p.NominalVoltage = 0 }},
+		{name: "cutoff above nominal", mutate: func(p *BatteryPack) { p.CutoffVoltage = 500 }},
+		{name: "zero cutoff", mutate: func(p *BatteryPack) { p.CutoffVoltage = 0 }},
+		{name: "zero current", mutate: func(p *BatteryPack) { p.MaxCurrent = 0 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p := base
+			tt.mutate(&p)
+			if err := p.Validate(); err == nil {
+				t.Errorf("Validate(%+v) = nil, want error", p)
+			}
+		})
+	}
+}
+
+func TestSOCLimitsValidate(t *testing.T) {
+	if err := DefaultSOCLimits().Validate(); err != nil {
+		t.Errorf("default limits invalid: %v", err)
+	}
+	bad := []SOCLimits{
+		{Min: -0.1, Max: 0.9},
+		{Min: 0.2, Max: 1.1},
+		{Min: 0.9, Max: 0.2},
+		{Min: 0.5, Max: 0.5},
+	}
+	for _, l := range bad {
+		if err := l.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", l)
+		}
+	}
+}
+
+func mustBattery(t *testing.T, soc float64) *Battery {
+	t.Helper()
+	b, err := NewBattery(SparkPack(), DefaultSOCLimits(), soc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestNewBatteryClampsSOC(t *testing.T) {
+	if got := mustBattery(t, 0.05).SOC(); got != 0.2 {
+		t.Errorf("SOC clamped to %v, want 0.2", got)
+	}
+	if got := mustBattery(t, 0.99).SOC(); got != 0.9 {
+		t.Errorf("SOC clamped to %v, want 0.9", got)
+	}
+	if _, err := NewBattery(SparkPack(), DefaultSOCLimits(), math.NaN()); err == nil {
+		t.Error("NaN SOC accepted")
+	}
+	if _, err := NewBattery(BatteryPack{}, DefaultSOCLimits(), 0.5); err == nil {
+		t.Error("invalid pack accepted")
+	}
+	if _, err := NewBattery(SparkPack(), SOCLimits{Min: 1, Max: 0}, 0.5); err == nil {
+		t.Error("invalid limits accepted")
+	}
+}
+
+func TestBatteryChargeDischarge(t *testing.T) {
+	b := mustBattery(t, 0.5)
+	cap := b.Pack().Capacity().KWh()
+
+	absorbed := b.Charge(units.KWh(1))
+	if math.Abs(absorbed.KWh()-1) > 1e-9 {
+		t.Errorf("absorbed %v, want 1kWh", absorbed)
+	}
+	if want := 0.5 + 1/cap; math.Abs(b.SOC()-want) > 1e-12 {
+		t.Errorf("SOC = %v, want %v", b.SOC(), want)
+	}
+
+	delivered := b.Discharge(units.KWh(2))
+	if math.Abs(delivered.KWh()-2) > 1e-9 {
+		t.Errorf("delivered %v, want 2kWh", delivered)
+	}
+
+	// Overcharge clamps at the ceiling.
+	absorbed = b.Charge(units.KWh(1000))
+	if b.SOC() != 0.9 {
+		t.Errorf("SOC after overcharge = %v, want 0.9", b.SOC())
+	}
+	if absorbed.KWh() >= 1000 {
+		t.Errorf("absorbed %v should be limited by headroom", absorbed)
+	}
+	if got := b.Headroom().KWh(); got != 0 {
+		t.Errorf("headroom at ceiling = %v, want 0", got)
+	}
+
+	// Overdischarge clamps at the floor.
+	delivered = b.Discharge(units.KWh(1000))
+	if math.Abs(b.SOC()-0.2) > 1e-12 {
+		t.Errorf("SOC after overdischarge = %v, want 0.2", b.SOC())
+	}
+	if want := 0.7 * cap; math.Abs(delivered.KWh()-want) > 1e-9 {
+		t.Errorf("delivered %v, want %v (full usable window)", delivered, want)
+	}
+}
+
+func TestBatteryIgnoresNegativeAmounts(t *testing.T) {
+	b := mustBattery(t, 0.5)
+	if got := b.Charge(units.KWh(-1)); got != 0 {
+		t.Errorf("Charge(-1) = %v", got)
+	}
+	if got := b.Discharge(units.KWh(-1)); got != 0 {
+		t.Errorf("Discharge(-1) = %v", got)
+	}
+	if b.SOC() != 0.5 {
+		t.Errorf("SOC changed to %v", b.SOC())
+	}
+}
+
+func TestBatterySOCInvariant(t *testing.T) {
+	// Property: no sequence of charges and discharges can push SOC
+	// outside the limit window, and energy conservation holds.
+	f := func(ops []float64) bool {
+		b := mustBatteryQuick()
+		for _, op := range ops {
+			if math.IsNaN(op) || math.IsInf(op, 0) {
+				continue
+			}
+			amt := units.KWh(math.Mod(math.Abs(op), 50))
+			if op > 0 {
+				b.Charge(amt)
+			} else {
+				b.Discharge(amt)
+			}
+			if b.SOC() < 0.2-1e-12 || b.SOC() > 0.9+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func mustBatteryQuick() *Battery {
+	b, err := NewBattery(SparkPack(), DefaultSOCLimits(), 0.5)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+func TestChargeAtPower(t *testing.T) {
+	b := mustBattery(t, 0.5)
+	got := b.ChargeAtPower(units.KW(50), time.Minute)
+	if want := 50.0 / 60; math.Abs(got.KWh()-want) > 1e-9 {
+		t.Errorf("ChargeAtPower = %v, want %v kWh", got, want)
+	}
+
+	// Power above pack maximum is clamped to MaxPower (95.76 kW).
+	b2 := mustBattery(t, 0.5)
+	got = b2.ChargeAtPower(units.KW(500), time.Minute)
+	if want := 95.76 / 60; math.Abs(got.KWh()-want) > 1e-9 {
+		t.Errorf("clamped ChargeAtPower = %v, want %v kWh", got, want)
+	}
+
+	if got := b.ChargeAtPower(units.KW(-5), time.Minute); got != 0 {
+		t.Errorf("negative power absorbed %v", got)
+	}
+	if got := b.ChargeAtPower(units.KW(5), -time.Minute); got != 0 {
+		t.Errorf("negative duration absorbed %v", got)
+	}
+}
+
+func TestAcceptablePowerTaper(t *testing.T) {
+	// Constant-current region: full offer passes.
+	b := mustBattery(t, 0.5)
+	if got := b.AcceptablePower(units.KW(50)); got != units.KW(50) {
+		t.Errorf("CC region accepted %v, want 50kW", got)
+	}
+	// Offer above pack max clamps.
+	if got := b.AcceptablePower(units.KW(500)); math.Abs(got.KW()-95.76) > 1e-9 {
+		t.Errorf("clamped to %v, want 95.76", got)
+	}
+	// Taper region: halfway between threshold 0.8 and ceiling 0.9
+	// passes half the offer.
+	mid := mustBattery(t, 0.85)
+	if got := mid.AcceptablePower(units.KW(50)); math.Abs(got.KW()-25) > 1e-9 {
+		t.Errorf("taper midpoint accepted %v, want 25kW", got)
+	}
+	// At the ceiling nothing passes.
+	full := mustBattery(t, 0.9)
+	if got := full.AcceptablePower(units.KW(50)); got != 0 {
+		t.Errorf("full pack accepted %v", got)
+	}
+	if got := full.AcceptablePower(units.KW(-3)); got != 0 {
+		t.Errorf("negative offer accepted %v", got)
+	}
+}
+
+func TestChargeWithTaperAbsorbsLessNearFull(t *testing.T) {
+	// Same offer, same duration: a pack in the CC region absorbs more
+	// than one in the taper region.
+	cc := mustBattery(t, 0.5)
+	cv := mustBattery(t, 0.85)
+	offer := units.KW(60)
+	eCC := cc.ChargeWithTaper(offer, 5*time.Minute)
+	eCV := cv.ChargeWithTaper(offer, 5*time.Minute)
+	if eCV >= eCC {
+		t.Errorf("taper region absorbed %v, CC region %v", eCV, eCC)
+	}
+	if eCC <= 0 || eCV <= 0 {
+		t.Error("no energy absorbed")
+	}
+	// The taper never overshoots the ceiling.
+	long := mustBattery(t, 0.85)
+	long.ChargeWithTaper(offer, 10*time.Hour)
+	if long.SOC() > 0.9+1e-9 {
+		t.Errorf("taper overshot ceiling: SOC %v", long.SOC())
+	}
+	if got := long.ChargeWithTaper(offer, 0); got != 0 {
+		t.Errorf("zero duration absorbed %v", got)
+	}
+}
+
+func TestStoredEnergy(t *testing.T) {
+	b := mustBattery(t, 0.5)
+	if want := 0.5 * b.Pack().Capacity().KWh(); math.Abs(b.Stored().KWh()-want) > 1e-9 {
+		t.Errorf("Stored = %v, want %v", b.Stored(), want)
+	}
+}

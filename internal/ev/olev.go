@@ -1,0 +1,186 @@
+package ev
+
+import (
+	"fmt"
+
+	"olevgrid/internal/units"
+)
+
+// Efficiencies groups the two efficiency constants of the paper's
+// Eq. (2).
+type Efficiencies struct {
+	// Transfer is η_E, the grid-to-battery wireless energy transfer
+	// efficiency in (0, 1].
+	Transfer float64
+	// Driving is η_OLEV, the vehicle driving efficiency in (0, 1].
+	Driving float64
+}
+
+// DefaultEfficiencies returns typical values for modern inductive WPT
+// hardware (≈85 % transfer) and EV drivetrains (≈90 %).
+func DefaultEfficiencies() Efficiencies {
+	return Efficiencies{Transfer: 0.85, Driving: 0.90}
+}
+
+// Validate reports whether both efficiencies are in (0, 1].
+func (e Efficiencies) Validate() error {
+	if e.Transfer <= 0 || e.Transfer > 1 {
+		return fmt.Errorf("ev: transfer efficiency %v outside (0, 1]", e.Transfer)
+	}
+	if e.Driving <= 0 || e.Driving > 1 {
+		return fmt.Errorf("ev: driving efficiency %v outside (0, 1]", e.Driving)
+	}
+	return nil
+}
+
+// OLEV is an online electric vehicle participating in the wireless
+// power transfer system. It owns a battery, knows the SOC it needs to
+// finish its trip, and exposes the paper's Eq. (2) power headroom.
+type OLEV struct {
+	id          string
+	battery     *Battery
+	eff         Efficiencies
+	requiredSOC float64
+	velocity    units.Speed
+	// consumptionPerMeter is the drivetrain's energy draw per meter
+	// traveled, before driving-efficiency losses.
+	consumptionPerMeter units.Energy
+}
+
+// OLEVConfig configures NewOLEV.
+type OLEVConfig struct {
+	// ID identifies the vehicle in schedules and V2I messages.
+	ID string
+	// Pack is the battery pack; zero value selects SparkPack.
+	Pack BatteryPack
+	// Limits is the SOC window; zero value selects DefaultSOCLimits.
+	Limits SOCLimits
+	// InitialSOC is the SOC at construction.
+	InitialSOC float64
+	// RequiredSOC is SOC^req_n, the state of charge the vehicle needs
+	// to complete its planned trip.
+	RequiredSOC float64
+	// Efficiencies are η_E and η_OLEV; zero value selects defaults.
+	Efficiencies Efficiencies
+	// Velocity is the vehicle's cruising speed.
+	Velocity units.Speed
+	// ConsumptionPerKm is drivetrain draw in kWh per kilometer; zero
+	// value selects 0.18 kWh/km, a typical compact-EV figure.
+	ConsumptionPerKm float64
+}
+
+// NewOLEV constructs an OLEV, applying defaults for zero-valued
+// optional fields and validating the result.
+func NewOLEV(cfg OLEVConfig) (*OLEV, error) {
+	if cfg.ID == "" {
+		return nil, fmt.Errorf("ev: OLEV needs a non-empty ID")
+	}
+	if cfg.Pack == (BatteryPack{}) {
+		cfg.Pack = SparkPack()
+	}
+	if cfg.Limits == (SOCLimits{}) {
+		cfg.Limits = DefaultSOCLimits()
+	}
+	if cfg.Efficiencies == (Efficiencies{}) {
+		cfg.Efficiencies = DefaultEfficiencies()
+	}
+	if err := cfg.Efficiencies.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.ConsumptionPerKm == 0 {
+		cfg.ConsumptionPerKm = 0.18
+	}
+	if cfg.ConsumptionPerKm < 0 {
+		return nil, fmt.Errorf("ev: consumption %v kWh/km must be non-negative", cfg.ConsumptionPerKm)
+	}
+	if cfg.Velocity < 0 {
+		return nil, fmt.Errorf("ev: velocity %v must be non-negative", cfg.Velocity)
+	}
+	bat, err := NewBattery(cfg.Pack, cfg.Limits, cfg.InitialSOC)
+	if err != nil {
+		return nil, fmt.Errorf("ev: OLEV %s: %w", cfg.ID, err)
+	}
+	reqSOC := units.Clamp(cfg.RequiredSOC, cfg.Limits.Min, cfg.Limits.Max)
+	return &OLEV{
+		id:                  cfg.ID,
+		battery:             bat,
+		eff:                 cfg.Efficiencies,
+		requiredSOC:         reqSOC,
+		velocity:            cfg.Velocity,
+		consumptionPerMeter: units.KWh(cfg.ConsumptionPerKm / 1000),
+	}, nil
+}
+
+// ID returns the vehicle identifier.
+func (o *OLEV) ID() string { return o.id }
+
+// Battery returns the vehicle's battery.
+func (o *OLEV) Battery() *Battery { return o.battery }
+
+// Velocity returns the cruising speed.
+func (o *OLEV) Velocity() units.Speed { return o.velocity }
+
+// SetVelocity updates the cruising speed; negative values are clamped
+// to zero.
+func (o *OLEV) SetVelocity(v units.Speed) {
+	if v < 0 {
+		v = 0
+	}
+	o.velocity = v
+}
+
+// RequiredSOC returns SOC^req_n.
+func (o *OLEV) RequiredSOC() float64 { return o.requiredSOC }
+
+// SetRequiredSOC updates the trip requirement, clamped to the SOC
+// window.
+func (o *OLEV) SetRequiredSOC(soc float64) {
+	l := o.battery.Limits()
+	o.requiredSOC = units.Clamp(soc, l.Min, l.Max)
+}
+
+// Efficiencies returns the vehicle's efficiency constants.
+func (o *OLEV) Efficiencies() Efficiencies { return o.eff }
+
+// PowerHeadroom implements the paper's Eq. (2):
+//
+//	P^OLEV_n = (SOC^req_n − SOC_n + SOC_min) · P_max · η_E / η_OLEV
+//
+// It is the power the vehicle can usefully accept given how much more
+// energy its trip requires; a fully topped-up vehicle has zero
+// headroom. The result is clamped to [0, P_max] — the raw formula goes
+// negative when the battery already holds more than the trip needs,
+// and the pack's maximum power is a hard ceiling.
+func (o *OLEV) PowerHeadroom() units.Power {
+	l := o.battery.Limits()
+	deficit := o.requiredSOC - o.battery.SOC() + l.Min
+	pmax := o.battery.Pack().MaxPower().KW()
+	raw := deficit * pmax * o.eff.Transfer / o.eff.Driving
+	return units.KW(units.Clamp(raw, 0, pmax))
+}
+
+// Drive moves the vehicle dist meters, discharging the battery by the
+// drivetrain draw divided by driving efficiency, and returns the
+// energy actually consumed from the pack.
+func (o *OLEV) Drive(dist units.Distance) units.Energy {
+	if dist <= 0 {
+		return 0
+	}
+	need := units.Energy(o.consumptionPerMeter.KWh() * dist.Meters() / o.eff.Driving)
+	return o.battery.Discharge(need)
+}
+
+// ReceiveFromGrid charges the battery from grid energy e, applying the
+// transfer efficiency, and returns the energy stored in the battery.
+func (o *OLEV) ReceiveFromGrid(e units.Energy) units.Energy {
+	if e <= 0 {
+		return 0
+	}
+	return o.battery.Charge(units.Energy(e.KWh() * o.eff.Transfer))
+}
+
+// TripSatisfied reports whether the battery already holds the SOC the
+// trip requires.
+func (o *OLEV) TripSatisfied() bool {
+	return o.battery.SOC() >= o.requiredSOC
+}

@@ -1,0 +1,156 @@
+package ev
+
+import (
+	"math"
+	"testing"
+
+	"olevgrid/internal/units"
+)
+
+func mustOLEV(t *testing.T, cfg OLEVConfig) *OLEV {
+	t.Helper()
+	o, err := NewOLEV(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+func TestNewOLEVDefaults(t *testing.T) {
+	o := mustOLEV(t, OLEVConfig{ID: "ev-1", InitialSOC: 0.5, RequiredSOC: 0.8})
+	if o.ID() != "ev-1" {
+		t.Errorf("ID = %q", o.ID())
+	}
+	if o.Battery().Pack() != SparkPack() {
+		t.Error("default pack should be SparkPack")
+	}
+	if o.Battery().Limits() != DefaultSOCLimits() {
+		t.Error("default limits should be DefaultSOCLimits")
+	}
+	if o.Efficiencies() != DefaultEfficiencies() {
+		t.Error("default efficiencies should apply")
+	}
+}
+
+func TestNewOLEVValidation(t *testing.T) {
+	tests := []struct {
+		name string
+		cfg  OLEVConfig
+	}{
+		{name: "empty ID", cfg: OLEVConfig{InitialSOC: 0.5}},
+		{name: "bad transfer efficiency", cfg: OLEVConfig{ID: "x", Efficiencies: Efficiencies{Transfer: 1.5, Driving: 0.9}}},
+		{name: "bad driving efficiency", cfg: OLEVConfig{ID: "x", Efficiencies: Efficiencies{Transfer: 0.9, Driving: 0}}},
+		{name: "negative consumption", cfg: OLEVConfig{ID: "x", InitialSOC: 0.5, ConsumptionPerKm: -1}},
+		{name: "negative velocity", cfg: OLEVConfig{ID: "x", InitialSOC: 0.5, Velocity: -1}},
+		{name: "NaN SOC", cfg: OLEVConfig{ID: "x", InitialSOC: math.NaN()}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := NewOLEV(tt.cfg); err == nil {
+				t.Errorf("NewOLEV(%+v) accepted invalid config", tt.cfg)
+			}
+		})
+	}
+}
+
+func TestPowerHeadroomEquation2(t *testing.T) {
+	// Hand-computed from Eq. (2) with the Spark pack:
+	// P_max = 95.76 kW, η_E = 0.85, η_OLEV = 0.90.
+	// deficit = SOCreq − SOC + SOCmin = 0.8 − 0.5 + 0.2 = 0.5.
+	// P = 0.5 * 95.76 * 0.85 / 0.90 = 45.22 kW.
+	o := mustOLEV(t, OLEVConfig{ID: "ev-1", InitialSOC: 0.5, RequiredSOC: 0.8})
+	want := 0.5 * 95.76 * 0.85 / 0.90
+	if got := o.PowerHeadroom().KW(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("PowerHeadroom = %v kW, want %v", got, want)
+	}
+}
+
+func TestPowerHeadroomClamps(t *testing.T) {
+	// A vehicle holding far more SOC than the trip needs: raw formula
+	// goes negative, headroom clamps to zero.
+	full := mustOLEV(t, OLEVConfig{ID: "full", InitialSOC: 0.9, RequiredSOC: 0.2})
+	// deficit = 0.2 − 0.9 + 0.2 = −0.5 → clamp to 0.
+	if got := full.PowerHeadroom(); got != 0 {
+		t.Errorf("headroom = %v, want 0", got)
+	}
+
+	// Perfect transfer with lossy drivetrain could exceed P_max;
+	// the ceiling must hold.
+	greedy := mustOLEV(t, OLEVConfig{
+		ID:           "greedy",
+		InitialSOC:   0.2,
+		RequiredSOC:  0.9,
+		Efficiencies: Efficiencies{Transfer: 1.0, Driving: 0.5},
+	})
+	// deficit = 0.9 − 0.2 + 0.2 = 0.9; raw = 0.9 * 95.76 * 2 = 172.4 > P_max.
+	if got := greedy.PowerHeadroom().KW(); math.Abs(got-95.76) > 1e-9 {
+		t.Errorf("headroom = %v, want P_max 95.76", got)
+	}
+}
+
+func TestPowerHeadroomDecreasesAsSOCRises(t *testing.T) {
+	o := mustOLEV(t, OLEVConfig{ID: "ev", InitialSOC: 0.3, RequiredSOC: 0.9})
+	prev := o.PowerHeadroom().KW()
+	for i := 0; i < 10; i++ {
+		o.Battery().Charge(units.KWh(1))
+		cur := o.PowerHeadroom().KW()
+		if cur > prev+1e-12 {
+			t.Fatalf("headroom rose from %v to %v as SOC rose", prev, cur)
+		}
+		prev = cur
+	}
+}
+
+func TestDriveConsumesEnergy(t *testing.T) {
+	o := mustOLEV(t, OLEVConfig{ID: "ev", InitialSOC: 0.5, RequiredSOC: 0.8})
+	before := o.Battery().Stored()
+	used := o.Drive(units.Meters(1000))
+	// 0.18 kWh/km at 90 % driving efficiency = 0.2 kWh per km.
+	if want := 0.2; math.Abs(used.KWh()-want) > 1e-9 {
+		t.Errorf("Drive(1km) used %v, want %v kWh", used, want)
+	}
+	if got := before.KWh() - o.Battery().Stored().KWh(); math.Abs(got-used.KWh()) > 1e-9 {
+		t.Errorf("battery dropped %v, want %v", got, used)
+	}
+	if got := o.Drive(units.Meters(-5)); got != 0 {
+		t.Errorf("Drive(-5m) = %v", got)
+	}
+}
+
+func TestReceiveFromGridAppliesTransferEfficiency(t *testing.T) {
+	o := mustOLEV(t, OLEVConfig{ID: "ev", InitialSOC: 0.5, RequiredSOC: 0.8})
+	stored := o.ReceiveFromGrid(units.KWh(1))
+	if want := 0.85; math.Abs(stored.KWh()-want) > 1e-9 {
+		t.Errorf("stored %v, want %v (85%% of 1kWh)", stored, want)
+	}
+	if got := o.ReceiveFromGrid(units.KWh(-1)); got != 0 {
+		t.Errorf("negative grid energy stored %v", got)
+	}
+}
+
+func TestTripSatisfied(t *testing.T) {
+	o := mustOLEV(t, OLEVConfig{ID: "ev", InitialSOC: 0.5, RequiredSOC: 0.6})
+	if o.TripSatisfied() {
+		t.Error("trip should not be satisfied at SOC 0.5 < 0.6")
+	}
+	o.Battery().Charge(o.Battery().Pack().Capacity()) // top up
+	if !o.TripSatisfied() {
+		t.Error("trip should be satisfied at ceiling")
+	}
+}
+
+func TestSettersClamp(t *testing.T) {
+	o := mustOLEV(t, OLEVConfig{ID: "ev", InitialSOC: 0.5, RequiredSOC: 0.6, Velocity: units.MPH(60)})
+	o.SetVelocity(units.MPS(-3))
+	if o.Velocity() != 0 {
+		t.Errorf("velocity = %v, want 0", o.Velocity())
+	}
+	o.SetRequiredSOC(2)
+	if o.RequiredSOC() != 0.9 {
+		t.Errorf("requiredSOC = %v, want clamp to 0.9", o.RequiredSOC())
+	}
+	o.SetRequiredSOC(-1)
+	if o.RequiredSOC() != 0.2 {
+		t.Errorf("requiredSOC = %v, want clamp to 0.2", o.RequiredSOC())
+	}
+}

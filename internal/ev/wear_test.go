@@ -1,0 +1,91 @@
+package ev
+
+import (
+	"math"
+	"testing"
+
+	"olevgrid/internal/units"
+)
+
+func trackedOLEV(t *testing.T) *TrackedOLEV {
+	t.Helper()
+	o, err := NewOLEV(OLEVConfig{ID: "ev", InitialSOC: 0.5, RequiredSOC: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewTrackedOLEV(o)
+}
+
+func TestWearThroughputAndCycles(t *testing.T) {
+	tr := trackedOLEV(t)
+	usable := tr.OLEV().Battery().Pack().Capacity().KWh() * 0.7 // window 0.2..0.9
+
+	// Move exactly one usable window in and one out.
+	tr.ReceiveFromGrid(units.KWh(usable / 0.85)) // transfer efficiency 0.85
+	stored := tr.Wear().Throughput().KWh()
+	if stored <= 0 {
+		t.Fatal("no charge recorded")
+	}
+	// Drive enough to discharge roughly the same amount.
+	tr.Drive(units.Miles(40))
+
+	cycles := tr.Wear().EquivalentFullCycles()
+	if cycles <= 0 {
+		t.Fatal("no cycles accumulated")
+	}
+	want := tr.Wear().Throughput().KWh() / (2 * usable)
+	if math.Abs(cycles-want) > 1e-12 {
+		t.Errorf("cycles = %v, want %v", cycles, want)
+	}
+}
+
+func TestWearMicrocycles(t *testing.T) {
+	tr := trackedOLEV(t)
+	// charge, discharge, charge, discharge = 3 reversals.
+	tr.ReceiveFromGrid(units.KWh(0.5))
+	tr.Drive(units.Meters(500))
+	tr.ReceiveFromGrid(units.KWh(0.5))
+	tr.Drive(units.Meters(500))
+	if got := tr.Wear().Microcycles(); got != 3 {
+		t.Errorf("microcycles = %d, want 3", got)
+	}
+	// Consecutive same-direction transfers do not add reversals.
+	tr.Drive(units.Meters(500))
+	tr.Drive(units.Meters(500))
+	if got := tr.Wear().Microcycles(); got != 3 {
+		t.Errorf("microcycles = %d after same-direction flows, want 3", got)
+	}
+}
+
+func TestWearIgnoresZeroTransfers(t *testing.T) {
+	tr := trackedOLEV(t)
+	tr.Wear().RecordCharge(0)
+	tr.Wear().RecordDischarge(units.KWh(-1))
+	if tr.Wear().Throughput() != 0 || tr.Wear().Microcycles() != 0 {
+		t.Error("zero/negative transfers recorded")
+	}
+}
+
+func TestWearOpportunisticVsDepot(t *testing.T) {
+	// The WPT pattern (many small alternating transfers) racks up
+	// more microcycles than one depot charge of the same energy —
+	// the cost the SOC window and tracker make visible.
+	opportunistic := trackedOLEV(t)
+	for i := 0; i < 20; i++ {
+		opportunistic.ReceiveFromGrid(units.KWh(0.1))
+		opportunistic.Drive(units.Meters(100))
+	}
+	depot := trackedOLEV(t)
+	depot.ReceiveFromGrid(units.KWh(2))
+	depot.Drive(units.Meters(2000))
+
+	if opportunistic.Wear().Microcycles() <= depot.Wear().Microcycles() {
+		t.Errorf("opportunistic microcycles %d not above depot %d",
+			opportunistic.Wear().Microcycles(), depot.Wear().Microcycles())
+	}
+	// Same order of throughput though.
+	ratio := opportunistic.Wear().Throughput().KWh() / depot.Wear().Throughput().KWh()
+	if ratio < 0.5 || ratio > 2 {
+		t.Errorf("throughput ratio %v unexpectedly far from 1", ratio)
+	}
+}

@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"fmt"
+
+	"olevgrid/internal/pricing"
+	"olevgrid/internal/stats"
+	"olevgrid/internal/units"
+)
+
+// AblationAlphaSweep varies the pricing exponent's offset α and
+// reports the unit payment at a fixed *light* congestion level
+// (x = 0.1). α is the price floor knob: near-empty sections still
+// charge ≈ β·α²/(α+1)², the grid's guaranteed margin, so the sweep
+// rises with α — the design knob behind the paper's α = 0.875. (At
+// mid congestion the marginal curves for different α nearly pinch,
+// which is why the floor is where the knob shows.)
+func AblationAlphaSweep(alphas []float64, d GameDefaults) (*stats.Series, error) {
+	d.apply()
+	const n, c, x = 40, 15, 0.1
+	vel := units.MPH(60)
+	lineCap := pricing.LineCapacityKW(d.SectionLength, vel)
+
+	out := stats.NewSeries("unit-payment-per-mwh")
+	for _, alpha := range alphas {
+		policy := pricing.Nonlinear{Alpha: alpha}
+		w, err := pricing.CongestionTargetWeight(policy, d.BetaPerMWh, lineCap, c, n, x)
+		if err != nil {
+			return nil, err
+		}
+		_, players, err := pricing.BuildFleet(pricing.FleetConfig{
+			N: n, Velocity: vel, SatisfactionWeight: w, Seed: d.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		res, err := policy.Run(pricing.Scenario{
+			Players: players, NumSections: c, LineCapacityKW: lineCap,
+			Eta: 1.0, BetaPerMWh: d.BetaPerMWh, Seed: d.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out.Add(alpha, res.UnitPaymentPerMWh)
+	}
+	return out, nil
+}
+
+// AblationKappaSweep varies the overload penalty stiffness κ/β and
+// reports the equilibrium congestion overshoot past η and the updates
+// spent — the conditioning trade-off behind the default 500×.
+type KappaPoint struct {
+	KappaFactor float64
+	Overshoot   float64 // congestion − η
+	Updates     int
+	Converged   bool
+}
+
+// AblationKappaSweep runs a demand-saturated game per stiffness value.
+func AblationKappaSweep(factors []float64, d GameDefaults) ([]KappaPoint, error) {
+	d.apply()
+	const n, c, eta = 30, 10, 0.9
+	vel := units.MPH(60)
+	lineCap := pricing.LineCapacityKW(d.SectionLength, vel)
+	_, players, err := pricing.BuildFleet(pricing.FleetConfig{
+		N: n, Velocity: vel, SatisfactionWeight: 2, Seed: d.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var points []KappaPoint
+	for _, kf := range factors {
+		res, err := pricing.Nonlinear{OverloadKappaFactor: kf}.Run(pricing.Scenario{
+			Players: players, NumSections: c, LineCapacityKW: lineCap,
+			Eta: eta, BetaPerMWh: d.BetaPerMWh, Seed: d.Seed,
+			MaxUpdates: 6000,
+		})
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, KappaPoint{
+			KappaFactor: kf,
+			Overshoot:   res.CongestionDegree - eta,
+			Updates:     res.Updates,
+			Converged:   res.Converged,
+		})
+	}
+	return points, nil
+}
+
+// PolicyComparison runs all three policies on one scenario and
+// renders the triple-column table the harness prints: the paper's
+// welfare maximizer, the flat-tariff strawman, and the
+// revenue-maximizing Stackelberg leader.
+func PolicyComparison(d GameDefaults) (Table, error) {
+	d.apply()
+	const n, c, eta = 30, 25, 0.9
+	vel := units.MPH(60)
+	_, players, err := pricing.BuildFleet(pricing.FleetConfig{
+		N: n, Velocity: vel, SatisfactionWeight: 1, Seed: d.Seed,
+	})
+	if err != nil {
+		return Table{}, err
+	}
+	scenario := pricing.Scenario{
+		Players: players, NumSections: c,
+		LineCapacityKW: pricing.LineCapacityKW(d.SectionLength, vel),
+		Eta:            eta, BetaPerMWh: d.BetaPerMWh, Seed: d.Seed,
+	}
+
+	table := Table{
+		Title: "Policy comparison (N=30, C=25, η=0.9)",
+		Columns: []string{
+			"policy", "congestion", "power kW", "unit $/MWh", "welfare $/h", "CV", "fairness",
+		},
+	}
+	for _, p := range []pricing.Policy{
+		pricing.Nonlinear{}, pricing.Linear{}, pricing.Stackelberg{},
+	} {
+		out, err := p.Run(scenario)
+		if err != nil {
+			return Table{}, fmt.Errorf("experiments: %s: %w", p.Name(), err)
+		}
+		table.Rows = append(table.Rows, []string{
+			out.Policy,
+			fmt.Sprintf("%.3f", out.CongestionDegree),
+			fmt.Sprintf("%.1f", out.TotalPowerKW),
+			fmt.Sprintf("%.2f", out.UnitPaymentPerMWh),
+			fmt.Sprintf("%.2f", out.Welfare),
+			fmt.Sprintf("%.3f", out.LoadImbalance()),
+			fmt.Sprintf("%.3f", stats.JainIndex(out.PlayerTotalsKW)),
+		})
+	}
+	return table, nil
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAblationAlphaSweep(t *testing.T) {
+	series, err := AblationAlphaSweep([]float64{0.25, 0.875, 2.0}, GameDefaults{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if series.Len() != 3 {
+		t.Fatalf("got %d points", series.Len())
+	}
+	// At fixed congestion x the normalized unit price
+	// β(α+x)²/(α+1)² falls toward β·x²-ish as α→0 and rises toward β
+	// as α→∞; across this range it is increasing in α for x < 1.
+	ys := series.Ys()
+	if !(ys[0] < ys[1] && ys[1] < ys[2]) {
+		t.Errorf("unit payment not increasing in alpha: %v", ys)
+	}
+	for _, y := range ys {
+		if y <= 0 || y > 25 {
+			t.Errorf("unit payment %v outside sane range", y)
+		}
+	}
+}
+
+func TestAblationKappaSweep(t *testing.T) {
+	points, err := AblationKappaSweep([]float64{50, 500, 5000}, GameDefaults{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("got %d points", len(points))
+	}
+	// Stiffer walls shrink the overshoot monotonically.
+	for i := 1; i < len(points); i++ {
+		if points[i].Overshoot >= points[i-1].Overshoot {
+			t.Errorf("overshoot not shrinking: %v then %v",
+				points[i-1].Overshoot, points[i].Overshoot)
+		}
+	}
+	// All overshoots positive (the wall is soft) and the softest is
+	// substantial while the stiffest is small.
+	if points[0].Overshoot <= 0 {
+		t.Errorf("softest wall overshoot %v should be positive", points[0].Overshoot)
+	}
+	if points[2].Overshoot > 0.02 {
+		t.Errorf("stiffest wall overshoot %v should be tiny", points[2].Overshoot)
+	}
+}
+
+func TestPolicyComparisonTable(t *testing.T) {
+	table, err := PolicyComparison(GameDefaults{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 3 {
+		t.Fatalf("got %d rows", len(table.Rows))
+	}
+	text := table.String()
+	for _, policy := range []string{"nonlinear", "linear", "stackelberg"} {
+		if !strings.Contains(text, policy) {
+			t.Errorf("table missing %q:\n%s", policy, text)
+		}
+	}
+}

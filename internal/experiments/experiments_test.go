@@ -1,0 +1,253 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"olevgrid/internal/grid"
+	"olevgrid/internal/units"
+)
+
+func TestFig2Shapes(t *testing.T) {
+	res, err := Fig2(grid.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Calibration scalars within the NYISO ranges the paper quotes.
+	if res.MinLoadMW < 4000 || res.PeakLoadMW > 6700 {
+		t.Errorf("load range [%v, %v] off NYISO calibration", res.MinLoadMW, res.PeakLoadMW)
+	}
+	if res.MaxDeficiencyMW > 167.9 {
+		t.Errorf("max deficiency %v exceeds the paper's 167.8", res.MaxDeficiencyMW)
+	}
+	for _, p := range res.LBMP.Points {
+		if p.Y < 12.51 || p.Y > 244.05 {
+			t.Errorf("LBMP %v outside [12.52, 244.04]", p.Y)
+		}
+	}
+	if got := res.IntegratedLoad.Len(); got != 24 {
+		t.Errorf("hourly series has %d points", got)
+	}
+	// Deficiency is integrated minus forecast at every hour.
+	for i := range res.Deficiency.Points {
+		want := res.IntegratedLoad.Points[i].Y - res.ForecastLoad.Points[i].Y
+		if diff := res.Deficiency.Points[i].Y - want; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("hour %d deficiency inconsistent", i)
+		}
+	}
+	if len(res.Tables()) != 4 {
+		t.Error("Fig2 should render four tables")
+	}
+}
+
+func TestFig3AtLightDominatesMidBlock(t *testing.T) {
+	// The headline of the motivation study: placing the section at the
+	// traffic light collects far more intersection time and energy
+	// than mid-block, with the gap largest at peak hours.
+	res, err := Fig3(Fig3Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.AtLight.TotalIntersection <= res.MidBlock.TotalIntersection {
+		t.Errorf("at-light time %v not above mid-block %v",
+			res.AtLight.TotalIntersection, res.MidBlock.TotalIntersection)
+	}
+	if res.AtLight.TotalEnergy <= res.MidBlock.TotalEnergy {
+		t.Errorf("at-light energy %v not above mid-block %v",
+			res.AtLight.TotalEnergy, res.MidBlock.TotalEnergy)
+	}
+	// Hourly dominance at the busy hours (allow quiet-hour noise).
+	for h := 7; h <= 19; h++ {
+		at, _ := res.AtLight.IntersectionMinutes.YAt(float64(h))
+		mid, _ := res.MidBlock.IntersectionMinutes.YAt(float64(h))
+		if at < mid {
+			t.Errorf("hour %d: at-light %v min below mid-block %v min", h, at, mid)
+		}
+	}
+	// Peak-hour intersection time far above overnight.
+	peak, _ := res.AtLight.IntersectionMinutes.YAt(17)
+	night, _ := res.AtLight.IntersectionMinutes.YAt(3)
+	if peak < 3*night {
+		t.Errorf("peak hour %v min not well above overnight %v min", peak, night)
+	}
+	if res.AtLight.Vehicles == 0 || res.MidBlock.Vehicles == 0 {
+		t.Error("no vehicles touched the sections")
+	}
+	if len(res.Tables()) != 2 {
+		t.Error("Fig3 should render two tables")
+	}
+}
+
+func TestFig3ParticipationScalesEnergy(t *testing.T) {
+	full, err := Fig3(Fig3Config{Seed: 1, Start: 8 * time.Hour, End: 10 * time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	half, err := Fig3(Fig3Config{Seed: 1, Start: 8 * time.Hour, End: 10 * time.Hour, Participation: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := half.AtLight.TotalEnergy.KWh() / full.AtLight.TotalEnergy.KWh()
+	if ratio < 0.3 || ratio > 0.7 {
+		t.Errorf("half participation captured %v of full energy, want ~0.5", ratio)
+	}
+	if _, err := Fig3(Fig3Config{Participation: 1.5}); err == nil {
+		t.Error("participation > 1 accepted")
+	}
+}
+
+func TestFig5aPaymentShapes(t *testing.T) {
+	points, err := PaymentVsCongestion(units.MPH(60), GameDefaults{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 9 {
+		t.Fatalf("expected 9 sweep points, got %d", len(points))
+	}
+	var crossed bool
+	for i, p := range points {
+		if i > 0 && p.NonlinearPerMWh <= points[i-1].NonlinearPerMWh {
+			t.Errorf("nonlinear payment not rising at x=%v", p.TargetCongestion)
+		}
+		if p.LinearPerMWh != points[0].LinearPerMWh {
+			t.Error("linear tariff not flat")
+		}
+		if p.NonlinearPerMWh > p.LinearPerMWh {
+			crossed = true
+		}
+		if diff := p.RealizedCongestion - p.TargetCongestion; diff > 0.05 || diff < -0.05 {
+			t.Errorf("x=%v realized %v", p.TargetCongestion, p.RealizedCongestion)
+		}
+	}
+	if !crossed {
+		t.Error("nonlinear curve never crosses the flat tariff")
+	}
+	// Velocity contrast: total payment lower at 80 mph at the same
+	// congestion degree (less power moves).
+	points80, err := PaymentVsCongestion(units.MPH(80), GameDefaults{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range points {
+		if points80[i].TotalPaymentPerH >= points[i].TotalPaymentPerH {
+			t.Errorf("x=%v: 80mph total payment %v not below 60mph %v",
+				points[i].TargetCongestion, points80[i].TotalPaymentPerH, points[i].TotalPaymentPerH)
+		}
+	}
+}
+
+func TestFig5bWelfareShapes(t *testing.T) {
+	series, err := WelfareVsSections(units.MPH(60), []int{30, 50}, GameDefaults{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range series {
+		if !s.IsNonDecreasing(0.5) {
+			t.Errorf("welfare series %s not increasing in sections: %v", s.Name, s.Ys())
+		}
+	}
+	// More OLEVs, more welfare, at every section count.
+	small, large := series[0], series[1]
+	for i := range small.Points {
+		if large.Points[i].Y <= small.Points[i].Y {
+			t.Errorf("C=%v: N=50 welfare %v not above N=30 %v",
+				small.Points[i].X, large.Points[i].Y, small.Points[i].Y)
+		}
+	}
+}
+
+func TestFig5cLoadBalanceShapes(t *testing.T) {
+	res60, err := LoadBalance(units.MPH(60), GameDefaults{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res60.NonlinearCV >= res60.LinearCV {
+		t.Errorf("nonlinear CV %v not below linear CV %v", res60.NonlinearCV, res60.LinearCV)
+	}
+	if res60.NonlinearCV > 0.3 {
+		t.Errorf("nonlinear CV %v too high — not balanced", res60.NonlinearCV)
+	}
+	if res60.Nonlinear.Len() != 100 || res60.Linear.Len() != 100 {
+		t.Error("expected 100 section points")
+	}
+	// Velocity contrast: less total power at 80 mph.
+	res80, err := LoadBalance(units.MPH(80), GameDefaults{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res80.NonlinearTotalKW >= res60.NonlinearTotalKW {
+		t.Errorf("80mph total %v not below 60mph %v",
+			res80.NonlinearTotalKW, res60.NonlinearTotalKW)
+	}
+}
+
+func TestFig5dConvergenceShapes(t *testing.T) {
+	res, err := Convergence(units.MPH(60), []int{30, 50}, 3, 120, GameDefaults{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{30, 50} {
+		traj := res.Trajectories[n]
+		if traj == nil || traj.Len() != 120 {
+			t.Fatalf("N=%d trajectory missing or wrong length", n)
+		}
+		final := traj.Points[len(traj.Points)-1].Y
+		if final < 0.85 || final > 1.0 {
+			t.Errorf("N=%d final congestion %v, want near 0.9", n, final)
+		}
+		start := traj.Points[0].Y
+		if start > 0.3 {
+			t.Errorf("N=%d starts at %v, want near zero", n, start)
+		}
+		if res.UpdatesToSettle[n] <= 0 || res.UpdatesToSettle[n] > 120 {
+			t.Errorf("N=%d settles at %v", n, res.UpdatesToSettle[n])
+		}
+		ci := res.SettleCI[n]
+		if !ci.Contains(res.UpdatesToSettle[n]) {
+			t.Errorf("N=%d CI %v does not contain its own mean", n, ci)
+		}
+		if ci.Upper < ci.Lower {
+			t.Errorf("N=%d inverted CI %v", n, ci)
+		}
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := Table{
+		Title:   "demo",
+		Columns: []string{"x", "longer-column"},
+		Rows:    [][]string{{"1", "2"}, {"100", "3.5"}},
+	}
+	text := tab.String()
+	if !strings.Contains(text, "# demo") {
+		t.Error("title missing")
+	}
+	lines := strings.Split(strings.TrimSpace(text), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("expected 4 lines, got %d", len(lines))
+	}
+	csv := tab.CSV()
+	if !strings.HasPrefix(csv, "x,longer-column\n1,2\n") {
+		t.Errorf("csv = %q", csv)
+	}
+}
+
+func TestRunAllQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("RunAll is a long-running integration pass")
+	}
+	var sb strings.Builder
+	if err := RunAll(&sb, true); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, marker := range []string{
+		"Fig 2(a)", "Fig 2(d)", "Fig 3(b)", "Fig 3(c)",
+		"Fig 5(a)", "Fig 5(d)", "Fig 6(a)", "Fig 6(d)",
+	} {
+		if !strings.Contains(out, marker) {
+			t.Errorf("RunAll output missing %q", marker)
+		}
+	}
+}

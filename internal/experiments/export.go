@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// SaveCSVs writes each table to dir as <slug-of-title>.csv, creating
+// the directory if needed, and returns the written paths in input
+// order. Downstream plotting (gnuplot, pandas, spreadsheets) picks
+// the files up directly.
+func SaveCSVs(dir string, tables []Table) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("experiments: create %s: %w", dir, err)
+	}
+	paths := make([]string, 0, len(tables))
+	seen := make(map[string]int)
+	for _, table := range tables {
+		name := slugify(table.Title)
+		if name == "" {
+			name = "table"
+		}
+		if n := seen[name]; n > 0 {
+			name = fmt.Sprintf("%s-%d", name, n+1)
+		}
+		seen[slugify(table.Title)]++
+		path := filepath.Join(dir, name+".csv")
+		if err := os.WriteFile(path, []byte(table.CSV()), 0o644); err != nil {
+			return paths, fmt.Errorf("experiments: write %s: %w", path, err)
+		}
+		paths = append(paths, path)
+	}
+	return paths, nil
+}
+
+var slugRe = regexp.MustCompile(`[^a-z0-9]+`)
+
+// slugify turns a table title into a safe file stem.
+func slugify(title string) string {
+	s := strings.ToLower(title)
+	s = slugRe.ReplaceAllString(s, "-")
+	return strings.Trim(s, "-")
+}

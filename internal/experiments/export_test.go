@@ -1,0 +1,52 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSaveCSVs(t *testing.T) {
+	dir := t.TempDir()
+	tables := []Table{
+		{Title: "Fig 5(a): payment vs congestion degree (60 mph)",
+			Columns: []string{"x", "y"}, Rows: [][]string{{"1", "2"}}},
+		{Title: "Fig 5(a): payment vs congestion degree (60 mph)", // duplicate title
+			Columns: []string{"x", "y"}, Rows: [][]string{{"3", "4"}}},
+	}
+	paths, err := SaveCSVs(filepath.Join(dir, "out"), tables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 2 {
+		t.Fatalf("wrote %d files", len(paths))
+	}
+	if paths[0] == paths[1] {
+		t.Error("duplicate titles collided on one path")
+	}
+	data, err := os.ReadFile(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "x,y\n1,2\n") {
+		t.Errorf("csv content %q", data)
+	}
+	base := filepath.Base(paths[0])
+	if strings.ContainsAny(base, "():/ ") {
+		t.Errorf("unsafe filename %q", base)
+	}
+}
+
+func TestSlugify(t *testing.T) {
+	tests := []struct{ in, want string }{
+		{"Fig 2(a): actual load (MW)", "fig-2-a-actual-load-mw"},
+		{"---", ""},
+		{"Already-clean", "already-clean"},
+	}
+	for _, tt := range tests {
+		if got := slugify(tt.in); got != tt.want {
+			t.Errorf("slugify(%q) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}

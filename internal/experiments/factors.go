@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"olevgrid/internal/roadnet"
+	"olevgrid/internal/stats"
+	"olevgrid/internal/trace"
+	"olevgrid/internal/traffic"
+	"olevgrid/internal/units"
+	"olevgrid/internal/wpt"
+)
+
+// FactorSweepConfig drives the Section III deployment-factor study:
+// the paper names four factors governing harvestable energy —
+// coverage, placement, participation, and willingness — and argues
+// each is positively correlated with intersection time. This harness
+// quantifies all four on the same simulated day.
+type FactorSweepConfig struct {
+	// RoadLength and SpeedLimit describe the arterial; zeros mean
+	// 1 km at 50 km/h.
+	RoadLength units.Distance
+	SpeedLimit units.Speed
+	// Counts is the demand profile; zero value means Flatlands.
+	Counts trace.HourlyCounts
+	// Window bounds the simulated time of day; zero End means a
+	// three-hour PM-peak window (the full day costs ~8× more and has
+	// the same ordering).
+	Start, End time.Duration
+	// Seed drives the traffic.
+	Seed int64
+}
+
+func (c *FactorSweepConfig) applyDefaults() {
+	if c.RoadLength == 0 {
+		c.RoadLength = units.Meters(1000)
+	}
+	if c.SpeedLimit == 0 {
+		c.SpeedLimit = units.KMH(50)
+	}
+	if c.Counts == (trace.HourlyCounts{}) {
+		c.Counts = trace.FlatlandsAvenue()
+	}
+	if c.End == 0 {
+		c.Start, c.End = 16*time.Hour, 19*time.Hour
+	}
+}
+
+// FactorSweepResult holds one series per factor, each mapping the
+// factor's value onto harvested energy (kWh).
+type FactorSweepResult struct {
+	// Coverage sweeps total section length (m) at fixed placement.
+	Coverage *stats.Series
+	// Participation sweeps the OLEV fraction at fixed coverage.
+	Participation *stats.Series
+	// Willingness sweeps the fraction of OLEVs accepting energy; it
+	// compounds with participation, which the paper treats as a
+	// separate factor.
+	Willingness *stats.Series
+	// PlacementAtLightKWh and PlacementMidBlockKWh compare the two
+	// placements at fixed coverage and full participation.
+	PlacementAtLightKWh  float64
+	PlacementMidBlockKWh float64
+}
+
+// FactorSweep runs the four Section III sweeps.
+func FactorSweep(cfg FactorSweepConfig) (*FactorSweepResult, error) {
+	cfg.applyDefaults()
+	res := &FactorSweepResult{
+		Coverage:      stats.NewSeries("coverage-kwh"),
+		Participation: stats.NewSeries("participation-kwh"),
+		Willingness:   stats.NewSeries("willingness-kwh"),
+	}
+
+	// Coverage: 50..400 m of sections stacked at the stop line.
+	for _, meters := range []float64{50, 100, 200, 400} {
+		spec := wpt.MotivationSpec()
+		spec.Length = units.Meters(meters)
+		kwh, err := harvest(cfg, spec, wpt.PlacementAtTrafficLight, 1, 1)
+		if err != nil {
+			return nil, fmt.Errorf("coverage %vm: %w", meters, err)
+		}
+		res.Coverage.Add(meters, kwh)
+	}
+
+	// Participation: fraction of vehicles that are OLEVs.
+	for _, frac := range []float64{0.1, 0.25, 0.5, 0.75, 1.0} {
+		kwh, err := harvest(cfg, wpt.MotivationSpec(), wpt.PlacementAtTrafficLight, frac, 1)
+		if err != nil {
+			return nil, fmt.Errorf("participation %v: %w", frac, err)
+		}
+		res.Participation.Add(frac, kwh)
+	}
+
+	// Willingness: of the OLEVs (50% participation), the fraction
+	// willing to buy.
+	for _, frac := range []float64{0.2, 0.5, 0.8, 1.0} {
+		kwh, err := harvest(cfg, wpt.MotivationSpec(), wpt.PlacementAtTrafficLight, 0.5, frac)
+		if err != nil {
+			return nil, fmt.Errorf("willingness %v: %w", frac, err)
+		}
+		res.Willingness.Add(frac, kwh)
+	}
+
+	// Placement at fixed coverage.
+	var err error
+	if res.PlacementAtLightKWh, err = harvest(cfg, wpt.MotivationSpec(), wpt.PlacementAtTrafficLight, 1, 1); err != nil {
+		return nil, err
+	}
+	if res.PlacementMidBlockKWh, err = harvest(cfg, wpt.MotivationSpec(), wpt.PlacementMidBlock, 1, 1); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// harvest runs one simulated window and returns harvested kWh under
+// the given participation and willingness fractions.
+func harvest(cfg FactorSweepConfig, spec wpt.SectionSpec, placement wpt.Placement, participation, willingness float64) (float64, error) {
+	lane, err := wpt.PlaceOnRoad(cfg.RoadLength, spec, placement)
+	if err != nil {
+		return 0, err
+	}
+	plan := roadnet.DefaultSignalPlan()
+	sim, err := traffic.NewSim(traffic.SimConfig{
+		RoadLength: cfg.RoadLength,
+		SpeedLimit: cfg.SpeedLimit,
+		Signal:     &plan,
+		Counts:     cfg.Counts,
+		Seed:       cfg.Seed,
+		Start:      cfg.Start,
+		End:        cfg.End,
+	})
+	if err != nil {
+		return 0, err
+	}
+	acc := wpt.NewAccumulator(lane)
+	effective := participation * willingness
+	if effective < 1 {
+		acc.SetDrawPower(func(vehID string, s wpt.Section, vel units.Speed) units.Power {
+			if hashUnit(vehID) >= effective {
+				return 0
+			}
+			return defaultDraw(s, vel)
+		})
+	}
+	sim.AddObserver(acc.Observe)
+	sim.Run()
+	return acc.Combined().TotalEnergy().KWh(), nil
+}
+
+// Tables renders the factor sweeps.
+func (r *FactorSweepResult) Tables() []Table {
+	placement := Table{
+		Title:   "Placement factor (kWh over the window)",
+		Columns: []string{"placement", "kWh"},
+		Rows: [][]string{
+			{"at-traffic-light", fmt.Sprintf("%.1f", r.PlacementAtLightKWh)},
+			{"mid-block", fmt.Sprintf("%.1f", r.PlacementMidBlockKWh)},
+		},
+	}
+	return []Table{
+		seriesTable("Coverage factor (section meters vs kWh)", "meters", r.Coverage),
+		seriesTable("Participation factor (OLEV fraction vs kWh)", "fraction", r.Participation),
+		seriesTable("Willingness factor (willing fraction vs kWh)", "fraction", r.Willingness),
+		placement,
+	}
+}

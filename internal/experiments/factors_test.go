@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFactorSweepOrderings(t *testing.T) {
+	res, err := FactorSweep(FactorSweepConfig{
+		Seed:  1,
+		Start: 17 * time.Hour,
+		End:   18 * time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each factor is positively correlated with harvested energy, as
+	// Section III argues.
+	if !res.Coverage.IsNonDecreasing(1e-9) {
+		t.Errorf("coverage sweep not increasing: %v", res.Coverage.Ys())
+	}
+	if !res.Participation.IsNonDecreasing(1e-9) {
+		t.Errorf("participation sweep not increasing: %v", res.Participation.Ys())
+	}
+	if !res.Willingness.IsNonDecreasing(1e-9) {
+		t.Errorf("willingness sweep not increasing: %v", res.Willingness.Ys())
+	}
+	if res.PlacementAtLightKWh <= res.PlacementMidBlockKWh {
+		t.Errorf("placement ordering violated: %v vs %v",
+			res.PlacementAtLightKWh, res.PlacementMidBlockKWh)
+	}
+	// Doubling coverage must help sublinearly at the stop line (the
+	// queue has finite extent), but it must help.
+	first, _ := res.Coverage.YAt(50)
+	last, _ := res.Coverage.YAt(400)
+	if last <= first {
+		t.Error("8x coverage gained nothing")
+	}
+	if len(res.Tables()) != 4 {
+		t.Error("expected four factor tables")
+	}
+}
+
+func TestFactorSweepWillingnessCompoundsParticipation(t *testing.T) {
+	res, err := FactorSweep(FactorSweepConfig{
+		Seed:  2,
+		Start: 17 * time.Hour,
+		End:   17*time.Hour + 30*time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Willingness 1.0 at participation 0.5 should roughly match the
+	// participation sweep's 0.5 point (same effective fraction).
+	w100, _ := res.Willingness.YAt(1.0)
+	p50, _ := res.Participation.YAt(0.5)
+	if w100 != p50 {
+		t.Errorf("willingness(1.0)@50%% = %v should equal participation(0.5) = %v", w100, p50)
+	}
+}

@@ -1,0 +1,74 @@
+package experiments
+
+import (
+	"time"
+
+	"olevgrid/internal/grid"
+	"olevgrid/internal/stats"
+)
+
+// Fig2Result holds the four Fig. 2 series at hourly resolution.
+type Fig2Result struct {
+	// IntegratedLoad and ForecastLoad are Fig. 2(a), MW.
+	IntegratedLoad *stats.Series
+	ForecastLoad   *stats.Series
+	// Deficiency is Fig. 2(b), MW.
+	Deficiency *stats.Series
+	// LBMP is Fig. 2(c), $/MWh.
+	LBMP *stats.Series
+	// Ancillary prices are Fig. 2(d), $/MW.
+	TenMinSync         *stats.Series
+	RegulationCapacity *stats.Series
+	RegulationMovement *stats.Series
+	// Scalars the paper quotes in the text.
+	MinLoadMW       float64
+	PeakLoadMW      float64
+	MaxDeficiencyMW float64
+	MeanLBMP        float64
+	MeanAncillary   float64
+}
+
+// Fig2 synthesizes the ISO day and extracts the paper's series.
+func Fig2(cfg grid.Config) (*Fig2Result, error) {
+	day, err := grid.NewDay(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig2Result{
+		IntegratedLoad:     stats.NewSeries("integrated-load-mw"),
+		ForecastLoad:       stats.NewSeries("forecast-load-mw"),
+		Deficiency:         stats.NewSeries("deficiency-mw"),
+		LBMP:               stats.NewSeries("lbmp-per-mwh"),
+		TenMinSync:         stats.NewSeries("10min-sync"),
+		RegulationCapacity: stats.NewSeries("reg-capacity"),
+		RegulationMovement: stats.NewSeries("reg-movement"),
+		MinLoadMW:          day.MinLoadMW(),
+		PeakLoadMW:         day.PeakLoadMW(),
+		MaxDeficiencyMW:    day.MaxAbsDeficiencyMW(),
+		MeanLBMP:           day.MeanLBMP(),
+		MeanAncillary:      day.MeanAncillary(),
+	}
+	for h := 0; h < 24; h++ {
+		t := time.Duration(h) * time.Hour
+		res.IntegratedLoad.Add(float64(h), day.IntegratedLoadMW(t))
+		res.ForecastLoad.Add(float64(h), day.ForecastLoadMW(t))
+		res.Deficiency.Add(float64(h), day.DeficiencyMW(t))
+		res.LBMP.Add(float64(h), day.LBMP(t))
+		sync, regCap, regMove := day.Ancillary(t)
+		res.TenMinSync.Add(float64(h), sync)
+		res.RegulationCapacity.Add(float64(h), regCap)
+		res.RegulationMovement.Add(float64(h), regMove)
+	}
+	return res, nil
+}
+
+// Tables renders the four figures.
+func (r *Fig2Result) Tables() []Table {
+	return []Table{
+		seriesTable("Fig 2(a): actual and forecasted load (MW)", "hour", r.IntegratedLoad, r.ForecastLoad),
+		seriesTable("Fig 2(b): power deficiency (MW)", "hour", r.Deficiency),
+		seriesTable("Fig 2(c): location-based marginal price ($/MWh)", "hour", r.LBMP),
+		seriesTable("Fig 2(d): ancillary service prices ($/MW)", "hour",
+			r.TenMinSync, r.RegulationCapacity, r.RegulationMovement),
+	}
+}

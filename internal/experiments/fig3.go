@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"olevgrid/internal/roadnet"
+	"olevgrid/internal/stats"
+	"olevgrid/internal/trace"
+	"olevgrid/internal/traffic"
+	"olevgrid/internal/units"
+	"olevgrid/internal/wpt"
+)
+
+// Fig3Config parameterizes the Section III motivation study.
+type Fig3Config struct {
+	// RoadLength is the simulated arterial length; zero means 1 km.
+	RoadLength units.Distance
+	// SpeedLimit is the arterial speed limit; zero means 50 km/h.
+	SpeedLimit units.Speed
+	// Counts is the hourly demand; zero value means the embedded
+	// Flatlands Avenue profile.
+	Counts trace.HourlyCounts
+	// Section is the charging-section spec; zero value means the
+	// paper's 200 m / 100 kW section.
+	Section wpt.SectionSpec
+	// Participation is the fraction of vehicles equipped as OLEVs;
+	// zero means 1 (the paper's "full participation").
+	Participation float64
+	// Seed drives the traffic randomness.
+	Seed int64
+	// Window bounds the simulated time of day; zero means a full day.
+	Start, End time.Duration
+}
+
+func (c *Fig3Config) applyDefaults() {
+	if c.RoadLength == 0 {
+		c.RoadLength = units.Meters(1000)
+	}
+	if c.SpeedLimit == 0 {
+		c.SpeedLimit = units.KMH(50)
+	}
+	if c.Counts == (trace.HourlyCounts{}) {
+		c.Counts = trace.FlatlandsAvenue()
+	}
+	if c.Section == (wpt.SectionSpec{}) {
+		c.Section = wpt.MotivationSpec()
+	}
+	if c.Participation == 0 {
+		c.Participation = 1
+	}
+	if c.End == 0 {
+		c.End = 24 * time.Hour
+	}
+}
+
+// PlacementOutcome is one placement's day of accumulation.
+type PlacementOutcome struct {
+	Placement wpt.Placement
+	// IntersectionMinutes[h] is total vehicle-minutes on the section
+	// during hour h — the Fig. 3(b) series.
+	IntersectionMinutes *stats.Series
+	// EnergyKWh[h] is the energy transferred during hour h — the
+	// Fig. 3(c) series.
+	EnergyKWh *stats.Series
+	// Totals over the day.
+	TotalIntersection time.Duration
+	TotalEnergy       units.Energy
+	Vehicles          int
+}
+
+// Fig3Result compares the two placements.
+type Fig3Result struct {
+	AtLight  PlacementOutcome
+	MidBlock PlacementOutcome
+}
+
+// Fig3 runs the motivation study: the same demand over the same road,
+// once with the charging section at the stop line and once mid-block.
+func Fig3(cfg Fig3Config) (*Fig3Result, error) {
+	cfg.applyDefaults()
+	if cfg.Participation < 0 || cfg.Participation > 1 {
+		return nil, fmt.Errorf("experiments: participation %v outside [0, 1]", cfg.Participation)
+	}
+	at, err := runPlacement(cfg, wpt.PlacementAtTrafficLight)
+	if err != nil {
+		return nil, err
+	}
+	mid, err := runPlacement(cfg, wpt.PlacementMidBlock)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig3Result{AtLight: *at, MidBlock: *mid}, nil
+}
+
+func runPlacement(cfg Fig3Config, placement wpt.Placement) (*PlacementOutcome, error) {
+	lane, err := wpt.PlaceOnRoad(cfg.RoadLength, cfg.Section, placement)
+	if err != nil {
+		return nil, err
+	}
+	plan := roadnet.DefaultSignalPlan()
+	sim, err := traffic.NewSim(traffic.SimConfig{
+		RoadLength: cfg.RoadLength,
+		SpeedLimit: cfg.SpeedLimit,
+		Signal:     &plan,
+		Counts:     cfg.Counts,
+		Seed:       cfg.Seed,
+		Start:      cfg.Start,
+		End:        cfg.End,
+	})
+	if err != nil {
+		return nil, err
+	}
+	acc := wpt.NewAccumulator(lane)
+	if cfg.Participation < 1 {
+		// Deterministic participation: hash the vehicle ID into [0,1).
+		threshold := cfg.Participation
+		acc.SetDrawPower(func(vehID string, s wpt.Section, vel units.Speed) units.Power {
+			if hashUnit(vehID) >= threshold {
+				return 0
+			}
+			return defaultDraw(s, vel)
+		})
+	}
+	sim.AddObserver(acc.Observe)
+	sim.Run()
+
+	sectionID := lane.Sections()[0].ID
+	rec := acc.Record(sectionID)
+	out := &PlacementOutcome{
+		Placement:           placement,
+		IntersectionMinutes: stats.NewSeries(fmt.Sprintf("%s-minutes", placement)),
+		EnergyKWh:           stats.NewSeries(fmt.Sprintf("%s-kwh", placement)),
+		TotalIntersection:   rec.TotalTime(),
+		TotalEnergy:         rec.TotalEnergy(),
+		Vehicles:            rec.Vehicles,
+	}
+	for h := 0; h < 24; h++ {
+		out.IntersectionMinutes.Add(float64(h), rec.TimeByHour[h].Minutes())
+		out.EnergyKWh.Add(float64(h), rec.EnergyByHour[h].KWh())
+	}
+	return out, nil
+}
+
+// defaultDraw mirrors the accumulator's built-in power rule for use by
+// the participation filter.
+func defaultDraw(s wpt.Section, vel units.Speed) units.Power {
+	p := s.RatedPower
+	if vel > 0 {
+		if lc := s.LineCapacity(vel); lc < p {
+			p = lc
+		}
+	}
+	return p
+}
+
+// hashUnit maps a string to a stable value in [0, 1).
+func hashUnit(s string) float64 {
+	var h uint64 = 1469598103934665603 // FNV offset basis
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return float64(h%1000000) / 1000000
+}
+
+// Tables renders Fig. 3(b) and 3(c).
+func (r *Fig3Result) Tables() []Table {
+	return []Table{
+		seriesTable("Fig 3(b): intersection time (min/hour)", "hour",
+			r.AtLight.IntersectionMinutes, r.MidBlock.IntersectionMinutes),
+		seriesTable("Fig 3(c): power received (kWh/hour)", "hour",
+			r.AtLight.EnergyKWh, r.MidBlock.EnergyKWh),
+	}
+}

@@ -1,0 +1,297 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"olevgrid/internal/pricing"
+	"olevgrid/internal/stats"
+	"olevgrid/internal/units"
+)
+
+// GameDefaults collects the parameters the Fig. 5/6 games share. The
+// zero value of each field selects the documented default.
+type GameDefaults struct {
+	// SectionLength feeds Eq. (1); default 15 m.
+	SectionLength units.Distance
+	// BetaPerMWh is β; default 20 $/MWh, a typical NYISO LBMP level
+	// (grid.Day.MeanLBMP supplies a synthesized value if preferred).
+	BetaPerMWh float64
+	// Seed drives fleet draws and update order.
+	Seed int64
+}
+
+func (d *GameDefaults) apply() {
+	if d.SectionLength == 0 {
+		d.SectionLength = units.Meters(15)
+	}
+	if d.BetaPerMWh == 0 {
+		d.BetaPerMWh = 20
+	}
+	if d.Seed == 0 {
+		d.Seed = 1
+	}
+}
+
+// PaymentPoint is one x-position of Fig. 5(a)/6(a).
+type PaymentPoint struct {
+	TargetCongestion   float64
+	RealizedCongestion float64
+	NonlinearPerMWh    float64
+	LinearPerMWh       float64
+	TotalPaymentPerH   float64
+}
+
+// PaymentVsCongestion reproduces Fig. 5(a)/6(a): for each target
+// congestion degree, a demand level whose interior equilibrium
+// realizes it is derived (pricing.CongestionTargetWeight), the game is
+// run to convergence, and the unit payment measured. The linear
+// baseline's flat tariff is overlaid.
+func PaymentVsCongestion(vel units.Speed, d GameDefaults) ([]PaymentPoint, error) {
+	d.apply()
+	const n, c = 50, 20
+	lineCap := pricing.LineCapacityKW(d.SectionLength, vel)
+	if lineCap <= 0 {
+		return nil, fmt.Errorf("experiments: velocity %v yields no line capacity", vel)
+	}
+	linearFlat := d.BetaPerMWh * pricing.DefaultLinearBetaScale
+
+	var points []PaymentPoint
+	for x := 0.1; x < 0.95; x += 0.1 {
+		w, err := pricing.CongestionTargetWeight(pricing.Nonlinear{}, d.BetaPerMWh, lineCap, c, n, x)
+		if err != nil {
+			return nil, err
+		}
+		_, players, err := pricing.BuildFleet(pricing.FleetConfig{
+			N: n, Velocity: vel, SatisfactionWeight: w, Seed: d.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out, err := pricing.Nonlinear{}.Run(pricing.Scenario{
+			Players: players, NumSections: c, LineCapacityKW: lineCap,
+			Eta: 1.0, BetaPerMWh: d.BetaPerMWh, Seed: d.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, PaymentPoint{
+			TargetCongestion:   math.Round(x*10) / 10,
+			RealizedCongestion: out.CongestionDegree,
+			NonlinearPerMWh:    out.UnitPaymentPerMWh,
+			LinearPerMWh:       linearFlat,
+			TotalPaymentPerH:   out.TotalPaymentPerHour,
+		})
+	}
+	return points, nil
+}
+
+// PaymentTable renders Fig. 5(a)/6(a).
+func PaymentTable(title string, points []PaymentPoint) Table {
+	t := Table{
+		Title:   title,
+		Columns: []string{"congestion", "nonlinear $/MWh", "linear $/MWh", "total $/h"},
+	}
+	for _, p := range points {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.1f", p.TargetCongestion),
+			fmt.Sprintf("%.2f", p.NonlinearPerMWh),
+			fmt.Sprintf("%.2f", p.LinearPerMWh),
+			fmt.Sprintf("%.3f", p.TotalPaymentPerH),
+		})
+	}
+	return t
+}
+
+// WelfareVsSections reproduces Fig. 5(b)/6(b): converged social
+// welfare as the number of charging sections sweeps 10..90, one series
+// per fleet size.
+func WelfareVsSections(vel units.Speed, fleetSizes []int, d GameDefaults) ([]*stats.Series, error) {
+	d.apply()
+	lineCap := pricing.LineCapacityKW(d.SectionLength, vel)
+	var series []*stats.Series
+	for _, n := range fleetSizes {
+		s := stats.NewSeries(fmt.Sprintf("N=%d", n))
+		_, players, err := pricing.BuildFleet(pricing.FleetConfig{
+			N: n, Velocity: vel, SatisfactionWeight: 1, Seed: d.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		for c := 10; c <= 90; c += 10 {
+			out, err := pricing.Nonlinear{}.Run(pricing.Scenario{
+				Players: players, NumSections: c, LineCapacityKW: lineCap,
+				Eta: 0.9, BetaPerMWh: d.BetaPerMWh, Seed: d.Seed,
+				MaxUpdates: 400 * n,
+			})
+			if err != nil {
+				return nil, err
+			}
+			s.Add(float64(c), out.Welfare)
+		}
+		series = append(series, s)
+	}
+	return series, nil
+}
+
+// LoadBalanceResult holds the Fig. 5(c)/6(c) series and their scalar
+// reduction.
+type LoadBalanceResult struct {
+	Nonlinear *stats.Series
+	Linear    *stats.Series
+	// CVs are the coefficients of variation across sections.
+	NonlinearCV float64
+	LinearCV    float64
+	// Total scheduled power per policy.
+	NonlinearTotalKW float64
+	LinearTotalKW    float64
+}
+
+// LoadBalance reproduces Fig. 5(c)/6(c): the per-section power totals
+// of both policies with N=50 OLEVs over C=100 sections. η = 0.65
+// leaves the 60 mph game interior but lets the capacity bind at
+// 80 mph, so the velocity contrast in total power is visible as in
+// the paper.
+func LoadBalance(vel units.Speed, d GameDefaults) (*LoadBalanceResult, error) {
+	d.apply()
+	const n, c, eta = 50, 100, 0.65
+	lineCap := pricing.LineCapacityKW(d.SectionLength, vel)
+	_, players, err := pricing.BuildFleet(pricing.FleetConfig{
+		N: n, Velocity: vel, SatisfactionWeight: 2, Seed: d.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	scenario := pricing.Scenario{
+		Players: players, NumSections: c, LineCapacityKW: lineCap,
+		Eta: eta, BetaPerMWh: d.BetaPerMWh, Seed: d.Seed,
+		MaxUpdates: 1000, // the paper runs 1000 best-response updates
+	}
+
+	nl, err := pricing.Nonlinear{}.Run(scenario)
+	if err != nil {
+		return nil, err
+	}
+	lin, err := pricing.Linear{}.Run(scenario)
+	if err != nil {
+		return nil, err
+	}
+	res := &LoadBalanceResult{
+		Nonlinear:        stats.NewSeries("nonlinear-kw"),
+		Linear:           stats.NewSeries("linear-kw"),
+		NonlinearCV:      nl.LoadImbalance(),
+		LinearCV:         lin.LoadImbalance(),
+		NonlinearTotalKW: nl.TotalPowerKW,
+		LinearTotalKW:    lin.TotalPowerKW,
+	}
+	for i := 0; i < c; i++ {
+		res.Nonlinear.Add(float64(i+1), nl.SectionTotalsKW[i])
+		res.Linear.Add(float64(i+1), lin.SectionTotalsKW[i])
+	}
+	return res, nil
+}
+
+// ConvergencePoint is one averaged trajectory sample of Fig. 5(d)/6(d).
+type ConvergenceResult struct {
+	// Trajectories maps fleet size to the mean congestion degree after
+	// each update, averaged over the configured number of runs.
+	Trajectories map[int]*stats.Series
+	// UpdatesToSettle maps fleet size to the mean number of updates
+	// until the congestion degree stays within 2% of its final value.
+	UpdatesToSettle map[int]float64
+	// SettleCI attaches a 95% bootstrap confidence interval to each
+	// UpdatesToSettle mean.
+	SettleCI map[int]stats.CI
+}
+
+// Convergence reproduces Fig. 5(d)/6(d): the congestion-degree
+// trajectory of the best-response iteration toward the η = 0.9
+// target, averaged over runs (the paper averages 50).
+func Convergence(vel units.Speed, fleetSizes []int, runs, maxUpdates int, d GameDefaults) (*ConvergenceResult, error) {
+	d.apply()
+	if runs < 1 {
+		runs = 1
+	}
+	if maxUpdates < 1 {
+		maxUpdates = 150
+	}
+	const c, eta = 12, 0.9
+	lineCap := pricing.LineCapacityKW(d.SectionLength, vel)
+
+	res := &ConvergenceResult{
+		Trajectories:    make(map[int]*stats.Series, len(fleetSizes)),
+		UpdatesToSettle: make(map[int]float64, len(fleetSizes)),
+		SettleCI:        make(map[int]stats.CI, len(fleetSizes)),
+	}
+	for _, n := range fleetSizes {
+		mean := make([]float64, maxUpdates)
+		settles := make([]float64, 0, runs)
+		for run := 0; run < runs; run++ {
+			seed := d.Seed + int64(run)*1001
+			_, players, err := pricing.BuildFleet(pricing.FleetConfig{
+				N: n, Velocity: vel, SatisfactionWeight: 1, Seed: seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			out, err := pricing.Nonlinear{}.Run(pricing.Scenario{
+				Players: players, NumSections: c, LineCapacityKW: lineCap,
+				Eta: eta, BetaPerMWh: d.BetaPerMWh, Seed: seed,
+				MaxUpdates: maxUpdates,
+			})
+			if err != nil {
+				return nil, err
+			}
+			hist := out.CongestionHistory
+			for i := 0; i < maxUpdates; i++ {
+				v := out.CongestionDegree
+				if i < len(hist) {
+					v = hist[i]
+				}
+				mean[i] += v
+			}
+			settles = append(settles, float64(settleUpdate(hist, out.CongestionDegree, 0.02)))
+		}
+		s := stats.NewSeries(fmt.Sprintf("N=%d", n))
+		for i := range mean {
+			s.Add(float64(i+1), mean[i]/float64(runs))
+		}
+		res.Trajectories[n] = s
+		res.UpdatesToSettle[n] = stats.Mean(settles)
+		ci, err := stats.BootstrapMeanCI(stats.NewRand(d.Seed+int64(n)), settles, 0.95, 1000)
+		if err != nil {
+			return nil, err
+		}
+		res.SettleCI[n] = ci
+	}
+	return res, nil
+}
+
+// settleUpdate returns the first update index after which the
+// congestion trajectory stays within tol of its final value.
+func settleUpdate(hist []float64, final, tol float64) int {
+	settle := len(hist)
+	for i := len(hist) - 1; i >= 0; i-- {
+		if math.Abs(hist[i]-final) > tol {
+			break
+		}
+		settle = i
+	}
+	return settle + 1
+}
+
+// BuildBetaFromLBMP converts the grid substrate's synthesized mean
+// LBMP into the β used by the games; exposed so the examples can wire
+// Fig. 2's output into Fig. 5's input the way the paper describes.
+func BuildBetaFromLBMP(meanLBMP float64) (float64, error) {
+	if meanLBMP <= 0 {
+		return 0, fmt.Errorf("experiments: mean LBMP %v must be positive", meanLBMP)
+	}
+	return meanLBMP, nil
+}
+
+// Interface checks that the policies used above stay interchangeable.
+var (
+	_ pricing.Policy = pricing.Nonlinear{}
+	_ pricing.Policy = pricing.Linear{}
+)

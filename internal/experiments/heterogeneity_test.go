@@ -1,0 +1,36 @@
+package experiments
+
+import "testing"
+
+func TestHeterogeneitySweep(t *testing.T) {
+	points, err := HeterogeneitySweep([]float64{0, 3, 8}, GameDefaults{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("got %d points", len(points))
+	}
+	for _, p := range points {
+		if p.Fairness <= 0 || p.Fairness > 1 {
+			t.Errorf("std %v: fairness %v outside (0, 1]", p.VelocityStdMPS, p.Fairness)
+		}
+		if p.TotalPowerKW <= 0 {
+			t.Errorf("std %v: no power", p.VelocityStdMPS)
+		}
+	}
+	// The robustness claim: at realistic dispersion the Eq. (3) caps
+	// do not bind, so fairness stays near 1 and welfare is flat
+	// across the sweep.
+	for _, p := range points {
+		if p.Fairness < 0.95 {
+			t.Errorf("std %v: fairness %v; caps should not bind here", p.VelocityStdMPS, p.Fairness)
+		}
+	}
+	spread := points[0].Welfare - points[2].Welfare
+	if spread < 0 {
+		spread = -spread
+	}
+	if spread > 0.05*points[0].Welfare {
+		t.Errorf("welfare moved %v across dispersion; expected near-flat", spread)
+	}
+}

@@ -1,0 +1,152 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"olevgrid/internal/roadnet"
+	"olevgrid/internal/trace"
+	"olevgrid/internal/traffic"
+	"olevgrid/internal/units"
+	"olevgrid/internal/wpt"
+)
+
+// MultiIntersectionConfig drives the Section III extrapolation: the
+// paper measures one intersection, then argues that Brooklyn's 4371
+// signalized intersections aggregate to grid-scale load. This harness
+// simulates a corridor of several signalized intersections, each with
+// its own charging section at the stop line, and extrapolates.
+type MultiIntersectionConfig struct {
+	// Intersections is the number of signalized stop lines on the
+	// corridor; zero means 3.
+	Intersections int
+	// BlockLength separates consecutive intersections; zero means
+	// 400 m.
+	BlockLength units.Distance
+	// SpeedLimit applies corridor-wide; zero means 50 km/h.
+	SpeedLimit units.Speed
+	// Counts is the demand profile; zero value means Flatlands.
+	Counts trace.HourlyCounts
+	// Section is the per-intersection charging spec; zero value means
+	// the paper's 200 m / 100 kW section.
+	Section wpt.SectionSpec
+	// Window bounds the simulation; zero End means a 3 h PM peak.
+	Start, End time.Duration
+	// ExtrapolateTo scales the per-intersection average to a city
+	// count; zero means the paper's 4371.
+	ExtrapolateTo int
+	// Seed drives the traffic.
+	Seed int64
+}
+
+func (c *MultiIntersectionConfig) applyDefaults() {
+	if c.Intersections == 0 {
+		c.Intersections = 3
+	}
+	if c.BlockLength == 0 {
+		c.BlockLength = units.Meters(400)
+	}
+	if c.SpeedLimit == 0 {
+		c.SpeedLimit = units.KMH(50)
+	}
+	if c.Counts == (trace.HourlyCounts{}) {
+		c.Counts = trace.FlatlandsAvenue()
+	}
+	if c.Section == (wpt.SectionSpec{}) {
+		c.Section = wpt.MotivationSpec()
+	}
+	if c.End == 0 {
+		c.Start, c.End = 16*time.Hour, 19*time.Hour
+	}
+	if c.ExtrapolateTo == 0 {
+		c.ExtrapolateTo = 4371
+	}
+}
+
+// MultiIntersectionResult aggregates the corridor's harvest.
+type MultiIntersectionResult struct {
+	// PerIntersectionKWh lists each stop line's harvested energy,
+	// upstream first.
+	PerIntersectionKWh []float64
+	// CorridorKWh is the corridor total.
+	CorridorKWh float64
+	// CityEstimateMWh extrapolates the per-intersection mean to the
+	// configured city intersection count.
+	CityEstimateMWh float64
+	// Vehicles is the number of distinct vehicles that charged.
+	Vehicles int
+}
+
+// MultiIntersection runs the corridor study.
+func MultiIntersection(cfg MultiIntersectionConfig) (*MultiIntersectionResult, error) {
+	cfg.applyDefaults()
+	if cfg.Intersections < 1 {
+		return nil, fmt.Errorf("experiments: need intersections, got %d", cfg.Intersections)
+	}
+	if cfg.Section.Length > cfg.BlockLength {
+		return nil, fmt.Errorf("experiments: section %v longer than block %v",
+			cfg.Section.Length, cfg.BlockLength)
+	}
+
+	// Build the corridor: one segment per block, signal at each end.
+	plan := roadnet.DefaultSignalPlan()
+	segments := make([]traffic.Segment, cfg.Intersections)
+	sections := make([]wpt.Section, cfg.Intersections)
+	var offset units.Distance
+	for i := range segments {
+		p := plan
+		p.Offset = time.Duration(i) * 25 * time.Second // green wave-ish
+		segments[i] = traffic.Segment{
+			Length:     cfg.BlockLength,
+			SpeedLimit: cfg.SpeedLimit,
+			Signal:     &p,
+		}
+		end := offset + cfg.BlockLength
+		sections[i] = wpt.Section{
+			ID:          i + 1,
+			Start:       end - cfg.Section.Length,
+			Length:      cfg.Section.Length,
+			LineVoltage: cfg.Section.LineVoltage,
+			MaxCurrent:  cfg.Section.MaxCurrent,
+			RatedPower:  cfg.Section.RatedPower,
+		}
+		offset = end
+	}
+	lane, err := wpt.NewLane(offset, sections)
+	if err != nil {
+		return nil, err
+	}
+	sim, err := traffic.NewCorridorSim(traffic.CorridorConfig{
+		Segments: segments,
+		Counts:   cfg.Counts,
+		Seed:     cfg.Seed,
+		Start:    cfg.Start,
+		End:      cfg.End,
+	})
+	if err != nil {
+		return nil, err
+	}
+	acc := wpt.NewAccumulator(lane)
+	sim.AddObserver(acc.Observe)
+	sim.Run()
+
+	res := &MultiIntersectionResult{
+		PerIntersectionKWh: make([]float64, cfg.Intersections),
+	}
+	for i, s := range sections {
+		rec := acc.Record(s.ID)
+		res.PerIntersectionKWh[i] = rec.TotalEnergy().KWh()
+		res.CorridorKWh += res.PerIntersectionKWh[i]
+		res.Vehicles = maxInt(res.Vehicles, rec.Vehicles)
+	}
+	perIntersection := res.CorridorKWh / float64(cfg.Intersections)
+	res.CityEstimateMWh = perIntersection * float64(cfg.ExtrapolateTo) / 1000
+	return res, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"olevgrid/internal/units"
+)
+
+func TestMultiIntersection(t *testing.T) {
+	res, err := MultiIntersection(MultiIntersectionConfig{
+		Seed:  1,
+		Start: 17 * time.Hour,
+		End:   18 * time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.PerIntersectionKWh) != 3 {
+		t.Fatalf("got %d intersections", len(res.PerIntersectionKWh))
+	}
+	var sum float64
+	for i, kwh := range res.PerIntersectionKWh {
+		if kwh <= 0 {
+			t.Errorf("intersection %d harvested nothing", i)
+		}
+		sum += kwh
+	}
+	if sum != res.CorridorKWh {
+		t.Errorf("corridor total %v != per-intersection sum %v", res.CorridorKWh, sum)
+	}
+	// The city extrapolation should land at grid scale — the paper's
+	// point that aggregated WPT load moves the operator's demand.
+	if res.CityEstimateMWh < 10 {
+		t.Errorf("city estimate %v MWh is not grid-scale", res.CityEstimateMWh)
+	}
+	if res.Vehicles == 0 {
+		t.Error("no charging vehicles observed")
+	}
+	// The first intersection sees the rawest arrival stream; everyone
+	// queues there. Downstream intersections receive platooned flow
+	// but must still harvest the same order of magnitude.
+	first, last := res.PerIntersectionKWh[0], res.PerIntersectionKWh[2]
+	if last < first/10 {
+		t.Errorf("downstream intersection %v starved relative to first %v", last, first)
+	}
+}
+
+func TestMultiIntersectionValidation(t *testing.T) {
+	// A section longer than its block cannot be installed.
+	cfg := MultiIntersectionConfig{
+		BlockLength: units.Meters(100),
+		Seed:        1,
+		Start:       17 * time.Hour,
+		End:         17*time.Hour + 10*time.Minute,
+	}
+	if _, err := MultiIntersection(cfg); err == nil {
+		t.Error("200m section in a 100m block accepted")
+	}
+}
+
+func TestMultiIntersectionExtrapolationScales(t *testing.T) {
+	base := MultiIntersectionConfig{
+		Seed:  1,
+		Start: 17 * time.Hour,
+		End:   17*time.Hour + 30*time.Minute,
+	}
+	small, err := MultiIntersection(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.ExtrapolateTo = 8742 // double the city
+	big, err := MultiIntersection(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := big.CityEstimateMWh / small.CityEstimateMWh
+	if ratio < 1.99 || ratio > 2.01 {
+		t.Errorf("doubling intersections scaled estimate by %v, want 2", ratio)
+	}
+}

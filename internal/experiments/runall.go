@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"olevgrid/internal/grid"
+	"olevgrid/internal/stats"
+	"olevgrid/internal/units"
+)
+
+// RunAll regenerates every figure and writes the rendered tables to w.
+// quick trades statistical smoothing (fewer convergence runs) for
+// speed; the shapes are unaffected.
+func RunAll(w io.Writer, quick bool) error {
+	runs := 50
+	if quick {
+		runs = 5
+	}
+
+	// Fig. 2 — the ISO day.
+	fig2, err := Fig2(grid.DefaultConfig())
+	if err != nil {
+		return fmt.Errorf("fig2: %w", err)
+	}
+	for _, t := range fig2.Tables() {
+		if _, err := fmt.Fprintln(w, t); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w,
+		"fig2 scalars: load [%.1f, %.1f] MW, max deficiency %.1f MW, mean LBMP $%.2f/MWh, mean ancillary $%.2f/MW\n\n",
+		fig2.MinLoadMW, fig2.PeakLoadMW, fig2.MaxDeficiencyMW, fig2.MeanLBMP, fig2.MeanAncillary); err != nil {
+		return err
+	}
+
+	// Fig. 3 — the motivation traffic study.
+	fig3, err := Fig3(Fig3Config{Seed: 1})
+	if err != nil {
+		return fmt.Errorf("fig3: %w", err)
+	}
+	for _, t := range fig3.Tables() {
+		if _, err := fmt.Fprintln(w, t); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w,
+		"fig3 totals: at-light %.1f h / %.1f kWh, mid-block %.1f h / %.1f kWh\n\n",
+		fig3.AtLight.TotalIntersection.Hours(), fig3.AtLight.TotalEnergy.KWh(),
+		fig3.MidBlock.TotalIntersection.Hours(), fig3.MidBlock.TotalEnergy.KWh()); err != nil {
+		return err
+	}
+
+	// Figs. 5 and 6 — the pricing game at both velocities.
+	for _, mph := range []float64{60, 80} {
+		vel := units.MPH(mph)
+		figNum := 5
+		if mph == 80 {
+			figNum = 6
+		}
+		d := GameDefaults{}
+
+		points, err := PaymentVsCongestion(vel, d)
+		if err != nil {
+			return fmt.Errorf("fig%da: %w", figNum, err)
+		}
+		title := fmt.Sprintf("Fig %d(a): payment vs congestion degree (%.0f mph)", figNum, mph)
+		if _, err := fmt.Fprintln(w, PaymentTable(title, points)); err != nil {
+			return err
+		}
+
+		welfare, err := WelfareVsSections(vel, []int{30, 40, 50}, d)
+		if err != nil {
+			return fmt.Errorf("fig%db: %w", figNum, err)
+		}
+		title = fmt.Sprintf("Fig %d(b): social welfare vs number of charging sections (%.0f mph)", figNum, mph)
+		if _, err := fmt.Fprintln(w, seriesTable(title, "sections", welfare...)); err != nil {
+			return err
+		}
+
+		balance, err := LoadBalance(vel, d)
+		if err != nil {
+			return fmt.Errorf("fig%dc: %w", figNum, err)
+		}
+		title = fmt.Sprintf("Fig %d(c): total power per charging section (%.0f mph)", figNum, mph)
+		if _, err := fmt.Fprintln(w, seriesTable(title, "section", balance.Nonlinear, balance.Linear)); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w,
+			"fig%dc scalars: nonlinear CV %.3f total %.0f kW | linear CV %.3f total %.0f kW\n\n",
+			figNum, balance.NonlinearCV, balance.NonlinearTotalKW,
+			balance.LinearCV, balance.LinearTotalKW); err != nil {
+			return err
+		}
+
+		conv, err := Convergence(vel, []int{30, 40, 50}, runs, 150, d)
+		if err != nil {
+			return fmt.Errorf("fig%dd: %w", figNum, err)
+		}
+		title = fmt.Sprintf("Fig %d(d): congestion degree vs number of updates (%.0f mph, mean of %d runs)", figNum, mph, runs)
+		if _, err := fmt.Fprintln(w, seriesTable(title, "update",
+			downsample(conv.Trajectories[30], 10),
+			downsample(conv.Trajectories[40], 10),
+			downsample(conv.Trajectories[50], 10))); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w,
+			"fig%dd settle updates: N=30 %.0f, N=40 %.0f, N=50 %.0f\n\n",
+			figNum, conv.UpdatesToSettle[30], conv.UpdatesToSettle[40], conv.UpdatesToSettle[50]); err != nil {
+			return err
+		}
+	}
+
+	// Beyond the paper: the three-policy comparison.
+	comparison, err := PolicyComparison(GameDefaults{})
+	if err != nil {
+		return fmt.Errorf("policy comparison: %w", err)
+	}
+	if _, err := fmt.Fprintln(w, comparison); err != nil {
+		return err
+	}
+	return nil
+}
+
+// downsample keeps every k-th point so long trajectories render as
+// readable tables.
+func downsample(s *stats.Series, k int) *stats.Series {
+	if s == nil || k <= 1 {
+		return s
+	}
+	out := stats.NewSeries(s.Name)
+	for i, p := range s.Points {
+		if i%k == 0 {
+			out.Points = append(out.Points, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,91 @@
+// Package experiments contains one harness per figure of the paper's
+// evaluation. Each harness builds its workload, runs the relevant
+// substrate or policy, and returns the same series the paper plots,
+// renderable as aligned text tables or CSV. The bench targets in the
+// repository root and cmd/wpt-experiments both drive these harnesses.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"olevgrid/internal/stats"
+)
+
+// Table is a rendered experiment result.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// String renders the table with aligned columns.
+func (t Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var sb strings.Builder
+	sb.WriteString("# ")
+	sb.WriteString(t.Title)
+	sb.WriteByte('\n')
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(cell)
+			for pad := len(cell); pad < widths[i]; pad++ {
+				sb.WriteByte(' ')
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return sb.String()
+}
+
+// CSV renders the table as comma-separated values.
+func (t Table) CSV() string {
+	var sb strings.Builder
+	sb.WriteString(strings.Join(t.Columns, ","))
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		sb.WriteString(strings.Join(row, ","))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// seriesTable renders aligned x/y series sharing an x column.
+func seriesTable(title, xLabel string, series ...*stats.Series) Table {
+	cols := []string{xLabel}
+	for _, s := range series {
+		cols = append(cols, s.Name)
+	}
+	var rows [][]string
+	if len(series) > 0 {
+		for i, p := range series[0].Points {
+			row := []string{fmt.Sprintf("%g", p.X)}
+			for _, s := range series {
+				if i < len(s.Points) {
+					row = append(row, fmt.Sprintf("%.3f", s.Points[i].Y))
+				} else {
+					row = append(row, "")
+				}
+			}
+			rows = append(rows, row)
+		}
+	}
+	return Table{Title: title, Columns: cols, Rows: rows}
+}

@@ -1,0 +1,187 @@
+package grid
+
+import (
+	"fmt"
+	"time"
+
+	"olevgrid/internal/stats"
+)
+
+// stepIndex maps a time of day onto a series index, wrapping at 24 h.
+func stepIndex(t time.Duration) int {
+	i := int(t/Step) % StepsPerDay
+	if i < 0 {
+		i += StepsPerDay
+	}
+	return i
+}
+
+// IntegratedLoadMW returns the actual system load at time of day t.
+func (d *Day) IntegratedLoadMW(t time.Duration) float64 {
+	return d.integrated[stepIndex(t)]
+}
+
+// ForecastLoadMW returns the day-ahead forecast at time of day t.
+func (d *Day) ForecastLoadMW(t time.Duration) float64 {
+	return d.forecast[stepIndex(t)]
+}
+
+// DeficiencyMW returns integrated minus forecast load at time of day
+// t — the Fig. 2(b) series.
+func (d *Day) DeficiencyMW(t time.Duration) float64 {
+	i := stepIndex(t)
+	return d.integrated[i] - d.forecast[i]
+}
+
+// LBMP returns the locational-based marginal price at time of day t in
+// $/MWh — the β the pricing game consumes.
+func (d *Day) LBMP(t time.Duration) float64 {
+	return d.lbmp[stepIndex(t)]
+}
+
+// Ancillary returns the three ancillary prices at time of day t in
+// $/MW: ten-minute synchronized reserve, regulation capacity, and
+// regulation movement.
+func (d *Day) Ancillary(t time.Duration) (tenMinSync, regCapacity, regMovement float64) {
+	i := stepIndex(t)
+	return d.ancillary.TenMinSync[i], d.ancillary.RegulationCapacity[i], d.ancillary.RegulationMovement[i]
+}
+
+// Series returns copies of the full-resolution series for rendering.
+func (d *Day) Series() (integrated, forecast, lbmp []float64) {
+	return copySlice(d.integrated), copySlice(d.forecast), copySlice(d.lbmp)
+}
+
+// AncillarySeries returns a copy of the ancillary price series.
+func (d *Day) AncillarySeries() AncillarySeries {
+	return AncillarySeries{
+		TenMinSync:         copySlice(d.ancillary.TenMinSync),
+		RegulationCapacity: copySlice(d.ancillary.RegulationCapacity),
+		RegulationMovement: copySlice(d.ancillary.RegulationMovement),
+	}
+}
+
+// MeanLBMP returns the day's average price, the evaluation's default
+// β source.
+func (d *Day) MeanLBMP() float64 { return stats.Mean(d.lbmp) }
+
+// MeanAncillary returns the day's average across all three ancillary
+// services — the "$13.41 on 12th May 2016" scalar the paper quotes.
+func (d *Day) MeanAncillary() float64 {
+	total := stats.Mean(d.ancillary.TenMinSync) +
+		stats.Mean(d.ancillary.RegulationCapacity) +
+		stats.Mean(d.ancillary.RegulationMovement)
+	return total / 3
+}
+
+// PeakLoadMW returns the day's maximum integrated load.
+func (d *Day) PeakLoadMW() float64 {
+	var s stats.Summary
+	s.AddAll(d.integrated)
+	return s.Max()
+}
+
+// MinLoadMW returns the day's minimum integrated load.
+func (d *Day) MinLoadMW() float64 {
+	var s stats.Summary
+	s.AddAll(d.integrated)
+	return s.Min()
+}
+
+// MaxAbsDeficiencyMW returns the day's largest forecast miss.
+func (d *Day) MaxAbsDeficiencyMW() float64 {
+	var max float64
+	for i := range d.integrated {
+		if def := abs(d.integrated[i] - d.forecast[i]); def > max {
+			max = def
+		}
+	}
+	return max
+}
+
+// ControlPeriod classifies how the grid is sourcing power at a moment,
+// per the four electricity-market control periods of Section III.
+type ControlPeriod int
+
+const (
+	// PeriodBaseload: large plants cover the valley.
+	PeriodBaseload ControlPeriod = iota + 1
+	// PeriodPeak: peakers are on the margin.
+	PeriodPeak
+	// PeriodSpinningReserve: reserves are being dispatched against an
+	// under-forecast.
+	PeriodSpinningReserve
+	// PeriodFrequencyControl: regulation is correcting a small
+	// mismatch.
+	PeriodFrequencyControl
+)
+
+func (p ControlPeriod) String() string {
+	switch p {
+	case PeriodBaseload:
+		return "baseload"
+	case PeriodPeak:
+		return "peak"
+	case PeriodSpinningReserve:
+		return "spinning-reserve"
+	case PeriodFrequencyControl:
+		return "frequency-control"
+	default:
+		return fmt.Sprintf("ControlPeriod(%d)", int(p))
+	}
+}
+
+// ControlPeriodAt classifies time of day t: big under-forecasts call
+// spinning reserve, small mismatches call frequency control, and
+// otherwise the load level separates baseload from peak.
+func (d *Day) ControlPeriodAt(t time.Duration) ControlPeriod {
+	def := d.DeficiencyMW(t)
+	switch {
+	case def > 0.5*d.cfg.MaxDeficiencyMW:
+		return PeriodSpinningReserve
+	case abs(def) > 0.2*d.cfg.MaxDeficiencyMW:
+		return PeriodFrequencyControl
+	case d.IntegratedLoadMW(t) > d.cfg.MinLoadMW+0.6*(d.cfg.MaxLoadMW-d.cfg.MinLoadMW):
+		return PeriodPeak
+	default:
+		return PeriodBaseload
+	}
+}
+
+// WithOLEVLoad returns a copy of the day whose integrated load has
+// the given hourly WPT draw added — the Section III thought
+// experiment: the forecast was made without OLEVs, so their in-motion
+// charging lands entirely in the deficiency. loadByHourKW[h] is the
+// average WPT draw during hour h in kW. The deficiency bound no
+// longer applies to the modified day (that is the point).
+func (d *Day) WithOLEVLoad(loadByHourKW [24]float64) *Day {
+	out := &Day{
+		cfg:        d.cfg,
+		integrated: copySlice(d.integrated),
+		forecast:   copySlice(d.forecast),
+		lbmp:       copySlice(d.lbmp),
+		ancillary: AncillarySeries{
+			TenMinSync:         copySlice(d.ancillary.TenMinSync),
+			RegulationCapacity: copySlice(d.ancillary.RegulationCapacity),
+			RegulationMovement: copySlice(d.ancillary.RegulationMovement),
+		},
+	}
+	for i := range out.integrated {
+		h := i * 24 / StepsPerDay
+		out.integrated[i] += loadByHourKW[h] / 1000 // kW -> MW
+	}
+	return out
+}
+
+func copySlice(vs []float64) []float64 {
+	out := make([]float64, len(vs))
+	copy(out, vs)
+	return out
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

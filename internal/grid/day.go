@@ -1,0 +1,236 @@
+// Package grid is the power-grid substrate standing in for the NYISO
+// feeds the paper's Section III analyzes: a synthetic independent
+// system operator (ISO) day with integrated vs forecast load, the
+// deficiency between them, a supply-stack locational-based marginal
+// price (LBMP), and ancillary-service prices.
+//
+// The generator is deterministic per seed and calibrated to the ranges
+// the paper reports for 2016-05-12: load between 4017.1 and
+// 6657.8 MWh, deficiency up to ±167.8 MWh, LBMP between $12.52 and
+// $244.04/MWh, and a mean ancillary price near $13.41.
+package grid
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"olevgrid/internal/stats"
+)
+
+// StepsPerDay is the series resolution: one sample every five minutes.
+const StepsPerDay = 288
+
+// Step is the sampling interval.
+const Step = 5 * time.Minute
+
+// Config calibrates the synthetic day. The zero value is not usable;
+// start from DefaultConfig.
+type Config struct {
+	// MinLoadMW and MaxLoadMW bound the integrated load curve.
+	MinLoadMW float64
+	MaxLoadMW float64
+	// MaxDeficiencyMW bounds |integrated − forecast|.
+	MaxDeficiencyMW float64
+	// LBMPMin and LBMPMax bound the price curve in $/MWh.
+	LBMPMin float64
+	LBMPMax float64
+	// AncillaryMean targets the day's mean ancillary price in $/MW.
+	AncillaryMean float64
+	// Seed drives all noise.
+	Seed int64
+}
+
+// DefaultConfig returns the calibration the paper quotes for NYISO on
+// 12 May 2016.
+func DefaultConfig() Config {
+	return Config{
+		MinLoadMW:       4017.1,
+		MaxLoadMW:       6657.8,
+		MaxDeficiencyMW: 167.8,
+		LBMPMin:         12.52,
+		LBMPMax:         244.04,
+		AncillaryMean:   13.41,
+		Seed:            1,
+	}
+}
+
+// Validate reports the first problem with the configuration.
+func (c Config) Validate() error {
+	if !(c.MinLoadMW > 0 && c.MinLoadMW < c.MaxLoadMW) {
+		return fmt.Errorf("grid: load bounds [%v, %v] invalid", c.MinLoadMW, c.MaxLoadMW)
+	}
+	if c.MaxDeficiencyMW <= 0 {
+		return fmt.Errorf("grid: max deficiency %v must be positive", c.MaxDeficiencyMW)
+	}
+	if !(c.LBMPMin > 0 && c.LBMPMin < c.LBMPMax) {
+		return fmt.Errorf("grid: LBMP bounds [%v, %v] invalid", c.LBMPMin, c.LBMPMax)
+	}
+	if c.AncillaryMean <= 0 {
+		return fmt.Errorf("grid: ancillary mean %v must be positive", c.AncillaryMean)
+	}
+	return nil
+}
+
+// Day is one synthesized ISO day.
+type Day struct {
+	cfg Config
+	// All series have StepsPerDay entries.
+	integrated []float64 // MW
+	forecast   []float64 // MW
+	lbmp       []float64 // $/MWh
+	ancillary  AncillarySeries
+}
+
+// AncillarySeries holds the three ancillary-service price series of
+// Fig. 2(d), all in $/MW.
+type AncillarySeries struct {
+	TenMinSync         []float64
+	RegulationCapacity []float64
+	RegulationMovement []float64
+}
+
+// NewDay synthesizes a day from the configuration.
+func NewDay(cfg Config) (*Day, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	rng := stats.NewRand(cfg.Seed)
+	d := &Day{cfg: cfg}
+
+	d.integrated = loadCurve(cfg, rng)
+	d.forecast = forecastCurve(cfg, rng, d.integrated)
+	d.lbmp = lbmpCurve(cfg, rng, d.integrated)
+	d.ancillary = ancillaryCurves(cfg, rng, d.integrated, d.forecast)
+	return d, nil
+}
+
+// loadCurve builds the double-hump urban demand curve: a deep
+// overnight valley, a morning ramp, and a broad afternoon/evening
+// peak, plus smoothed noise, rescaled exactly into [MinLoad, MaxLoad].
+func loadCurve(cfg Config, rng interface{ NormFloat64() float64 }) []float64 {
+	raw := make([]float64, StepsPerDay)
+	noise := 0.0
+	for i := range raw {
+		h := float64(i) * 24 / StepsPerDay
+		base := gauss(h, 13.5, 5.0) + 0.55*gauss(h, 19.0, 2.2) + 0.25*gauss(h, 8.5, 1.8)
+		noise = 0.92*noise + 0.08*rng.NormFloat64()
+		raw[i] = base + 0.03*noise
+	}
+	rescale(raw, cfg.MinLoadMW, cfg.MaxLoadMW)
+	return raw
+}
+
+// forecastCurve derives the forecast as a smoothed, slightly lagged
+// version of the integrated load, with the residual (the deficiency)
+// clamped into ±MaxDeficiency. The largest misses cluster around the
+// steep ramps, as they do in real ISO data.
+func forecastCurve(cfg Config, rng interface{ NormFloat64() float64 }, integrated []float64) []float64 {
+	forecast := make([]float64, StepsPerDay)
+	const window = 6 // 30-minute smoothing
+	drift := 0.0
+	for i := range forecast {
+		var sum float64
+		var n int
+		for j := i - window; j <= i; j++ {
+			idx := (j + StepsPerDay) % StepsPerDay
+			sum += integrated[idx]
+			n++
+		}
+		drift = 0.9*drift + 0.1*rng.NormFloat64()*cfg.MaxDeficiencyMW*0.8
+		forecast[i] = sum/float64(n) + drift
+		// Clamp the deficiency.
+		if diff := integrated[i] - forecast[i]; diff > cfg.MaxDeficiencyMW {
+			forecast[i] = integrated[i] - cfg.MaxDeficiencyMW
+		} else if diff < -cfg.MaxDeficiencyMW {
+			forecast[i] = integrated[i] + cfg.MaxDeficiencyMW
+		}
+	}
+	return forecast
+}
+
+// lbmpCurve prices each step off a convex supply stack: cheap baseload
+// units serve the valley, increasingly expensive peakers set the
+// margin as load climbs, and occasional scarcity spikes hit near the
+// peak — reproducing the $12–244 spread of Fig. 2(c).
+func lbmpCurve(cfg Config, rng interface {
+	NormFloat64() float64
+	Float64() float64
+}, integrated []float64) []float64 {
+	lbmp := make([]float64, StepsPerDay)
+	span := cfg.MaxLoadMW - cfg.MinLoadMW
+	for i, load := range integrated {
+		u := (load - cfg.MinLoadMW) / span // 0..1 position on the stack
+		base := cfg.LBMPMin + (cfg.LBMPMax*0.35-cfg.LBMPMin)*u*u*u
+		// Scarcity spikes: rare, short, and only when the stack is tight.
+		if u > 0.85 && rng.Float64() < 0.25 {
+			base += (cfg.LBMPMax - base) * (0.4 + 0.6*rng.Float64())
+		}
+		base += rng.NormFloat64() * 1.5
+		lbmp[i] = clampTo(base, cfg.LBMPMin, cfg.LBMPMax)
+	}
+	return lbmp
+}
+
+// ancillaryCurves prices the three ancillary services. They track the
+// absolute deficiency (reserves are procured against forecast misses)
+// on top of a diurnal base, scaled so the day's mean lands on the
+// configured target.
+func ancillaryCurves(cfg Config, rng interface{ NormFloat64() float64 }, integrated, forecast []float64) AncillarySeries {
+	mk := func(level, defWeight, noiseStd float64) []float64 {
+		out := make([]float64, StepsPerDay)
+		for i := range out {
+			def := math.Abs(integrated[i] - forecast[i])
+			v := level + defWeight*def/cfg.MaxDeficiencyMW*level + rng.NormFloat64()*noiseStd
+			if v < 0.5 {
+				v = 0.5
+			}
+			out[i] = v
+		}
+		// Rescale to the target mean while preserving shape.
+		mean := stats.Mean(out)
+		for i := range out {
+			out[i] *= level / mean
+		}
+		return out
+	}
+	return AncillarySeries{
+		TenMinSync:         mk(cfg.AncillaryMean*0.9, 0.8, 2.0),
+		RegulationCapacity: mk(cfg.AncillaryMean*1.3, 1.2, 3.0),
+		RegulationMovement: mk(cfg.AncillaryMean*0.8, 0.5, 1.5),
+	}
+}
+
+func gauss(x, mu, sigma float64) float64 {
+	d := (x - mu) / sigma
+	return math.Exp(-0.5 * d * d)
+}
+
+func clampTo(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// rescale maps the slice affinely onto [lo, hi].
+func rescale(vs []float64, lo, hi float64) {
+	min, max := vs[0], vs[0]
+	for _, v := range vs {
+		min = math.Min(min, v)
+		max = math.Max(max, v)
+	}
+	span := max - min
+	if span == 0 {
+		for i := range vs {
+			vs[i] = lo
+		}
+		return
+	}
+	for i := range vs {
+		vs[i] = lo + (vs[i]-min)/span*(hi-lo)
+	}
+}

@@ -1,0 +1,231 @@
+package grid
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"olevgrid/internal/stats"
+)
+
+func mustDay(t *testing.T) *Day {
+	t.Helper()
+	d, err := NewDay(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{name: "load bounds inverted", mutate: func(c *Config) { c.MinLoadMW, c.MaxLoadMW = c.MaxLoadMW, c.MinLoadMW }},
+		{name: "zero min load", mutate: func(c *Config) { c.MinLoadMW = 0 }},
+		{name: "zero deficiency", mutate: func(c *Config) { c.MaxDeficiencyMW = 0 }},
+		{name: "LBMP bounds inverted", mutate: func(c *Config) { c.LBMPMin, c.LBMPMax = c.LBMPMax, c.LBMPMin }},
+		{name: "zero ancillary", mutate: func(c *Config) { c.AncillaryMean = 0 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			tt.mutate(&cfg)
+			if _, err := NewDay(cfg); err == nil {
+				t.Error("invalid config accepted")
+			}
+		})
+	}
+}
+
+func TestDayCalibration(t *testing.T) {
+	// The paper's Fig. 2 figures: load spans exactly the NYISO range,
+	// deficiency stays within ±167.8, LBMP within [12.52, 244.04].
+	d := mustDay(t)
+	cfg := DefaultConfig()
+
+	if got := d.MinLoadMW(); math.Abs(got-cfg.MinLoadMW) > 1e-6 {
+		t.Errorf("min load = %v, want %v", got, cfg.MinLoadMW)
+	}
+	if got := d.PeakLoadMW(); math.Abs(got-cfg.MaxLoadMW) > 1e-6 {
+		t.Errorf("peak load = %v, want %v", got, cfg.MaxLoadMW)
+	}
+	if got := d.MaxAbsDeficiencyMW(); got > cfg.MaxDeficiencyMW+1e-9 {
+		t.Errorf("max deficiency = %v exceeds %v", got, cfg.MaxDeficiencyMW)
+	}
+	_, _, lbmp := d.Series()
+	for i, p := range lbmp {
+		if p < cfg.LBMPMin-1e-9 || p > cfg.LBMPMax+1e-9 {
+			t.Fatalf("LBMP[%d] = %v outside [%v, %v]", i, p, cfg.LBMPMin, cfg.LBMPMax)
+		}
+	}
+}
+
+func TestDayLBMPUsesWideRange(t *testing.T) {
+	// The curve must actually exercise the volatile top of the stack,
+	// not hug the floor.
+	d := mustDay(t)
+	_, _, lbmp := d.Series()
+	var s stats.Summary
+	s.AddAll(lbmp)
+	if s.Max() < 150 {
+		t.Errorf("LBMP max = %v; expected scarcity spikes above 150", s.Max())
+	}
+	if s.Min() > 30 {
+		t.Errorf("LBMP min = %v; expected cheap overnight prices", s.Min())
+	}
+}
+
+func TestDayAncillaryMean(t *testing.T) {
+	d := mustDay(t)
+	want := DefaultConfig().AncillaryMean
+	if got := d.MeanAncillary(); math.Abs(got-want)/want > 0.25 {
+		t.Errorf("mean ancillary = %v, want within 25%% of %v", got, want)
+	}
+	anc := d.AncillarySeries()
+	if len(anc.TenMinSync) != StepsPerDay || len(anc.RegulationCapacity) != StepsPerDay || len(anc.RegulationMovement) != StepsPerDay {
+		t.Error("ancillary series have wrong lengths")
+	}
+	for _, series := range [][]float64{anc.TenMinSync, anc.RegulationCapacity, anc.RegulationMovement} {
+		for i, v := range series {
+			if v <= 0 {
+				t.Fatalf("ancillary price [%d] = %v not positive", i, v)
+			}
+		}
+	}
+}
+
+func TestDayDoubleHumpShape(t *testing.T) {
+	// Overnight valley well below the afternoon peak.
+	d := mustDay(t)
+	night := d.IntegratedLoadMW(4 * time.Hour)
+	afternoon := d.IntegratedLoadMW(14 * time.Hour)
+	if night >= afternoon {
+		t.Errorf("load at 04:00 (%v) not below 14:00 (%v)", night, afternoon)
+	}
+	// The peak lands in the afternoon/evening, not at night.
+	var peakStep int
+	integrated, _, _ := d.Series()
+	for i, v := range integrated {
+		if v == d.PeakLoadMW() {
+			peakStep = i
+			break
+		}
+	}
+	peakHour := float64(peakStep) * 24 / StepsPerDay
+	if peakHour < 10 || peakHour > 22 {
+		t.Errorf("peak at hour %v, want daytime", peakHour)
+	}
+}
+
+func TestDayDeterminism(t *testing.T) {
+	a := mustDay(t)
+	b := mustDay(t)
+	ai, _, al := a.Series()
+	bi, _, bl := b.Series()
+	for i := range ai {
+		if ai[i] != bi[i] || al[i] != bl[i] {
+			t.Fatal("same seed produced different days")
+		}
+	}
+	cfg := DefaultConfig()
+	cfg.Seed = 99
+	c, err := NewDay(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci, _, _ := c.Series()
+	same := true
+	for i := range ai {
+		if ai[i] != ci[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical days")
+	}
+}
+
+func TestStepIndexWraps(t *testing.T) {
+	d := mustDay(t)
+	if d.IntegratedLoadMW(0) != d.IntegratedLoadMW(24*time.Hour) {
+		t.Error("24h should wrap to 0h")
+	}
+	if d.IntegratedLoadMW(-time.Hour) != d.IntegratedLoadMW(23*time.Hour) {
+		t.Error("negative time should wrap")
+	}
+}
+
+func TestDeficiencyConsistency(t *testing.T) {
+	d := mustDay(t)
+	for h := 0; h < 24; h++ {
+		tt := time.Duration(h) * time.Hour
+		want := d.IntegratedLoadMW(tt) - d.ForecastLoadMW(tt)
+		if got := d.DeficiencyMW(tt); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("deficiency at %v = %v, want %v", tt, got, want)
+		}
+	}
+}
+
+func TestControlPeriodClassification(t *testing.T) {
+	d := mustDay(t)
+	counts := make(map[ControlPeriod]int)
+	for i := 0; i < StepsPerDay; i++ {
+		p := d.ControlPeriodAt(time.Duration(i) * Step)
+		counts[p]++
+	}
+	// All four periods should occur over a full day.
+	for _, p := range []ControlPeriod{PeriodBaseload, PeriodPeak, PeriodSpinningReserve, PeriodFrequencyControl} {
+		if counts[p] == 0 {
+			t.Errorf("period %v never classified (counts %v)", p, counts)
+		}
+	}
+}
+
+func TestControlPeriodStrings(t *testing.T) {
+	tests := []struct {
+		p    ControlPeriod
+		want string
+	}{
+		{PeriodBaseload, "baseload"},
+		{PeriodPeak, "peak"},
+		{PeriodSpinningReserve, "spinning-reserve"},
+		{PeriodFrequencyControl, "frequency-control"},
+		{ControlPeriod(42), "ControlPeriod(42)"},
+	}
+	for _, tt := range tests {
+		if got := tt.p.String(); got != tt.want {
+			t.Errorf("String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestSeriesAreCopies(t *testing.T) {
+	d := mustDay(t)
+	integrated, _, _ := d.Series()
+	before := d.IntegratedLoadMW(0)
+	integrated[0] = -1
+	if d.IntegratedLoadMW(0) != before {
+		t.Error("Series leaked internal storage")
+	}
+	anc := d.AncillarySeries()
+	b0 := anc.TenMinSync[0]
+	anc.TenMinSync[0] = -1
+	if d.AncillarySeries().TenMinSync[0] != b0 {
+		t.Error("AncillarySeries leaked internal storage")
+	}
+}
+
+func TestMeanLBMPInRange(t *testing.T) {
+	d := mustDay(t)
+	m := d.MeanLBMP()
+	cfg := DefaultConfig()
+	if m <= cfg.LBMPMin || m >= cfg.LBMPMax {
+		t.Errorf("mean LBMP %v outside open price range", m)
+	}
+}

@@ -1,0 +1,135 @@
+package grid
+
+import (
+	"fmt"
+	"sort"
+)
+
+// GeneratingUnit is one block of supply in the merit-order stack.
+type GeneratingUnit struct {
+	// Name identifies the unit in dispatch results.
+	Name string
+	// CapacityMW is the block's maximum output.
+	CapacityMW float64
+	// MarginalCost is the block's offer in $/MWh.
+	MarginalCost float64
+	// Period classifies the unit (baseload, peak, reserve); the
+	// dispatcher itself orders purely by cost.
+	Period ControlPeriod
+}
+
+// SupplyStack is a merit-order collection of units. Construct with
+// NewSupplyStack, which validates and cost-orders the units.
+type SupplyStack struct {
+	units []GeneratingUnit
+	total float64
+}
+
+// NewSupplyStack validates and orders the units by marginal cost.
+func NewSupplyStack(units []GeneratingUnit) (*SupplyStack, error) {
+	if len(units) == 0 {
+		return nil, fmt.Errorf("grid: empty supply stack")
+	}
+	ordered := make([]GeneratingUnit, len(units))
+	copy(ordered, units)
+	var total float64
+	for i, u := range ordered {
+		if u.Name == "" {
+			return nil, fmt.Errorf("grid: unit %d needs a name", i)
+		}
+		if u.CapacityMW <= 0 {
+			return nil, fmt.Errorf("grid: unit %s capacity %v must be positive", u.Name, u.CapacityMW)
+		}
+		if u.MarginalCost < 0 {
+			return nil, fmt.Errorf("grid: unit %s cost %v must be non-negative", u.Name, u.MarginalCost)
+		}
+		total += u.CapacityMW
+	}
+	sort.SliceStable(ordered, func(i, j int) bool {
+		return ordered[i].MarginalCost < ordered[j].MarginalCost
+	})
+	return &SupplyStack{units: ordered, total: total}, nil
+}
+
+// NYISOLikeStack returns a stylized stack shaped like a summer NYISO
+// day: cheap nuclear/hydro baseload, mid-cost combined cycle, gas
+// peakers, and expensive quick-start reserves, sized so the default
+// load curve clears inside it.
+func NYISOLikeStack() *SupplyStack {
+	stack, err := NewSupplyStack([]GeneratingUnit{
+		{Name: "nuclear", CapacityMW: 2400, MarginalCost: 9, Period: PeriodBaseload},
+		{Name: "hydro", CapacityMW: 1400, MarginalCost: 12, Period: PeriodBaseload},
+		{Name: "combined-cycle-1", CapacityMW: 1200, MarginalCost: 28, Period: PeriodBaseload},
+		{Name: "combined-cycle-2", CapacityMW: 900, MarginalCost: 42, Period: PeriodPeak},
+		{Name: "gas-peaker-1", CapacityMW: 500, MarginalCost: 75, Period: PeriodPeak},
+		{Name: "gas-peaker-2", CapacityMW: 350, MarginalCost: 120, Period: PeriodPeak},
+		{Name: "quick-start", CapacityMW: 250, MarginalCost: 190, Period: PeriodSpinningReserve},
+		{Name: "emergency", CapacityMW: 200, MarginalCost: 260, Period: PeriodSpinningReserve},
+	})
+	if err != nil {
+		panic(err) // static data; unreachable
+	}
+	return stack
+}
+
+// TotalCapacityMW returns the stack's full capability.
+func (s *SupplyStack) TotalCapacityMW() float64 { return s.total }
+
+// Dispatch is the result of clearing one load level.
+type Dispatch struct {
+	// OutputMW maps unit name to dispatched output.
+	OutputMW map[string]float64
+	// ClearingPrice is the marginal unit's offer, $/MWh.
+	ClearingPrice float64
+	// MarginalUnit is the name of the price-setting unit.
+	MarginalUnit string
+	// Shortfall is unserved load when demand exceeds the stack.
+	ShortfallMW float64
+	// ReserveMW is remaining undispatched capability.
+	ReserveMW float64
+}
+
+// Clear dispatches the stack against a load, filling units in merit
+// order. Negative load clears to an empty dispatch at the cheapest
+// offer.
+func (s *SupplyStack) Clear(loadMW float64) Dispatch {
+	d := Dispatch{OutputMW: make(map[string]float64, len(s.units))}
+	remaining := loadMW
+	if remaining < 0 {
+		remaining = 0
+	}
+	d.ClearingPrice = s.units[0].MarginalCost
+	d.MarginalUnit = s.units[0].Name
+	for _, u := range s.units {
+		if remaining <= 0 {
+			break
+		}
+		take := u.CapacityMW
+		if take > remaining {
+			take = remaining
+		}
+		d.OutputMW[u.Name] = take
+		d.ClearingPrice = u.MarginalCost
+		d.MarginalUnit = u.Name
+		remaining -= take
+	}
+	d.ShortfallMW = remaining
+	var dispatched float64
+	for _, out := range d.OutputMW {
+		dispatched += out
+	}
+	d.ReserveMW = s.total - dispatched
+	return d
+}
+
+// PriceCurve returns the clearing price at each load level in loads —
+// the endogenous alternative to the Day generator's formulaic LBMP,
+// used by tests to validate the formula's shape against a real merit
+// order.
+func (s *SupplyStack) PriceCurve(loads []float64) []float64 {
+	out := make([]float64, len(loads))
+	for i, l := range loads {
+		out[i] = s.Clear(l).ClearingPrice
+	}
+	return out
+}

@@ -1,0 +1,148 @@
+package grid
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewSupplyStackValidation(t *testing.T) {
+	valid := []GeneratingUnit{{Name: "a", CapacityMW: 100, MarginalCost: 10}}
+	if _, err := NewSupplyStack(valid); err != nil {
+		t.Fatalf("valid stack rejected: %v", err)
+	}
+	bad := [][]GeneratingUnit{
+		nil,
+		{{Name: "", CapacityMW: 100, MarginalCost: 10}},
+		{{Name: "a", CapacityMW: 0, MarginalCost: 10}},
+		{{Name: "a", CapacityMW: 100, MarginalCost: -1}},
+	}
+	for i, units := range bad {
+		if _, err := NewSupplyStack(units); err == nil {
+			t.Errorf("bad stack %d accepted", i)
+		}
+	}
+}
+
+func TestDispatchMeritOrder(t *testing.T) {
+	stack, err := NewSupplyStack([]GeneratingUnit{
+		{Name: "peaker", CapacityMW: 100, MarginalCost: 90},
+		{Name: "base", CapacityMW: 1000, MarginalCost: 10},
+		{Name: "mid", CapacityMW: 500, MarginalCost: 40},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := stack.Clear(1200)
+	if d.OutputMW["base"] != 1000 {
+		t.Errorf("base output %v, want full 1000", d.OutputMW["base"])
+	}
+	if d.OutputMW["mid"] != 200 {
+		t.Errorf("mid output %v, want 200", d.OutputMW["mid"])
+	}
+	if _, on := d.OutputMW["peaker"]; on {
+		t.Error("peaker dispatched below its merit position")
+	}
+	if d.ClearingPrice != 40 || d.MarginalUnit != "mid" {
+		t.Errorf("price %v by %s, want 40 by mid", d.ClearingPrice, d.MarginalUnit)
+	}
+	if d.ShortfallMW != 0 {
+		t.Errorf("shortfall %v", d.ShortfallMW)
+	}
+	if want := 1600.0 - 1200.0; math.Abs(d.ReserveMW-want) > 1e-9 {
+		t.Errorf("reserve %v, want %v", d.ReserveMW, want)
+	}
+}
+
+func TestDispatchShortfall(t *testing.T) {
+	stack, err := NewSupplyStack([]GeneratingUnit{
+		{Name: "only", CapacityMW: 100, MarginalCost: 20},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := stack.Clear(150)
+	if d.ShortfallMW != 50 {
+		t.Errorf("shortfall %v, want 50", d.ShortfallMW)
+	}
+	if d.ReserveMW != 0 {
+		t.Errorf("reserve %v, want 0", d.ReserveMW)
+	}
+}
+
+func TestDispatchEdgeCases(t *testing.T) {
+	stack := NYISOLikeStack()
+	zero := stack.Clear(0)
+	if len(zero.OutputMW) != 0 || zero.ShortfallMW != 0 {
+		t.Errorf("zero load dispatch %+v", zero)
+	}
+	if zero.ClearingPrice != 9 {
+		t.Errorf("zero-load price %v, want cheapest offer", zero.ClearingPrice)
+	}
+	neg := stack.Clear(-100)
+	if len(neg.OutputMW) != 0 {
+		t.Error("negative load dispatched units")
+	}
+}
+
+func TestNYISOLikeStackCoversDefaultDay(t *testing.T) {
+	stack := NYISOLikeStack()
+	day := mustDay(t)
+	if stack.TotalCapacityMW() < day.PeakLoadMW() {
+		t.Fatalf("stack %v cannot serve the peak %v", stack.TotalCapacityMW(), day.PeakLoadMW())
+	}
+	integrated, _, _ := day.Series()
+	for i, load := range integrated {
+		d := stack.Clear(load)
+		if d.ShortfallMW > 0 {
+			t.Fatalf("step %d: shortfall %v at load %v", i, d.ShortfallMW, load)
+		}
+	}
+}
+
+// TestEndogenousPriceShapeMatchesFormulaicLBMP validates the Day
+// generator's convex price formula against the merit-order truth:
+// both must be non-decreasing in load and span a comparable range
+// over the day's load window.
+func TestEndogenousPriceShapeMatchesFormulaicLBMP(t *testing.T) {
+	stack := NYISOLikeStack()
+	day := mustDay(t)
+
+	loads := []float64{
+		day.MinLoadMW(),
+		day.MinLoadMW() + 0.25*(day.PeakLoadMW()-day.MinLoadMW()),
+		day.MinLoadMW() + 0.50*(day.PeakLoadMW()-day.MinLoadMW()),
+		day.MinLoadMW() + 0.75*(day.PeakLoadMW()-day.MinLoadMW()),
+		day.PeakLoadMW(),
+	}
+	prices := stack.PriceCurve(loads)
+	for i := 1; i < len(prices); i++ {
+		if prices[i] < prices[i-1] {
+			t.Fatalf("merit-order price fell with load: %v", prices)
+		}
+	}
+	// Valley prices cheap, peak prices expensive — same regime as the
+	// formulaic curve's calibration bounds.
+	if prices[0] > 30 {
+		t.Errorf("valley price %v unexpectedly high", prices[0])
+	}
+	if prices[len(prices)-1] < 75 {
+		t.Errorf("peak price %v unexpectedly low", prices[len(prices)-1])
+	}
+}
+
+// TestOLEVLoadEscalatesDispatchCosts ties the WPT story to the
+// dispatch model: adding corridor load at the peak pushes the system
+// into more expensive units.
+func TestOLEVLoadEscalatesDispatchCosts(t *testing.T) {
+	stack := NYISOLikeStack()
+	day := mustDay(t)
+	base := stack.Clear(day.PeakLoadMW())
+	loaded := stack.Clear(day.PeakLoadMW() + 300) // 300 MW of WPT corridors
+	if loaded.ClearingPrice <= base.ClearingPrice {
+		t.Errorf("OLEV load did not raise the clearing price: %v vs %v",
+			loaded.ClearingPrice, base.ClearingPrice)
+	}
+	if loaded.ReserveMW >= base.ReserveMW {
+		t.Error("OLEV load did not eat into reserves")
+	}
+}

@@ -1,0 +1,66 @@
+package grid
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestWithOLEVLoadIncreasesDeficiency(t *testing.T) {
+	base := mustDay(t)
+
+	// A metropolitan WPT deployment drawing 150 MW during the evening
+	// peak (the paper: 4371 signalized intersections in Brooklyn alone
+	// aggregate to grid-scale load).
+	var load [24]float64
+	for h := 16; h <= 20; h++ {
+		load[h] = 150000 // kW
+	}
+	loaded := base.WithOLEVLoad(load)
+
+	at := 18 * time.Hour
+	wantLoad := base.IntegratedLoadMW(at) + 150
+	if got := loaded.IntegratedLoadMW(at); math.Abs(got-wantLoad) > 1e-9 {
+		t.Errorf("loaded integrated = %v, want %v", got, wantLoad)
+	}
+	// The forecast did not see the OLEVs, so the miss grows by the
+	// full draw.
+	wantDef := base.DeficiencyMW(at) + 150
+	if got := loaded.DeficiencyMW(at); math.Abs(got-wantDef) > 1e-9 {
+		t.Errorf("loaded deficiency = %v, want %v", got, wantDef)
+	}
+	// Hours without OLEV draw are untouched.
+	if got, want := loaded.DeficiencyMW(3*time.Hour), base.DeficiencyMW(3*time.Hour); got != want {
+		t.Errorf("untouched hour changed: %v vs %v", got, want)
+	}
+	// The new deficiency can exceed the historical bound — that is
+	// the paper's point about unpredictable OLEV load.
+	if loaded.MaxAbsDeficiencyMW() <= base.MaxAbsDeficiencyMW() {
+		t.Error("OLEV load should raise the worst-case deficiency")
+	}
+}
+
+func TestWithOLEVLoadDoesNotMutateBase(t *testing.T) {
+	base := mustDay(t)
+	before := base.IntegratedLoadMW(12 * time.Hour)
+	var load [24]float64
+	load[12] = 99000
+	_ = base.WithOLEVLoad(load)
+	if got := base.IntegratedLoadMW(12 * time.Hour); got != before {
+		t.Error("WithOLEVLoad mutated the receiver")
+	}
+}
+
+func TestWithOLEVLoadZeroIsIdentity(t *testing.T) {
+	base := mustDay(t)
+	same := base.WithOLEVLoad([24]float64{})
+	for h := 0; h < 24; h++ {
+		at := time.Duration(h) * time.Hour
+		if same.IntegratedLoadMW(at) != base.IntegratedLoadMW(at) {
+			t.Fatalf("hour %d changed with zero load", h)
+		}
+		if same.LBMP(at) != base.LBMP(at) {
+			t.Fatalf("hour %d LBMP changed", h)
+		}
+	}
+}

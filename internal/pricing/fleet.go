@@ -1,0 +1,123 @@
+package pricing
+
+import (
+	"fmt"
+
+	"olevgrid/internal/core"
+	"olevgrid/internal/ev"
+	"olevgrid/internal/stats"
+	"olevgrid/internal/units"
+)
+
+// CongestionTargetWeight returns the satisfaction weight w that places
+// the interior equilibrium of a homogeneous log-satisfaction fleet at
+// congestion degree x: at the equilibrium every OLEV's marginal
+// satisfaction equals the marginal charging cost at the per-section
+// level x·P_line, i.e. w/(1 + p*) = V'(x·P_line) with p* the equal
+// capacity share x·C·P_line/N. The Fig. 5(a)/6(a) sweep uses this to
+// realize each congestion degree on the x-axis with a demand level
+// that produces it, rather than starving the fleet against the
+// overload wall.
+func CongestionTargetWeight(p Nonlinear, betaPerMWh, lineCapacityKW float64, numSections, n int, x float64) (float64, error) {
+	if x <= 0 || x > 1 {
+		return 0, fmt.Errorf("pricing: target congestion %v outside (0, 1]", x)
+	}
+	if numSections < 1 || n < 1 {
+		return 0, fmt.Errorf("pricing: need positive sections (%d) and fleet size (%d)", numSections, n)
+	}
+	alpha := p.Alpha
+	if alpha == 0 {
+		alpha = DefaultAlpha
+	}
+	v, err := core.NewQuadraticCharging(betaPerMWh/1000, alpha, lineCapacityKW)
+	if err != nil {
+		return 0, err
+	}
+	share := x * float64(numSections) * lineCapacityKW / float64(n)
+	return v.Marginal(x*lineCapacityKW) * (1 + share), nil
+}
+
+// FleetConfig describes how to draw a fleet of OLEVs for a game, per
+// the evaluation's setup: Chevrolet-Spark packs, SOC drawn so vehicles
+// can receive up to ~50 % of their SOC from the grid (the NHTS
+// 10–30 mile daily-distance argument), and a common velocity.
+type FleetConfig struct {
+	// N is the fleet size.
+	N int
+	// Velocity is the common cruising speed (60 or 80 mph in the
+	// paper's runs).
+	Velocity units.Speed
+	// SatisfactionWeight is w in U_n = w·log(1+p); zero means 1.
+	SatisfactionWeight float64
+	// VelocityStdMPS draws per-vehicle velocities from a truncated
+	// normal around Velocity instead of using it uniformly. Combined
+	// with SectionLength it activates Eq. (3)'s per-vehicle coupling
+	// limit: each player's per-section draw is capped by its own
+	// P_line(vel_n). Zero keeps the homogeneous fleet.
+	VelocityStdMPS float64
+	// SectionLength feeds the Eq. (3) caps; required when
+	// VelocityStdMPS is set.
+	SectionLength units.Distance
+	// Seed drives the SOC draws.
+	Seed int64
+}
+
+// BuildFleet draws a fleet and converts it to game players, with each
+// player's power ceiling coming from the vehicle's Eq. (2) headroom.
+// It returns both views — the physical vehicles and the game players —
+// index-aligned.
+func BuildFleet(cfg FleetConfig) ([]*ev.OLEV, []core.Player, error) {
+	if cfg.N < 1 {
+		return nil, nil, fmt.Errorf("pricing: fleet size %d must be positive", cfg.N)
+	}
+	weight := cfg.SatisfactionWeight
+	if weight == 0 {
+		weight = 1
+	}
+	sat, err := core.NewLogSatisfaction(weight)
+	if err != nil {
+		return nil, nil, err
+	}
+	if cfg.VelocityStdMPS < 0 {
+		return nil, nil, fmt.Errorf("pricing: velocity std %v must be non-negative", cfg.VelocityStdMPS)
+	}
+	if cfg.VelocityStdMPS > 0 && cfg.SectionLength <= 0 {
+		return nil, nil, fmt.Errorf("pricing: heterogeneous velocities need a section length for Eq. (3)")
+	}
+	rng := stats.NewRand(cfg.Seed)
+	vehicles := make([]*ev.OLEV, 0, cfg.N)
+	players := make([]core.Player, 0, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		// Current SOC between the floor and mid-pack; trips require a
+		// nearly full pack, so headroom spans roughly half the window
+		// (the paper: "OLEVs can receive up to 50% of their SOC").
+		soc := stats.TruncatedNormal(rng, 0.35, 0.1, 0.2, 0.55)
+		required := stats.TruncatedNormal(rng, 0.85, 0.05, 0.7, 0.9)
+		velocity := cfg.Velocity
+		if cfg.VelocityStdMPS > 0 {
+			mean := cfg.Velocity.MPS()
+			velocity = units.MPS(stats.TruncatedNormal(rng, mean, cfg.VelocityStdMPS, 0.5*mean, 1.5*mean))
+		}
+		vehicle, err := ev.NewOLEV(ev.OLEVConfig{
+			ID:          fmt.Sprintf("olev-%03d", i),
+			InitialSOC:  soc,
+			RequiredSOC: required,
+			Velocity:    velocity,
+		})
+		if err != nil {
+			return nil, nil, fmt.Errorf("pricing: fleet member %d: %w", i, err)
+		}
+		player := core.Player{
+			ID:           vehicle.ID(),
+			MaxPowerKW:   vehicle.PowerHeadroom().KW(),
+			Satisfaction: sat,
+		}
+		if cfg.VelocityStdMPS > 0 {
+			// Eq. (3): a vehicle's own coupling budget per section.
+			player.MaxSectionDrawKW = LineCapacityKW(cfg.SectionLength, velocity)
+		}
+		vehicles = append(vehicles, vehicle)
+		players = append(players, player)
+	}
+	return vehicles, players, nil
+}

@@ -1,0 +1,87 @@
+package pricing
+
+import (
+	"testing"
+
+	"olevgrid/internal/units"
+)
+
+func TestBuildFleetHeterogeneousVelocities(t *testing.T) {
+	_, players, err := BuildFleet(FleetConfig{
+		N:              30,
+		Velocity:       units.MPH(60),
+		VelocityStdMPS: 3,
+		SectionLength:  units.Meters(15),
+		Seed:           4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var distinct int
+	seen := map[float64]bool{}
+	for _, p := range players {
+		if p.MaxSectionDrawKW <= 0 {
+			t.Fatalf("player %s missing Eq. (3) draw cap", p.ID)
+		}
+		if !seen[p.MaxSectionDrawKW] {
+			seen[p.MaxSectionDrawKW] = true
+			distinct++
+		}
+	}
+	if distinct < 10 {
+		t.Errorf("only %d distinct draw caps; velocities not heterogeneous", distinct)
+	}
+}
+
+func TestBuildFleetHeterogeneousValidation(t *testing.T) {
+	if _, _, err := BuildFleet(FleetConfig{
+		N: 5, Velocity: units.MPH(60), VelocityStdMPS: 3,
+	}); err == nil {
+		t.Error("jitter without section length accepted")
+	}
+	if _, _, err := BuildFleet(FleetConfig{
+		N: 5, Velocity: units.MPH(60), VelocityStdMPS: -1, SectionLength: units.Meters(15),
+	}); err == nil {
+		t.Error("negative jitter accepted")
+	}
+}
+
+func TestHeterogeneousFleetGameRespectsCaps(t *testing.T) {
+	_, players, err := BuildFleet(FleetConfig{
+		N:              15,
+		Velocity:       units.MPH(60),
+		VelocityStdMPS: 4,
+		SectionLength:  units.Meters(15),
+		Seed:           5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Nonlinear{}.Run(Scenario{
+		Players:        players,
+		NumSections:    10,
+		LineCapacityKW: LineCapacityKW(units.Meters(15), units.MPH(60)),
+		Eta:            0.9,
+		BetaPerMWh:     20,
+		Seed:           5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Converged {
+		t.Error("heterogeneous game did not converge")
+	}
+	// Everyone's total is bounded by its allocatable C·drawCap.
+	for i, p := range players {
+		_ = i
+		if maxAlloc := 10 * p.MaxSectionDrawKW; p.MaxPowerKW > maxAlloc {
+			// The cap can bind; nothing to assert per-player here
+			// beyond convergence — the core tests check per-draw
+			// feasibility directly.
+			continue
+		}
+	}
+	if out.TotalPowerKW <= 0 {
+		t.Error("no power scheduled")
+	}
+}

@@ -1,0 +1,146 @@
+package pricing
+
+import (
+	"olevgrid/internal/core"
+	"olevgrid/internal/stats"
+)
+
+// Linear is the comparison baseline of Section V: a flat unit price
+// V(p) = β·p. Because the price carries no congestion signal, two
+// things follow, both visible in Figs. 5 and 6:
+//
+//   - the unit payment is the same at every congestion degree
+//     (flat Fig. 5(a) line); and
+//   - neither the grid nor the OLEVs have any incentive to spread
+//     load, so sections fill unevenly (the scattered Fig. 5(c)
+//     series) and individual sections can run past their safe
+//     capacity — the congestion the paper's policy exists to prevent.
+//
+// We model the indifference as each OLEV splitting its demand across
+// a small arbitrary (seeded-random) subset of sections. No per-section
+// cap is enforced: a flat tariff has no mechanism to enforce one, and
+// the resulting overloads are the baseline's failure mode, not a bug.
+type Linear struct {
+	// BetaScale multiplies the scenario's β to produce the flat unit
+	// price; the paper's plots put the flat line in the middle of the
+	// nonlinear sweep, which the default factor reproduces. Zero means
+	// DefaultLinearBetaScale.
+	BetaScale float64
+	// SpreadSections is how many sections each OLEV splits its demand
+	// over; zero means max(1, C/10).
+	SpreadSections int
+}
+
+var _ Policy = Linear{}
+
+// DefaultLinearBetaScale positions the flat price at 90 % of β, which
+// places it mid-way through the nonlinear policy's marginal-price
+// sweep so the two curves cross near congestion 0.5, as in Fig. 5(a).
+const DefaultLinearBetaScale = 0.9
+
+// Name implements Policy.
+func (Linear) Name() string { return "linear" }
+
+// Run implements Policy. Under a flat price each OLEV's best response
+// has the closed form U'_n(p) = β_lin (independent of everyone else),
+// so the dynamics converge in one pass; the interesting output is the
+// skewed per-section distribution.
+func (p Linear) Run(s Scenario) (Outcome, error) {
+	if err := s.Validate(); err != nil {
+		return Outcome{}, err
+	}
+	scale := p.BetaScale
+	if scale == 0 {
+		scale = DefaultLinearBetaScale
+	}
+	betaPerKWh := s.BetaPerMWh / 1000 * scale
+	rng := stats.NewRand(s.Seed)
+	spread := p.SpreadSections
+	if spread <= 0 {
+		spread = s.NumSections / 10
+		if spread < 1 {
+			spread = 1
+		}
+	}
+	if spread > s.NumSections {
+		spread = s.NumSections
+	}
+
+	// Closed-form demand per OLEV: maximize U(p) − β_lin·p on
+	// [0, pmax]. For any strictly concave U this is the root of
+	// U'(p) = β_lin, found by bisection for generality.
+	demands := make([]float64, len(s.Players))
+	for i, pl := range s.Players {
+		demands[i] = flatPriceDemand(pl.Satisfaction, betaPerKWh, pl.MaxPowerKW)
+	}
+
+	// Uncoordinated allocation: each OLEV splits its demand equally
+	// across an arbitrary subset of sections; nothing polices the
+	// per-section totals.
+	sectionLoad := make([]float64, s.NumSections)
+	allocated := make([]float64, len(s.Players))
+	order := make([]int, s.NumSections)
+	for i := range order {
+		order[i] = i
+	}
+	for i := range s.Players {
+		rng.Shuffle(len(order), func(a, b int) { order[a], order[b] = order[b], order[a] })
+		share := demands[i] / float64(spread)
+		for _, c := range order[:spread] {
+			sectionLoad[c] += share
+			allocated[i] += share
+		}
+	}
+
+	var totalPower, welfare float64
+	for i, pl := range s.Players {
+		totalPower += allocated[i]
+		welfare += pl.Satisfaction.Value(allocated[i])
+	}
+	lin := core.LinearCharging{Beta: betaPerKWh}
+	for _, load := range sectionLoad {
+		welfare -= lin.Cost(load)
+	}
+	totalPayment := betaPerKWh * totalPower
+
+	unit := 0.0
+	if totalPower > 0 {
+		unit = totalPayment / totalPower * 1000
+	}
+	return Outcome{
+		Policy:              p.Name(),
+		UnitPaymentPerMWh:   unit,
+		TotalPaymentPerHour: totalPayment,
+		Welfare:             welfare,
+		TotalPowerKW:        totalPower,
+		SectionTotalsKW:     sectionLoad,
+		PlayerTotalsKW:      allocated,
+		CongestionDegree:    totalPower / (float64(s.NumSections) * s.LineCapacityKW),
+		Updates:             len(s.Players),
+		Converged:           true,
+	}, nil
+}
+
+// flatPriceDemand solves max_p U(p) − β·p over [0, pmax] by bisection
+// on the strictly decreasing U'(p) − β.
+func flatPriceDemand(u core.Satisfaction, beta, pmax float64) float64 {
+	if pmax <= 0 {
+		return 0
+	}
+	if u.Marginal(0) <= beta {
+		return 0
+	}
+	if u.Marginal(pmax) >= beta {
+		return pmax
+	}
+	lo, hi := 0.0, pmax
+	for i := 0; i < 64; i++ {
+		mid := lo + (hi-lo)/2
+		if u.Marginal(mid) > beta {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo + (hi-lo)/2
+}

@@ -1,0 +1,116 @@
+package pricing
+
+import (
+	"fmt"
+
+	"olevgrid/internal/core"
+)
+
+// DefaultAlpha is the paper's α = 0.875, chosen "based on the profit
+// the smart grid wants to make".
+const DefaultAlpha = 0.875
+
+// DefaultOverloadKappaFactor scales the overload penalty's κ as a
+// multiple of β. It trades congestion-overshoot against best-response
+// conditioning: a stiffer wall pins Σp closer to ηP_line but makes the
+// marginal price nearly a step, which slows the equalization of
+// allocations across OLEVs (the dynamics degenerate toward
+// order-dependent capacity grabbing). 500× keeps the equilibrium
+// within a few percent of the safety factor while the asynchronous
+// updates still converge to the equal-marginal optimum.
+const DefaultOverloadKappaFactor = 500
+
+// Nonlinear is the paper's pricing policy.
+type Nonlinear struct {
+	// Alpha is α; zero means DefaultAlpha.
+	Alpha float64
+	// OverloadKappaFactor is κ/β; zero means the default.
+	OverloadKappaFactor float64
+	// Order selects the update order; zero means random, the
+	// "randomly chosen OLEV" of Section IV-D.
+	Order core.UpdateOrder
+}
+
+var _ Policy = Nonlinear{}
+
+// Name implements Policy.
+func (Nonlinear) Name() string { return "nonlinear" }
+
+// CostFunction builds the section cost Z = V + A the policy induces.
+// The charging cost V is normalized by the *full* line capacity
+// P_line, so the unit price tracks the paper's congestion degree
+// P_c/P_line; the overload penalty A guards the *usable* capacity
+// ηP_line (Eq. 4).
+func (p Nonlinear) CostFunction(betaPerMWh, lineCapacityKW, eta float64) (core.CostFunction, error) {
+	alpha := p.Alpha
+	if alpha == 0 {
+		alpha = DefaultAlpha
+	}
+	kf := p.OverloadKappaFactor
+	if kf == 0 {
+		kf = DefaultOverloadKappaFactor
+	}
+	if eta <= 0 || eta > 1 {
+		return nil, fmt.Errorf("pricing: eta %v outside (0, 1]", eta)
+	}
+	betaPerKWh := betaPerMWh / 1000
+	v, err := core.NewQuadraticCharging(betaPerKWh, alpha, lineCapacityKW)
+	if err != nil {
+		return nil, err
+	}
+	return core.SectionCost{
+		Charging: v,
+		Overload: core.OverloadPenalty{Kappa: kf * betaPerKWh, Capacity: eta * lineCapacityKW},
+	}, nil
+}
+
+// Run implements Policy: build the core game and drive the
+// asynchronous best-response dynamics to convergence.
+func (p Nonlinear) Run(s Scenario) (Outcome, error) {
+	if err := s.Validate(); err != nil {
+		return Outcome{}, err
+	}
+	cost, err := p.CostFunction(s.BetaPerMWh, s.LineCapacityKW, s.Eta)
+	if err != nil {
+		return Outcome{}, err
+	}
+	game, err := core.NewGame(core.Config{
+		Players:        s.Players,
+		NumSections:    s.NumSections,
+		LineCapacityKW: s.LineCapacityKW,
+		Eta:            s.Eta,
+		Cost:           cost,
+	})
+	if err != nil {
+		return Outcome{}, fmt.Errorf("pricing: nonlinear game: %w", err)
+	}
+	order := p.Order
+	if order == 0 {
+		order = core.OrderRandom
+	}
+	res := game.Run(core.RunOptions{
+		MaxUpdates: s.MaxUpdates,
+		Order:      order,
+		Seed:       s.Seed,
+		OnUpdate:   s.OnUpdate,
+	})
+	playerTotals := make([]float64, game.NumPlayers())
+	schedule := game.Schedule()
+	for n := range playerTotals {
+		playerTotals[n] = schedule.OLEVTotal(n)
+	}
+	return Outcome{
+		Policy:              p.Name(),
+		UnitPaymentPerMWh:   clampNonNegative(game.UnitPaymentPerMWh()),
+		TotalPaymentPerHour: clampNonNegative(game.TotalPayment()),
+		Welfare:             game.Welfare(),
+		TotalPowerKW:        game.TotalPowerKW(),
+		SectionTotalsKW:     game.SectionTotals(),
+		PlayerTotalsKW:      playerTotals,
+		CongestionDegree:    game.CongestionDegree(),
+		CongestionHistory:   res.Congestion,
+		WelfareHistory:      res.Welfare,
+		Updates:             res.Updates,
+		Converged:           res.Converged,
+	}, nil
+}

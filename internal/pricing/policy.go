@@ -1,0 +1,134 @@
+// Package pricing assembles the paper's two pricing policies into
+// runnable scenarios:
+//
+//   - Nonlinear (Section IV): the quadratic congestion-reactive price
+//     V(x) = β(α + x/cap)², driven through the core game's
+//     asynchronous best-response dynamics; and
+//   - Linear (the comparison baseline of Section V): a flat unit price
+//     V(x) = βx that cannot react to congestion, with the
+//     uncoordinated first-fit allocation that flat prices induce.
+//
+// Both take the same Scenario and produce the same Outcome, so the
+// experiment harnesses can overlay them the way Figs. 5 and 6 do.
+package pricing
+
+import (
+	"fmt"
+	"math"
+
+	"olevgrid/internal/core"
+	"olevgrid/internal/stats"
+	"olevgrid/internal/units"
+)
+
+// Scenario is one experimental condition: a fleet, an infrastructure,
+// and a price level.
+type Scenario struct {
+	// Players is the OLEV fleet.
+	Players []core.Player
+	// NumSections is C.
+	NumSections int
+	// LineCapacityKW is P_line per section (Eq. 1 at the scenario's
+	// velocity).
+	LineCapacityKW float64
+	// Eta is the safety factor η; the target congestion degree of the
+	// evaluation sweeps.
+	Eta float64
+	// BetaPerMWh is β, the LBMP-derived unit price in $/MWh.
+	BetaPerMWh float64
+	// Seed drives every stochastic choice in the scenario.
+	Seed int64
+	// MaxUpdates bounds the best-response iteration; 0 means 1000·N.
+	MaxUpdates int
+	// OnUpdate, if non-nil, observes the nonlinear game after every
+	// update (ignored by the linear policy, whose allocation is
+	// one-shot).
+	OnUpdate func(update int, g *core.Game)
+}
+
+// Validate reports the first problem with the scenario.
+func (s Scenario) Validate() error {
+	if len(s.Players) == 0 {
+		return fmt.Errorf("pricing: scenario needs players")
+	}
+	if s.NumSections < 1 {
+		return fmt.Errorf("pricing: scenario needs sections, got %d", s.NumSections)
+	}
+	if s.LineCapacityKW <= 0 {
+		return fmt.Errorf("pricing: line capacity %v must be positive", s.LineCapacityKW)
+	}
+	if s.Eta <= 0 || s.Eta > 1 {
+		return fmt.Errorf("pricing: eta %v outside (0, 1]", s.Eta)
+	}
+	if s.BetaPerMWh <= 0 {
+		return fmt.Errorf("pricing: beta %v must be positive", s.BetaPerMWh)
+	}
+	return nil
+}
+
+// Outcome reports what a policy produced on a scenario.
+type Outcome struct {
+	// Policy names the policy that produced the outcome.
+	Policy string
+	// UnitPaymentPerMWh is total payment over total power, in $/MWh —
+	// the Fig. 5(a) y-axis.
+	UnitPaymentPerMWh float64
+	// TotalPaymentPerHour is Σ_n ξ_n in $/h.
+	TotalPaymentPerHour float64
+	// Welfare is W(p) in $/h — the Fig. 5(b) y-axis.
+	Welfare float64
+	// TotalPowerKW is the scheduled power Σ_n p_n.
+	TotalPowerKW float64
+	// SectionTotalsKW is (P_1…P_C) — the Fig. 5(c) series.
+	SectionTotalsKW []float64
+	// PlayerTotalsKW is (p_1…p_N), index-aligned with the scenario's
+	// players — the fairness analyses read it.
+	PlayerTotalsKW []float64
+	// CongestionDegree is Σ P_c / Σ P_line.
+	CongestionDegree float64
+	// CongestionHistory is the congestion degree after each update —
+	// the Fig. 5(d) series. Empty for the one-shot linear policy.
+	CongestionHistory []float64
+	// WelfareHistory is W(p) after each update.
+	WelfareHistory []float64
+	// Updates counts best-response updates performed.
+	Updates int
+	// Converged reports whether the dynamics settled.
+	Converged bool
+}
+
+// LoadImbalance returns the coefficient of variation of the
+// per-section totals — the scalar the load-balancing claims of
+// Fig. 5(c)/6(c) reduce to.
+func (o Outcome) LoadImbalance() float64 {
+	var s stats.Summary
+	s.AddAll(o.SectionTotalsKW)
+	return s.CoefficientOfVariation()
+}
+
+// Policy runs a pricing policy on a scenario.
+type Policy interface {
+	// Name identifies the policy in outcomes and reports.
+	Name() string
+	// Run executes the policy and returns the outcome.
+	Run(s Scenario) (Outcome, error)
+}
+
+// LineCapacityKW evaluates Eq. (1) for the evaluation's default
+// charging-section electricals (399 V, 240 A) and the given section
+// length and vehicle velocity — the bridge between the wpt substrate's
+// physics and the game's capacity parameter.
+func LineCapacityKW(sectionLength units.Distance, vel units.Speed) float64 {
+	if vel <= 0 {
+		return 0
+	}
+	return 399.0 / 1000 * 240 * sectionLength.Meters() / vel.MPS()
+}
+
+// clampNonNegative guards derived metrics against float drift.
+func clampNonNegative(v float64) float64 {
+	if v < 0 || math.IsNaN(v) {
+		return 0
+	}
+	return v
+}

@@ -1,0 +1,155 @@
+package pricing
+
+import (
+	"math"
+
+	"olevgrid/internal/stats"
+)
+
+// Stackelberg is the revenue-maximizing single-price baseline modeled
+// on the Tushar et al. game the related work contrasts against
+// (IEEE Trans. SG 2012): the smart grid leads by posting one uniform
+// unit price q chosen to maximize its revenue q·D(q); OLEVs follow
+// with their individually optimal demands D_n(q). Unlike the paper's
+// policy the price ignores per-section congestion entirely, so the
+// grid extracts more revenue per kWh but schedules less power and
+// provides no congestion control at all: with the evaluation's
+// log-satisfaction fleets (unit-elastic demand) the revenue-optimal
+// price is the one at which every follower demands its ceiling, so
+// the scheduled load sails past the safe capacity ηP_line. The
+// harness uses it to show what that costs in social welfare when the
+// schedule is priced under the same section cost Z the paper's policy
+// optimizes.
+type Stackelberg struct {
+	// PriceGridPoints controls the leader's line search resolution;
+	// zero means 256.
+	PriceGridPoints int
+}
+
+var _ Policy = Stackelberg{}
+
+// Name implements Policy.
+func (Stackelberg) Name() string { return "stackelberg" }
+
+// Run implements Policy.
+func (p Stackelberg) Run(s Scenario) (Outcome, error) {
+	if err := s.Validate(); err != nil {
+		return Outcome{}, err
+	}
+	points := p.PriceGridPoints
+	if points <= 0 {
+		points = 256
+	}
+
+	// The leader's revenue q·D(q) is evaluated on a price grid from
+	// (almost) zero to the highest price any follower would pay.
+	var qMax float64
+	for _, pl := range s.Players {
+		if m := pl.Satisfaction.Marginal(0); m > qMax {
+			qMax = m
+		}
+	}
+	if qMax <= 0 {
+		return Outcome{}, nil
+	}
+	demandAt := func(q float64) float64 {
+		var total float64
+		for _, pl := range s.Players {
+			total += flatPriceDemand(pl.Satisfaction, q, pl.MaxPowerKW)
+		}
+		return total
+	}
+	bestQ, bestRevenue := 0.0, -1.0
+	for i := 1; i <= points; i++ {
+		q := qMax * float64(i) / float64(points)
+		if revenue := q * demandAt(q); revenue > bestRevenue {
+			bestRevenue, bestQ = revenue, q
+		}
+	}
+
+	// Followers respond; the grid spreads the result evenly (it has
+	// no congestion signal to do otherwise, but an even spread is the
+	// natural tie-break for a uniform price).
+	demands := make([]float64, len(s.Players))
+	var totalPower, welfare float64
+	for i, pl := range s.Players {
+		demands[i] = flatPriceDemand(pl.Satisfaction, bestQ, pl.MaxPowerKW)
+		totalPower += demands[i]
+		welfare += pl.Satisfaction.Value(demands[i])
+	}
+	sectionLoad := make([]float64, s.NumSections)
+	for c := range sectionLoad {
+		sectionLoad[c] = totalPower / float64(s.NumSections)
+	}
+	// Welfare is evaluated under the same social section cost Z the
+	// paper's policy optimizes, so outcomes are comparable — this is
+	// where ignoring ηP_line hurts.
+	z, err := (Nonlinear{}).CostFunction(s.BetaPerMWh, s.LineCapacityKW, s.Eta)
+	if err != nil {
+		return Outcome{}, err
+	}
+	for _, load := range sectionLoad {
+		welfare -= z.Cost(load)
+	}
+
+	unit := 0.0
+	if totalPower > 0 {
+		unit = bestQ * 1000
+	}
+	return Outcome{
+		Policy:              p.Name(),
+		UnitPaymentPerMWh:   unit,
+		TotalPaymentPerHour: bestRevenue,
+		Welfare:             welfare,
+		TotalPowerKW:        totalPower,
+		SectionTotalsKW:     sectionLoad,
+		PlayerTotalsKW:      demands,
+		CongestionDegree:    totalPower / (float64(s.NumSections) * s.LineCapacityKW),
+		Updates:             len(s.Players),
+		Converged:           true,
+	}, nil
+}
+
+// RevenueCurve returns the leader's revenue at each grid price — the
+// ablation harness plots it to show where the Stackelberg price lands
+// relative to the welfare-optimal one.
+func (p Stackelberg) RevenueCurve(s Scenario, points int) (*stats.Series, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if points <= 0 {
+		points = 64
+	}
+	var qMax float64
+	for _, pl := range s.Players {
+		if m := pl.Satisfaction.Marginal(0); m > qMax {
+			qMax = m
+		}
+	}
+	out := stats.NewSeries("revenue-per-hour")
+	for i := 1; i <= points; i++ {
+		q := qMax * float64(i) / float64(points)
+		var demand float64
+		for _, pl := range s.Players {
+			demand += flatPriceDemand(pl.Satisfaction, q, pl.MaxPowerKW)
+		}
+		out.Add(q*1000, q*demand)
+	}
+	return out, nil
+}
+
+// revenueConcavityCheck exists for the tests: with log satisfaction
+// the revenue curve is single-peaked on the demand-interior region.
+func revenueConcavityCheck(series *stats.Series) bool {
+	ys := series.Ys()
+	peak := 0
+	for i, y := range ys {
+		if y > ys[peak] {
+			peak = i
+		}
+	}
+	rising := stats.Series{Points: series.Points[:peak+1]}
+	falling := stats.Series{Points: series.Points[peak:]}
+	return rising.IsNonDecreasing(1e-9*math.Max(1, ys[peak])) &&
+		falling.IsNonIncreasing(1e-9*math.Max(1, ys[peak]))
+}

@@ -1,0 +1,133 @@
+package pricing
+
+import (
+	"math"
+	"testing"
+
+	"olevgrid/internal/core"
+	"olevgrid/internal/units"
+)
+
+func TestStackelbergBasics(t *testing.T) {
+	s := testScenario(t, 20, 30, 0.9)
+	out, err := Stackelberg{}.Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Policy != "stackelberg" {
+		t.Errorf("policy = %q", out.Policy)
+	}
+	if out.TotalPowerKW <= 0 || out.TotalPaymentPerHour <= 0 {
+		t.Errorf("degenerate outcome %+v", out)
+	}
+	// Uniform spread across sections.
+	if out.LoadImbalance() > 1e-12 {
+		t.Errorf("CV = %v, want 0 (even tie-break)", out.LoadImbalance())
+	}
+}
+
+func TestStackelbergRevenueOptimality(t *testing.T) {
+	// No other uniform price may beat the chosen one by more than the
+	// grid resolution allows.
+	s := testScenario(t, 25, 20, 0.9)
+	out, err := Stackelberg{}.Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	curve, err := Stackelberg{}.RevenueCurve(s, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var maxRevenue float64
+	for _, p := range curve.Points {
+		if p.Y > maxRevenue {
+			maxRevenue = p.Y
+		}
+	}
+	if out.TotalPaymentPerHour < maxRevenue*0.999 {
+		t.Errorf("chosen revenue %v below curve max %v", out.TotalPaymentPerHour, maxRevenue)
+	}
+}
+
+func TestStackelbergOvershootsCapacityAndLosesWelfare(t *testing.T) {
+	// The instructive contrast: with unit-elastic (log) demand the
+	// revenue maximizer prices so every follower demands its ceiling,
+	// overshooting the safe capacity the nonlinear policy respects —
+	// and paying for it in social welfare under the same cost Z.
+	s := testScenario(t, 30, 25, 0.9)
+	stack, err := Stackelberg{}.Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nl, err := Nonlinear{}.Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stack.CongestionDegree <= s.Eta {
+		t.Errorf("stackelberg congestion %v should exceed eta %v (no congestion control)",
+			stack.CongestionDegree, s.Eta)
+	}
+	if nl.CongestionDegree > s.Eta+0.05 {
+		t.Errorf("nonlinear congestion %v should respect eta %v", nl.CongestionDegree, s.Eta)
+	}
+	if stack.Welfare >= nl.Welfare {
+		t.Errorf("revenue maximizer beat the welfare maximizer: %v >= %v",
+			stack.Welfare, nl.Welfare)
+	}
+}
+
+func TestStackelbergRevenueCurveSinglePeaked(t *testing.T) {
+	s := testScenario(t, 15, 10, 0.9)
+	curve, err := Stackelberg{}.RevenueCurve(s, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if curve.Len() != 128 {
+		t.Fatalf("curve has %d points", curve.Len())
+	}
+	if !revenueConcavityCheck(curve) {
+		t.Error("revenue curve is not single-peaked for log satisfaction")
+	}
+}
+
+func TestStackelbergValidation(t *testing.T) {
+	bad := testScenario(t, 5, 5, 0.9)
+	bad.BetaPerMWh = 0
+	if _, err := (Stackelberg{}).Run(bad); err == nil {
+		t.Error("invalid scenario accepted")
+	}
+	if _, err := (Stackelberg{}).RevenueCurve(bad, 10); err == nil {
+		t.Error("RevenueCurve accepted invalid scenario")
+	}
+}
+
+func TestStackelbergClosedFormSinglePlayer(t *testing.T) {
+	// One log-satisfaction player with a high ceiling: revenue
+	// q·(w/q − 1) = w − q is maximized at the smallest price, so the
+	// leader picks the bottom of its grid and the follower demands
+	// nearly pmax when pmax binds first.
+	sat, err := core.NewLogSatisfaction(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Scenario{
+		Players:        []core.Player{{ID: "solo", MaxPowerKW: 10, Satisfaction: sat}},
+		NumSections:    4,
+		LineCapacityKW: LineCapacityKW(units.Meters(15), units.MPH(60)),
+		Eta:            0.9,
+		BetaPerMWh:     20,
+	}
+	out, err := Stackelberg{PriceGridPoints: 1000}.Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With pmax = 10 the demand is 10 for q <= 1/11; revenue 10q is
+	// increasing there, then w − q decreasing after. Optimal q = 1/11.
+	wantQ := 1.0 / 11
+	if math.Abs(out.UnitPaymentPerMWh-wantQ*1000) > 5 {
+		t.Errorf("unit price = %v $/MWh, want ~%v", out.UnitPaymentPerMWh, wantQ*1000)
+	}
+	if math.Abs(out.TotalPowerKW-10) > 0.2 {
+		t.Errorf("demand = %v, want ~10", out.TotalPowerKW)
+	}
+}

@@ -1,0 +1,54 @@
+package roadnet
+
+import (
+	"errors"
+	"testing"
+
+	"olevgrid/internal/units"
+)
+
+// TestChargingLoopDetected: a ring of charging-rich edges plus an
+// extreme tradeoff forms a negative cycle; the router must refuse
+// rather than loop.
+func TestChargingLoopDetected(t *testing.T) {
+	n := NewNetwork()
+	for _, id := range []NodeID{"a", "b", "c"} {
+		if err := n.AddNode(Node{ID: id}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ring := []Edge{
+		{ID: "ab", From: "a", To: "b", Length: units.Meters(100), SpeedLimit: units.MPS(10)},
+		{ID: "bc", From: "b", To: "c", Length: units.Meters(100), SpeedLimit: units.MPS(10)},
+		{ID: "ca", From: "c", To: "a", Length: units.Meters(100), SpeedLimit: units.MPS(10)},
+	}
+	for _, e := range ring {
+		if err := n.AddEdge(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gains := EnergyGains{"ab": units.KWh(5), "bc": units.KWh(5), "ca": units.KWh(5)}
+
+	_, _, err := n.EnergyAwareRoute("a", "c", EnergyRouteConfig{
+		TradeoffSecondsPerKWh: 1e4,
+		Gains:                 gains,
+	})
+	if !errors.Is(err, ErrChargingLoop) {
+		t.Errorf("err = %v, want ErrChargingLoop", err)
+	}
+
+	// The same ring with a sane tradeoff routes normally.
+	route, stats, err := n.EnergyAwareRoute("a", "c", EnergyRouteConfig{
+		TradeoffSecondsPerKWh: 1,
+		Gains:                 gains,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(route) != 2 || route[0] != "ab" || route[1] != "bc" {
+		t.Errorf("route = %v", route)
+	}
+	if stats.EnergyGained != units.KWh(10) {
+		t.Errorf("gained = %v", stats.EnergyGained)
+	}
+}

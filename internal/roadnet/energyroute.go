@@ -1,0 +1,153 @@
+package roadnet
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"olevgrid/internal/units"
+)
+
+// EnergyGains maps an edge to the energy an OLEV collects traversing
+// it (from the charging sections embedded in that edge, per
+// wpt.Lane.EnergyPerTraversal). Edges absent from the map charge
+// nothing.
+type EnergyGains map[EdgeID]units.Energy
+
+// EnergyRouteConfig tunes the energy-aware router — the paper's
+// future-work "effect charging section placement will have on OLEV
+// path planning".
+type EnergyRouteConfig struct {
+	// ConsumptionPerKm is drivetrain draw in kWh per kilometer; it
+	// prices the detour an energy-rich route costs.
+	ConsumptionPerKm float64
+	// TradeoffSecondsPerKWh converts net energy into travel-time
+	// currency: how many extra seconds of driving one harvested kWh
+	// is worth to the driver. Zero reproduces the plain fastest
+	// route.
+	TradeoffSecondsPerKWh float64
+	// Gains carries the per-edge charging energy.
+	Gains EnergyGains
+}
+
+// Validate reports the first problem with the configuration.
+func (c EnergyRouteConfig) Validate() error {
+	if c.ConsumptionPerKm < 0 {
+		return fmt.Errorf("roadnet: consumption %v must be non-negative", c.ConsumptionPerKm)
+	}
+	if c.TradeoffSecondsPerKWh < 0 {
+		return fmt.Errorf("roadnet: tradeoff %v must be non-negative", c.TradeoffSecondsPerKWh)
+	}
+	return nil
+}
+
+// RouteStats summarizes an energy-aware route.
+type RouteStats struct {
+	// TravelTime is the free-flow traversal time.
+	TravelTime time.Duration
+	// Distance is the route length.
+	Distance units.Distance
+	// EnergyConsumed is the drivetrain draw over the route.
+	EnergyConsumed units.Energy
+	// EnergyGained is the charging-section harvest over the route.
+	EnergyGained units.Energy
+}
+
+// NetEnergy returns gained minus consumed.
+func (s RouteStats) NetEnergy() units.Energy {
+	return s.EnergyGained - s.EnergyConsumed
+}
+
+// ErrChargingLoop reports a network/tradeoff combination where some
+// cycle of edges has negative generalized cost — driving it forever
+// would "earn" unbounded utility. Cap the tradeoff or the per-edge
+// gains to restore a well-posed problem.
+var ErrChargingLoop = fmt.Errorf("roadnet: charging-rich cycle makes the route unbounded")
+
+// EnergyAwareRoute returns the edge sequence from src to dst that
+// minimizes generalized cost: free-flow seconds minus the time-value
+// of the net energy each edge provides. Charging-rich edges can have
+// negative cost, so the router runs Bellman–Ford and rejects networks
+// whose tradeoff induces a negative cycle (ErrChargingLoop).
+func (n *Network) EnergyAwareRoute(src, dst NodeID, cfg EnergyRouteConfig) ([]EdgeID, RouteStats, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, RouteStats{}, err
+	}
+	if _, ok := n.nodes[src]; !ok {
+		return nil, RouteStats{}, fmt.Errorf("roadnet: unknown source %s", src)
+	}
+	if _, ok := n.nodes[dst]; !ok {
+		return nil, RouteStats{}, fmt.Errorf("roadnet: unknown destination %s", dst)
+	}
+	if src == dst {
+		return nil, RouteStats{}, nil
+	}
+
+	costOf := func(e Edge) float64 {
+		seconds := e.TravelTime().Seconds()
+		consumed := cfg.ConsumptionPerKm * e.Length.Meters() / 1000
+		gained := cfg.Gains[e.ID].KWh()
+		return seconds - cfg.TradeoffSecondsPerKWh*(gained-consumed)
+	}
+
+	// Bellman–Ford over a deterministic edge order.
+	edgeIDs := make([]EdgeID, 0, len(n.edges))
+	for id := range n.edges {
+		edgeIDs = append(edgeIDs, id)
+	}
+	sort.Slice(edgeIDs, func(i, j int) bool { return edgeIDs[i] < edgeIDs[j] })
+
+	const inf = float64(1 << 62)
+	dist := make(map[NodeID]float64, len(n.nodes))
+	for id := range n.nodes {
+		dist[id] = inf
+	}
+	dist[src] = 0
+	prev := map[NodeID]EdgeID{}
+	for pass := 0; pass < len(n.nodes); pass++ {
+		var relaxed bool
+		for _, eid := range edgeIDs {
+			e := n.edges[eid]
+			if dist[e.From] == inf {
+				continue
+			}
+			if alt := dist[e.From] + costOf(e); alt < dist[e.To]-1e-12 {
+				dist[e.To] = alt
+				prev[e.To] = eid
+				relaxed = true
+			}
+		}
+		if !relaxed {
+			break
+		}
+		if pass == len(n.nodes)-1 {
+			return nil, RouteStats{}, ErrChargingLoop
+		}
+	}
+	if dist[dst] == inf {
+		return nil, RouteStats{}, fmt.Errorf("roadnet: no route from %s to %s", src, dst)
+	}
+
+	var route []EdgeID
+	for at := dst; at != src; {
+		eid, ok := prev[at]
+		if !ok {
+			return nil, RouteStats{}, fmt.Errorf("roadnet: no route from %s to %s", src, dst)
+		}
+		route = append([]EdgeID{eid}, route...)
+		at = n.edges[eid].From
+		if len(route) > len(n.edges) {
+			return nil, RouteStats{}, ErrChargingLoop
+		}
+	}
+
+	var stats RouteStats
+	for _, eid := range route {
+		e := n.edges[eid]
+		stats.TravelTime += e.TravelTime()
+		stats.Distance += e.Length
+		stats.EnergyConsumed += units.KWh(cfg.ConsumptionPerKm * e.Length.Meters() / 1000)
+		stats.EnergyGained += cfg.Gains[e.ID]
+	}
+	return route, stats, nil
+}

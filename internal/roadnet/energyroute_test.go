@@ -1,0 +1,134 @@
+package roadnet
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"olevgrid/internal/units"
+)
+
+// chargingDiamond: a->b->d is the short plain route (200 m); a->c->d
+// is a 1000 m detour whose second leg carries charging sections.
+func chargingDiamond(t *testing.T) (*Network, EnergyGains) {
+	t.Helper()
+	n := NewNetwork()
+	for _, node := range []Node{{ID: "a"}, {ID: "b"}, {ID: "c"}, {ID: "d"}} {
+		if err := n.AddNode(node); err != nil {
+			t.Fatal(err)
+		}
+	}
+	edges := []Edge{
+		{ID: "ab", From: "a", To: "b", Length: units.Meters(100), SpeedLimit: units.MPS(10)},
+		{ID: "bd", From: "b", To: "d", Length: units.Meters(100), SpeedLimit: units.MPS(10)},
+		{ID: "ac", From: "a", To: "c", Length: units.Meters(500), SpeedLimit: units.MPS(10)},
+		{ID: "cd", From: "c", To: "d", Length: units.Meters(500), SpeedLimit: units.MPS(10)},
+	}
+	for _, e := range edges {
+		if err := n.AddEdge(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return n, EnergyGains{"cd": units.KWh(2)}
+}
+
+func TestEnergyAwareRouteZeroTradeoffIsFastest(t *testing.T) {
+	n, gains := chargingDiamond(t)
+	route, stats, err := n.EnergyAwareRoute("a", "d", EnergyRouteConfig{
+		ConsumptionPerKm: 0.2, Gains: gains,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(route) != 2 || route[0] != "ab" || route[1] != "bd" {
+		t.Errorf("route = %v, want fastest [ab bd]", route)
+	}
+	if stats.TravelTime != 20*time.Second {
+		t.Errorf("travel time = %v", stats.TravelTime)
+	}
+	if stats.EnergyGained != 0 {
+		t.Errorf("gained %v on the plain route", stats.EnergyGained)
+	}
+}
+
+func TestEnergyAwareRouteTakesChargingDetour(t *testing.T) {
+	n, gains := chargingDiamond(t)
+	// The detour costs 80 extra seconds and 0.16 kWh extra draw but
+	// gains 2 kWh; at 60 s/kWh the driver takes it.
+	route, stats, err := n.EnergyAwareRoute("a", "d", EnergyRouteConfig{
+		ConsumptionPerKm:      0.2,
+		TradeoffSecondsPerKWh: 60,
+		Gains:                 gains,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(route) != 2 || route[0] != "ac" || route[1] != "cd" {
+		t.Fatalf("route = %v, want charging detour [ac cd]", route)
+	}
+	if stats.EnergyGained != units.KWh(2) {
+		t.Errorf("gained = %v, want 2 kWh", stats.EnergyGained)
+	}
+	if want := 0.2; math.Abs(stats.EnergyConsumed.KWh()-want) > 1e-9 {
+		t.Errorf("consumed = %v, want %v kWh", stats.EnergyConsumed, want)
+	}
+	if net := stats.NetEnergy().KWh(); math.Abs(net-1.8) > 1e-9 {
+		t.Errorf("net = %v, want 1.8 kWh", net)
+	}
+}
+
+func TestEnergyAwareRouteLowValueSticksToFastest(t *testing.T) {
+	n, gains := chargingDiamond(t)
+	// At 10 s/kWh the 2 kWh gain is worth only 20 s — not worth the
+	// 80 s detour.
+	route, _, err := n.EnergyAwareRoute("a", "d", EnergyRouteConfig{
+		ConsumptionPerKm:      0.2,
+		TradeoffSecondsPerKWh: 10,
+		Gains:                 gains,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if route[0] != "ab" {
+		t.Errorf("route = %v, want fastest", route)
+	}
+}
+
+func TestEnergyAwareRouteHugeTradeoffStaysSane(t *testing.T) {
+	// Even if a charging edge would "pay" the driver, the epsilon
+	// floor keeps Dijkstra terminating with a simple path.
+	n, gains := chargingDiamond(t)
+	route, _, err := n.EnergyAwareRoute("a", "d", EnergyRouteConfig{
+		ConsumptionPerKm:      0.2,
+		TradeoffSecondsPerKWh: 1e6,
+		Gains:                 gains,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(route) != 2 {
+		t.Errorf("route = %v, want a simple 2-edge path", route)
+	}
+}
+
+func TestEnergyAwareRouteErrors(t *testing.T) {
+	n, gains := chargingDiamond(t)
+	if _, _, err := n.EnergyAwareRoute("zz", "d", EnergyRouteConfig{Gains: gains}); err == nil {
+		t.Error("unknown source accepted")
+	}
+	if _, _, err := n.EnergyAwareRoute("a", "zz", EnergyRouteConfig{Gains: gains}); err == nil {
+		t.Error("unknown destination accepted")
+	}
+	if _, _, err := n.EnergyAwareRoute("d", "a", EnergyRouteConfig{Gains: gains}); err == nil {
+		t.Error("unreachable destination accepted")
+	}
+	if _, _, err := n.EnergyAwareRoute("a", "d", EnergyRouteConfig{ConsumptionPerKm: -1}); err == nil {
+		t.Error("negative consumption accepted")
+	}
+	if _, _, err := n.EnergyAwareRoute("a", "d", EnergyRouteConfig{TradeoffSecondsPerKWh: -1}); err == nil {
+		t.Error("negative tradeoff accepted")
+	}
+	if route, stats, err := n.EnergyAwareRoute("a", "a", EnergyRouteConfig{}); err != nil || len(route) != 0 || stats.TravelTime != 0 {
+		t.Error("self route should be empty")
+	}
+}

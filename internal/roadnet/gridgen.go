@@ -1,0 +1,91 @@
+package roadnet
+
+import (
+	"fmt"
+
+	"olevgrid/internal/units"
+)
+
+// GridConfig describes a Manhattan-style grid network: Rows × Cols
+// intersections joined by bidirectional streets, with signals at
+// every interior intersection — the synthetic stand-in for the
+// OpenStreetMap import the paper feeds SUMO.
+type GridConfig struct {
+	Rows, Cols int
+	// BlockLength is the edge length between adjacent intersections.
+	BlockLength units.Distance
+	// SpeedLimit applies to every street.
+	SpeedLimit units.Speed
+	// Signal is the plan installed at interior intersections; nil
+	// leaves the whole grid uncontrolled.
+	Signal *SignalPlan
+}
+
+// GridNodeID returns the canonical node ID for grid position (r, c).
+func GridNodeID(r, c int) NodeID {
+	return NodeID(fmt.Sprintf("n%d-%d", r, c))
+}
+
+// NewGridNetwork builds the grid. Interior nodes (not on the boundary)
+// carry the signal plan; edges run both directions along every row
+// and column.
+func NewGridNetwork(cfg GridConfig) (*Network, error) {
+	if cfg.Rows < 2 || cfg.Cols < 2 {
+		return nil, fmt.Errorf("roadnet: grid needs at least 2x2, got %dx%d", cfg.Rows, cfg.Cols)
+	}
+	if cfg.BlockLength <= 0 {
+		return nil, fmt.Errorf("roadnet: block length %v must be positive", cfg.BlockLength)
+	}
+	if cfg.SpeedLimit <= 0 {
+		return nil, fmt.Errorf("roadnet: speed limit %v must be positive", cfg.SpeedLimit)
+	}
+	if cfg.Signal != nil {
+		if err := cfg.Signal.Validate(); err != nil {
+			return nil, err
+		}
+	}
+
+	net := NewNetwork()
+	for r := 0; r < cfg.Rows; r++ {
+		for c := 0; c < cfg.Cols; c++ {
+			node := Node{ID: GridNodeID(r, c)}
+			if cfg.Signal != nil && r > 0 && r < cfg.Rows-1 && c > 0 && c < cfg.Cols-1 {
+				plan := *cfg.Signal
+				node.Signal = &plan
+			}
+			if err := net.AddNode(node); err != nil {
+				return nil, err
+			}
+		}
+	}
+	addBoth := func(a, b NodeID) error {
+		for _, pair := range [][2]NodeID{{a, b}, {b, a}} {
+			e := Edge{
+				ID:         EdgeID(fmt.Sprintf("%s->%s", pair[0], pair[1])),
+				From:       pair[0],
+				To:         pair[1],
+				Length:     cfg.BlockLength,
+				SpeedLimit: cfg.SpeedLimit,
+			}
+			if err := net.AddEdge(e); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for r := 0; r < cfg.Rows; r++ {
+		for c := 0; c < cfg.Cols; c++ {
+			if c+1 < cfg.Cols {
+				if err := addBoth(GridNodeID(r, c), GridNodeID(r, c+1)); err != nil {
+					return nil, err
+				}
+			}
+			if r+1 < cfg.Rows {
+				if err := addBoth(GridNodeID(r, c), GridNodeID(r+1, c)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return net, nil
+}

@@ -1,0 +1,99 @@
+package roadnet
+
+import (
+	"testing"
+
+	"olevgrid/internal/units"
+)
+
+func gridCfg() GridConfig {
+	plan := DefaultSignalPlan()
+	return GridConfig{
+		Rows: 4, Cols: 5,
+		BlockLength: units.Meters(120),
+		SpeedLimit:  units.KMH(40),
+		Signal:      &plan,
+	}
+}
+
+func TestNewGridNetworkShape(t *testing.T) {
+	net, err := NewGridNetwork(gridCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := net.NumNodes(); got != 20 {
+		t.Errorf("nodes = %d, want 20", got)
+	}
+	// Bidirectional edges: rows·(cols−1) + cols·(rows−1), doubled.
+	want := 2 * (4*4 + 5*3)
+	if got := net.NumEdges(); got != want {
+		t.Errorf("edges = %d, want %d", got, want)
+	}
+	// Interior nodes signalized, boundary not.
+	if n, _ := net.Node(GridNodeID(1, 2)); n.Signal == nil {
+		t.Error("interior node missing signal")
+	}
+	if n, _ := net.Node(GridNodeID(0, 0)); n.Signal != nil {
+		t.Error("corner node has a signal")
+	}
+	if n, _ := net.Node(GridNodeID(3, 2)); n.Signal != nil {
+		t.Error("boundary node has a signal")
+	}
+}
+
+func TestGridNetworkRoutesAcross(t *testing.T) {
+	net, err := NewGridNetwork(gridCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	route, err := net.Route(GridNodeID(0, 0), GridNodeID(3, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Manhattan distance: 3 + 4 = 7 blocks.
+	if len(route) != 7 {
+		t.Errorf("route length %d, want 7", len(route))
+	}
+	// And back.
+	back, err := net.Route(GridNodeID(3, 4), GridNodeID(0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 7 {
+		t.Errorf("return route length %d, want 7", len(back))
+	}
+}
+
+func TestGridNetworkSignalPlansAreIndependent(t *testing.T) {
+	net, err := NewGridNetwork(gridCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := net.Node(GridNodeID(1, 1))
+	b, _ := net.Node(GridNodeID(1, 2))
+	a.Signal.Green = 1
+	if b.Signal.Green == 1 {
+		t.Error("grid nodes share one signal plan")
+	}
+}
+
+func TestNewGridNetworkValidation(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*GridConfig)
+	}{
+		{name: "too small", mutate: func(c *GridConfig) { c.Rows = 1 }},
+		{name: "zero block", mutate: func(c *GridConfig) { c.BlockLength = 0 }},
+		{name: "zero speed", mutate: func(c *GridConfig) { c.SpeedLimit = 0 }},
+		{name: "bad signal", mutate: func(c *GridConfig) { c.Signal = &SignalPlan{} }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := gridCfg()
+			tt.mutate(&cfg)
+			if _, err := NewGridNetwork(cfg); err == nil {
+				t.Error("invalid grid accepted")
+			}
+		})
+	}
+}

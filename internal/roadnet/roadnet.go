@@ -1,0 +1,276 @@
+// Package roadnet models the road network the traffic simulator runs
+// on: nodes (intersections, optionally signalized), directed edges
+// (road segments with length and speed limit), and simple routing.
+// It is the stand-in for the OpenStreetMap network the paper imports
+// into SUMO.
+package roadnet
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"olevgrid/internal/units"
+)
+
+// NodeID identifies an intersection.
+type NodeID string
+
+// EdgeID identifies a directed road segment.
+type EdgeID string
+
+// SignalPlan is a fixed-time traffic-signal program: green, then
+// yellow, then red, repeating. Phase() answers where in the cycle a
+// given wall-clock time falls.
+type SignalPlan struct {
+	Green  time.Duration
+	Yellow time.Duration
+	Red    time.Duration
+	// Offset shifts the cycle start, for coordinating adjacent
+	// signals.
+	Offset time.Duration
+}
+
+// DefaultSignalPlan returns the 90-second urban cycle used by the
+// motivation study: 42 s green, 3 s yellow, 45 s red.
+func DefaultSignalPlan() SignalPlan {
+	return SignalPlan{Green: 42 * time.Second, Yellow: 3 * time.Second, Red: 45 * time.Second}
+}
+
+// Validate reports whether the plan has a positive cycle with a
+// positive green share.
+func (p SignalPlan) Validate() error {
+	if p.Green <= 0 {
+		return fmt.Errorf("roadnet: green time %v must be positive", p.Green)
+	}
+	if p.Yellow < 0 || p.Red < 0 {
+		return fmt.Errorf("roadnet: yellow %v and red %v must be non-negative", p.Yellow, p.Red)
+	}
+	return nil
+}
+
+// Cycle returns the total cycle length.
+func (p SignalPlan) Cycle() time.Duration { return p.Green + p.Yellow + p.Red }
+
+// Phase is a signal indication.
+type Phase int
+
+const (
+	// PhaseGreen permits movement.
+	PhaseGreen Phase = iota + 1
+	// PhaseYellow warns of an imminent red; the simulator treats it as
+	// stop-if-you-safely-can.
+	PhaseYellow
+	// PhaseRed forbids movement past the stop line.
+	PhaseRed
+)
+
+func (p Phase) String() string {
+	switch p {
+	case PhaseGreen:
+		return "green"
+	case PhaseYellow:
+		return "yellow"
+	case PhaseRed:
+		return "red"
+	default:
+		return fmt.Sprintf("Phase(%d)", int(p))
+	}
+}
+
+// PhaseAt returns the indication at time t.
+func (p SignalPlan) PhaseAt(t time.Duration) Phase {
+	cycle := p.Cycle()
+	if cycle <= 0 {
+		return PhaseGreen
+	}
+	into := (t - p.Offset) % cycle
+	if into < 0 {
+		into += cycle
+	}
+	switch {
+	case into < p.Green:
+		return PhaseGreen
+	case into < p.Green+p.Yellow:
+		return PhaseYellow
+	default:
+		return PhaseRed
+	}
+}
+
+// Node is an intersection. A nil Signal means uncontrolled.
+type Node struct {
+	ID     NodeID
+	Signal *SignalPlan
+}
+
+// Edge is a one-way road segment.
+type Edge struct {
+	ID         EdgeID
+	From, To   NodeID
+	Length     units.Distance
+	SpeedLimit units.Speed
+}
+
+// Validate reports whether the edge is well-formed.
+func (e Edge) Validate() error {
+	switch {
+	case e.ID == "":
+		return fmt.Errorf("roadnet: edge needs an ID")
+	case e.From == "" || e.To == "":
+		return fmt.Errorf("roadnet: edge %s needs endpoints", e.ID)
+	case e.From == e.To:
+		return fmt.Errorf("roadnet: edge %s is a self-loop", e.ID)
+	case e.Length <= 0:
+		return fmt.Errorf("roadnet: edge %s length %v must be positive", e.ID, e.Length)
+	case e.SpeedLimit <= 0:
+		return fmt.Errorf("roadnet: edge %s speed limit %v must be positive", e.ID, e.SpeedLimit)
+	}
+	return nil
+}
+
+// TravelTime returns the free-flow traversal time.
+func (e Edge) TravelTime() time.Duration {
+	return e.SpeedLimit.TimeOver(e.Length)
+}
+
+// Network is a directed road graph. Construct with NewNetwork and
+// populate with AddNode/AddEdge; it is not safe for concurrent
+// mutation.
+type Network struct {
+	nodes map[NodeID]Node
+	edges map[EdgeID]Edge
+	out   map[NodeID][]EdgeID
+}
+
+// NewNetwork returns an empty network.
+func NewNetwork() *Network {
+	return &Network{
+		nodes: make(map[NodeID]Node),
+		edges: make(map[EdgeID]Edge),
+		out:   make(map[NodeID][]EdgeID),
+	}
+}
+
+// AddNode inserts or replaces a node.
+func (n *Network) AddNode(node Node) error {
+	if node.ID == "" {
+		return fmt.Errorf("roadnet: node needs an ID")
+	}
+	if node.Signal != nil {
+		if err := node.Signal.Validate(); err != nil {
+			return err
+		}
+	}
+	n.nodes[node.ID] = node
+	return nil
+}
+
+// AddEdge inserts an edge whose endpoints must already exist.
+func (n *Network) AddEdge(e Edge) error {
+	if err := e.Validate(); err != nil {
+		return err
+	}
+	if _, ok := n.nodes[e.From]; !ok {
+		return fmt.Errorf("roadnet: edge %s references unknown node %s", e.ID, e.From)
+	}
+	if _, ok := n.nodes[e.To]; !ok {
+		return fmt.Errorf("roadnet: edge %s references unknown node %s", e.ID, e.To)
+	}
+	if _, dup := n.edges[e.ID]; dup {
+		return fmt.Errorf("roadnet: duplicate edge %s", e.ID)
+	}
+	n.edges[e.ID] = e
+	n.out[e.From] = append(n.out[e.From], e.ID)
+	return nil
+}
+
+// Node returns a node by ID.
+func (n *Network) Node(id NodeID) (Node, bool) {
+	node, ok := n.nodes[id]
+	return node, ok
+}
+
+// Edge returns an edge by ID.
+func (n *Network) Edge(id EdgeID) (Edge, bool) {
+	e, ok := n.edges[id]
+	return e, ok
+}
+
+// NumNodes returns the node count.
+func (n *Network) NumNodes() int { return len(n.nodes) }
+
+// NumEdges returns the edge count.
+func (n *Network) NumEdges() int { return len(n.edges) }
+
+// EdgesFrom returns the outgoing edge IDs of a node, sorted for
+// determinism.
+func (n *Network) EdgesFrom(id NodeID) []EdgeID {
+	out := make([]EdgeID, len(n.out[id]))
+	copy(out, n.out[id])
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Route returns the minimum-free-flow-time edge sequence from src to
+// dst (Dijkstra), or an error if no path exists.
+func (n *Network) Route(src, dst NodeID) ([]EdgeID, error) {
+	if _, ok := n.nodes[src]; !ok {
+		return nil, fmt.Errorf("roadnet: unknown source %s", src)
+	}
+	if _, ok := n.nodes[dst]; !ok {
+		return nil, fmt.Errorf("roadnet: unknown destination %s", dst)
+	}
+	if src == dst {
+		return nil, nil
+	}
+
+	const inf = float64(1 << 62)
+	dist := map[NodeID]float64{src: 0}
+	prev := map[NodeID]EdgeID{}
+	visited := map[NodeID]bool{}
+
+	for {
+		// Extract the unvisited node with the smallest distance;
+		// iterate IDs in sorted order for determinism.
+		var cur NodeID
+		best := inf
+		ids := make([]NodeID, 0, len(dist))
+		for id := range dist {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			if !visited[id] && dist[id] < best {
+				best, cur = dist[id], id
+			}
+		}
+		if best == inf || cur == "" {
+			return nil, fmt.Errorf("roadnet: no route from %s to %s", src, dst)
+		}
+		if cur == dst {
+			break
+		}
+		visited[cur] = true
+		for _, eid := range n.EdgesFrom(cur) {
+			e := n.edges[eid]
+			alt := dist[cur] + e.TravelTime().Seconds()
+			if old, ok := dist[e.To]; !ok || alt < old {
+				dist[e.To] = alt
+				prev[e.To] = eid
+			}
+		}
+	}
+
+	// Reconstruct.
+	var route []EdgeID
+	for at := dst; at != src; {
+		eid, ok := prev[at]
+		if !ok {
+			return nil, fmt.Errorf("roadnet: no route from %s to %s", src, dst)
+		}
+		route = append([]EdgeID{eid}, route...)
+		at = n.edges[eid].From
+	}
+	return route, nil
+}

@@ -1,0 +1,200 @@
+package roadnet
+
+import (
+	"testing"
+	"time"
+
+	"olevgrid/internal/units"
+)
+
+func TestSignalPlanPhases(t *testing.T) {
+	p := DefaultSignalPlan() // 42g / 3y / 45r, 90s cycle
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Cycle(); got != 90*time.Second {
+		t.Errorf("Cycle = %v, want 90s", got)
+	}
+	tests := []struct {
+		at   time.Duration
+		want Phase
+	}{
+		{0, PhaseGreen},
+		{41 * time.Second, PhaseGreen},
+		{42 * time.Second, PhaseYellow},
+		{44 * time.Second, PhaseYellow},
+		{45 * time.Second, PhaseRed},
+		{89 * time.Second, PhaseRed},
+		{90 * time.Second, PhaseGreen}, // wraps
+		{135 * time.Second, PhaseRed},  // second cycle
+		{-1 * time.Second, PhaseRed},   // negative wraps to end of cycle
+	}
+	for _, tt := range tests {
+		if got := p.PhaseAt(tt.at); got != tt.want {
+			t.Errorf("PhaseAt(%v) = %v, want %v", tt.at, got, tt.want)
+		}
+	}
+}
+
+func TestSignalPlanOffset(t *testing.T) {
+	p := DefaultSignalPlan()
+	p.Offset = 45 * time.Second
+	if got := p.PhaseAt(45 * time.Second); got != PhaseGreen {
+		t.Errorf("offset cycle start = %v, want green", got)
+	}
+	if got := p.PhaseAt(0); got != PhaseRed {
+		t.Errorf("pre-offset = %v, want red (wrapped)", got)
+	}
+}
+
+func TestSignalPlanValidate(t *testing.T) {
+	bad := []SignalPlan{
+		{Green: 0, Red: 10 * time.Second},
+		{Green: 10 * time.Second, Yellow: -time.Second},
+		{Green: 10 * time.Second, Red: -time.Second},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("invalid plan %+v accepted", p)
+		}
+	}
+}
+
+func TestPhaseString(t *testing.T) {
+	if PhaseGreen.String() != "green" || PhaseYellow.String() != "yellow" || PhaseRed.String() != "red" {
+		t.Error("phase strings")
+	}
+	if Phase(9).String() != "Phase(9)" {
+		t.Error("unknown phase string")
+	}
+}
+
+func TestEdgeValidate(t *testing.T) {
+	valid := Edge{ID: "e1", From: "a", To: "b", Length: units.Meters(100), SpeedLimit: units.MPH(30)}
+	if err := valid.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		name   string
+		mutate func(*Edge)
+	}{
+		{name: "no id", mutate: func(e *Edge) { e.ID = "" }},
+		{name: "no from", mutate: func(e *Edge) { e.From = "" }},
+		{name: "self loop", mutate: func(e *Edge) { e.To = e.From }},
+		{name: "zero length", mutate: func(e *Edge) { e.Length = 0 }},
+		{name: "zero speed", mutate: func(e *Edge) { e.SpeedLimit = 0 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			e := valid
+			tt.mutate(&e)
+			if err := e.Validate(); err == nil {
+				t.Error("invalid edge accepted")
+			}
+		})
+	}
+}
+
+func TestEdgeTravelTime(t *testing.T) {
+	e := Edge{ID: "e", From: "a", To: "b", Length: units.Meters(200), SpeedLimit: units.MPS(10)}
+	if got := e.TravelTime(); got != 20*time.Second {
+		t.Errorf("TravelTime = %v", got)
+	}
+}
+
+func buildDiamond(t *testing.T) *Network {
+	t.Helper()
+	n := NewNetwork()
+	plan := DefaultSignalPlan()
+	for _, node := range []Node{
+		{ID: "a"}, {ID: "b", Signal: &plan}, {ID: "c"}, {ID: "d"},
+	} {
+		if err := n.AddNode(node); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// a->b->d is short; a->c->d is long.
+	edges := []Edge{
+		{ID: "ab", From: "a", To: "b", Length: units.Meters(100), SpeedLimit: units.MPS(10)},
+		{ID: "bd", From: "b", To: "d", Length: units.Meters(100), SpeedLimit: units.MPS(10)},
+		{ID: "ac", From: "a", To: "c", Length: units.Meters(500), SpeedLimit: units.MPS(10)},
+		{ID: "cd", From: "c", To: "d", Length: units.Meters(500), SpeedLimit: units.MPS(10)},
+	}
+	for _, e := range edges {
+		if err := n.AddEdge(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return n
+}
+
+func TestNetworkConstruction(t *testing.T) {
+	n := buildDiamond(t)
+	if n.NumNodes() != 4 || n.NumEdges() != 4 {
+		t.Errorf("size = %d nodes, %d edges", n.NumNodes(), n.NumEdges())
+	}
+	if _, ok := n.Node("b"); !ok {
+		t.Error("node b missing")
+	}
+	if _, ok := n.Edge("ab"); !ok {
+		t.Error("edge ab missing")
+	}
+	if got := n.EdgesFrom("a"); len(got) != 2 || got[0] != "ab" || got[1] != "ac" {
+		t.Errorf("EdgesFrom(a) = %v", got)
+	}
+}
+
+func TestNetworkRejectsBadInput(t *testing.T) {
+	n := NewNetwork()
+	if err := n.AddNode(Node{}); err == nil {
+		t.Error("empty node accepted")
+	}
+	badSignal := SignalPlan{}
+	if err := n.AddNode(Node{ID: "x", Signal: &badSignal}); err == nil {
+		t.Error("invalid signal accepted")
+	}
+	if err := n.AddNode(Node{ID: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddEdge(Edge{ID: "e", From: "a", To: "zz", Length: 1, SpeedLimit: 1}); err == nil {
+		t.Error("edge to unknown node accepted")
+	}
+	if err := n.AddNode(Node{ID: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	e := Edge{ID: "e", From: "a", To: "b", Length: 1, SpeedLimit: 1}
+	if err := n.AddEdge(e); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.AddEdge(e); err == nil {
+		t.Error("duplicate edge accepted")
+	}
+}
+
+func TestRoutePicksFasterPath(t *testing.T) {
+	n := buildDiamond(t)
+	route, err := n.Route("a", "d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(route) != 2 || route[0] != "ab" || route[1] != "bd" {
+		t.Errorf("route = %v, want [ab bd]", route)
+	}
+}
+
+func TestRouteEdgeCases(t *testing.T) {
+	n := buildDiamond(t)
+	if route, err := n.Route("a", "a"); err != nil || len(route) != 0 {
+		t.Errorf("self route = %v, %v", route, err)
+	}
+	if _, err := n.Route("zz", "a"); err == nil {
+		t.Error("unknown source accepted")
+	}
+	if _, err := n.Route("a", "zz"); err == nil {
+		t.Error("unknown destination accepted")
+	}
+	// d has no outgoing edges: no route d -> a.
+	if _, err := n.Route("d", "a"); err == nil {
+		t.Error("unreachable destination accepted")
+	}
+}

@@ -1,0 +1,180 @@
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"olevgrid/internal/core"
+	"olevgrid/internal/v2i"
+)
+
+// AgentConfig configures one OLEV's side of the protocol.
+type AgentConfig struct {
+	// VehicleID identifies the OLEV.
+	VehicleID string
+	// MaxPowerKW is the Eq. (2) ceiling P^OLEV_n.
+	MaxPowerKW float64
+	// Satisfaction is the private U_n; the coordinator never sees it.
+	Satisfaction core.Satisfaction
+	// MaxSectionDrawKW is the vehicle's Eq. (3) per-section coupling
+	// limit; zero means uncapped.
+	MaxSectionDrawKW float64
+	// Hello optionally carries extra registration fields.
+	VelocityMS float64
+	SOC        float64
+}
+
+// Validate reports the first problem with the configuration.
+func (c AgentConfig) Validate() error {
+	if c.VehicleID == "" {
+		return errors.New("sched: agent needs a vehicle ID")
+	}
+	if c.MaxPowerKW < 0 {
+		return fmt.Errorf("sched: agent %s max power %v negative", c.VehicleID, c.MaxPowerKW)
+	}
+	if c.Satisfaction == nil {
+		return fmt.Errorf("sched: agent %s needs a satisfaction function", c.VehicleID)
+	}
+	return nil
+}
+
+// AgentResult summarizes an agent's session.
+type AgentResult struct {
+	// FinalRequestKW is the last total the agent requested.
+	FinalRequestKW float64
+	// FinalAllocKW is the last schedule the grid confirmed.
+	FinalAllocKW []float64
+	// FinalPaymentH is the payment attached to the last schedule.
+	FinalPaymentH float64
+	// Rounds counts quote/request exchanges.
+	Rounds int
+	// Converged reports whether the grid announced convergence.
+	Converged bool
+}
+
+// Agent is one OLEV's protocol driver.
+type Agent struct {
+	cfg  AgentConfig
+	link v2i.Transport
+	seq  uint64
+}
+
+// NewAgent validates and builds an agent over an established link.
+func NewAgent(cfg AgentConfig, link v2i.Transport) (*Agent, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if link == nil {
+		return nil, errors.New("sched: agent needs a transport")
+	}
+	return &Agent{cfg: cfg, link: link}, nil
+}
+
+// Hello registers the agent with the smart grid. TCP deployments call
+// it once before Run; in-memory deployments may skip it since the
+// coordinator is constructed with the links already keyed.
+func (a *Agent) Hello(ctx context.Context) error {
+	a.seq++
+	env, err := v2i.Seal(v2i.TypeHello, a.cfg.VehicleID, a.seq, v2i.Hello{
+		VehicleID:  a.cfg.VehicleID,
+		MaxPowerKW: a.cfg.MaxPowerKW,
+		VelocityMS: a.cfg.VelocityMS,
+		SOC:        a.cfg.SOC,
+	})
+	if err != nil {
+		return err
+	}
+	return a.link.Send(ctx, env)
+}
+
+// Run answers quotes with best responses until the grid says the game
+// is over or the context/link ends.
+func (a *Agent) Run(ctx context.Context) (AgentResult, error) {
+	var res AgentResult
+	for {
+		env, err := a.link.Recv(ctx)
+		if err != nil {
+			if errors.Is(err, v2i.ErrClosed) && res.Rounds > 0 {
+				// The grid hung up after at least one exchange; treat
+				// the session as complete.
+				return res, nil
+			}
+			return res, fmt.Errorf("sched: agent %s recv: %w", a.cfg.VehicleID, err)
+		}
+		switch env.Type {
+		case v2i.TypeQuote:
+			if err := a.answerQuote(ctx, env, &res); err != nil {
+				return res, err
+			}
+		case v2i.TypeSchedule:
+			var msg v2i.ScheduleMsg
+			if err := v2i.Open(env, v2i.TypeSchedule, &msg); err != nil {
+				return res, err
+			}
+			res.FinalAllocKW = msg.AllocKW
+			res.FinalPaymentH = msg.PaymentH
+		case v2i.TypeConverged:
+			res.Converged = true
+		case v2i.TypeBye:
+			return res, nil
+		default:
+			return res, fmt.Errorf("sched: agent %s: unexpected %s", a.cfg.VehicleID, env.Type)
+		}
+	}
+}
+
+// answerQuote computes the best response to a quoted payment function
+// and sends the request.
+func (a *Agent) answerQuote(ctx context.Context, env v2i.Envelope, res *AgentResult) error {
+	var quote v2i.Quote
+	if err := v2i.Open(env, v2i.TypeQuote, &quote); err != nil {
+		return err
+	}
+	cost, err := BuildCost(quote.Cost)
+	if err != nil {
+		return err
+	}
+	psi := core.NewPaymentFunction(cost, quote.Others)
+	if a.cfg.MaxSectionDrawKW > 0 {
+		psi = psi.WithDrawCap(a.cfg.MaxSectionDrawKW)
+	}
+	request := core.BestResponse(a.cfg.Satisfaction, psi, a.cfg.MaxPowerKW)
+
+	a.seq++
+	out, err := v2i.Seal(v2i.TypeRequest, a.cfg.VehicleID, a.seq, v2i.Request{
+		VehicleID: a.cfg.VehicleID, TotalKW: request,
+		DrawCapKW: a.cfg.MaxSectionDrawKW, Round: quote.Round,
+	})
+	if err != nil {
+		return err
+	}
+	if err := a.link.Send(ctx, out); err != nil {
+		return fmt.Errorf("sched: agent %s send request: %w", a.cfg.VehicleID, err)
+	}
+	res.FinalRequestKW = request
+	res.Rounds++
+	return nil
+}
+
+// RunTCP is the full client-side lifecycle for a TCP deployment:
+// dial, hello, run.
+func RunTCP(ctx context.Context, addr string, cfg AgentConfig) (AgentResult, error) {
+	link, err := v2i.Dial(ctx, addr)
+	if err != nil {
+		return AgentResult{}, err
+	}
+	defer func() { _ = link.Close() }()
+	agent, err := NewAgent(cfg, link)
+	if err != nil {
+		return AgentResult{}, err
+	}
+	hctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	err = agent.Hello(hctx)
+	cancel()
+	if err != nil {
+		return AgentResult{}, err
+	}
+	return agent.Run(ctx)
+}

@@ -1,0 +1,490 @@
+// Package sched is the decentralized power-scheduling framework of
+// Section IV-D, run over real message passing: a smart-grid
+// Coordinator that owns the schedule, quotes payment functions and
+// water-fills requests, and OLEV Agents that hold their private
+// satisfaction functions and best-respond. The in-memory transport
+// reproduces the paper's simulation; the TCP transport turns the same
+// protocol into an actual distributed system.
+package sched
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"sort"
+	"time"
+
+	"olevgrid/internal/core"
+	"olevgrid/internal/stats"
+	"olevgrid/internal/v2i"
+)
+
+// BuildCost reconstructs a core.CostFunction from its wire form.
+func BuildCost(spec v2i.CostSpec) (core.CostFunction, error) {
+	var charging core.CostFunction
+	switch spec.Kind {
+	case "nonlinear":
+		v, err := core.NewQuadraticCharging(spec.BetaPerKWh, spec.Alpha, spec.LineCapacityKW)
+		if err != nil {
+			return nil, err
+		}
+		charging = v
+	case "linear":
+		if spec.BetaPerKWh <= 0 {
+			return nil, fmt.Errorf("sched: linear beta %v must be positive", spec.BetaPerKWh)
+		}
+		charging = core.LinearCharging{Beta: spec.BetaPerKWh}
+	default:
+		return nil, fmt.Errorf("sched: unknown cost kind %q", spec.Kind)
+	}
+	if spec.OverloadKappaPerKWh > 0 {
+		if spec.OverloadCapacityKW <= 0 {
+			return nil, fmt.Errorf("sched: overload capacity %v must be positive", spec.OverloadCapacityKW)
+		}
+		return core.SectionCost{
+			Charging: charging,
+			Overload: core.OverloadPenalty{
+				Kappa:    spec.OverloadKappaPerKWh,
+				Capacity: spec.OverloadCapacityKW,
+			},
+		}, nil
+	}
+	return charging, nil
+}
+
+// CoordinatorConfig configures the smart-grid side.
+type CoordinatorConfig struct {
+	// NumSections is C.
+	NumSections int
+	// LineCapacityKW is P_line per section.
+	LineCapacityKW float64
+	// Cost is the wire form of the shared section cost; agents price
+	// against exactly what the coordinator uses.
+	Cost v2i.CostSpec
+	// Tolerance declares convergence when no request moves more than
+	// this across a full round; zero means 1e-4.
+	Tolerance float64
+	// MaxRounds bounds the iteration; zero means 200.
+	MaxRounds int
+	// RoundTimeout bounds each per-vehicle exchange; zero means 5 s.
+	RoundTimeout time.Duration
+	// MaxRetries re-quotes a vehicle whose exchange timed out — the
+	// recovery for lossy V2I links; zero means 2.
+	MaxRetries int
+	// SkipUnresponsive keeps the round going when a vehicle exhausts
+	// its retries, leaving its previous schedule in place, instead of
+	// failing the run. The asynchronous dynamics tolerate missed
+	// turns (Theorem IV.1 only needs every OLEV to update eventually).
+	SkipUnresponsive bool
+	// DropDeparted removes a vehicle whose transport has closed —
+	// OLEVs leave the charging lane mid-game in any real deployment —
+	// zeroing its schedule and letting the remaining fleet re-converge
+	// instead of failing the run.
+	DropDeparted bool
+	// Seed shuffles the per-round update order.
+	Seed int64
+}
+
+// Report summarizes a coordinator run.
+type Report struct {
+	// Rounds is the number of full update rounds executed.
+	Rounds int
+	// Converged reports whether the tolerance was met.
+	Converged bool
+	// CongestionDegree is the final Σp / ΣP_line.
+	CongestionDegree float64
+	// WelfareCost is Σ_c Z(P_c), the grid-side part of welfare (the
+	// coordinator cannot know satisfactions).
+	WelfareCost float64
+	// TotalPowerKW is the final scheduled power.
+	TotalPowerKW float64
+	// Requests is each vehicle's final total, keyed by ID.
+	Requests map[string]float64
+	// Skipped counts vehicle turns abandoned after retry exhaustion
+	// (only non-zero with SkipUnresponsive).
+	Skipped int
+	// Departed counts vehicles dropped after their transport closed
+	// (only non-zero with DropDeparted).
+	Departed int
+	// Retries counts re-quoted exchanges over the whole run.
+	Retries int
+}
+
+// Coordinator runs the smart-grid side of the protocol for a fixed
+// set of connected vehicles.
+type Coordinator struct {
+	cfg      CoordinatorConfig
+	cost     core.CostFunction
+	links    map[string]v2i.Transport
+	schedule map[string][]float64
+	seq      uint64
+	retries  int
+}
+
+// NewCoordinator validates the configuration and builds a coordinator.
+// links maps vehicle IDs to their established transports; the caller
+// owns accepting connections (see ServeTCP for the listener loop).
+func NewCoordinator(cfg CoordinatorConfig, links map[string]v2i.Transport) (*Coordinator, error) {
+	if cfg.NumSections < 1 {
+		return nil, fmt.Errorf("sched: need sections, got %d", cfg.NumSections)
+	}
+	if cfg.LineCapacityKW <= 0 {
+		return nil, fmt.Errorf("sched: line capacity %v must be positive", cfg.LineCapacityKW)
+	}
+	if len(links) == 0 {
+		return nil, fmt.Errorf("sched: no vehicles connected")
+	}
+	cost, err := BuildCost(cfg.Cost)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Tolerance <= 0 {
+		cfg.Tolerance = 1e-4
+	}
+	if cfg.MaxRounds <= 0 {
+		cfg.MaxRounds = 200
+	}
+	if cfg.RoundTimeout <= 0 {
+		cfg.RoundTimeout = 5 * time.Second
+	}
+	if cfg.MaxRetries <= 0 {
+		cfg.MaxRetries = 2
+	}
+	c := &Coordinator{
+		cfg:      cfg,
+		cost:     cost,
+		links:    links,
+		schedule: make(map[string][]float64, len(links)),
+	}
+	for id := range links {
+		c.schedule[id] = make([]float64, cfg.NumSections)
+	}
+	return c, nil
+}
+
+// Run drives the asynchronous best-response iteration: each round it
+// visits every vehicle in a shuffled order, quotes Ψ_n against the
+// frozen others, waits for the vehicle's request, and installs the
+// water-filled schedule. It stops when requests settle or MaxRounds
+// is reached, then broadcasts Converged and Bye.
+func (c *Coordinator) Run(ctx context.Context) (Report, error) {
+	rng := stats.NewRand(c.cfg.Seed)
+	ids := make([]string, 0, len(c.links))
+	for id := range c.links {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+
+	report := Report{Requests: make(map[string]float64, len(ids))}
+	for round := 1; round <= c.cfg.MaxRounds; round++ {
+		rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+		var maxDelta float64
+		departed := make(map[string]bool)
+		for _, id := range ids {
+			delta, err := c.updateWithRetries(ctx, id, round)
+			switch {
+			case err == nil:
+				maxDelta = math.Max(maxDelta, delta)
+			case c.cfg.DropDeparted && isDeparture(err) && ctx.Err() == nil:
+				// The vehicle left: free its power and let the rest
+				// re-converge. The released capacity is a real change,
+				// so the round cannot be the converged one.
+				departed[id] = true
+				if c.removeVehicle(id) > 0 {
+					maxDelta = math.Max(maxDelta, c.cfg.Tolerance*2)
+				}
+				report.Departed++
+			case c.cfg.SkipUnresponsive && ctx.Err() == nil:
+				report.Skipped++
+			default:
+				return report, fmt.Errorf("sched: round %d vehicle %s: %w", round, id, err)
+			}
+		}
+		if len(departed) > 0 {
+			kept := ids[:0]
+			for _, id := range ids {
+				if !departed[id] {
+					kept = append(kept, id)
+				}
+			}
+			ids = kept
+		}
+		report.Rounds = round
+		if len(ids) == 0 {
+			report.Converged = true
+			break
+		}
+		if maxDelta < c.cfg.Tolerance {
+			report.Converged = true
+			break
+		}
+		if err := ctx.Err(); err != nil {
+			return report, err
+		}
+	}
+
+	report.Retries = c.retries
+	report.CongestionDegree = c.CongestionDegree()
+	report.TotalPowerKW = c.totalPower()
+	report.WelfareCost = c.welfareCost()
+	for id := range c.schedule {
+		report.Requests[id] = sum(c.schedule[id])
+	}
+	c.broadcastDone(ctx, report)
+	return report, nil
+}
+
+// AddVehicle registers a new vehicle between episodes (a Coordinator
+// may Run repeatedly as the fleet on the charging lane turns over).
+// It must not be called while Run is executing; the coordinator is
+// deliberately single-threaded, like the smart grid it models.
+func (c *Coordinator) AddVehicle(id string, link v2i.Transport) error {
+	if id == "" {
+		return errors.New("sched: vehicle needs an ID")
+	}
+	if link == nil {
+		return errors.New("sched: vehicle needs a transport")
+	}
+	if _, dup := c.links[id]; dup {
+		return fmt.Errorf("sched: vehicle %q already registered", id)
+	}
+	c.links[id] = link
+	c.schedule[id] = make([]float64, c.cfg.NumSections)
+	return nil
+}
+
+// NumVehicles returns the currently registered fleet size.
+func (c *Coordinator) NumVehicles() int { return len(c.links) }
+
+// isDeparture reports whether an exchange failure means the vehicle's
+// link is gone for good (as opposed to a transient timeout): a closed
+// in-memory pair or a closed/ended TCP connection.
+func isDeparture(err error) bool {
+	return errors.Is(err, v2i.ErrClosed) || errors.Is(err, io.EOF) ||
+		errors.Is(err, net.ErrClosed)
+}
+
+// removeVehicle zeroes a departed vehicle's schedule and closes its
+// link, returning the power it released.
+func (c *Coordinator) removeVehicle(id string) float64 {
+	released := sum(c.schedule[id])
+	delete(c.schedule, id)
+	if link, ok := c.links[id]; ok {
+		_ = link.Close()
+		delete(c.links, id)
+	}
+	return released
+}
+
+// updateWithRetries drives updateOne, re-quoting after timeouts up to
+// MaxRetries times. A lost quote, request or schedule frame all look
+// the same from here — a timed-out exchange — and a fresh quote
+// resynchronizes both sides, because agents answer every quote
+// independently.
+func (c *Coordinator) updateWithRetries(ctx context.Context, id string, round int) (float64, error) {
+	var lastErr error
+	for attempt := 0; attempt <= c.cfg.MaxRetries; attempt++ {
+		if attempt > 0 {
+			c.retries++
+		}
+		delta, err := c.updateOne(ctx, id, round)
+		if err == nil {
+			return delta, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			break // the run itself is over; don't burn retries
+		}
+	}
+	return 0, lastErr
+}
+
+// updateOne performs one vehicle's quote → request → schedule exchange
+// and returns |Δp_n|.
+func (c *Coordinator) updateOne(ctx context.Context, id string, round int) (float64, error) {
+	link := c.links[id]
+	others := c.othersTotals(id)
+
+	rctx, cancel := context.WithTimeout(ctx, c.cfg.RoundTimeout)
+	defer cancel()
+
+	c.seq++
+	env, err := v2i.Seal(v2i.TypeQuote, "smart-grid", c.seq, v2i.Quote{
+		VehicleID: id, Others: others, Cost: c.cfg.Cost, Round: round,
+	})
+	if err != nil {
+		return 0, err
+	}
+	if err := link.Send(rctx, env); err != nil {
+		return 0, fmt.Errorf("send quote: %w", err)
+	}
+
+	reply, err := link.Recv(rctx)
+	if err != nil {
+		return 0, fmt.Errorf("recv request: %w", err)
+	}
+	var req v2i.Request
+	if err := v2i.Open(reply, v2i.TypeRequest, &req); err != nil {
+		return 0, err
+	}
+	if req.TotalKW < 0 || math.IsNaN(req.TotalKW) || math.IsInf(req.TotalKW, 0) {
+		return 0, fmt.Errorf("invalid request %v", req.TotalKW)
+	}
+
+	before := sum(c.schedule[id])
+	var alloc []float64
+	if req.DrawCapKW > 0 {
+		alloc, _ = core.PerDrawWaterFill(others, req.DrawCapKW, req.TotalKW)
+	} else {
+		alloc, _ = core.WaterFill(others, req.TotalKW)
+	}
+	c.schedule[id] = alloc
+
+	payment := core.Payment(c.costVector(), others, alloc)
+	c.seq++
+	env, err = v2i.Seal(v2i.TypeSchedule, "smart-grid", c.seq, v2i.ScheduleMsg{
+		VehicleID: id, AllocKW: alloc, PaymentH: payment, Round: round,
+	})
+	if err != nil {
+		return 0, err
+	}
+	if err := link.Send(rctx, env); err != nil {
+		return 0, fmt.Errorf("send schedule: %w", err)
+	}
+	return math.Abs(req.TotalKW - before), nil
+}
+
+// broadcastDone tells every agent the game is over. Failures here are
+// deliberately ignored: agents also exit on transport close.
+func (c *Coordinator) broadcastDone(ctx context.Context, report Report) {
+	for _, link := range c.links {
+		bctx, cancel := context.WithTimeout(ctx, c.cfg.RoundTimeout)
+		c.seq++
+		if env, err := v2i.Seal(v2i.TypeConverged, "smart-grid", c.seq, v2i.Converged{
+			Rounds:           report.Rounds,
+			CongestionDegree: report.CongestionDegree,
+			WelfarePerHour:   -report.WelfareCost,
+		}); err == nil {
+			_ = link.Send(bctx, env)
+		}
+		c.seq++
+		if env, err := v2i.Seal(v2i.TypeBye, "smart-grid", c.seq, v2i.Bye{Reason: "converged"}); err == nil {
+			_ = link.Send(bctx, env)
+		}
+		cancel()
+	}
+}
+
+// othersTotals returns P_−n per section.
+func (c *Coordinator) othersTotals(id string) []float64 {
+	out := make([]float64, c.cfg.NumSections)
+	for other, row := range c.schedule {
+		if other == id {
+			continue
+		}
+		for i, v := range row {
+			out[i] += v
+		}
+	}
+	return out
+}
+
+// SectionTotals returns the current P_c vector.
+func (c *Coordinator) SectionTotals() []float64 {
+	out := make([]float64, c.cfg.NumSections)
+	for _, row := range c.schedule {
+		for i, v := range row {
+			out[i] += v
+		}
+	}
+	return out
+}
+
+// CongestionDegree returns Σp / ΣP_line.
+func (c *Coordinator) CongestionDegree() float64 {
+	return c.totalPower() / (float64(c.cfg.NumSections) * c.cfg.LineCapacityKW)
+}
+
+func (c *Coordinator) totalPower() float64 {
+	var total float64
+	for _, row := range c.schedule {
+		total += sum(row)
+	}
+	return total
+}
+
+func (c *Coordinator) welfareCost() float64 {
+	var total float64
+	for _, pc := range c.SectionTotals() {
+		total += c.cost.Cost(pc)
+	}
+	return total
+}
+
+func (c *Coordinator) costVector() []core.CostFunction {
+	out := make([]core.CostFunction, c.cfg.NumSections)
+	for i := range out {
+		out[i] = c.cost
+	}
+	return out
+}
+
+func sum(vs []float64) float64 {
+	var s float64
+	for _, v := range vs {
+		s += v
+	}
+	return s
+}
+
+// CollectHellos accepts one Hello per expected vehicle from a server,
+// returning the transports keyed by vehicle ID. It is the listener
+// half of a TCP deployment.
+func CollectHellos(ctx context.Context, srv *v2i.Server, expect int, timeout time.Duration) (map[string]v2i.Transport, error) {
+	if expect < 1 {
+		return nil, fmt.Errorf("sched: expect %d vehicles", expect)
+	}
+	links := make(map[string]v2i.Transport, expect)
+	for len(links) < expect {
+		t, err := srv.Accept()
+		if err != nil {
+			closeAll(links)
+			return nil, err
+		}
+		hctx, cancel := context.WithTimeout(ctx, timeout)
+		env, err := t.Recv(hctx)
+		cancel()
+		if err != nil {
+			_ = t.Close()
+			closeAll(links)
+			return nil, fmt.Errorf("sched: hello: %w", err)
+		}
+		var hello v2i.Hello
+		if err := v2i.Open(env, v2i.TypeHello, &hello); err != nil {
+			_ = t.Close()
+			closeAll(links)
+			return nil, err
+		}
+		if hello.VehicleID == "" {
+			_ = t.Close()
+			closeAll(links)
+			return nil, errors.New("sched: hello without vehicle ID")
+		}
+		if _, dup := links[hello.VehicleID]; dup {
+			_ = t.Close()
+			closeAll(links)
+			return nil, fmt.Errorf("sched: duplicate vehicle %q", hello.VehicleID)
+		}
+		links[hello.VehicleID] = t
+	}
+	return links, nil
+}
+
+func closeAll(links map[string]v2i.Transport) {
+	for _, t := range links {
+		_ = t.Close()
+	}
+}

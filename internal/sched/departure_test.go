@@ -1,0 +1,146 @@
+package sched
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"olevgrid/internal/core"
+	"olevgrid/internal/v2i"
+)
+
+// TestDepartingVehicleDropped: one agent hangs up after its first
+// exchange. With DropDeparted the coordinator must release its power,
+// keep the rest of the fleet, and still converge.
+func TestDepartingVehicleDropped(t *testing.T) {
+	const n = 5
+	links := make(map[string]v2i.Transport, n)
+	vehicleSides := make(map[string]v2i.Transport, n)
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("ev-%02d", i)
+		gridSide, vehicleSide := v2i.NewPair(8)
+		links[id] = gridSide
+		vehicleSides[id] = vehicleSide
+	}
+	coord, err := NewCoordinator(CoordinatorConfig{
+		NumSections:    6,
+		LineCapacityKW: 53.55,
+		Cost:           nonlinearSpec(),
+		Tolerance:      1e-4,
+		MaxRounds:      100,
+		RoundTimeout:   200 * time.Millisecond,
+		DropDeparted:   true,
+	}, links)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	// Four well-behaved agents.
+	for i := 1; i < n; i++ {
+		id := fmt.Sprintf("ev-%02d", i)
+		agent, err := NewAgent(AgentConfig{
+			VehicleID:    id,
+			MaxPowerKW:   60,
+			Satisfaction: core.LogSatisfaction{Weight: 1},
+		}, vehicleSides[id])
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(a *Agent) {
+			defer wg.Done()
+			_, _ = a.Run(ctx)
+		}(agent)
+	}
+	// One quitter: answers a couple of quotes, then closes its link.
+	quitter := vehicleSides["ev-00"]
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for round := 0; round < 2; round++ {
+			env, err := quitter.Recv(ctx)
+			if err != nil {
+				return
+			}
+			var q v2i.Quote
+			if err := v2i.Open(env, v2i.TypeQuote, &q); err != nil {
+				return
+			}
+			out, err := v2i.Seal(v2i.TypeRequest, "ev-00", uint64(round), v2i.Request{
+				VehicleID: "ev-00", TotalKW: 55, Round: q.Round,
+			})
+			if err != nil {
+				return
+			}
+			if err := quitter.Send(ctx, out); err != nil {
+				return
+			}
+			if _, err := quitter.Recv(ctx); err != nil { // schedule msg
+				return
+			}
+		}
+		_ = quitter.Close()
+	}()
+
+	report, err := coord.Run(ctx)
+	if err != nil {
+		t.Fatalf("coordinator failed on departure: %v", err)
+	}
+	// Release remaining agents.
+	for _, l := range links {
+		_ = l.Close()
+	}
+	wg.Wait()
+
+	if report.Departed != 1 {
+		t.Errorf("Departed = %d, want 1", report.Departed)
+	}
+	if !report.Converged {
+		t.Errorf("fleet did not re-converge after departure (%d rounds)", report.Rounds)
+	}
+	if _, stillThere := report.Requests["ev-00"]; stillThere {
+		t.Error("departed vehicle still holds a schedule")
+	}
+	if len(report.Requests) != n-1 {
+		t.Errorf("%d vehicles in final schedule, want %d", len(report.Requests), n-1)
+	}
+	for id, p := range report.Requests {
+		if p <= 0 {
+			t.Errorf("remaining vehicle %s got no power", id)
+		}
+	}
+}
+
+// TestAllVehiclesDepart: the run ends cleanly when everyone leaves.
+func TestAllVehiclesDepart(t *testing.T) {
+	gridSide, vehicleSide := v2i.NewPair(4)
+	_ = vehicleSide.Close() // vehicle gone before the first round
+	coord, err := NewCoordinator(CoordinatorConfig{
+		NumSections:    3,
+		LineCapacityKW: 50,
+		Cost:           nonlinearSpec(),
+		RoundTimeout:   100 * time.Millisecond,
+		DropDeparted:   true,
+	}, map[string]v2i.Transport{"ghost": gridSide})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	report, err := coord.Run(ctx)
+	if err != nil {
+		t.Fatalf("empty-fleet run failed: %v", err)
+	}
+	if report.Departed != 1 || len(report.Requests) != 0 {
+		t.Errorf("report %+v", report)
+	}
+	if report.TotalPowerKW != 0 {
+		t.Errorf("power %v scheduled to nobody", report.TotalPowerKW)
+	}
+}

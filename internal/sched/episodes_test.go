@@ -1,0 +1,120 @@
+package sched
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"olevgrid/internal/core"
+	"olevgrid/internal/v2i"
+)
+
+// TestMultipleEpisodesWithFleetTurnover runs two games on one
+// coordinator: episode one with three vehicles, then one departs, two
+// join, and episode two re-converges with the new fleet.
+func TestMultipleEpisodesWithFleetTurnover(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	mkAgent := func(id string, vehicleSide v2i.Transport) *Agent {
+		t.Helper()
+		agent, err := NewAgent(AgentConfig{
+			VehicleID:    id,
+			MaxPowerKW:   60,
+			Satisfaction: core.LogSatisfaction{Weight: 1},
+		}, vehicleSide)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return agent
+	}
+
+	links := make(map[string]v2i.Transport)
+	agents := make(map[string]*Agent)
+	gen1Sides := make([]v2i.Transport, 0, 3)
+	for i := 0; i < 3; i++ {
+		id := fmt.Sprintf("gen1-%d", i)
+		gridSide, vehicleSide := v2i.NewPair(8)
+		links[id] = gridSide
+		gen1Sides = append(gen1Sides, vehicleSide)
+		agents[id] = mkAgent(id, vehicleSide)
+	}
+	coord, err := NewCoordinator(CoordinatorConfig{
+		NumSections:    6,
+		LineCapacityKW: 53.55,
+		Cost:           nonlinearSpec(),
+		Tolerance:      1e-4,
+		RoundTimeout:   2 * time.Second,
+		DropDeparted:   true,
+	}, links)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	runEpisode := func(active map[string]*Agent) Report {
+		t.Helper()
+		var wg sync.WaitGroup
+		for _, a := range active {
+			wg.Add(1)
+			go func(a *Agent) {
+				defer wg.Done()
+				_, _ = a.Run(ctx)
+			}(a)
+		}
+		report, err := coord.Run(ctx)
+		if err != nil {
+			t.Fatalf("episode failed: %v", err)
+		}
+		wg.Wait()
+		return report
+	}
+
+	first := runEpisode(agents)
+	if !first.Converged || len(first.Requests) != 3 {
+		t.Fatalf("episode 1 report %+v", first)
+	}
+
+	// Turnover: the whole first generation drives off — their links
+	// close, and DropDeparted cleans them out during the next episode.
+	// Two new vehicles join.
+	for _, side := range gen1Sides {
+		if err := side.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gen2 := make(map[string]*Agent)
+	for i := 0; i < 2; i++ {
+		id := fmt.Sprintf("gen2-%d", i)
+		gridSide, vehicleSide := v2i.NewPair(8)
+		if err := coord.AddVehicle(id, gridSide); err != nil {
+			t.Fatal(err)
+		}
+		gen2[id] = mkAgent(id, vehicleSide)
+	}
+	if err := coord.AddVehicle("gen2-0", nil); err == nil {
+		t.Error("nil transport accepted")
+	}
+	if err := coord.AddVehicle("", links["gen1-1"]); err == nil {
+		t.Error("empty ID accepted")
+	}
+
+	second := runEpisode(gen2)
+	if !second.Converged {
+		t.Fatalf("episode 2 did not converge: %+v", second)
+	}
+	// Episode one's vehicles hung up after Bye; DropDeparted cleaned
+	// them out, leaving exactly the new generation.
+	if second.Departed != 3 {
+		t.Errorf("departed = %d, want 3 (the whole first generation)", second.Departed)
+	}
+	if len(second.Requests) != 2 {
+		t.Errorf("final fleet %d, want 2: %+v", len(second.Requests), second.Requests)
+	}
+	for id, p := range second.Requests {
+		if p <= 0 {
+			t.Errorf("new vehicle %s unpowered", id)
+		}
+	}
+}

@@ -1,0 +1,154 @@
+package sched
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"olevgrid/internal/core"
+	"olevgrid/internal/v2i"
+)
+
+// TestLossyLinksStillConverge wires the coordinator to its agents
+// through transports that drop 10% of grid→vehicle frames. With
+// retries and skip-unresponsive enabled, the asynchronous dynamics
+// must still reach the equilibrium — the Theorem IV.1 convergence only
+// needs every OLEV to keep getting turns eventually.
+func TestLossyLinksStillConverge(t *testing.T) {
+	const n, sections = 6, 8
+	links := make(map[string]v2i.Transport, n)
+	faulties := make([]*v2i.Faulty, 0, n)
+	agents := make([]*Agent, 0, n)
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("ev-%02d", i)
+		gridSide, vehicleSide := v2i.NewPair(16)
+		lossy := v2i.NewFaulty(gridSide, v2i.FaultConfig{DropRate: 0.10, Seed: int64(i + 1)})
+		faulties = append(faulties, lossy)
+		links[id] = lossy
+		agent, err := NewAgent(AgentConfig{
+			VehicleID:    id,
+			MaxPowerKW:   70,
+			Satisfaction: core.LogSatisfaction{Weight: 1},
+		}, vehicleSide)
+		if err != nil {
+			t.Fatal(err)
+		}
+		agents = append(agents, agent)
+	}
+	coord, err := NewCoordinator(CoordinatorConfig{
+		NumSections:      sections,
+		LineCapacityKW:   53.55,
+		Cost:             nonlinearSpec(),
+		Tolerance:        1e-3,
+		MaxRounds:        100,
+		RoundTimeout:     100 * time.Millisecond,
+		MaxRetries:       5,
+		SkipUnresponsive: true,
+		Seed:             1,
+	}, links)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	agentErrs := make([]error, n)
+	for i, a := range agents {
+		wg.Add(1)
+		go func(i int, a *Agent) {
+			defer wg.Done()
+			_, agentErrs[i] = a.Run(ctx)
+		}(i, a)
+	}
+	report, err := coord.Run(ctx)
+	if err != nil {
+		t.Fatalf("coordinator failed despite skip-unresponsive: %v", err)
+	}
+	// Release any agent still blocked on a dropped Bye.
+	for _, l := range links {
+		_ = l.Close()
+	}
+	wg.Wait()
+	for i, e := range agentErrs {
+		if e != nil {
+			t.Errorf("agent %d: %v", i, e)
+		}
+	}
+
+	if !report.Converged {
+		t.Errorf("lossy game did not converge in %d rounds", report.Rounds)
+	}
+	var dropped int
+	for _, f := range faulties {
+		dropped += f.Dropped()
+	}
+	if dropped == 0 {
+		t.Error("fault injection never fired; test is vacuous")
+	}
+	if report.Retries == 0 && report.Skipped == 0 {
+		t.Error("drops occurred but no retries or skips were recorded")
+	}
+	if report.TotalPowerKW <= 0 {
+		t.Error("no power scheduled")
+	}
+}
+
+// TestRetriesRecoverWithoutSkip drops a modest fraction and verifies
+// retries alone (no skipping) carry the run.
+func TestRetriesRecoverWithoutSkip(t *testing.T) {
+	const n = 3
+	links := make(map[string]v2i.Transport, n)
+	agents := make([]*Agent, 0, n)
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("ev-%02d", i)
+		gridSide, vehicleSide := v2i.NewPair(16)
+		links[id] = v2i.NewFaulty(gridSide, v2i.FaultConfig{DropRate: 0.05, Seed: int64(i + 7)})
+		agent, err := NewAgent(AgentConfig{
+			VehicleID:    id,
+			MaxPowerKW:   50,
+			Satisfaction: core.LogSatisfaction{Weight: 1},
+		}, vehicleSide)
+		if err != nil {
+			t.Fatal(err)
+		}
+		agents = append(agents, agent)
+	}
+	coord, err := NewCoordinator(CoordinatorConfig{
+		NumSections:    5,
+		LineCapacityKW: 53.55,
+		Cost:           nonlinearSpec(),
+		Tolerance:      1e-3,
+		MaxRounds:      60,
+		RoundTimeout:   100 * time.Millisecond,
+		MaxRetries:     8,
+	}, links)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	for _, a := range agents {
+		wg.Add(1)
+		go func(a *Agent) {
+			defer wg.Done()
+			_, _ = a.Run(ctx)
+		}(a)
+	}
+	report, err := coord.Run(ctx)
+	for _, l := range links {
+		_ = l.Close()
+	}
+	wg.Wait()
+	if err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	if !report.Converged {
+		t.Errorf("did not converge in %d rounds", report.Rounds)
+	}
+}

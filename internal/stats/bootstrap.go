@@ -1,0 +1,55 @@
+package stats
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// CI is a two-sided confidence interval around a point estimate.
+type CI struct {
+	Mean  float64
+	Lower float64
+	Upper float64
+}
+
+// Contains reports whether v lies inside the interval.
+func (c CI) Contains(v float64) bool { return v >= c.Lower && v <= c.Upper }
+
+func (c CI) String() string {
+	return fmt.Sprintf("%.4f [%.4f, %.4f]", c.Mean, c.Lower, c.Upper)
+}
+
+// BootstrapMeanCI returns a percentile-bootstrap confidence interval
+// for the mean of samples at the given confidence level (e.g. 0.95),
+// using resamples bootstrap draws from the provided RNG. The paper's
+// Fig. 5(d)/6(d) averages 50 runs; the harness attaches these
+// intervals so the averaged trajectories carry their uncertainty.
+func BootstrapMeanCI(r *rand.Rand, samples []float64, confidence float64, resamples int) (CI, error) {
+	if len(samples) == 0 {
+		return CI{}, fmt.Errorf("stats: bootstrap needs samples")
+	}
+	if confidence <= 0 || confidence >= 1 {
+		return CI{}, fmt.Errorf("stats: confidence %v outside (0, 1)", confidence)
+	}
+	if resamples < 10 {
+		resamples = 1000
+	}
+	point := Mean(samples)
+	if len(samples) == 1 {
+		return CI{Mean: point, Lower: point, Upper: point}, nil
+	}
+	means := make([]float64, resamples)
+	for b := 0; b < resamples; b++ {
+		var sum float64
+		for i := 0; i < len(samples); i++ {
+			sum += samples[r.Intn(len(samples))]
+		}
+		means[b] = sum / float64(len(samples))
+	}
+	alpha := (1 - confidence) / 2
+	return CI{
+		Mean:  point,
+		Lower: Quantile(means, alpha),
+		Upper: Quantile(means, 1-alpha),
+	}, nil
+}

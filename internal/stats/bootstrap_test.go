@@ -1,0 +1,67 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBootstrapMeanCIBasics(t *testing.T) {
+	r := NewRand(8)
+	samples := make([]float64, 200)
+	for i := range samples {
+		samples[i] = r.NormFloat64()*2 + 10
+	}
+	ci, err := BootstrapMeanCI(NewRand(9), samples, 0.95, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ci.Mean-Mean(samples)) > 1e-12 {
+		t.Errorf("point estimate %v != sample mean", ci.Mean)
+	}
+	if !(ci.Lower < ci.Mean && ci.Mean < ci.Upper) {
+		t.Errorf("interval %v not ordered around the mean", ci)
+	}
+	// (No assertion that the interval covers the true mean: that holds
+	// only with ~95% probability and would make the test flaky.)
+	// Width should be roughly 2·1.96·σ/√n = 2·1.96·2/14.1 ≈ 0.55.
+	width := ci.Upper - ci.Lower
+	if width < 0.3 || width > 0.9 {
+		t.Errorf("interval width %v far from the CLT prediction", width)
+	}
+}
+
+func TestBootstrapMeanCINarrowsWithN(t *testing.T) {
+	r := NewRand(4)
+	big := make([]float64, 400)
+	for i := range big {
+		big[i] = r.Float64() * 10
+	}
+	small := big[:25]
+	ciSmall, err := BootstrapMeanCI(NewRand(5), small, 0.95, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ciBig, err := BootstrapMeanCI(NewRand(5), big, 0.95, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if (ciBig.Upper - ciBig.Lower) >= (ciSmall.Upper - ciSmall.Lower) {
+		t.Errorf("more samples should narrow the interval: %v vs %v", ciBig, ciSmall)
+	}
+}
+
+func TestBootstrapMeanCIEdges(t *testing.T) {
+	if _, err := BootstrapMeanCI(NewRand(1), nil, 0.95, 100); err == nil {
+		t.Error("empty samples accepted")
+	}
+	if _, err := BootstrapMeanCI(NewRand(1), []float64{1}, 1.5, 100); err == nil {
+		t.Error("bad confidence accepted")
+	}
+	ci, err := BootstrapMeanCI(NewRand(1), []float64{7}, 0.95, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ci.Mean != 7 || ci.Lower != 7 || ci.Upper != 7 {
+		t.Errorf("single sample interval %v, want degenerate at 7", ci)
+	}
+}

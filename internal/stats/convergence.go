@@ -1,0 +1,80 @@
+package stats
+
+import "math"
+
+// ConvergenceDetector decides when an iterative process has settled.
+// It watches a scalar (for the game: the max change in any OLEV's
+// request during one full update cycle) and reports convergence once
+// the scalar stays below Tol for Patience consecutive observations.
+//
+// The zero value is not usable; construct with NewConvergenceDetector.
+type ConvergenceDetector struct {
+	tol      float64
+	patience int
+	streak   int
+	last     float64
+	seen     int
+}
+
+// NewConvergenceDetector returns a detector that declares convergence
+// after patience consecutive observations below tol. patience values
+// below 1 are treated as 1.
+func NewConvergenceDetector(tol float64, patience int) *ConvergenceDetector {
+	if patience < 1 {
+		patience = 1
+	}
+	return &ConvergenceDetector{tol: tol, patience: patience}
+}
+
+// Observe feeds one scalar and reports whether the process has now
+// converged. NaN observations reset the streak.
+func (d *ConvergenceDetector) Observe(v float64) bool {
+	d.seen++
+	d.last = v
+	if math.IsNaN(v) || math.Abs(v) >= d.tol {
+		d.streak = 0
+		return false
+	}
+	d.streak++
+	return d.streak >= d.patience
+}
+
+// Converged reports whether the most recent Observe returned true.
+func (d *ConvergenceDetector) Converged() bool { return d.streak >= d.patience }
+
+// Last returns the most recently observed value.
+func (d *ConvergenceDetector) Last() float64 { return d.last }
+
+// Observations returns how many values have been observed.
+func (d *ConvergenceDetector) Observations() int { return d.seen }
+
+// L2Distance returns the Euclidean distance between two equal-length
+// vectors. It panics if the lengths differ, since that is always a
+// programming error in this codebase.
+func L2Distance(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("stats: L2Distance length mismatch")
+	}
+	var sum float64
+	for i := range a {
+		d := a[i] - b[i]
+		sum += d * d
+	}
+	return math.Sqrt(sum)
+}
+
+// MaxAbsDiff returns the L-infinity distance between two equal-length
+// vectors. It panics if the lengths differ.
+func MaxAbsDiff(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("stats: MaxAbsDiff length mismatch")
+	}
+	var m float64
+	for i := range a {
+		d := math.Abs(a[i] - b[i])
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}

@@ -1,0 +1,87 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+)
+
+// NewRand returns a deterministic *rand.Rand for the given seed. Every
+// stochastic component in the repository takes one of these rather
+// than using the global source, so experiments are reproducible and
+// tests never race on shared RNG state.
+func NewRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// TruncatedNormal draws from a normal distribution with the given mean
+// and standard deviation, redrawing until the sample falls inside
+// [lo, hi]. After 64 rejected draws it clamps, so pathological bounds
+// cannot loop forever.
+func TruncatedNormal(r *rand.Rand, mean, std, lo, hi float64) float64 {
+	for i := 0; i < 64; i++ {
+		v := r.NormFloat64()*std + mean
+		if v >= lo && v <= hi {
+			return v
+		}
+	}
+	v := mean
+	if v < lo {
+		v = lo
+	}
+	if v > hi {
+		v = hi
+	}
+	return v
+}
+
+// Poisson draws from a Poisson distribution with the given mean using
+// Knuth's method for small means and a normal approximation above 30,
+// which is accurate enough for traffic arrival counts.
+func Poisson(r *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean > 30 {
+		v := r.NormFloat64()*math.Sqrt(mean) + mean
+		if v < 0 {
+			return 0
+		}
+		return int(v + 0.5)
+	}
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		k++
+		p *= r.Float64()
+		if p <= l {
+			return k - 1
+		}
+	}
+}
+
+// WeightedChoice returns an index drawn proportionally to weights. It
+// returns -1 if weights is empty or sums to a non-positive value.
+func WeightedChoice(r *rand.Rand, weights []float64) int {
+	var total float64
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total <= 0 {
+		return -1
+	}
+	target := r.Float64() * total
+	var acc float64
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		acc += w
+		if target < acc {
+			return i
+		}
+	}
+	return len(weights) - 1
+}

@@ -1,0 +1,133 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewRandDeterministic(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 100; i++ {
+		if a.Float64() != b.Float64() {
+			t.Fatal("same seed must produce identical streams")
+		}
+	}
+	c := NewRand(43)
+	same := true
+	a = NewRand(42)
+	for i := 0; i < 10; i++ {
+		if a.Float64() != c.Float64() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds should diverge")
+	}
+}
+
+func TestTruncatedNormalBounds(t *testing.T) {
+	r := NewRand(1)
+	for i := 0; i < 1000; i++ {
+		v := TruncatedNormal(r, 0.5, 0.2, 0.2, 0.9)
+		if v < 0.2 || v > 0.9 {
+			t.Fatalf("sample %v escaped [0.2, 0.9]", v)
+		}
+	}
+}
+
+func TestTruncatedNormalPathologicalBounds(t *testing.T) {
+	r := NewRand(1)
+	// Mean far outside a tiny interval: rejection will fail, clamp must apply.
+	v := TruncatedNormal(r, 100, 0.001, 0, 1)
+	if v != 1 {
+		t.Errorf("expected clamp to 1, got %v", v)
+	}
+	v = TruncatedNormal(r, -100, 0.001, 0, 1)
+	if v != 0 {
+		t.Errorf("expected clamp to 0, got %v", v)
+	}
+}
+
+func TestTruncatedNormalMean(t *testing.T) {
+	r := NewRand(7)
+	var s Summary
+	for i := 0; i < 20000; i++ {
+		s.Add(TruncatedNormal(r, 0.5, 0.1, 0, 1))
+	}
+	if math.Abs(s.Mean()-0.5) > 0.01 {
+		t.Errorf("mean = %v, want ~0.5", s.Mean())
+	}
+}
+
+func TestPoissonMoments(t *testing.T) {
+	tests := []struct {
+		name string
+		mean float64
+	}{
+		{name: "small mean", mean: 3},
+		{name: "moderate mean", mean: 12},
+		{name: "large mean uses normal approx", mean: 200},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			r := NewRand(11)
+			var s Summary
+			for i := 0; i < 20000; i++ {
+				s.Add(float64(Poisson(r, tt.mean)))
+			}
+			if math.Abs(s.Mean()-tt.mean) > 0.05*tt.mean+0.2 {
+				t.Errorf("mean = %v, want ~%v", s.Mean(), tt.mean)
+			}
+			// Poisson variance equals the mean.
+			if math.Abs(s.Variance()-tt.mean) > 0.15*tt.mean+0.5 {
+				t.Errorf("variance = %v, want ~%v", s.Variance(), tt.mean)
+			}
+		})
+	}
+}
+
+func TestPoissonEdge(t *testing.T) {
+	r := NewRand(1)
+	if got := Poisson(r, 0); got != 0 {
+		t.Errorf("Poisson(0) = %d", got)
+	}
+	if got := Poisson(r, -5); got != 0 {
+		t.Errorf("Poisson(-5) = %d", got)
+	}
+}
+
+func TestWeightedChoice(t *testing.T) {
+	r := NewRand(3)
+	weights := []float64{0, 1, 3, 0, 6}
+	counts := make([]int, len(weights))
+	const draws = 50000
+	for i := 0; i < draws; i++ {
+		idx := WeightedChoice(r, weights)
+		if idx < 0 || idx >= len(weights) {
+			t.Fatalf("index %d out of range", idx)
+		}
+		counts[idx]++
+	}
+	if counts[0] != 0 || counts[3] != 0 {
+		t.Errorf("zero-weight bins drawn: %v", counts)
+	}
+	for i, want := range []float64{0, 0.1, 0.3, 0, 0.6} {
+		got := float64(counts[i]) / draws
+		if math.Abs(got-want) > 0.02 {
+			t.Errorf("bin %d frequency = %v, want ~%v", i, got, want)
+		}
+	}
+}
+
+func TestWeightedChoiceDegenerate(t *testing.T) {
+	r := NewRand(3)
+	if got := WeightedChoice(r, nil); got != -1 {
+		t.Errorf("empty weights = %d, want -1", got)
+	}
+	if got := WeightedChoice(r, []float64{0, 0}); got != -1 {
+		t.Errorf("all-zero weights = %d, want -1", got)
+	}
+	if got := WeightedChoice(r, []float64{-1, -2}); got != -1 {
+		t.Errorf("negative weights = %d, want -1", got)
+	}
+}

@@ -1,0 +1,282 @@
+// Package stats provides the small statistical toolkit the simulator
+// and the experiment harnesses share: descriptive summaries, time
+// series with named points, histograms, and convergence detection for
+// the iterative best-response game.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds descriptive statistics computed online (Welford's
+// algorithm), so callers can stream values without keeping them.
+type Summary struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add incorporates v into the summary.
+func (s *Summary) Add(v float64) {
+	s.n++
+	if s.n == 1 {
+		s.min, s.max = v, v
+	} else {
+		if v < s.min {
+			s.min = v
+		}
+		if v > s.max {
+			s.max = v
+		}
+	}
+	delta := v - s.mean
+	s.mean += delta / float64(s.n)
+	s.m2 += delta * (v - s.mean)
+}
+
+// AddAll incorporates every value in vs.
+func (s *Summary) AddAll(vs []float64) {
+	for _, v := range vs {
+		s.Add(v)
+	}
+}
+
+// N returns the number of observations.
+func (s *Summary) N() int { return s.n }
+
+// Mean returns the arithmetic mean, or 0 with no observations.
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Min returns the minimum observation, or 0 with no observations.
+func (s *Summary) Min() float64 { return s.min }
+
+// Max returns the maximum observation, or 0 with no observations.
+func (s *Summary) Max() float64 { return s.max }
+
+// Variance returns the sample variance (n-1 denominator), or 0 for
+// fewer than two observations.
+func (s *Summary) Variance() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (s *Summary) StdDev() float64 { return math.Sqrt(s.Variance()) }
+
+// CoefficientOfVariation returns StdDev/Mean, the load-imbalance
+// metric used for the Fig. 5c/6c shape checks. It returns 0 when the
+// mean is 0.
+func (s *Summary) CoefficientOfVariation() float64 {
+	if s.mean == 0 {
+		return 0
+	}
+	return s.StdDev() / math.Abs(s.mean)
+}
+
+func (s *Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4f std=%.4f min=%.4f max=%.4f",
+		s.n, s.Mean(), s.StdDev(), s.Min(), s.Max())
+}
+
+// Mean returns the arithmetic mean of vs, or 0 for an empty slice.
+func Mean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range vs {
+		sum += v
+	}
+	return sum / float64(len(vs))
+}
+
+// Sum returns the sum of vs.
+func Sum(vs []float64) float64 {
+	var sum float64
+	for _, v := range vs {
+		sum += v
+	}
+	return sum
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of vs using linear
+// interpolation between order statistics. It returns 0 for empty input
+// and clamps q into [0, 1].
+func Quantile(vs []float64, q float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	sorted := make([]float64, len(vs))
+	copy(sorted, vs)
+	sort.Float64s(sorted)
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// JainIndex returns Jain's fairness index (Σx)²/(n·Σx²) for a
+// non-negative allocation vector: 1 for perfectly equal shares, 1/n
+// when one participant holds everything, 0 for empty or all-zero
+// input.
+// The index is scale-invariant, so inputs are normalized by their
+// maximum before squaring — huge allocations cannot overflow.
+func JainIndex(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var max float64
+	for _, x := range xs {
+		if x > max {
+			max = x
+		}
+	}
+	if max <= 0 || math.IsInf(max, 1) || math.IsNaN(max) {
+		return 0
+	}
+	var sum, sumSq float64
+	for _, x := range xs {
+		if x < 0 || math.IsNaN(x) {
+			x = 0
+		}
+		x /= max
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}
+
+// Point is one (x, y) observation in a Series.
+type Point struct {
+	X float64
+	Y float64
+}
+
+// Series is a named sequence of points, the unit of exchange between
+// experiment harnesses and renderers. The zero value is usable.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// NewSeries returns an empty named series.
+func NewSeries(name string) *Series { return &Series{Name: name} }
+
+// Add appends a point.
+func (s *Series) Add(x, y float64) { s.Points = append(s.Points, Point{X: x, Y: y}) }
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.Points) }
+
+// Ys returns the Y values in order.
+func (s *Series) Ys() []float64 {
+	ys := make([]float64, len(s.Points))
+	for i, p := range s.Points {
+		ys[i] = p.Y
+	}
+	return ys
+}
+
+// Xs returns the X values in order.
+func (s *Series) Xs() []float64 {
+	xs := make([]float64, len(s.Points))
+	for i, p := range s.Points {
+		xs[i] = p.X
+	}
+	return xs
+}
+
+// YAt returns the Y value for the first point whose X equals x, and
+// whether such a point exists.
+func (s *Series) YAt(x float64) (float64, bool) {
+	for _, p := range s.Points {
+		if p.X == x {
+			return p.Y, true
+		}
+	}
+	return 0, false
+}
+
+// IsNonDecreasing reports whether the Y values never decrease by more
+// than tol from one point to the next.
+func (s *Series) IsNonDecreasing(tol float64) bool {
+	for i := 1; i < len(s.Points); i++ {
+		if s.Points[i].Y < s.Points[i-1].Y-tol {
+			return false
+		}
+	}
+	return true
+}
+
+// IsNonIncreasing reports whether the Y values never increase by more
+// than tol from one point to the next.
+func (s *Series) IsNonIncreasing(tol float64) bool {
+	for i := 1; i < len(s.Points); i++ {
+		if s.Points[i].Y > s.Points[i-1].Y+tol {
+			return false
+		}
+	}
+	return true
+}
+
+// Histogram counts observations into fixed-width bins over [lo, hi).
+// Observations outside the range are counted in the edge bins.
+type Histogram struct {
+	lo, hi float64
+	counts []int
+	n      int
+}
+
+// NewHistogram returns a histogram with the given bounds and bin count.
+// It returns an error if the bounds are inverted or bins < 1.
+func NewHistogram(lo, hi float64, bins int) (*Histogram, error) {
+	if bins < 1 {
+		return nil, fmt.Errorf("stats: histogram needs at least 1 bin, got %d", bins)
+	}
+	if !(lo < hi) {
+		return nil, fmt.Errorf("stats: histogram bounds inverted: [%v, %v)", lo, hi)
+	}
+	return &Histogram{lo: lo, hi: hi, counts: make([]int, bins)}, nil
+}
+
+// Add counts one observation.
+func (h *Histogram) Add(v float64) {
+	idx := int((v - h.lo) / (h.hi - h.lo) * float64(len(h.counts)))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(h.counts) {
+		idx = len(h.counts) - 1
+	}
+	h.counts[idx]++
+	h.n++
+}
+
+// Counts returns a copy of the per-bin counts.
+func (h *Histogram) Counts() []int {
+	out := make([]int, len(h.counts))
+	copy(out, h.counts)
+	return out
+}
+
+// N returns the total number of observations.
+func (h *Histogram) N() int { return h.n }

@@ -1,0 +1,301 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	s.AddAll([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if got := s.N(); got != 8 {
+		t.Errorf("N = %d, want 8", got)
+	}
+	if got := s.Mean(); math.Abs(got-5) > 1e-12 {
+		t.Errorf("Mean = %v, want 5", got)
+	}
+	// Sample variance of this classic set is 32/7.
+	if got := s.Variance(); math.Abs(got-32.0/7.0) > 1e-12 {
+		t.Errorf("Variance = %v, want %v", got, 32.0/7.0)
+	}
+	if got := s.Min(); got != 2 {
+		t.Errorf("Min = %v, want 2", got)
+	}
+	if got := s.Max(); got != 9 {
+		t.Errorf("Max = %v, want 9", got)
+	}
+}
+
+func TestSummaryEmptyAndSingle(t *testing.T) {
+	var s Summary
+	if s.Mean() != 0 || s.Variance() != 0 || s.StdDev() != 0 {
+		t.Error("empty summary should report zeros")
+	}
+	s.Add(3.5)
+	if s.Variance() != 0 {
+		t.Error("single observation should have zero variance")
+	}
+	if s.Min() != 3.5 || s.Max() != 3.5 {
+		t.Errorf("single observation min/max = %v/%v", s.Min(), s.Max())
+	}
+}
+
+func TestSummaryMatchesNaive(t *testing.T) {
+	f := func(raw []float64) bool {
+		vs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			// Bound magnitude so the naive two-pass formula is stable.
+			if !math.IsNaN(v) && !math.IsInf(v, 0) && math.Abs(v) < 1e6 {
+				vs = append(vs, v)
+			}
+		}
+		if len(vs) < 2 {
+			return true
+		}
+		var s Summary
+		s.AddAll(vs)
+		mean := Mean(vs)
+		var m2 float64
+		for _, v := range vs {
+			m2 += (v - mean) * (v - mean)
+		}
+		wantVar := m2 / float64(len(vs)-1)
+		scale := math.Max(1, wantVar)
+		return math.Abs(s.Mean()-mean) < 1e-6 && math.Abs(s.Variance()-wantVar)/scale < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCoefficientOfVariation(t *testing.T) {
+	var flat Summary
+	flat.AddAll([]float64{10, 10, 10, 10})
+	if got := flat.CoefficientOfVariation(); got != 0 {
+		t.Errorf("CV of constant series = %v, want 0", got)
+	}
+	var skew Summary
+	skew.AddAll([]float64{0, 0, 0, 40})
+	if got := skew.CoefficientOfVariation(); got <= 1 {
+		t.Errorf("CV of skewed series = %v, want > 1", got)
+	}
+	var zero Summary
+	if got := zero.CoefficientOfVariation(); got != 0 {
+		t.Errorf("CV of empty = %v, want 0", got)
+	}
+}
+
+func TestMeanSum(t *testing.T) {
+	if got := Mean(nil); got != 0 {
+		t.Errorf("Mean(nil) = %v", got)
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v, want 2", got)
+	}
+	if got := Sum([]float64{1.5, 2.5}); got != 4 {
+		t.Errorf("Sum = %v, want 4", got)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	vs := []float64{1, 2, 3, 4, 5}
+	tests := []struct {
+		q, want float64
+	}{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5}, {-0.5, 1}, {1.5, 5},
+	}
+	for _, tt := range tests {
+		if got := Quantile(vs, tt.q); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", tt.q, got, tt.want)
+		}
+	}
+	if got := Quantile(nil, 0.5); got != 0 {
+		t.Errorf("Quantile(nil) = %v, want 0", got)
+	}
+	// Quantile must not mutate its input.
+	unsorted := []float64{3, 1, 2}
+	Quantile(unsorted, 0.5)
+	if unsorted[0] != 3 || unsorted[1] != 1 || unsorted[2] != 2 {
+		t.Errorf("Quantile mutated input: %v", unsorted)
+	}
+}
+
+func TestJainIndex(t *testing.T) {
+	tests := []struct {
+		name string
+		xs   []float64
+		want float64
+	}{
+		{name: "equal shares", xs: []float64{5, 5, 5, 5}, want: 1},
+		{name: "one holds all", xs: []float64{10, 0, 0, 0}, want: 0.25},
+		{name: "empty", xs: nil, want: 0},
+		{name: "all zero", xs: []float64{0, 0}, want: 0},
+		{name: "negatives clamped", xs: []float64{-3, 4}, want: 0.5},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := JainIndex(tt.xs); math.Abs(got-tt.want) > 1e-12 {
+				t.Errorf("JainIndex = %v, want %v", got, tt.want)
+			}
+		})
+	}
+	// Bounds property: always in [0, 1] for finite input.
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		got := JainIndex(xs)
+		return got >= 0 && got <= 1+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := NewSeries("welfare")
+	s.Add(1, 10)
+	s.Add(2, 20)
+	s.Add(3, 20)
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if got := s.Ys(); got[0] != 10 || got[2] != 20 {
+		t.Errorf("Ys = %v", got)
+	}
+	if got := s.Xs(); got[1] != 2 {
+		t.Errorf("Xs = %v", got)
+	}
+	if y, ok := s.YAt(2); !ok || y != 20 {
+		t.Errorf("YAt(2) = %v, %v", y, ok)
+	}
+	if _, ok := s.YAt(99); ok {
+		t.Error("YAt(99) should not exist")
+	}
+	if !s.IsNonDecreasing(0) {
+		t.Error("series should be non-decreasing")
+	}
+	if s.IsNonIncreasing(0) {
+		t.Error("series should not be non-increasing")
+	}
+}
+
+func TestSeriesMonotoneTolerance(t *testing.T) {
+	s := NewSeries("noisy")
+	s.Add(1, 10)
+	s.Add(2, 9.9995)
+	if !s.IsNonDecreasing(1e-3) {
+		t.Error("tiny dip within tolerance should pass")
+	}
+	if s.IsNonDecreasing(1e-6) {
+		t.Error("dip beyond tolerance should fail")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h, err := NewHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []float64{0, 1.9, 2, 5, 9.99, 10, 15, -3} {
+		h.Add(v)
+	}
+	counts := h.Counts()
+	want := []int{3, 1, 1, 0, 3} // -3,0,1.9 | 2 | 5 | — | 9.99 plus 10,15 clamped
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Errorf("bin %d = %d, want %d (all %v)", i, counts[i], want[i], counts)
+		}
+	}
+	if h.N() != 8 {
+		t.Errorf("N = %d, want 8", h.N())
+	}
+}
+
+func TestHistogramErrors(t *testing.T) {
+	if _, err := NewHistogram(0, 10, 0); err == nil {
+		t.Error("bins=0 should error")
+	}
+	if _, err := NewHistogram(10, 0, 5); err == nil {
+		t.Error("inverted bounds should error")
+	}
+	if _, err := NewHistogram(5, 5, 5); err == nil {
+		t.Error("empty range should error")
+	}
+}
+
+func TestConvergenceDetector(t *testing.T) {
+	d := NewConvergenceDetector(1e-3, 3)
+	seq := []float64{1, 0.1, 1e-4, 1e-4, 0.5, 1e-5, 1e-5, 1e-5}
+	var converged []bool
+	for _, v := range seq {
+		converged = append(converged, d.Observe(v))
+	}
+	want := []bool{false, false, false, false, false, false, false, true}
+	for i := range want {
+		if converged[i] != want[i] {
+			t.Errorf("step %d converged = %v, want %v", i, converged[i], want[i])
+		}
+	}
+	if !d.Converged() {
+		t.Error("detector should report converged")
+	}
+	if d.Observations() != len(seq) {
+		t.Errorf("Observations = %d", d.Observations())
+	}
+	if d.Last() != 1e-5 {
+		t.Errorf("Last = %v", d.Last())
+	}
+}
+
+func TestConvergenceDetectorNaNResets(t *testing.T) {
+	d := NewConvergenceDetector(1e-3, 2)
+	d.Observe(1e-5)
+	if d.Observe(math.NaN()) {
+		t.Error("NaN must not converge")
+	}
+	if d.Observe(1e-5) {
+		t.Error("streak should have reset after NaN")
+	}
+	if !d.Observe(1e-5) {
+		t.Error("two clean observations after reset should converge")
+	}
+}
+
+func TestConvergenceDetectorPatienceFloor(t *testing.T) {
+	d := NewConvergenceDetector(1, 0)
+	if !d.Observe(0.5) {
+		t.Error("patience floor of 1 should converge on first quiet observation")
+	}
+}
+
+func TestDistances(t *testing.T) {
+	a := []float64{0, 3}
+	b := []float64{4, 0}
+	if got := L2Distance(a, b); math.Abs(got-5) > 1e-12 {
+		t.Errorf("L2 = %v, want 5", got)
+	}
+	if got := MaxAbsDiff(a, b); got != 4 {
+		t.Errorf("Linf = %v, want 4", got)
+	}
+}
+
+func TestDistancePanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"L2":   func() { L2Distance([]float64{1}, []float64{1, 2}) },
+		"Linf": func() { MaxAbsDiff([]float64{1}, []float64{1, 2}) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Error("length mismatch did not panic")
+				}
+			}()
+			fn()
+		})
+	}
+}

@@ -1,0 +1,166 @@
+// Package trace supplies the traffic-demand data the motivation study
+// consumes: an hourly vehicle-count profile shaped like the NYCDOT
+// counts the paper uses for Flatlands Avenue (Brooklyn) on
+// 2013-01-31, and the NHTS daily-travel-distance distribution behind
+// the evaluation's state-of-charge draws.
+//
+// The NYCDOT feed itself is not redistributable, so the embedded
+// profile is a synthetic stand-in with the canonical urban arterial
+// shape — a deep overnight trough, an AM peak, a midday plateau and a
+// taller PM peak — scaled to a realistic two-direction arterial
+// volume. Callers who have real counts can load them with ReadCSV.
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// HourlyCounts is a 24-entry vehicle count profile, counts[h] being
+// the number of vehicles entering the road section during hour h.
+type HourlyCounts [24]int
+
+// FlatlandsAvenue returns the embedded stand-in for the NYCDOT hourly
+// counts on Flatlands Avenue: roughly 13k vehicles/day with AM and PM
+// peaks, matching the shape that drives Fig. 3's hourly series.
+func FlatlandsAvenue() HourlyCounts {
+	return HourlyCounts{
+		//  0    1    2    3    4    5    6    7
+		140, 90, 70, 65, 95, 210, 480, 820,
+		//  8    9   10   11   12   13   14   15
+		950, 760, 650, 640, 690, 710, 780, 880,
+		// 16   17   18   19   20   21   22   23
+		1010, 1090, 940, 720, 540, 420, 310, 200,
+	}
+}
+
+// FlatlandsAvenueWeekend returns the weekend variant of the embedded
+// profile: no commuter peaks, a single broad midday plateau, and a
+// later, busier evening — the canonical weekend arterial shape. The
+// motivation study's load-predictability argument is strongest when
+// weekday and weekend profiles differ, which these do.
+func FlatlandsAvenueWeekend() HourlyCounts {
+	return HourlyCounts{
+		//  0    1    2    3    4    5    6    7
+		260, 190, 140, 100, 80, 100, 160, 260,
+		//  8    9   10   11   12   13   14   15
+		390, 520, 650, 740, 790, 800, 780, 750,
+		// 16   17   18   19   20   21   22   23
+		720, 700, 680, 640, 560, 480, 400, 320,
+	}
+}
+
+// Total returns the whole-day vehicle count.
+func (c HourlyCounts) Total() int {
+	var sum int
+	for _, v := range c {
+		sum += v
+	}
+	return sum
+}
+
+// PeakHour returns the hour with the highest count.
+func (c HourlyCounts) PeakHour() int {
+	best := 0
+	for h, v := range c {
+		if v > c[best] {
+			best = h
+		}
+	}
+	return best
+}
+
+// Rate returns the mean arrival rate during hour h in vehicles per
+// second — the Poisson intensity the traffic spawner uses.
+func (c HourlyCounts) Rate(h int) float64 {
+	h = ((h % 24) + 24) % 24
+	return float64(c[h]) / 3600
+}
+
+// Scale returns a copy with every count multiplied by factor and
+// rounded, for participation/willingness sensitivity studies.
+func (c HourlyCounts) Scale(factor float64) HourlyCounts {
+	var out HourlyCounts
+	for h, v := range c {
+		scaled := float64(v) * factor
+		if scaled < 0 {
+			scaled = 0
+		}
+		out[h] = int(scaled + 0.5)
+	}
+	return out
+}
+
+// Validate reports whether every count is non-negative.
+func (c HourlyCounts) Validate() error {
+	for h, v := range c {
+		if v < 0 {
+			return fmt.Errorf("trace: hour %d count %d is negative", h, v)
+		}
+	}
+	return nil
+}
+
+// WriteCSV writes the counts as "hour,count" rows with a header.
+func (c HourlyCounts) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"hour", "count"}); err != nil {
+		return fmt.Errorf("trace: write header: %w", err)
+	}
+	for h, v := range c {
+		if err := cw.Write([]string{strconv.Itoa(h), strconv.Itoa(v)}); err != nil {
+			return fmt.Errorf("trace: write hour %d: %w", h, err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("trace: flush: %w", err)
+	}
+	return nil
+}
+
+// ReadCSV parses counts from "hour,count" rows (header optional). All
+// 24 hours must be present exactly once.
+func ReadCSV(r io.Reader) (HourlyCounts, error) {
+	var counts HourlyCounts
+	seen := [24]bool{}
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = 2
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return counts, fmt.Errorf("trace: read csv: %w", err)
+		}
+		hour, err := strconv.Atoi(rec[0])
+		if err != nil {
+			// Tolerate a single header row.
+			if rec[0] == "hour" {
+				continue
+			}
+			return counts, fmt.Errorf("trace: bad hour %q", rec[0])
+		}
+		if hour < 0 || hour > 23 {
+			return counts, fmt.Errorf("trace: hour %d out of range", hour)
+		}
+		if seen[hour] {
+			return counts, fmt.Errorf("trace: duplicate hour %d", hour)
+		}
+		count, err := strconv.Atoi(rec[1])
+		if err != nil || count < 0 {
+			return counts, fmt.Errorf("trace: bad count %q for hour %d", rec[1], hour)
+		}
+		counts[hour] = count
+		seen[hour] = true
+	}
+	for h, ok := range seen {
+		if !ok {
+			return counts, fmt.Errorf("trace: missing hour %d", h)
+		}
+	}
+	return counts, nil
+}

@@ -1,0 +1,67 @@
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// DistanceBucket is one bin of the NHTS daily-driving-distance
+// distribution: a mileage range and the fraction of drivers in it.
+type DistanceBucket struct {
+	MinMiles float64
+	MaxMiles float64
+	Fraction float64
+}
+
+// NHTSDailyDistance returns the bucketed daily travel-distance
+// distribution the paper cites from the National Household Travel
+// Survey: roughly 70 % of daily driving falls between 10 and 30 miles.
+func NHTSDailyDistance() []DistanceBucket {
+	return []DistanceBucket{
+		{MinMiles: 0, MaxMiles: 10, Fraction: 0.12},
+		{MinMiles: 10, MaxMiles: 20, Fraction: 0.38},
+		{MinMiles: 20, MaxMiles: 30, Fraction: 0.32},
+		{MinMiles: 30, MaxMiles: 50, Fraction: 0.12},
+		{MinMiles: 50, MaxMiles: 100, Fraction: 0.06},
+	}
+}
+
+// ValidateBuckets reports whether the buckets are contiguous,
+// well-ordered, and sum to one.
+func ValidateBuckets(buckets []DistanceBucket) error {
+	if len(buckets) == 0 {
+		return fmt.Errorf("trace: no distance buckets")
+	}
+	var total float64
+	for i, b := range buckets {
+		if b.MinMiles < 0 || b.MaxMiles <= b.MinMiles {
+			return fmt.Errorf("trace: bucket %d range [%v, %v] invalid", i, b.MinMiles, b.MaxMiles)
+		}
+		if b.Fraction < 0 {
+			return fmt.Errorf("trace: bucket %d fraction %v negative", i, b.Fraction)
+		}
+		if i > 0 && b.MinMiles != buckets[i-1].MaxMiles {
+			return fmt.Errorf("trace: bucket %d not contiguous with predecessor", i)
+		}
+		total += b.Fraction
+	}
+	if total < 0.999 || total > 1.001 {
+		return fmt.Errorf("trace: bucket fractions sum to %v, want 1", total)
+	}
+	return nil
+}
+
+// SampleDailyMiles draws a daily travel distance in miles from the
+// bucketed distribution, uniform within the selected bucket.
+func SampleDailyMiles(r *rand.Rand, buckets []DistanceBucket) float64 {
+	target := r.Float64()
+	var acc float64
+	for _, b := range buckets {
+		acc += b.Fraction
+		if target < acc {
+			return b.MinMiles + r.Float64()*(b.MaxMiles-b.MinMiles)
+		}
+	}
+	last := buckets[len(buckets)-1]
+	return last.MinMiles + r.Float64()*(last.MaxMiles-last.MinMiles)
+}

@@ -1,0 +1,227 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"olevgrid/internal/stats"
+)
+
+func TestFlatlandsShape(t *testing.T) {
+	c := FlatlandsAvenue()
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Urban arterial shape: overnight trough, PM peak above AM peak,
+	// both peaks far above the trough.
+	if c.PeakHour() != 17 {
+		t.Errorf("peak hour = %d, want 17 (PM peak)", c.PeakHour())
+	}
+	if c[3] >= c[8] || c[3] >= c[17] {
+		t.Error("overnight trough not below peaks")
+	}
+	if c[8] <= 3*c[3] {
+		t.Error("AM peak should be several times the trough")
+	}
+	if total := c.Total(); total < 8000 || total > 20000 {
+		t.Errorf("daily total %d outside realistic arterial range", total)
+	}
+}
+
+func TestWeekendProfileShape(t *testing.T) {
+	wd, we := FlatlandsAvenue(), FlatlandsAvenueWeekend()
+	if err := we.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// No AM commuter peak on the weekend: hour 8 is far below the
+	// weekday's.
+	if we[8] >= wd[8] {
+		t.Errorf("weekend AM %d not below weekday %d", we[8], wd[8])
+	}
+	// But late night is busier.
+	if we[0] <= wd[0] {
+		t.Errorf("weekend midnight %d not above weekday %d", we[0], wd[0])
+	}
+	// Weekend peak is midday-ish, not the PM commute.
+	if p := we.PeakHour(); p < 11 || p > 15 {
+		t.Errorf("weekend peak at %d, want midday", p)
+	}
+	// Same order of daily volume.
+	ratio := float64(we.Total()) / float64(wd.Total())
+	if ratio < 0.5 || ratio > 1.2 {
+		t.Errorf("weekend/weekday volume ratio %v implausible", ratio)
+	}
+}
+
+func TestRate(t *testing.T) {
+	c := FlatlandsAvenue()
+	if got := c.Rate(8); math.Abs(got-float64(c[8])/3600) > 1e-12 {
+		t.Errorf("Rate(8) = %v", got)
+	}
+	if got, want := c.Rate(25), c.Rate(1); got != want {
+		t.Errorf("Rate should wrap: Rate(25) = %v, Rate(1) = %v", got, want)
+	}
+	if got, want := c.Rate(-1), c.Rate(23); got != want {
+		t.Errorf("negative hour should wrap: %v vs %v", got, want)
+	}
+}
+
+func TestScale(t *testing.T) {
+	c := FlatlandsAvenue()
+	half := c.Scale(0.5)
+	for h := range c {
+		want := int(float64(c[h])*0.5 + 0.5)
+		if half[h] != want {
+			t.Errorf("Scale(0.5)[%d] = %d, want %d", h, half[h], want)
+		}
+	}
+	zeroed := c.Scale(-1)
+	for h := range zeroed {
+		if zeroed[h] != 0 {
+			t.Errorf("negative factor should clamp to zero, got %d", zeroed[h])
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	var c HourlyCounts
+	c[5] = -1
+	if err := c.Validate(); err == nil {
+		t.Error("negative count accepted")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	c := FlatlandsAvenue()
+	var buf bytes.Buffer
+	if err := c.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != c {
+		t.Errorf("round trip mismatch:\n got %v\nwant %v", got, c)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	tests := []struct {
+		name string
+		in   string
+	}{
+		{name: "missing hours", in: "hour,count\n0,100\n"},
+		{name: "duplicate hour", in: "0,1\n0,2\n"},
+		{name: "hour out of range", in: "24,1\n"},
+		{name: "negative count", in: "0,-5\n"},
+		{name: "garbage hour", in: "abc,5\n"},
+		{name: "garbage count", in: "0,xyz\n"},
+		{name: "wrong arity", in: "0,1,2\n"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if _, err := ReadCSV(strings.NewReader(tt.in)); err == nil {
+				t.Error("bad csv accepted")
+			}
+		})
+	}
+}
+
+func TestReadCSVWithoutHeader(t *testing.T) {
+	var sb strings.Builder
+	c := FlatlandsAvenue()
+	for h, v := range c {
+		sb.WriteString(strings.Join([]string{itoa(h), itoa(v)}, ","))
+		sb.WriteByte('\n')
+	}
+	got, err := ReadCSV(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != c {
+		t.Error("headerless csv mismatch")
+	}
+}
+
+func itoa(v int) string {
+	return strings.TrimSpace(strings.Repeat("", 0) + fmtInt(v))
+}
+
+func fmtInt(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var digits []byte
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	for v > 0 {
+		digits = append([]byte{byte('0' + v%10)}, digits...)
+		v /= 10
+	}
+	if neg {
+		return "-" + string(digits)
+	}
+	return string(digits)
+}
+
+func TestNHTSBuckets(t *testing.T) {
+	buckets := NHTSDailyDistance()
+	if err := ValidateBuckets(buckets); err != nil {
+		t.Fatal(err)
+	}
+	// The paper's citation: ~70% of daily distances are 10–30 miles.
+	var mid float64
+	for _, b := range buckets {
+		if b.MinMiles >= 10 && b.MaxMiles <= 30 {
+			mid += b.Fraction
+		}
+	}
+	if math.Abs(mid-0.7) > 0.01 {
+		t.Errorf("10-30 mile fraction = %v, want ~0.70", mid)
+	}
+}
+
+func TestValidateBucketsErrors(t *testing.T) {
+	tests := []struct {
+		name    string
+		buckets []DistanceBucket
+	}{
+		{name: "empty", buckets: nil},
+		{name: "bad range", buckets: []DistanceBucket{{MinMiles: 5, MaxMiles: 5, Fraction: 1}}},
+		{name: "negative fraction", buckets: []DistanceBucket{{MinMiles: 0, MaxMiles: 10, Fraction: -1}, {MinMiles: 10, MaxMiles: 20, Fraction: 2}}},
+		{name: "gap", buckets: []DistanceBucket{{MinMiles: 0, MaxMiles: 10, Fraction: 0.5}, {MinMiles: 15, MaxMiles: 20, Fraction: 0.5}}},
+		{name: "fractions do not sum", buckets: []DistanceBucket{{MinMiles: 0, MaxMiles: 10, Fraction: 0.4}}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if err := ValidateBuckets(tt.buckets); err == nil {
+				t.Error("invalid buckets accepted")
+			}
+		})
+	}
+}
+
+func TestSampleDailyMiles(t *testing.T) {
+	r := stats.NewRand(5)
+	buckets := NHTSDailyDistance()
+	var inMid, total int
+	for i := 0; i < 20000; i++ {
+		miles := SampleDailyMiles(r, buckets)
+		if miles < 0 || miles > 100 {
+			t.Fatalf("sample %v outside support", miles)
+		}
+		if miles >= 10 && miles < 30 {
+			inMid++
+		}
+		total++
+	}
+	frac := float64(inMid) / float64(total)
+	if math.Abs(frac-0.7) > 0.02 {
+		t.Errorf("10-30 mile sample fraction = %v, want ~0.70", frac)
+	}
+}

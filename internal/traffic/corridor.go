@@ -1,0 +1,269 @@
+package traffic
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"olevgrid/internal/roadnet"
+	"olevgrid/internal/stats"
+	"olevgrid/internal/trace"
+	"olevgrid/internal/units"
+)
+
+// Segment is one stretch of a corridor: a length, a speed limit, and
+// an optional signal at its downstream end.
+type Segment struct {
+	Length     units.Distance
+	SpeedLimit units.Speed
+	// Signal controls the stop line at the segment's end; nil means
+	// free-flowing junction.
+	Signal *roadnet.SignalPlan
+}
+
+// CorridorConfig configures a multi-segment arterial — the
+// several-intersections case of the motivation study ("If we consider
+// some other intersections in NYC, then the aggregated power amount
+// will be enough to increase the power demand of the grid operator").
+type CorridorConfig struct {
+	// Segments are traversed in order; at least one is required.
+	Segments []Segment
+	// Counts drives Poisson vehicle injection at the corridor start.
+	Counts trace.HourlyCounts
+	// Driver is the Krauss parameter set; zero value selects defaults.
+	Driver DriverParams
+	// Step is the integration step; zero means 500 ms.
+	Step time.Duration
+	// Start and End bound the simulated time of day; zero End means
+	// 24 h.
+	Start, End time.Duration
+	// Seed drives arrivals and dawdling.
+	Seed int64
+}
+
+// CorridorSim simulates a corridor as one continuous roadway with
+// multiple signalized stop lines at the segment boundaries. Not safe
+// for concurrent use.
+type CorridorSim struct {
+	cfg       CorridorConfig
+	bounds    []units.Distance // cumulative segment ends
+	total     units.Distance
+	rng       *rand.Rand
+	vehicles  []*Vehicle
+	observers []Observer
+	now       time.Duration
+	spawned   int
+	backlog   float64
+	metrics   Metrics
+	speedTime [24]float64
+	presence  [24]float64
+}
+
+// NewCorridorSim validates the configuration and builds a simulator.
+func NewCorridorSim(cfg CorridorConfig) (*CorridorSim, error) {
+	if len(cfg.Segments) == 0 {
+		return nil, fmt.Errorf("traffic: corridor needs at least one segment")
+	}
+	var bounds []units.Distance
+	var total units.Distance
+	for i, seg := range cfg.Segments {
+		if seg.Length <= 0 {
+			return nil, fmt.Errorf("traffic: segment %d length %v must be positive", i, seg.Length)
+		}
+		if seg.SpeedLimit <= 0 {
+			return nil, fmt.Errorf("traffic: segment %d speed limit %v must be positive", i, seg.SpeedLimit)
+		}
+		if seg.Signal != nil {
+			if err := seg.Signal.Validate(); err != nil {
+				return nil, err
+			}
+		}
+		total += seg.Length
+		bounds = append(bounds, total)
+	}
+	if err := cfg.Counts.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Driver == (DriverParams{}) {
+		cfg.Driver = DefaultDriverParams()
+	}
+	if err := cfg.Driver.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Step == 0 {
+		cfg.Step = 500 * time.Millisecond
+	}
+	if cfg.Step <= 0 {
+		return nil, fmt.Errorf("traffic: step %v must be positive", cfg.Step)
+	}
+	if cfg.End == 0 {
+		cfg.End = 24 * time.Hour
+	}
+	if cfg.End <= cfg.Start {
+		return nil, fmt.Errorf("traffic: window [%v, %v) empty", cfg.Start, cfg.End)
+	}
+	return &CorridorSim{
+		cfg:    cfg,
+		bounds: bounds,
+		total:  total,
+		rng:    stats.NewRand(cfg.Seed),
+		now:    cfg.Start,
+	}, nil
+}
+
+// AddObserver registers a per-vehicle-step callback.
+func (s *CorridorSim) AddObserver(o Observer) { s.observers = append(s.observers, o) }
+
+// TotalLength returns the corridor length.
+func (s *CorridorSim) TotalLength() units.Distance { return s.total }
+
+// NumVehicles returns how many vehicles are on the corridor.
+func (s *CorridorSim) NumVehicles() int { return len(s.vehicles) }
+
+// segmentAt returns the index of the segment containing pos.
+func (s *CorridorSim) segmentAt(pos units.Distance) int {
+	for i, end := range s.bounds {
+		if pos < end {
+			return i
+		}
+	}
+	return len(s.bounds) - 1
+}
+
+// Run steps the simulation to the configured end and returns metrics.
+func (s *CorridorSim) Run() Metrics {
+	for s.now < s.cfg.End {
+		s.step()
+	}
+	for h := 0; h < 24; h++ {
+		if s.presence[h] > 0 {
+			s.metrics.MeanSpeedByHour[h] = s.speedTime[h] / s.presence[h]
+		}
+	}
+	s.metrics.Spawned = s.spawned
+	return s.metrics
+}
+
+func (s *CorridorSim) step() {
+	dt := s.cfg.Step
+	dtSec := dt.Seconds()
+	hour := int(s.now.Hours()) % 24
+
+	s.backlog += s.cfg.Counts.Rate(hour) * dtSec
+	for attempts := int(s.backlog); attempts > 0; attempts-- {
+		if !s.trySpawn() {
+			break
+		}
+		s.backlog--
+	}
+
+	for i, v := range s.vehicles {
+		segIdx := s.segmentAt(v.Pos)
+		seg := s.cfg.Segments[segIdx]
+		vCur := v.Speed.MPS()
+
+		vL, gap := seg.SpeedLimit.MPS(), 1e9
+		if i > 0 {
+			lead := s.vehicles[i-1]
+			vL = lead.Speed.MPS()
+			gap = lead.Pos.Meters() - lead.Params.Length.Meters() -
+				v.Pos.Meters() - v.Params.MinGap.Meters()
+			if gap < 0 {
+				gap = 0
+			}
+		}
+		next := v.Params.NextSpeed(vCur, vL, gap, seg.SpeedLimit.MPS(), dtSec, s.rng.Float64())
+
+		// The nearest signalized stop line at or ahead of the current
+		// segment boundary constrains the vehicle.
+		if stop, ok := s.nextRedStop(segIdx, v, vCur, dtSec); ok {
+			g := stop - v.Pos.Meters() - v.Params.MinGap.Meters()
+			if g < 0 {
+				g = 0
+			}
+			if vStop := v.Params.SafeSpeed(0, vCur, g); vStop < next {
+				next = vStop
+			}
+		}
+		v.Speed = units.MPS(next)
+	}
+
+	queue := 0
+	for _, v := range s.vehicles {
+		v.Pos += units.Meters(v.Speed.MPS() * dtSec)
+		for _, o := range s.observers {
+			o(v.ID, v.Pos, v.Speed, s.now, dt)
+		}
+		s.speedTime[hour] += v.Speed.MPS() * dtSec
+		s.presence[hour] += dtSec
+		if v.Speed.MPS() < 0.1 {
+			queue++
+		}
+	}
+	if queue > s.metrics.MaxQueue {
+		s.metrics.MaxQueue = queue
+	}
+
+	keep := s.vehicles[:0]
+	for _, v := range s.vehicles {
+		if v.Pos >= s.total {
+			s.metrics.Completed++
+			s.metrics.ThroughputByHour[hour]++
+			s.metrics.TotalTravelTime += s.now - v.Entered
+			continue
+		}
+		keep = append(keep, v)
+	}
+	s.vehicles = keep
+	s.now += dt
+}
+
+// nextRedStop returns the position of the closest stop line ahead of
+// the vehicle whose signal currently requires stopping.
+func (s *CorridorSim) nextRedStop(segIdx int, v *Vehicle, vCur, dtSec float64) (float64, bool) {
+	for i := segIdx; i < len(s.cfg.Segments); i++ {
+		plan := s.cfg.Segments[i].Signal
+		if plan == nil {
+			continue
+		}
+		stopLine := s.bounds[i].Meters()
+		distToLine := stopLine - v.Pos.Meters()
+		if distToLine < 0 {
+			continue
+		}
+		phase := plan.PhaseAt(s.now)
+		mustStop := phase == roadnet.PhaseRed ||
+			(phase == roadnet.PhaseYellow && distToLine > vCur*dtSec &&
+				v.Params.StoppingDistance(vCur) < distToLine)
+		if mustStop {
+			return stopLine, true
+		}
+		// A green light ahead does not constrain; farther signals are
+		// beyond the leader-following horizon this step.
+		return 0, false
+	}
+	return 0, false
+}
+
+func (s *CorridorSim) trySpawn() bool {
+	entry := s.cfg.Segments[0].SpeedLimit.MPS() * 0.8
+	if n := len(s.vehicles); n > 0 {
+		last := s.vehicles[n-1]
+		gap := last.Pos.Meters() - last.Params.Length.Meters() - s.cfg.Driver.MinGap.Meters()
+		if gap < s.cfg.Driver.Length.Meters() {
+			return false
+		}
+		if safe := s.cfg.Driver.SafeSpeed(last.Speed.MPS(), entry, gap); safe < entry {
+			entry = safe
+		}
+	}
+	s.spawned++
+	s.vehicles = append(s.vehicles, &Vehicle{
+		ID:      fmt.Sprintf("cveh-%06d", s.spawned),
+		Pos:     0,
+		Speed:   units.MPS(entry),
+		Params:  s.cfg.Driver,
+		Entered: s.now,
+	})
+	return true
+}

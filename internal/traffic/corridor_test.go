@@ -1,0 +1,180 @@
+package traffic
+
+import (
+	"testing"
+	"time"
+
+	"olevgrid/internal/roadnet"
+	"olevgrid/internal/trace"
+	"olevgrid/internal/units"
+)
+
+func corridorConfig(signals int) CorridorConfig {
+	plan := roadnet.DefaultSignalPlan()
+	segs := make([]Segment, 3)
+	for i := range segs {
+		segs[i] = Segment{Length: units.Meters(400), SpeedLimit: units.KMH(50)}
+		if i < signals {
+			p := plan
+			p.Offset = time.Duration(i) * 45 * time.Second // anti-coordinated: every signal binds
+			segs[i].Signal = &p
+		}
+	}
+	return CorridorConfig{
+		Segments: segs,
+		Counts:   trace.FlatlandsAvenue(),
+		Seed:     1,
+		Start:    17 * time.Hour,
+		End:      17*time.Hour + 30*time.Minute,
+	}
+}
+
+func TestNewCorridorSimValidation(t *testing.T) {
+	if _, err := NewCorridorSim(corridorConfig(2)); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	tests := []struct {
+		name   string
+		mutate func(*CorridorConfig)
+	}{
+		{name: "no segments", mutate: func(c *CorridorConfig) { c.Segments = nil }},
+		{name: "zero length", mutate: func(c *CorridorConfig) { c.Segments[1].Length = 0 }},
+		{name: "zero speed", mutate: func(c *CorridorConfig) { c.Segments[0].SpeedLimit = 0 }},
+		{name: "bad signal", mutate: func(c *CorridorConfig) { c.Segments[0].Signal = &roadnet.SignalPlan{} }},
+		{name: "bad counts", mutate: func(c *CorridorConfig) { c.Counts[0] = -1 }},
+		{name: "bad window", mutate: func(c *CorridorConfig) { c.End = c.Start }},
+		{name: "bad driver", mutate: func(c *CorridorConfig) { c.Driver = DriverParams{Accel: -1} }},
+		{name: "bad step", mutate: func(c *CorridorConfig) { c.Step = -time.Second }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := corridorConfig(2)
+			tt.mutate(&cfg)
+			if _, err := NewCorridorSim(cfg); err == nil {
+				t.Error("invalid config accepted")
+			}
+		})
+	}
+}
+
+func TestCorridorGeometry(t *testing.T) {
+	sim, err := NewCorridorSim(corridorConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.TotalLength() != units.Meters(1200) {
+		t.Errorf("TotalLength = %v", sim.TotalLength())
+	}
+	if got := sim.segmentAt(units.Meters(0)); got != 0 {
+		t.Errorf("segmentAt(0) = %d", got)
+	}
+	if got := sim.segmentAt(units.Meters(400)); got != 1 {
+		t.Errorf("segmentAt(400) = %d", got)
+	}
+	if got := sim.segmentAt(units.Meters(1199)); got != 2 {
+		t.Errorf("segmentAt(1199) = %d", got)
+	}
+	if got := sim.segmentAt(units.Meters(5000)); got != 2 {
+		t.Errorf("segmentAt past end = %d", got)
+	}
+}
+
+func TestCorridorFlowsAndCompletes(t *testing.T) {
+	sim, err := NewCorridorSim(corridorConfig(0)) // no signals
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := sim.Run()
+	if m.Spawned == 0 || m.Completed == 0 {
+		t.Fatalf("spawned %d completed %d", m.Spawned, m.Completed)
+	}
+	if m.Completed < m.Spawned/2 {
+		t.Errorf("only %d of %d completed a free corridor", m.Completed, m.Spawned)
+	}
+}
+
+func TestCorridorMoreSignalsMoreDelay(t *testing.T) {
+	run := func(signals int) Metrics {
+		sim, err := NewCorridorSim(corridorConfig(signals))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sim.Run()
+	}
+	free := run(0)
+	one := run(1)
+	three := run(3)
+	if one.MeanSpeedByHour[17] >= free.MeanSpeedByHour[17] {
+		t.Errorf("one signal (%v) not slower than free (%v)",
+			one.MeanSpeedByHour[17], free.MeanSpeedByHour[17])
+	}
+	if three.MeanSpeedByHour[17] >= one.MeanSpeedByHour[17] {
+		t.Errorf("three signals (%v) not slower than one (%v)",
+			three.MeanSpeedByHour[17], one.MeanSpeedByHour[17])
+	}
+	if three.MaxQueue <= free.MaxQueue {
+		t.Errorf("signals should queue: %d vs %d", three.MaxQueue, free.MaxQueue)
+	}
+	// Travel-time delay is the cleanest signal: free flow on 1200 m at
+	// ~14 m/s is ~86 s; each signal adds dwell.
+	if free.MeanTravelTime() <= 0 {
+		t.Fatal("no travel time recorded")
+	}
+	if three.MeanTravelTime() <= one.MeanTravelTime() {
+		t.Errorf("three signals mean travel %v not above one signal %v",
+			three.MeanTravelTime(), one.MeanTravelTime())
+	}
+	if one.MeanTravelTime() <= free.MeanTravelTime() {
+		t.Errorf("one signal mean travel %v not above free flow %v",
+			one.MeanTravelTime(), free.MeanTravelTime())
+	}
+}
+
+func TestCorridorNoCollisions(t *testing.T) {
+	sim, err := NewCorridorSim(corridorConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.AddObserver(func(string, units.Distance, units.Speed, time.Duration, time.Duration) {
+		prev := units.Distance(1 << 30)
+		for _, v := range sim.vehicles {
+			front := v.Pos
+			if front > prev+units.Meters(1e-6) {
+				t.Fatalf("ordering violated: %v ahead of %v", front, prev)
+			}
+			prev = v.Pos - v.Params.Length
+		}
+	})
+	sim.Run()
+}
+
+func TestCorridorObserverFeedsAccumulators(t *testing.T) {
+	sim, err := NewCorridorSim(corridorConfig(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var samples int
+	sim.AddObserver(func(id string, pos units.Distance, vel units.Speed, now, dt time.Duration) {
+		samples++
+		if pos < 0 || vel < 0 {
+			t.Fatalf("bad sample %v %v", pos, vel)
+		}
+	})
+	sim.Run()
+	if samples == 0 {
+		t.Error("observer never called")
+	}
+}
+
+func TestCorridorDeterminism(t *testing.T) {
+	run := func() Metrics {
+		sim, err := NewCorridorSim(corridorConfig(2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sim.Run()
+	}
+	if a, b := run(), run(); a != b {
+		t.Errorf("same seed diverged: %+v vs %+v", a, b)
+	}
+}

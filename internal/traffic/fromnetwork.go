@@ -1,0 +1,39 @@
+package traffic
+
+import (
+	"fmt"
+
+	"olevgrid/internal/roadnet"
+)
+
+// CorridorFromRoute builds the segment list for a CorridorSim from a
+// routed path through a road network: each edge becomes a segment,
+// and a signalized destination node becomes the segment's stop-line
+// signal. The route must be contiguous (each edge starting where the
+// previous one ended), which roadnet.Network.Route guarantees.
+func CorridorFromRoute(net *roadnet.Network, route []roadnet.EdgeID) ([]Segment, error) {
+	if len(route) == 0 {
+		return nil, fmt.Errorf("traffic: empty route")
+	}
+	segments := make([]Segment, 0, len(route))
+	var prevTo roadnet.NodeID
+	for i, eid := range route {
+		edge, ok := net.Edge(eid)
+		if !ok {
+			return nil, fmt.Errorf("traffic: route references unknown edge %s", eid)
+		}
+		if i > 0 && edge.From != prevTo {
+			return nil, fmt.Errorf("traffic: route breaks at edge %s: starts at %s, previous ended at %s",
+				eid, edge.From, prevTo)
+		}
+		prevTo = edge.To
+
+		seg := Segment{Length: edge.Length, SpeedLimit: edge.SpeedLimit}
+		if node, ok := net.Node(edge.To); ok && node.Signal != nil {
+			plan := *node.Signal
+			seg.Signal = &plan
+		}
+		segments = append(segments, seg)
+	}
+	return segments, nil
+}

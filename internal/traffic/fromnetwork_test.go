@@ -1,0 +1,111 @@
+package traffic
+
+import (
+	"testing"
+	"time"
+
+	"olevgrid/internal/roadnet"
+	"olevgrid/internal/trace"
+	"olevgrid/internal/units"
+)
+
+func arterialNetwork(t *testing.T) *roadnet.Network {
+	t.Helper()
+	net := roadnet.NewNetwork()
+	plan := roadnet.DefaultSignalPlan()
+	nodes := []roadnet.Node{
+		{ID: "w"},
+		{ID: "x", Signal: &plan},
+		{ID: "y"}, // unsignalized junction
+		{ID: "z", Signal: &plan},
+	}
+	for _, n := range nodes {
+		if err := net.AddNode(n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	edges := []roadnet.Edge{
+		{ID: "wx", From: "w", To: "x", Length: units.Meters(300), SpeedLimit: units.KMH(50)},
+		{ID: "xy", From: "x", To: "y", Length: units.Meters(500), SpeedLimit: units.KMH(60)},
+		{ID: "yz", From: "y", To: "z", Length: units.Meters(400), SpeedLimit: units.KMH(50)},
+	}
+	for _, e := range edges {
+		if err := net.AddEdge(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return net
+}
+
+func TestCorridorFromRoute(t *testing.T) {
+	net := arterialNetwork(t)
+	route, err := net.Route("w", "z")
+	if err != nil {
+		t.Fatal(err)
+	}
+	segments, err := CorridorFromRoute(net, route)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segments) != 3 {
+		t.Fatalf("got %d segments", len(segments))
+	}
+	if segments[0].Signal == nil {
+		t.Error("segment into signalized node x lost its signal")
+	}
+	if segments[1].Signal != nil {
+		t.Error("segment into unsignalized node y gained a signal")
+	}
+	if segments[2].Signal == nil {
+		t.Error("segment into signalized node z lost its signal")
+	}
+	if segments[1].Length != units.Meters(500) || segments[1].SpeedLimit != units.KMH(60) {
+		t.Error("edge geometry not carried over")
+	}
+
+	// The built corridor actually simulates.
+	sim, err := NewCorridorSim(CorridorConfig{
+		Segments: segments,
+		Counts:   trace.FlatlandsAvenue(),
+		Seed:     1,
+		Start:    17 * time.Hour,
+		End:      17*time.Hour + 15*time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := sim.Run(); m.Spawned == 0 {
+		t.Error("network-built corridor spawned nothing")
+	}
+}
+
+func TestCorridorFromRouteSignalIsCopied(t *testing.T) {
+	net := arterialNetwork(t)
+	route, err := net.Route("w", "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	segments, err := CorridorFromRoute(net, route)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node, _ := net.Node("x")
+	segments[0].Signal.Green = 1 * time.Second
+	if node.Signal.Green == 1*time.Second {
+		t.Error("corridor shares the network's signal plan storage")
+	}
+}
+
+func TestCorridorFromRouteErrors(t *testing.T) {
+	net := arterialNetwork(t)
+	if _, err := CorridorFromRoute(net, nil); err == nil {
+		t.Error("empty route accepted")
+	}
+	if _, err := CorridorFromRoute(net, []roadnet.EdgeID{"nope"}); err == nil {
+		t.Error("unknown edge accepted")
+	}
+	// Discontiguous route: wx then yz skips x->y.
+	if _, err := CorridorFromRoute(net, []roadnet.EdgeID{"wx", "yz"}); err == nil {
+		t.Error("discontiguous route accepted")
+	}
+}

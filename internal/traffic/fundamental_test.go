@@ -1,0 +1,77 @@
+package traffic
+
+import (
+	"testing"
+	"time"
+
+	"olevgrid/internal/trace"
+	"olevgrid/internal/units"
+)
+
+func TestFundamentalDiagram(t *testing.T) {
+	// Ramp demand over four hours to sweep the density axis.
+	var counts trace.HourlyCounts
+	counts[0], counts[1], counts[2], counts[3] = 100, 400, 900, 1600
+
+	samples, err := MeasureFundamentalDiagram(SimConfig{
+		RoadLength: units.Meters(1000),
+		SpeedLimit: units.MPS(13.9),
+		Counts:     counts,
+		Seed:       1,
+		Start:      0,
+		End:        4 * time.Hour,
+	}, 10*time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) < 10 {
+		t.Fatalf("only %d samples", len(samples))
+	}
+
+	// Physical sanity on every sample.
+	const capacityBound = 2600 // veh/h: v/(len+gap+v·τ)·3600 ≈ 2340 plus margin
+	for i, s := range samples {
+		if s.DensityVehPerKm < 0 || s.FlowVehPerHour < 0 {
+			t.Fatalf("sample %d negative: %+v", i, s)
+		}
+		if s.FlowVehPerHour > capacityBound {
+			t.Errorf("sample %d flow %v exceeds the car-following capacity bound", i, s.FlowVehPerHour)
+		}
+		if s.MeanSpeedMPS > 13.9+0.1 {
+			t.Errorf("sample %d speed %v above the limit", i, s.MeanSpeedMPS)
+		}
+	}
+
+	// Free branch: the high-demand hour carries more flow at higher
+	// density than the light hour.
+	early := samples[1] // inside hour 0
+	var late FlowSample
+	for _, s := range samples {
+		if s.DensityVehPerKm > late.DensityVehPerKm {
+			late = s
+		}
+	}
+	if late.DensityVehPerKm <= early.DensityVehPerKm {
+		t.Fatalf("demand ramp did not raise density: %+v vs %+v", late, early)
+	}
+	if late.FlowVehPerHour <= early.FlowVehPerHour {
+		t.Errorf("free-branch flow did not rise with density: %+v vs %+v", late, early)
+	}
+}
+
+func TestFundamentalDiagramDefaults(t *testing.T) {
+	samples, err := MeasureFundamentalDiagram(SimConfig{
+		RoadLength: units.Meters(500),
+		SpeedLimit: units.MPS(13.9),
+		Counts:     trace.FlatlandsAvenue(),
+		Seed:       1,
+		Start:      8 * time.Hour,
+		End:        9 * time.Hour,
+	}, 0) // default slice
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) == 0 {
+		t.Fatal("no samples with default slice length")
+	}
+}

@@ -1,0 +1,106 @@
+// Package traffic is the microscopic traffic simulator standing in
+// for SUMO in the Section III motivation study. It implements the
+// Krauss car-following model (SUMO's default), fixed-time signalized
+// intersections, and Poisson vehicle injection driven by hourly
+// traffic counts, and it streams per-vehicle positions to observers
+// such as the wpt package's intersection-time accumulator.
+package traffic
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"olevgrid/internal/units"
+)
+
+// DriverParams are the per-vehicle Krauss model parameters.
+type DriverParams struct {
+	// Accel is the maximum acceleration a, m/s².
+	Accel float64
+	// Decel is the comfortable deceleration b, m/s².
+	Decel float64
+	// Tau is the driver reaction time τ.
+	Tau time.Duration
+	// Sigma is the driver imperfection σ ∈ [0, 1].
+	Sigma float64
+	// Length is the vehicle length, bumper to bumper.
+	Length units.Distance
+	// MinGap is the standstill gap kept to the leader.
+	MinGap units.Distance
+}
+
+// DefaultDriverParams returns SUMO's default passenger-car Krauss
+// parameters: a = 2.6 m/s², b = 4.5 m/s², τ = 1 s, σ = 0.5, 5 m
+// length, 2.5 m minimum gap.
+func DefaultDriverParams() DriverParams {
+	return DriverParams{
+		Accel:  2.6,
+		Decel:  4.5,
+		Tau:    time.Second,
+		Sigma:  0.5,
+		Length: units.Meters(5),
+		MinGap: units.Meters(2.5),
+	}
+}
+
+// Validate reports whether the parameters are physical.
+func (p DriverParams) Validate() error {
+	switch {
+	case p.Accel <= 0:
+		return fmt.Errorf("traffic: accel %v must be positive", p.Accel)
+	case p.Decel <= 0:
+		return fmt.Errorf("traffic: decel %v must be positive", p.Decel)
+	case p.Tau <= 0:
+		return fmt.Errorf("traffic: tau %v must be positive", p.Tau)
+	case p.Sigma < 0 || p.Sigma > 1:
+		return fmt.Errorf("traffic: sigma %v outside [0, 1]", p.Sigma)
+	case p.Length <= 0:
+		return fmt.Errorf("traffic: length %v must be positive", p.Length)
+	case p.MinGap < 0:
+		return fmt.Errorf("traffic: min gap %v must be non-negative", p.MinGap)
+	}
+	return nil
+}
+
+// SafeSpeed returns the Krauss safe speed for a follower at speed vF
+// behind a leader at speed vL with bumper-to-bumper gap g (already net
+// of MinGap handling by the caller):
+//
+//	v_safe = vL + (g − vL·τ) / ((vL + vF)/(2b) + τ)
+//
+// clamped to be non-negative. This is the speed that lets the
+// follower stop behind the leader even if the leader brakes at b.
+func (p DriverParams) SafeSpeed(vL, vF, g float64) float64 {
+	tau := p.Tau.Seconds()
+	denominator := (vL+vF)/(2*p.Decel) + tau
+	vSafe := vL + (g-vL*tau)/denominator
+	if vSafe < 0 {
+		return 0
+	}
+	return vSafe
+}
+
+// NextSpeed advances one follower one time step: accelerate toward
+// vMax, bounded by the safe speed, then apply the σ "dawdling"
+// perturbation drawn from rnd ∈ [0, 1).
+func (p DriverParams) NextSpeed(v, vL, gap, vMax, dt float64, rnd float64) float64 {
+	vDes := math.Min(vMax, v+p.Accel*dt)
+	vDes = math.Min(vDes, p.SafeSpeed(vL, v, gap))
+	vNext := vDes - p.Sigma*p.Accel*dt*rnd
+	// A vehicle never brakes harder than b just from dawdling, and
+	// never reverses.
+	if floor := v - p.Decel*dt; vNext < floor {
+		vNext = floor
+	}
+	if vNext < 0 {
+		vNext = 0
+	}
+	return vNext
+}
+
+// StoppingDistance returns how far the vehicle travels when braking
+// comfortably from speed v, including the reaction-time rollout.
+func (p DriverParams) StoppingDistance(v float64) float64 {
+	return v*p.Tau.Seconds() + v*v/(2*p.Decel)
+}

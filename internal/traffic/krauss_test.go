@@ -1,0 +1,133 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDefaultDriverParamsValid(t *testing.T) {
+	if err := DefaultDriverParams().Validate(); err != nil {
+		t.Fatalf("defaults invalid: %v", err)
+	}
+}
+
+func TestDriverParamsValidate(t *testing.T) {
+	base := DefaultDriverParams()
+	tests := []struct {
+		name   string
+		mutate func(*DriverParams)
+	}{
+		{name: "zero accel", mutate: func(p *DriverParams) { p.Accel = 0 }},
+		{name: "zero decel", mutate: func(p *DriverParams) { p.Decel = 0 }},
+		{name: "zero tau", mutate: func(p *DriverParams) { p.Tau = 0 }},
+		{name: "sigma above one", mutate: func(p *DriverParams) { p.Sigma = 1.5 }},
+		{name: "negative sigma", mutate: func(p *DriverParams) { p.Sigma = -0.1 }},
+		{name: "zero length", mutate: func(p *DriverParams) { p.Length = 0 }},
+		{name: "negative gap", mutate: func(p *DriverParams) { p.MinGap = -1 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p := base
+			tt.mutate(&p)
+			if err := p.Validate(); err == nil {
+				t.Error("invalid params accepted")
+			}
+		})
+	}
+}
+
+func TestSafeSpeedProperties(t *testing.T) {
+	p := DefaultDriverParams()
+
+	// Behind a stopped leader with zero gap, the safe speed is zero.
+	if got := p.SafeSpeed(0, 10, 0); got != 0 {
+		t.Errorf("SafeSpeed(0,10,0) = %v, want 0", got)
+	}
+	// Matching the leader's speed at the equilibrium gap g = vL·τ.
+	vL := 15.0
+	if got := p.SafeSpeed(vL, vL, vL*p.Tau.Seconds()); math.Abs(got-vL) > 1e-9 {
+		t.Errorf("SafeSpeed at equilibrium gap = %v, want %v", got, vL)
+	}
+	// Larger gaps permit higher speeds.
+	if p.SafeSpeed(10, 10, 50) <= p.SafeSpeed(10, 10, 20) {
+		t.Error("safe speed not increasing in gap")
+	}
+	// Faster leaders permit higher speeds at the same gap.
+	if p.SafeSpeed(20, 10, 30) <= p.SafeSpeed(5, 10, 30) {
+		t.Error("safe speed not increasing in leader speed")
+	}
+	// Never negative even with a huge negative effective gap.
+	if got := p.SafeSpeed(0, 30, -10); got != 0 {
+		t.Errorf("SafeSpeed with negative gap = %v", got)
+	}
+}
+
+func TestNextSpeedProperties(t *testing.T) {
+	p := DefaultDriverParams()
+	const dt = 0.5
+
+	// Free road, no dawdling: accelerate by a·dt.
+	got := p.NextSpeed(10, 100, 1e9, 30, dt, 0)
+	if want := 10 + p.Accel*dt; math.Abs(got-want) > 1e-9 {
+		t.Errorf("free acceleration = %v, want %v", got, want)
+	}
+	// Speed limit binds.
+	got = p.NextSpeed(29.9, 100, 1e9, 30, dt, 0)
+	if got != 30 {
+		t.Errorf("speed limit: %v, want 30", got)
+	}
+	// Full dawdling slows relative to none.
+	fast := p.NextSpeed(10, 100, 1e9, 30, dt, 0)
+	slow := p.NextSpeed(10, 100, 1e9, 30, dt, 0.999)
+	if slow >= fast {
+		t.Error("dawdling did not slow the vehicle")
+	}
+	// Braking bounded by b·dt.
+	got = p.NextSpeed(20, 0, 0, 30, dt, 0)
+	if floor := 20 - p.Decel*dt; got < floor-1e-9 {
+		t.Errorf("braking %v exceeds b·dt floor %v", got, floor)
+	}
+	// Never negative.
+	if got := p.NextSpeed(0.1, 0, 0, 30, dt, 0.99); got < 0 {
+		t.Errorf("speed went negative: %v", got)
+	}
+}
+
+func TestStoppingDistance(t *testing.T) {
+	p := DefaultDriverParams()
+	// v·τ + v²/(2b) at v = 9: 9·1 + 81/9 = 18.
+	if got := p.StoppingDistance(9); math.Abs(got-18) > 1e-9 {
+		t.Errorf("StoppingDistance(9) = %v, want 18", got)
+	}
+	if got := p.StoppingDistance(0); got != 0 {
+		t.Errorf("StoppingDistance(0) = %v", got)
+	}
+}
+
+func TestKraussCollisionFreedom(t *testing.T) {
+	// Fundamental property: a follower driving at the Krauss safe
+	// speed never hits a leader that brakes at full b.
+	p := DefaultDriverParams()
+	p.Sigma = 0 // deterministic
+	const dt = 0.5
+
+	leaderPos, leaderV := 50.0, 15.0
+	followerPos, followerV := 0.0, 25.0
+	for step := 0; step < 400; step++ {
+		// Leader brakes hard to a stop.
+		leaderV = math.Max(0, leaderV-p.Decel*dt)
+		leaderPos += leaderV * dt
+
+		gap := leaderPos - p.Length.Meters() - followerPos - p.MinGap.Meters()
+		if gap < 0 {
+			gap = 0
+		}
+		followerV = p.NextSpeed(followerV, leaderV, gap, 30, dt, 0)
+		followerPos += followerV * dt
+
+		if followerPos > leaderPos-p.Length.Meters()+1e-9 {
+			t.Fatalf("collision at step %d: follower %v vs leader rear %v",
+				step, followerPos, leaderPos-p.Length.Meters())
+		}
+	}
+}

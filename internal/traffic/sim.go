@@ -1,0 +1,279 @@
+package traffic
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"olevgrid/internal/roadnet"
+	"olevgrid/internal/stats"
+	"olevgrid/internal/trace"
+	"olevgrid/internal/units"
+)
+
+// Observer receives one vehicle-position sample per vehicle per step.
+// The wpt package's Accumulator.Observe satisfies this signature.
+type Observer func(vehID string, pos units.Distance, vel units.Speed, now, dt time.Duration)
+
+// Vehicle is one simulated vehicle's state.
+type Vehicle struct {
+	ID      string
+	Pos     units.Distance // front-bumper offset from road start
+	Speed   units.Speed
+	Params  DriverParams
+	Entered time.Duration
+}
+
+// SimConfig configures a single-approach simulation: one road segment
+// whose downstream end is a (possibly signalized) stop line — the
+// Flatlands Avenue setup of the motivation study.
+type SimConfig struct {
+	// RoadLength is the segment length.
+	RoadLength units.Distance
+	// SpeedLimit caps vehicle speeds.
+	SpeedLimit units.Speed
+	// Signal controls the stop line at the road's end; nil means
+	// uncontrolled (vehicles flow through freely).
+	Signal *roadnet.SignalPlan
+	// Counts drives Poisson vehicle injection per hour of day.
+	Counts trace.HourlyCounts
+	// Driver is the Krauss parameter set; zero value selects defaults.
+	Driver DriverParams
+	// Step is the integration step; zero means 500 ms.
+	Step time.Duration
+	// Start and End bound the simulated time of day; zero End means
+	// 24 h.
+	Start time.Duration
+	End   time.Duration
+	// Seed drives arrivals and dawdling.
+	Seed int64
+}
+
+// Metrics summarizes a run.
+type Metrics struct {
+	// Spawned counts vehicles injected.
+	Spawned int
+	// Completed counts vehicles that left the downstream end.
+	Completed int
+	// ThroughputByHour counts completions per hour of day.
+	ThroughputByHour [24]int
+	// MeanSpeedByHour is the time-weighted mean vehicle speed (m/s)
+	// per hour of day, zero for hours with no vehicle presence.
+	MeanSpeedByHour [24]float64
+	// MaxQueue is the largest number of simultaneously stopped
+	// vehicles.
+	MaxQueue int
+	// TotalTravelTime sums completed vehicles' corridor traversal
+	// times; MeanTravelTime() derives the average delay metric.
+	TotalTravelTime time.Duration
+}
+
+// MeanTravelTime returns the average traversal time of completed
+// vehicles, or zero if none completed.
+func (m Metrics) MeanTravelTime() time.Duration {
+	if m.Completed == 0 {
+		return 0
+	}
+	return m.TotalTravelTime / time.Duration(m.Completed)
+}
+
+// Sim is the simulation engine. Not safe for concurrent use.
+type Sim struct {
+	cfg       SimConfig
+	rng       *rand.Rand
+	vehicles  []*Vehicle // sorted front (largest Pos) first
+	observers []Observer
+	now       time.Duration
+	spawned   int
+	backlog   float64 // fractional pending arrivals
+
+	speedTime [24]float64 // Σ speed·dt per hour
+	presence  [24]float64 // Σ dt per hour (vehicle-seconds)
+	metrics   Metrics
+}
+
+// NewSim validates the configuration and builds a simulator.
+func NewSim(cfg SimConfig) (*Sim, error) {
+	if cfg.RoadLength <= 0 {
+		return nil, fmt.Errorf("traffic: road length %v must be positive", cfg.RoadLength)
+	}
+	if cfg.SpeedLimit <= 0 {
+		return nil, fmt.Errorf("traffic: speed limit %v must be positive", cfg.SpeedLimit)
+	}
+	if cfg.Signal != nil {
+		if err := cfg.Signal.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	if err := cfg.Counts.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Driver == (DriverParams{}) {
+		cfg.Driver = DefaultDriverParams()
+	}
+	if err := cfg.Driver.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Step == 0 {
+		cfg.Step = 500 * time.Millisecond
+	}
+	if cfg.Step <= 0 {
+		return nil, fmt.Errorf("traffic: step %v must be positive", cfg.Step)
+	}
+	if cfg.End == 0 {
+		cfg.End = 24 * time.Hour
+	}
+	if cfg.End <= cfg.Start {
+		return nil, fmt.Errorf("traffic: window [%v, %v) empty", cfg.Start, cfg.End)
+	}
+	return &Sim{
+		cfg: cfg,
+		rng: stats.NewRand(cfg.Seed),
+		now: cfg.Start,
+	}, nil
+}
+
+// AddObserver registers a per-vehicle-step callback.
+func (s *Sim) AddObserver(o Observer) { s.observers = append(s.observers, o) }
+
+// Now returns the current simulation time of day.
+func (s *Sim) Now() time.Duration { return s.now }
+
+// NumVehicles returns how many vehicles are currently on the road.
+func (s *Sim) NumVehicles() int { return len(s.vehicles) }
+
+// Vehicles returns a snapshot of current vehicle states, front first.
+func (s *Sim) Vehicles() []Vehicle {
+	out := make([]Vehicle, len(s.vehicles))
+	for i, v := range s.vehicles {
+		out[i] = *v
+	}
+	return out
+}
+
+// Run steps the simulation to the configured end and returns metrics.
+func (s *Sim) Run() Metrics {
+	for s.now < s.cfg.End {
+		s.step()
+	}
+	for h := 0; h < 24; h++ {
+		if s.presence[h] > 0 {
+			s.metrics.MeanSpeedByHour[h] = s.speedTime[h] / s.presence[h]
+		}
+	}
+	s.metrics.Spawned = s.spawned
+	return s.metrics
+}
+
+// step advances one integration step.
+func (s *Sim) step() {
+	dt := s.cfg.Step
+	dtSec := dt.Seconds()
+	hour := int(s.now.Hours()) % 24
+
+	// 1. Spawn arrivals. Fractional expectations accumulate in the
+	// backlog so low rates still produce the right hourly totals; a
+	// blocked entry keeps its arrival in the backlog for later steps.
+	s.backlog += s.cfg.Counts.Rate(hour) * dtSec
+	for attempts := int(s.backlog); attempts > 0; attempts-- {
+		if !s.trySpawn() {
+			break
+		}
+		s.backlog--
+	}
+
+	// 2. Update speeds front-to-back against leaders and the signal.
+	stopLine := s.cfg.RoadLength.Meters()
+	phase := roadnet.PhaseGreen
+	if s.cfg.Signal != nil {
+		phase = s.cfg.Signal.PhaseAt(s.now)
+	}
+	for i, v := range s.vehicles {
+		vCur := v.Speed.MPS()
+		// Leader constraint.
+		vL, gap := s.cfg.SpeedLimit.MPS(), 1e9
+		if i > 0 {
+			lead := s.vehicles[i-1]
+			vL = lead.Speed.MPS()
+			gap = lead.Pos.Meters() - lead.Params.Length.Meters() -
+				v.Pos.Meters() - v.Params.MinGap.Meters()
+			if gap < 0 {
+				gap = 0
+			}
+		}
+		next := v.Params.NextSpeed(vCur, vL, gap, s.cfg.SpeedLimit.MPS(), dtSec, s.rng.Float64())
+
+		// Signal constraint: red is a stationary wall at the stop
+		// line; yellow stops vehicles that can comfortably brake.
+		distToLine := stopLine - v.Pos.Meters()
+		mustStop := phase == roadnet.PhaseRed ||
+			(phase == roadnet.PhaseYellow && distToLine > vCur*dtSec &&
+				v.Params.StoppingDistance(vCur) < distToLine)
+		if mustStop && distToLine > 0 {
+			g := distToLine - v.Params.MinGap.Meters()
+			if g < 0 {
+				g = 0
+			}
+			if vStop := v.Params.SafeSpeed(0, vCur, g); vStop < next {
+				next = vStop
+			}
+		}
+		v.Speed = units.MPS(next)
+	}
+
+	// 3. Move, observe, and collect per-hour presence stats.
+	queue := 0
+	for _, v := range s.vehicles {
+		v.Pos += units.Meters(v.Speed.MPS() * dtSec)
+		for _, o := range s.observers {
+			o(v.ID, v.Pos, v.Speed, s.now, dt)
+		}
+		s.speedTime[hour] += v.Speed.MPS() * dtSec
+		s.presence[hour] += dtSec
+		if v.Speed.MPS() < 0.1 {
+			queue++
+		}
+	}
+	if queue > s.metrics.MaxQueue {
+		s.metrics.MaxQueue = queue
+	}
+
+	// 4. Despawn vehicles past the stop line.
+	keep := s.vehicles[:0]
+	for _, v := range s.vehicles {
+		if v.Pos.Meters() >= stopLine {
+			s.metrics.Completed++
+			s.metrics.ThroughputByHour[hour]++
+			s.metrics.TotalTravelTime += s.now - v.Entered
+			continue
+		}
+		keep = append(keep, v)
+	}
+	s.vehicles = keep
+
+	s.now += dt
+}
+
+// trySpawn inserts a vehicle at the road start if there is room.
+func (s *Sim) trySpawn() bool {
+	entrySpeed := s.cfg.SpeedLimit.MPS() * 0.8
+	if n := len(s.vehicles); n > 0 {
+		last := s.vehicles[n-1]
+		gap := last.Pos.Meters() - last.Params.Length.Meters() - s.cfg.Driver.MinGap.Meters()
+		if gap < s.cfg.Driver.Length.Meters() {
+			return false // entry blocked; arrival stays in the backlog
+		}
+		if safe := s.cfg.Driver.SafeSpeed(last.Speed.MPS(), entrySpeed, gap); safe < entrySpeed {
+			entrySpeed = safe
+		}
+	}
+	s.spawned++
+	s.vehicles = append(s.vehicles, &Vehicle{
+		ID:      fmt.Sprintf("veh-%06d", s.spawned),
+		Pos:     0,
+		Speed:   units.MPS(entrySpeed),
+		Params:  s.cfg.Driver,
+		Entered: s.now,
+	})
+	return true
+}

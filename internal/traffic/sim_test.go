@@ -1,0 +1,230 @@
+package traffic
+
+import (
+	"testing"
+	"time"
+
+	"olevgrid/internal/roadnet"
+	"olevgrid/internal/trace"
+	"olevgrid/internal/units"
+)
+
+func baseConfig() SimConfig {
+	return SimConfig{
+		RoadLength: units.Meters(1000),
+		SpeedLimit: units.MPS(13.9), // ~50 km/h urban
+		Counts:     trace.FlatlandsAvenue(),
+		Seed:       1,
+	}
+}
+
+func TestNewSimValidation(t *testing.T) {
+	if _, err := NewSim(baseConfig()); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	tests := []struct {
+		name   string
+		mutate func(*SimConfig)
+	}{
+		{name: "zero road", mutate: func(c *SimConfig) { c.RoadLength = 0 }},
+		{name: "zero speed", mutate: func(c *SimConfig) { c.SpeedLimit = 0 }},
+		{name: "bad signal", mutate: func(c *SimConfig) { c.Signal = &roadnet.SignalPlan{} }},
+		{name: "negative counts", mutate: func(c *SimConfig) { c.Counts[3] = -1 }},
+		{name: "negative step", mutate: func(c *SimConfig) { c.Step = -time.Second }},
+		{name: "empty window", mutate: func(c *SimConfig) { c.Start = 2 * time.Hour; c.End = time.Hour }},
+		{name: "bad driver", mutate: func(c *SimConfig) { c.Driver = DriverParams{Accel: -1} }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := baseConfig()
+			tt.mutate(&cfg)
+			if _, err := NewSim(cfg); err == nil {
+				t.Error("invalid config accepted")
+			}
+		})
+	}
+}
+
+func TestFreeFlowThroughput(t *testing.T) {
+	// One mid-morning hour with no signal: everything that spawns
+	// should eventually clear, and spawn totals should track the
+	// hourly count.
+	cfg := baseConfig()
+	cfg.Start = 10 * time.Hour
+	cfg.End = 11 * time.Hour
+	sim, err := NewSim(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := sim.Run()
+
+	want := trace.FlatlandsAvenue()[10]
+	if m.Spawned < int(float64(want)*0.9) || m.Spawned > int(float64(want)*1.1) {
+		t.Errorf("spawned %d, want ~%d", m.Spawned, want)
+	}
+	// Road holds ~72s of travel; nearly everything clears in an hour.
+	if m.Completed < m.Spawned*9/10-20 {
+		t.Errorf("completed %d of %d spawned", m.Completed, m.Spawned)
+	}
+	if m.MaxQueue > 5 {
+		t.Errorf("free flow should not queue, MaxQueue = %d", m.MaxQueue)
+	}
+	if m.MeanSpeedByHour[10] < cfg.SpeedLimit.MPS()*0.5 {
+		t.Errorf("mean speed %v too low for free flow", m.MeanSpeedByHour[10])
+	}
+}
+
+func TestSignalCreatesQueues(t *testing.T) {
+	plan := roadnet.DefaultSignalPlan()
+
+	free := baseConfig()
+	free.Start, free.End = 17*time.Hour, 18*time.Hour
+	simFree, err := NewSim(free)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mFree := simFree.Run()
+
+	signalized := baseConfig()
+	signalized.Start, signalized.End = 17*time.Hour, 18*time.Hour
+	signalized.Signal = &plan
+	simSig, err := NewSim(signalized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mSig := simSig.Run()
+
+	if mSig.MaxQueue <= mFree.MaxQueue {
+		t.Errorf("signal should queue vehicles: %d vs free %d", mSig.MaxQueue, mFree.MaxQueue)
+	}
+	if mSig.MeanSpeedByHour[17] >= mFree.MeanSpeedByHour[17] {
+		t.Errorf("signal should slow traffic: %v vs free %v",
+			mSig.MeanSpeedByHour[17], mFree.MeanSpeedByHour[17])
+	}
+	if mSig.Completed == 0 {
+		t.Error("signalized road should still discharge vehicles")
+	}
+}
+
+func TestNoVehicleEverCollides(t *testing.T) {
+	plan := roadnet.DefaultSignalPlan()
+	cfg := baseConfig()
+	cfg.Start, cfg.End = 17*time.Hour, 17*time.Hour+30*time.Minute
+	cfg.Signal = &plan
+	sim, err := NewSim(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.AddObserver(func(string, units.Distance, units.Speed, time.Duration, time.Duration) {
+		vs := sim.Vehicles()
+		for i := 1; i < len(vs); i++ {
+			front := vs[i-1].Pos.Meters() - vs[i-1].Params.Length.Meters()
+			if vs[i].Pos.Meters() > front+1e-6 {
+				t.Fatalf("overlap at %v: follower %v ahead of leader rear %v",
+					sim.Now(), vs[i].Pos, front)
+			}
+		}
+	})
+	sim.Run()
+}
+
+func TestVehiclesStayOnRoad(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Start, cfg.End = 8*time.Hour, 8*time.Hour+10*time.Minute
+	sim, err := NewSim(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.AddObserver(func(id string, pos units.Distance, vel units.Speed, now, dt time.Duration) {
+		if pos < 0 {
+			t.Fatalf("vehicle %s at negative position %v", id, pos)
+		}
+		if vel < 0 {
+			t.Fatalf("vehicle %s at negative speed %v", id, vel)
+		}
+	})
+	sim.Run()
+}
+
+func TestRedLightHoldsVehicles(t *testing.T) {
+	// All-red signal: nothing may cross the stop line.
+	plan := roadnet.SignalPlan{Green: time.Millisecond, Yellow: 0, Red: time.Hour}
+	cfg := baseConfig()
+	cfg.Signal = &plan
+	cfg.Start, cfg.End = 8*time.Hour, 8*time.Hour+15*time.Minute
+	sim, err := NewSim(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := sim.Run()
+	if m.Completed != 0 {
+		t.Errorf("%d vehicles ran an hour-long red", m.Completed)
+	}
+	if m.MaxQueue == 0 {
+		t.Error("expected a standing queue at the red")
+	}
+}
+
+func TestHourlySpawnTracksCounts(t *testing.T) {
+	// Over a quiet + busy pair of hours, spawn counts should track
+	// the profile ratio.
+	cfg := baseConfig()
+	cfg.Start, cfg.End = 3*time.Hour, 4*time.Hour
+	quiet, err := NewSim(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mq := quiet.Run()
+
+	cfg2 := baseConfig()
+	cfg2.Start, cfg2.End = 17*time.Hour, 18*time.Hour
+	busy, err := NewSim(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mb := busy.Run()
+
+	counts := trace.FlatlandsAvenue()
+	wantRatio := float64(counts[17]) / float64(counts[3])
+	gotRatio := float64(mb.Spawned) / float64(mq.Spawned)
+	if gotRatio < wantRatio*0.7 || gotRatio > wantRatio*1.3 {
+		t.Errorf("spawn ratio %v, want ~%v", gotRatio, wantRatio)
+	}
+}
+
+func TestSimDeterminism(t *testing.T) {
+	run := func() Metrics {
+		cfg := baseConfig()
+		cfg.Start, cfg.End = 7*time.Hour, 8*time.Hour
+		plan := roadnet.DefaultSignalPlan()
+		cfg.Signal = &plan
+		sim, err := NewSim(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sim.Run()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("same seed diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestVehiclesSnapshotIsCopy(t *testing.T) {
+	cfg := baseConfig()
+	cfg.Start, cfg.End = 8*time.Hour, 8*time.Hour+time.Minute
+	sim, err := NewSim(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Run()
+	vs := sim.Vehicles()
+	if len(vs) == 0 {
+		t.Skip("no vehicles on road at snapshot")
+	}
+	before := sim.Vehicles()[0].Pos
+	vs[0].Pos = units.Meters(-999)
+	if sim.Vehicles()[0].Pos != before {
+		t.Error("snapshot leaked internal state")
+	}
+}

@@ -1,0 +1,177 @@
+// Package units defines the physical quantities used throughout the
+// olevgrid simulator: power, energy, money, speed, and distance.
+//
+// All quantities are thin float64 wrappers. They exist so that function
+// signatures document their units and so conversions (mph to m/s, kW to
+// MW, $/MWh to $/kWh) happen in exactly one place. Arithmetic that
+// stays within one unit uses ordinary operators on the wrapper type;
+// cross-unit arithmetic goes through the named conversion methods.
+package units
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Power is an instantaneous rate of energy transfer in kilowatts.
+type Power float64
+
+// Common power constructors.
+func KW(v float64) Power { return Power(v) }
+func MW(v float64) Power { return Power(v * 1000) }
+
+// KW returns the power in kilowatts.
+func (p Power) KW() float64 { return float64(p) }
+
+// MW returns the power in megawatts.
+func (p Power) MW() float64 { return float64(p) / 1000 }
+
+// Energy returns the energy transferred at power p over duration d.
+func (p Power) Energy(d time.Duration) Energy {
+	return Energy(float64(p) * d.Hours())
+}
+
+func (p Power) String() string { return fmt.Sprintf("%.3fkW", float64(p)) }
+
+// Energy is an amount of energy in kilowatt-hours.
+type Energy float64
+
+// Common energy constructors.
+func KWh(v float64) Energy { return Energy(v) }
+func MWh(v float64) Energy { return Energy(v * 1000) }
+
+// KWh returns the energy in kilowatt-hours.
+func (e Energy) KWh() float64 { return float64(e) }
+
+// MWh returns the energy in megawatt-hours.
+func (e Energy) MWh() float64 { return float64(e) / 1000 }
+
+// Over returns the constant power that delivers e over duration d.
+// It returns 0 for non-positive durations.
+func (e Energy) Over(d time.Duration) Power {
+	h := d.Hours()
+	if h <= 0 {
+		return 0
+	}
+	return Power(float64(e) / h)
+}
+
+func (e Energy) String() string { return fmt.Sprintf("%.3fkWh", float64(e)) }
+
+// Money is an amount of US dollars.
+type Money float64
+
+// USD constructs a Money value.
+func USD(v float64) Money { return Money(v) }
+
+// Dollars returns the amount in dollars.
+func (m Money) Dollars() float64 { return float64(m) }
+
+func (m Money) String() string { return fmt.Sprintf("$%.2f", float64(m)) }
+
+// PricePerMWh is a unit energy price in $/MWh, the unit NYISO quotes
+// LBMP in and the unit the paper's β is expressed in.
+type PricePerMWh float64
+
+// Cost returns the money owed for energy e at this unit price.
+func (p PricePerMWh) Cost(e Energy) Money {
+	return Money(float64(p) * e.MWh())
+}
+
+// PerKWh converts to $/kWh.
+func (p PricePerMWh) PerKWh() float64 { return float64(p) / 1000 }
+
+func (p PricePerMWh) String() string {
+	return fmt.Sprintf("$%.2f/MWh", float64(p))
+}
+
+// Speed is a velocity in meters per second.
+type Speed float64
+
+// MPS constructs a Speed from meters per second.
+func MPS(v float64) Speed { return Speed(v) }
+
+// MPH constructs a Speed from miles per hour.
+func MPH(v float64) Speed { return Speed(v * milesPerHourToMPS) }
+
+// KMH constructs a Speed from kilometers per hour.
+func KMH(v float64) Speed { return Speed(v / 3.6) }
+
+const milesPerHourToMPS = 0.44704
+
+// MPS returns the speed in meters per second.
+func (s Speed) MPS() float64 { return float64(s) }
+
+// MPH returns the speed in miles per hour.
+func (s Speed) MPH() float64 { return float64(s) / milesPerHourToMPS }
+
+// TimeOver returns how long it takes to cover dist at this speed.
+// It returns a very large duration for non-positive speeds.
+func (s Speed) TimeOver(dist Distance) time.Duration {
+	if s <= 0 {
+		return time.Duration(math.MaxInt64)
+	}
+	secs := float64(dist) / float64(s)
+	return time.Duration(secs * float64(time.Second))
+}
+
+func (s Speed) String() string { return fmt.Sprintf("%.2fm/s", float64(s)) }
+
+// Distance is a length in meters.
+type Distance float64
+
+// Meters constructs a Distance.
+func Meters(v float64) Distance { return Distance(v) }
+
+// Miles constructs a Distance from miles.
+func Miles(v float64) Distance { return Distance(v * 1609.344) }
+
+// Meters returns the distance in meters.
+func (d Distance) Meters() float64 { return float64(d) }
+
+// Miles returns the distance in miles.
+func (d Distance) Miles() float64 { return float64(d) / 1609.344 }
+
+func (d Distance) String() string { return fmt.Sprintf("%.1fm", float64(d)) }
+
+// Voltage is an electric potential in volts.
+type Voltage float64
+
+// Volts returns the voltage in volts.
+func (v Voltage) Volts() float64 { return float64(v) }
+
+// Current is an electric current in amperes.
+type Current float64
+
+// Amps returns the current in amperes.
+func (c Current) Amps() float64 { return float64(c) }
+
+// Times returns the electrical power V*I.
+func (v Voltage) Times(c Current) Power {
+	return Power(float64(v) * float64(c) / 1000) // W -> kW
+}
+
+// Clamp limits v to the closed interval [lo, hi]. It panics if lo > hi.
+func Clamp(v, lo, hi float64) float64 {
+	if lo > hi {
+		panic(fmt.Sprintf("units: Clamp bounds inverted: lo=%v hi=%v", lo, hi))
+	}
+	switch {
+	case v < lo:
+		return lo
+	case v > hi:
+		return hi
+	default:
+		return v
+	}
+}
+
+// PositivePart returns max(v, 0), the [x]^+ operator used throughout
+// the paper's water-filling formulas.
+func PositivePart(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	return v
+}

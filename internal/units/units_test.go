@@ -1,0 +1,220 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestPowerConversions(t *testing.T) {
+	tests := []struct {
+		name string
+		p    Power
+		kw   float64
+		mw   float64
+	}{
+		{name: "zero", p: KW(0), kw: 0, mw: 0},
+		{name: "one kW", p: KW(1), kw: 1, mw: 0.001},
+		{name: "one MW", p: MW(1), kw: 1000, mw: 1},
+		{name: "grid scale", p: MW(6657.8), kw: 6657800, mw: 6657.8},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.p.KW(); !almostEqual(got, tt.kw, 1e-9) {
+				t.Errorf("KW() = %v, want %v", got, tt.kw)
+			}
+			if got := tt.p.MW(); !almostEqual(got, tt.mw, 1e-9) {
+				t.Errorf("MW() = %v, want %v", got, tt.mw)
+			}
+		})
+	}
+}
+
+func TestPowerEnergy(t *testing.T) {
+	tests := []struct {
+		name string
+		p    Power
+		d    time.Duration
+		want Energy
+	}{
+		{name: "100kW for 1h", p: KW(100), d: time.Hour, want: KWh(100)},
+		{name: "100kW for 30m", p: KW(100), d: 30 * time.Minute, want: KWh(50)},
+		{name: "100kW for 0s", p: KW(100), d: 0, want: 0},
+		{name: "2MW for 15m", p: MW(2), d: 15 * time.Minute, want: KWh(500)},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.p.Energy(tt.d); !almostEqual(got.KWh(), tt.want.KWh(), 1e-9) {
+				t.Errorf("Energy(%v) = %v, want %v", tt.d, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestEnergyOver(t *testing.T) {
+	if got := KWh(100).Over(2 * time.Hour); !almostEqual(got.KW(), 50, 1e-9) {
+		t.Errorf("Over(2h) = %v, want 50kW", got)
+	}
+	if got := KWh(100).Over(0); got != 0 {
+		t.Errorf("Over(0) = %v, want 0", got)
+	}
+	if got := KWh(100).Over(-time.Hour); got != 0 {
+		t.Errorf("Over(-1h) = %v, want 0", got)
+	}
+}
+
+func TestEnergyRoundTrip(t *testing.T) {
+	f := func(kwh float64) bool {
+		if math.IsNaN(kwh) || math.IsInf(kwh, 0) {
+			return true
+		}
+		e := KWh(kwh)
+		return almostEqual(MWh(e.MWh()).KWh(), kwh, math.Abs(kwh)*1e-12+1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpeedConversions(t *testing.T) {
+	tests := []struct {
+		name string
+		s    Speed
+		mps  float64
+		mph  float64
+	}{
+		{name: "60mph", s: MPH(60), mps: 26.8224, mph: 60},
+		{name: "80mph", s: MPH(80), mps: 35.7632, mph: 80},
+		{name: "36kmh", s: KMH(36), mps: 10, mph: 22.369362920544},
+		{name: "10mps", s: MPS(10), mps: 10, mph: 22.369362920544},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := tt.s.MPS(); !almostEqual(got, tt.mps, 1e-9) {
+				t.Errorf("MPS() = %v, want %v", got, tt.mps)
+			}
+			if got := tt.s.MPH(); !almostEqual(got, tt.mph, 1e-9) {
+				t.Errorf("MPH() = %v, want %v", got, tt.mph)
+			}
+		})
+	}
+}
+
+func TestSpeedTimeOver(t *testing.T) {
+	got := MPS(10).TimeOver(Meters(200))
+	if want := 20 * time.Second; got != want {
+		t.Errorf("TimeOver = %v, want %v", got, want)
+	}
+	if got := MPS(0).TimeOver(Meters(200)); got < 100*365*24*time.Hour {
+		t.Errorf("TimeOver at zero speed = %v, want effectively infinite", got)
+	}
+}
+
+func TestDistanceConversions(t *testing.T) {
+	if got := Miles(1).Meters(); !almostEqual(got, 1609.344, 1e-9) {
+		t.Errorf("Miles(1).Meters() = %v", got)
+	}
+	if got := Meters(1609.344).Miles(); !almostEqual(got, 1, 1e-12) {
+		t.Errorf("Meters(1609.344).Miles() = %v", got)
+	}
+}
+
+func TestPricePerMWh(t *testing.T) {
+	p := PricePerMWh(244.04)
+	if got := p.Cost(MWh(2)); !almostEqual(got.Dollars(), 488.08, 1e-9) {
+		t.Errorf("Cost(2MWh) = %v, want $488.08", got)
+	}
+	if got := p.PerKWh(); !almostEqual(got, 0.24404, 1e-12) {
+		t.Errorf("PerKWh() = %v", got)
+	}
+}
+
+func TestElectricalPower(t *testing.T) {
+	// Paper's Chevrolet Spark figures: 399V nominal, 240A.
+	p := Voltage(399).Times(Current(240))
+	if !almostEqual(p.KW(), 95.76, 1e-9) {
+		t.Errorf("399V*240A = %v, want 95.76kW", p)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	tests := []struct {
+		name      string
+		v, lo, hi float64
+		want      float64
+	}{
+		{name: "inside", v: 5, lo: 0, hi: 10, want: 5},
+		{name: "below", v: -1, lo: 0, hi: 10, want: 0},
+		{name: "above", v: 11, lo: 0, hi: 10, want: 10},
+		{name: "at lower edge", v: 0, lo: 0, hi: 10, want: 0},
+		{name: "at upper edge", v: 10, lo: 0, hi: 10, want: 10},
+		{name: "degenerate interval", v: 3, lo: 7, hi: 7, want: 7},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Clamp(tt.v, tt.lo, tt.hi); got != tt.want {
+				t.Errorf("Clamp(%v,%v,%v) = %v, want %v", tt.v, tt.lo, tt.hi, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestClampPanicsOnInvertedBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Clamp(1, 2, 0) did not panic")
+		}
+	}()
+	Clamp(1, 2, 0)
+}
+
+func TestClampProperty(t *testing.T) {
+	f := func(v, a, b float64) bool {
+		if math.IsNaN(v) || math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		lo, hi := a, b
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		got := Clamp(v, lo, hi)
+		return got >= lo && got <= hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPositivePart(t *testing.T) {
+	tests := []struct {
+		v, want float64
+	}{
+		{-5, 0}, {0, 0}, {5, 5}, {-1e-15, 0}, {math.Inf(1), math.Inf(1)},
+	}
+	for _, tt := range tests {
+		if got := PositivePart(tt.v); got != tt.want {
+			t.Errorf("PositivePart(%v) = %v, want %v", tt.v, got, tt.want)
+		}
+	}
+}
+
+func TestStringFormats(t *testing.T) {
+	tests := []struct {
+		got, want string
+	}{
+		{KW(12.5).String(), "12.500kW"},
+		{KWh(1.5).String(), "1.500kWh"},
+		{USD(3.5).String(), "$3.50"},
+		{PricePerMWh(12.52).String(), "$12.52/MWh"},
+		{MPS(26.8224).String(), "26.82m/s"},
+		{Meters(200).String(), "200.0m"},
+	}
+	for _, tt := range tests {
+		if tt.got != tt.want {
+			t.Errorf("String() = %q, want %q", tt.got, tt.want)
+		}
+	}
+}

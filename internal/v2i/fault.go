@@ -1,0 +1,81 @@
+package v2i
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"time"
+
+	"olevgrid/internal/stats"
+)
+
+// FaultConfig parameterizes the lossy wrapper.
+type FaultConfig struct {
+	// DropRate is the probability a Send is silently dropped.
+	DropRate float64
+	// MaxDelay delays each delivered Send uniformly in [0, MaxDelay].
+	MaxDelay time.Duration
+	// Seed drives the fault stream.
+	Seed int64
+}
+
+// Faulty injects drops and delays in front of another transport —
+// the test double for flaky 802.11p links.
+type Faulty struct {
+	inner Transport
+	cfg   FaultConfig
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	dropped int
+}
+
+var _ Transport = (*Faulty)(nil)
+
+// NewFaulty wraps a transport with fault injection.
+func NewFaulty(inner Transport, cfg FaultConfig) *Faulty {
+	return &Faulty{inner: inner, cfg: cfg, rng: stats.NewRand(cfg.Seed)}
+}
+
+// Send implements Transport, possibly dropping or delaying the
+// message.
+func (f *Faulty) Send(ctx context.Context, env Envelope) error {
+	f.mu.Lock()
+	drop := f.rng.Float64() < f.cfg.DropRate
+	var delay time.Duration
+	if f.cfg.MaxDelay > 0 {
+		delay = time.Duration(f.rng.Int63n(int64(f.cfg.MaxDelay)))
+	}
+	if drop {
+		f.dropped++
+	}
+	f.mu.Unlock()
+
+	if drop {
+		return nil // a dropped frame looks like success to the sender
+	}
+	if delay > 0 {
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	return f.inner.Send(ctx, env)
+}
+
+// Recv implements Transport.
+func (f *Faulty) Recv(ctx context.Context) (Envelope, error) {
+	return f.inner.Recv(ctx)
+}
+
+// Close implements Transport.
+func (f *Faulty) Close() error { return f.inner.Close() }
+
+// Dropped reports how many sends were dropped (for test assertions).
+func (f *Faulty) Dropped() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.dropped
+}

@@ -1,0 +1,124 @@
+// Package v2i implements the vehicle-to-infrastructure messaging the
+// paper's decentralized framework rides on: typed messages with a
+// JSON wire encoding, an in-memory transport for simulation, a TCP
+// transport standing in for the paper's IEEE 802.11p / LTE links, and
+// a fault-injecting wrapper for failure testing.
+package v2i
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// MessageType discriminates envelope payloads.
+type MessageType string
+
+// The protocol's message types.
+const (
+	// TypeHello registers an OLEV with the smart grid.
+	TypeHello MessageType = "hello"
+	// TypeQuote carries the smart grid's payment function state Ψ_n:
+	// the background load and the section cost parameters.
+	TypeQuote MessageType = "quote"
+	// TypeRequest carries an OLEV's best-response total power request.
+	TypeRequest MessageType = "request"
+	// TypeSchedule notifies an OLEV of its water-filled allocation.
+	TypeSchedule MessageType = "schedule"
+	// TypeConverged tells agents the iteration has settled.
+	TypeConverged MessageType = "converged"
+	// TypeBye ends a session.
+	TypeBye MessageType = "bye"
+)
+
+// Envelope is the wire frame around every message.
+type Envelope struct {
+	Type MessageType     `json:"type"`
+	From string          `json:"from"`
+	Seq  uint64          `json:"seq"`
+	Body json.RawMessage `json:"body,omitempty"`
+}
+
+// Hello registers a vehicle.
+type Hello struct {
+	VehicleID  string  `json:"vehicle_id"`
+	MaxPowerKW float64 `json:"max_power_kw"`
+	VelocityMS float64 `json:"velocity_ms"`
+	SOC        float64 `json:"soc"`
+}
+
+// CostSpec serializes the shared section cost Z so agents can evaluate
+// the quoted payment function locally.
+type CostSpec struct {
+	// Kind is "nonlinear" or "linear".
+	Kind string `json:"kind"`
+	// BetaPerKWh is the charging price coefficient in $/kWh.
+	BetaPerKWh float64 `json:"beta_per_kwh"`
+	// Alpha is the nonlinear policy's α (ignored for linear).
+	Alpha float64 `json:"alpha,omitempty"`
+	// LineCapacityKW normalizes the nonlinear price (ignored for
+	// linear).
+	LineCapacityKW float64 `json:"line_capacity_kw,omitempty"`
+	// OverloadKappaPerKWh and OverloadCapacityKW parameterize the
+	// overload penalty; zero kappa means no penalty.
+	OverloadKappaPerKWh float64 `json:"overload_kappa_per_kwh,omitempty"`
+	OverloadCapacityKW  float64 `json:"overload_capacity_kw,omitempty"`
+}
+
+// Quote is the smart grid's Ψ_n announcement (Eq. 20): everything an
+// OLEV needs to evaluate its payment for any total request.
+type Quote struct {
+	VehicleID string    `json:"vehicle_id"`
+	Others    []float64 `json:"others"`
+	Cost      CostSpec  `json:"cost"`
+	Round     int       `json:"round"`
+}
+
+// Request is an OLEV's best-response total power request (Eq. 21).
+type Request struct {
+	VehicleID string  `json:"vehicle_id"`
+	TotalKW   float64 `json:"total_kw"`
+	// DrawCapKW carries the vehicle's Eq. (3) per-section coupling
+	// limit so the grid's schedule honors it; zero means uncapped.
+	DrawCapKW float64 `json:"draw_cap_kw,omitempty"`
+	Round     int     `json:"round"`
+}
+
+// ScheduleMsg notifies an OLEV of its allocation across sections.
+type ScheduleMsg struct {
+	VehicleID string    `json:"vehicle_id"`
+	AllocKW   []float64 `json:"alloc_kw"`
+	PaymentH  float64   `json:"payment_per_hour"`
+	Round     int       `json:"round"`
+}
+
+// Converged announces the settled outcome.
+type Converged struct {
+	Rounds           int     `json:"rounds"`
+	CongestionDegree float64 `json:"congestion_degree"`
+	WelfarePerHour   float64 `json:"welfare_per_hour"`
+}
+
+// Bye closes a session; Reason is informational.
+type Bye struct {
+	Reason string `json:"reason,omitempty"`
+}
+
+// Seal marshals a body into an envelope.
+func Seal(t MessageType, from string, seq uint64, body any) (Envelope, error) {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return Envelope{}, fmt.Errorf("v2i: marshal %s: %w", t, err)
+	}
+	return Envelope{Type: t, From: from, Seq: seq, Body: raw}, nil
+}
+
+// Open unmarshals an envelope body into out, checking the type tag.
+func Open(env Envelope, want MessageType, out any) error {
+	if env.Type != want {
+		return fmt.Errorf("v2i: got %s, want %s", env.Type, want)
+	}
+	if err := json.Unmarshal(env.Body, out); err != nil {
+		return fmt.Errorf("v2i: unmarshal %s: %w", want, err)
+	}
+	return nil
+}

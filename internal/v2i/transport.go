@@ -1,0 +1,203 @@
+package v2i
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// ErrClosed is returned by operations on a closed transport.
+var ErrClosed = errors.New("v2i: transport closed")
+
+// Transport is a bidirectional, ordered message channel between one
+// OLEV and the smart grid. Implementations must be safe for one
+// concurrent sender and one concurrent receiver.
+type Transport interface {
+	// Send delivers an envelope or fails with the context's error or
+	// ErrClosed.
+	Send(ctx context.Context, env Envelope) error
+	// Recv blocks for the next envelope.
+	Recv(ctx context.Context) (Envelope, error)
+	// Close releases the transport; pending and future calls fail.
+	Close() error
+}
+
+// chanTransport is one end of an in-memory pair.
+type chanTransport struct {
+	out  chan Envelope
+	in   chan Envelope
+	done chan struct{}
+	once *sync.Once
+}
+
+var _ Transport = (*chanTransport)(nil)
+
+// NewPair returns two connected in-memory transports: what one sends,
+// the other receives. buffer sizes the channel; 0 gives rendezvous
+// semantics.
+func NewPair(buffer int) (Transport, Transport) {
+	if buffer < 0 {
+		buffer = 0
+	}
+	ab := make(chan Envelope, buffer)
+	ba := make(chan Envelope, buffer)
+	done := make(chan struct{})
+	once := &sync.Once{}
+	a := &chanTransport{out: ab, in: ba, done: done, once: once}
+	b := &chanTransport{out: ba, in: ab, done: done, once: once}
+	return a, b
+}
+
+// Send implements Transport.
+func (t *chanTransport) Send(ctx context.Context, env Envelope) error {
+	select {
+	case <-t.done:
+		return ErrClosed
+	default:
+	}
+	select {
+	case t.out <- env:
+		return nil
+	case <-t.done:
+		return ErrClosed
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Recv implements Transport.
+func (t *chanTransport) Recv(ctx context.Context) (Envelope, error) {
+	// Drain messages that were in flight even if the pair has been
+	// closed since.
+	select {
+	case env := <-t.in:
+		return env, nil
+	default:
+	}
+	select {
+	case env := <-t.in:
+		return env, nil
+	case <-t.done:
+		return Envelope{}, ErrClosed
+	case <-ctx.Done():
+		return Envelope{}, ctx.Err()
+	}
+}
+
+// Close implements Transport; closing either end closes the pair.
+func (t *chanTransport) Close() error {
+	t.once.Do(func() { close(t.done) })
+	return nil
+}
+
+// tcpTransport frames envelopes as newline-delimited JSON over a
+// net.Conn.
+type tcpTransport struct {
+	conn net.Conn
+	r    *bufio.Reader
+
+	sendMu sync.Mutex
+	recvMu sync.Mutex
+
+	closeOnce sync.Once
+	closeErr  error
+}
+
+var _ Transport = (*tcpTransport)(nil)
+
+// NewConnTransport wraps an established connection.
+func NewConnTransport(conn net.Conn) Transport {
+	return &tcpTransport{conn: conn, r: bufio.NewReader(conn)}
+}
+
+// Dial connects to a listening smart grid.
+func Dial(ctx context.Context, addr string) (Transport, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("v2i: dial %s: %w", addr, err)
+	}
+	return NewConnTransport(conn), nil
+}
+
+// Send implements Transport. The context's deadline (if any) becomes
+// the write deadline.
+func (t *tcpTransport) Send(ctx context.Context, env Envelope) error {
+	t.sendMu.Lock()
+	defer t.sendMu.Unlock()
+	if dl, ok := ctx.Deadline(); ok {
+		if err := t.conn.SetWriteDeadline(dl); err != nil {
+			return fmt.Errorf("v2i: set write deadline: %w", err)
+		}
+	}
+	raw, err := json.Marshal(env)
+	if err != nil {
+		return fmt.Errorf("v2i: marshal envelope: %w", err)
+	}
+	raw = append(raw, '\n')
+	if _, err := t.conn.Write(raw); err != nil {
+		return fmt.Errorf("v2i: write: %w", err)
+	}
+	return nil
+}
+
+// Recv implements Transport. The context's deadline (if any) becomes
+// the read deadline.
+func (t *tcpTransport) Recv(ctx context.Context) (Envelope, error) {
+	t.recvMu.Lock()
+	defer t.recvMu.Unlock()
+	if dl, ok := ctx.Deadline(); ok {
+		if err := t.conn.SetReadDeadline(dl); err != nil {
+			return Envelope{}, fmt.Errorf("v2i: set read deadline: %w", err)
+		}
+	}
+	line, err := t.r.ReadBytes('\n')
+	if err != nil {
+		return Envelope{}, fmt.Errorf("v2i: read: %w", err)
+	}
+	var env Envelope
+	if err := json.Unmarshal(line, &env); err != nil {
+		return Envelope{}, fmt.Errorf("v2i: decode envelope: %w", err)
+	}
+	return env, nil
+}
+
+// Close implements Transport.
+func (t *tcpTransport) Close() error {
+	t.closeOnce.Do(func() { t.closeErr = t.conn.Close() })
+	return t.closeErr
+}
+
+// Server accepts V2I connections for the smart grid.
+type Server struct {
+	ln net.Listener
+}
+
+// Listen opens a TCP listener on addr ("127.0.0.1:0" for an ephemeral
+// test port).
+func Listen(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("v2i: listen %s: %w", addr, err)
+	}
+	return &Server{ln: ln}, nil
+}
+
+// Addr returns the bound address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Accept blocks for the next vehicle connection.
+func (s *Server) Accept() (Transport, error) {
+	conn, err := s.ln.Accept()
+	if err != nil {
+		return nil, fmt.Errorf("v2i: accept: %w", err)
+	}
+	return NewConnTransport(conn), nil
+}
+
+// Close stops the listener.
+func (s *Server) Close() error { return s.ln.Close() }

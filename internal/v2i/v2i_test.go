@@ -1,0 +1,332 @@
+package v2i
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestSealOpenRoundTrip(t *testing.T) {
+	env, err := Seal(TypeQuote, "smart-grid", 7, Quote{
+		VehicleID: "ev-1",
+		Others:    []float64{1, 2, 3},
+		Cost:      CostSpec{Kind: "nonlinear", BetaPerKWh: 0.02, Alpha: 0.875, LineCapacityKW: 53.55},
+		Round:     3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Type != TypeQuote || env.From != "smart-grid" || env.Seq != 7 {
+		t.Errorf("envelope header %+v", env)
+	}
+	var got Quote
+	if err := Open(env, TypeQuote, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.VehicleID != "ev-1" || len(got.Others) != 3 || got.Others[2] != 3 || got.Round != 3 {
+		t.Errorf("round trip mismatch: %+v", got)
+	}
+	if got.Cost.Kind != "nonlinear" || got.Cost.Alpha != 0.875 {
+		t.Errorf("cost spec mismatch: %+v", got.Cost)
+	}
+}
+
+func TestOpenTypeMismatch(t *testing.T) {
+	env, err := Seal(TypeBye, "x", 1, Bye{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var q Quote
+	if err := Open(env, TypeQuote, &q); err == nil {
+		t.Error("type mismatch accepted")
+	}
+}
+
+func TestSealOpenQuickProperty(t *testing.T) {
+	// Any request survives a wire round trip bit-exact.
+	f := func(id string, total, drawCap float64, round int) bool {
+		if math.IsNaN(total) || math.IsInf(total, 0) ||
+			math.IsNaN(drawCap) || math.IsInf(drawCap, 0) {
+			return true
+		}
+		in := Request{VehicleID: id, TotalKW: total, DrawCapKW: drawCap, Round: round}
+		env, err := Seal(TypeRequest, id, 1, in)
+		if err != nil {
+			return false
+		}
+		// Simulate the wire: envelope itself is JSON-marshaled too.
+		raw, err := json.Marshal(env)
+		if err != nil {
+			return false
+		}
+		var back Envelope
+		if err := json.Unmarshal(raw, &back); err != nil {
+			return false
+		}
+		var out Request
+		if err := Open(back, TypeRequest, &out); err != nil {
+			return false
+		}
+		return out == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChanPairDelivers(t *testing.T) {
+	a, b := NewPair(4)
+	defer func() { _ = a.Close() }()
+	ctx := context.Background()
+
+	env, err := Seal(TypeHello, "ev-1", 1, Hello{VehicleID: "ev-1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(ctx, env); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Recv(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != TypeHello || got.From != "ev-1" {
+		t.Errorf("got %+v", got)
+	}
+}
+
+func TestChanPairPreservesOrder(t *testing.T) {
+	a, b := NewPair(16)
+	defer func() { _ = a.Close() }()
+	ctx := context.Background()
+	for i := uint64(1); i <= 10; i++ {
+		env, err := Seal(TypeRequest, "ev", i, Request{TotalKW: float64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Send(ctx, env); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := uint64(1); i <= 10; i++ {
+		got, err := b.Recv(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Seq != i {
+			t.Fatalf("out of order: got seq %d, want %d", got.Seq, i)
+		}
+	}
+}
+
+func TestChanPairClose(t *testing.T) {
+	a, b := NewPair(0)
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := a.Send(ctx, Envelope{}); !errors.Is(err, ErrClosed) {
+		t.Errorf("Send after close = %v, want ErrClosed", err)
+	}
+	if _, err := b.Recv(ctx); !errors.Is(err, ErrClosed) {
+		t.Errorf("Recv after close = %v, want ErrClosed", err)
+	}
+	// Close is idempotent and closing the peer is fine.
+	if err := a.Close(); err != nil {
+		t.Error(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChanPairDrainsInFlightAfterClose(t *testing.T) {
+	a, b := NewPair(4)
+	ctx := context.Background()
+	env, err := Seal(TypeBye, "grid", 1, Bye{Reason: "done"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(ctx, env); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Recv(ctx)
+	if err != nil {
+		t.Fatalf("in-flight message lost: %v", err)
+	}
+	if got.Type != TypeBye {
+		t.Errorf("got %v", got.Type)
+	}
+}
+
+func TestChanPairContextCancel(t *testing.T) {
+	a, _ := NewPair(0)
+	defer func() { _ = a.Close() }()
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := a.Recv(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("Recv = %v, want deadline exceeded", err)
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	srv, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = srv.Close() }()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var serverErr error
+	go func() {
+		defer wg.Done()
+		conn, err := srv.Accept()
+		if err != nil {
+			serverErr = err
+			return
+		}
+		defer func() { _ = conn.Close() }()
+		env, err := conn.Recv(ctx)
+		if err != nil {
+			serverErr = err
+			return
+		}
+		// Echo with a bumped seq.
+		env.Seq++
+		serverErr = conn.Send(ctx, env)
+	}()
+
+	client, err := Dial(ctx, srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = client.Close() }()
+
+	env, err := Seal(TypeHello, "ev-9", 41, Hello{VehicleID: "ev-9", MaxPowerKW: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := client.Send(ctx, env); err != nil {
+		t.Fatal(err)
+	}
+	got, err := client.Recv(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seq != 42 || got.From != "ev-9" {
+		t.Errorf("echo = %+v", got)
+	}
+	var hello Hello
+	if err := Open(got, TypeHello, &hello); err != nil {
+		t.Fatal(err)
+	}
+	if hello.MaxPowerKW != 50 {
+		t.Errorf("payload corrupted: %+v", hello)
+	}
+	wg.Wait()
+	if serverErr != nil {
+		t.Fatal(serverErr)
+	}
+}
+
+func TestTCPRecvDeadline(t *testing.T) {
+	srv, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = srv.Close() }()
+
+	go func() {
+		conn, err := srv.Accept()
+		if err != nil {
+			return
+		}
+		// Hold the connection open without sending.
+		time.Sleep(200 * time.Millisecond)
+		_ = conn.Close()
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	client, err := Dial(context.Background(), srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = client.Close() }()
+	if _, err := client.Recv(ctx); err == nil {
+		t.Error("Recv should time out")
+	}
+}
+
+func TestDialFailure(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if _, err := Dial(ctx, "127.0.0.1:1"); err == nil {
+		t.Error("dial to closed port succeeded")
+	}
+}
+
+func TestFaultyDropsDeterministically(t *testing.T) {
+	a, b := NewPair(64)
+	defer func() { _ = a.Close() }()
+	lossy := NewFaulty(a, FaultConfig{DropRate: 0.5, Seed: 3})
+
+	ctx := context.Background()
+	const sends = 40
+	for i := 0; i < sends; i++ {
+		env, err := Seal(TypeRequest, "ev", uint64(i), Request{TotalKW: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := lossy.Send(ctx, env); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dropped := lossy.Dropped()
+	if dropped == 0 || dropped == sends {
+		t.Errorf("dropped = %d of %d; want partial loss", dropped, sends)
+	}
+	// Exactly sends-dropped frames arrive.
+	var received int
+	for {
+		ctx2, cancel := context.WithTimeout(ctx, 20*time.Millisecond)
+		_, err := b.Recv(ctx2)
+		cancel()
+		if err != nil {
+			break
+		}
+		received++
+	}
+	if received != sends-dropped {
+		t.Errorf("received %d, want %d", received, sends-dropped)
+	}
+}
+
+func TestFaultyDelayDelivers(t *testing.T) {
+	a, b := NewPair(4)
+	defer func() { _ = a.Close() }()
+	lossy := NewFaulty(a, FaultConfig{MaxDelay: 10 * time.Millisecond, Seed: 1})
+	ctx := context.Background()
+	env, err := Seal(TypeBye, "x", 1, Bye{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lossy.Send(ctx, env); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Recv(ctx); err != nil {
+		t.Fatal(err)
+	}
+}

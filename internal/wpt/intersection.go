@@ -1,0 +1,156 @@
+package wpt
+
+import (
+	"time"
+
+	"olevgrid/internal/units"
+)
+
+// IntersectionRecord accumulates, for one charging section, the total
+// vehicle-time spent on top of it and the energy transferred, bucketed
+// by hour of day. This is the measurement behind Fig. 3(b)/3(c).
+type IntersectionRecord struct {
+	// TimeByHour[h] is the summed vehicle dwell time during hour h.
+	TimeByHour [24]time.Duration
+	// EnergyByHour[h] is the energy transferred during hour h.
+	EnergyByHour [24]units.Energy
+	// Vehicles counts distinct vehicles that touched the section.
+	Vehicles int
+}
+
+// TotalTime returns the whole-day intersection time.
+func (r IntersectionRecord) TotalTime() time.Duration {
+	var total time.Duration
+	for _, d := range r.TimeByHour {
+		total += d
+	}
+	return total
+}
+
+// TotalEnergy returns the whole-day transferred energy.
+func (r IntersectionRecord) TotalEnergy() units.Energy {
+	var total units.Energy
+	for _, e := range r.EnergyByHour {
+		total += e
+	}
+	return total
+}
+
+// Accumulator observes vehicle positions from a traffic simulation and
+// charges vehicles that sit over a lane's sections. It implements the
+// traffic package's detector interface structurally, keeping the two
+// packages decoupled.
+type Accumulator struct {
+	lane    *Lane
+	records map[int]*IntersectionRecord
+	seen    map[int]map[string]struct{}
+	// perVehicle accumulates each vehicle's total received energy
+	// across all sections.
+	perVehicle map[string]units.Energy
+	// drawPower returns the power a given vehicle draws when over a
+	// section; nil means "section rated power, line-capacity capped".
+	drawPower func(vehID string, s Section, vel units.Speed) units.Power
+}
+
+// NewAccumulator returns an accumulator over the lane's sections.
+func NewAccumulator(lane *Lane) *Accumulator {
+	a := &Accumulator{
+		lane:       lane,
+		records:    make(map[int]*IntersectionRecord, lane.NumSections()),
+		seen:       make(map[int]map[string]struct{}, lane.NumSections()),
+		perVehicle: make(map[string]units.Energy),
+	}
+	for _, s := range lane.Sections() {
+		a.records[s.ID] = &IntersectionRecord{}
+		a.seen[s.ID] = make(map[string]struct{})
+	}
+	return a
+}
+
+// SetDrawPower overrides the power a vehicle draws while coupled; used
+// by tests and by studies that model partial OLEV participation.
+func (a *Accumulator) SetDrawPower(fn func(vehID string, s Section, vel units.Speed) units.Power) {
+	a.drawPower = fn
+}
+
+// Observe records that vehicle vehID spent dt at lane offset pos
+// moving at vel, at simulation clock now (time of day). A vehicle over
+// a section accrues intersection time and energy.
+func (a *Accumulator) Observe(vehID string, pos units.Distance, vel units.Speed, now time.Duration, dt time.Duration) {
+	if dt <= 0 {
+		return
+	}
+	s, ok := a.lane.SectionAt(pos)
+	if !ok {
+		return
+	}
+	rec := a.records[s.ID]
+	hour := int(now.Hours()) % 24
+	if hour < 0 {
+		hour += 24
+	}
+	rec.TimeByHour[hour] += dt
+
+	p := a.power(vehID, s, vel)
+	e := p.Energy(dt)
+	rec.EnergyByHour[hour] += e
+	a.perVehicle[vehID] += e
+
+	if _, dup := a.seen[s.ID][vehID]; !dup {
+		a.seen[s.ID][vehID] = struct{}{}
+		rec.Vehicles++
+	}
+}
+
+func (a *Accumulator) power(vehID string, s Section, vel units.Speed) units.Power {
+	if a.drawPower != nil {
+		return a.drawPower(vehID, s, vel)
+	}
+	p := s.RatedPower
+	// A moving vehicle is additionally limited by the line capacity;
+	// a stopped vehicle (queued at the light) draws the rated power.
+	if vel > 0 {
+		if lc := s.LineCapacity(vel); lc < p {
+			p = lc
+		}
+	}
+	return p
+}
+
+// Record returns the accumulated record for a section ID, or nil if
+// the section is unknown.
+func (a *Accumulator) Record(sectionID int) *IntersectionRecord {
+	return a.records[sectionID]
+}
+
+// VehicleEnergy returns the total energy vehicle vehID received
+// across all sections, and whether the vehicle was ever observed over
+// one.
+func (a *Accumulator) VehicleEnergy(vehID string) (units.Energy, bool) {
+	e, ok := a.perVehicle[vehID]
+	return e, ok
+}
+
+// VehicleEnergies returns a copy of the per-vehicle energy totals —
+// the per-OLEV view behind the motivation study's "amount of energy
+// OLEVs can receive" claim.
+func (a *Accumulator) VehicleEnergies() map[string]units.Energy {
+	out := make(map[string]units.Energy, len(a.perVehicle))
+	for id, e := range a.perVehicle {
+		out[id] = e
+	}
+	return out
+}
+
+// Combined returns a record summing every section's accumulation.
+func (a *Accumulator) Combined() IntersectionRecord {
+	var out IntersectionRecord
+	for _, rec := range a.records {
+		for h := 0; h < 24; h++ {
+			out.TimeByHour[h] += rec.TimeByHour[h]
+			out.EnergyByHour[h] += rec.EnergyByHour[h]
+		}
+		out.Vehicles += rec.Vehicles
+	}
+	return out
+}

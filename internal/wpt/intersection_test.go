@@ -1,0 +1,177 @@
+package wpt
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"olevgrid/internal/units"
+)
+
+func motivationLane(t *testing.T) *Lane {
+	t.Helper()
+	lane, err := PlaceOnRoad(units.Meters(1000), MotivationSpec(), PlacementAtTrafficLight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lane
+}
+
+func TestAccumulatorObserve(t *testing.T) {
+	lane := motivationLane(t)
+	acc := NewAccumulator(lane)
+	sec := lane.Sections()[0]
+
+	// Vehicle stopped on the section at 08:00 for 60 seconds of sim steps.
+	now := 8 * time.Hour
+	for i := 0; i < 60; i++ {
+		acc.Observe("veh-1", sec.Start+10, 0, now, time.Second)
+		now += time.Second
+	}
+	rec := acc.Record(sec.ID)
+	if rec == nil {
+		t.Fatal("no record for section")
+	}
+	if got := rec.TimeByHour[8]; got != time.Minute {
+		t.Errorf("hour-8 time = %v, want 1m", got)
+	}
+	// Stopped vehicle draws rated power: 100 kW * 60 s = 1.667 kWh.
+	want := 100.0 / 60
+	if got := rec.EnergyByHour[8].KWh(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("hour-8 energy = %v, want %v kWh", got, want)
+	}
+	if rec.Vehicles != 1 {
+		t.Errorf("Vehicles = %d, want 1", rec.Vehicles)
+	}
+}
+
+func TestAccumulatorIgnoresOffSection(t *testing.T) {
+	lane := motivationLane(t)
+	acc := NewAccumulator(lane)
+	acc.Observe("veh-1", units.Meters(10), units.MPS(10), time.Hour, time.Second)
+	if got := acc.Combined().TotalTime(); got != 0 {
+		t.Errorf("off-section observation recorded %v", got)
+	}
+	acc.Observe("veh-1", lane.Sections()[0].Start, units.MPS(10), time.Hour, 0)
+	if got := acc.Combined().TotalTime(); got != 0 {
+		t.Errorf("zero-dt observation recorded %v", got)
+	}
+}
+
+func TestAccumulatorDistinctVehicles(t *testing.T) {
+	lane := motivationLane(t)
+	acc := NewAccumulator(lane)
+	pos := lane.Sections()[0].Start + 5
+	acc.Observe("a", pos, 0, time.Hour, time.Second)
+	acc.Observe("a", pos, 0, time.Hour, time.Second)
+	acc.Observe("b", pos, 0, time.Hour, time.Second)
+	if got := acc.Record(lane.Sections()[0].ID).Vehicles; got != 2 {
+		t.Errorf("Vehicles = %d, want 2", got)
+	}
+}
+
+func TestAccumulatorMovingVehicleLineCap(t *testing.T) {
+	lane := motivationLane(t)
+	acc := NewAccumulator(lane)
+	sec := lane.Sections()[0]
+
+	// At 400 m/s the line capacity (47.88 kW) binds below the rating.
+	vel := units.MPS(400)
+	lc := sec.LineCapacity(vel)
+	if lc >= sec.RatedPower {
+		t.Fatalf("test setup: want binding line capacity, got %v", lc)
+	}
+	acc.Observe("fast", sec.Start+5, vel, 2*time.Hour, time.Second)
+	got := acc.Record(sec.ID).EnergyByHour[2].KWh()
+	want := lc.Energy(time.Second).KWh()
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("energy = %v, want line-capped %v", got, want)
+	}
+}
+
+func TestAccumulatorDrawPowerOverride(t *testing.T) {
+	lane := motivationLane(t)
+	acc := NewAccumulator(lane)
+	acc.SetDrawPower(func(string, Section, units.Speed) units.Power {
+		return units.KW(7)
+	})
+	sec := lane.Sections()[0]
+	acc.Observe("v", sec.Start, 0, 0, time.Hour)
+	if got := acc.Record(sec.ID).EnergyByHour[0].KWh(); math.Abs(got-7) > 1e-12 {
+		t.Errorf("energy = %v, want 7 kWh", got)
+	}
+}
+
+func TestVehicleEnergyAccounting(t *testing.T) {
+	lane, err := UniformLane(units.Meters(1000), 2, MotivationSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := NewAccumulator(lane)
+	s1, s2 := lane.Sections()[0], lane.Sections()[1]
+
+	// Vehicle "a" dwells a minute on each section at rated power.
+	acc.Observe("a", s1.Start, 0, time.Hour, time.Minute)
+	acc.Observe("a", s2.Start, 0, 2*time.Hour, time.Minute)
+	acc.Observe("b", s1.Start, 0, time.Hour, 30*time.Second)
+
+	ea, ok := acc.VehicleEnergy("a")
+	if !ok {
+		t.Fatal("vehicle a unseen")
+	}
+	want := 100.0 * 2 / 60 // 100 kW, two minutes
+	if math.Abs(ea.KWh()-want) > 1e-9 {
+		t.Errorf("vehicle a energy = %v, want %v", ea, want)
+	}
+	eb, _ := acc.VehicleEnergy("b")
+	if math.Abs(eb.KWh()-want/4) > 1e-9 {
+		t.Errorf("vehicle b energy = %v, want %v", eb, want/4)
+	}
+	if _, ok := acc.VehicleEnergy("ghost"); ok {
+		t.Error("unseen vehicle reported")
+	}
+
+	// Sum over vehicles equals sum over sections.
+	var perVehicle float64
+	for _, e := range acc.VehicleEnergies() {
+		perVehicle += e.KWh()
+	}
+	if got := acc.Combined().TotalEnergy().KWh(); math.Abs(got-perVehicle) > 1e-9 {
+		t.Errorf("per-vehicle sum %v != per-section sum %v", perVehicle, got)
+	}
+
+	// The returned map is a copy.
+	m := acc.VehicleEnergies()
+	m["a"] = 0
+	if got, _ := acc.VehicleEnergy("a"); got == 0 {
+		t.Error("VehicleEnergies leaked internal state")
+	}
+}
+
+func TestRecordTotalsAndCombined(t *testing.T) {
+	lane, err := UniformLane(units.Meters(1000), 2, MotivationSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc := NewAccumulator(lane)
+	s1, s2 := lane.Sections()[0], lane.Sections()[1]
+	acc.Observe("a", s1.Start, 0, 1*time.Hour, time.Minute)
+	acc.Observe("b", s2.Start, 0, 25*time.Hour, time.Minute) // wraps to hour 1
+
+	comb := acc.Combined()
+	if got := comb.TotalTime(); got != 2*time.Minute {
+		t.Errorf("combined time = %v, want 2m", got)
+	}
+	if comb.Vehicles != 2 {
+		t.Errorf("combined vehicles = %d, want 2", comb.Vehicles)
+	}
+	if comb.TimeByHour[1] != 2*time.Minute {
+		t.Errorf("hour wrap: TimeByHour[1] = %v", comb.TimeByHour[1])
+	}
+	if got := comb.TotalEnergy().KWh(); got <= 0 {
+		t.Errorf("combined energy = %v", got)
+	}
+	if acc.Record(999) != nil {
+		t.Error("unknown section should return nil record")
+	}
+}

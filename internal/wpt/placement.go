@@ -1,0 +1,104 @@
+package wpt
+
+import (
+	"fmt"
+
+	"olevgrid/internal/units"
+)
+
+// Placement selects where on a road a charging section is installed —
+// the least quantifiable deployment factor per Section III, and the
+// one Fig. 3 contrasts.
+type Placement int
+
+const (
+	// PlacementAtTrafficLight installs the section immediately
+	// upstream of the stop line, where queued vehicles dwell.
+	PlacementAtTrafficLight Placement = iota + 1
+	// PlacementMidBlock installs the section at the middle of the
+	// road, where vehicles pass at free-flow speed.
+	PlacementMidBlock
+)
+
+func (p Placement) String() string {
+	switch p {
+	case PlacementAtTrafficLight:
+		return "at-traffic-light"
+	case PlacementMidBlock:
+		return "mid-block"
+	default:
+		return fmt.Sprintf("Placement(%d)", int(p))
+	}
+}
+
+// SectionSpec holds the electrical and geometric parameters shared by
+// generated sections.
+type SectionSpec struct {
+	Length      units.Distance
+	LineVoltage units.Voltage
+	MaxCurrent  units.Current
+	RatedPower  units.Power
+}
+
+// MotivationSpec returns the parameters of the Section III study: a
+// 200 m section rated at 100 kW, fed at the Spark pack's line figures.
+func MotivationSpec() SectionSpec {
+	return SectionSpec{
+		Length:      units.Meters(200),
+		LineVoltage: 399,
+		MaxCurrent:  240,
+		RatedPower:  units.KW(100),
+	}
+}
+
+// PlaceOnRoad returns a single-section lane of the given road length
+// with the section installed per the placement strategy. The stop line
+// is at the downstream end of the road.
+func PlaceOnRoad(roadLen units.Distance, spec SectionSpec, p Placement) (*Lane, error) {
+	if spec.Length > roadLen {
+		return nil, fmt.Errorf("wpt: section length %v exceeds road length %v", spec.Length, roadLen)
+	}
+	var start units.Distance
+	switch p {
+	case PlacementAtTrafficLight:
+		start = roadLen - spec.Length
+	case PlacementMidBlock:
+		start = (roadLen - spec.Length) / 2
+	default:
+		return nil, fmt.Errorf("wpt: unknown placement %v", p)
+	}
+	return NewLane(roadLen, []Section{{
+		ID:          1,
+		Start:       start,
+		Length:      spec.Length,
+		LineVoltage: spec.LineVoltage,
+		MaxCurrent:  spec.MaxCurrent,
+		RatedPower:  spec.RatedPower,
+	}})
+}
+
+// UniformLane returns a lane with n equal sections spread evenly along
+// its length, the layout the evaluation's games assume.
+func UniformLane(length units.Distance, n int, spec SectionSpec) (*Lane, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("wpt: need at least one section, got %d", n)
+	}
+	if units.Distance(float64(n))*spec.Length > length {
+		return nil, fmt.Errorf("wpt: %d sections of %v do not fit in %v", n, spec.Length, length)
+	}
+	gap := (length.Meters() - float64(n)*spec.Length.Meters()) / float64(n+1)
+	sections := make([]Section, 0, n)
+	pos := gap
+	for i := 0; i < n; i++ {
+		sections = append(sections, Section{
+			ID:          i + 1,
+			Start:       units.Meters(pos),
+			Length:      spec.Length,
+			LineVoltage: spec.LineVoltage,
+			MaxCurrent:  spec.MaxCurrent,
+			RatedPower:  spec.RatedPower,
+		})
+		pos += spec.Length.Meters() + gap
+	}
+	return NewLane(length, sections)
+}

@@ -1,0 +1,180 @@
+// Package wpt models the wireless power transfer (WPT) roadway
+// infrastructure: charging sections embedded in a lane, the paper's
+// Eq. (1) line capacity, placement strategies, and the accounting of
+// vehicle/section intersection time that drives the Section III
+// motivation study.
+package wpt
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"olevgrid/internal/units"
+)
+
+// Section is one charging section: a powered stretch of roadway that
+// transfers energy to OLEVs passing over it.
+type Section struct {
+	// ID identifies the section in schedules.
+	ID int
+	// Start is the offset of the section's upstream edge from the
+	// start of its lane.
+	Start units.Distance
+	// Length is the powered length, l in Eq. (1).
+	Length units.Distance
+	// LineVoltage is V in Eq. (1).
+	LineVoltage units.Voltage
+	// MaxCurrent is Curr in Eq. (1).
+	MaxCurrent units.Current
+	// RatedPower caps the instantaneous power the section's feeder can
+	// deliver regardless of vehicle speed (the "100 kW capacity" of
+	// the motivation study).
+	RatedPower units.Power
+}
+
+// Validate reports whether the section's geometry and electrical
+// parameters are sensible.
+func (s Section) Validate() error {
+	switch {
+	case s.Start < 0:
+		return fmt.Errorf("wpt: section %d start %v must be non-negative", s.ID, s.Start)
+	case s.Length <= 0:
+		return fmt.Errorf("wpt: section %d length %v must be positive", s.ID, s.Length)
+	case s.LineVoltage <= 0:
+		return fmt.Errorf("wpt: section %d line voltage %v must be positive", s.ID, s.LineVoltage)
+	case s.MaxCurrent <= 0:
+		return fmt.Errorf("wpt: section %d max current %v must be positive", s.ID, s.MaxCurrent)
+	case s.RatedPower <= 0:
+		return fmt.Errorf("wpt: section %d rated power %v must be positive", s.ID, s.RatedPower)
+	}
+	return nil
+}
+
+// End returns the offset of the section's downstream edge.
+func (s Section) End() units.Distance { return s.Start + s.Length }
+
+// Contains reports whether lane offset pos lies over the section.
+func (s Section) Contains(pos units.Distance) bool {
+	return pos >= s.Start && pos < s.End()
+}
+
+// LineCapacity implements the paper's Eq. (1):
+//
+//	P_line = V · Curr · l / vel
+//
+// the per-vehicle power budget of the section's supply line. Faster
+// vehicles spend less time coupled to the line, so the deliverable
+// budget shrinks with velocity — this is the mechanism behind every
+// 60 mph vs 80 mph contrast in the evaluation. Non-positive velocities
+// yield zero capacity (a stopped vehicle draws from the feeder's rated
+// power path instead, which RatedPower caps).
+func (s Section) LineCapacity(vel units.Speed) units.Power {
+	if vel <= 0 {
+		return 0
+	}
+	// V[kV] * Curr[A] -> kW; scaled by meters of line per meter/second
+	// of speed, per the paper's formula.
+	return units.Power(s.LineVoltage.Volts() / 1000 * s.MaxCurrent.Amps() *
+		s.Length.Meters() / vel.MPS())
+}
+
+// DwellTime returns how long a vehicle at constant velocity spends on
+// top of the section.
+func (s Section) DwellTime(vel units.Speed) time.Duration {
+	return vel.TimeOver(s.Length)
+}
+
+// EnergyPerPass returns the energy a vehicle can draw in one pass at
+// constant velocity: rated power (capped by the line capacity) times
+// dwell time.
+func (s Section) EnergyPerPass(vel units.Speed) units.Energy {
+	if vel <= 0 {
+		return 0
+	}
+	p := s.RatedPower
+	if lc := s.LineCapacity(vel); lc < p {
+		p = lc
+	}
+	return p.Energy(s.DwellTime(vel))
+}
+
+// Lane is an ordered set of non-overlapping charging sections embedded
+// in a one-dimensional roadway of a given length.
+type Lane struct {
+	length   units.Distance
+	sections []Section
+}
+
+// NewLane builds a lane of the given length from sections, validating
+// each section, ordering them by start offset, and rejecting overlaps
+// or sections that extend past the lane.
+func NewLane(length units.Distance, sections []Section) (*Lane, error) {
+	if length <= 0 {
+		return nil, fmt.Errorf("wpt: lane length %v must be positive", length)
+	}
+	sorted := make([]Section, len(sections))
+	copy(sorted, sections)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Start < sorted[j].Start })
+	for i, s := range sorted {
+		if err := s.Validate(); err != nil {
+			return nil, err
+		}
+		if s.End() > length {
+			return nil, fmt.Errorf("wpt: section %d [%v, %v) extends past lane end %v",
+				s.ID, s.Start, s.End(), length)
+		}
+		if i > 0 && s.Start < sorted[i-1].End() {
+			return nil, fmt.Errorf("wpt: sections %d and %d overlap",
+				sorted[i-1].ID, s.ID)
+		}
+	}
+	return &Lane{length: length, sections: sorted}, nil
+}
+
+// Length returns the lane length.
+func (l *Lane) Length() units.Distance { return l.length }
+
+// Sections returns a copy of the lane's sections in order.
+func (l *Lane) Sections() []Section {
+	out := make([]Section, len(l.sections))
+	copy(out, l.sections)
+	return out
+}
+
+// NumSections returns the number of charging sections.
+func (l *Lane) NumSections() int { return len(l.sections) }
+
+// Coverage returns the total powered length, the "charging section
+// coverage" factor of Section III.
+func (l *Lane) Coverage() units.Distance {
+	var total units.Distance
+	for _, s := range l.sections {
+		total += s.Length
+	}
+	return total
+}
+
+// EnergyPerTraversal returns the energy a vehicle collects driving
+// the whole lane once at constant velocity: the sum of every
+// section's per-pass energy. It is the edge weight the energy-aware
+// router consumes.
+func (l *Lane) EnergyPerTraversal(vel units.Speed) units.Energy {
+	var total units.Energy
+	for _, s := range l.sections {
+		total += s.EnergyPerPass(vel)
+	}
+	return total
+}
+
+// SectionAt returns the section under lane offset pos, if any.
+func (l *Lane) SectionAt(pos units.Distance) (Section, bool) {
+	// Binary search over ordered, non-overlapping sections.
+	i := sort.Search(len(l.sections), func(i int) bool {
+		return l.sections[i].End() > pos
+	})
+	if i < len(l.sections) && l.sections[i].Contains(pos) {
+		return l.sections[i], true
+	}
+	return Section{}, false
+}

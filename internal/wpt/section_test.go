@@ -1,0 +1,233 @@
+package wpt
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"olevgrid/internal/units"
+)
+
+func validSection() Section {
+	return Section{
+		ID:          1,
+		Start:       units.Meters(100),
+		Length:      units.Meters(200),
+		LineVoltage: 399,
+		MaxCurrent:  240,
+		RatedPower:  units.KW(100),
+	}
+}
+
+func TestSectionValidate(t *testing.T) {
+	if err := validSection().Validate(); err != nil {
+		t.Errorf("valid section rejected: %v", err)
+	}
+	tests := []struct {
+		name   string
+		mutate func(*Section)
+	}{
+		{name: "negative start", mutate: func(s *Section) { s.Start = -1 }},
+		{name: "zero length", mutate: func(s *Section) { s.Length = 0 }},
+		{name: "zero voltage", mutate: func(s *Section) { s.LineVoltage = 0 }},
+		{name: "zero current", mutate: func(s *Section) { s.MaxCurrent = 0 }},
+		{name: "zero rated power", mutate: func(s *Section) { s.RatedPower = 0 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			s := validSection()
+			tt.mutate(&s)
+			if err := s.Validate(); err == nil {
+				t.Error("invalid section accepted")
+			}
+		})
+	}
+}
+
+func TestSectionGeometry(t *testing.T) {
+	s := validSection()
+	if got := s.End(); got != units.Meters(300) {
+		t.Errorf("End = %v, want 300m", got)
+	}
+	tests := []struct {
+		pos  float64
+		want bool
+	}{
+		{99.9, false}, {100, true}, {200, true}, {299.9, true}, {300, false},
+	}
+	for _, tt := range tests {
+		if got := s.Contains(units.Meters(tt.pos)); got != tt.want {
+			t.Errorf("Contains(%vm) = %v, want %v", tt.pos, got, tt.want)
+		}
+	}
+}
+
+func TestLineCapacityEquation1(t *testing.T) {
+	s := validSection()
+	// Eq. (1): P_line = V·Curr·l/vel = 0.399kV·240A·200m / 26.8224m/s.
+	v60 := units.MPH(60)
+	want := 0.399 * 240 * 200 / v60.MPS()
+	if got := s.LineCapacity(v60).KW(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("LineCapacity(60mph) = %v, want %v", got, want)
+	}
+	// Higher velocity -> strictly lower capacity (the 60 vs 80 mph driver).
+	if c80 := s.LineCapacity(units.MPH(80)); c80 >= s.LineCapacity(v60) {
+		t.Errorf("capacity at 80mph (%v) should be below 60mph (%v)", c80, s.LineCapacity(v60))
+	}
+	if got := s.LineCapacity(0); got != 0 {
+		t.Errorf("LineCapacity(0) = %v, want 0", got)
+	}
+	if got := s.LineCapacity(-5); got != 0 {
+		t.Errorf("LineCapacity(-5) = %v, want 0", got)
+	}
+}
+
+func TestDwellAndEnergyPerPass(t *testing.T) {
+	s := validSection()
+	vel := units.MPS(20)
+	if got := s.DwellTime(vel); got != 10*time.Second {
+		t.Errorf("DwellTime = %v, want 10s", got)
+	}
+	// At 20 m/s the line capacity is 0.399*240*200/20 = 957.6 kW,
+	// above the 100 kW rating, so the rating binds:
+	// 100 kW * 10 s = 0.2778 kWh.
+	want := 100.0 * 10 / 3600
+	if got := s.EnergyPerPass(vel).KWh(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("EnergyPerPass = %v, want %v kWh", got, want)
+	}
+	if got := s.EnergyPerPass(0); got != 0 {
+		t.Errorf("EnergyPerPass(0) = %v", got)
+	}
+
+	// At very high speed the line capacity binds instead.
+	fast := units.MPS(400)
+	lc := s.LineCapacity(fast)
+	if lc >= s.RatedPower {
+		t.Fatalf("test setup: line capacity %v should be below rating", lc)
+	}
+	wantFast := lc.Energy(s.DwellTime(fast)).KWh()
+	if got := s.EnergyPerPass(fast).KWh(); math.Abs(got-wantFast) > 1e-12 {
+		t.Errorf("EnergyPerPass(fast) = %v, want %v", got, wantFast)
+	}
+}
+
+func TestNewLaneValidation(t *testing.T) {
+	spec := MotivationSpec()
+	mk := func(id int, start float64) Section {
+		return Section{
+			ID: id, Start: units.Meters(start), Length: spec.Length,
+			LineVoltage: spec.LineVoltage, MaxCurrent: spec.MaxCurrent,
+			RatedPower: spec.RatedPower,
+		}
+	}
+	if _, err := NewLane(0, nil); err == nil {
+		t.Error("zero-length lane accepted")
+	}
+	if _, err := NewLane(units.Meters(1000), []Section{mk(1, 900)}); err == nil {
+		t.Error("section past lane end accepted")
+	}
+	if _, err := NewLane(units.Meters(1000), []Section{mk(1, 0), mk(2, 100)}); err == nil {
+		t.Error("overlapping sections accepted")
+	}
+	// Out-of-order input must be accepted and sorted.
+	lane, err := NewLane(units.Meters(1000), []Section{mk(2, 600), mk(1, 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	secs := lane.Sections()
+	if secs[0].ID != 1 || secs[1].ID != 2 {
+		t.Errorf("sections not sorted: %v, %v", secs[0].ID, secs[1].ID)
+	}
+	if got := lane.Coverage(); got != units.Meters(400) {
+		t.Errorf("Coverage = %v, want 400m", got)
+	}
+}
+
+func TestLaneSectionAt(t *testing.T) {
+	lane, err := UniformLane(units.Meters(1000), 3, MotivationSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range lane.Sections() {
+		mid := s.Start + s.Length/2
+		got, ok := lane.SectionAt(mid)
+		if !ok || got.ID != s.ID {
+			t.Errorf("SectionAt(%v) = %v, %v; want section %d", mid, got.ID, ok, s.ID)
+		}
+	}
+	if _, ok := lane.SectionAt(units.Meters(0)); ok {
+		t.Error("SectionAt(0) should be in a gap")
+	}
+	if _, ok := lane.SectionAt(units.Meters(999.9)); ok {
+		t.Error("SectionAt(end) should be in a gap")
+	}
+}
+
+func TestPlaceOnRoad(t *testing.T) {
+	road := units.Meters(1000)
+	spec := MotivationSpec()
+
+	atLight, err := PlaceOnRoad(road, spec, PlacementAtTrafficLight)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := atLight.Sections()[0]; s.End() != road {
+		t.Errorf("at-light section ends at %v, want %v", s.End(), road)
+	}
+
+	mid, err := PlaceOnRoad(road, spec, PlacementMidBlock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := mid.Sections()[0]; s.Start != units.Meters(400) {
+		t.Errorf("mid-block section starts at %v, want 400m", s.Start)
+	}
+
+	if _, err := PlaceOnRoad(units.Meters(100), spec, PlacementMidBlock); err == nil {
+		t.Error("section longer than road accepted")
+	}
+	if _, err := PlaceOnRoad(road, spec, Placement(99)); err == nil {
+		t.Error("unknown placement accepted")
+	}
+}
+
+func TestUniformLane(t *testing.T) {
+	lane, err := UniformLane(units.Meters(3000), 10, MotivationSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lane.NumSections() != 10 {
+		t.Fatalf("NumSections = %d", lane.NumSections())
+	}
+	if got := lane.Coverage(); got != units.Meters(2000) {
+		t.Errorf("Coverage = %v, want 2000m", got)
+	}
+	// Gaps between consecutive sections must be equal.
+	secs := lane.Sections()
+	gap0 := secs[0].Start.Meters()
+	for i := 1; i < len(secs); i++ {
+		gap := secs[i].Start.Meters() - secs[i-1].End().Meters()
+		if math.Abs(gap-gap0) > 1e-9 {
+			t.Errorf("gap %d = %v, want %v", i, gap, gap0)
+		}
+	}
+
+	if _, err := UniformLane(units.Meters(100), 0, MotivationSpec()); err == nil {
+		t.Error("zero sections accepted")
+	}
+	if _, err := UniformLane(units.Meters(100), 5, MotivationSpec()); err == nil {
+		t.Error("sections that cannot fit accepted")
+	}
+}
+
+func TestPlacementString(t *testing.T) {
+	if PlacementAtTrafficLight.String() != "at-traffic-light" {
+		t.Error("PlacementAtTrafficLight.String()")
+	}
+	if PlacementMidBlock.String() != "mid-block" {
+		t.Error("PlacementMidBlock.String()")
+	}
+	if Placement(0).String() != "Placement(0)" {
+		t.Error("unknown placement string")
+	}
+}

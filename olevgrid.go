@@ -1,0 +1,242 @@
+// Package olevgrid reproduces "Opportunistic Energy Sharing Between
+// Power Grid and Electric Vehicles: A Game Theory-Based Pricing
+// Policy" (Sarker, Li, Kolodzey, Shen — ICDCS 2017) as a Go library.
+//
+// The package is a facade over the implementation packages:
+//
+//   - the pricing game of Section IV (water-filling schedules,
+//     cost-difference payments, asynchronous best response) —
+//     internal/core and internal/pricing;
+//   - the decentralized V2I protocol of Section IV-D over in-memory or
+//     TCP transports — internal/sched and internal/v2i;
+//   - the substrates: a Krauss-model traffic simulator standing in for
+//     SUMO, a synthetic NYISO-like grid day, the OLEV battery model,
+//     and the WPT roadway infrastructure;
+//   - one experiment harness per figure of the evaluation —
+//     internal/experiments.
+//
+// Quick start:
+//
+//	_, players, err := olevgrid.BuildFleet(olevgrid.FleetConfig{
+//		N: 50, Velocity: olevgrid.MPH(60), Seed: 1,
+//	})
+//	out, err := olevgrid.NonlinearPolicy{}.Run(olevgrid.Scenario{
+//		Players:        players,
+//		NumSections:    20,
+//		LineCapacityKW: olevgrid.LineCapacityKW(olevgrid.Meters(15), olevgrid.MPH(60)),
+//		Eta:            0.9,
+//		BetaPerMWh:     20,
+//	})
+//
+// See examples/ for runnable programs and EXPERIMENTS.md for the
+// paper-vs-measured record.
+package olevgrid
+
+import (
+	"io"
+
+	"olevgrid/internal/core"
+	"olevgrid/internal/coupling"
+	"olevgrid/internal/deploy"
+	"olevgrid/internal/experiments"
+	"olevgrid/internal/grid"
+	"olevgrid/internal/pricing"
+	"olevgrid/internal/sched"
+	"olevgrid/internal/traffic"
+	"olevgrid/internal/units"
+	"olevgrid/internal/v2i"
+)
+
+// Physical quantities.
+type (
+	// Power is kilowatts.
+	Power = units.Power
+	// Energy is kilowatt-hours.
+	Energy = units.Energy
+	// Speed is meters per second; construct with MPH/MPS/KMH.
+	Speed = units.Speed
+	// Distance is meters.
+	Distance = units.Distance
+)
+
+// Unit constructors, re-exported for facade-only callers.
+var (
+	KW     = units.KW
+	MW     = units.MW
+	KWh    = units.KWh
+	MWh    = units.MWh
+	MPH    = units.MPH
+	MPS    = units.MPS
+	KMH    = units.KMH
+	Meters = units.Meters
+	Miles  = units.Miles
+)
+
+// Game-layer types (Section IV).
+type (
+	// Player is one OLEV as the game sees it.
+	Player = core.Player
+	// Satisfaction is U_n, the private concave satisfaction function.
+	Satisfaction = core.Satisfaction
+	// LogSatisfaction is the evaluation's U_n = w·log(1+p).
+	LogSatisfaction = core.LogSatisfaction
+	// Game runs the asynchronous best-response iteration directly.
+	Game = core.Game
+	// GameConfig configures a Game.
+	GameConfig = core.Config
+	// GameResult reports a Game run.
+	GameResult = core.Result
+	// RunOptions tunes a Game run.
+	RunOptions = core.RunOptions
+)
+
+// NewGame constructs the strategic game of Section IV.
+var NewGame = core.NewGame
+
+// Policy layer (Section V's two pricing policies).
+type (
+	// Scenario is one experimental condition.
+	Scenario = pricing.Scenario
+	// Outcome is what a policy produced.
+	Outcome = pricing.Outcome
+	// NonlinearPolicy is the paper's congestion-reactive price.
+	NonlinearPolicy = pricing.Nonlinear
+	// LinearPolicy is the flat-tariff baseline.
+	LinearPolicy = pricing.Linear
+	// FleetConfig draws an OLEV fleet.
+	FleetConfig = pricing.FleetConfig
+)
+
+// BuildFleet draws a fleet of OLEVs and the corresponding game
+// players (power ceilings from Eq. (2)).
+var BuildFleet = pricing.BuildFleet
+
+// LineCapacityKW evaluates Eq. (1) for the default section
+// electricals.
+var LineCapacityKW = pricing.LineCapacityKW
+
+// CongestionTargetWeight derives the demand level whose interior
+// equilibrium realizes a target congestion degree.
+var CongestionTargetWeight = pricing.CongestionTargetWeight
+
+// Distributed framework (Section IV-D over real transports).
+type (
+	// Coordinator is the smart-grid side of the V2I protocol.
+	Coordinator = sched.Coordinator
+	// CoordinatorConfig configures a Coordinator.
+	CoordinatorConfig = sched.CoordinatorConfig
+	// Agent is one OLEV's protocol driver.
+	Agent = sched.Agent
+	// AgentConfig configures an Agent.
+	AgentConfig = sched.AgentConfig
+	// AgentResult summarizes an agent session.
+	AgentResult = sched.AgentResult
+	// CostSpec is the wire form of the section cost.
+	CostSpec = v2i.CostSpec
+	// Transport is a V2I message channel.
+	Transport = v2i.Transport
+)
+
+var (
+	// NewCoordinator builds the smart-grid side over established links.
+	NewCoordinator = sched.NewCoordinator
+	// NewAgent builds an OLEV agent over an established link.
+	NewAgent = sched.NewAgent
+	// RunAgentTCP is the full TCP client lifecycle: dial, hello, run.
+	RunAgentTCP = sched.RunTCP
+	// CollectHellos accepts registrations on a TCP listener.
+	CollectHellos = sched.CollectHellos
+	// NewTransportPair returns connected in-memory transports.
+	NewTransportPair = v2i.NewPair
+	// ListenV2I opens a TCP listener for vehicle connections.
+	ListenV2I = v2i.Listen
+)
+
+// Grid substrate (Section III's ISO day).
+type (
+	// GridDay is a synthesized ISO day.
+	GridDay = grid.Day
+	// GridConfig calibrates the synthesis.
+	GridConfig = grid.Config
+)
+
+var (
+	// NewGridDay synthesizes an ISO day.
+	NewGridDay = grid.NewDay
+	// DefaultGridConfig is calibrated to NYISO 2016-05-12.
+	DefaultGridConfig = grid.DefaultConfig
+)
+
+// Experiment harnesses (one per paper figure).
+type (
+	// MotivationConfig parameterizes the Fig. 3 traffic study.
+	MotivationConfig = experiments.Fig3Config
+	// MotivationResult compares the two placements.
+	MotivationResult = experiments.Fig3Result
+	// GameDefaults are the Fig. 5/6 shared parameters.
+	GameDefaults = experiments.GameDefaults
+	// ExperimentTable is a rendered experiment result.
+	ExperimentTable = experiments.Table
+)
+
+var (
+	// RunMotivationStudy reproduces Fig. 3.
+	RunMotivationStudy = experiments.Fig3
+	// PaymentVsCongestion reproduces Fig. 5(a)/6(a).
+	PaymentVsCongestion = experiments.PaymentVsCongestion
+	// WelfareVsSections reproduces Fig. 5(b)/6(b).
+	WelfareVsSections = experiments.WelfareVsSections
+	// LoadBalance reproduces Fig. 5(c)/6(c).
+	LoadBalance = experiments.LoadBalance
+	// Convergence reproduces Fig. 5(d)/6(d).
+	Convergence = experiments.Convergence
+	// FactorSweep quantifies the Section III deployment factors.
+	FactorSweep = experiments.FactorSweep
+	// MultiIntersection runs the city-scale extrapolation corridor.
+	MultiIntersection = experiments.MultiIntersection
+	// PolicyComparison contrasts the three pricing objectives.
+	PolicyComparison = experiments.PolicyComparison
+	// SaveExperimentCSVs writes rendered tables for external plotting.
+	SaveExperimentCSVs = experiments.SaveCSVs
+)
+
+// StackelbergPolicy is the revenue-maximizing baseline from the
+// related-work contrast.
+type StackelbergPolicy = pricing.Stackelberg
+
+// Coupled traffic/game day (the SUMO-style coupling).
+type (
+	// CoupledDayConfig configures a day where hourly traffic presence
+	// sizes each hour's game and hourly LBMP prices it.
+	CoupledDayConfig = coupling.DayConfig
+	// CoupledDayResult is the coupled day's hourly record.
+	CoupledDayResult = coupling.DayResult
+)
+
+// RunCoupledDay executes the traffic-to-game coupling for one day.
+var RunCoupledDay = coupling.RunDay
+
+// Deployment planning (the paper's future work).
+type (
+	// OccupancyProfile is the spatial histogram of vehicle presence.
+	OccupancyProfile = deploy.OccupancyProfile
+	// DeploymentPlan is a chosen set of section positions.
+	DeploymentPlan = deploy.Plan
+	// TrafficConfig configures the underlying traffic simulation.
+	TrafficConfig = traffic.SimConfig
+)
+
+var (
+	// MeasureOccupancy profiles where vehicles spend time on a road.
+	MeasureOccupancy = deploy.MeasureOccupancy
+	// OptimizePlacement chooses section positions by exact DP.
+	OptimizePlacement = deploy.OptimizePlacement
+	// GreedyPlacement is the comparison baseline.
+	GreedyPlacement = deploy.GreedyPlacement
+)
+
+// RunAllExperiments regenerates every figure and writes rendered
+// tables to w. Set quick to trade smoothing for speed.
+func RunAllExperiments(w io.Writer, quick bool) error {
+	return experiments.RunAll(w, quick)
+}

@@ -1,0 +1,189 @@
+package olevgrid_test
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"olevgrid"
+)
+
+// TestFacadeQuickstart exercises the README's quickstart path end to
+// end through the public facade only.
+func TestFacadeQuickstart(t *testing.T) {
+	vehicles, players, err := olevgrid.BuildFleet(olevgrid.FleetConfig{
+		N: 10, Velocity: olevgrid.MPH(60), Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vehicles) != 10 || len(players) != 10 {
+		t.Fatalf("fleet sizes %d/%d", len(vehicles), len(players))
+	}
+	out, err := olevgrid.NonlinearPolicy{}.Run(olevgrid.Scenario{
+		Players:        players,
+		NumSections:    8,
+		LineCapacityKW: olevgrid.LineCapacityKW(olevgrid.Meters(15), olevgrid.MPH(60)),
+		Eta:            0.9,
+		BetaPerMWh:     20,
+		Seed:           1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Converged || out.TotalPowerKW <= 0 {
+		t.Errorf("outcome %+v", out)
+	}
+}
+
+// TestFacadeGridAndMotivation covers the substrate entry points.
+func TestFacadeGridAndMotivation(t *testing.T) {
+	day, err := olevgrid.NewGridDay(olevgrid.DefaultGridConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if day.MeanLBMP() <= 0 {
+		t.Error("no LBMP")
+	}
+	study, err := olevgrid.RunMotivationStudy(olevgrid.MotivationConfig{
+		Seed:  1,
+		Start: 8 * time.Hour,
+		End:   9 * time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if study.AtLight.TotalEnergy <= study.MidBlock.TotalEnergy {
+		t.Error("placement ordering violated")
+	}
+}
+
+// TestFacadeDirectGame runs the core game through the facade aliases.
+func TestFacadeDirectGame(t *testing.T) {
+	_, players, err := olevgrid.BuildFleet(olevgrid.FleetConfig{
+		N: 5, Velocity: olevgrid.MPH(60), Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cost, err := olevgrid.NonlinearPolicy{}.CostFunction(20, 53.55, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := olevgrid.NewGame(olevgrid.GameConfig{
+		Players:        players,
+		NumSections:    6,
+		LineCapacityKW: 53.55,
+		Eta:            0.9,
+		Cost:           cost,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := g.Run(olevgrid.RunOptions{})
+	if !res.Converged {
+		t.Error("facade game did not converge")
+	}
+}
+
+// TestFacadeDistributed runs the TCP deployment through the facade.
+func TestFacadeDistributed(t *testing.T) {
+	srv, err := olevgrid.ListenV2I("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = srv.Close() }()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	const n = 3
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = olevgrid.RunAgentTCP(ctx, srv.Addr(), olevgrid.AgentConfig{
+				VehicleID:    fmt.Sprintf("ev-%d", i),
+				MaxPowerKW:   40,
+				Satisfaction: olevgrid.LogSatisfaction{Weight: 1},
+			})
+		}(i)
+	}
+	links, err := olevgrid.CollectHellos(ctx, srv, n, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, err := olevgrid.NewCoordinator(olevgrid.CoordinatorConfig{
+		NumSections:    4,
+		LineCapacityKW: 53.55,
+		Cost: olevgrid.CostSpec{
+			Kind: "nonlinear", BetaPerKWh: 0.02, Alpha: 0.875,
+			LineCapacityKW: 53.55, OverloadKappaPerKWh: 10, OverloadCapacityKW: 48.2,
+		},
+	}, links)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := coord.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	for i, e := range errs {
+		if e != nil {
+			t.Fatalf("agent %d: %v", i, e)
+		}
+	}
+	if !report.Converged {
+		t.Error("distributed facade game did not converge")
+	}
+}
+
+// TestFacadeExtensionAPIs exercises the beyond-the-paper entry points
+// through the facade.
+func TestFacadeExtensionAPIs(t *testing.T) {
+	day, err := olevgrid.RunCoupledDay(olevgrid.CoupledDayConfig{Seed: 1, Participation: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if day.TotalEnergyKWh <= 0 {
+		t.Error("coupled day delivered nothing")
+	}
+
+	table, err := olevgrid.PolicyComparison(olevgrid.GameDefaults{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(table.Rows) != 3 {
+		t.Errorf("policy comparison rows %d", len(table.Rows))
+	}
+
+	dir := t.TempDir()
+	paths, err := olevgrid.SaveExperimentCSVs(dir, []olevgrid.ExperimentTable{table})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 1 {
+		t.Errorf("csv export wrote %d files", len(paths))
+	}
+}
+
+// TestFacadeRunAllSmoke only checks wiring; the full pass runs in the
+// experiments package and the bench.
+func TestFacadeRunAllSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full harness")
+	}
+	var sb strings.Builder
+	if err := olevgrid.RunAllExperiments(&sb, true); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Fig 6(d)") {
+		t.Error("harness output incomplete")
+	}
+}
