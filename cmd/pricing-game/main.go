@@ -6,6 +6,11 @@
 // Usage:
 //
 //	pricing-game [-n 50] [-c 20] [-eta 0.9] [-beta 20] [-mph 60] [-policy nonlinear|linear|both] [-tcp]
+//
+// The -tcp mode exposes the resilience knobs: -drop/-dup/-reorder
+// inject chaos on every grid-side link, -evict-after arms the
+// per-vehicle circuit breaker, and -journal persists the last
+// converged schedule so a restarted coordinator warm-starts from it.
 package main
 
 import (
@@ -38,6 +43,11 @@ func run() error {
 	policy := flag.String("policy", "both", "nonlinear, linear, or both")
 	seed := flag.Int64("seed", 1, "seed")
 	tcp := flag.Bool("tcp", false, "run distributed over localhost TCP")
+	drop := flag.Float64("drop", 0, "tcp: per-frame drop probability on grid-side links")
+	dup := flag.Float64("dup", 0, "tcp: per-frame duplication probability on grid-side links")
+	reorder := flag.Float64("reorder", 0, "tcp: per-frame reorder probability on grid-side links")
+	evictAfter := flag.Int("evict-after", 0, "tcp: evict a vehicle after this many consecutive failed turns (0 disables)")
+	journalPath := flag.String("journal", "", "tcp: checkpoint file for crash recovery (empty disables)")
 	flag.Parse()
 
 	vel := units.MPH(*mph)
@@ -50,7 +60,10 @@ func run() error {
 	}
 
 	if *tcp {
-		return runTCP(players, *c, lineCap, *eta, *beta, *seed)
+		return runTCP(players, *c, lineCap, *eta, *beta, *seed, tcpOptions{
+			drop: *drop, dup: *dup, reorder: *reorder,
+			evictAfter: *evictAfter, journalPath: *journalPath,
+		})
 	}
 
 	scenario := olevgrid.Scenario{
@@ -88,7 +101,16 @@ func printOutcome(out olevgrid.Outcome) {
 	fmt.Printf("  updates            %d (converged=%v)\n", out.Updates, out.Converged)
 }
 
-func runTCP(players []olevgrid.Player, c int, lineCap, eta, beta float64, seed int64) error {
+// tcpOptions are the resilience knobs of the distributed mode.
+type tcpOptions struct {
+	drop, dup, reorder float64
+	evictAfter         int
+	journalPath        string
+}
+
+func (o tcpOptions) chaotic() bool { return o.drop > 0 || o.dup > 0 || o.reorder > 0 }
+
+func runTCP(players []olevgrid.Player, c int, lineCap, eta, beta float64, seed int64, opts tcpOptions) error {
 	srv, err := olevgrid.ListenV2I("127.0.0.1:0")
 	if err != nil {
 		return err
@@ -117,27 +139,55 @@ func runTCP(players []olevgrid.Player, c int, lineCap, eta, beta float64, seed i
 	if err != nil {
 		return err
 	}
-	betaPerKWh := beta / 1000
-	coord, err := olevgrid.NewCoordinator(olevgrid.CoordinatorConfig{
+	if opts.chaotic() {
+		// Wrap every accepted link in a seeded fault plan; the session
+		// layer (epoch stamps, sequence validation, retries) has to
+		// carry the game to the same equilibrium anyway.
+		i := int64(0)
+		for id, link := range links {
+			links[id] = olevgrid.NewFaultyTransport(link, olevgrid.FaultConfig{
+				DropRate:      opts.drop,
+				DuplicateRate: opts.dup,
+				ReorderRate:   opts.reorder,
+				Seed:          seed*1000 + i,
+			})
+			i++
+		}
+	}
+	var journal olevgrid.Journal
+	if opts.journalPath != "" {
+		journal = olevgrid.NewFileJournal(opts.journalPath)
+	}
+	cfg := olevgrid.CoordinatorConfig{
 		NumSections:    c,
 		LineCapacityKW: lineCap,
-		Cost: v2i.CostSpec{
-			Kind:                "nonlinear",
-			BetaPerKWh:          betaPerKWh,
-			Alpha:               pricing.DefaultAlpha,
-			LineCapacityKW:      lineCap,
-			OverloadKappaPerKWh: pricing.DefaultOverloadKappaFactor * betaPerKWh,
-			OverloadCapacityKW:  eta * lineCap,
-		},
-		Seed: seed,
-	}, links)
+		Cost:           costSpec(lineCap, eta, beta),
+		EvictAfter:     opts.evictAfter,
+		DropDeparted:   true,
+		Journal:        journal,
+		Seed:           seed,
+	}
+	if opts.chaotic() {
+		cfg.RoundTimeout = 250 * time.Millisecond
+		cfg.MaxRetries = 8
+		cfg.RetryBackoff = 5 * time.Millisecond
+		cfg.SkipUnresponsive = true
+	}
+	coord, err := olevgrid.NewCoordinator(cfg, links)
 	if err != nil {
 		return err
+	}
+	// Closing the links is the end-of-session signal no fault plan can
+	// drop; without it an agent whose Bye frame was lost would block.
+	defer func() { _ = coord.Close() }()
+	if coord.Restored() {
+		fmt.Println("warm-started from journaled checkpoint")
 	}
 	report, err := coord.Run(ctx)
 	if err != nil {
 		return err
 	}
+	_ = coord.Close()
 	wg.Wait()
 	for i, e := range errs {
 		if e != nil {
@@ -146,5 +196,22 @@ func runTCP(players []olevgrid.Player, c int, lineCap, eta, beta float64, seed i
 	}
 	fmt.Printf("distributed game: rounds=%d converged=%v congestion=%.3f total=%.1f kW\n",
 		report.Rounds, report.Converged, report.CongestionDegree, report.TotalPowerKW)
+	if opts.chaotic() || opts.journalPath != "" || opts.evictAfter > 0 {
+		fmt.Printf("  resilience: retries=%d skipped=%d stale-dropped=%d departed=%d evicted=%d epoch=%d checkpoint=%v fellback=%v\n",
+			report.Retries, report.Skipped, report.StaleDropped, report.Departed,
+			report.Evicted, report.FinalEpoch, report.CheckpointSaved, report.FellBack)
+	}
 	return nil
+}
+
+func costSpec(lineCap, eta, beta float64) v2i.CostSpec {
+	betaPerKWh := beta / 1000
+	return v2i.CostSpec{
+		Kind:                "nonlinear",
+		BetaPerKWh:          betaPerKWh,
+		Alpha:               pricing.DefaultAlpha,
+		LineCapacityKW:      lineCap,
+		OverloadKappaPerKWh: pricing.DefaultOverloadKappaFactor * betaPerKWh,
+		OverloadCapacityKW:  eta * lineCap,
+	}
 }

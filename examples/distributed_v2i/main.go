@@ -1,7 +1,10 @@
 // Distributed V2I: the Section IV-D framework as an actual distributed
 // system — a smart-grid coordinator listening on localhost TCP and ten
 // OLEV agents, each holding its private satisfaction function,
-// converging to the socially optimal schedule over the wire.
+// converging to the socially optimal schedule over the wire. An
+// eleventh vehicle arrives after the session is set up and joins the
+// running iteration through the coordinator's membership queue, and
+// the converged schedule is journaled as the grid's last-known-good.
 package main
 
 import (
@@ -40,17 +43,18 @@ func run() error {
 	// Launch the vehicles. Their satisfaction functions never cross
 	// the wire — only quotes and power requests do.
 	_, players, err := olevgrid.BuildFleet(olevgrid.FleetConfig{
-		N: fleet, Velocity: olevgrid.MPH(60), Seed: 1,
+		N: fleet + 1, Velocity: olevgrid.MPH(60), Seed: 1,
 	})
 	if err != nil {
 		return err
 	}
-	results := make([]olevgrid.AgentResult, fleet)
-	errs := make([]error, fleet)
+	results := make([]olevgrid.AgentResult, len(players))
+	errs := make([]error, len(players))
 	var wg sync.WaitGroup
-	for i, p := range players {
+	launch := func(i int) {
+		p := players[i]
 		wg.Add(1)
-		go func(i int, p olevgrid.Player) {
+		go func() {
 			defer wg.Done()
 			results[i], errs[i] = olevgrid.RunAgentTCP(ctx, srv.Addr(), olevgrid.AgentConfig{
 				VehicleID:    p.ID,
@@ -58,11 +62,16 @@ func run() error {
 				Satisfaction: p.Satisfaction,
 				VelocityMS:   olevgrid.MPH(60).MPS(),
 			})
-		}(i, p)
+		}()
+	}
+	for i := 0; i < fleet; i++ {
+		launch(i)
 	}
 
 	// The smart grid accepts registrations, then drives the
-	// asynchronous best-response rounds.
+	// asynchronous best-response rounds with the resilience layer on:
+	// retries with backoff mask lost frames, departed vehicles release
+	// their power, and the converged schedule is journaled.
 	links, err := olevgrid.CollectHellos(ctx, srv, fleet, 10*time.Second)
 	if err != nil {
 		return err
@@ -78,14 +87,36 @@ func run() error {
 			OverloadKappaPerKWh: 10,
 			OverloadCapacityKW:  0.9 * lineCap,
 		},
+		MaxRetries:       4,
+		RetryBackoff:     5 * time.Millisecond,
+		SkipUnresponsive: true,
+		DropDeparted:     true,
+		EvictAfter:       8,
+		Journal:          olevgrid.NewMemJournal(),
 	}, links)
 	if err != nil {
 		return err
 	}
+	defer func() { _ = coord.Close() }()
+
+	// The eleventh OLEV shows up late: it dials in like any other and
+	// is queued to enter the iteration at the next round boundary.
+	launch(fleet)
+	late, err := olevgrid.CollectHellos(ctx, srv, 1, 10*time.Second)
+	if err != nil {
+		return err
+	}
+	for id, link := range late {
+		if err := coord.Join(id, link); err != nil {
+			return err
+		}
+	}
+
 	report, err := coord.Run(ctx)
 	if err != nil {
 		return err
 	}
+	_ = coord.Close()
 	wg.Wait()
 	for i, e := range errs {
 		if e != nil {
@@ -95,6 +126,8 @@ func run() error {
 
 	fmt.Printf("converged=%v after %d rounds, congestion %.3f, total %.1f kW\n",
 		report.Converged, report.Rounds, report.CongestionDegree, report.TotalPowerKW)
+	fmt.Printf("joined mid-run: %d, checkpoint saved: %v, final epoch: %d\n",
+		report.Joined, report.CheckpointSaved, report.FinalEpoch)
 	ids := make([]string, 0, len(report.Requests))
 	for id := range report.Requests {
 		ids = append(ids, id)

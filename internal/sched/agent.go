@@ -52,6 +52,9 @@ type AgentResult struct {
 	Rounds int
 	// Converged reports whether the grid announced convergence.
 	Converged bool
+	// StaleDropped counts grid frames the agent discarded as replays
+	// or reordered-late deliveries.
+	StaleDropped int
 }
 
 // Agent is one OLEV's protocol driver.
@@ -59,6 +62,11 @@ type Agent struct {
 	cfg  AgentConfig
 	link v2i.Transport
 	seq  uint64
+	// gridSeq is the highest grid sequence number seen; duplicated or
+	// reordered-late grid frames are dropped instead of answered, so a
+	// chaotic link cannot make the agent best-respond to an old quote
+	// after a newer one.
+	gridSeq uint64
 }
 
 // NewAgent validates and builds an agent over an established link.
@@ -96,12 +104,22 @@ func (a *Agent) Run(ctx context.Context) (AgentResult, error) {
 	for {
 		env, err := a.link.Recv(ctx)
 		if err != nil {
-			if errors.Is(err, v2i.ErrClosed) && res.Rounds > 0 {
-				// The grid hung up after at least one exchange; treat
-				// the session as complete.
+			if isDeparture(err) && res.Rounds > 0 {
+				// The grid hung up after at least one exchange —
+				// including the case where the final Bye frame was lost
+				// on a faulty link; treat the session as complete.
 				return res, nil
 			}
 			return res, fmt.Errorf("sched: agent %s recv: %w", a.cfg.VehicleID, err)
+		}
+		// Drop replays and reordered-late frames (a peer that does not
+		// stamp sequence numbers sends 0 and bypasses the filter).
+		if env.Seq != 0 {
+			if env.Seq <= a.gridSeq {
+				res.StaleDropped++
+				continue
+			}
+			a.gridSeq = env.Seq
 		}
 		switch env.Type {
 		case v2i.TypeQuote:
@@ -146,6 +164,7 @@ func (a *Agent) answerQuote(ctx context.Context, env v2i.Envelope, res *AgentRes
 	out, err := v2i.Seal(v2i.TypeRequest, a.cfg.VehicleID, a.seq, v2i.Request{
 		VehicleID: a.cfg.VehicleID, TotalKW: request,
 		DrawCapKW: a.cfg.MaxSectionDrawKW, Round: quote.Round,
+		Epoch: quote.Epoch,
 	})
 	if err != nil {
 		return err

@@ -1,0 +1,92 @@
+package sched
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"olevgrid/internal/core"
+	"olevgrid/internal/v2i"
+)
+
+// BenchmarkConvergenceVsDropRate measures how link loss stretches the
+// best-response iteration: rounds-to-convergence and wall time at 0%,
+// 10%, and 20% drop rates (both directions of every link).
+//
+//	go test ./internal/sched/ -bench ConvergenceVsDropRate -benchtime 5x
+func BenchmarkConvergenceVsDropRate(b *testing.B) {
+	for _, dropRate := range []float64{0, 0.10, 0.20} {
+		b.Run(fmt.Sprintf("drop%02.0f", dropRate*100), func(b *testing.B) {
+			const n = 6
+			var totalRounds, totalRetries int
+			for iter := 0; iter < b.N; iter++ {
+				links := make(map[string]v2i.Transport, n)
+				agents := make([]*Agent, 0, n)
+				for i := 0; i < n; i++ {
+					id := fmt.Sprintf("ev-%02d", i)
+					gridSide, vehicleSide := v2i.NewPair(64)
+					var gridLink, vehicleLink v2i.Transport = gridSide, vehicleSide
+					if dropRate > 0 {
+						plan := func(seed int64) v2i.FaultConfig {
+							return v2i.FaultConfig{DropRate: dropRate, Seed: seed}
+						}
+						gridLink = v2i.NewFaulty(gridSide, plan(int64(iter*100+i)))
+						vehicleLink = v2i.NewFaulty(vehicleSide, plan(int64(iter*100+50+i)))
+					}
+					agent, err := NewAgent(AgentConfig{
+						VehicleID:    id,
+						MaxPowerKW:   60,
+						Satisfaction: core.LogSatisfaction{Weight: 1 + 0.1*float64(i%3)},
+					}, vehicleLink)
+					if err != nil {
+						b.Fatal(err)
+					}
+					links[id] = gridLink
+					agents = append(agents, agent)
+				}
+				coord, err := NewCoordinator(CoordinatorConfig{
+					NumSections:      8,
+					LineCapacityKW:   53.55,
+					Cost:             nonlinearSpec(),
+					Tolerance:        1e-4,
+					MaxRounds:        200,
+					RoundTimeout:     25 * time.Millisecond,
+					MaxRetries:       6,
+					RetryBackoff:     2 * time.Millisecond,
+					SkipUnresponsive: true,
+					Seed:             int64(iter),
+				}, links)
+				if err != nil {
+					b.Fatal(err)
+				}
+				ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+				var wg sync.WaitGroup
+				for _, a := range agents {
+					wg.Add(1)
+					go func(a *Agent) {
+						defer wg.Done()
+						_, _ = a.Run(ctx)
+					}(a)
+				}
+				report, err := coord.Run(ctx)
+				for _, l := range links {
+					_ = l.Close()
+				}
+				wg.Wait()
+				cancel()
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !report.Converged {
+					b.Fatalf("drop=%v did not converge: %+v", dropRate, report)
+				}
+				totalRounds += report.Rounds
+				totalRetries += report.Retries
+			}
+			b.ReportMetric(float64(totalRounds)/float64(b.N), "rounds/op")
+			b.ReportMetric(float64(totalRetries)/float64(b.N), "retries/op")
+		})
+	}
+}

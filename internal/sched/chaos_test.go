@@ -1,0 +1,343 @@
+package sched
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"olevgrid/internal/core"
+	"olevgrid/internal/v2i"
+)
+
+// chaosWeight is the satisfaction weight for the i-th vehicle; spread
+// over five values so the equilibrium is not symmetric.
+func chaosWeight(i int) float64 { return 1 + 0.06*float64(i%5) }
+
+// welfareOf computes the social welfare W = Σ_n U_n(p_n) − Σ_c Z(P_c)
+// from a coordinator report and the (test-known) private weights.
+func welfareOf(report Report, weights map[string]float64) float64 {
+	w := -report.WelfareCost
+	for id, p := range report.Requests {
+		w += core.LogSatisfaction{Weight: weights[id]}.Value(p)
+	}
+	return w
+}
+
+// chaosFleet is one vehicle's wiring under fault injection: the
+// coordinator talks through faultyGrid, the agent through
+// faultyVehicle, and rawGrid closes the whole link to model departure.
+type chaosFleet struct {
+	id         string
+	rawGrid    v2i.Transport
+	faultyGrid *v2i.Faulty
+	faultyVeh  *v2i.Faulty
+	agent      *Agent
+}
+
+func newChaosVehicle(t *testing.T, i int, id string, gridCfg, vehCfg v2i.FaultConfig) *chaosFleet {
+	t.Helper()
+	rawGrid, rawVehicle := v2i.NewPair(64)
+	fg := v2i.NewFaulty(rawGrid, gridCfg)
+	fv := v2i.NewFaulty(rawVehicle, vehCfg)
+	agent, err := NewAgent(AgentConfig{
+		VehicleID:    id,
+		MaxPowerKW:   60,
+		Satisfaction: core.LogSatisfaction{Weight: chaosWeight(i)},
+	}, fv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &chaosFleet{id: id, rawGrid: rawGrid, faultyGrid: fg, faultyVeh: fv, agent: agent}
+}
+
+// TestConvergenceUnderChaos is the headline robustness experiment:
+// N=20 vehicles over C=20 sections, every link suffering 20% drops
+// plus duplication, reordering, random delay, and one scripted
+// partition window — while one vehicle departs mid-run and another
+// joins mid-run. The fleet must still reach the equilibrium: social
+// welfare within 1% of a fault-free run over the same final fleet.
+func TestConvergenceUnderChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos convergence takes seconds")
+	}
+	const n = 20
+	chaosPlan := func(seed int64) v2i.FaultConfig {
+		return v2i.FaultConfig{
+			DropRate:      0.20,
+			DuplicateRate: 0.10,
+			ReorderRate:   0.10,
+			MaxDelay:      2 * time.Millisecond,
+			Seed:          seed,
+		}
+	}
+
+	links := make(map[string]v2i.Transport, n)
+	fleet := make(map[string]*chaosFleet, n+1)
+	weights := make(map[string]float64, n+1)
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("ev-%02d", i)
+		gridCfg := chaosPlan(100 + int64(i))
+		if i == 5 {
+			// One link additionally goes fully dark for a stretch of
+			// send indices — a scripted partition mid-game.
+			gridCfg.Partitions = []v2i.SendWindow{{From: 30, To: 45}}
+		}
+		v := newChaosVehicle(t, i, id, gridCfg, chaosPlan(200+int64(i)))
+		fleet[id] = v
+		links[id] = v.faultyGrid
+		weights[id] = chaosWeight(i)
+	}
+
+	coord, err := NewCoordinator(CoordinatorConfig{
+		NumSections:      n,
+		LineCapacityKW:   53.55,
+		Cost:             nonlinearSpec(),
+		Tolerance:        1e-3,
+		MaxRounds:        100,
+		RoundTimeout:     25 * time.Millisecond,
+		MaxRetries:       8,
+		RetryBackoff:     3 * time.Millisecond,
+		SkipUnresponsive: true,
+		DropDeparted:     true,
+		EvictAfter:       10,
+		Seed:             7,
+	}, links)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	var (
+		wg         sync.WaitGroup
+		mu         sync.Mutex
+		agentStale int
+	)
+	runAgent := func(a *Agent) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, _ := a.Run(ctx)
+			mu.Lock()
+			agentStale += res.StaleDropped
+			mu.Unlock()
+		}()
+	}
+	for _, v := range fleet {
+		runAgent(v.agent)
+	}
+
+	// Churn, on a wall-clock script: ev-00 unplugs mid-iteration and a
+	// 21st vehicle arrives at the charging lane while the game runs.
+	joiner := newChaosVehicle(t, 20, "ev-20", chaosPlan(120), chaosPlan(220))
+	fleet["ev-20"] = joiner
+	weights["ev-20"] = chaosWeight(20)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		time.Sleep(150 * time.Millisecond)
+		_ = fleet["ev-00"].rawGrid.Close() // the vehicle drives off
+		time.Sleep(150 * time.Millisecond)
+		runAgent(joiner.agent)
+		if err := coord.Join("ev-20", joiner.faultyGrid); err != nil {
+			t.Errorf("mid-run join: %v", err)
+		}
+	}()
+
+	report, err := coord.Run(ctx)
+	for _, v := range fleet {
+		_ = v.rawGrid.Close()
+	}
+	wg.Wait()
+	if err != nil {
+		t.Fatalf("coordinator under chaos: %v", err)
+	}
+
+	if !report.Converged {
+		t.Fatalf("fleet did not converge under chaos: %+v", report)
+	}
+	if report.Departed != 1 {
+		t.Errorf("Departed = %d, want 1 (ev-00 unplugged)", report.Departed)
+	}
+	if report.Joined != 1 {
+		t.Errorf("Joined = %d, want 1 (ev-20 arrived)", report.Joined)
+	}
+	if report.Evicted != 0 {
+		t.Errorf("Evicted = %d, want 0 — retries should mask 20%% loss", report.Evicted)
+	}
+	if _, gone := report.Requests["ev-00"]; gone {
+		t.Error("departed ev-00 still holds power")
+	}
+	if p, ok := report.Requests["ev-20"]; !ok || p <= 0 {
+		t.Errorf("joined ev-20 unpowered: %v", report.Requests["ev-20"])
+	}
+	if len(report.Requests) != n {
+		t.Errorf("final fleet %d, want %d", len(report.Requests), n)
+	}
+
+	// The chaos must actually have fired, and the session-validation
+	// layer must have caught its symptoms on both sides.
+	var dropped, duplicated, reordered int
+	for _, v := range fleet {
+		dropped += v.faultyGrid.Dropped() + v.faultyVeh.Dropped()
+		duplicated += v.faultyGrid.Duplicated() + v.faultyVeh.Duplicated()
+		reordered += v.faultyGrid.Reordered() + v.faultyVeh.Reordered()
+	}
+	if dropped == 0 || duplicated == 0 || reordered == 0 {
+		t.Errorf("fault plan never fired: dropped=%d duplicated=%d reordered=%d",
+			dropped, duplicated, reordered)
+	}
+	if report.StaleDropped == 0 {
+		t.Error("coordinator accepted every frame despite duplication and reordering")
+	}
+	if agentStale == 0 {
+		t.Error("agents accepted every grid frame despite duplication and reordering")
+	}
+	if report.Retries == 0 {
+		t.Error("no exchange was ever re-quoted despite 20% loss")
+	}
+
+	// Baseline: the same final fleet (ev-01..ev-20) on clean links.
+	baseLinks := make(map[string]v2i.Transport, n)
+	var baseWG sync.WaitGroup
+	for i := 1; i <= 20; i++ {
+		id := fmt.Sprintf("ev-%02d", i)
+		gridSide, vehicleSide := v2i.NewPair(64)
+		baseLinks[id] = gridSide
+		agent, err := NewAgent(AgentConfig{
+			VehicleID:    id,
+			MaxPowerKW:   60,
+			Satisfaction: core.LogSatisfaction{Weight: chaosWeight(i)},
+		}, vehicleSide)
+		if err != nil {
+			t.Fatal(err)
+		}
+		baseWG.Add(1)
+		go func() {
+			defer baseWG.Done()
+			_, _ = agent.Run(ctx)
+		}()
+	}
+	base, err := NewCoordinator(CoordinatorConfig{
+		NumSections:    n,
+		LineCapacityKW: 53.55,
+		Cost:           nonlinearSpec(),
+		Tolerance:      1e-4,
+		MaxRounds:      200,
+		Seed:           7,
+	}, baseLinks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseReport, err := base.Run(ctx)
+	for _, l := range baseLinks {
+		_ = l.Close()
+	}
+	baseWG.Wait()
+	if err != nil || !baseReport.Converged {
+		t.Fatalf("clean baseline failed: %v %+v", err, baseReport)
+	}
+
+	wChaos := welfareOf(report, weights)
+	wBase := welfareOf(baseReport, weights)
+	if diff := math.Abs(wChaos - wBase); diff > 0.01*math.Abs(wBase) {
+		t.Errorf("welfare under chaos %v vs clean %v: off by %v (> 1%%)",
+			wChaos, wBase, diff)
+	}
+	t.Logf("chaos: rounds=%d retries=%d skipped=%d stale(coord)=%d stale(agents)=%d "+
+		"dropped=%d duplicated=%d reordered=%d W=%0.4f (clean W=%0.4f)",
+		report.Rounds, report.Retries, report.Skipped, report.StaleDropped, agentStale,
+		dropped, duplicated, reordered, wChaos, wBase)
+}
+
+// TestCrashRestartUnderChaos: the coordinator converges once over
+// lossy links and journals the result; the "restarted" coordinator
+// restores the checkpoint and re-converges on equally lossy links to
+// the same equilibrium.
+func TestCrashRestartUnderChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos convergence takes seconds")
+	}
+	journal := NewMemJournal()
+	const n = 6
+
+	episode := func(seedBase int64) (Report, *Coordinator) {
+		lightChaos := func(seed int64) v2i.FaultConfig {
+			return v2i.FaultConfig{
+				DropRate:      0.10,
+				DuplicateRate: 0.05,
+				ReorderRate:   0.05,
+				Seed:          seed,
+			}
+		}
+		links := make(map[string]v2i.Transport, n)
+		agents := make([]*Agent, 0, n)
+		for i := 0; i < n; i++ {
+			id := fmt.Sprintf("ev-%02d", i)
+			v := newChaosVehicle(t, i, id, lightChaos(seedBase+int64(i)), lightChaos(seedBase+50+int64(i)))
+			links[id] = v.faultyGrid
+			agents = append(agents, v.agent)
+		}
+		coord, err := NewCoordinator(CoordinatorConfig{
+			NumSections:      n,
+			LineCapacityKW:   53.55,
+			Cost:             nonlinearSpec(),
+			Tolerance:        1e-4,
+			MaxRounds:        100,
+			RoundTimeout:     25 * time.Millisecond,
+			MaxRetries:       8,
+			RetryBackoff:     2 * time.Millisecond,
+			SkipUnresponsive: true,
+			Journal:          journal,
+			Seed:             seedBase,
+		}, links)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		var wg sync.WaitGroup
+		for _, a := range agents {
+			wg.Add(1)
+			go func(a *Agent) {
+				defer wg.Done()
+				_, _ = a.Run(ctx)
+			}(a)
+		}
+		report, err := coord.Run(ctx)
+		for _, l := range links {
+			_ = l.Close()
+		}
+		wg.Wait()
+		if err != nil {
+			t.Fatalf("episode: %v", err)
+		}
+		return report, coord
+	}
+
+	first, c1 := episode(1000)
+	if !first.Converged || !first.CheckpointSaved {
+		t.Fatalf("episode 1 did not converge and journal: %+v", first)
+	}
+	if c1.Restored() {
+		t.Error("episode 1 restored from an empty journal")
+	}
+
+	second, c2 := episode(2000)
+	if !c2.Restored() {
+		t.Fatal("restarted coordinator ignored the checkpoint")
+	}
+	if !second.Converged {
+		t.Fatalf("restarted run did not converge: %+v", second)
+	}
+	for id, want := range first.Requests {
+		got := second.Requests[id]
+		if math.Abs(got-want) > 0.01*(1+want) {
+			t.Errorf("vehicle %s: post-restart %v vs pre-crash %v", id, got, want)
+		}
+	}
+}

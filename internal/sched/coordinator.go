@@ -5,6 +5,16 @@
 // satisfaction functions and best-respond. The in-memory transport
 // reproduces the paper's simulation; the TCP transport turns the same
 // protocol into an actual distributed system.
+//
+// The coordinator is hardened for deployment-grade conditions: every
+// quote is epoch-stamped so late, duplicated, or reordered
+// best-responses computed against an outdated background load are
+// detected and discarded rather than water-filled; retries back off
+// exponentially with jitter under a per-exchange deadline; vehicles
+// may join and leave mid-iteration; and a checkpoint journal lets a
+// restarted coordinator resume from the last converged schedule. See
+// DESIGN.md's "Failure model" section for how each mechanism maps to
+// a Theorem IV.1 assumption.
 package sched
 
 import (
@@ -13,6 +23,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"math/rand"
 	"net"
 	"sort"
 	"time"
@@ -69,22 +80,44 @@ type CoordinatorConfig struct {
 	Tolerance float64
 	// MaxRounds bounds the iteration; zero means 200.
 	MaxRounds int
-	// RoundTimeout bounds each per-vehicle exchange; zero means 5 s.
+	// RoundTimeout bounds each per-vehicle exchange attempt; zero
+	// means 5 s.
 	RoundTimeout time.Duration
 	// MaxRetries re-quotes a vehicle whose exchange timed out — the
 	// recovery for lossy V2I links; zero means 2.
 	MaxRetries int
+	// RetryBackoff is the base delay of the exponential backoff
+	// between re-quote attempts; the n-th retry waits roughly
+	// RetryBackoff·2^(n-1) with jitter. Zero means 10 ms.
+	RetryBackoff time.Duration
+	// ExchangeDeadline bounds one vehicle's whole turn, attempts and
+	// backoff together, so a single black-holed link cannot stall a
+	// round indefinitely. Zero derives it from RoundTimeout,
+	// MaxRetries, and RetryBackoff.
+	ExchangeDeadline time.Duration
 	// SkipUnresponsive keeps the round going when a vehicle exhausts
 	// its retries, leaving its previous schedule in place, instead of
 	// failing the run. The asynchronous dynamics tolerate missed
 	// turns (Theorem IV.1 only needs every OLEV to update eventually).
 	SkipUnresponsive bool
-	// DropDeparted removes a vehicle whose transport has closed —
-	// OLEVs leave the charging lane mid-game in any real deployment —
-	// zeroing its schedule and letting the remaining fleet re-converge
-	// instead of failing the run.
+	// EvictAfter is the per-vehicle circuit breaker: after this many
+	// consecutive failed turns the vehicle is treated as gone — its
+	// allocation is released and the fleet re-converges without it.
+	// Zero disables eviction. A positive EvictAfter implies skipping
+	// failed turns until the breaker trips.
+	EvictAfter int
+	// DropDeparted removes a vehicle whose transport has closed or
+	// that sent Bye — OLEVs leave the charging lane mid-game in any
+	// real deployment — zeroing its schedule and letting the remaining
+	// fleet re-converge instead of failing the run.
 	DropDeparted bool
-	// Seed shuffles the per-round update order.
+	// Journal, when set, persists the last converged schedule. A new
+	// coordinator warm-starts from it, and a run that exhausts
+	// MaxRounds without converging degrades to the journaled
+	// last-known-good schedule instead of keeping a half-settled one.
+	Journal Journal
+	// Seed shuffles the per-round update order and drives retry
+	// jitter.
 	Seed int64
 }
 
@@ -103,30 +136,65 @@ type Report struct {
 	TotalPowerKW float64
 	// Requests is each vehicle's final total, keyed by ID.
 	Requests map[string]float64
-	// Skipped counts vehicle turns abandoned after retry exhaustion
-	// (only non-zero with SkipUnresponsive).
+	// Skipped counts vehicle turns abandoned after retry exhaustion.
 	Skipped int
-	// Departed counts vehicles dropped after their transport closed
-	// (only non-zero with DropDeparted).
+	// Departed counts vehicles dropped after their transport closed or
+	// they sent Bye (only non-zero with DropDeparted).
 	Departed int
+	// Evicted counts vehicles removed by the circuit breaker after
+	// EvictAfter consecutive failed turns.
+	Evicted int
+	// Joined counts vehicles admitted mid-iteration via Join.
+	Joined int
 	// Retries counts re-quoted exchanges over the whole run.
 	Retries int
+	// StaleDropped counts frames the coordinator discarded instead of
+	// acting on: replayed/duplicated frames (non-monotonic sequence
+	// numbers) and best-responses to outdated quotes (epoch mismatch).
+	StaleDropped int
+	// FellBack reports that the run exhausted MaxRounds and the
+	// schedule was restored from the journaled last-known-good
+	// checkpoint.
+	FellBack bool
+	// CheckpointSaved reports that the converged schedule was
+	// journaled.
+	CheckpointSaved bool
+	// FinalEpoch is the schedule version at the end of the run.
+	FinalEpoch uint64
 }
 
-// Coordinator runs the smart-grid side of the protocol for a fixed
+// Coordinator runs the smart-grid side of the protocol for a dynamic
 // set of connected vehicles.
 type Coordinator struct {
 	cfg      CoordinatorConfig
 	cost     core.CostFunction
 	links    map[string]v2i.Transport
 	schedule map[string][]float64
+
+	// epoch is the schedule version: it advances on every install,
+	// join, departure, and eviction, so any quote stamped with an
+	// older epoch is known to describe a background load that no
+	// longer exists.
+	epoch uint64
+	// lastSeq is the highest envelope sequence number accepted per
+	// vehicle; frames at or below it are replays.
+	lastSeq map[string]uint64
+	// consecFails drives the per-vehicle circuit breaker.
+	consecFails map[string]int
+
+	joins    chan pendingJoin
+	rng      *rand.Rand
 	seq      uint64
 	retries  int
+	stale    int
+	restored bool
 }
 
 // NewCoordinator validates the configuration and builds a coordinator.
 // links maps vehicle IDs to their established transports; the caller
-// owns accepting connections (see ServeTCP for the listener loop).
+// owns accepting connections (see ServeTCP for the listener loop). If
+// the configured Journal holds a compatible checkpoint, the schedule
+// warm-starts from it.
 func NewCoordinator(cfg CoordinatorConfig, links map[string]v2i.Transport) (*Coordinator, error) {
 	if cfg.NumSections < 1 {
 		return nil, fmt.Errorf("sched: need sections, got %d", cfg.NumSections)
@@ -153,25 +221,61 @@ func NewCoordinator(cfg CoordinatorConfig, links map[string]v2i.Transport) (*Coo
 	if cfg.MaxRetries <= 0 {
 		cfg.MaxRetries = 2
 	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 10 * time.Millisecond
+	}
+	if cfg.ExchangeDeadline <= 0 {
+		attempts := time.Duration(cfg.MaxRetries + 1)
+		cfg.ExchangeDeadline = attempts*cfg.RoundTimeout + attempts*maxBackoffStep*cfg.RetryBackoff
+	}
 	c := &Coordinator{
-		cfg:      cfg,
-		cost:     cost,
-		links:    links,
-		schedule: make(map[string][]float64, len(links)),
+		cfg:         cfg,
+		cost:        cost,
+		links:       links,
+		schedule:    make(map[string][]float64, len(links)),
+		epoch:       1,
+		lastSeq:     make(map[string]uint64, len(links)),
+		consecFails: make(map[string]int, len(links)),
+		joins:       make(chan pendingJoin, joinQueueDepth),
+		rng:         stats.NewRand(cfg.Seed),
 	}
 	for id := range links {
 		c.schedule[id] = make([]float64, cfg.NumSections)
 	}
+	if cfg.Journal != nil {
+		if cp, ok, err := cfg.Journal.Load(); err == nil && ok && c.restoreCheckpoint(cp) {
+			c.restored = true
+		}
+	}
 	return c, nil
 }
 
+// Restored reports whether construction warm-started the schedule
+// from a journaled checkpoint.
+func (c *Coordinator) Restored() bool { return c.restored }
+
+// Close tears down every vehicle link. Call it once the session is
+// over (after the final Run): a closed link is the one end-of-session
+// signal a lossy network cannot swallow, so agents whose Converged or
+// Bye frames were dropped still exit cleanly. A closed coordinator
+// must not Run again.
+func (c *Coordinator) Close() error {
+	for _, link := range c.links {
+		_ = link.Close()
+	}
+	return nil
+}
+
+// Epoch returns the current schedule version.
+func (c *Coordinator) Epoch() uint64 { return c.epoch }
+
 // Run drives the asynchronous best-response iteration: each round it
-// visits every vehicle in a shuffled order, quotes Ψ_n against the
-// frozen others, waits for the vehicle's request, and installs the
-// water-filled schedule. It stops when requests settle or MaxRounds
-// is reached, then broadcasts Converged and Bye.
+// admits pending joins, visits every vehicle in a shuffled order,
+// quotes Ψ_n against the frozen others, waits for a fresh (current
+// epoch, monotonic sequence) request, and installs the water-filled
+// schedule. It stops when requests settle or MaxRounds is reached,
+// then broadcasts Converged and Bye.
 func (c *Coordinator) Run(ctx context.Context) (Report, error) {
-	rng := stats.NewRand(c.cfg.Seed)
 	ids := make([]string, 0, len(c.links))
 	for id := range c.links {
 		ids = append(ids, id)
@@ -180,33 +284,48 @@ func (c *Coordinator) Run(ctx context.Context) (Report, error) {
 
 	report := Report{Requests: make(map[string]float64, len(ids))}
 	for round := 1; round <= c.cfg.MaxRounds; round++ {
-		rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+		ids = append(ids, c.admitJoins(&report)...)
+		c.rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
 		var maxDelta float64
-		departed := make(map[string]bool)
+		roundSkipped := 0
+		removed := make(map[string]bool)
 		for _, id := range ids {
 			delta, err := c.updateWithRetries(ctx, id, round)
 			switch {
 			case err == nil:
+				c.consecFails[id] = 0
 				maxDelta = math.Max(maxDelta, delta)
 			case c.cfg.DropDeparted && isDeparture(err) && ctx.Err() == nil:
 				// The vehicle left: free its power and let the rest
 				// re-converge. The released capacity is a real change,
 				// so the round cannot be the converged one.
-				departed[id] = true
+				removed[id] = true
 				if c.removeVehicle(id) > 0 {
 					maxDelta = math.Max(maxDelta, c.cfg.Tolerance*2)
 				}
 				report.Departed++
-			case c.cfg.SkipUnresponsive && ctx.Err() == nil:
+			case c.breakerTrips(id) && ctx.Err() == nil:
+				// Circuit breaker: the vehicle has failed EvictAfter
+				// consecutive turns; treat it as gone so its stranded
+				// allocation stops distorting everyone else's price.
+				c.sayBye(ctx, id, "evicted")
+				removed[id] = true
+				if c.removeVehicle(id) > 0 {
+					maxDelta = math.Max(maxDelta, c.cfg.Tolerance*2)
+				}
+				report.Evicted++
+			case (c.cfg.SkipUnresponsive || c.cfg.EvictAfter > 0) && ctx.Err() == nil:
+				c.consecFails[id]++
 				report.Skipped++
+				roundSkipped++
 			default:
 				return report, fmt.Errorf("sched: round %d vehicle %s: %w", round, id, err)
 			}
 		}
-		if len(departed) > 0 {
+		if len(removed) > 0 {
 			kept := ids[:0]
 			for _, id := range ids {
-				if !departed[id] {
+				if !removed[id] {
 					kept = append(kept, id)
 				}
 			}
@@ -217,7 +336,12 @@ func (c *Coordinator) Run(ctx context.Context) (Report, error) {
 			report.Converged = true
 			break
 		}
-		if maxDelta < c.cfg.Tolerance {
+		// A skipped vehicle's best response is unknown, so a round with
+		// skips cannot be the converged one — only a full clean round
+		// with no movement settles the game. A vehicle waiting to join
+		// also blocks convergence: it enters next round and perturbs
+		// the schedule.
+		if maxDelta < c.cfg.Tolerance && roundSkipped == 0 && len(c.joins) == 0 {
 			report.Converged = true
 			break
 		}
@@ -226,7 +350,14 @@ func (c *Coordinator) Run(ctx context.Context) (Report, error) {
 		}
 	}
 
+	if report.Converged {
+		report.CheckpointSaved = c.saveCheckpoint(report.Rounds)
+	} else if c.fallBackToLastGood() {
+		report.FellBack = true
+	}
 	report.Retries = c.retries
+	report.StaleDropped = c.stale
+	report.FinalEpoch = c.epoch
 	report.CongestionDegree = c.CongestionDegree()
 	report.TotalPowerKW = c.totalPower()
 	report.WelfareCost = c.welfareCost()
@@ -237,83 +368,124 @@ func (c *Coordinator) Run(ctx context.Context) (Report, error) {
 	return report, nil
 }
 
-// AddVehicle registers a new vehicle between episodes (a Coordinator
-// may Run repeatedly as the fleet on the charging lane turns over).
-// It must not be called while Run is executing; the coordinator is
-// deliberately single-threaded, like the smart grid it models.
-func (c *Coordinator) AddVehicle(id string, link v2i.Transport) error {
-	if id == "" {
-		return errors.New("sched: vehicle needs an ID")
-	}
-	if link == nil {
-		return errors.New("sched: vehicle needs a transport")
-	}
-	if _, dup := c.links[id]; dup {
-		return fmt.Errorf("sched: vehicle %q already registered", id)
-	}
-	c.links[id] = link
-	c.schedule[id] = make([]float64, c.cfg.NumSections)
-	return nil
-}
-
-// NumVehicles returns the currently registered fleet size.
-func (c *Coordinator) NumVehicles() int { return len(c.links) }
-
 // isDeparture reports whether an exchange failure means the vehicle's
 // link is gone for good (as opposed to a transient timeout): a closed
-// in-memory pair or a closed/ended TCP connection.
+// in-memory pair, a closed/ended TCP connection, or an explicit Bye.
 func isDeparture(err error) bool {
 	return errors.Is(err, v2i.ErrClosed) || errors.Is(err, io.EOF) ||
-		errors.Is(err, net.ErrClosed)
+		errors.Is(err, net.ErrClosed) || errors.Is(err, errVehicleLeft)
 }
 
-// removeVehicle zeroes a departed vehicle's schedule and closes its
-// link, returning the power it released.
+// errVehicleLeft marks a Bye received where a Request was expected.
+var errVehicleLeft = errors.New("sched: vehicle sent bye")
+
+// breakerTrips reports whether this failed turn is the vehicle's
+// EvictAfter-th consecutive failure.
+func (c *Coordinator) breakerTrips(id string) bool {
+	return c.cfg.EvictAfter > 0 && c.consecFails[id]+1 >= c.cfg.EvictAfter
+}
+
+// removeVehicle zeroes a departed vehicle's schedule, forgets its
+// session state, and closes its link, returning the power it released.
+// Releasing power changes every other vehicle's background load, so
+// the epoch advances.
 func (c *Coordinator) removeVehicle(id string) float64 {
 	released := sum(c.schedule[id])
 	delete(c.schedule, id)
+	delete(c.lastSeq, id)
+	delete(c.consecFails, id)
 	if link, ok := c.links[id]; ok {
 		_ = link.Close()
 		delete(c.links, id)
 	}
+	c.epoch++
 	return released
 }
 
-// updateWithRetries drives updateOne, re-quoting after timeouts up to
-// MaxRetries times. A lost quote, request or schedule frame all look
-// the same from here — a timed-out exchange — and a fresh quote
-// resynchronizes both sides, because agents answer every quote
-// independently.
+// sayBye sends a best-effort Bye before an eviction so a live but
+// unlucky agent exits cleanly instead of blocking on Recv forever.
+func (c *Coordinator) sayBye(ctx context.Context, id, reason string) {
+	link, ok := c.links[id]
+	if !ok {
+		return
+	}
+	bctx, cancel := context.WithTimeout(ctx, c.cfg.RoundTimeout)
+	defer cancel()
+	c.seq++
+	if env, err := v2i.Seal(v2i.TypeBye, "smart-grid", c.seq, v2i.Bye{Reason: reason}); err == nil {
+		_ = link.Send(bctx, env)
+	}
+}
+
+// maxBackoffStep caps the exponential backoff at 2^maxBackoffStep
+// times the base delay.
+const maxBackoffStep = 5
+
+// updateWithRetries drives updateOne, re-quoting after timeouts with
+// exponential backoff and jitter, bounded by both MaxRetries and the
+// per-vehicle ExchangeDeadline. A lost quote, request or schedule
+// frame all look the same from here — a timed-out exchange — and a
+// fresh quote resynchronizes both sides, because agents answer every
+// quote independently and stale answers are filtered by epoch.
 func (c *Coordinator) updateWithRetries(ctx context.Context, id string, round int) (float64, error) {
+	deadline := time.Now().Add(c.cfg.ExchangeDeadline)
 	var lastErr error
 	for attempt := 0; attempt <= c.cfg.MaxRetries; attempt++ {
 		if attempt > 0 {
 			c.retries++
+			if err := c.backoff(ctx, attempt); err != nil {
+				break
+			}
+			if time.Now().After(deadline) {
+				break
+			}
 		}
 		delta, err := c.updateOne(ctx, id, round)
 		if err == nil {
 			return delta, nil
 		}
 		lastErr = err
-		if ctx.Err() != nil {
-			break // the run itself is over; don't burn retries
+		if ctx.Err() != nil || isDeparture(err) {
+			break // the run is over or the vehicle is gone; don't burn retries
 		}
 	}
 	return 0, lastErr
 }
 
+// backoff sleeps RetryBackoff·2^(attempt−1) with jitter in the upper
+// half of the interval, so re-quotes from many stressed links spread
+// out instead of synchronizing.
+func (c *Coordinator) backoff(ctx context.Context, attempt int) error {
+	shift := attempt - 1
+	if shift > maxBackoffStep {
+		shift = maxBackoffStep
+	}
+	ceil := c.cfg.RetryBackoff << shift
+	d := ceil/2 + time.Duration(c.rng.Int63n(int64(ceil/2)+1))
+	select {
+	case <-time.After(d):
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
 // updateOne performs one vehicle's quote → request → schedule exchange
-// and returns |Δp_n|.
+// and returns |Δp_n|. The receive side filters the realities of a
+// lossy link: replayed frames (sequence number at or below the last
+// accepted one) and best-responses to an outdated quote (epoch
+// mismatch) are counted and discarded, never water-filled.
 func (c *Coordinator) updateOne(ctx context.Context, id string, round int) (float64, error) {
 	link := c.links[id]
 	others := c.othersTotals(id)
+	epoch := c.epoch
 
 	rctx, cancel := context.WithTimeout(ctx, c.cfg.RoundTimeout)
 	defer cancel()
 
 	c.seq++
 	env, err := v2i.Seal(v2i.TypeQuote, "smart-grid", c.seq, v2i.Quote{
-		VehicleID: id, Others: others, Cost: c.cfg.Cost, Round: round,
+		VehicleID: id, Others: others, Cost: c.cfg.Cost, Round: round, Epoch: epoch,
 	})
 	if err != nil {
 		return 0, err
@@ -322,13 +494,32 @@ func (c *Coordinator) updateOne(ctx context.Context, id string, round int) (floa
 		return 0, fmt.Errorf("send quote: %w", err)
 	}
 
-	reply, err := link.Recv(rctx)
-	if err != nil {
-		return 0, fmt.Errorf("recv request: %w", err)
-	}
 	var req v2i.Request
-	if err := v2i.Open(reply, v2i.TypeRequest, &req); err != nil {
-		return 0, err
+	for {
+		reply, err := link.Recv(rctx)
+		if err != nil {
+			return 0, fmt.Errorf("recv request: %w", err)
+		}
+		if reply.Type == v2i.TypeBye {
+			return 0, errVehicleLeft
+		}
+		if reply.Seq <= c.lastSeq[id] {
+			c.stale++ // duplicated or replayed frame
+			continue
+		}
+		c.lastSeq[id] = reply.Seq
+		if reply.Type != v2i.TypeRequest {
+			c.stale++ // e.g. a re-sent Hello; not this exchange's answer
+			continue
+		}
+		if err := v2i.Open(reply, v2i.TypeRequest, &req); err != nil {
+			return 0, err
+		}
+		if req.Epoch != epoch {
+			c.stale++ // best-response against an outdated background load
+			continue
+		}
+		break
 	}
 	if req.TotalKW < 0 || math.IsNaN(req.TotalKW) || math.IsInf(req.TotalKW, 0) {
 		return 0, fmt.Errorf("invalid request %v", req.TotalKW)
@@ -342,6 +533,7 @@ func (c *Coordinator) updateOne(ctx context.Context, id string, round int) (floa
 		alloc, _ = core.WaterFill(others, req.TotalKW)
 	}
 	c.schedule[id] = alloc
+	c.epoch++ // the background load everyone else was quoted has moved
 
 	payment := core.Payment(c.costVector(), others, alloc)
 	c.seq++
@@ -355,6 +547,63 @@ func (c *Coordinator) updateOne(ctx context.Context, id string, round int) (floa
 		return 0, fmt.Errorf("send schedule: %w", err)
 	}
 	return math.Abs(req.TotalKW - before), nil
+}
+
+// saveCheckpoint journals the converged schedule as the new
+// last-known-good. Persistence is best-effort: a journal write
+// failure degrades crash recovery, not the live run.
+func (c *Coordinator) saveCheckpoint(round int) bool {
+	if c.cfg.Journal == nil {
+		return false
+	}
+	cp := Checkpoint{
+		Epoch:       c.epoch,
+		Round:       round,
+		NumSections: c.cfg.NumSections,
+		Schedule:    make(map[string][]float64, len(c.schedule)),
+	}
+	for id, row := range c.schedule {
+		r := make([]float64, len(row))
+		copy(r, row)
+		cp.Schedule[id] = r
+	}
+	return c.cfg.Journal.Save(cp) == nil
+}
+
+// fallBackToLastGood replaces a half-settled schedule with the
+// journaled last converged one after MaxRounds ran out: the grid
+// degrades to the previous feasible operating point instead of
+// serving an un-converged schedule.
+func (c *Coordinator) fallBackToLastGood() bool {
+	if c.cfg.Journal == nil {
+		return false
+	}
+	cp, ok, err := c.cfg.Journal.Load()
+	if err != nil || !ok {
+		return false
+	}
+	return c.restoreCheckpoint(cp)
+}
+
+// restoreCheckpoint copies a compatible checkpoint's rows over the
+// current fleet: vehicles present in both keep their journaled
+// allocation, vehicles unknown to the checkpoint reset to zero.
+func (c *Coordinator) restoreCheckpoint(cp Checkpoint) bool {
+	if cp.NumSections != c.cfg.NumSections {
+		return false
+	}
+	for id := range c.schedule {
+		row := make([]float64, c.cfg.NumSections)
+		if saved, ok := cp.Schedule[id]; ok && len(saved) == c.cfg.NumSections {
+			copy(row, saved)
+		}
+		c.schedule[id] = row
+	}
+	if cp.Epoch >= c.epoch {
+		c.epoch = cp.Epoch
+	}
+	c.epoch++
+	return true
 }
 
 // broadcastDone tells every agent the game is over. Failures here are

@@ -72,8 +72,8 @@ func TestDepartingVehicleDropped(t *testing.T) {
 			if err := v2i.Open(env, v2i.TypeQuote, &q); err != nil {
 				return
 			}
-			out, err := v2i.Seal(v2i.TypeRequest, "ev-00", uint64(round), v2i.Request{
-				VehicleID: "ev-00", TotalKW: 55, Round: q.Round,
+			out, err := v2i.Seal(v2i.TypeRequest, "ev-00", uint64(round+1), v2i.Request{
+				VehicleID: "ev-00", TotalKW: 55, Round: q.Round, Epoch: q.Epoch,
 			})
 			if err != nil {
 				return

@@ -1,0 +1,137 @@
+package sched
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Checkpoint is the coordinator's durable state: the last schedule
+// that actually converged, stamped with the epoch it was installed
+// under. It is what a restarted coordinator warm-starts from and what
+// a round that exhausts MaxRounds degrades to.
+type Checkpoint struct {
+	// Epoch is the schedule version at save time.
+	Epoch uint64 `json:"epoch"`
+	// Round is the round the schedule converged on.
+	Round int `json:"round"`
+	// NumSections guards against restoring into a differently shaped
+	// roadway.
+	NumSections int `json:"num_sections"`
+	// Schedule is each vehicle's per-section allocation.
+	Schedule map[string][]float64 `json:"schedule"`
+}
+
+// clone deep-copies the checkpoint's schedule so journal readers and
+// the live coordinator never share rows.
+func (cp Checkpoint) clone() Checkpoint {
+	out := cp
+	out.Schedule = make(map[string][]float64, len(cp.Schedule))
+	for id, row := range cp.Schedule {
+		r := make([]float64, len(row))
+		copy(r, row)
+		out.Schedule[id] = r
+	}
+	return out
+}
+
+// Journal persists coordinator checkpoints across crashes.
+// Implementations must be safe for concurrent use.
+type Journal interface {
+	// Save replaces the stored checkpoint.
+	Save(cp Checkpoint) error
+	// Load returns the stored checkpoint; ok is false when nothing has
+	// been saved yet.
+	Load() (cp Checkpoint, ok bool, err error)
+}
+
+// MemJournal is an in-process Journal for tests and single-process
+// simulations.
+type MemJournal struct {
+	mu sync.Mutex
+	cp *Checkpoint
+}
+
+var _ Journal = (*MemJournal)(nil)
+
+// NewMemJournal returns an empty in-memory journal.
+func NewMemJournal() *MemJournal { return &MemJournal{} }
+
+// Save implements Journal.
+func (j *MemJournal) Save(cp Checkpoint) error {
+	c := cp.clone()
+	j.mu.Lock()
+	j.cp = &c
+	j.mu.Unlock()
+	return nil
+}
+
+// Load implements Journal.
+func (j *MemJournal) Load() (Checkpoint, bool, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.cp == nil {
+		return Checkpoint{}, false, nil
+	}
+	return j.cp.clone(), true, nil
+}
+
+// FileJournal persists checkpoints as JSON, writing through a
+// temporary file and rename so a crash mid-save never corrupts the
+// last good checkpoint.
+type FileJournal struct {
+	mu   sync.Mutex
+	path string
+}
+
+var _ Journal = (*FileJournal)(nil)
+
+// NewFileJournal journals to path; the file is created on first Save.
+func NewFileJournal(path string) *FileJournal { return &FileJournal{path: path} }
+
+// Save implements Journal.
+func (j *FileJournal) Save(cp Checkpoint) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	raw, err := json.Marshal(cp)
+	if err != nil {
+		return fmt.Errorf("sched: marshal checkpoint: %w", err)
+	}
+	dir := filepath.Dir(j.path)
+	tmp, err := os.CreateTemp(dir, ".checkpoint-*.tmp")
+	if err != nil {
+		return fmt.Errorf("sched: checkpoint temp: %w", err)
+	}
+	defer func() { _ = os.Remove(tmp.Name()) }()
+	if _, err := tmp.Write(raw); err != nil {
+		_ = tmp.Close()
+		return fmt.Errorf("sched: checkpoint write: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("sched: checkpoint close: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), j.path); err != nil {
+		return fmt.Errorf("sched: checkpoint rename: %w", err)
+	}
+	return nil
+}
+
+// Load implements Journal.
+func (j *FileJournal) Load() (Checkpoint, bool, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	raw, err := os.ReadFile(j.path)
+	if os.IsNotExist(err) {
+		return Checkpoint{}, false, nil
+	}
+	if err != nil {
+		return Checkpoint{}, false, fmt.Errorf("sched: checkpoint read: %w", err)
+	}
+	var cp Checkpoint
+	if err := json.Unmarshal(raw, &cp); err != nil {
+		return Checkpoint{}, false, fmt.Errorf("sched: checkpoint decode: %w", err)
+	}
+	return cp, true, nil
+}

@@ -1,0 +1,322 @@
+package sched
+
+import (
+	"context"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"olevgrid/internal/core"
+	"olevgrid/internal/v2i"
+)
+
+// scriptReply answers the next quote on link with the given total,
+// echoing the quote's epoch, using the given envelope seq. It returns
+// the received quote.
+func scriptReply(t *testing.T, ctx context.Context, link v2i.Transport, seq uint64, total float64) v2i.Quote {
+	t.Helper()
+	env, err := link.Recv(ctx)
+	if err != nil {
+		t.Fatalf("script recv quote: %v", err)
+	}
+	var q v2i.Quote
+	if err := v2i.Open(env, v2i.TypeQuote, &q); err != nil {
+		t.Fatalf("script open quote: %v", err)
+	}
+	out, err := v2i.Seal(v2i.TypeRequest, q.VehicleID, seq, v2i.Request{
+		VehicleID: q.VehicleID, TotalKW: total, Round: q.Round, Epoch: q.Epoch,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := link.Send(ctx, out); err != nil {
+		t.Fatalf("script send request: %v", err)
+	}
+	return q
+}
+
+// drainUntilClosed consumes remaining grid frames (schedule,
+// converged, bye) so the coordinator never blocks on a full buffer.
+func drainUntilClosed(ctx context.Context, link v2i.Transport) {
+	for {
+		if _, err := link.Recv(ctx); err != nil {
+			return
+		}
+	}
+}
+
+// TestReplayedRequestDiscarded is the regression for the seed's
+// unchecked Envelope.Seq: a vehicle (or a duplicating link) replays
+// its round-1 request frame verbatim. The coordinator must reject the
+// replay by its non-monotonic sequence number instead of treating it
+// as the answer to the round-2 quote.
+func TestReplayedRequestDiscarded(t *testing.T) {
+	gridSide, vehicleSide := v2i.NewPair(16)
+	coord, err := NewCoordinator(CoordinatorConfig{
+		NumSections:    4,
+		LineCapacityKW: 53.55,
+		Cost:           nonlinearSpec(),
+		Tolerance:      1e-3,
+		MaxRounds:      10,
+		RoundTimeout:   2 * time.Second,
+	}, map[string]v2i.Transport{"manual": gridSide})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		// Round 1: answer with seq 1, then replay the exact frame.
+		env, err := vehicleSide.Recv(ctx)
+		if err != nil {
+			return
+		}
+		var q v2i.Quote
+		if err := v2i.Open(env, v2i.TypeQuote, &q); err != nil {
+			return
+		}
+		out, err := v2i.Seal(v2i.TypeRequest, "manual", 1, v2i.Request{
+			VehicleID: "manual", TotalKW: 55, Round: q.Round, Epoch: q.Epoch,
+		})
+		if err != nil {
+			return
+		}
+		_ = vehicleSide.Send(ctx, out)
+		_ = vehicleSide.Send(ctx, out) // the replayed frame
+		if _, err := vehicleSide.Recv(ctx); err != nil {
+			return // schedule msg
+		}
+		// Round 2: a stale best-response first (old epoch, absurd
+		// total), then the genuine answer.
+		env, err = vehicleSide.Recv(ctx)
+		if err != nil {
+			return
+		}
+		var q2 v2i.Quote
+		if err := v2i.Open(env, v2i.TypeQuote, &q2); err != nil {
+			return
+		}
+		stale, err := v2i.Seal(v2i.TypeRequest, "manual", 3, v2i.Request{
+			VehicleID: "manual", TotalKW: 99, Round: q2.Round, Epoch: q.Epoch,
+		})
+		if err != nil {
+			return
+		}
+		_ = vehicleSide.Send(ctx, stale)
+		fresh, err := v2i.Seal(v2i.TypeRequest, "manual", 4, v2i.Request{
+			VehicleID: "manual", TotalKW: 55, Round: q2.Round, Epoch: q2.Epoch,
+		})
+		if err != nil {
+			return
+		}
+		_ = vehicleSide.Send(ctx, fresh)
+		drainUntilClosed(ctx, vehicleSide)
+	}()
+
+	report, err := coord.Run(ctx)
+	if err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+	_ = gridSide.Close()
+	wg.Wait()
+
+	if !report.Converged {
+		t.Errorf("did not converge: %+v", report)
+	}
+	// One replayed frame + one stale-epoch frame were discarded.
+	if report.StaleDropped != 2 {
+		t.Errorf("StaleDropped = %d, want 2", report.StaleDropped)
+	}
+	// The stale 99 kW answer must never have been water-filled.
+	if got := report.Requests["manual"]; math.Abs(got-55) > 1e-9 {
+		t.Errorf("final request %v, want 55 (stale 99 must be discarded)", got)
+	}
+}
+
+// TestCircuitBreakerEvictsSilentVehicle: a vehicle that stops
+// answering is skipped, then evicted after EvictAfter consecutive
+// failed turns, and the rest of the fleet converges without it.
+func TestCircuitBreakerEvictsSilentVehicle(t *testing.T) {
+	goodGrid, goodVehicle := v2i.NewPair(16)
+	silentGrid, _ := v2i.NewPair(16)
+	agent, err := NewAgent(AgentConfig{
+		VehicleID:    "good",
+		MaxPowerKW:   60,
+		Satisfaction: core.LogSatisfaction{Weight: 1},
+	}, goodVehicle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, err := NewCoordinator(CoordinatorConfig{
+		NumSections:    4,
+		LineCapacityKW: 53.55,
+		Cost:           nonlinearSpec(),
+		Tolerance:      1e-3,
+		MaxRounds:      30,
+		RoundTimeout:   50 * time.Millisecond,
+		MaxRetries:     1,
+		RetryBackoff:   2 * time.Millisecond,
+		EvictAfter:     2,
+	}, map[string]v2i.Transport{"good": goodGrid, "silent": silentGrid})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _ = agent.Run(ctx)
+	}()
+	report, err := coord.Run(ctx)
+	_ = goodGrid.Close()
+	wg.Wait()
+	if err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+
+	if report.Evicted != 1 {
+		t.Errorf("Evicted = %d, want 1", report.Evicted)
+	}
+	if report.Skipped == 0 {
+		t.Error("breaker tripped without any skipped turn first")
+	}
+	if !report.Converged {
+		t.Errorf("fleet did not converge after eviction: %+v", report)
+	}
+	if _, stillThere := report.Requests["silent"]; stillThere {
+		t.Error("evicted vehicle still holds a schedule")
+	}
+	if report.Requests["good"] <= 0 {
+		t.Error("surviving vehicle got no power")
+	}
+}
+
+// TestMidIterationJoin: a vehicle joining while the game is running
+// enters at the next round boundary with a fresh quote, perturbs the
+// schedule, and the enlarged fleet converges.
+func TestMidIterationJoin(t *testing.T) {
+	scriptGrid, scriptVehicle := v2i.NewPair(16)
+	bGrid, bVehicle := v2i.NewPair(16)
+	cGrid, cVehicle := v2i.NewPair(16)
+
+	coord, err := NewCoordinator(CoordinatorConfig{
+		NumSections:    5,
+		LineCapacityKW: 53.55,
+		Cost:           nonlinearSpec(),
+		Tolerance:      1e-3,
+		MaxRounds:      50,
+		RoundTimeout:   2 * time.Second,
+	}, map[string]v2i.Transport{"script": scriptGrid, "b": bGrid})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+
+	mkRun := func(id string, side v2i.Transport) {
+		agent, err := NewAgent(AgentConfig{
+			VehicleID:    id,
+			MaxPowerKW:   60,
+			Satisfaction: core.LogSatisfaction{Weight: 1},
+		}, side)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _ = agent.Run(ctx)
+		}()
+	}
+	mkRun("b", bVehicle)
+	mkRun("c", cVehicle)
+
+	// The script vehicle requests a fixed total; on its round-2 turn it
+	// enqueues the join of "c" between receiving the quote and sending
+	// the reply — the coordinator is provably still mid-iteration,
+	// blocked on this exchange, when the join lands.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		scriptReply(t, ctx, scriptVehicle, 1, 30)
+		if _, err := scriptVehicle.Recv(ctx); err != nil { // schedule
+			return
+		}
+		env, err := scriptVehicle.Recv(ctx)
+		if err != nil {
+			return
+		}
+		var q2 v2i.Quote
+		if err := v2i.Open(env, v2i.TypeQuote, &q2); err != nil {
+			t.Errorf("round-2 frame is not a quote: %v", err)
+			return
+		}
+		if err := coord.Join("c", cGrid); err != nil {
+			t.Errorf("join: %v", err)
+		}
+		out, err := v2i.Seal(v2i.TypeRequest, "script", 2, v2i.Request{
+			VehicleID: "script", TotalKW: 30, Round: q2.Round, Epoch: q2.Epoch,
+		})
+		if err != nil {
+			return
+		}
+		if err := scriptVehicle.Send(ctx, out); err != nil {
+			return
+		}
+		seq := uint64(2)
+		for {
+			seq++
+			env, err := scriptVehicle.Recv(ctx)
+			if err != nil {
+				return
+			}
+			var q v2i.Quote
+			if err := v2i.Open(env, v2i.TypeQuote, &q); err != nil {
+				continue // schedule/converged/bye
+			}
+			out, err := v2i.Seal(v2i.TypeRequest, "script", seq, v2i.Request{
+				VehicleID: "script", TotalKW: 30, Round: q.Round, Epoch: q.Epoch,
+			})
+			if err != nil {
+				return
+			}
+			if err := scriptVehicle.Send(ctx, out); err != nil {
+				return
+			}
+		}
+	}()
+
+	report, err := coord.Run(ctx)
+	for _, l := range []v2i.Transport{scriptGrid, bGrid, cGrid} {
+		_ = l.Close()
+	}
+	wg.Wait()
+	if err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+
+	if report.Joined != 1 {
+		t.Errorf("Joined = %d, want 1", report.Joined)
+	}
+	if !report.Converged {
+		t.Errorf("did not converge after join: %+v", report)
+	}
+	if p, ok := report.Requests["c"]; !ok || p <= 0 {
+		t.Errorf("joiner unpowered: %+v", report.Requests)
+	}
+	if len(report.Requests) != 3 {
+		t.Errorf("final fleet %d, want 3", len(report.Requests))
+	}
+}

@@ -1,0 +1,156 @@
+package v2i
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// recvAll drains b until it goes quiet, returning the observed
+// sequence numbers in arrival order.
+func recvAll(t *testing.T, b Transport) []uint64 {
+	t.Helper()
+	var seqs []uint64
+	for {
+		ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+		env, err := b.Recv(ctx)
+		cancel()
+		if err != nil {
+			return seqs
+		}
+		seqs = append(seqs, env.Seq)
+	}
+}
+
+func sendSeq(t *testing.T, tr Transport, seq uint64) {
+	t.Helper()
+	env, err := Seal(TypeRequest, "ev", seq, Request{TotalKW: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Send(context.Background(), env); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFaultyDuplicatesEveryFrame(t *testing.T) {
+	a, b := NewPair(64)
+	defer func() { _ = a.Close() }()
+	lossy := NewFaulty(a, FaultConfig{DuplicateRate: 1, Seed: 1})
+
+	const sends = 5
+	for i := 1; i <= sends; i++ {
+		sendSeq(t, lossy, uint64(i))
+	}
+	if got := lossy.Duplicated(); got != sends {
+		t.Errorf("Duplicated() = %d, want %d", got, sends)
+	}
+	seqs := recvAll(t, b)
+	if len(seqs) != 2*sends {
+		t.Fatalf("received %d frames, want %d", len(seqs), 2*sends)
+	}
+	for i := 0; i < sends; i++ {
+		if seqs[2*i] != seqs[2*i+1] {
+			t.Errorf("frame %d not duplicated back-to-back: %v", i, seqs)
+		}
+	}
+}
+
+func TestFaultyReordersAdjacentFrames(t *testing.T) {
+	a, b := NewPair(64)
+	defer func() { _ = a.Close() }()
+	lossy := NewFaulty(a, FaultConfig{ReorderRate: 1, Seed: 1})
+
+	// With certain reordering and one held slot, frames pair-swap:
+	// 1 is held, 2 delivers, 1 flushes; 3 is held, 4 delivers, ...
+	for i := 1; i <= 4; i++ {
+		sendSeq(t, lossy, uint64(i))
+	}
+	seqs := recvAll(t, b)
+	want := []uint64{2, 1, 4, 3}
+	if len(seqs) != len(want) {
+		t.Fatalf("received %v, want %v", seqs, want)
+	}
+	for i := range want {
+		if seqs[i] != want[i] {
+			t.Fatalf("received %v, want %v", seqs, want)
+		}
+	}
+	if got := lossy.Reordered(); got != 2 {
+		t.Errorf("Reordered() = %d, want 2", got)
+	}
+}
+
+func TestFaultyHeldFrameDiesWithLink(t *testing.T) {
+	a, b := NewPair(4)
+	lossy := NewFaulty(a, FaultConfig{ReorderRate: 1, Seed: 1})
+	sendSeq(t, lossy, 1) // held
+	if err := lossy.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if seqs := recvAll(t, b); len(seqs) != 0 {
+		t.Errorf("held frame escaped a closed link: %v", seqs)
+	}
+}
+
+func TestFaultyPartitionWindow(t *testing.T) {
+	a, b := NewPair(64)
+	defer func() { _ = a.Close() }()
+	lossy := NewFaulty(a, FaultConfig{
+		Partitions: []SendWindow{{From: 2, To: 5}},
+		Seed:       9,
+	})
+
+	for i := 1; i <= 8; i++ {
+		sendSeq(t, lossy, uint64(i))
+	}
+	// Send indices 2,3,4 (seqs 3,4,5) fall in the blackout.
+	if got := lossy.Dropped(); got != 3 {
+		t.Errorf("Dropped() = %d, want 3", got)
+	}
+	seqs := recvAll(t, b)
+	want := []uint64{1, 2, 6, 7, 8}
+	if len(seqs) != len(want) {
+		t.Fatalf("received %v, want %v", seqs, want)
+	}
+	for i := range want {
+		if seqs[i] != want[i] {
+			t.Fatalf("received %v, want %v", seqs, want)
+		}
+	}
+	if got := lossy.Sends(); got != 8 {
+		t.Errorf("Sends() = %d, want 8", got)
+	}
+}
+
+func TestFaultyPlanIsSeeded(t *testing.T) {
+	// The same (plan, seed) must replay the exact same chaos.
+	run := func() ([]uint64, int, int, int) {
+		a, b := NewPair(128)
+		defer func() { _ = a.Close() }()
+		lossy := NewFaulty(a, FaultConfig{
+			DropRate:      0.2,
+			DuplicateRate: 0.2,
+			ReorderRate:   0.2,
+			Seed:          42,
+		})
+		for i := 1; i <= 50; i++ {
+			sendSeq(t, lossy, uint64(i))
+		}
+		return recvAll(t, b), lossy.Dropped(), lossy.Duplicated(), lossy.Reordered()
+	}
+	s1, d1, u1, r1 := run()
+	s2, d2, u2, r2 := run()
+	if d1 != d2 || u1 != u2 || r1 != r2 || len(s1) != len(s2) {
+		t.Fatalf("replay diverged: (%d,%d,%d,%d) vs (%d,%d,%d,%d)",
+			len(s1), d1, u1, r1, len(s2), d2, u2, r2)
+	}
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatalf("replay diverged at frame %d: %v vs %v", i, s1, s2)
+		}
+	}
+	if d1 == 0 || u1 == 0 || r1 == 0 {
+		t.Errorf("plan never fired some fault: dropped=%d duplicated=%d reordered=%d", d1, u1, r1)
+	}
+}

@@ -71,6 +71,11 @@ type Quote struct {
 	Others    []float64 `json:"others"`
 	Cost      CostSpec  `json:"cost"`
 	Round     int       `json:"round"`
+	// Epoch is the schedule version the quoted background load was
+	// computed against. Agents echo it in their Request so the grid
+	// can tell a best-response to this quote from one computed against
+	// an outdated background load (a late or replayed frame).
+	Epoch uint64 `json:"epoch"`
 }
 
 // Request is an OLEV's best-response total power request (Eq. 21).
@@ -81,6 +86,10 @@ type Request struct {
 	// limit so the grid's schedule honors it; zero means uncapped.
 	DrawCapKW float64 `json:"draw_cap_kw,omitempty"`
 	Round     int     `json:"round"`
+	// Epoch echoes the Epoch of the Quote this request answers; the
+	// grid discards requests whose epoch no longer matches the current
+	// schedule version instead of water-filling a stale best-response.
+	Epoch uint64 `json:"epoch"`
 }
 
 // ScheduleMsg notifies an OLEV of its allocation across sections.

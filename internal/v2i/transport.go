@@ -13,6 +13,17 @@ import (
 // ErrClosed is returned by operations on a closed transport.
 var ErrClosed = errors.New("v2i: transport closed")
 
+// MaxFrameBytes bounds one newline-delimited TCP frame. A peer that
+// streams an unbounded line would otherwise grow the read buffer
+// without limit; frames at or above this size are rejected on both
+// the send and receive side.
+const MaxFrameBytes = 256 << 10
+
+// ErrFrameTooLarge is returned when a frame exceeds MaxFrameBytes.
+// After a receive-side rejection the stream is no longer framed and
+// the connection should be closed.
+var ErrFrameTooLarge = errors.New("v2i: frame exceeds MaxFrameBytes")
+
 // Transport is a bidirectional, ordered message channel between one
 // OLEV and the smart grid. Implementations must be safe for one
 // concurrent sender and one concurrent receiver.
@@ -111,7 +122,9 @@ var _ Transport = (*tcpTransport)(nil)
 
 // NewConnTransport wraps an established connection.
 func NewConnTransport(conn net.Conn) Transport {
-	return &tcpTransport{conn: conn, r: bufio.NewReader(conn)}
+	// The reader is sized to MaxFrameBytes so an unterminated line
+	// surfaces as bufio.ErrBufferFull instead of unbounded growth.
+	return &tcpTransport{conn: conn, r: bufio.NewReaderSize(conn, MaxFrameBytes)}
 }
 
 // Dial connects to a listening smart grid.
@@ -138,6 +151,9 @@ func (t *tcpTransport) Send(ctx context.Context, env Envelope) error {
 	if err != nil {
 		return fmt.Errorf("v2i: marshal envelope: %w", err)
 	}
+	if len(raw) >= MaxFrameBytes {
+		return fmt.Errorf("v2i: send %d bytes: %w", len(raw), ErrFrameTooLarge)
+	}
 	raw = append(raw, '\n')
 	if _, err := t.conn.Write(raw); err != nil {
 		return fmt.Errorf("v2i: write: %w", err)
@@ -155,8 +171,11 @@ func (t *tcpTransport) Recv(ctx context.Context) (Envelope, error) {
 			return Envelope{}, fmt.Errorf("v2i: set read deadline: %w", err)
 		}
 	}
-	line, err := t.r.ReadBytes('\n')
+	line, err := t.r.ReadSlice('\n')
 	if err != nil {
+		if errors.Is(err, bufio.ErrBufferFull) {
+			return Envelope{}, fmt.Errorf("v2i: read: %w", ErrFrameTooLarge)
+		}
 		return Envelope{}, fmt.Errorf("v2i: read: %w", err)
 	}
 	var env Envelope

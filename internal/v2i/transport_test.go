@@ -1,0 +1,119 @@
+package v2i
+
+import (
+	"context"
+	"errors"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestDialTimeout: a dial whose context deadline has already passed
+// must give up immediately instead of hanging the vehicle forever.
+func TestDialTimeout(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	start := time.Now()
+	_, err := Dial(ctx, "127.0.0.1:9")
+	if err == nil {
+		t.Fatal("dial with expired deadline succeeded")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("dial error = %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("dial took %v despite an expired deadline", elapsed)
+	}
+}
+
+func TestDialCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Dial(ctx, "127.0.0.1:9"); err == nil {
+		t.Error("dial with cancelled context succeeded")
+	}
+}
+
+// TestTCPMidFrameConnectionDrop: the peer dies halfway through a
+// frame; Recv must surface an error, not a truncated envelope.
+func TestTCPMidFrameConnectionDrop(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = ln.Close() }()
+
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		// Half an envelope, no newline, then a hard close.
+		_, _ = conn.Write([]byte(`{"type":"quote","from":"smart-g`))
+		_ = conn.Close()
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	client, err := Dial(ctx, ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = client.Close() }()
+	if _, err := client.Recv(ctx); err == nil {
+		t.Error("Recv returned an envelope from a truncated frame")
+	}
+}
+
+// TestTCPOversizedFrameRejectedOnRecv: a peer streaming an unbounded
+// line must be rejected with ErrFrameTooLarge, not buffered forever.
+func TestTCPOversizedFrameRejectedOnRecv(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = ln.Close() }()
+
+	go func() {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer func() { _ = conn.Close() }()
+		huge := strings.Repeat("x", MaxFrameBytes+1024)
+		_, _ = conn.Write([]byte(huge))
+		_, _ = conn.Write([]byte("\n"))
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	client, err := Dial(ctx, ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { _ = client.Close() }()
+	_, err = client.Recv(ctx)
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("Recv = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+// TestTCPOversizedFrameRejectedOnSend: the sender refuses to put an
+// over-limit frame on the wire at all.
+func TestTCPOversizedFrameRejectedOnSend(t *testing.T) {
+	client, server := net.Pipe()
+	defer func() { _ = client.Close() }()
+	defer func() { _ = server.Close() }()
+	tr := NewConnTransport(client)
+
+	env, err := Seal(TypeBye, "ev", 1, Bye{Reason: strings.Repeat("y", MaxFrameBytes)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := tr.Send(ctx, env); !errors.Is(err, ErrFrameTooLarge) {
+		t.Errorf("Send = %v, want ErrFrameTooLarge", err)
+	}
+}

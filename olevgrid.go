@@ -131,10 +131,22 @@ type (
 	AgentConfig = sched.AgentConfig
 	// AgentResult summarizes an agent session.
 	AgentResult = sched.AgentResult
+	// Report summarizes a coordinator run.
+	Report = sched.Report
 	// CostSpec is the wire form of the section cost.
 	CostSpec = v2i.CostSpec
 	// Transport is a V2I message channel.
 	Transport = v2i.Transport
+	// Journal persists the coordinator's last converged schedule.
+	Journal = sched.Journal
+	// Checkpoint is a journaled schedule snapshot.
+	Checkpoint = sched.Checkpoint
+	// FaultConfig scripts a seeded fault plan for one V2I link.
+	FaultConfig = v2i.FaultConfig
+	// SendWindow scripts a partition blackout by send index.
+	SendWindow = v2i.SendWindow
+	// FaultyTransport injects faults in front of another transport.
+	FaultyTransport = v2i.Faulty
 )
 
 var (
@@ -150,6 +162,14 @@ var (
 	NewTransportPair = v2i.NewPair
 	// ListenV2I opens a TCP listener for vehicle connections.
 	ListenV2I = v2i.Listen
+	// ServeJoins accepts mid-iteration vehicle joins on a listener.
+	ServeJoins = sched.ServeJoins
+	// NewFileJournal persists checkpoints to a file, atomically.
+	NewFileJournal = sched.NewFileJournal
+	// NewMemJournal keeps checkpoints in process memory.
+	NewMemJournal = sched.NewMemJournal
+	// NewFaultyTransport wraps a transport with a seeded fault plan.
+	NewFaultyTransport = v2i.NewFaulty
 )
 
 // Grid substrate (Section III's ISO day).
