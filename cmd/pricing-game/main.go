@@ -42,6 +42,7 @@ func run() error {
 	mph := flag.Float64("mph", 60, "OLEV velocity")
 	policy := flag.String("policy", "both", "nonlinear, linear, or both")
 	seed := flag.Int64("seed", 1, "seed")
+	parallelism := flag.Int("parallel", 0, "proposal workers for the round engine (0 = asynchronous dynamics); with -tcp, vehicles quoted per batch")
 	tcp := flag.Bool("tcp", false, "run distributed over localhost TCP")
 	drop := flag.Float64("drop", 0, "tcp: per-frame drop probability on grid-side links")
 	dup := flag.Float64("dup", 0, "tcp: per-frame duplication probability on grid-side links")
@@ -63,12 +64,14 @@ func run() error {
 		return runTCP(players, *c, lineCap, *eta, *beta, *seed, tcpOptions{
 			drop: *drop, dup: *dup, reorder: *reorder,
 			evictAfter: *evictAfter, journalPath: *journalPath,
+			parallelism: *parallelism,
 		})
 	}
 
 	scenario := olevgrid.Scenario{
 		Players: players, NumSections: *c, LineCapacityKW: lineCap,
 		Eta: *eta, BetaPerMWh: *beta, Seed: *seed,
+		Parallelism: *parallelism,
 	}
 	var policies []pricing.Policy
 	switch *policy {
@@ -106,6 +109,7 @@ type tcpOptions struct {
 	drop, dup, reorder float64
 	evictAfter         int
 	journalPath        string
+	parallelism        int
 }
 
 func (o tcpOptions) chaotic() bool { return o.drop > 0 || o.dup > 0 || o.reorder > 0 }
@@ -166,6 +170,7 @@ func runTCP(players []olevgrid.Player, c int, lineCap, eta, beta float64, seed i
 		DropDeparted:   true,
 		Journal:        journal,
 		Seed:           seed,
+		Parallelism:    opts.parallelism,
 	}
 	if opts.chaotic() {
 		cfg.RoundTimeout = 250 * time.Millisecond
@@ -196,6 +201,10 @@ func runTCP(players []olevgrid.Player, c int, lineCap, eta, beta float64, seed i
 	}
 	fmt.Printf("distributed game: rounds=%d converged=%v congestion=%.3f total=%.1f kW\n",
 		report.Rounds, report.Converged, report.CongestionDegree, report.TotalPowerKW)
+	if opts.parallelism > 1 {
+		fmt.Printf("  batching: parallelism=%d degraded-rounds=%d\n",
+			opts.parallelism, report.DegradedRounds)
+	}
 	if opts.chaotic() || opts.journalPath != "" || opts.evictAfter > 0 {
 		fmt.Printf("  resilience: retries=%d skipped=%d stale-dropped=%d departed=%d evicted=%d epoch=%d checkpoint=%v fellback=%v\n",
 			report.Retries, report.Skipped, report.StaleDropped, report.Departed,

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"runtime"
+	"time"
+)
+
+// SteadyStateBench is one solver's measurement from BenchSteadyState;
+// cmd/bench-core serializes a set of these into BENCH_core.json.
+type SteadyStateBench struct {
+	// Parallelism is the worker count the engine ran with.
+	Parallelism int `json:"parallelism"`
+	// ConvergeRounds is how many engine rounds equilibrium took.
+	ConvergeRounds int `json:"converge_rounds"`
+	// Converged reports whether the tolerance was met before the cap.
+	Converged bool `json:"converged"`
+	// SteadyRounds is how many post-convergence rounds were timed.
+	SteadyRounds int `json:"steady_rounds"`
+	// NsPerTurn is wall time per player turn in the steady state.
+	NsPerTurn float64 `json:"ns_per_turn"`
+	// AllocsPerTurn is heap allocations per player turn; the engine's
+	// design target — and the zero-alloc test's assertion — is 0.
+	AllocsPerTurn float64 `json:"allocs_per_turn"`
+	// Welfare is the converged social welfare W(p) in $/h.
+	Welfare float64 `json:"welfare"`
+}
+
+// BenchSteadyState drives g to equilibrium with the round engine, then
+// forces steadyRounds extra rounds on the converged state and measures
+// the hot path: wall time and heap allocations per player turn. The
+// extra rounds are game-theoretic no-ops (every best response
+// reproduces the current schedule, so the welfare guard never trips),
+// which is exactly what makes them a clean probe of the engine's
+// per-turn cost: every cache hits, no block ever replays, and a
+// correct implementation allocates nothing.
+//
+// The allocation count comes from runtime.MemStats.Mallocs deltas, so
+// unrelated runtime activity can leak in; the hard zero assertion
+// lives in the core test suite via testing.AllocsPerRun.
+func BenchSteadyState(g *Game, parallelism, maxRounds, steadyRounds int, tol float64) SteadyStateBench {
+	if maxRounds <= 0 {
+		maxRounds = 2000
+	}
+	if steadyRounds <= 0 {
+		steadyRounds = 50
+	}
+	if tol <= 0 {
+		tol = 1e-6
+	}
+	e := newRoundEngine(g, parallelism, DefaultBatchSize, tol)
+	defer e.stop()
+
+	rep := SteadyStateBench{Parallelism: e.workers, SteadyRounds: steadyRounds}
+	for round := 1; round <= maxRounds; round++ {
+		rep.ConvergeRounds = round
+		if e.round() < tol {
+			rep.Converged = true
+			break
+		}
+	}
+
+	// One warm-up round after convergence, then measure.
+	e.round()
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	startT := time.Now()
+	for i := 0; i < steadyRounds; i++ {
+		e.round()
+	}
+	elapsed := time.Since(startT)
+	runtime.ReadMemStats(&after)
+
+	turns := float64(steadyRounds * e.n)
+	rep.NsPerTurn = float64(elapsed.Nanoseconds()) / turns
+	rep.AllocsPerTurn = float64(after.Mallocs-before.Mallocs) / turns
+	rep.Welfare = e.welfare()
+	return rep
+}

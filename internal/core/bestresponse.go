@@ -1,5 +1,11 @@
 package core
 
+// bestResponseIterations halvings of [0, pmax] resolve p* to
+// pmax·2^-64 — below float64 resolution for any physical power level.
+// The parallel round engine's proposal bisection uses the same count
+// so the two solvers stay bit-compatible.
+const bestResponseIterations = 64
+
 // BestResponse solves Lemma IV.3: the total power request p* that
 // maximizes F_n(p) = U_n(p) − Ψ_n(p) over [0, pmax].
 //
@@ -30,7 +36,7 @@ func BestResponse(sat Satisfaction, psi *PaymentFunction, pmax float64) float64 
 		return pmax
 	}
 	lo, hi := 0.0, pmax
-	for i := 0; i < 64; i++ {
+	for i := 0; i < bestResponseIterations; i++ {
 		mid := lo + (hi-lo)/2
 		if deriv(mid) > 0 {
 			lo = mid

@@ -1,0 +1,131 @@
+package core
+
+// Boundary regressions for the λ-search. The named constants in
+// waterfill.go (defaultLevelTol, maxLevelIterations,
+// perDrawLevelRelTol) make the solver's precision a stated contract;
+// these tests pin its behavior exactly at the saturation boundaries
+// where off-by-one breakpoint handling historically hides.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// At total = Σ_c (max(others) − others_c) the water level lands exactly
+// on the highest breakpoint: every section is active, the fullest one
+// at allocation exactly zero. This is the k == len(sorted) boundary of
+// WaterFill's breakpoint scan.
+func TestWaterFillLevelAtFloodBoundary(t *testing.T) {
+	others := []float64{3, 7, 12, 12, 20}
+	var total float64
+	for _, o := range others {
+		total += 20 - o
+	}
+	alloc, level := WaterFill(others, total)
+	if math.Abs(level-20) > 1e-12 {
+		t.Fatalf("level = %v, want exactly the max background 20", level)
+	}
+	if alloc[4] > 1e-12 {
+		t.Errorf("fullest section got %v, want 0 at the boundary", alloc[4])
+	}
+	var sum float64
+	for _, a := range alloc {
+		sum += a
+	}
+	if math.Abs(sum-total) > 1e-9 {
+		t.Errorf("sum = %v, want %v", sum, total)
+	}
+}
+
+// WaterFillBisect must agree with the exact breakpoint solver when the
+// request floods every section — the regime where its bracket is
+// widest and maxLevelIterations actually gets spent.
+func TestWaterFillBisectAllSectionsFlooded(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		c := 2 + rng.Intn(40)
+		others := make([]float64, c)
+		var spread float64
+		max := 0.0
+		for i := range others {
+			others[i] = rng.Float64() * 30
+			max = math.Max(max, others[i])
+		}
+		for _, o := range others {
+			spread += max - o
+		}
+		// Anything ≥ spread floods all sections; go well past it.
+		total := spread + 1 + rng.Float64()*100
+
+		exactAlloc, exactLevel := WaterFill(others, total)
+		alloc, level := WaterFillBisect(others, total, 0)
+
+		if math.Abs(level-exactLevel) > 1e-8 {
+			t.Fatalf("trial %d: bisect level %v, exact %v", trial, level, exactLevel)
+		}
+		var sum float64
+		for i := range alloc {
+			sum += alloc[i]
+			if math.Abs(alloc[i]-exactAlloc[i]) > 1e-7 {
+				t.Fatalf("trial %d: alloc[%d] = %v, exact %v", trial, i, alloc[i], exactAlloc[i])
+			}
+		}
+		if math.Abs(sum-total) > defaultLevelTol {
+			t.Fatalf("trial %d: sum %v, want %v within %v", trial, sum, total, defaultLevelTol)
+		}
+	}
+}
+
+// PerDrawWaterFill at total exactly C·drawCap: every section saturates
+// at the cap with zero shortfall, and the reported level follows the
+// documented saturated convention min(others) + drawCap.
+func TestPerDrawWaterFillAtExactSaturation(t *testing.T) {
+	others := []float64{0, 4, 9, 2}
+	const drawCap = 5.0
+	total := drawCap * float64(len(others))
+
+	alloc, level := PerDrawWaterFill(others, drawCap, total)
+	for i, a := range alloc {
+		if a != drawCap {
+			t.Errorf("alloc[%d] = %v, want the cap %v", i, a, drawCap)
+		}
+	}
+	if math.Abs(level-(0+drawCap)) > 1e-12 {
+		t.Errorf("level = %v, want min(others)+drawCap = %v", level, drawCap)
+	}
+
+	// Just past saturation the shortfall spreads into the level term.
+	_, over := PerDrawWaterFill(others, drawCap, total+0.5)
+	want := drawCap + 0.5/float64(len(others))
+	if math.Abs(over-want) > 1e-12 {
+		t.Errorf("oversaturated level = %v, want %v", over, want)
+	}
+}
+
+// Approaching saturation from below, the bisection branch must hand
+// over continuously to the saturated fast path: the allocation vector
+// converges to all-cap and the row sum stays exact.
+func TestPerDrawWaterFillSaturationContinuity(t *testing.T) {
+	others := []float64{1, 6, 3, 8, 0}
+	const drawCap = 4.0
+	maxAllocatable := drawCap * float64(len(others))
+
+	for _, eps := range []float64{1e-3, 1e-6, 1e-9} {
+		total := maxAllocatable - eps
+		alloc, _ := PerDrawWaterFill(others, drawCap, total)
+		var sum float64
+		for i, a := range alloc {
+			sum += a
+			if a > drawCap+1e-12 {
+				t.Fatalf("eps %v: alloc[%d] = %v exceeds cap %v", eps, i, a, drawCap)
+			}
+			if a < drawCap-eps-1e-7 {
+				t.Fatalf("eps %v: alloc[%d] = %v, want within %v of the cap", eps, i, a, eps)
+			}
+		}
+		if math.Abs(sum-total) > 1e-9 {
+			t.Fatalf("eps %v: sum %v, want %v", eps, sum, total)
+		}
+	}
+}

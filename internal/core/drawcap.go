@@ -57,7 +57,7 @@ func PerDrawWaterFill(others []float64, drawCap, total float64) (alloc []float64
 		hi = math.Max(hi, o)
 	}
 	hi += drawCap // Y(hi) = C·drawCap > total
-	for i := 0; i < 200 && hi-lo > 1e-12*(1+math.Abs(hi)); i++ {
+	for i := 0; i < maxLevelIterations && hi-lo > perDrawLevelRelTol*(1+math.Abs(hi)); i++ {
 		mid := lo + (hi-lo)/2
 		if yOf(mid) < total {
 			lo = mid

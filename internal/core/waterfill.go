@@ -5,6 +5,22 @@ import (
 	"sort"
 )
 
+// Bisection controls for the λ-search variants. They were inline magic
+// numbers; naming them makes the solver's precision contract explicit
+// and testable (see the saturated-boundary regression tests).
+const (
+	// defaultLevelTol is the absolute error bound on the allocated
+	// total when WaterFillBisect's caller passes no tolerance.
+	defaultLevelTol = 1e-9
+	// maxLevelIterations caps the λ bisection; 200 halvings shrink any
+	// physically meaningful bracket far below defaultLevelTol, so the
+	// cap only guards against non-finite inputs stalling the loop.
+	maxLevelIterations = 200
+	// perDrawLevelRelTol is PerDrawWaterFill's relative bracket width
+	// target; the residual repair afterwards makes the row sum exact.
+	perDrawLevelRelTol = 1e-12
+)
+
 // WaterFill solves Lemma IV.1: split an OLEV's total power request
 // across charging sections so post-allocation section totals equalize
 // at a water level λ*,
@@ -75,7 +91,7 @@ func WaterFillBisect(others []float64, total float64, tol float64) (alloc []floa
 		return alloc, 0
 	}
 	if tol <= 0 {
-		tol = 1e-9
+		tol = defaultLevelTol
 	}
 	lo, hi := math.Inf(1), math.Inf(-1)
 	for _, o := range others {
@@ -96,7 +112,7 @@ func WaterFillBisect(others []float64, total float64, tol float64) (alloc []floa
 		}
 		return sum
 	}
-	for i := 0; i < 200 && hi-lo > tol/float64(len(others)+1); i++ {
+	for i := 0; i < maxLevelIterations && hi-lo > tol/float64(len(others)+1); i++ {
 		mid := lo + (hi-lo)/2
 		if yOf(mid) < total {
 			lo = mid

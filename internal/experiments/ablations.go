@@ -37,6 +37,7 @@ func AblationAlphaSweep(alphas []float64, d GameDefaults) (*stats.Series, error)
 		res, err := policy.Run(pricing.Scenario{
 			Players: players, NumSections: c, LineCapacityKW: lineCap,
 			Eta: 1.0, BetaPerMWh: d.BetaPerMWh, Seed: d.Seed,
+			Parallelism: d.Parallelism,
 		})
 		if err != nil {
 			return nil, err
@@ -74,7 +75,7 @@ func AblationKappaSweep(factors []float64, d GameDefaults) ([]KappaPoint, error)
 		res, err := pricing.Nonlinear{OverloadKappaFactor: kf}.Run(pricing.Scenario{
 			Players: players, NumSections: c, LineCapacityKW: lineCap,
 			Eta: eta, BetaPerMWh: d.BetaPerMWh, Seed: d.Seed,
-			MaxUpdates: 6000,
+			MaxUpdates: 6000, Parallelism: d.Parallelism,
 		})
 		if err != nil {
 			return nil, err
@@ -107,6 +108,7 @@ func PolicyComparison(d GameDefaults) (Table, error) {
 		Players: players, NumSections: c,
 		LineCapacityKW: pricing.LineCapacityKW(d.SectionLength, vel),
 		Eta:            eta, BetaPerMWh: d.BetaPerMWh, Seed: d.Seed,
+		Parallelism: d.Parallelism,
 	}
 
 	table := Table{

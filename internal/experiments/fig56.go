@@ -19,6 +19,12 @@ type GameDefaults struct {
 	BetaPerMWh float64
 	// Seed drives fleet draws and update order.
 	Seed int64
+	// Parallelism, when positive, runs every game through the
+	// block-speculative round engine with that many proposal workers
+	// (see pricing.Scenario.Parallelism). Zero keeps the paper's
+	// asynchronous single-player dynamics, which the golden-file
+	// determinism tests pin.
+	Parallelism int
 }
 
 func (d *GameDefaults) apply() {
@@ -71,6 +77,7 @@ func PaymentVsCongestion(vel units.Speed, d GameDefaults) ([]PaymentPoint, error
 		out, err := pricing.Nonlinear{}.Run(pricing.Scenario{
 			Players: players, NumSections: c, LineCapacityKW: lineCap,
 			Eta: 1.0, BetaPerMWh: d.BetaPerMWh, Seed: d.Seed,
+			Parallelism: d.Parallelism,
 		})
 		if err != nil {
 			return nil, err
@@ -122,7 +129,7 @@ func WelfareVsSections(vel units.Speed, fleetSizes []int, d GameDefaults) ([]*st
 			out, err := pricing.Nonlinear{}.Run(pricing.Scenario{
 				Players: players, NumSections: c, LineCapacityKW: lineCap,
 				Eta: 0.9, BetaPerMWh: d.BetaPerMWh, Seed: d.Seed,
-				MaxUpdates: 400 * n,
+				MaxUpdates: 400 * n, Parallelism: d.Parallelism,
 			})
 			if err != nil {
 				return nil, err
@@ -165,7 +172,8 @@ func LoadBalance(vel units.Speed, d GameDefaults) (*LoadBalanceResult, error) {
 	scenario := pricing.Scenario{
 		Players: players, NumSections: c, LineCapacityKW: lineCap,
 		Eta: eta, BetaPerMWh: d.BetaPerMWh, Seed: d.Seed,
-		MaxUpdates: 1000, // the paper runs 1000 best-response updates
+		MaxUpdates:  1000, // the paper runs 1000 best-response updates
+		Parallelism: d.Parallelism,
 	}
 
 	nl, err := pricing.Nonlinear{}.Run(scenario)
@@ -237,7 +245,7 @@ func Convergence(vel units.Speed, fleetSizes []int, runs, maxUpdates int, d Game
 			out, err := pricing.Nonlinear{}.Run(pricing.Scenario{
 				Players: players, NumSections: c, LineCapacityKW: lineCap,
 				Eta: eta, BetaPerMWh: d.BetaPerMWh, Seed: seed,
-				MaxUpdates: maxUpdates,
+				MaxUpdates: maxUpdates, Parallelism: d.Parallelism,
 			})
 			if err != nil {
 				return nil, err

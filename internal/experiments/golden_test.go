@@ -1,0 +1,105 @@
+package experiments
+
+// Golden-file determinism tests: the rendered experiment tables for a
+// fixed seed are pinned byte-for-byte under testdata/. They guard two
+// things at once — that the substrates and the game are deterministic
+// functions of their seeds, and that refactors of the solvers (the
+// parallel round engine in particular) do not silently shift the
+// published figures. Parallelism is pinned to zero here: the goldens
+// record the paper's asynchronous single-player dynamics, and the
+// engine's own worker-count invariance is covered by the core
+// differential suite. Regenerate with:
+//
+//	go test ./internal/experiments -run Golden -update
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"olevgrid/internal/grid"
+	"olevgrid/internal/units"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if got == string(want) {
+		return
+	}
+	gotLines, wantLines := strings.Split(got, "\n"), strings.Split(string(want), "\n")
+	for i := 0; i < len(gotLines) || i < len(wantLines); i++ {
+		var g, w string
+		if i < len(gotLines) {
+			g = gotLines[i]
+		}
+		if i < len(wantLines) {
+			w = wantLines[i]
+		}
+		if g != w {
+			t.Fatalf("%s: first difference at line %d:\n got: %q\nwant: %q", name, i+1, g, w)
+		}
+	}
+	t.Fatalf("%s: output differs from golden", name)
+}
+
+func TestGoldenFig2(t *testing.T) {
+	res, err := Fig2(grid.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	for _, tab := range res.Tables() {
+		sb.WriteString(tab.String())
+		sb.WriteByte('\n')
+	}
+	fmt.Fprintf(&sb, "scalars: load [%.3f, %.3f] MW, max deficiency %.3f MW, mean LBMP %.4f, mean ancillary %.4f\n",
+		res.MinLoadMW, res.PeakLoadMW, res.MaxDeficiencyMW, res.MeanLBMP, res.MeanAncillary)
+	checkGolden(t, "fig2.golden", sb.String())
+}
+
+func TestGoldenFig3(t *testing.T) {
+	res, err := Fig3(Fig3Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	for _, tab := range res.Tables() {
+		sb.WriteString(tab.String())
+		sb.WriteByte('\n')
+	}
+	fmt.Fprintf(&sb, "scalars: at-light %.4f h / %.4f kWh, mid-block %.4f h / %.4f kWh\n",
+		res.AtLight.TotalIntersection.Hours(), res.AtLight.TotalEnergy.KWh(),
+		res.MidBlock.TotalIntersection.Hours(), res.MidBlock.TotalEnergy.KWh())
+	checkGolden(t, "fig3.golden", sb.String())
+}
+
+func TestGoldenFig56LoadBalance(t *testing.T) {
+	res, err := LoadBalance(units.MPH(60), GameDefaults{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	sb.WriteString(seriesTable("Fig 5(c): total power per charging section (60 mph)",
+		"section", res.Nonlinear, res.Linear).String())
+	fmt.Fprintf(&sb, "scalars: nonlinear CV %.6f total %.4f kW | linear CV %.6f total %.4f kW\n",
+		res.NonlinearCV, res.NonlinearTotalKW, res.LinearCV, res.LinearTotalKW)
+	checkGolden(t, "fig56_loadbalance.golden", sb.String())
+}

@@ -56,7 +56,7 @@ func HeterogeneitySweep(stds []float64, d GameDefaults) ([]HeterogeneityPoint, e
 		out, err := pricing.Nonlinear{}.Run(pricing.Scenario{
 			Players: players, NumSections: c, LineCapacityKW: lineCap,
 			Eta: 0.9, BetaPerMWh: d.BetaPerMWh, Seed: d.Seed,
-			MaxUpdates: 400 * n,
+			MaxUpdates: 400 * n, Parallelism: d.Parallelism,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("experiments: heterogeneity std %v: %w", std, err)

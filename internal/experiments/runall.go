@@ -9,12 +9,27 @@ import (
 	"olevgrid/internal/units"
 )
 
+// RunAllOptions tunes a full figure regeneration.
+type RunAllOptions struct {
+	// Quick trades statistical smoothing (fewer convergence runs) for
+	// speed; the shapes are unaffected.
+	Quick bool
+	// Parallelism routes every game through the round engine with that
+	// many proposal workers; zero keeps the asynchronous dynamics.
+	Parallelism int
+}
+
 // RunAll regenerates every figure and writes the rendered tables to w.
 // quick trades statistical smoothing (fewer convergence runs) for
 // speed; the shapes are unaffected.
 func RunAll(w io.Writer, quick bool) error {
+	return RunAllWith(w, RunAllOptions{Quick: quick})
+}
+
+// RunAllWith is RunAll with full options.
+func RunAllWith(w io.Writer, opts RunAllOptions) error {
 	runs := 50
-	if quick {
+	if opts.Quick {
 		runs = 5
 	}
 
@@ -58,7 +73,7 @@ func RunAll(w io.Writer, quick bool) error {
 		if mph == 80 {
 			figNum = 6
 		}
-		d := GameDefaults{}
+		d := GameDefaults{Parallelism: opts.Parallelism}
 
 		points, err := PaymentVsCongestion(vel, d)
 		if err != nil {
@@ -112,7 +127,7 @@ func RunAll(w io.Writer, quick bool) error {
 	}
 
 	// Beyond the paper: the three-policy comparison.
-	comparison, err := PolicyComparison(GameDefaults{})
+	comparison, err := PolicyComparison(GameDefaults{Parallelism: opts.Parallelism})
 	if err != nil {
 		return fmt.Errorf("policy comparison: %w", err)
 	}

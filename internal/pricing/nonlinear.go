@@ -84,16 +84,47 @@ func (p Nonlinear) Run(s Scenario) (Outcome, error) {
 	if err != nil {
 		return Outcome{}, fmt.Errorf("pricing: nonlinear game: %w", err)
 	}
-	order := p.Order
-	if order == 0 {
-		order = core.OrderRandom
+	var res core.Result
+	if s.Parallelism > 0 {
+		// Round-engine path: MaxUpdates is a per-player budget in the
+		// asynchronous dynamics, so it maps onto whole fleet rounds.
+		maxRounds := 0
+		if s.MaxUpdates > 0 {
+			maxRounds = (s.MaxUpdates + len(s.Players) - 1) / len(s.Players)
+		}
+		order := p.Order
+		if order == 0 {
+			order = core.OrderRandom
+		}
+		pres := game.RunParallel(core.ParallelOptions{
+			MaxRounds:   maxRounds,
+			Parallelism: s.Parallelism,
+			Order:       order,
+			Seed:        s.Seed,
+			OnRound: func(round int, g *core.Game) {
+				if s.OnUpdate != nil {
+					s.OnUpdate(round*g.NumPlayers(), g)
+				}
+			},
+		})
+		res = core.Result{
+			Updates:    pres.Updates,
+			Converged:  pres.Converged,
+			Welfare:    pres.Welfare,
+			Congestion: pres.Congestion,
+		}
+	} else {
+		order := p.Order
+		if order == 0 {
+			order = core.OrderRandom
+		}
+		res = game.Run(core.RunOptions{
+			MaxUpdates: s.MaxUpdates,
+			Order:      order,
+			Seed:       s.Seed,
+			OnUpdate:   s.OnUpdate,
+		})
 	}
-	res := game.Run(core.RunOptions{
-		MaxUpdates: s.MaxUpdates,
-		Order:      order,
-		Seed:       s.Seed,
-		OnUpdate:   s.OnUpdate,
-	})
 	playerTotals := make([]float64, game.NumPlayers())
 	schedule := game.Schedule()
 	for n := range playerTotals {

@@ -40,6 +40,13 @@ type Scenario struct {
 	Seed int64
 	// MaxUpdates bounds the best-response iteration; 0 means 1000·N.
 	MaxUpdates int
+	// Parallelism, when positive, routes the nonlinear policy through
+	// the block-speculative round engine (core.RunParallel) with that
+	// many proposal workers instead of the asynchronous single-player
+	// dynamics. The engine's schedules are worker-count independent,
+	// so any positive value yields the same outcome; the linear policy
+	// is one-shot and ignores it.
+	Parallelism int
 	// OnUpdate, if non-nil, observes the nonlinear game after every
 	// update (ignored by the linear policy, whose allocation is
 	// one-shot).

@@ -26,6 +26,7 @@ import (
 	"math/rand"
 	"net"
 	"sort"
+	"sync"
 	"time"
 
 	"olevgrid/internal/core"
@@ -116,6 +117,19 @@ type CoordinatorConfig struct {
 	// MaxRounds without converging degrades to the journaled
 	// last-known-good schedule instead of keeping a half-settled one.
 	Journal Journal
+	// Parallelism is the number of vehicles quoted concurrently within
+	// a round. 0 or 1 preserves the strictly sequential Gauss–Seidel
+	// protocol (the Theorem IV.1 setting, and the exact pre-batching
+	// behavior). Larger values overlap V2I round trips: each batch is
+	// quoted against the same frozen background load and collected
+	// concurrently, then the requests are water-filled in stable batch
+	// order — a speculative Jacobi block, mirroring core.RunParallel.
+	// The coordinator cannot evaluate the welfare guard (satisfactions
+	// are private to the vehicles), so instead any batched round that
+	// fails to shrink the movement bound degrades the next round to
+	// sequential; sequential rounds are monotone by Theorem IV.1, which
+	// rules out sustained Jacobi cycling.
+	Parallelism int
 	// Seed shuffles the per-round update order and drives retry
 	// jitter.
 	Seed int64
@@ -159,6 +173,10 @@ type Report struct {
 	// CheckpointSaved reports that the converged schedule was
 	// journaled.
 	CheckpointSaved bool
+	// DegradedRounds counts rounds the batching fallback forced to run
+	// sequentially after a batched round made no progress (only
+	// non-zero with Parallelism > 1).
+	DegradedRounds int
 	// FinalEpoch is the schedule version at the end of the run.
 	FinalEpoch uint64
 }
@@ -188,6 +206,12 @@ type Coordinator struct {
 	retries  int
 	stale    int
 	restored bool
+
+	// mu guards the session state shared with concurrent batch
+	// collection goroutines: seq, lastSeq, stale, retries, and rng.
+	// The schedule and epoch are only ever touched from Run's
+	// goroutine, between batches.
+	mu sync.Mutex
 }
 
 // NewCoordinator validates the configuration and builds a coordinator.
@@ -283,14 +307,18 @@ func (c *Coordinator) Run(ctx context.Context) (Report, error) {
 	sort.Strings(ids)
 
 	report := Report{Requests: make(map[string]float64, len(ids))}
+	prevDelta := math.Inf(1)
+	sequentialNext := false
 	for round := 1; round <= c.cfg.MaxRounds; round++ {
 		ids = append(ids, c.admitJoins(&report)...)
 		c.rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
 		var maxDelta float64
 		roundSkipped := 0
 		removed := make(map[string]bool)
-		for _, id := range ids {
-			delta, err := c.updateWithRetries(ctx, id, round)
+
+		// handleTurn folds one vehicle's turn outcome into the round.
+		// A non-nil return is a terminal run error.
+		handleTurn := func(id string, delta float64, err error) error {
 			switch {
 			case err == nil:
 				c.consecFails[id] = 0
@@ -319,9 +347,40 @@ func (c *Coordinator) Run(ctx context.Context) (Report, error) {
 				report.Skipped++
 				roundSkipped++
 			default:
-				return report, fmt.Errorf("sched: round %d vehicle %s: %w", round, id, err)
+				return fmt.Errorf("sched: round %d vehicle %s: %w", round, id, err)
+			}
+			return nil
+		}
+
+		batch := c.cfg.Parallelism
+		if batch > len(ids) {
+			batch = len(ids)
+		}
+		if sequentialNext && batch > 1 {
+			batch = 1
+			report.DegradedRounds++
+		}
+		if batch > 1 {
+			if err := c.runBatchedRound(ctx, ids, round, batch, handleTurn); err != nil {
+				return report, err
+			}
+		} else {
+			for _, id := range ids {
+				delta, err := c.updateWithRetries(ctx, id, round)
+				if herr := handleTurn(id, delta, err); herr != nil {
+					return report, herr
+				}
 			}
 		}
+		// A batched round is a speculative Jacobi sweep with no welfare
+		// guard (satisfactions are private), so a round that fails to
+		// shrink the movement bound degrades the next one to the
+		// sequential dynamics, whose monotonicity Theorem IV.1
+		// guarantees. Sequential rounds always make strict progress off
+		// equilibrium, so cycling cannot be sustained.
+		sequentialNext = c.cfg.Parallelism > 1 && batch > 1 &&
+			maxDelta >= c.cfg.Tolerance && maxDelta >= prevDelta
+		prevDelta = maxDelta
 		if len(removed) > 0 {
 			kept := ids[:0]
 			for _, id := range ids {
@@ -411,8 +470,7 @@ func (c *Coordinator) sayBye(ctx context.Context, id, reason string) {
 	}
 	bctx, cancel := context.WithTimeout(ctx, c.cfg.RoundTimeout)
 	defer cancel()
-	c.seq++
-	if env, err := v2i.Seal(v2i.TypeBye, "smart-grid", c.seq, v2i.Bye{Reason: reason}); err == nil {
+	if env, err := v2i.Seal(v2i.TypeBye, "smart-grid", c.nextSeq(), v2i.Bye{Reason: reason}); err == nil {
 		_ = link.Send(bctx, env)
 	}
 }
@@ -432,7 +490,7 @@ func (c *Coordinator) updateWithRetries(ctx context.Context, id string, round in
 	var lastErr error
 	for attempt := 0; attempt <= c.cfg.MaxRetries; attempt++ {
 		if attempt > 0 {
-			c.retries++
+			c.countRetry()
 			if err := c.backoff(ctx, attempt); err != nil {
 				break
 			}
@@ -452,6 +510,84 @@ func (c *Coordinator) updateWithRetries(ctx context.Context, id string, round in
 	return 0, lastErr
 }
 
+// collectWithRetries is the retry loop around the network half of an
+// exchange, used by the batched rounds; the install half runs later on
+// Run's goroutine. Retry structure mirrors updateWithRetries.
+func (c *Coordinator) collectWithRetries(ctx context.Context, id string, round int, others []float64, epoch uint64) (v2i.Request, error) {
+	deadline := time.Now().Add(c.cfg.ExchangeDeadline)
+	var lastErr error
+	for attempt := 0; attempt <= c.cfg.MaxRetries; attempt++ {
+		if attempt > 0 {
+			c.countRetry()
+			if err := c.backoff(ctx, attempt); err != nil {
+				break
+			}
+			if time.Now().After(deadline) {
+				break
+			}
+		}
+		req, err := c.collectRequest(ctx, id, round, others, epoch)
+		if err == nil {
+			return req, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil || isDeparture(err) {
+			break
+		}
+	}
+	return v2i.Request{}, lastErr
+}
+
+func (c *Coordinator) countRetry() {
+	c.mu.Lock()
+	c.retries++
+	c.mu.Unlock()
+}
+
+// runBatchedRound visits the fleet in blocks of batch vehicles: each
+// block's quotes go out against the same frozen background load and
+// the requests are collected concurrently — overlapping the V2I round
+// trips that dominate a distributed round — then water-filled in
+// stable block order on this goroutine. Only the collection phase runs
+// concurrently; every schedule/epoch mutation stays on Run's
+// goroutine, between blocks.
+func (c *Coordinator) runBatchedRound(ctx context.Context, ids []string, round, batch int, handleTurn func(string, float64, error) error) error {
+	reqs := make([]v2i.Request, batch)
+	errs := make([]error, batch)
+	others := make([][]float64, batch)
+	for lo := 0; lo < len(ids); lo += batch {
+		hi := lo + batch
+		if hi > len(ids) {
+			hi = len(ids)
+		}
+		group := ids[lo:hi]
+		epoch := c.epoch
+		var wg sync.WaitGroup
+		for i, id := range group {
+			others[i] = c.othersTotals(id)
+			wg.Add(1)
+			go func(i int, id string) {
+				defer wg.Done()
+				reqs[i], errs[i] = c.collectWithRetries(ctx, id, round, others[i], epoch)
+			}(i, id)
+		}
+		wg.Wait()
+		for i, id := range group {
+			delta, err := 0.0, errs[i]
+			if err == nil {
+				delta, err = c.installRequest(ctx, id, round, others[i], reqs[i])
+			}
+			if herr := handleTurn(id, delta, err); herr != nil {
+				return herr
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // backoff sleeps RetryBackoff·2^(attempt−1) with jitter in the upper
 // half of the interval, so re-quotes from many stressed links spread
 // out instead of synchronizing.
@@ -461,7 +597,10 @@ func (c *Coordinator) backoff(ctx context.Context, attempt int) error {
 		shift = maxBackoffStep
 	}
 	ceil := c.cfg.RetryBackoff << shift
-	d := ceil/2 + time.Duration(c.rng.Int63n(int64(ceil/2)+1))
+	c.mu.Lock()
+	jitter := time.Duration(c.rng.Int63n(int64(ceil/2) + 1))
+	c.mu.Unlock()
+	d := ceil/2 + jitter
 	select {
 	case <-time.After(d):
 		return nil
@@ -471,60 +610,102 @@ func (c *Coordinator) backoff(ctx context.Context, attempt int) error {
 }
 
 // updateOne performs one vehicle's quote → request → schedule exchange
-// and returns |Δp_n|. The receive side filters the realities of a
-// lossy link: replayed frames (sequence number at or below the last
-// accepted one) and best-responses to an outdated quote (epoch
-// mismatch) are counted and discarded, never water-filled.
+// and returns |Δp_n|: the sequential composition of the network half
+// (collectRequest) and the scheduling half (installRequest).
 func (c *Coordinator) updateOne(ctx context.Context, id string, round int) (float64, error) {
-	link := c.links[id]
 	others := c.othersTotals(id)
-	epoch := c.epoch
-
-	rctx, cancel := context.WithTimeout(ctx, c.cfg.RoundTimeout)
-	defer cancel()
-
-	c.seq++
-	env, err := v2i.Seal(v2i.TypeQuote, "smart-grid", c.seq, v2i.Quote{
-		VehicleID: id, Others: others, Cost: c.cfg.Cost, Round: round, Epoch: epoch,
-	})
+	req, err := c.collectRequest(ctx, id, round, others, c.epoch)
 	if err != nil {
 		return 0, err
 	}
+	return c.installRequest(ctx, id, round, others, req)
+}
+
+// collectRequest is the network half of an exchange: quote Ψ_n against
+// the given background load, then wait for a fresh answer. The receive
+// side filters the realities of a lossy link: replayed frames
+// (sequence number at or below the last accepted one) and
+// best-responses to an outdated quote (epoch mismatch) are counted and
+// discarded, never water-filled. It never touches the schedule, so
+// batched rounds run it concurrently for several vehicles.
+func (c *Coordinator) collectRequest(ctx context.Context, id string, round int, others []float64, epoch uint64) (v2i.Request, error) {
+	link := c.links[id]
+	rctx, cancel := context.WithTimeout(ctx, c.cfg.RoundTimeout)
+	defer cancel()
+
+	env, err := v2i.Seal(v2i.TypeQuote, "smart-grid", c.nextSeq(), v2i.Quote{
+		VehicleID: id, Others: others, Cost: c.cfg.Cost, Round: round, Epoch: epoch,
+	})
+	if err != nil {
+		return v2i.Request{}, err
+	}
 	if err := link.Send(rctx, env); err != nil {
-		return 0, fmt.Errorf("send quote: %w", err)
+		return v2i.Request{}, fmt.Errorf("send quote: %w", err)
 	}
 
 	var req v2i.Request
 	for {
 		reply, err := link.Recv(rctx)
 		if err != nil {
-			return 0, fmt.Errorf("recv request: %w", err)
+			return v2i.Request{}, fmt.Errorf("recv request: %w", err)
 		}
 		if reply.Type == v2i.TypeBye {
-			return 0, errVehicleLeft
+			return v2i.Request{}, errVehicleLeft
 		}
-		if reply.Seq <= c.lastSeq[id] {
-			c.stale++ // duplicated or replayed frame
-			continue
+		if !c.acceptSeq(id, reply.Seq) {
+			continue // duplicated or replayed frame
 		}
-		c.lastSeq[id] = reply.Seq
 		if reply.Type != v2i.TypeRequest {
-			c.stale++ // e.g. a re-sent Hello; not this exchange's answer
+			c.countStale() // e.g. a re-sent Hello; not this exchange's answer
 			continue
 		}
 		if err := v2i.Open(reply, v2i.TypeRequest, &req); err != nil {
-			return 0, err
+			return v2i.Request{}, err
 		}
 		if req.Epoch != epoch {
-			c.stale++ // best-response against an outdated background load
+			c.countStale() // best-response against an outdated background load
 			continue
 		}
 		break
 	}
 	if req.TotalKW < 0 || math.IsNaN(req.TotalKW) || math.IsInf(req.TotalKW, 0) {
-		return 0, fmt.Errorf("invalid request %v", req.TotalKW)
+		return v2i.Request{}, fmt.Errorf("invalid request %v", req.TotalKW)
 	}
+	return req, nil
+}
 
+// acceptSeq records an envelope sequence number, reporting whether the
+// frame is fresh; replays are counted as stale.
+func (c *Coordinator) acceptSeq(id string, seq uint64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if seq <= c.lastSeq[id] {
+		c.stale++
+		return false
+	}
+	c.lastSeq[id] = seq
+	return true
+}
+
+func (c *Coordinator) countStale() {
+	c.mu.Lock()
+	c.stale++
+	c.mu.Unlock()
+}
+
+// nextSeq returns the next globally monotonic envelope sequence number.
+func (c *Coordinator) nextSeq() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.seq++
+	return c.seq
+}
+
+// installRequest is the scheduling half of an exchange: water-fill the
+// request against the background load it was quoted on, advance the
+// epoch, and send the vehicle its allocation and payment. Always runs
+// on Run's goroutine.
+func (c *Coordinator) installRequest(ctx context.Context, id string, round int, others []float64, req v2i.Request) (float64, error) {
 	before := sum(c.schedule[id])
 	var alloc []float64
 	if req.DrawCapKW > 0 {
@@ -535,15 +716,16 @@ func (c *Coordinator) updateOne(ctx context.Context, id string, round int) (floa
 	c.schedule[id] = alloc
 	c.epoch++ // the background load everyone else was quoted has moved
 
+	sctx, cancel := context.WithTimeout(ctx, c.cfg.RoundTimeout)
+	defer cancel()
 	payment := core.Payment(c.costVector(), others, alloc)
-	c.seq++
-	env, err = v2i.Seal(v2i.TypeSchedule, "smart-grid", c.seq, v2i.ScheduleMsg{
+	env, err := v2i.Seal(v2i.TypeSchedule, "smart-grid", c.nextSeq(), v2i.ScheduleMsg{
 		VehicleID: id, AllocKW: alloc, PaymentH: payment, Round: round,
 	})
 	if err != nil {
 		return 0, err
 	}
-	if err := link.Send(rctx, env); err != nil {
+	if err := c.links[id].Send(sctx, env); err != nil {
 		return 0, fmt.Errorf("send schedule: %w", err)
 	}
 	return math.Abs(req.TotalKW - before), nil
@@ -611,16 +793,14 @@ func (c *Coordinator) restoreCheckpoint(cp Checkpoint) bool {
 func (c *Coordinator) broadcastDone(ctx context.Context, report Report) {
 	for _, link := range c.links {
 		bctx, cancel := context.WithTimeout(ctx, c.cfg.RoundTimeout)
-		c.seq++
-		if env, err := v2i.Seal(v2i.TypeConverged, "smart-grid", c.seq, v2i.Converged{
+		if env, err := v2i.Seal(v2i.TypeConverged, "smart-grid", c.nextSeq(), v2i.Converged{
 			Rounds:           report.Rounds,
 			CongestionDegree: report.CongestionDegree,
 			WelfarePerHour:   -report.WelfareCost,
 		}); err == nil {
 			_ = link.Send(bctx, env)
 		}
-		c.seq++
-		if env, err := v2i.Seal(v2i.TypeBye, "smart-grid", c.seq, v2i.Bye{Reason: "converged"}); err == nil {
+		if env, err := v2i.Seal(v2i.TypeBye, "smart-grid", c.nextSeq(), v2i.Bye{Reason: "converged"}); err == nil {
 			_ = link.Send(bctx, env)
 		}
 		cancel()

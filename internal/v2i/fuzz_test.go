@@ -1,0 +1,132 @@
+package v2i
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// sealedSeed marshals a realistic protocol message into its wire
+// frame, newline included, for the fuzz corpus.
+func sealedSeed(t *testing.F, typ MessageType, body any) []byte {
+	t.Helper()
+	env, err := Seal(typ, "grid", 7, body)
+	if err != nil {
+		t.Fatalf("seal %s: %v", typ, err)
+	}
+	raw, err := json.Marshal(env)
+	if err != nil {
+		t.Fatalf("marshal %s: %v", typ, err)
+	}
+	return append(raw, '\n')
+}
+
+// boundaryFrame builds a syntactically valid hello envelope padded to
+// exactly size bytes (newline excluded) by inflating the From field.
+func boundaryFrame(size int) []byte {
+	const prefix, suffix = `{"type":"hello","from":"`, `","seq":1}`
+	fill := size - len(prefix) - len(suffix)
+	if fill < 0 {
+		fill = 0
+	}
+	return []byte(prefix + strings.Repeat("a", fill) + suffix)
+}
+
+// FuzzDecodeFrame drives the shared receive-side frame decoder with
+// sealed envelopes of every protocol type, truncated and corrupted
+// variants, and frames straddling the MaxFrameBytes boundary. The
+// invariants: an oversized payload is always ErrFrameTooLarge, the
+// decoder never panics on arbitrary bytes, and any frame it accepts
+// survives a marshal/decode round trip with its header and body
+// intact.
+func FuzzDecodeFrame(f *testing.F) {
+	// One sealed frame per message type.
+	f.Add(sealedSeed(f, TypeHello, Hello{VehicleID: "olev-01", MaxPowerKW: 68, VelocityMS: 26.8, SOC: 0.4}))
+	f.Add(sealedSeed(f, TypeQuote, Quote{
+		VehicleID: "olev-01", Others: []float64{1.5, 0, 3.25}, Round: 2, Epoch: 9,
+		Cost: CostSpec{Kind: "nonlinear", BetaPerKWh: 0.02, Alpha: 0.875, LineCapacityKW: 50},
+	}))
+	f.Add(sealedSeed(f, TypeRequest, Request{VehicleID: "olev-01", TotalKW: 41.5, DrawCapKW: 12, Round: 2, Epoch: 9}))
+	f.Add(sealedSeed(f, TypeSchedule, ScheduleMsg{VehicleID: "olev-01", AllocKW: []float64{2, 0, 1}, PaymentH: 0.8, Round: 2}))
+	f.Add(sealedSeed(f, TypeConverged, Converged{Rounds: 11, CongestionDegree: 0.9, WelfarePerHour: 120}))
+	f.Add(sealedSeed(f, TypeBye, Bye{Reason: "session complete"}))
+
+	// Truncated and corrupted envelopes.
+	quote := sealedSeed(f, TypeQuote, Quote{VehicleID: "olev-02", Others: []float64{4, 4}})
+	f.Add(quote[:len(quote)/2])
+	flipped := bytes.Clone(quote)
+	flipped[len(flipped)/3] ^= 0x5a
+	f.Add(flipped)
+	f.Add([]byte(`{"type":"quote","from":"grid","seq":"not-a-number"}`))
+	f.Add([]byte("\n"))
+	f.Add([]byte{})
+
+	// MaxFrameBytes boundaries: one byte under (accepted), exactly at
+	// (rejected), and a grossly oversized junk line.
+	f.Add(boundaryFrame(MaxFrameBytes - 1))
+	f.Add(boundaryFrame(MaxFrameBytes))
+	f.Add(append(boundaryFrame(MaxFrameBytes-1), '\n'))
+	f.Add(bytes.Repeat([]byte{'x'}, MaxFrameBytes+17))
+
+	f.Fuzz(func(t *testing.T, line []byte) {
+		payload := bytes.TrimSuffix(line, []byte("\n"))
+
+		env, err := DecodeFrame(line)
+		if len(payload) >= MaxFrameBytes {
+			if !errors.Is(err, ErrFrameTooLarge) {
+				t.Fatalf("payload of %d bytes decoded without ErrFrameTooLarge (err=%v)", len(payload), err)
+			}
+			return
+		}
+		if err != nil {
+			if errors.Is(err, ErrFrameTooLarge) {
+				t.Fatalf("payload of %d bytes < MaxFrameBytes rejected as too large", len(payload))
+			}
+			return // malformed JSON is allowed to fail, just not panic
+		}
+
+		// Round trip: re-encoding an accepted envelope and decoding it
+		// again must reproduce the header and a semantically identical
+		// body. Re-encoding may legitimately grow past MaxFrameBytes
+		// (JSON string escaping), in which case the size guard must fire.
+		raw, err := json.Marshal(env)
+		if err != nil {
+			t.Fatalf("re-marshal decoded envelope: %v", err)
+		}
+		env2, err := DecodeFrame(raw)
+		if len(raw) >= MaxFrameBytes {
+			if !errors.Is(err, ErrFrameTooLarge) {
+				t.Fatalf("re-encoded frame of %d bytes not rejected: %v", len(raw), err)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("round-trip decode: %v", err)
+		}
+		if env2.Type != env.Type || env2.From != env.From || env2.Seq != env.Seq {
+			t.Fatalf("round-trip header mismatch: %+v vs %+v", env2, env)
+		}
+		if !jsonEqual(env.Body, env2.Body) {
+			t.Fatalf("round-trip body mismatch: %q vs %q", env.Body, env2.Body)
+		}
+	})
+}
+
+// jsonEqual compares two raw JSON bodies modulo whitespace (Marshal
+// compacts RawMessage, so the round-tripped body may differ only in
+// formatting).
+func jsonEqual(a, b json.RawMessage) bool {
+	if len(a) == 0 || len(b) == 0 {
+		return len(a) == 0 && len(b) == 0
+	}
+	var ca, cb bytes.Buffer
+	if err := json.Compact(&ca, a); err != nil {
+		return false
+	}
+	if err := json.Compact(&cb, b); err != nil {
+		return false
+	}
+	return bytes.Equal(ca.Bytes(), cb.Bytes())
+}

@@ -105,6 +105,28 @@ func (t *chanTransport) Close() error {
 	return nil
 }
 
+// DecodeFrame parses one newline-delimited wire frame into an
+// Envelope. It is the receive-side counterpart of Send's marshalling
+// and enforces the MaxFrameBytes bound independently of the bufio
+// reader sizing, so every consumer of raw frames (the TCP transport,
+// tests, the fuzz target, future transports) shares one validation
+// path. A single trailing newline is permitted but not required; the
+// size bound applies to the payload without it, mirroring Send.
+func DecodeFrame(line []byte) (Envelope, error) {
+	payload := line
+	if n := len(payload); n > 0 && payload[n-1] == '\n' {
+		payload = payload[:n-1]
+	}
+	if len(payload) >= MaxFrameBytes {
+		return Envelope{}, fmt.Errorf("v2i: decode %d bytes: %w", len(payload), ErrFrameTooLarge)
+	}
+	var env Envelope
+	if err := json.Unmarshal(payload, &env); err != nil {
+		return Envelope{}, fmt.Errorf("v2i: decode envelope: %w", err)
+	}
+	return env, nil
+}
+
 // tcpTransport frames envelopes as newline-delimited JSON over a
 // net.Conn.
 type tcpTransport struct {
@@ -178,11 +200,7 @@ func (t *tcpTransport) Recv(ctx context.Context) (Envelope, error) {
 		}
 		return Envelope{}, fmt.Errorf("v2i: read: %w", err)
 	}
-	var env Envelope
-	if err := json.Unmarshal(line, &env); err != nil {
-		return Envelope{}, fmt.Errorf("v2i: decode envelope: %w", err)
-	}
-	return env, nil
+	return DecodeFrame(line)
 }
 
 // Close implements Transport.

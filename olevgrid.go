@@ -88,6 +88,11 @@ type (
 	GameResult = core.Result
 	// RunOptions tunes a Game run.
 	RunOptions = core.RunOptions
+	// ParallelOptions tunes Game.RunParallel, the block-speculative
+	// round engine whose schedules are worker-count independent.
+	ParallelOptions = core.ParallelOptions
+	// ParallelResult reports a Game.RunParallel run.
+	ParallelResult = core.ParallelResult
 )
 
 // NewGame constructs the strategic game of Section IV.
@@ -260,3 +265,10 @@ var (
 func RunAllExperiments(w io.Writer, quick bool) error {
 	return experiments.RunAll(w, quick)
 }
+
+// RunAllExperimentOptions tunes RunAllExperimentsWith.
+type RunAllExperimentOptions = experiments.RunAllOptions
+
+// RunAllExperimentsWith is RunAllExperiments with full options,
+// including routing every game through the parallel round engine.
+var RunAllExperimentsWith = experiments.RunAllWith
