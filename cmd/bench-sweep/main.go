@@ -1,0 +1,235 @@
+// Command bench-sweep measures the outer simulation layers — the full
+// figure sweep (experiments.RunAllWith) and the coupled traffic/game
+// day (coupling.RunDay) — and emits machine-readable BENCH_sweep.json:
+//
+//   - wall-clock for the paper's cold sequential path versus the
+//     warm-started sweep engine at one worker and at GOMAXPROCS;
+//   - cold-vs-warm round counts for the hour-chained day, plus the
+//     max per-entry schedule divergence and worst hourly welfare
+//     disagreement between the two (same solver, tight tolerance, so
+//     the numbers measure the warm start and nothing else).
+//
+// With -check it exits non-zero when the equivalence contract is
+// violated: warm must never move an equilibrium (welfare agreement
+// ≤ 1e-6, schedule divergence ≤ 1e-9) and must save rounds. Wall-clock
+// is recorded but never gated — CI machines are too noisy for that.
+//
+// Usage:
+//
+//	bench-sweep [-quick] [-check] [-o BENCH_sweep.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"runtime"
+	"time"
+
+	"olevgrid/internal/coupling"
+	"olevgrid/internal/experiments"
+)
+
+// runallBench times three ways through the full figure regeneration.
+type runallBench struct {
+	// ColdSequentialWallMs is the paper's path: asynchronous dynamics,
+	// every sweep point cold, strictly sequential (Parallelism 0).
+	ColdSequentialWallMs float64 `json:"cold_sequential_wall_ms"`
+	// SweepP1WallMs is the warm-chained sweep on the round engine with
+	// one worker — the speedup attributable to warm starts and the
+	// engine alone.
+	SweepP1WallMs float64 `json:"sweep_p1_wall_ms"`
+	// SweepPMaxWallMs adds worker fan-out at GOMAXPROCS.
+	SweepPMaxWallMs float64 `json:"sweep_pmax_wall_ms"`
+	// Speedup is cold_sequential over sweep_pmax.
+	Speedup float64 `json:"sweep_speedup"`
+}
+
+// dayBench compares a cold and a warm hour-chained coupled day run by
+// the same engine at the same tight tolerance.
+type dayBench struct {
+	ColdTotalRounds int `json:"cold_total_rounds"`
+	WarmTotalRounds int `json:"warm_total_rounds"`
+	// RoundReduction is 1 − warm/cold.
+	RoundReduction float64 `json:"round_reduction"`
+	// MaxScheduleDivergence is the largest per-entry |cold − warm| over
+	// every hour's converged schedule.
+	MaxScheduleDivergence float64 `json:"max_schedule_divergence"`
+	// WelfareAgreement is the worst hourly |W_cold − W_warm|.
+	WelfareAgreement float64 `json:"welfare_agreement"`
+	ColdWallMs       float64 `json:"cold_wall_ms"`
+	WarmWallMs       float64 `json:"warm_wall_ms"`
+}
+
+type benchFile struct {
+	GoVersion  string `json:"go_version"`
+	NumCPU     int    `json:"num_cpu"`
+	GoMaxProcs int    `json:"go_max_procs"`
+	Quick      bool   `json:"quick"`
+
+	RunAll runallBench `json:"runall"`
+	Day    dayBench    `json:"day"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "bench-sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	quick := flag.Bool("quick", false, "fewer convergence runs in the figure sweep")
+	check := flag.Bool("check", false, "exit non-zero if the warm-start equivalence contract is violated")
+	out := flag.String("o", "BENCH_sweep.json", "output path (- for stdout)")
+	flag.Parse()
+
+	file := benchFile{
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Quick:      *quick,
+	}
+
+	if err := benchRunAll(&file, *quick); err != nil {
+		return err
+	}
+	if err := benchDay(&file); err != nil {
+		return err
+	}
+
+	blob, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	if *out == "-" {
+		if _, err := os.Stdout.Write(blob); err != nil {
+			return err
+		}
+	} else {
+		if err := os.WriteFile(*out, blob, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s: sweep %.0f -> %.0f ms (%.2fx), day rounds %d -> %d, divergence %.3g\n",
+			*out, file.RunAll.ColdSequentialWallMs, file.RunAll.SweepPMaxWallMs, file.RunAll.Speedup,
+			file.Day.ColdTotalRounds, file.Day.WarmTotalRounds, file.Day.MaxScheduleDivergence)
+	}
+
+	if *check {
+		var failures []string
+		if file.Day.WelfareAgreement > 1e-6 {
+			failures = append(failures, fmt.Sprintf("welfare agreement %g > 1e-6", file.Day.WelfareAgreement))
+		}
+		if file.Day.MaxScheduleDivergence > 1e-9 {
+			failures = append(failures, fmt.Sprintf("schedule divergence %g > 1e-9", file.Day.MaxScheduleDivergence))
+		}
+		if file.Day.WarmTotalRounds >= file.Day.ColdTotalRounds {
+			failures = append(failures, fmt.Sprintf("warm day took %d rounds, cold %d — chaining saved nothing",
+				file.Day.WarmTotalRounds, file.Day.ColdTotalRounds))
+		}
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "bench-sweep: CHECK FAILED:", f)
+		}
+		if len(failures) > 0 {
+			os.Exit(1)
+		}
+		fmt.Println("bench-sweep: checks passed")
+	}
+	return nil
+}
+
+// benchRunAll times the full figure regeneration three ways. The
+// reports themselves go to io.Discard — only the work is timed.
+func benchRunAll(file *benchFile, quick bool) error {
+	cold, err := timeRunAll(experiments.RunAllOptions{Quick: quick})
+	if err != nil {
+		return fmt.Errorf("cold sequential sweep: %w", err)
+	}
+	p1, err := timeRunAll(experiments.RunAllOptions{Quick: quick, Parallelism: 1, WarmStart: true})
+	if err != nil {
+		return fmt.Errorf("warm sweep p1: %w", err)
+	}
+	pmax, err := timeRunAll(experiments.RunAllOptions{
+		Quick: quick, Parallelism: runtime.GOMAXPROCS(0), WarmStart: true,
+	})
+	if err != nil {
+		return fmt.Errorf("warm sweep pmax: %w", err)
+	}
+	file.RunAll = runallBench{
+		ColdSequentialWallMs: cold,
+		SweepP1WallMs:        p1,
+		SweepPMaxWallMs:      pmax,
+	}
+	if pmax > 0 {
+		file.RunAll.Speedup = cold / pmax
+	}
+	return nil
+}
+
+func timeRunAll(opts experiments.RunAllOptions) (float64, error) {
+	start := time.Now()
+	if err := experiments.RunAllWith(io.Discard, opts); err != nil {
+		return 0, err
+	}
+	return float64(time.Since(start).Microseconds()) / 1000, nil
+}
+
+// benchDay runs the coupled day cold and warm with the same engine at
+// a tight tolerance, so divergence measures the warm start alone.
+func benchDay(file *benchFile) error {
+	base := coupling.DayConfig{
+		Seed:          3,
+		Parallelism:   1,
+		Tolerance:     1e-11,
+		KeepSchedules: true,
+	}
+	start := time.Now()
+	cold, err := coupling.RunDay(base)
+	if err != nil {
+		return fmt.Errorf("cold day: %w", err)
+	}
+	coldWall := time.Since(start)
+
+	warmCfg := base
+	warmCfg.WarmStart = true
+	start = time.Now()
+	warm, err := coupling.RunDay(warmCfg)
+	if err != nil {
+		return fmt.Errorf("warm day: %w", err)
+	}
+	warmWall := time.Since(start)
+
+	var maxDiff, maxWelfare float64
+	for h := range cold.Hours {
+		hc, hw := cold.Hours[h], warm.Hours[h]
+		if d := math.Abs(hc.Welfare - hw.Welfare); d > maxWelfare {
+			maxWelfare = d
+		}
+		if hc.Schedule == nil || hw.Schedule == nil {
+			continue
+		}
+		for n := 0; n < hc.Schedule.NumOLEVs(); n++ {
+			for c := 0; c < hc.Schedule.NumSections(); c++ {
+				if d := math.Abs(hc.Schedule.At(n, c) - hw.Schedule.At(n, c)); d > maxDiff {
+					maxDiff = d
+				}
+			}
+		}
+	}
+	file.Day = dayBench{
+		ColdTotalRounds:       cold.TotalRounds,
+		WarmTotalRounds:       warm.TotalRounds,
+		MaxScheduleDivergence: maxDiff,
+		WelfareAgreement:      maxWelfare,
+		ColdWallMs:            float64(coldWall.Microseconds()) / 1000,
+		WarmWallMs:            float64(warmWall.Microseconds()) / 1000,
+	}
+	if cold.TotalRounds > 0 {
+		file.Day.RoundReduction = 1 - float64(warm.TotalRounds)/float64(cold.TotalRounds)
+	}
+	return nil
+}

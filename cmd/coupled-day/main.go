@@ -7,9 +7,15 @@
 // and reports the operator-side impact: deficiency growth, reserve
 // shortfall hours, and the extra ancillary bill.
 //
+// With -parallel the hourly games run through the round engine with
+// that many proposal workers; with -warm each hour's game starts from
+// the previous hour's equilibrium projected onto the new fleet
+// (departed vehicles dropped, arrivals at zero), which trims rounds
+// without moving the equilibria.
+//
 // Usage:
 //
-//	coupled-day [-seed N] [-participation F] [-sections C] [-eta F] [-scale K]
+//	coupled-day [-seed N] [-participation F] [-sections C] [-eta F] [-scale K] [-parallel P] [-warm]
 package main
 
 import (
@@ -34,6 +40,8 @@ func run() error {
 	sections := flag.Int("sections", 20, "charging sections on the lane")
 	eta := flag.Float64("eta", 0.9, "safety factor")
 	scale := flag.Float64("scale", 0, "if > 0, report grid impact at this many deployed lanes")
+	parallel := flag.Int("parallel", 0, "round-engine proposal workers per hourly game (0 = asynchronous dynamics)")
+	warm := flag.Bool("warm", false, "warm-start each hour from the previous hour's projected equilibrium")
 	flag.Parse()
 
 	cfg := olevgrid.CoupledDayConfig{
@@ -41,6 +49,8 @@ func run() error {
 		Participation: *participation,
 		NumSections:   *sections,
 		Eta:           *eta,
+		Parallelism:   *parallel,
+		WarmStart:     *warm,
 	}
 	if *scale > 0 {
 		impact, err := coupling.RunDayWithGridFeedback(cfg, *scale)
@@ -61,12 +71,15 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	fmt.Println("hour  olevs  beta$/MWh  congestion  energy-kWh  revenue-$")
+	fmt.Println("hour  olevs  beta$/MWh  congestion  energy-kWh  revenue-$  rounds  degraded")
 	for _, h := range res.Hours {
-		fmt.Printf("%4d  %5d  %9.2f  %10.3f  %10.1f  %9.2f\n",
-			h.Hour, h.OLEVs, h.BetaPerMWh, h.CongestionDegree, h.EnergyKWh, h.RevenueUSD)
+		fmt.Printf("%4d  %5d  %9.2f  %10.3f  %10.1f  %9.2f  %6d  %8d\n",
+			h.Hour, h.OLEVs, h.BetaPerMWh, h.CongestionDegree, h.EnergyKWh, h.RevenueUSD,
+			h.Rounds, h.DegradedRounds)
 	}
 	fmt.Printf("\nday total: %.0f kWh delivered, $%.2f collected, peak hour %02d:00, mean %.1f vehicles on lane\n",
 		res.TotalEnergyKWh, res.TotalRevenueUSD, res.PeakHour, res.MeanConcurrent)
+	fmt.Printf("solver: %d rounds over the day (%d degraded)\n",
+		res.TotalRounds, res.TotalDegradedRounds)
 	return nil
 }

@@ -1,9 +1,14 @@
 // Command wpt-experiments regenerates every figure of the paper's
 // evaluation and prints the series as aligned text tables.
 //
+// With -parallel the pricing games run through the round engine and
+// the sweep points fan out over that many workers (results are
+// worker-count independent); with -warm each sweep axis chains,
+// seeding every game from its neighbor's equilibrium.
+//
 // Usage:
 //
-//	wpt-experiments [-quick] [-fig all|2|3|5|6]
+//	wpt-experiments [-quick] [-fig all|2|3|5|6] [-parallel P] [-warm]
 package main
 
 import (
@@ -28,12 +33,16 @@ func run() error {
 	quick := flag.Bool("quick", false, "fewer convergence runs (faster, same shapes)")
 	fig := flag.String("fig", "all", "which figure family to regenerate: all, 2, 3, 5, or 6")
 	csvDir := flag.String("csvdir", "", "also write the figure tables as CSV files into this directory")
+	parallel := flag.Int("parallel", 0, "engine/sweep workers (0 = asynchronous dynamics, sequential sweeps)")
+	warm := flag.Bool("warm", false, "warm-start each sweep point from its neighbor's equilibrium")
 	flag.Parse()
 
 	out := os.Stdout
 	switch *fig {
 	case "all":
-		return olevgrid.RunAllExperiments(out, *quick)
+		return olevgrid.RunAllExperimentsWith(out, olevgrid.RunAllExperimentOptions{
+			Quick: *quick, Parallelism: *parallel, WarmStart: *warm,
+		})
 	case "2":
 		res, err := experiments.Fig2(grid.DefaultConfig())
 		if err != nil {
@@ -63,7 +72,8 @@ func run() error {
 		if *fig == "6" {
 			mph = 80
 		}
-		return runGameFigures(out, units.MPH(mph), *fig, *quick)
+		d := experiments.GameDefaults{Parallelism: *parallel, WarmStart: *warm}
+		return runGameFigures(out, units.MPH(mph), *fig, *quick, d)
 	default:
 		return fmt.Errorf("unknown -fig %q", *fig)
 	}
@@ -84,9 +94,7 @@ func exportCSV(dir string, tables []experiments.Table) error {
 	return nil
 }
 
-func runGameFigures(out *os.File, vel olevgrid.Speed, fig string, quick bool) error {
-	d := experiments.GameDefaults{}
-
+func runGameFigures(out *os.File, vel olevgrid.Speed, fig string, quick bool, d experiments.GameDefaults) error {
 	points, err := experiments.PaymentVsCongestion(vel, d)
 	if err != nil {
 		return err

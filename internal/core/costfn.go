@@ -119,6 +119,50 @@ func (o OverloadPenalty) Marginal(x float64) float64 {
 	return o.Kappa * over / o.Capacity
 }
 
+// marginalOf returns a devirtualized marginal evaluator for the cost
+// compositions the experiments actually run — SectionCost over the
+// quadratic or linear charging curve with the overload penalty — and
+// falls back to the interface method for anything else. The
+// specialized closures perform the same floating-point operations in
+// the same order as the Marginal methods they shortcut, so results
+// are bit-identical; they exist only to strip the double interface
+// dispatch out of the best-response bisection, the round engine's
+// hottest loop.
+func marginalOf(cost CostFunction) func(float64) float64 {
+	sc, ok := cost.(SectionCost)
+	if !ok {
+		return cost.Marginal
+	}
+	o, ok := sc.Overload.(OverloadPenalty)
+	if !ok {
+		return cost.Marginal
+	}
+	switch q := sc.Charging.(type) {
+	case QuadraticCharging:
+		return func(x float64) float64 {
+			if x < 0 {
+				x = 0
+			}
+			u := q.Alpha + x/q.Capacity
+			norm := (q.Alpha + 1) * (q.Alpha + 1)
+			m := q.Beta * (u*u + 2*x*u/q.Capacity) / norm
+			if over := x - o.Capacity; over > 0 {
+				m += o.Kappa * over / o.Capacity
+			}
+			return m
+		}
+	case LinearCharging:
+		return func(x float64) float64 {
+			m := q.Beta
+			if over := x - o.Capacity; over > 0 {
+				m += o.Kappa * over / o.Capacity
+			}
+			return m
+		}
+	}
+	return cost.Marginal
+}
+
 // SectionCost is Z(·) = V(·) + A(· − ηP_line) of Eq. (6): the total
 // power charging plus overload cost of one charging section.
 type SectionCost struct {

@@ -37,6 +37,13 @@ type Config struct {
 	Eta float64
 	// Cost is the shared section cost Z(·) of Eq. (6).
 	Cost CostFunction
+	// InitialSchedule, when non-nil, warm-starts the game from a prior
+	// equilibrium instead of the all-zero schedule. Theorem IV.1
+	// guarantees convergence to the social optimum from any feasible
+	// starting point, so seeding only changes round counts, never the
+	// destination; build one from an earlier game with ProjectSchedule.
+	// Dimensions must match Players × NumSections.
+	InitialSchedule *Schedule
 }
 
 // Validate reports the first problem with the configuration.
@@ -72,6 +79,11 @@ func (c Config) Validate() error {
 	if c.Cost == nil {
 		return fmt.Errorf("core: game needs a section cost function")
 	}
+	if c.InitialSchedule != nil {
+		if err := validateInitialSchedule(c.InitialSchedule, len(c.Players), c.NumSections); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -84,7 +96,8 @@ type Game struct {
 	schedule *Schedule
 }
 
-// NewGame constructs a game with an all-zero initial schedule.
+// NewGame constructs a game with an all-zero initial schedule, or —
+// when cfg.InitialSchedule is set — warm-started from that schedule.
 func NewGame(cfg Config) (*Game, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -92,9 +105,16 @@ func NewGame(cfg Config) (*Game, error) {
 	players := make([]Player, len(cfg.Players))
 	copy(players, cfg.Players)
 	cfg.Players = players
-	s, err := NewSchedule(len(cfg.Players), cfg.NumSections)
-	if err != nil {
-		return nil, err
+	var s *Schedule
+	if cfg.InitialSchedule != nil {
+		s = cfg.InitialSchedule.Clone()
+		cfg.InitialSchedule = nil // the game owns its copy
+	} else {
+		var err error
+		s, err = NewSchedule(len(cfg.Players), cfg.NumSections)
+		if err != nil {
+			return nil, err
+		}
 	}
 	return &Game{cfg: cfg, schedule: s}, nil
 }

@@ -113,17 +113,27 @@ type ParallelResult struct {
 // until the schedule converges or MaxRounds is exhausted. See the file
 // comment for the engine's semantics and determinism contract.
 func (g *Game) RunParallel(opts ParallelOptions) ParallelResult {
+	e := newRoundEngine(g, opts.Parallelism, opts.BatchSize, opts.Tolerance)
+	defer e.stop()
+	return e.loop(opts)
+}
+
+// loop drives rounds until convergence or the round budget runs out.
+// It is reusable across solves on a persistent engine (Solver): each
+// call re-arms the tolerance and resets the visit order, and Replayed
+// is reported as a delta over this solve only, so back-to-back solves
+// behave exactly like fresh RunParallel calls on the carried-over
+// schedule. Parallelism and BatchSize stay as constructed.
+func (e *roundEngine) loop(opts ParallelOptions) ParallelResult {
 	if opts.MaxRounds <= 0 {
 		opts.MaxRounds = 1000
 	}
 	if opts.Tolerance <= 0 {
 		opts.Tolerance = 1e-6
 	}
-	e := newRoundEngine(g, opts.Parallelism, opts.BatchSize, opts.Tolerance)
-	defer e.stop()
-	if opts.Order == OrderRandom {
-		e.enableRandomOrder(opts.Seed)
-	}
+	e.tol = opts.Tolerance
+	e.setOrder(opts.Order, opts.Seed)
+	replayedBefore := e.replayed
 
 	res := ParallelResult{
 		Welfare:    make([]float64, 0, opts.MaxRounds),
@@ -136,14 +146,14 @@ func (g *Game) RunParallel(opts ParallelOptions) ParallelResult {
 		res.Welfare = append(res.Welfare, e.welfare())
 		res.Congestion = append(res.Congestion, e.congestion())
 		if opts.OnRound != nil {
-			opts.OnRound(round, g)
+			opts.OnRound(round, e.g)
 		}
 		if maxDelta < opts.Tolerance {
 			res.Converged = true
 			break
 		}
 	}
-	res.Replayed = e.replayed
+	res.Replayed = e.replayed - replayedBefore
 	return res
 }
 
@@ -175,9 +185,13 @@ type span struct{ lo, hi int }
 
 // roundEngine owns the incremental state of one RunParallel execution.
 type roundEngine struct {
-	g       *Game
-	cost    CostFunction
-	n, c    int
+	g    *Game
+	cost CostFunction
+	// costMarg is cost.Marginal with the interface dispatch stripped
+	// for the known concrete compositions (see marginalOf); it is what
+	// the bisection in propose actually calls.
+	costMarg func(float64) float64
+	n, c     int
 	workers int
 	batch   int
 	tol     float64 // convergence tolerance; also arms the stall guard
@@ -233,7 +247,7 @@ func newRoundEngine(g *Game, parallelism, batch int, tol float64) *roundEngine {
 		batch = n
 	}
 	e := &roundEngine{
-		g: g, cost: g.cfg.Cost, n: n, c: c,
+		g: g, cost: g.cfg.Cost, costMarg: marginalOf(g.cfg.Cost), n: n, c: c,
 		workers:     parallelism,
 		batch:       batch,
 		tol:         tol,
@@ -271,12 +285,58 @@ func newRoundEngine(g *Game, parallelism, batch int, tol float64) *roundEngine {
 	return e
 }
 
-// enableRandomOrder arms OrderRandom: a per-round seeded reshuffle of
-// the visit permutation. The swap closure is bound once here so the
+// setOrder resets the visit permutation to identity and arms (or
+// disarms) the seeded per-round reshuffle. Resetting first makes each
+// solve on a persistent engine independent of where the previous
+// solve's shuffle left the permutation — the cross-solve half of the
+// determinism contract. The swap closure is bound once so the
 // steady-state round stays allocation-free.
-func (e *roundEngine) enableRandomOrder(seed int64) {
+func (e *roundEngine) setOrder(order UpdateOrder, seed int64) {
+	for i := range e.order {
+		e.order[i] = i
+	}
+	if order != OrderRandom {
+		e.rng = nil
+		return
+	}
 	e.rng = stats.NewRand(seed)
-	e.swap = func(i, j int) { e.order[i], e.order[j] = e.order[j], e.order[i] }
+	if e.swap == nil {
+		e.swap = func(i, j int) { e.order[i], e.order[j] = e.order[j], e.order[i] }
+	}
+}
+
+// setCost swaps the shared section cost — an LBMP β step between
+// hours — and refreshes only the Z cache: one O(C) pass over the
+// standing totals, with satisfactions and aggregates untouched.
+func (e *roundEngine) setCost(cost CostFunction) {
+	e.cost = cost
+	e.costMarg = marginalOf(cost)
+	e.g.cfg.Cost = cost
+	e.costSum = 0
+	for c := range e.totals {
+		e.costAt[c] = cost.Cost(e.totals[c])
+		e.costSum += e.costAt[c]
+	}
+}
+
+// setPlayer replaces player n's definition (a demand or ceiling
+// change) and refreshes only that player's cached satisfaction.
+func (e *roundEngine) setPlayer(n int, p Player) {
+	e.g.cfg.Players[n] = p
+	sat := p.Satisfaction.Value(e.playerTotal[n])
+	e.satSum += sat - e.satAt[n]
+	e.satAt[n] = sat
+}
+
+// setSchedule replaces the standing schedule wholesale and re-primes
+// the aggregates — the one O(N·C) entry point of a warm re-solve.
+func (e *roundEngine) setSchedule(s *Schedule) error {
+	if err := validateInitialSchedule(s, e.n, e.c); err != nil {
+		return err
+	}
+	copy(e.g.schedule.p, s.p)
+	e.prime()
+	return nil
 }
 
 // prime seeds the incremental aggregates from the game's current
@@ -427,8 +487,31 @@ func (e *roundEngine) propose(n, slot int, ws *fillScratch) {
 		}
 		return levelSorted(ws.sorted, ws.prefix, p)
 	}
+	// The bisection below evaluates deriv dozens of times per player
+	// per round, so both marginals are devirtualized: the section cost
+	// through the engine's cached costMarg, the satisfaction through a
+	// concrete fast path for the evaluation's LogSatisfaction. Each
+	// shortcut performs the same operations in the same order as the
+	// interface method it replaces, keeping the trajectory bit-identical.
+	costMarg := e.costMarg
+	logSat, isLog := player.Satisfaction.(LogSatisfaction)
 	deriv := func(p float64) float64 {
-		return player.Satisfaction.Marginal(p) - e.cost.Marginal(levelOf(p))
+		var lvl float64
+		if drawCap > 0 {
+			lvl = cappedLevelSorted(ws.sorted, ws.prefix, drawCap, p)
+		} else {
+			lvl = levelSorted(ws.sorted, ws.prefix, p)
+		}
+		var sm float64
+		if isLog {
+			if p < 0 {
+				p = 0
+			}
+			sm = logSat.Weight / (1 + p)
+		} else {
+			sm = player.Satisfaction.Marginal(p)
+		}
+		return sm - costMarg(lvl)
 	}
 
 	// The three-case structure of BestResponse, bit-compatible with the
@@ -511,10 +594,19 @@ func levelSorted(sorted, prefix []float64, total float64) float64 {
 	if total <= 0 {
 		return sorted[0]
 	}
-	k := 1 + sort.Search(c-1, func(i int) bool {
-		k := i + 1
-		return (total+prefix[k])/float64(k) <= sorted[k]
-	})
+	// Inline sort.Search: the closure would be called from the hottest
+	// loop in the engine, several probes per deriv evaluation.
+	i, j := 0, c-1
+	for i < j {
+		h := int(uint(i+j) >> 1)
+		k := h + 1
+		if (total+prefix[k])/float64(k) > sorted[k] {
+			i = h + 1
+		} else {
+			j = h
+		}
+	}
+	k := i + 1
 	return (total + prefix[k]) / float64(k)
 }
 

@@ -211,7 +211,7 @@ func TestRoundEngineSteadyStateZeroAllocs(t *testing.T) {
 
 	// The OrderRandom shuffle must not reintroduce allocations: the
 	// swap closure is bound once when the order is armed.
-	e.enableRandomOrder(3)
+	e.setOrder(OrderRandom, 3)
 	for i := 0; i < 2000; i++ {
 		if e.round() < 1e-9 {
 			break

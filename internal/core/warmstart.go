@@ -1,0 +1,116 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file is the warm-start layer of the equilibrium engine: games
+// re-solved after a small perturbation (an LBMP step, a handful of
+// joins and departures, a resized roadway) start from the previous
+// equilibrium instead of the all-zero schedule. The license to do so
+// is Theorem IV.1: the game is an exact potential game, so the
+// asynchronous best-response dynamics converge to the social optimum
+// from *any* feasible starting point — the starting point only decides
+// how many rounds the trip takes. Seeding near the old optimum
+// therefore changes round counts, never the destination.
+//
+// The projection rule maps a prior equilibrium onto a new game
+// configuration:
+//
+//   - rows travel by player ID: a vehicle present in both fleets keeps
+//     its allocation, a departed vehicle's row is dropped, a joiner
+//     starts at zero (exactly how sched.Coordinator admits mid-run
+//     joins);
+//   - when the section count changes, a kept row's total is spread
+//     evenly over the new sections — the water-filled shape against the
+//     old background is meaningless on a different roadway, but the
+//     total is still an excellent guess for the player's demand;
+//   - rows are re-clamped to the new player's feasibility: per-section
+//     entries to the Eq. (3) draw cap, and the row total to the Eq. (2)
+//     power ceiling (scaled down proportionally, which preserves the
+//     water-filled shape).
+//
+// Feasibility of the seed matters only for interpretability — the
+// first best response a player takes replaces its row wholesale — but
+// clamping keeps every intermediate quote physically meaningful.
+
+// ProjectSchedule maps a prior equilibrium onto a new game
+// configuration following the warm-start projection rule above.
+// prevIDs names the rows of prev, index-aligned; players and
+// numSections describe the new game. The result is always a valid
+// InitialSchedule for a Config with those players and sections.
+func ProjectSchedule(prev *Schedule, prevIDs []string, players []Player, numSections int) (*Schedule, error) {
+	if prev == nil {
+		return nil, fmt.Errorf("core: project needs a prior schedule")
+	}
+	if len(prevIDs) != prev.NumOLEVs() {
+		return nil, fmt.Errorf("core: %d prior IDs for %d schedule rows", len(prevIDs), prev.NumOLEVs())
+	}
+	out, err := NewSchedule(len(players), numSections)
+	if err != nil {
+		return nil, err
+	}
+	index := make(map[string]int, len(prevIDs))
+	for i, id := range prevIDs {
+		index[id] = i
+	}
+	row := make([]float64, numSections)
+	for n, p := range players {
+		j, ok := index[p.ID]
+		if !ok {
+			continue // joiner: zero-seeded
+		}
+		if numSections == prev.NumSections() {
+			copy(row, prev.p[j*prev.c:(j+1)*prev.c])
+		} else {
+			share := prev.OLEVTotal(j) / float64(numSections)
+			for c := range row {
+				row[c] = share
+			}
+		}
+		clampRowToPlayer(row, p)
+		out.SetRow(n, row)
+	}
+	return out, nil
+}
+
+// clampRowToPlayer re-imposes the player's own feasibility on a
+// projected row: the per-section draw cap first, then a proportional
+// rescale of the total onto the power ceiling.
+func clampRowToPlayer(row []float64, p Player) {
+	var total float64
+	for c, v := range row {
+		if v < 0 || math.IsNaN(v) {
+			v = 0
+		}
+		if p.MaxSectionDrawKW > 0 && v > p.MaxSectionDrawKW {
+			v = p.MaxSectionDrawKW
+		}
+		row[c] = v
+		total += v
+	}
+	if total <= p.MaxPowerKW || total == 0 {
+		return
+	}
+	scale := p.MaxPowerKW / total
+	for c := range row {
+		row[c] *= scale
+	}
+}
+
+// validateInitialSchedule checks a Config.InitialSchedule against the
+// game's dimensions; entries must be finite and non-negative (a
+// schedule entry is a physical power draw).
+func validateInitialSchedule(s *Schedule, numPlayers, numSections int) error {
+	if s.NumOLEVs() != numPlayers || s.NumSections() != numSections {
+		return fmt.Errorf("core: initial schedule %dx%d does not match game %dx%d",
+			s.NumOLEVs(), s.NumSections(), numPlayers, numSections)
+	}
+	for _, v := range s.p {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("core: initial schedule entry %v is not a power draw", v)
+		}
+	}
+	return nil
+}

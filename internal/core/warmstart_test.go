@@ -1,0 +1,445 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func warmTestPlayer(i int) Player {
+	return Player{
+		ID:           fmt.Sprintf("olev-%03d", i),
+		MaxPowerKW:   60 + float64(i%5)*8,
+		Satisfaction: LogSatisfaction{Weight: 1 + 0.1*float64(i%3)},
+	}
+}
+
+func warmTestCost(t *testing.T, betaPerKWh float64) CostFunction {
+	t.Helper()
+	capacity := 0.9 * 50.0
+	v, err := NewQuadraticCharging(betaPerKWh, 0.875, capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return SectionCost{Charging: v, Overload: OverloadPenalty{Kappa: 10, Capacity: capacity}}
+}
+
+func playerIDs(players []Player) []string {
+	ids := make([]string, len(players))
+	for i, p := range players {
+		ids[i] = p.ID
+	}
+	return ids
+}
+
+func TestProjectScheduleSameFleetIsIdentity(t *testing.T) {
+	cfg := testConfig(t, 6, 5)
+	g, err := NewGame(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.RunParallel(ParallelOptions{Parallelism: 1})
+	prev := g.Schedule()
+	proj, err := ProjectSchedule(prev, playerIDs(cfg.Players), cfg.Players, cfg.NumSections)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < prev.NumOLEVs(); n++ {
+		for c := 0; c < prev.NumSections(); c++ {
+			if proj.At(n, c) != prev.At(n, c) {
+				t.Fatalf("entry (%d,%d) changed under identity projection: %v vs %v",
+					n, c, proj.At(n, c), prev.At(n, c))
+			}
+		}
+	}
+}
+
+func TestProjectScheduleChurn(t *testing.T) {
+	prev, err := NewSchedule(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev.SetRow(0, []float64{1, 2, 3, 4})
+	prev.SetRow(1, []float64{5, 5, 5, 5})
+	prev.SetRow(2, []float64{0, 8, 0, 8})
+	prevIDs := []string{"a", "b", "c"}
+
+	// b departs, d joins, a and c travel; new order shuffles rows.
+	players := []Player{
+		{ID: "c", MaxPowerKW: 100, Satisfaction: LogSatisfaction{Weight: 1}},
+		{ID: "d", MaxPowerKW: 100, Satisfaction: LogSatisfaction{Weight: 1}},
+		{ID: "a", MaxPowerKW: 100, Satisfaction: LogSatisfaction{Weight: 1}},
+	}
+	proj, err := ProjectSchedule(prev, prevIDs, players, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows := [][]float64{{0, 8, 0, 8}, {0, 0, 0, 0}, {1, 2, 3, 4}}
+	for n, want := range wantRows {
+		for c, w := range want {
+			if proj.At(n, c) != w {
+				t.Errorf("row %d section %d: got %v want %v", n, c, proj.At(n, c), w)
+			}
+		}
+	}
+}
+
+func TestProjectScheduleSectionChangeSpreadsTotal(t *testing.T) {
+	prev, err := NewSchedule(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev.SetRow(0, []float64{1, 2, 3, 4})
+	players := []Player{{ID: "a", MaxPowerKW: 100, Satisfaction: LogSatisfaction{Weight: 1}}}
+	proj, err := ProjectSchedule(prev, []string{"a"}, players, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := 0; c < 5; c++ {
+		if d := math.Abs(proj.At(0, c) - 2.0); d > 1e-12 {
+			t.Errorf("section %d: got %v want 2 (10 kW spread over 5 sections)", c, proj.At(0, c))
+		}
+	}
+}
+
+func TestProjectScheduleClampsToNewFeasibility(t *testing.T) {
+	prev, err := NewSchedule(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev.SetRow(0, []float64{10, 20, 30})
+	// The new player is tighter on both axes: a 15 kW per-section cap
+	// and a 30 kW ceiling. Sections clamp first (10, 15, 15 = 40), then
+	// the total rescales proportionally onto the ceiling.
+	players := []Player{{
+		ID: "a", MaxPowerKW: 30, MaxSectionDrawKW: 15,
+		Satisfaction: LogSatisfaction{Weight: 1},
+	}}
+	proj, err := ProjectSchedule(prev, []string{"a"}, players, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{10 * 30.0 / 40.0, 15 * 30.0 / 40.0, 15 * 30.0 / 40.0}
+	var total float64
+	for c, w := range want {
+		if d := math.Abs(proj.At(0, c) - w); d > 1e-12 {
+			t.Errorf("section %d: got %v want %v", c, proj.At(0, c), w)
+		}
+		total += proj.At(0, c)
+	}
+	if d := math.Abs(total - 30); d > 1e-12 {
+		t.Errorf("projected total %v, want the 30 kW ceiling", total)
+	}
+}
+
+func TestProjectScheduleErrors(t *testing.T) {
+	players := []Player{{ID: "a", MaxPowerKW: 10, Satisfaction: LogSatisfaction{Weight: 1}}}
+	if _, err := ProjectSchedule(nil, nil, players, 3); err == nil {
+		t.Error("nil prior schedule accepted")
+	}
+	prev, err := NewSchedule(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ProjectSchedule(prev, []string{"only-one"}, players, 3); err == nil {
+		t.Error("mismatched ID count accepted")
+	}
+}
+
+func TestNewGameRejectsBadInitialSchedule(t *testing.T) {
+	cfg := testConfig(t, 3, 4)
+	wrong, err := NewSchedule(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.InitialSchedule = wrong
+	if _, err := NewGame(cfg); err == nil {
+		t.Error("wrong-sized initial schedule accepted")
+	}
+	bad, err := NewSchedule(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad.SetRow(0, []float64{1, math.Inf(1), 0, 0})
+	cfg.InitialSchedule = bad
+	if _, err := NewGame(cfg); err == nil {
+		t.Error("non-finite initial schedule accepted")
+	}
+}
+
+func TestNewGameOwnsInitialScheduleCopy(t *testing.T) {
+	cfg := testConfig(t, 3, 4)
+	seed, err := NewSchedule(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed.SetRow(0, []float64{1, 2, 3, 4})
+	cfg.InitialSchedule = seed
+	g, err := NewGame(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed.SetRow(0, []float64{9, 9, 9, 9}) // caller mutation must not leak in
+	if got := g.Schedule().At(0, 1); got != 2 {
+		t.Errorf("game schedule entry (0,1) = %v, want the seeded 2", got)
+	}
+}
+
+// TestWarmStartMatchesColdAcrossChurn is the correctness guard of the
+// warm-start layer: across a randomized churn sequence — joins,
+// departures, and β steps — a game warm-started from the projected
+// previous equilibrium must land on the same schedule as a cold
+// zero-start solve, to 1e-9 per entry. Both paths use the same solver
+// (the round engine at one worker) and the same tight tolerance, so
+// the only difference is the starting point — exactly the freedom
+// Theorem IV.1 grants. Warm starting must also pay for itself: total
+// warm rounds strictly below total cold rounds over the sequence.
+func TestWarmStartMatchesColdAcrossChurn(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	players := make([]Player, 18)
+	nextID := len(players)
+	for i := range players {
+		players[i] = warmTestPlayer(i)
+	}
+	const numSections = 12
+	beta := 0.02
+	// OrderRandom breaks the homogeneous-fleet symmetry that makes
+	// round-robin crawl near the optimum; cold and warm share the seed,
+	// so the per-round visit orders are identical on both paths.
+	opts := ParallelOptions{Parallelism: 1, Tolerance: 1e-11, MaxRounds: 20000, Order: OrderRandom, Seed: 5}
+
+	var prevWarm *Schedule
+	var prevIDs []string
+	coldRounds, warmRounds := 0, 0
+	for step := 0; step < 12; step++ {
+		switch rng.Intn(3) {
+		case 0: // joins
+			for k := rng.Intn(3) + 1; k > 0; k-- {
+				players = append(players, warmTestPlayer(nextID))
+				nextID++
+			}
+		case 1: // departures
+			for k := rng.Intn(3) + 1; k > 0 && len(players) > 4; k-- {
+				i := rng.Intn(len(players))
+				players = append(players[:i], players[i+1:]...)
+			}
+		default: // LBMP β step
+			beta *= 0.8 + 0.4*rng.Float64()
+		}
+		cfg := Config{
+			Players:        players,
+			NumSections:    numSections,
+			LineCapacityKW: 50,
+			Eta:            0.9,
+			Cost:           warmTestCost(t, beta),
+		}
+
+		cold, err := NewGame(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		coldRes := cold.RunParallel(opts)
+		if !coldRes.Converged {
+			t.Fatalf("step %d: cold solve did not converge", step)
+		}
+		coldRounds += coldRes.Rounds
+
+		warmCfg := cfg
+		if prevWarm != nil {
+			seed, err := ProjectSchedule(prevWarm, prevIDs, players, numSections)
+			if err != nil {
+				t.Fatalf("step %d: project: %v", step, err)
+			}
+			warmCfg.InitialSchedule = seed
+		}
+		warm, err := NewGame(warmCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		warmRes := warm.RunParallel(opts)
+		if !warmRes.Converged {
+			t.Fatalf("step %d: warm solve did not converge", step)
+		}
+		warmRounds += warmRes.Rounds
+
+		sc, sw := cold.Schedule(), warm.Schedule()
+		var maxDiff float64
+		for n := 0; n < len(players); n++ {
+			for c := 0; c < numSections; c++ {
+				if d := math.Abs(sc.At(n, c) - sw.At(n, c)); d > maxDiff {
+					maxDiff = d
+				}
+			}
+		}
+		if maxDiff > 1e-9 {
+			t.Fatalf("step %d: warm and cold equilibria diverge by %g (> 1e-9)", step, maxDiff)
+		}
+		if d := math.Abs(cold.Welfare() - warm.Welfare()); d > 1e-6 {
+			t.Fatalf("step %d: welfare diverges by %g", step, d)
+		}
+
+		prevWarm = sw
+		prevIDs = playerIDs(players)
+	}
+	if warmRounds >= coldRounds {
+		t.Errorf("warm starting saved nothing: %d warm rounds vs %d cold", warmRounds, coldRounds)
+	}
+	t.Logf("rounds over churn sequence: cold=%d warm=%d (%.1fx)",
+		coldRounds, warmRounds, float64(coldRounds)/float64(warmRounds))
+}
+
+// TestSolverIncrementalMatchesCold drives the persistent Solver
+// through a sequence of in-place perturbations (β steps and player
+// edits) and checks each re-solve lands on the cold-solved equilibrium
+// for the perturbed configuration.
+func TestSolverIncrementalMatchesCold(t *testing.T) {
+	cfg := testConfig(t, 16, 10)
+	g, err := NewGame(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSolver(g, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	opts := ParallelOptions{Tolerance: 1e-11, MaxRounds: 20000}
+	if res := s.Solve(opts); !res.Converged {
+		t.Fatal("initial solve did not converge")
+	}
+
+	betas := []float64{0.025, 0.018, 0.03}
+	for step, beta := range betas {
+		if err := s.SetCost(warmTestCost(t, beta)); err != nil {
+			t.Fatal(err)
+		}
+		if step == 1 {
+			p := cfg.Players[3]
+			p.MaxPowerKW = 40
+			if err := s.SetPlayer(3, p); err != nil {
+				t.Fatal(err)
+			}
+			cfg.Players[3] = p
+		}
+		res := s.Solve(opts)
+		if !res.Converged {
+			t.Fatalf("step %d: incremental solve did not converge", step)
+		}
+
+		coldCfg := cfg
+		coldCfg.Cost = warmTestCost(t, beta)
+		cold, err := NewGame(coldCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res := cold.RunParallel(opts); !res.Converged {
+			t.Fatalf("step %d: cold reference did not converge", step)
+		}
+		sc, sw := cold.Schedule(), s.Game().Schedule()
+		for n := 0; n < cold.NumPlayers(); n++ {
+			for c := 0; c < cold.NumSections(); c++ {
+				if d := math.Abs(sc.At(n, c) - sw.At(n, c)); d > 1e-9 {
+					t.Fatalf("step %d: entry (%d,%d) diverges by %g", step, n, c, d)
+				}
+			}
+		}
+	}
+}
+
+// TestSolverWelfareMonotoneAcrossPerturbations is the property test
+// for the incremental path: within every re-solve after a
+// perturbation, welfare must be nondecreasing round over round (up to
+// the engine's replay-guard slack) — the potential-game guarantee does
+// not care where the starting schedule came from.
+func TestSolverWelfareMonotoneAcrossPerturbations(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	cfg := testConfig(t, 14, 9)
+	g, err := NewGame(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSolver(g, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	opts := ParallelOptions{Tolerance: 1e-10, MaxRounds: 20000, Order: OrderRandom, Seed: 11}
+
+	for step := 0; step < 8; step++ {
+		if step > 0 {
+			if rng.Intn(2) == 0 {
+				if err := s.SetCost(warmTestCost(t, 0.01+0.03*rng.Float64())); err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				n := rng.Intn(g.NumPlayers())
+				p := g.Player(n)
+				p.MaxPowerKW = 30 + 60*rng.Float64()
+				if err := s.SetPlayer(n, p); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		res := s.Solve(opts)
+		if !res.Converged {
+			t.Fatalf("step %d: did not converge", step)
+		}
+		for i := 1; i < len(res.Welfare); i++ {
+			slack := welfareGuardRelEps * (1 + math.Abs(res.Welfare[i-1]))
+			if res.Welfare[i] < res.Welfare[i-1]-slack {
+				t.Fatalf("step %d round %d: welfare regressed %v -> %v",
+					step, i+1, res.Welfare[i-1], res.Welfare[i])
+			}
+		}
+		// The trajectory must agree with the game's own accounting.
+		if d := math.Abs(res.Welfare[len(res.Welfare)-1] - g.Welfare()); d > 1e-9*(1+math.Abs(g.Welfare())) {
+			t.Fatalf("step %d: cached welfare drifted from recomputed by %g", step, d)
+		}
+	}
+}
+
+// TestSolverWarmSolveSavesRounds pins the perf claim at the Solver
+// level: after a small β step, re-solving from the standing
+// equilibrium must take strictly fewer rounds than a cold zero-start
+// solve of the same configuration.
+func TestSolverWarmSolveSavesRounds(t *testing.T) {
+	cfg := testConfig(t, 20, 12)
+	g, err := NewGame(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSolver(g, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	opts := ParallelOptions{Tolerance: 1e-10, MaxRounds: 20000}
+	if res := s.Solve(opts); !res.Converged {
+		t.Fatal("initial solve did not converge")
+	}
+
+	newCost := warmTestCost(t, 0.022)
+	if err := s.SetCost(newCost); err != nil {
+		t.Fatal(err)
+	}
+	warm := s.Solve(opts)
+	if !warm.Converged {
+		t.Fatal("warm re-solve did not converge")
+	}
+
+	coldCfg := cfg
+	coldCfg.Cost = newCost
+	cold, err := NewGame(coldCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldRes := cold.RunParallel(opts)
+	if !coldRes.Converged {
+		t.Fatal("cold reference did not converge")
+	}
+	if warm.Rounds >= coldRes.Rounds {
+		t.Errorf("warm re-solve took %d rounds, cold %d — no saving", warm.Rounds, coldRes.Rounds)
+	}
+	t.Logf("rounds after β step: cold=%d warm=%d", coldRes.Rounds, warm.Rounds)
+}

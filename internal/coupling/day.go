@@ -12,6 +12,7 @@ import (
 	"math"
 	"time"
 
+	"olevgrid/internal/core"
 	"olevgrid/internal/grid"
 	"olevgrid/internal/pricing"
 	"olevgrid/internal/roadnet"
@@ -45,6 +46,27 @@ type DayConfig struct {
 	// MaxOLEVs caps an hour's game size; zero means 50 (the paper's
 	// evaluation ceiling).
 	MaxOLEVs int
+	// Parallelism, when positive, routes each hour's game through the
+	// core round engine with that many proposal workers (see
+	// pricing.Scenario.Parallelism); zero keeps the asynchronous
+	// single-player dynamics.
+	Parallelism int
+	// WarmStart chains hour t's converged schedule into hour t+1 as
+	// the game's starting point, projected onto hour t+1's fleet
+	// (core.ProjectSchedule): vehicles present both hours keep their
+	// allocation, departed rows drop, joiners start at zero. The
+	// equilibrium is unchanged — the potential game converges to the
+	// same optimum from any start — but adjacent hours differ by a few
+	// vehicles and one LBMP step, so the trip is much shorter. Off by
+	// default so existing outputs stay byte-identical.
+	WarmStart bool
+	// Tolerance overrides each hour's convergence tolerance; zero
+	// means the solver default (1e-6).
+	Tolerance float64
+	// KeepSchedules retains each hour's converged schedule in
+	// HourOutcome.Schedule — the warm-vs-cold divergence measurements
+	// need them; off by default to keep DayResult light.
+	KeepSchedules bool
 }
 
 func (c *DayConfig) applyDefaults() {
@@ -95,6 +117,15 @@ type HourOutcome struct {
 	EnergyKWh float64
 	// RevenueUSD is the grid's payment collection over the hour.
 	RevenueUSD float64
+	// Rounds counts the hour's full best-response cycles to
+	// convergence — the warm-start saving is read off this column.
+	Rounds int
+	// DegradedRounds counts blocks the parallel engine's welfare guard
+	// replayed sequentially (zero on the asynchronous path).
+	DegradedRounds int
+	// Schedule is the hour's converged schedule, retained only under
+	// DayConfig.KeepSchedules.
+	Schedule *core.Schedule
 }
 
 // DayResult is a full coupled day.
@@ -108,6 +139,10 @@ type DayResult struct {
 	// MeanConcurrent is the day's average simulated vehicle presence
 	// on the lane (before participation), for diagnostics.
 	MeanConcurrent float64
+	// TotalRounds and TotalDegradedRounds sum the per-hour round
+	// accounting; cold-vs-warm day comparisons read these.
+	TotalRounds         int
+	TotalDegradedRounds int
 }
 
 // RunDay executes the coupled day: one 24 h traffic simulation to
@@ -131,6 +166,11 @@ func RunDay(cfg DayConfig) (*DayResult, error) {
 	lineCap := pricing.LineCapacityKW(cfg.SectionLength, cfg.SpeedLimit)
 	res := &DayResult{}
 	var presenceSum float64
+	// Hour-chaining state: the previous hour's equilibrium and the IDs
+	// naming its rows. BuildFleet assigns stable per-index IDs, so a
+	// vehicle index present in adjacent hours carries its allocation.
+	var prevSchedule *core.Schedule
+	var prevIDs []string
 	for h := 0; h < 24; h++ {
 		presenceSum += presence[h]
 		beta := day.LBMP(time.Duration(h) * time.Hour)
@@ -148,14 +188,24 @@ func RunDay(cfg DayConfig) (*DayResult, error) {
 			if err != nil {
 				return nil, err
 			}
-			game, err := pricing.Nonlinear{}.Run(pricing.Scenario{
+			scenario := pricing.Scenario{
 				Players:        players,
 				NumSections:    cfg.NumSections,
 				LineCapacityKW: lineCap,
 				Eta:            cfg.Eta,
 				BetaPerMWh:     beta,
 				Seed:           cfg.Seed + int64(h)*131,
-			})
+				Parallelism:    cfg.Parallelism,
+				Tolerance:      cfg.Tolerance,
+			}
+			if cfg.WarmStart && prevSchedule != nil {
+				seed, err := core.ProjectSchedule(prevSchedule, prevIDs, players, cfg.NumSections)
+				if err != nil {
+					return nil, fmt.Errorf("coupling: hour %d warm start: %w", h, err)
+				}
+				scenario.InitialSchedule = seed
+			}
+			game, err := pricing.Nonlinear{}.Run(scenario)
 			if err != nil {
 				return nil, fmt.Errorf("coupling: hour %d game: %w", h, err)
 			}
@@ -164,10 +214,24 @@ func RunDay(cfg DayConfig) (*DayResult, error) {
 			out.Welfare = game.Welfare
 			out.EnergyKWh = game.TotalPowerKW // kW over one hour
 			out.RevenueUSD = game.TotalPaymentPerHour
+			out.Rounds = game.Rounds
+			out.DegradedRounds = game.DegradedRounds
+			if cfg.KeepSchedules {
+				out.Schedule = game.Schedule
+			}
+			if cfg.WarmStart {
+				prevSchedule = game.Schedule
+				prevIDs = make([]string, len(players))
+				for i, p := range players {
+					prevIDs[i] = p.ID
+				}
+			}
 		}
 		res.Hours[h] = out
 		res.TotalEnergyKWh += out.EnergyKWh
 		res.TotalRevenueUSD += out.RevenueUSD
+		res.TotalRounds += out.Rounds
+		res.TotalDegradedRounds += out.DegradedRounds
 		if out.EnergyKWh > res.Hours[res.PeakHour].EnergyKWh {
 			res.PeakHour = h
 		}

@@ -1,0 +1,70 @@
+package coupling
+
+// Golden-file determinism test for the coupled day, matching the
+// fig2/fig3/fig56 pattern in internal/experiments: the hourly
+// energy/revenue/rounds table for a fixed seed is pinned
+// byte-for-byte. Parallelism and WarmStart are pinned to zero — the
+// golden records the paper's cold asynchronous dynamics, and the
+// warm-start/engine equivalences are covered by the differential
+// suites. Regenerate with:
+//
+//	go test ./internal/coupling -run Golden -update
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func TestGoldenRunDay(t *testing.T) {
+	res, err := RunDay(DayConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	sb.WriteString("hour olevs beta($/MWh) congestion unit($/MWh) energy(kWh) revenue($) rounds degraded\n")
+	for _, h := range res.Hours {
+		fmt.Fprintf(&sb, "%4d %5d %11.4f %10.6f %11.4f %11.4f %10.4f %6d %8d\n",
+			h.Hour, h.OLEVs, h.BetaPerMWh, h.CongestionDegree, h.UnitPaymentPerMWh,
+			h.EnergyKWh, h.RevenueUSD, h.Rounds, h.DegradedRounds)
+	}
+	fmt.Fprintf(&sb, "totals: energy %.4f kWh, revenue %.4f $, rounds %d, peak hour %d, mean concurrent %.4f\n",
+		res.TotalEnergyKWh, res.TotalRevenueUSD, res.TotalRounds, res.PeakHour, res.MeanConcurrent)
+
+	path := filepath.Join("testdata", "day.golden")
+	got := sb.String()
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if got == string(want) {
+		return
+	}
+	gotLines, wantLines := strings.Split(got, "\n"), strings.Split(string(want), "\n")
+	for i := 0; i < len(gotLines) || i < len(wantLines); i++ {
+		var g, w string
+		if i < len(gotLines) {
+			g = gotLines[i]
+		}
+		if i < len(wantLines) {
+			w = wantLines[i]
+		}
+		if g != w {
+			t.Fatalf("day.golden: first difference at line %d:\n got: %q\nwant: %q", i+1, g, w)
+		}
+	}
+	t.Fatal("day.golden: output differs from golden")
+}

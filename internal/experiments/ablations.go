@@ -5,6 +5,7 @@ import (
 
 	"olevgrid/internal/pricing"
 	"olevgrid/internal/stats"
+	"olevgrid/internal/sweep"
 	"olevgrid/internal/units"
 )
 
@@ -21,28 +22,45 @@ func AblationAlphaSweep(alphas []float64, d GameDefaults) (*stats.Series, error)
 	vel := units.MPH(60)
 	lineCap := pricing.LineCapacityKW(d.SectionLength, vel)
 
+	steps, err := chainOrMap(len(alphas), d.WarmStart, sweepWorkers(d.Parallelism),
+		func(i int, prev *sweepStep[float64]) (sweepStep[float64], error) {
+			var zero sweepStep[float64]
+			alpha := alphas[i]
+			policy := pricing.Nonlinear{Alpha: alpha}
+			w, err := pricing.CongestionTargetWeight(policy, d.BetaPerMWh, lineCap, c, n, x)
+			if err != nil {
+				return zero, err
+			}
+			_, players, err := pricing.BuildFleet(pricing.FleetConfig{
+				N: n, Velocity: vel, SatisfactionWeight: w, Seed: d.Seed,
+			})
+			if err != nil {
+				return zero, err
+			}
+			scenario := pricing.Scenario{
+				Players: players, NumSections: c, LineCapacityKW: lineCap,
+				Eta: 1.0, BetaPerMWh: d.BetaPerMWh, Seed: d.Seed,
+				Parallelism: d.Parallelism,
+			}
+			if prev != nil {
+				seed, err := warmSeed(prev.schedule, prev.players, players, c)
+				if err != nil {
+					return zero, err
+				}
+				scenario.InitialSchedule = seed
+			}
+			res, err := policy.Run(scenario)
+			if err != nil {
+				return zero, err
+			}
+			return sweepStep[float64]{value: res.UnitPaymentPerMWh, schedule: res.Schedule, players: players}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
 	out := stats.NewSeries("unit-payment-per-mwh")
-	for _, alpha := range alphas {
-		policy := pricing.Nonlinear{Alpha: alpha}
-		w, err := pricing.CongestionTargetWeight(policy, d.BetaPerMWh, lineCap, c, n, x)
-		if err != nil {
-			return nil, err
-		}
-		_, players, err := pricing.BuildFleet(pricing.FleetConfig{
-			N: n, Velocity: vel, SatisfactionWeight: w, Seed: d.Seed,
-		})
-		if err != nil {
-			return nil, err
-		}
-		res, err := policy.Run(pricing.Scenario{
-			Players: players, NumSections: c, LineCapacityKW: lineCap,
-			Eta: 1.0, BetaPerMWh: d.BetaPerMWh, Seed: d.Seed,
-			Parallelism: d.Parallelism,
-		})
-		if err != nil {
-			return nil, err
-		}
-		out.Add(alpha, res.UnitPaymentPerMWh)
+	for i, s := range steps {
+		out.Add(alphas[i], s.value)
 	}
 	return out, nil
 }
@@ -70,22 +88,43 @@ func AblationKappaSweep(factors []float64, d GameDefaults) ([]KappaPoint, error)
 		return nil, err
 	}
 
-	var points []KappaPoint
-	for _, kf := range factors {
-		res, err := pricing.Nonlinear{OverloadKappaFactor: kf}.Run(pricing.Scenario{
-			Players: players, NumSections: c, LineCapacityKW: lineCap,
-			Eta: eta, BetaPerMWh: d.BetaPerMWh, Seed: d.Seed,
-			MaxUpdates: 6000, Parallelism: d.Parallelism,
+	steps, err := chainOrMap(len(factors), d.WarmStart, sweepWorkers(d.Parallelism),
+		func(i int, prev *sweepStep[KappaPoint]) (sweepStep[KappaPoint], error) {
+			var zero sweepStep[KappaPoint]
+			kf := factors[i]
+			scenario := pricing.Scenario{
+				Players: players, NumSections: c, LineCapacityKW: lineCap,
+				Eta: eta, BetaPerMWh: d.BetaPerMWh, Seed: d.Seed,
+				MaxUpdates: 6000, Parallelism: d.Parallelism,
+			}
+			if prev != nil {
+				seed, err := warmSeed(prev.schedule, players, players, c)
+				if err != nil {
+					return zero, err
+				}
+				scenario.InitialSchedule = seed
+			}
+			res, err := pricing.Nonlinear{OverloadKappaFactor: kf}.Run(scenario)
+			if err != nil {
+				return zero, err
+			}
+			return sweepStep[KappaPoint]{
+				value: KappaPoint{
+					KappaFactor: kf,
+					Overshoot:   res.CongestionDegree - eta,
+					Updates:     res.Updates,
+					Converged:   res.Converged,
+				},
+				schedule: res.Schedule,
+				players:  players,
+			}, nil
 		})
-		if err != nil {
-			return nil, err
-		}
-		points = append(points, KappaPoint{
-			KappaFactor: kf,
-			Overshoot:   res.CongestionDegree - eta,
-			Updates:     res.Updates,
-			Converged:   res.Converged,
-		})
+	if err != nil {
+		return nil, err
+	}
+	points := make([]KappaPoint, len(steps))
+	for i, s := range steps {
+		points[i] = s.value
 	}
 	return points, nil
 }
@@ -117,13 +156,20 @@ func PolicyComparison(d GameDefaults) (Table, error) {
 			"policy", "congestion", "power kW", "unit $/MWh", "welfare $/h", "CV", "fairness",
 		},
 	}
-	for _, p := range []pricing.Policy{
+	policies := []pricing.Policy{
 		pricing.Nonlinear{}, pricing.Linear{}, pricing.Stackelberg{},
-	} {
-		out, err := p.Run(scenario)
+	}
+	outs, err := sweep.Map(len(policies), sweepWorkers(d.Parallelism), func(i int) (pricing.Outcome, error) {
+		out, err := policies[i].Run(scenario)
 		if err != nil {
-			return Table{}, fmt.Errorf("experiments: %s: %w", p.Name(), err)
+			return pricing.Outcome{}, fmt.Errorf("experiments: %s: %w", policies[i].Name(), err)
 		}
+		return out, nil
+	})
+	if err != nil {
+		return Table{}, err
+	}
+	for _, out := range outs {
 		table.Rows = append(table.Rows, []string{
 			out.Policy,
 			fmt.Sprintf("%.3f", out.CongestionDegree),

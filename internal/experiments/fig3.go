@@ -77,27 +77,16 @@ type Fig3Result struct {
 
 // Fig3 runs the motivation study: the same demand over the same road,
 // once with the charging section at the stop line and once mid-block.
+// Both placements watch ONE simulation: the traffic (same seed, same
+// demand, same signal) is identical either way — only where the
+// charging lane sits differs — so the two accumulators ride the same
+// run as passive observers instead of paying for two simulations.
 func Fig3(cfg Fig3Config) (*Fig3Result, error) {
 	cfg.applyDefaults()
 	if cfg.Participation < 0 || cfg.Participation > 1 {
 		return nil, fmt.Errorf("experiments: participation %v outside [0, 1]", cfg.Participation)
 	}
-	at, err := runPlacement(cfg, wpt.PlacementAtTrafficLight)
-	if err != nil {
-		return nil, err
-	}
-	mid, err := runPlacement(cfg, wpt.PlacementMidBlock)
-	if err != nil {
-		return nil, err
-	}
-	return &Fig3Result{AtLight: *at, MidBlock: *mid}, nil
-}
-
-func runPlacement(cfg Fig3Config, placement wpt.Placement) (*PlacementOutcome, error) {
-	lane, err := wpt.PlaceOnRoad(cfg.RoadLength, cfg.Section, placement)
-	if err != nil {
-		return nil, err
-	}
+	placements := []wpt.Placement{wpt.PlacementAtTrafficLight, wpt.PlacementMidBlock}
 	plan := roadnet.DefaultSignalPlan()
 	sim, err := traffic.NewSim(traffic.SimConfig{
 		RoadLength: cfg.RoadLength,
@@ -111,20 +100,37 @@ func runPlacement(cfg Fig3Config, placement wpt.Placement) (*PlacementOutcome, e
 	if err != nil {
 		return nil, err
 	}
-	acc := wpt.NewAccumulator(lane)
-	if cfg.Participation < 1 {
-		// Deterministic participation: hash the vehicle ID into [0,1).
-		threshold := cfg.Participation
-		acc.SetDrawPower(func(vehID string, s wpt.Section, vel units.Speed) units.Power {
-			if hashUnit(vehID) >= threshold {
-				return 0
-			}
-			return defaultDraw(s, vel)
-		})
+	accs := make([]*wpt.Accumulator, len(placements))
+	lanes := make([]*wpt.Lane, len(placements))
+	for i, placement := range placements {
+		lane, err := wpt.PlaceOnRoad(cfg.RoadLength, cfg.Section, placement)
+		if err != nil {
+			return nil, err
+		}
+		acc := wpt.NewAccumulator(lane)
+		if cfg.Participation < 1 {
+			// Deterministic participation: hash the vehicle ID into [0,1).
+			threshold := cfg.Participation
+			acc.SetDrawPower(func(vehID string, s wpt.Section, vel units.Speed) units.Power {
+				if hashUnit(vehID) >= threshold {
+					return 0
+				}
+				return defaultDraw(s, vel)
+			})
+		}
+		sim.AddObserver(acc.Observe)
+		accs[i], lanes[i] = acc, lane
 	}
-	sim.AddObserver(acc.Observe)
 	sim.Run()
 
+	at := placementOutcome(placements[0], accs[0], lanes[0])
+	mid := placementOutcome(placements[1], accs[1], lanes[1])
+	return &Fig3Result{AtLight: *at, MidBlock: *mid}, nil
+}
+
+// placementOutcome reads one placement's accumulated day back out of
+// its observer.
+func placementOutcome(placement wpt.Placement, acc *wpt.Accumulator, lane *wpt.Lane) *PlacementOutcome {
 	sectionID := lane.Sections()[0].ID
 	rec := acc.Record(sectionID)
 	out := &PlacementOutcome{
@@ -139,7 +145,7 @@ func runPlacement(cfg Fig3Config, placement wpt.Placement) (*PlacementOutcome, e
 		out.IntersectionMinutes.Add(float64(h), rec.TimeByHour[h].Minutes())
 		out.EnergyKWh.Add(float64(h), rec.EnergyByHour[h].KWh())
 	}
-	return out, nil
+	return out
 }
 
 // defaultDraw mirrors the accumulator's built-in power rule for use by

@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"math"
 
+	"olevgrid/internal/core"
 	"olevgrid/internal/pricing"
 	"olevgrid/internal/stats"
+	"olevgrid/internal/sweep"
 	"olevgrid/internal/units"
 )
 
@@ -21,10 +23,66 @@ type GameDefaults struct {
 	Seed int64
 	// Parallelism, when positive, runs every game through the
 	// block-speculative round engine with that many proposal workers
-	// (see pricing.Scenario.Parallelism). Zero keeps the paper's
-	// asynchronous single-player dynamics, which the golden-file
-	// determinism tests pin.
+	// (see pricing.Scenario.Parallelism), and fans independent sweep
+	// points out over the same number of sweep workers. Zero keeps the
+	// paper's asynchronous single-player dynamics, strictly sequential,
+	// which the golden-file determinism tests pin.
 	Parallelism int
+	// WarmStart chains sweep axes: each grid point (the next target
+	// congestion, the next section count, the next α or κ) starts from
+	// the previous point's equilibrium projected onto the new
+	// configuration (core.ProjectSchedule) instead of zero. The
+	// potential game converges to the same optimum from any start, so
+	// the figures are unchanged to solver tolerance while adjacent
+	// near-identical games stop paying full convergence cost. Off by
+	// default so the pinned goldens stay byte-identical.
+	WarmStart bool
+}
+
+// sweepWorkers maps a GameDefaults/RunAllOptions parallelism knob to a
+// sweep.Map worker count: zero (the paper's sequential dynamics) runs
+// sweep points inline in index order, exactly the legacy behavior.
+func sweepWorkers(p int) int {
+	if p <= 0 {
+		return 1
+	}
+	return p
+}
+
+// warmSeed projects a previous sweep point's equilibrium onto the next
+// point's fleet and roadway, or returns nil (a cold start) when there
+// is no previous equilibrium. Fleet IDs are stable per index
+// (pricing.BuildFleet), so rows travel with the vehicle.
+func warmSeed(prev *core.Schedule, prevPlayers, players []core.Player, numSections int) (*core.Schedule, error) {
+	if prev == nil {
+		return nil, nil
+	}
+	ids := make([]string, len(prevPlayers))
+	for i, p := range prevPlayers {
+		ids[i] = p.ID
+	}
+	return core.ProjectSchedule(prev, ids, players, numSections)
+}
+
+// sweepStep carries one sweep point's result together with the
+// equilibrium it settled at, so the next point on a warm chain can seed
+// from it.
+type sweepStep[T any] struct {
+	value    T
+	schedule *core.Schedule
+	players  []core.Player
+}
+
+// chainOrMap runs one job per sweep point: a warm sweep chains
+// sequentially so each point can seed from its predecessor, a cold
+// sweep fans out over the worker pool. sweep.Map is bit-for-bit
+// deterministic for any worker count, so fanning out changes only
+// wall-clock, never figures.
+func chainOrMap[T any](n int, warm bool, workers int, job func(i int, prev *T) (T, error)) ([]T, error) {
+	if warm {
+		return sweep.Chain(n, job)
+	}
+	return sweep.Map(n, workers, func(i int) (T, error) { return job(i, nil) })
 }
 
 func (d *GameDefaults) apply() {
@@ -52,7 +110,9 @@ type PaymentPoint struct {
 // congestion degree, a demand level whose interior equilibrium
 // realizes it is derived (pricing.CongestionTargetWeight), the game is
 // run to convergence, and the unit payment measured. The linear
-// baseline's flat tariff is overlaid.
+// baseline's flat tariff is overlaid. The congestion axis is a sweep
+// axis: cold runs fan the points out over the worker pool, warm runs
+// chain them, seeding each game from its neighbor's equilibrium.
 func PaymentVsCongestion(vel units.Speed, d GameDefaults) ([]PaymentPoint, error) {
 	d.apply()
 	const n, c = 50, 20
@@ -62,33 +122,58 @@ func PaymentVsCongestion(vel units.Speed, d GameDefaults) ([]PaymentPoint, error
 	}
 	linearFlat := d.BetaPerMWh * pricing.DefaultLinearBetaScale
 
-	var points []PaymentPoint
+	var xs []float64
 	for x := 0.1; x < 0.95; x += 0.1 {
-		w, err := pricing.CongestionTargetWeight(pricing.Nonlinear{}, d.BetaPerMWh, lineCap, c, n, x)
-		if err != nil {
-			return nil, err
-		}
-		_, players, err := pricing.BuildFleet(pricing.FleetConfig{
-			N: n, Velocity: vel, SatisfactionWeight: w, Seed: d.Seed,
+		xs = append(xs, x)
+	}
+	steps, err := chainOrMap(len(xs), d.WarmStart, sweepWorkers(d.Parallelism),
+		func(i int, prev *sweepStep[PaymentPoint]) (sweepStep[PaymentPoint], error) {
+			var zero sweepStep[PaymentPoint]
+			x := xs[i]
+			w, err := pricing.CongestionTargetWeight(pricing.Nonlinear{}, d.BetaPerMWh, lineCap, c, n, x)
+			if err != nil {
+				return zero, err
+			}
+			_, players, err := pricing.BuildFleet(pricing.FleetConfig{
+				N: n, Velocity: vel, SatisfactionWeight: w, Seed: d.Seed,
+			})
+			if err != nil {
+				return zero, err
+			}
+			scenario := pricing.Scenario{
+				Players: players, NumSections: c, LineCapacityKW: lineCap,
+				Eta: 1.0, BetaPerMWh: d.BetaPerMWh, Seed: d.Seed,
+				Parallelism: d.Parallelism,
+			}
+			if prev != nil {
+				seed, err := warmSeed(prev.schedule, prev.players, players, c)
+				if err != nil {
+					return zero, err
+				}
+				scenario.InitialSchedule = seed
+			}
+			out, err := pricing.Nonlinear{}.Run(scenario)
+			if err != nil {
+				return zero, err
+			}
+			return sweepStep[PaymentPoint]{
+				value: PaymentPoint{
+					TargetCongestion:   math.Round(x*10) / 10,
+					RealizedCongestion: out.CongestionDegree,
+					NonlinearPerMWh:    out.UnitPaymentPerMWh,
+					LinearPerMWh:       linearFlat,
+					TotalPaymentPerH:   out.TotalPaymentPerHour,
+				},
+				schedule: out.Schedule,
+				players:  players,
+			}, nil
 		})
-		if err != nil {
-			return nil, err
-		}
-		out, err := pricing.Nonlinear{}.Run(pricing.Scenario{
-			Players: players, NumSections: c, LineCapacityKW: lineCap,
-			Eta: 1.0, BetaPerMWh: d.BetaPerMWh, Seed: d.Seed,
-			Parallelism: d.Parallelism,
-		})
-		if err != nil {
-			return nil, err
-		}
-		points = append(points, PaymentPoint{
-			TargetCongestion:   math.Round(x*10) / 10,
-			RealizedCongestion: out.CongestionDegree,
-			NonlinearPerMWh:    out.UnitPaymentPerMWh,
-			LinearPerMWh:       linearFlat,
-			TotalPaymentPerH:   out.TotalPaymentPerHour,
-		})
+	if err != nil {
+		return nil, err
+	}
+	points := make([]PaymentPoint, len(steps))
+	for i, s := range steps {
+		points[i] = s.value
 	}
 	return points, nil
 }
@@ -112,33 +197,57 @@ func PaymentTable(title string, points []PaymentPoint) Table {
 
 // WelfareVsSections reproduces Fig. 5(b)/6(b): converged social
 // welfare as the number of charging sections sweeps 10..90, one series
-// per fleet size.
+// per fleet size. The fleet sizes are independent (fanned out over the
+// worker pool); the section axis chains under WarmStart, each game
+// seeded from the neighboring C's equilibrium spread onto the new
+// roadway.
 func WelfareVsSections(vel units.Speed, fleetSizes []int, d GameDefaults) ([]*stats.Series, error) {
 	d.apply()
 	lineCap := pricing.LineCapacityKW(d.SectionLength, vel)
-	var series []*stats.Series
-	for _, n := range fleetSizes {
-		s := stats.NewSeries(fmt.Sprintf("N=%d", n))
+	var cs []int
+	for c := 10; c <= 90; c += 10 {
+		cs = append(cs, c)
+	}
+	return sweep.Map(len(fleetSizes), sweepWorkers(d.Parallelism), func(fi int) (*stats.Series, error) {
+		n := fleetSizes[fi]
 		_, players, err := pricing.BuildFleet(pricing.FleetConfig{
 			N: n, Velocity: vel, SatisfactionWeight: 1, Seed: d.Seed,
 		})
 		if err != nil {
 			return nil, err
 		}
-		for c := 10; c <= 90; c += 10 {
-			out, err := pricing.Nonlinear{}.Run(pricing.Scenario{
-				Players: players, NumSections: c, LineCapacityKW: lineCap,
-				Eta: 0.9, BetaPerMWh: d.BetaPerMWh, Seed: d.Seed,
-				MaxUpdates: 400 * n, Parallelism: d.Parallelism,
+		// Inner axis stays sequential: the outer Map already fans out.
+		steps, err := chainOrMap(len(cs), d.WarmStart, 1,
+			func(ci int, prev *sweepStep[float64]) (sweepStep[float64], error) {
+				var zero sweepStep[float64]
+				c := cs[ci]
+				scenario := pricing.Scenario{
+					Players: players, NumSections: c, LineCapacityKW: lineCap,
+					Eta: 0.9, BetaPerMWh: d.BetaPerMWh, Seed: d.Seed,
+					MaxUpdates: 400 * n, Parallelism: d.Parallelism,
+				}
+				if prev != nil {
+					seed, err := warmSeed(prev.schedule, players, players, c)
+					if err != nil {
+						return zero, err
+					}
+					scenario.InitialSchedule = seed
+				}
+				out, err := pricing.Nonlinear{}.Run(scenario)
+				if err != nil {
+					return zero, err
+				}
+				return sweepStep[float64]{value: out.Welfare, schedule: out.Schedule, players: players}, nil
 			})
-			if err != nil {
-				return nil, err
-			}
-			s.Add(float64(c), out.Welfare)
+		if err != nil {
+			return nil, err
 		}
-		series = append(series, s)
-	}
-	return series, nil
+		s := stats.NewSeries(fmt.Sprintf("N=%d", n))
+		for i, st := range steps {
+			s.Add(float64(cs[i]), st.value)
+		}
+		return s, nil
+	})
 }
 
 // LoadBalanceResult holds the Fig. 5(c)/6(c) series and their scalar
@@ -176,14 +285,18 @@ func LoadBalance(vel units.Speed, d GameDefaults) (*LoadBalanceResult, error) {
 		Parallelism: d.Parallelism,
 	}
 
-	nl, err := pricing.Nonlinear{}.Run(scenario)
+	// The two policies are independent games on the same scenario —
+	// fan them out.
+	outs, err := sweep.Map(2, sweepWorkers(d.Parallelism), func(i int) (pricing.Outcome, error) {
+		if i == 0 {
+			return pricing.Nonlinear{}.Run(scenario)
+		}
+		return pricing.Linear{}.Run(scenario)
+	})
 	if err != nil {
 		return nil, err
 	}
-	lin, err := pricing.Linear{}.Run(scenario)
-	if err != nil {
-		return nil, err
-	}
+	nl, lin := outs[0], outs[1]
 	res := &LoadBalanceResult{
 		Nonlinear:        stats.NewSeries("nonlinear-kw"),
 		Linear:           stats.NewSeries("linear-kw"),
@@ -231,16 +344,23 @@ func Convergence(vel units.Speed, fleetSizes []int, runs, maxUpdates int, d Game
 		UpdatesToSettle: make(map[int]float64, len(fleetSizes)),
 		SettleCI:        make(map[int]stats.CI, len(fleetSizes)),
 	}
+	// Each run is an independent cold trajectory — that is the thing
+	// being measured, so warm-starting does not apply here; the runs fan
+	// out over the worker pool and their means accumulate in index
+	// order, keeping the float sums identical to the sequential loop.
+	type convRun struct {
+		hist   []float64
+		final  float64
+		settle float64
+	}
 	for _, n := range fleetSizes {
-		mean := make([]float64, maxUpdates)
-		settles := make([]float64, 0, runs)
-		for run := 0; run < runs; run++ {
+		rs, err := sweep.Map(runs, sweepWorkers(d.Parallelism), func(run int) (convRun, error) {
 			seed := d.Seed + int64(run)*1001
 			_, players, err := pricing.BuildFleet(pricing.FleetConfig{
 				N: n, Velocity: vel, SatisfactionWeight: 1, Seed: seed,
 			})
 			if err != nil {
-				return nil, err
+				return convRun{}, err
 			}
 			out, err := pricing.Nonlinear{}.Run(pricing.Scenario{
 				Players: players, NumSections: c, LineCapacityKW: lineCap,
@@ -248,17 +368,28 @@ func Convergence(vel units.Speed, fleetSizes []int, runs, maxUpdates int, d Game
 				MaxUpdates: maxUpdates, Parallelism: d.Parallelism,
 			})
 			if err != nil {
-				return nil, err
+				return convRun{}, err
 			}
-			hist := out.CongestionHistory
+			return convRun{
+				hist:   out.CongestionHistory,
+				final:  out.CongestionDegree,
+				settle: float64(settleUpdate(out.CongestionHistory, out.CongestionDegree, 0.02)),
+			}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		mean := make([]float64, maxUpdates)
+		settles := make([]float64, 0, runs)
+		for _, r := range rs {
 			for i := 0; i < maxUpdates; i++ {
-				v := out.CongestionDegree
-				if i < len(hist) {
-					v = hist[i]
+				v := r.final
+				if i < len(r.hist) {
+					v = r.hist[i]
 				}
 				mean[i] += v
 			}
-			settles = append(settles, float64(settleUpdate(hist, out.CongestionDegree, 0.02)))
+			settles = append(settles, r.settle)
 		}
 		s := stats.NewSeries(fmt.Sprintf("N=%d", n))
 		for i := range mean {

@@ -37,36 +37,59 @@ func HeterogeneitySweep(stds []float64, d GameDefaults) ([]HeterogeneityPoint, e
 	vel := units.MPH(60)
 	lineCap := pricing.LineCapacityKW(d.SectionLength, vel)
 
-	var points []HeterogeneityPoint
-	for _, std := range stds {
-		cfg := pricing.FleetConfig{
-			N:                  n,
-			Velocity:           vel,
-			SatisfactionWeight: 1,
-			Seed:               d.Seed,
-		}
-		if std > 0 {
-			cfg.VelocityStdMPS = std
-			cfg.SectionLength = d.SectionLength
-		}
-		_, players, err := pricing.BuildFleet(cfg)
-		if err != nil {
-			return nil, err
-		}
-		out, err := pricing.Nonlinear{}.Run(pricing.Scenario{
-			Players: players, NumSections: c, LineCapacityKW: lineCap,
-			Eta: 0.9, BetaPerMWh: d.BetaPerMWh, Seed: d.Seed,
-			MaxUpdates: 400 * n, Parallelism: d.Parallelism,
+	steps, err := chainOrMap(len(stds), d.WarmStart, sweepWorkers(d.Parallelism),
+		func(i int, prev *sweepStep[HeterogeneityPoint]) (sweepStep[HeterogeneityPoint], error) {
+			var zero sweepStep[HeterogeneityPoint]
+			std := stds[i]
+			cfg := pricing.FleetConfig{
+				N:                  n,
+				Velocity:           vel,
+				SatisfactionWeight: 1,
+				Seed:               d.Seed,
+			}
+			if std > 0 {
+				cfg.VelocityStdMPS = std
+				cfg.SectionLength = d.SectionLength
+			}
+			_, players, err := pricing.BuildFleet(cfg)
+			if err != nil {
+				return zero, err
+			}
+			scenario := pricing.Scenario{
+				Players: players, NumSections: c, LineCapacityKW: lineCap,
+				Eta: 0.9, BetaPerMWh: d.BetaPerMWh, Seed: d.Seed,
+				MaxUpdates: 400 * n, Parallelism: d.Parallelism,
+			}
+			if prev != nil {
+				// Same fleet IDs, new per-vehicle caps: the projection's
+				// clamp keeps the seed feasible for the new dispersion.
+				seed, err := warmSeed(prev.schedule, prev.players, players, c)
+				if err != nil {
+					return zero, err
+				}
+				scenario.InitialSchedule = seed
+			}
+			out, err := pricing.Nonlinear{}.Run(scenario)
+			if err != nil {
+				return zero, fmt.Errorf("experiments: heterogeneity std %v: %w", std, err)
+			}
+			return sweepStep[HeterogeneityPoint]{
+				value: HeterogeneityPoint{
+					VelocityStdMPS: std,
+					Welfare:        out.Welfare,
+					Fairness:       stats.JainIndex(out.PlayerTotalsKW),
+					TotalPowerKW:   out.TotalPowerKW,
+				},
+				schedule: out.Schedule,
+				players:  players,
+			}, nil
 		})
-		if err != nil {
-			return nil, fmt.Errorf("experiments: heterogeneity std %v: %w", std, err)
-		}
-		points = append(points, HeterogeneityPoint{
-			VelocityStdMPS: std,
-			Welfare:        out.Welfare,
-			Fairness:       stats.JainIndex(out.PlayerTotalsKW),
-			TotalPowerKW:   out.TotalPowerKW,
-		})
+	if err != nil {
+		return nil, err
+	}
+	points := make([]HeterogeneityPoint, len(steps))
+	for i, s := range steps {
+		points[i] = s.value
 	}
 	return points, nil
 }

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"olevgrid/internal/roadnet"
+	"olevgrid/internal/sweep"
 	"olevgrid/internal/trace"
 	"olevgrid/internal/traffic"
 	"olevgrid/internal/units"
@@ -149,4 +150,34 @@ func maxInt(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// MultiIntersectionPoint is one corridor length of the count sweep.
+type MultiIntersectionPoint struct {
+	Intersections      int
+	CorridorKWh        float64
+	PerIntersectionKWh float64 // corridor mean
+	CityEstimateMWh    float64
+}
+
+// MultiIntersectionSweep runs the corridor study at several corridor
+// lengths — the "does the extrapolation hold as corridors grow?"
+// check. Each corridor is an independent simulation, so the sweep fans
+// out over the worker pool; results are index-ordered and worker-count
+// independent like every sweep.Map.
+func MultiIntersectionSweep(counts []int, base MultiIntersectionConfig, parallelism int) ([]MultiIntersectionPoint, error) {
+	return sweep.Map(len(counts), sweepWorkers(parallelism), func(i int) (MultiIntersectionPoint, error) {
+		cfg := base
+		cfg.Intersections = counts[i]
+		res, err := MultiIntersection(cfg)
+		if err != nil {
+			return MultiIntersectionPoint{}, err
+		}
+		return MultiIntersectionPoint{
+			Intersections:      len(res.PerIntersectionKWh),
+			CorridorKWh:        res.CorridorKWh,
+			PerIntersectionKWh: res.CorridorKWh / float64(len(res.PerIntersectionKWh)),
+			CityEstimateMWh:    res.CityEstimateMWh,
+		}, nil
+	})
 }

@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 
 	"olevgrid/internal/grid"
 	"olevgrid/internal/stats"
+	"olevgrid/internal/sweep"
 	"olevgrid/internal/units"
 )
 
@@ -15,8 +17,14 @@ type RunAllOptions struct {
 	// speed; the shapes are unaffected.
 	Quick bool
 	// Parallelism routes every game through the round engine with that
-	// many proposal workers; zero keeps the asynchronous dynamics.
+	// many proposal workers AND sizes the sweep worker pool the figure
+	// sections fan out over; zero keeps the asynchronous dynamics and
+	// runs everything strictly sequentially, as the paper does.
 	Parallelism int
+	// WarmStart chains each figure's sweep axis, seeding every game
+	// from its neighbor's equilibrium (see GameDefaults.WarmStart).
+	// Figures change only to solver tolerance; round counts drop.
+	WarmStart bool
 }
 
 // RunAll regenerates every figure and writes the rendered tables to w.
@@ -26,113 +34,158 @@ func RunAll(w io.Writer, quick bool) error {
 	return RunAllWith(w, RunAllOptions{Quick: quick})
 }
 
-// RunAllWith is RunAll with full options.
+// RunAllWith is RunAll with full options. Every figure section is an
+// independent job writing to its own buffer; the jobs fan out over the
+// sweep worker pool and the buffers concatenate in figure order. The
+// report is byte-identical for any *positive* Parallelism (the round
+// engine's schedules and the sweep pool's results are both
+// worker-count independent); zero selects the paper's asynchronous
+// dynamics, whose update path — and therefore whose trajectories —
+// legitimately differs from the engine's.
 func RunAllWith(w io.Writer, opts RunAllOptions) error {
 	runs := 50
 	if opts.Quick {
 		runs = 5
 	}
+	d := GameDefaults{Parallelism: opts.Parallelism, WarmStart: opts.WarmStart}
 
 	// Fig. 2 — the ISO day.
-	fig2, err := Fig2(grid.DefaultConfig())
-	if err != nil {
-		return fmt.Errorf("fig2: %w", err)
-	}
-	for _, t := range fig2.Tables() {
-		if _, err := fmt.Fprintln(w, t); err != nil {
-			return err
+	runFig2 := func(w io.Writer) error {
+		fig2, err := Fig2(grid.DefaultConfig())
+		if err != nil {
+			return fmt.Errorf("fig2: %w", err)
 		}
-	}
-	if _, err := fmt.Fprintf(w,
-		"fig2 scalars: load [%.1f, %.1f] MW, max deficiency %.1f MW, mean LBMP $%.2f/MWh, mean ancillary $%.2f/MW\n\n",
-		fig2.MinLoadMW, fig2.PeakLoadMW, fig2.MaxDeficiencyMW, fig2.MeanLBMP, fig2.MeanAncillary); err != nil {
+		for _, t := range fig2.Tables() {
+			if _, err := fmt.Fprintln(w, t); err != nil {
+				return err
+			}
+		}
+		_, err = fmt.Fprintf(w,
+			"fig2 scalars: load [%.1f, %.1f] MW, max deficiency %.1f MW, mean LBMP $%.2f/MWh, mean ancillary $%.2f/MW\n\n",
+			fig2.MinLoadMW, fig2.PeakLoadMW, fig2.MaxDeficiencyMW, fig2.MeanLBMP, fig2.MeanAncillary)
 		return err
 	}
 
 	// Fig. 3 — the motivation traffic study.
-	fig3, err := Fig3(Fig3Config{Seed: 1})
-	if err != nil {
-		return fmt.Errorf("fig3: %w", err)
-	}
-	for _, t := range fig3.Tables() {
-		if _, err := fmt.Fprintln(w, t); err != nil {
-			return err
+	runFig3 := func(w io.Writer) error {
+		fig3, err := Fig3(Fig3Config{Seed: 1})
+		if err != nil {
+			return fmt.Errorf("fig3: %w", err)
 		}
-	}
-	if _, err := fmt.Fprintf(w,
-		"fig3 totals: at-light %.1f h / %.1f kWh, mid-block %.1f h / %.1f kWh\n\n",
-		fig3.AtLight.TotalIntersection.Hours(), fig3.AtLight.TotalEnergy.KWh(),
-		fig3.MidBlock.TotalIntersection.Hours(), fig3.MidBlock.TotalEnergy.KWh()); err != nil {
+		for _, t := range fig3.Tables() {
+			if _, err := fmt.Fprintln(w, t); err != nil {
+				return err
+			}
+		}
+		_, err = fmt.Fprintf(w,
+			"fig3 totals: at-light %.1f h / %.1f kWh, mid-block %.1f h / %.1f kWh\n\n",
+			fig3.AtLight.TotalIntersection.Hours(), fig3.AtLight.TotalEnergy.KWh(),
+			fig3.MidBlock.TotalIntersection.Hours(), fig3.MidBlock.TotalEnergy.KWh())
 		return err
 	}
 
-	// Figs. 5 and 6 — the pricing game at both velocities.
-	for _, mph := range []float64{60, 80} {
-		vel := units.MPH(mph)
-		figNum := 5
+	// Figs. 5 and 6 — the pricing game at both velocities, one job per
+	// panel.
+	figNumFor := func(mph float64) int {
 		if mph == 80 {
-			figNum = 6
+			return 6
 		}
-		d := GameDefaults{Parallelism: opts.Parallelism}
-
-		points, err := PaymentVsCongestion(vel, d)
-		if err != nil {
-			return fmt.Errorf("fig%da: %w", figNum, err)
-		}
-		title := fmt.Sprintf("Fig %d(a): payment vs congestion degree (%.0f mph)", figNum, mph)
-		if _, err := fmt.Fprintln(w, PaymentTable(title, points)); err != nil {
+		return 5
+	}
+	runPayment := func(mph float64) func(io.Writer) error {
+		return func(w io.Writer) error {
+			figNum := figNumFor(mph)
+			points, err := PaymentVsCongestion(units.MPH(mph), d)
+			if err != nil {
+				return fmt.Errorf("fig%da: %w", figNum, err)
+			}
+			title := fmt.Sprintf("Fig %d(a): payment vs congestion degree (%.0f mph)", figNum, mph)
+			_, err = fmt.Fprintln(w, PaymentTable(title, points))
 			return err
 		}
-
-		welfare, err := WelfareVsSections(vel, []int{30, 40, 50}, d)
-		if err != nil {
-			return fmt.Errorf("fig%db: %w", figNum, err)
-		}
-		title = fmt.Sprintf("Fig %d(b): social welfare vs number of charging sections (%.0f mph)", figNum, mph)
-		if _, err := fmt.Fprintln(w, seriesTable(title, "sections", welfare...)); err != nil {
+	}
+	runWelfare := func(mph float64) func(io.Writer) error {
+		return func(w io.Writer) error {
+			figNum := figNumFor(mph)
+			welfare, err := WelfareVsSections(units.MPH(mph), []int{30, 40, 50}, d)
+			if err != nil {
+				return fmt.Errorf("fig%db: %w", figNum, err)
+			}
+			title := fmt.Sprintf("Fig %d(b): social welfare vs number of charging sections (%.0f mph)", figNum, mph)
+			_, err = fmt.Fprintln(w, seriesTable(title, "sections", welfare...))
 			return err
 		}
-
-		balance, err := LoadBalance(vel, d)
-		if err != nil {
-			return fmt.Errorf("fig%dc: %w", figNum, err)
-		}
-		title = fmt.Sprintf("Fig %d(c): total power per charging section (%.0f mph)", figNum, mph)
-		if _, err := fmt.Fprintln(w, seriesTable(title, "section", balance.Nonlinear, balance.Linear)); err != nil {
+	}
+	runBalance := func(mph float64) func(io.Writer) error {
+		return func(w io.Writer) error {
+			figNum := figNumFor(mph)
+			balance, err := LoadBalance(units.MPH(mph), d)
+			if err != nil {
+				return fmt.Errorf("fig%dc: %w", figNum, err)
+			}
+			title := fmt.Sprintf("Fig %d(c): total power per charging section (%.0f mph)", figNum, mph)
+			if _, err := fmt.Fprintln(w, seriesTable(title, "section", balance.Nonlinear, balance.Linear)); err != nil {
+				return err
+			}
+			_, err = fmt.Fprintf(w,
+				"fig%dc scalars: nonlinear CV %.3f total %.0f kW | linear CV %.3f total %.0f kW\n\n",
+				figNum, balance.NonlinearCV, balance.NonlinearTotalKW,
+				balance.LinearCV, balance.LinearTotalKW)
 			return err
 		}
-		if _, err := fmt.Fprintf(w,
-			"fig%dc scalars: nonlinear CV %.3f total %.0f kW | linear CV %.3f total %.0f kW\n\n",
-			figNum, balance.NonlinearCV, balance.NonlinearTotalKW,
-			balance.LinearCV, balance.LinearTotalKW); err != nil {
-			return err
-		}
-
-		conv, err := Convergence(vel, []int{30, 40, 50}, runs, 150, d)
-		if err != nil {
-			return fmt.Errorf("fig%dd: %w", figNum, err)
-		}
-		title = fmt.Sprintf("Fig %d(d): congestion degree vs number of updates (%.0f mph, mean of %d runs)", figNum, mph, runs)
-		if _, err := fmt.Fprintln(w, seriesTable(title, "update",
-			downsample(conv.Trajectories[30], 10),
-			downsample(conv.Trajectories[40], 10),
-			downsample(conv.Trajectories[50], 10))); err != nil {
-			return err
-		}
-		if _, err := fmt.Fprintf(w,
-			"fig%dd settle updates: N=30 %.0f, N=40 %.0f, N=50 %.0f\n\n",
-			figNum, conv.UpdatesToSettle[30], conv.UpdatesToSettle[40], conv.UpdatesToSettle[50]); err != nil {
+	}
+	runConvergence := func(mph float64) func(io.Writer) error {
+		return func(w io.Writer) error {
+			figNum := figNumFor(mph)
+			conv, err := Convergence(units.MPH(mph), []int{30, 40, 50}, runs, 150, d)
+			if err != nil {
+				return fmt.Errorf("fig%dd: %w", figNum, err)
+			}
+			title := fmt.Sprintf("Fig %d(d): congestion degree vs number of updates (%.0f mph, mean of %d runs)", figNum, mph, runs)
+			if _, err := fmt.Fprintln(w, seriesTable(title, "update",
+				downsample(conv.Trajectories[30], 10),
+				downsample(conv.Trajectories[40], 10),
+				downsample(conv.Trajectories[50], 10))); err != nil {
+				return err
+			}
+			_, err = fmt.Fprintf(w,
+				"fig%dd settle updates: N=30 %.0f, N=40 %.0f, N=50 %.0f\n\n",
+				figNum, conv.UpdatesToSettle[30], conv.UpdatesToSettle[40], conv.UpdatesToSettle[50])
 			return err
 		}
 	}
 
 	// Beyond the paper: the three-policy comparison.
-	comparison, err := PolicyComparison(GameDefaults{Parallelism: opts.Parallelism})
-	if err != nil {
-		return fmt.Errorf("policy comparison: %w", err)
-	}
-	if _, err := fmt.Fprintln(w, comparison); err != nil {
+	runComparison := func(w io.Writer) error {
+		comparison, err := PolicyComparison(d)
+		if err != nil {
+			return fmt.Errorf("policy comparison: %w", err)
+		}
+		_, err = fmt.Fprintln(w, comparison)
 		return err
+	}
+
+	jobs := []func(io.Writer) error{
+		runFig2,
+		runFig3,
+		runPayment(60), runWelfare(60), runBalance(60), runConvergence(60),
+		runPayment(80), runWelfare(80), runBalance(80), runConvergence(80),
+		runComparison,
+	}
+	bufs, err := sweep.Map(len(jobs), sweepWorkers(opts.Parallelism), func(i int) (*bytes.Buffer, error) {
+		var b bytes.Buffer
+		if err := jobs[i](&b); err != nil {
+			return nil, err
+		}
+		return &b, nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, b := range bufs {
+		if _, err := w.Write(b.Bytes()); err != nil {
+			return err
+		}
 	}
 	return nil
 }

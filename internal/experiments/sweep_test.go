@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"olevgrid/internal/units"
+)
+
+// TestRunAllWorkerCountIndependent: the full figure report must be
+// byte-identical for any positive Parallelism — the round engine's
+// schedules do not depend on its worker count, and sweep.Map's results
+// do not depend on the pool size, so the only thing more workers buy
+// is wall-clock.
+func TestRunAllWorkerCountIndependent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full figure regeneration")
+	}
+	var p1, p8 bytes.Buffer
+	if err := RunAllWith(&p1, RunAllOptions{Quick: true, Parallelism: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := RunAllWith(&p8, RunAllOptions{Quick: true, Parallelism: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(p1.Bytes(), p8.Bytes()) {
+		a, b := p1.String(), p8.String()
+		for i := 0; i < len(a) && i < len(b); i++ {
+			if a[i] != b[i] {
+				lo := i - 60
+				if lo < 0 {
+					lo = 0
+				}
+				t.Fatalf("reports diverge at byte %d:\n P=1: %q\n P=8: %q", i, a[lo:i+1], b[lo:i+1])
+			}
+		}
+		t.Fatalf("reports differ in length: %d vs %d bytes", len(a), len(b))
+	}
+}
+
+// TestPaymentSweepWarmMatchesCold: warm-chaining the congestion axis
+// must reproduce the cold sweep's figures to solver tolerance — the
+// potential game's destination does not depend on its starting point.
+func TestPaymentSweepWarmMatchesCold(t *testing.T) {
+	vel := units.MPH(60)
+	cold, err := PaymentVsCongestion(vel, GameDefaults{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := PaymentVsCongestion(vel, GameDefaults{Parallelism: 1, WarmStart: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cold) != len(warm) {
+		t.Fatalf("sweep lengths differ: %d vs %d", len(cold), len(warm))
+	}
+	for i := range cold {
+		c, w := cold[i], warm[i]
+		if c.TargetCongestion != w.TargetCongestion {
+			t.Fatalf("point %d: targets differ (%v vs %v)", i, c.TargetCongestion, w.TargetCongestion)
+		}
+		if d := math.Abs(c.RealizedCongestion - w.RealizedCongestion); d > 1e-4 {
+			t.Errorf("x=%.1f: realized congestion diverges by %g", c.TargetCongestion, d)
+		}
+		if d := relDiff(c.NonlinearPerMWh, w.NonlinearPerMWh); d > 1e-3 {
+			t.Errorf("x=%.1f: unit payment diverges by %g relative", c.TargetCongestion, d)
+		}
+	}
+}
+
+// TestHeterogeneityWarmMatchesCold covers the sweep whose warm seeds
+// must survive per-vehicle cap changes (the projection clamp).
+func TestHeterogeneityWarmMatchesCold(t *testing.T) {
+	stds := []float64{0, 2, 4}
+	cold, err := HeterogeneitySweep(stds, GameDefaults{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := HeterogeneitySweep(stds, GameDefaults{Parallelism: 1, WarmStart: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cold {
+		if d := relDiff(cold[i].Welfare, warm[i].Welfare); d > 1e-3 {
+			t.Errorf("std=%v: welfare diverges by %g relative", stds[i], d)
+		}
+		if d := relDiff(cold[i].TotalPowerKW, warm[i].TotalPowerKW); d > 1e-3 {
+			t.Errorf("std=%v: total power diverges by %g relative", stds[i], d)
+		}
+	}
+}
+
+// TestMultiIntersectionSweepMatchesDirect: the count sweep must agree
+// with direct corridor runs and be worker-count independent.
+func TestMultiIntersectionSweepMatchesDirect(t *testing.T) {
+	counts := []int{1, 2, 3}
+	base := MultiIntersectionConfig{Seed: 7}
+	seq, err := MultiIntersectionSweep(counts, base, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := MultiIntersectionSweep(counts, base, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range counts {
+		cfg := base
+		cfg.Intersections = c
+		direct, err := MultiIntersection(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seq[i].Intersections != c {
+			t.Errorf("point %d reports %d intersections, want %d", i, seq[i].Intersections, c)
+		}
+		if seq[i].CorridorKWh != direct.CorridorKWh {
+			t.Errorf("count %d: sweep corridor %v != direct %v", c, seq[i].CorridorKWh, direct.CorridorKWh)
+		}
+		if seq[i] != par[i] {
+			t.Errorf("count %d: sweep result depends on worker count: %+v vs %+v", c, seq[i], par[i])
+		}
+		if seq[i].CorridorKWh <= 0 || seq[i].CityEstimateMWh <= 0 {
+			t.Errorf("count %d: corridor harvested nothing: %+v", c, seq[i])
+		}
+	}
+}
+
+// relDiff is |a−b| scaled by |a| (or absolute when a is tiny).
+func relDiff(a, b float64) float64 {
+	d := math.Abs(a - b)
+	if math.Abs(a) > 1 {
+		return d / math.Abs(a)
+	}
+	return d
+}

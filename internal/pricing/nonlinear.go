@@ -75,16 +75,18 @@ func (p Nonlinear) Run(s Scenario) (Outcome, error) {
 		return Outcome{}, err
 	}
 	game, err := core.NewGame(core.Config{
-		Players:        s.Players,
-		NumSections:    s.NumSections,
-		LineCapacityKW: s.LineCapacityKW,
-		Eta:            s.Eta,
-		Cost:           cost,
+		Players:         s.Players,
+		NumSections:     s.NumSections,
+		LineCapacityKW:  s.LineCapacityKW,
+		Eta:             s.Eta,
+		Cost:            cost,
+		InitialSchedule: s.InitialSchedule,
 	})
 	if err != nil {
 		return Outcome{}, fmt.Errorf("pricing: nonlinear game: %w", err)
 	}
 	var res core.Result
+	var rounds, degraded int
 	if s.Parallelism > 0 {
 		// Round-engine path: MaxUpdates is a per-player budget in the
 		// asynchronous dynamics, so it maps onto whole fleet rounds.
@@ -98,6 +100,7 @@ func (p Nonlinear) Run(s Scenario) (Outcome, error) {
 		}
 		pres := game.RunParallel(core.ParallelOptions{
 			MaxRounds:   maxRounds,
+			Tolerance:   s.Tolerance,
 			Parallelism: s.Parallelism,
 			Order:       order,
 			Seed:        s.Seed,
@@ -113,6 +116,7 @@ func (p Nonlinear) Run(s Scenario) (Outcome, error) {
 			Welfare:    pres.Welfare,
 			Congestion: pres.Congestion,
 		}
+		rounds, degraded = pres.Rounds, pres.Replayed
 	} else {
 		order := p.Order
 		if order == 0 {
@@ -120,10 +124,12 @@ func (p Nonlinear) Run(s Scenario) (Outcome, error) {
 		}
 		res = game.Run(core.RunOptions{
 			MaxUpdates: s.MaxUpdates,
+			Tolerance:  s.Tolerance,
 			Order:      order,
 			Seed:       s.Seed,
 			OnUpdate:   s.OnUpdate,
 		})
+		rounds = (res.Updates + len(s.Players) - 1) / len(s.Players)
 	}
 	playerTotals := make([]float64, game.NumPlayers())
 	schedule := game.Schedule()
@@ -142,6 +148,9 @@ func (p Nonlinear) Run(s Scenario) (Outcome, error) {
 		CongestionHistory:   res.Congestion,
 		WelfareHistory:      res.Welfare,
 		Updates:             res.Updates,
+		Rounds:              rounds,
+		DegradedRounds:      degraded,
 		Converged:           res.Converged,
+		Schedule:            schedule,
 	}, nil
 }

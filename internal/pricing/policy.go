@@ -47,6 +47,16 @@ type Scenario struct {
 	// so any positive value yields the same outcome; the linear policy
 	// is one-shot and ignores it.
 	Parallelism int
+	// Tolerance overrides the convergence tolerance of the nonlinear
+	// dynamics; 0 means the solver default (1e-6). Warm-start
+	// comparisons tighten it so cold and warm equilibria can be
+	// compared entrywise.
+	Tolerance float64
+	// InitialSchedule, when non-nil, warm-starts the nonlinear game
+	// from a prior equilibrium (see core.Config.InitialSchedule and
+	// core.ProjectSchedule). The linear policy is one-shot and ignores
+	// it. Dimensions must match Players × NumSections.
+	InitialSchedule *core.Schedule
 	// OnUpdate, if non-nil, observes the nonlinear game after every
 	// update (ignored by the linear policy, whose allocation is
 	// one-shot).
@@ -100,8 +110,20 @@ type Outcome struct {
 	WelfareHistory []float64
 	// Updates counts best-response updates performed.
 	Updates int
+	// Rounds counts full fleet cycles: exact engine rounds on the
+	// parallel path, ⌈Updates/N⌉ on the asynchronous path. Zero for
+	// the one-shot linear policy.
+	Rounds int
+	// DegradedRounds counts blocks the parallel engine's welfare guard
+	// rolled back and replayed sequentially (core's Replayed); always
+	// zero on the asynchronous path.
+	DegradedRounds int
 	// Converged reports whether the dynamics settled.
 	Converged bool
+	// Schedule is the converged N×C schedule, kept so callers can
+	// warm-start the next scenario from it (core.ProjectSchedule).
+	// Nil for the linear policy.
+	Schedule *core.Schedule
 }
 
 // LoadImbalance returns the coefficient of variation of the

@@ -46,9 +46,17 @@ func (c *Coordinator) Join(id string, link v2i.Transport) error {
 
 // admitJoins drains the join queue at a round boundary, returning the
 // IDs admitted this round. A join under an ID that is still active is
-// rejected by closing the new link — the live session wins.
+// rejected by closing the new link — the live session wins. A vehicle
+// re-joining under an ID the journal's last-known-good checkpoint
+// knows (a dropout reconnecting after a dead zone, or a lane regular
+// returning) warm-starts from its journaled allocation instead of
+// zero: the fleet's background load barely moves on re-entry, so the
+// re-convergence is a short trip instead of a cold one. Theorem IV.1
+// makes the seed safe — any feasible start reaches the same optimum.
 func (c *Coordinator) admitJoins(report *Report) []string {
 	var added []string
+	var cp Checkpoint
+	cpLoaded, cpOK := false, false
 	for {
 		select {
 		case j := <-c.joins:
@@ -57,10 +65,22 @@ func (c *Coordinator) admitJoins(report *Report) []string {
 				continue
 			}
 			c.links[j.id] = j.link
-			c.schedule[j.id] = make([]float64, c.cfg.NumSections)
+			row := make([]float64, c.cfg.NumSections)
+			if c.cfg.Journal != nil {
+				if !cpLoaded {
+					cp, cpOK, _ = c.cfg.Journal.Load()
+					cpLoaded = true // one journal read per drain, not per join
+				}
+				if cpOK && cp.NumSections == c.cfg.NumSections {
+					if saved, ok := cp.Schedule[j.id]; ok && len(saved) == c.cfg.NumSections {
+						copy(row, saved)
+					}
+				}
+			}
+			c.schedule[j.id] = row
 			c.lastSeq[j.id] = 0
 			c.consecFails[j.id] = 0
-			c.epoch++ // quotes must reflect the newcomer's (zero) load
+			c.epoch++ // quotes must reflect the newcomer's load
 			report.Joined++
 			added = append(added, j.id)
 		default:

@@ -1,0 +1,108 @@
+// Package sweep is the shared fan-out engine for the outer simulation
+// layers: experiment figures, ablations and benchmark grids all reduce
+// to "evaluate an indexed family of independent jobs" (Map) or "walk a
+// parameter axis carrying the previous equilibrium forward" (Chain).
+//
+// Determinism contract: Map assembles results by job index, every job
+// is a pure function of its index, and errors are reported for the
+// lowest failing index — so the returned slice is bit-for-bit
+// identical whether the pool runs one worker or sixteen, the same
+// contract core.RunParallel makes for schedules. The differential
+// suite in sweep_test.go enforces it. Chain is sequential by
+// construction: step i sees step i−1's result, which is what makes
+// warm-starting along a sweep axis (N→N+10, C→C+10, hour→hour+1)
+// possible at all.
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Map evaluates job(0)…job(n−1) on a bounded worker pool and returns
+// the results in index order. parallelism ≤ 0 means GOMAXPROCS; 1 runs
+// the jobs inline on the calling goroutine in index order, the
+// sequential reference the differential suite compares against. If any
+// job fails, Map returns the error of the lowest failing index (with
+// every job still attempted, so side effects like per-job buffers are
+// complete either way).
+func Map[T any](n, parallelism int, job func(i int) (T, error)) ([]T, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("sweep: negative job count %d", n)
+	}
+	if job == nil {
+		return nil, fmt.Errorf("sweep: nil job")
+	}
+	out := make([]T, n)
+	if n == 0 {
+		return out, nil
+	}
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > n {
+		parallelism = n
+	}
+
+	if parallelism == 1 {
+		var firstErr error
+		for i := 0; i < n; i++ {
+			v, err := job(i)
+			if err != nil && firstErr == nil {
+				firstErr = fmt.Errorf("sweep: job %d: %w", i, err)
+			}
+			out[i] = v
+		}
+		return out, firstErr
+	}
+
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(parallelism)
+	for w := 0; w < parallelism; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i], errs[i] = job(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return out, fmt.Errorf("sweep: job %d: %w", i, err)
+		}
+	}
+	return out, nil
+}
+
+// Chain evaluates job(0, nil), job(1, &r0), … job(n−1, &r_{n−2})
+// strictly in order, handing each step a pointer to the previous
+// step's result — the warm-start axis walk. A nil prev marks the cold
+// first step. Chain stops at the first error.
+func Chain[T any](n int, job func(i int, prev *T) (T, error)) ([]T, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("sweep: negative job count %d", n)
+	}
+	if job == nil {
+		return nil, fmt.Errorf("sweep: nil job")
+	}
+	out := make([]T, 0, n)
+	var prev *T
+	for i := 0; i < n; i++ {
+		v, err := job(i, prev)
+		if err != nil {
+			return out, fmt.Errorf("sweep: step %d: %w", i, err)
+		}
+		out = append(out, v)
+		prev = &out[len(out)-1]
+	}
+	return out, nil
+}

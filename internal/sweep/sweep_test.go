@@ -1,0 +1,151 @@
+package sweep
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrdersResultsByIndex(t *testing.T) {
+	out, err := Map(10, 4, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Errorf("slot %d holds %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestMapEmptyAndErrors(t *testing.T) {
+	if out, err := Map(0, 4, func(i int) (int, error) { return 0, nil }); err != nil || len(out) != 0 {
+		t.Errorf("empty map: out=%v err=%v", out, err)
+	}
+	if _, err := Map(-1, 1, func(i int) (int, error) { return 0, nil }); err == nil {
+		t.Error("negative count accepted")
+	}
+	if _, err := Map[int](3, 1, nil); err == nil {
+		t.Error("nil job accepted")
+	}
+}
+
+func TestMapReportsLowestFailingIndex(t *testing.T) {
+	for _, parallelism := range []int{1, 4} {
+		_, err := Map(20, parallelism, func(i int) (int, error) {
+			if i == 7 || i == 13 {
+				return 0, fmt.Errorf("boom %d", i)
+			}
+			return i, nil
+		})
+		if err == nil {
+			t.Fatalf("parallelism %d: error swallowed", parallelism)
+		}
+		if want := "sweep: job 7: boom 7"; err.Error() != want {
+			t.Errorf("parallelism %d: got %q, want %q", parallelism, err.Error(), want)
+		}
+	}
+}
+
+func TestMapRunsEveryJobOnce(t *testing.T) {
+	var calls [50]atomic.Int32
+	_, err := Map(len(calls), runtime.GOMAXPROCS(0)+2, func(i int) (struct{}, error) {
+		calls[i].Add(1)
+		return struct{}{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range calls {
+		if n := calls[i].Load(); n != 1 {
+			t.Errorf("job %d ran %d times", i, n)
+		}
+	}
+}
+
+// TestMapDeterminismAcrossWorkerCounts is the sweep half of the
+// determinism contract: over randomized sweep configurations, the
+// result slice must be bit-for-bit identical at parallelism 1 and at
+// every other worker count, because assembly is by index and jobs are
+// pure functions of their index.
+func TestMapDeterminismAcrossWorkerCounts(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 25; trial++ {
+		n := 1 + rng.Intn(64)
+		seed := rng.Int63()
+		job := func(i int) ([]float64, error) {
+			// A job with its own per-index randomness and float
+			// accumulation — the shape of a real sweep point.
+			r := rand.New(rand.NewSource(seed + int64(i)*1009))
+			row := make([]float64, 1+r.Intn(8))
+			acc := 0.0
+			for k := range row {
+				acc += math.Sin(float64(i)*1.7 + r.Float64())
+				row[k] = acc
+			}
+			return row, nil
+		}
+		ref, err := Map(n, 1, job)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 3, runtime.GOMAXPROCS(0) + 3} {
+			got, err := Map(n, workers, job)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range ref {
+				if len(got[i]) != len(ref[i]) {
+					t.Fatalf("trial %d workers %d: slot %d length diverges", trial, workers, i)
+				}
+				for k := range ref[i] {
+					if math.Float64bits(got[i][k]) != math.Float64bits(ref[i][k]) {
+						t.Fatalf("trial %d workers %d: slot %d[%d] not bit-identical", trial, workers, i, k)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestChainThreadsPrevious(t *testing.T) {
+	out, err := Chain(6, func(i int, prev *int) (int, error) {
+		if i == 0 {
+			if prev != nil {
+				t.Error("first step saw a previous result")
+			}
+			return 1, nil
+		}
+		if prev == nil {
+			t.Fatalf("step %d saw nil prev", i)
+		}
+		return *prev * 2, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 4, 8, 16, 32}
+	for i, v := range out {
+		if v != want[i] {
+			t.Errorf("step %d: got %d want %d", i, v, want[i])
+		}
+	}
+}
+
+func TestChainStopsAtFirstError(t *testing.T) {
+	out, err := Chain(10, func(i int, prev *int) (int, error) {
+		if i == 3 {
+			return 0, fmt.Errorf("boom")
+		}
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("error swallowed")
+	}
+	if len(out) != 3 {
+		t.Errorf("got %d completed steps before the error, want 3", len(out))
+	}
+}

@@ -40,10 +40,22 @@ func (r IntersectionRecord) TotalEnergy() units.Energy {
 // charges vehicles that sit over a lane's sections. It implements the
 // traffic package's detector interface structurally, keeping the two
 // packages decoupled.
+//
+// Observe is the hottest function in the outer simulation layers — it
+// runs once per vehicle per step for a whole simulated day — so the
+// accumulator caches the lane's (immutable) sections in index-aligned
+// slices and keeps the off-section rejection path free of closures,
+// map lookups, and struct copies.
 type Accumulator struct {
-	lane    *Lane
+	lane *Lane
+	// secs is the lane's ordered section list; recs and seen are
+	// index-aligned with it.
+	secs []Section
+	recs []*IntersectionRecord
+	seen []map[string]struct{}
+	// records indexes the same *IntersectionRecord values by section
+	// ID for the Record API.
 	records map[int]*IntersectionRecord
-	seen    map[int]map[string]struct{}
 	// perVehicle accumulates each vehicle's total received energy
 	// across all sections.
 	perVehicle map[string]units.Energy
@@ -54,15 +66,19 @@ type Accumulator struct {
 
 // NewAccumulator returns an accumulator over the lane's sections.
 func NewAccumulator(lane *Lane) *Accumulator {
+	secs := lane.Sections()
 	a := &Accumulator{
 		lane:       lane,
-		records:    make(map[int]*IntersectionRecord, lane.NumSections()),
-		seen:       make(map[int]map[string]struct{}, lane.NumSections()),
+		secs:       secs,
+		recs:       make([]*IntersectionRecord, len(secs)),
+		seen:       make([]map[string]struct{}, len(secs)),
+		records:    make(map[int]*IntersectionRecord, len(secs)),
 		perVehicle: make(map[string]units.Energy),
 	}
-	for _, s := range lane.Sections() {
-		a.records[s.ID] = &IntersectionRecord{}
-		a.seen[s.ID] = make(map[string]struct{})
+	for i, s := range secs {
+		a.recs[i] = &IntersectionRecord{}
+		a.seen[i] = make(map[string]struct{})
+		a.records[s.ID] = a.recs[i]
 	}
 	return a
 }
@@ -80,24 +96,35 @@ func (a *Accumulator) Observe(vehID string, pos units.Distance, vel units.Speed,
 	if dt <= 0 {
 		return
 	}
-	s, ok := a.lane.SectionAt(pos)
-	if !ok {
+	// Inline binary search over the cached ordered sections: same
+	// semantics as Lane.SectionAt without its closure or Section copy,
+	// because most samples reject here.
+	lo, hi := 0, len(a.secs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if a.secs[mid].Start+a.secs[mid].Length > pos {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	if lo >= len(a.secs) || pos < a.secs[lo].Start {
 		return
 	}
-	rec := a.records[s.ID]
-	hour := int(now.Hours()) % 24
+	rec := a.recs[lo]
+	hour := int(now/time.Hour) % 24
 	if hour < 0 {
 		hour += 24
 	}
 	rec.TimeByHour[hour] += dt
 
-	p := a.power(vehID, s, vel)
+	p := a.power(vehID, a.secs[lo], vel)
 	e := p.Energy(dt)
 	rec.EnergyByHour[hour] += e
 	a.perVehicle[vehID] += e
 
-	if _, dup := a.seen[s.ID][vehID]; !dup {
-		a.seen[s.ID][vehID] = struct{}{}
+	if _, dup := a.seen[lo][vehID]; !dup {
+		a.seen[lo][vehID] = struct{}{}
 		rec.Vehicles++
 	}
 }

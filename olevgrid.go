@@ -42,6 +42,7 @@ import (
 	"olevgrid/internal/grid"
 	"olevgrid/internal/pricing"
 	"olevgrid/internal/sched"
+	"olevgrid/internal/sweep"
 	"olevgrid/internal/traffic"
 	"olevgrid/internal/units"
 	"olevgrid/internal/v2i"
@@ -93,10 +94,31 @@ type (
 	ParallelOptions = core.ParallelOptions
 	// ParallelResult reports a Game.RunParallel run.
 	ParallelResult = core.ParallelResult
+	// Schedule is an N×C power allocation.
+	Schedule = core.Schedule
+	// CostFunction is a section's convex charging cost Z(·).
+	CostFunction = core.CostFunction
+	// Solver is a persistent round engine for incremental re-solves:
+	// it carries caches and the standing schedule across SetCost,
+	// SetPlayer and SetSchedule, so a sequence of related games (an
+	// LBMP step, a fleet churn, a warm seed) pays only for what changed.
+	Solver = core.Solver
 )
 
-// NewGame constructs the strategic game of Section IV.
-var NewGame = core.NewGame
+var (
+	// NewGame constructs the strategic game of Section IV.
+	NewGame = core.NewGame
+	// NewSolver wraps a game in a persistent engine for incremental
+	// re-solves.
+	NewSolver = core.NewSolver
+	// ProjectSchedule maps a converged schedule onto a changed game:
+	// rows travel by player ID, departed vehicles are dropped, joiners
+	// start at zero, section-count changes spread each row evenly, and
+	// every row is clamped to its player's feasible set. The result is
+	// a feasible warm start that can only change round counts, never
+	// the potential game's destination.
+	ProjectSchedule = core.ProjectSchedule
+)
 
 // Policy layer (Section V's two pricing policies).
 type (
@@ -219,6 +241,9 @@ var (
 	FactorSweep = experiments.FactorSweep
 	// MultiIntersection runs the city-scale extrapolation corridor.
 	MultiIntersection = experiments.MultiIntersection
+	// MultiIntersectionSweep fans the corridor study over a list of
+	// intersection counts on the sweep engine.
+	MultiIntersectionSweep = experiments.MultiIntersectionSweep
 	// PolicyComparison contrasts the three pricing objectives.
 	PolicyComparison = experiments.PolicyComparison
 	// SaveExperimentCSVs writes rendered tables for external plotting.
@@ -272,3 +297,18 @@ type RunAllExperimentOptions = experiments.RunAllOptions
 // RunAllExperimentsWith is RunAllExperiments with full options,
 // including routing every game through the parallel round engine.
 var RunAllExperimentsWith = experiments.RunAllWith
+
+// SweepMap runs n independent jobs over a worker pool and returns
+// their results in index order. Results never depend on parallelism:
+// one worker or sixteen produce the identical slice — only wall-clock
+// changes. On error the lowest-index failure is returned.
+func SweepMap[T any](n, parallelism int, job func(i int) (T, error)) ([]T, error) {
+	return sweep.Map(n, parallelism, job)
+}
+
+// SweepChain runs n jobs strictly in order, handing each job a pointer
+// to its predecessor's result (nil for the first) — the warm-start
+// chaining primitive the figure sweeps use along their x-axes.
+func SweepChain[T any](n int, job func(i int, prev *T) (T, error)) ([]T, error) {
+	return sweep.Chain(n, job)
+}
