@@ -13,15 +13,24 @@
 // (departed vehicles dropped, arrivals at zero), which trims rounds
 // without moving the equilibria.
 //
+// The exogenous-fault knobs replay a degraded day: -feed-drop loses
+// LBMP samples (the day holds the last-known-good price), -feed-ceiling
+// bounds how many hours a held price may be trusted, and -outage takes
+// charging sections down for hour spans ("sec:from[:to]",
+// comma-separated) so those hours solve on the survivors.
+//
 // Usage:
 //
 //	coupled-day [-seed N] [-participation F] [-sections C] [-eta F] [-scale K] [-parallel P] [-warm]
+//	            [-feed-drop F] [-feed-ceiling H] [-outage "sec:from[:to],..."]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"olevgrid"
 	"olevgrid/internal/coupling"
@@ -42,6 +51,9 @@ func run() error {
 	scale := flag.Float64("scale", 0, "if > 0, report grid impact at this many deployed lanes")
 	parallel := flag.Int("parallel", 0, "round-engine proposal workers per hourly game (0 = asynchronous dynamics)")
 	warm := flag.Bool("warm", false, "warm-start each hour from the previous hour's projected equilibrium")
+	feedDrop := flag.Float64("feed-drop", 0, "LBMP feed per-hour dropout probability")
+	feedCeiling := flag.Int("feed-ceiling", 0, "hours a held price stays trustworthy (0 = forever)")
+	outageSpec := flag.String("outage", "", `section outages as "sec:from[:to]" hour spans, comma-separated`)
 	flag.Parse()
 
 	cfg := olevgrid.CoupledDayConfig{
@@ -52,6 +64,18 @@ func run() error {
 		Parallelism:   *parallel,
 		WarmStart:     *warm,
 	}
+	if *feedDrop > 0 || *feedCeiling > 0 {
+		cfg.FeedFaults = &olevgrid.FeedConfig{
+			DropRate:         *feedDrop,
+			StalenessCeiling: *feedCeiling,
+			Seed:             *seed + 4,
+		}
+	}
+	outages, err := parseOutages(*outageSpec)
+	if err != nil {
+		return err
+	}
+	cfg.SectionOutages = outages
 	if *scale > 0 {
 		impact, err := coupling.RunDayWithGridFeedback(cfg, *scale)
 		if err != nil {
@@ -71,15 +95,58 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	faulty := cfg.FeedFaults != nil || len(cfg.SectionOutages) > 0
 	fmt.Println("hour  olevs  beta$/MWh  congestion  energy-kWh  revenue-$  rounds  degraded")
 	for _, h := range res.Hours {
-		fmt.Printf("%4d  %5d  %9.2f  %10.3f  %10.1f  %9.2f  %6d  %8d\n",
+		flags := ""
+		if faulty {
+			if h.FeedStale {
+				flags += " stale-price"
+			}
+			if h.LiveSections < *sections {
+				flags += fmt.Sprintf(" live=%d", h.LiveSections)
+			}
+		}
+		fmt.Printf("%4d  %5d  %9.2f  %10.3f  %10.1f  %9.2f  %6d  %8d%s\n",
 			h.Hour, h.OLEVs, h.BetaPerMWh, h.CongestionDegree, h.EnergyKWh, h.RevenueUSD,
-			h.Rounds, h.DegradedRounds)
+			h.Rounds, h.DegradedRounds, flags)
 	}
 	fmt.Printf("\nday total: %.0f kWh delivered, $%.2f collected, peak hour %02d:00, mean %.1f vehicles on lane\n",
 		res.TotalEnergyKWh, res.TotalRevenueUSD, res.PeakHour, res.MeanConcurrent)
 	fmt.Printf("solver: %d rounds over the day (%d degraded)\n",
 		res.TotalRounds, res.TotalDegradedRounds)
+	if faulty {
+		fmt.Printf("faults: %d stale-priced hours, %d section-outage hours\n",
+			res.StaleHours, res.OutageHours)
+	}
 	return nil
+}
+
+// parseOutages reads "sec:from[:to]" comma-separated hour spans into
+// the day's outage script (to omitted or 0 means end of day).
+func parseOutages(spec string) ([]olevgrid.DayOutage, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out []olevgrid.DayOutage
+	for _, part := range strings.Split(spec, ",") {
+		fields := strings.Split(strings.TrimSpace(part), ":")
+		if len(fields) < 2 || len(fields) > 3 {
+			return nil, fmt.Errorf(`-outage %q: want "sec:from[:to]"`, part)
+		}
+		nums := make([]int, len(fields))
+		for i, f := range fields {
+			v, err := strconv.Atoi(f)
+			if err != nil {
+				return nil, fmt.Errorf("-outage %q: %w", part, err)
+			}
+			nums[i] = v
+		}
+		o := olevgrid.DayOutage{Section: nums[0], FromHour: nums[1]}
+		if len(nums) == 3 {
+			o.ToHour = nums[2]
+		}
+		out = append(out, o)
+	}
+	return out, nil
 }

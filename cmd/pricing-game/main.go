@@ -11,6 +11,12 @@
 // inject chaos on every grid-side link, -evict-after arms the
 // per-vehicle circuit breaker, and -journal persists the last
 // converged schedule so a restarted coordinator warm-starts from it.
+// The control-plane fault knobs stack on top: -crash-at kills the
+// primary coordinator at that round and lets a standby take over off
+// the journaled checkpoint, -autonomy arms every vehicle's
+// degraded-mode fallback, -feed-drop makes the LBMP feed lose samples,
+// and -outage scripts charging-section outages ("sec:down[:up]", round
+// numbers, comma-separated).
 package main
 
 import (
@@ -18,6 +24,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -49,6 +57,10 @@ func run() error {
 	reorder := flag.Float64("reorder", 0, "tcp: per-frame reorder probability on grid-side links")
 	evictAfter := flag.Int("evict-after", 0, "tcp: evict a vehicle after this many consecutive failed turns (0 disables)")
 	journalPath := flag.String("journal", "", "tcp: checkpoint file for crash recovery (empty disables)")
+	crashAt := flag.Int("crash-at", 0, "tcp: crash the primary coordinator at this round and fail over to a standby (0 disables)")
+	autonomy := flag.Duration("autonomy", 0, "tcp: arm degraded-mode autonomy with this quote deadline (0 disables)")
+	feedDrop := flag.Float64("feed-drop", 0, "tcp: LBMP feed per-round dropout probability")
+	outageSpec := flag.String("outage", "", `tcp: section outages as "sec:down[:up]" round numbers, comma-separated`)
 	flag.Parse()
 
 	vel := units.MPH(*mph)
@@ -61,11 +73,20 @@ func run() error {
 	}
 
 	if *tcp {
+		outages, err := parseOutages(*outageSpec)
+		if err != nil {
+			return err
+		}
 		return runTCP(players, *c, lineCap, *eta, *beta, *seed, tcpOptions{
 			drop: *drop, dup: *dup, reorder: *reorder,
 			evictAfter: *evictAfter, journalPath: *journalPath,
 			parallelism: *parallelism,
+			crashAt:     *crashAt, autonomy: *autonomy,
+			feedDrop: *feedDrop, outages: outages,
 		})
+	}
+	if *crashAt > 0 || *autonomy > 0 || *feedDrop > 0 || *outageSpec != "" {
+		return fmt.Errorf("-crash-at/-autonomy/-feed-drop/-outage require -tcp")
 	}
 
 	scenario := olevgrid.Scenario{
@@ -110,9 +131,42 @@ type tcpOptions struct {
 	evictAfter         int
 	journalPath        string
 	parallelism        int
+	crashAt            int
+	autonomy           time.Duration
+	feedDrop           float64
+	outages            []olevgrid.SectionOutage
 }
 
 func (o tcpOptions) chaotic() bool { return o.drop > 0 || o.dup > 0 || o.reorder > 0 }
+
+// parseOutages reads "sec:down[:up]" comma-separated round-number
+// triples into the coordinator's outage script.
+func parseOutages(spec string) ([]olevgrid.SectionOutage, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out []olevgrid.SectionOutage
+	for _, part := range strings.Split(spec, ",") {
+		fields := strings.Split(strings.TrimSpace(part), ":")
+		if len(fields) < 2 || len(fields) > 3 {
+			return nil, fmt.Errorf(`-outage %q: want "sec:down[:up]"`, part)
+		}
+		nums := make([]int, len(fields))
+		for i, f := range fields {
+			v, err := strconv.Atoi(f)
+			if err != nil {
+				return nil, fmt.Errorf("-outage %q: %w", part, err)
+			}
+			nums[i] = v
+		}
+		o := olevgrid.SectionOutage{Section: nums[0], DownRound: nums[1]}
+		if len(nums) == 3 {
+			o.UpRound = nums[2]
+		}
+		out = append(out, o)
+	}
+	return out, nil
+}
 
 func runTCP(players []olevgrid.Player, c int, lineCap, eta, beta float64, seed int64, opts tcpOptions) error {
 	srv, err := olevgrid.ListenV2I("127.0.0.1:0")
@@ -127,6 +181,10 @@ func runTCP(players []olevgrid.Player, c int, lineCap, eta, beta float64, seed i
 
 	var wg sync.WaitGroup
 	errs := make([]error, len(players))
+	var auto *olevgrid.AutonomyConfig
+	if opts.autonomy > 0 {
+		auto = &olevgrid.AutonomyConfig{QuoteDeadline: opts.autonomy}
+	}
 	for i, p := range players {
 		wg.Add(1)
 		go func(i int, p olevgrid.Player) {
@@ -135,6 +193,7 @@ func runTCP(players []olevgrid.Player, c int, lineCap, eta, beta float64, seed i
 				VehicleID:    p.ID,
 				MaxPowerKW:   p.MaxPowerKW,
 				Satisfaction: p.Satisfaction,
+				Autonomy:     auto,
 			})
 		}(i, p)
 	}
@@ -161,22 +220,55 @@ func runTCP(players []olevgrid.Player, c int, lineCap, eta, beta float64, seed i
 	var journal olevgrid.Journal
 	if opts.journalPath != "" {
 		journal = olevgrid.NewFileJournal(opts.journalPath)
+	} else if opts.crashAt > 0 {
+		// A failover demo needs a checkpoint to hand the standby.
+		journal = olevgrid.NewMemJournal()
 	}
+	spec := costSpec(lineCap, eta, beta)
 	cfg := olevgrid.CoordinatorConfig{
 		NumSections:    c,
 		LineCapacityKW: lineCap,
-		Cost:           costSpec(lineCap, eta, beta),
+		Cost:           spec,
 		EvictAfter:     opts.evictAfter,
 		DropDeparted:   true,
 		Journal:        journal,
 		Seed:           seed,
 		Parallelism:    opts.parallelism,
+		Outages:        opts.outages,
 	}
 	if opts.chaotic() {
 		cfg.RoundTimeout = 250 * time.Millisecond
 		cfg.MaxRetries = 8
 		cfg.RetryBackoff = 5 * time.Millisecond
 		cfg.SkipUnresponsive = true
+	}
+	if opts.feedDrop > 0 {
+		feed, err := olevgrid.NewLBMPFeed(
+			func(int) float64 { return spec.BetaPerKWh },
+			olevgrid.FeedConfig{DropRate: opts.feedDrop, Decay: 0.9,
+				FloorBeta: spec.BetaPerKWh / 2, Seed: seed + 4})
+		if err != nil {
+			return err
+		}
+		cfg.Feed = feed
+	}
+	var lease *olevgrid.MemLease
+	primCtx := ctx
+	var crash context.CancelFunc
+	if opts.crashAt > 0 {
+		lease = olevgrid.NewMemLease()
+		cfg.Lease = lease
+		cfg.LeaseTTL = 100 * time.Millisecond
+		cfg.InstanceID = "primary"
+		cfg.CheckpointEvery = 1
+		cfg.HeartbeatEvery = 2
+		primCtx, crash = context.WithCancel(ctx)
+		defer crash()
+		cfg.OnRound = func(round int) {
+			if round == opts.crashAt {
+				crash()
+			}
+		}
 	}
 	coord, err := olevgrid.NewCoordinator(cfg, links)
 	if err != nil {
@@ -188,7 +280,39 @@ func runTCP(players []olevgrid.Player, c int, lineCap, eta, beta float64, seed i
 	if coord.Restored() {
 		fmt.Println("warm-started from journaled checkpoint")
 	}
-	report, err := coord.Run(ctx)
+	report, err := coord.Run(primCtx)
+	if err != nil && opts.crashAt > 0 && ctx.Err() == nil {
+		// The scripted crash fired. A standby observes the lapsed lease,
+		// fences itself above the dead primary, and finishes the session
+		// over the same accepted connections.
+		fmt.Printf("primary crashed at round %d: %v\n", opts.crashAt, err)
+		time.Sleep(200 * time.Millisecond) // let the lease lapse
+		sb, serr := olevgrid.NewStandby(olevgrid.StandbyConfig{
+			InstanceID: "standby", Journal: journal, Lease: lease, LeaseTTL: time.Minute,
+		})
+		if serr != nil {
+			return serr
+		}
+		take, ok, serr := sb.TryTakeover(time.Now())
+		if serr != nil {
+			return serr
+		}
+		if !ok {
+			if take, ok, serr = sb.TryTakeover(time.Now().Add(time.Second)); serr != nil || !ok {
+				return fmt.Errorf("standby takeover refused: ok=%v err=%v", ok, serr)
+			}
+		}
+		cfg2 := cfg
+		cfg2.OnRound = nil
+		cfg2.InstanceID = "standby"
+		standby, serr := olevgrid.ResumeCoordinator(cfg2, links, take)
+		if serr != nil {
+			return serr
+		}
+		fmt.Printf("standby took over: epoch fence %d, warm-start=%v\n", take.Epoch, standby.Restored())
+		coord = standby
+		report, err = standby.Run(ctx)
+	}
 	if err != nil {
 		return err
 	}
@@ -209,6 +333,11 @@ func runTCP(players []olevgrid.Player, c int, lineCap, eta, beta float64, seed i
 		fmt.Printf("  resilience: retries=%d skipped=%d stale-dropped=%d departed=%d evicted=%d epoch=%d checkpoint=%v fellback=%v\n",
 			report.Retries, report.Skipped, report.StaleDropped, report.Departed,
 			report.Evicted, report.FinalEpoch, report.CheckpointSaved, report.FellBack)
+	}
+	if opts.crashAt > 0 || opts.feedDrop > 0 || len(opts.outages) > 0 {
+		fmt.Printf("  control plane: feed-changes=%d feed-held=%d outages=%d restores=%d live-sections=%d\n",
+			report.FeedChanges, report.FeedHeld, report.OutagesApplied,
+			report.RestoresApplied, report.LiveSections)
 	}
 	return nil
 }

@@ -5,6 +5,13 @@
 // eleventh vehicle arrives after the session is set up and joins the
 // running iteration through the coordinator's membership queue, and
 // the converged schedule is journaled as the grid's last-known-good.
+//
+// The run also demonstrates coordinator failover: the primary crashes
+// a few rounds in, the vehicles (degraded-mode autonomy armed) hold a
+// local proportional-fair setpoint through the gap, and a standby
+// observes the lapsed lease, fences itself above the dead primary's
+// epoch, warm-starts from the journaled checkpoint, and finishes the
+// session over the same connections.
 package main
 
 import (
@@ -61,6 +68,9 @@ func run() error {
 				MaxPowerKW:   p.MaxPowerKW,
 				Satisfaction: p.Satisfaction,
 				VelocityMS:   olevgrid.MPH(60).MPS(),
+				// Autonomy: survive the failover gap on a local
+				// proportional-fair setpoint instead of blocking.
+				Autonomy: &olevgrid.AutonomyConfig{QuoteDeadline: 250 * time.Millisecond},
 			})
 		}()
 	}
@@ -76,7 +86,11 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	coord, err := olevgrid.NewCoordinator(olevgrid.CoordinatorConfig{
+	journal := olevgrid.NewMemJournal()
+	lease := olevgrid.NewMemLease()
+	primCtx, crash := context.WithCancel(ctx)
+	defer crash()
+	cfg := olevgrid.CoordinatorConfig{
 		NumSections:    sections,
 		LineCapacityKW: lineCap,
 		Cost: olevgrid.CostSpec{
@@ -92,8 +106,19 @@ func run() error {
 		SkipUnresponsive: true,
 		DropDeparted:     true,
 		EvictAfter:       8,
-		Journal:          olevgrid.NewMemJournal(),
-	}, links)
+		Journal:          journal,
+		CheckpointEvery:  1,
+		Lease:            lease,
+		LeaseTTL:         100 * time.Millisecond,
+		InstanceID:       "grid-primary",
+		HeartbeatEvery:   2,
+		OnRound: func(round int) {
+			if round == 3 {
+				crash() // scripted mid-iteration crash of the primary
+			}
+		},
+	}
+	coord, err := olevgrid.NewCoordinator(cfg, links)
 	if err != nil {
 		return err
 	}
@@ -112,7 +137,41 @@ func run() error {
 		}
 	}
 
-	report, err := coord.Run(ctx)
+	report, err := coord.Run(primCtx)
+	if err != nil && ctx.Err() == nil {
+		// The primary is gone mid-iteration. Vehicles ride out the gap
+		// on their autonomy fallback; the standby waits out the lease,
+		// takes over fenced above the primary's epoch, and resumes from
+		// the checkpoint over the same accepted connections.
+		fmt.Printf("primary crashed mid-run: %v\n", err)
+		time.Sleep(200 * time.Millisecond)
+		sb, serr := olevgrid.NewStandby(olevgrid.StandbyConfig{
+			InstanceID: "grid-standby", Journal: journal, Lease: lease, LeaseTTL: time.Minute,
+		})
+		if serr != nil {
+			return serr
+		}
+		take, ok, serr := sb.TryTakeover(time.Now())
+		if serr != nil {
+			return serr
+		}
+		if !ok {
+			if take, ok, serr = sb.TryTakeover(time.Now().Add(time.Second)); serr != nil || !ok {
+				return fmt.Errorf("standby takeover refused: ok=%v err=%v", ok, serr)
+			}
+		}
+		cfg2 := cfg
+		cfg2.OnRound = nil
+		cfg2.InstanceID = "grid-standby"
+		standby, serr := olevgrid.ResumeCoordinator(cfg2, links, take)
+		if serr != nil {
+			return serr
+		}
+		fmt.Printf("standby took over: epoch fence %d, warm-start=%v\n",
+			take.Epoch, standby.Restored())
+		coord = standby
+		report, err = standby.Run(ctx)
+	}
 	if err != nil {
 		return err
 	}

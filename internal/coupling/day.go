@@ -67,6 +67,34 @@ type DayConfig struct {
 	// HourOutcome.Schedule — the warm-vs-cold divergence measurements
 	// need them; off by default to keep DayResult light.
 	KeepSchedules bool
+	// FeedFaults, when non-nil, routes the hourly LBMP through a
+	// grid.LBMPFeed fault plan: dropped samples serve the
+	// last-known-good β (with the plan's decay), and hours past the
+	// staleness ceiling hold the last *applied* β — or skip the game
+	// entirely when no good sample has ever arrived. Nil keeps the
+	// clean feed, the pre-failover behavior.
+	FeedFaults *grid.FeedConfig
+	// SectionOutages scripts charging-section outages by hour span;
+	// affected hours solve the game over the surviving sections only
+	// (pricing.Scenario.DeadSections). Empty means no outages.
+	SectionOutages []SectionOutage
+}
+
+// SectionOutage de-energizes one section for the hour span
+// [FromHour, ToHour); ToHour zero means the rest of the day.
+type SectionOutage struct {
+	Section  int
+	FromHour int
+	ToHour   int
+}
+
+// active reports whether the outage covers hour h.
+func (o SectionOutage) active(h int) bool {
+	to := o.ToHour
+	if to == 0 {
+		to = 24
+	}
+	return h >= o.FromHour && h < to
 }
 
 func (c *DayConfig) applyDefaults() {
@@ -126,6 +154,13 @@ type HourOutcome struct {
 	// Schedule is the hour's converged schedule, retained only under
 	// DayConfig.KeepSchedules.
 	Schedule *core.Schedule
+	// FeedStale marks an hour priced on a held (stale) β because the
+	// LBMP feed was dark past its ceiling — or skipped entirely when
+	// no price had ever arrived (OLEVs stays as counted, the rest
+	// zero).
+	FeedStale bool
+	// LiveSections is the number of energized sections this hour.
+	LiveSections int
 }
 
 // DayResult is a full coupled day.
@@ -143,6 +178,11 @@ type DayResult struct {
 	// accounting; cold-vs-warm day comparisons read these.
 	TotalRounds         int
 	TotalDegradedRounds int
+	// StaleHours counts hours priced on a held β (or skipped) because
+	// the feed was dark past its ceiling; OutageHours counts hours
+	// with at least one dead section.
+	StaleHours  int
+	OutageHours int
 }
 
 // RunDay executes the coupled day: one 24 h traffic simulation to
@@ -163,6 +203,27 @@ func RunDay(cfg DayConfig) (*DayResult, error) {
 		return nil, err
 	}
 
+	var feed *grid.LBMPFeed
+	if cfg.FeedFaults != nil {
+		feed, err = grid.NewLBMPFeed(func(step int) float64 {
+			return day.LBMP(time.Duration(step) * time.Hour)
+		}, *cfg.FeedFaults)
+		if err != nil {
+			return nil, fmt.Errorf("coupling: feed faults: %w", err)
+		}
+	}
+	for _, o := range cfg.SectionOutages {
+		if o.Section < 0 || o.Section >= cfg.NumSections {
+			return nil, fmt.Errorf("coupling: outage section %d outside [0, %d)", o.Section, cfg.NumSections)
+		}
+		if o.FromHour < 0 || o.FromHour > 23 {
+			return nil, fmt.Errorf("coupling: outage from hour %d outside [0, 24)", o.FromHour)
+		}
+		if o.ToHour != 0 && (o.ToHour <= o.FromHour || o.ToHour > 24) {
+			return nil, fmt.Errorf("coupling: outage hours [%d, %d) invalid", o.FromHour, o.ToHour)
+		}
+	}
+
 	lineCap := pricing.LineCapacityKW(cfg.SectionLength, cfg.SpeedLimit)
 	res := &DayResult{}
 	var presenceSum float64
@@ -171,15 +232,55 @@ func RunDay(cfg DayConfig) (*DayResult, error) {
 	// vehicle index present in adjacent hours carries its allocation.
 	var prevSchedule *core.Schedule
 	var prevIDs []string
+	var lastBeta float64
+	var haveBeta bool
 	for h := 0; h < 24; h++ {
 		presenceSum += presence[h]
 		beta := day.LBMP(time.Duration(h) * time.Hour)
+		stale, skip := false, false
+		if feed != nil {
+			b, ok := feed.Sample(h)
+			switch {
+			case ok:
+				beta = b
+			case haveBeta:
+				// Dark past the ceiling: hold the last applied β — the
+				// conservative operating point when the market is
+				// unreachable.
+				beta, stale = lastBeta, true
+			default:
+				// No price has ever arrived: the grid cannot quote a
+				// payment function, so this hour schedules nothing.
+				stale, skip = true, true
+			}
+		}
+		lastBeta, haveBeta = beta, haveBeta || !skip
+
+		var dead []int
+		for _, o := range cfg.SectionOutages {
+			if o.active(h) {
+				dead = append(dead, o.Section)
+			}
+		}
+
 		n := int(math.Round(presence[h] * cfg.Participation))
 		if n > cfg.MaxOLEVs {
 			n = cfg.MaxOLEVs
 		}
-		out := HourOutcome{Hour: h, OLEVs: n, BetaPerMWh: beta}
-		if n >= 1 {
+		out := HourOutcome{
+			Hour: h, OLEVs: n, BetaPerMWh: beta,
+			FeedStale: stale, LiveSections: cfg.NumSections - len(dead),
+		}
+		if stale {
+			res.StaleHours++
+		}
+		if len(dead) > 0 {
+			res.OutageHours++
+		}
+		if skip {
+			out.BetaPerMWh = 0
+		}
+		if n >= 1 && !skip {
 			_, players, err := pricing.BuildFleet(pricing.FleetConfig{
 				N:        n,
 				Velocity: cfg.SpeedLimit,
@@ -197,6 +298,7 @@ func RunDay(cfg DayConfig) (*DayResult, error) {
 				Seed:           cfg.Seed + int64(h)*131,
 				Parallelism:    cfg.Parallelism,
 				Tolerance:      cfg.Tolerance,
+				DeadSections:   dead,
 			}
 			if cfg.WarmStart && prevSchedule != nil {
 				seed, err := core.ProjectSchedule(prevSchedule, prevIDs, players, cfg.NumSections)

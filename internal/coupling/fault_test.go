@@ -1,0 +1,165 @@
+package coupling
+
+import (
+	"testing"
+
+	"olevgrid/internal/grid"
+)
+
+// A day under feed dropouts still delivers: dropped hours price on the
+// last-known-good β, and the result stays deterministic per seed.
+func TestRunDayFeedDropouts(t *testing.T) {
+	cfg := DayConfig{
+		Seed: 1,
+		FeedFaults: &grid.FeedConfig{
+			DropRate: 0.25,
+			Seed:     7,
+		},
+	}
+	res, err := RunDay(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalEnergyKWh <= 0 {
+		t.Fatal("no energy delivered under feed dropouts")
+	}
+	// No ceiling configured, so held prices are served, never stale.
+	if res.StaleHours != 0 {
+		t.Errorf("StaleHours = %d without a staleness ceiling", res.StaleHours)
+	}
+	again, err := RunDay(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.TotalEnergyKWh != res.TotalEnergyKWh || again.TotalRevenueUSD != res.TotalRevenueUSD {
+		t.Error("seeded feed-fault day is not deterministic")
+	}
+}
+
+// A scripted dark window past the staleness ceiling marks hours stale:
+// the day holds the last applied β rather than trusting a fossil.
+func TestRunDayFeedStalenessCeiling(t *testing.T) {
+	res, err := RunDay(DayConfig{
+		Seed: 1,
+		FeedFaults: &grid.FeedConfig{
+			Windows:          []grid.FeedWindow{{From: 8, To: 14}},
+			StalenessCeiling: 2,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hours 8–9 are within the ceiling (served last-known-good); hours
+	// 10–13 are past it (held as stale).
+	if res.StaleHours != 4 {
+		t.Errorf("StaleHours = %d, want 4", res.StaleHours)
+	}
+	heldBeta := res.Hours[9].BetaPerMWh
+	for h := 10; h < 14; h++ {
+		if !res.Hours[h].FeedStale {
+			t.Errorf("hour %d not marked stale", h)
+		}
+		if res.Hours[h].BetaPerMWh != heldBeta {
+			t.Errorf("stale hour %d priced %v, want held %v", h, res.Hours[h].BetaPerMWh, heldBeta)
+		}
+		if res.Hours[h].EnergyKWh <= 0 {
+			t.Errorf("stale hour %d delivered nothing; holding β should keep scheduling", h)
+		}
+	}
+	if res.Hours[14].FeedStale || res.Hours[14].BetaPerMWh == heldBeta {
+		t.Errorf("hour 14 should price on a fresh sample, got stale=%v β=%v",
+			res.Hours[14].FeedStale, res.Hours[14].BetaPerMWh)
+	}
+}
+
+// A feed dark from hour zero has no last-known-good: those hours must
+// skip the game, not price on an invented β.
+func TestRunDayFeedNeverGoodSkips(t *testing.T) {
+	res, err := RunDay(DayConfig{
+		Seed: 1,
+		FeedFaults: &grid.FeedConfig{
+			Windows:          []grid.FeedWindow{{From: 0, To: 3}},
+			StalenessCeiling: 1,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hour 0 is dark with nothing to hold; 1–2 likewise.
+	for h := 0; h < 3; h++ {
+		if !res.Hours[h].FeedStale {
+			t.Errorf("hour %d not marked stale", h)
+		}
+		if res.Hours[h].EnergyKWh != 0 || res.Hours[h].RevenueUSD != 0 {
+			t.Errorf("hour %d scheduled power with no price ever seen", h)
+		}
+	}
+	if res.Hours[3].FeedStale {
+		t.Error("hour 3 should price on the first good sample")
+	}
+}
+
+// A section outage span solves those hours on the surviving sections
+// and restores full width afterwards.
+func TestRunDaySectionOutage(t *testing.T) {
+	res, err := RunDay(DayConfig{
+		Seed:           1,
+		SectionOutages: []SectionOutage{{Section: 5, FromHour: 7, ToHour: 10}, {Section: 11, FromHour: 8, ToHour: 10}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OutageHours != 3 {
+		t.Errorf("OutageHours = %d, want 3", res.OutageHours)
+	}
+	if got := res.Hours[7].LiveSections; got != 19 {
+		t.Errorf("hour 7 live sections = %d, want 19", got)
+	}
+	if got := res.Hours[8].LiveSections; got != 18 {
+		t.Errorf("hour 8 live sections = %d, want 18", got)
+	}
+	if got := res.Hours[10].LiveSections; got != 20 {
+		t.Errorf("hour 10 live sections = %d, want 20", got)
+	}
+	// The outage hours still deliver on the survivors.
+	for h := 7; h < 10; h++ {
+		if res.Hours[h].EnergyKWh <= 0 {
+			t.Errorf("outage hour %d delivered nothing", h)
+		}
+	}
+	if res.TotalEnergyKWh <= 0 {
+		t.Fatal("no energy delivered under section outages")
+	}
+}
+
+// The fault knobs default off: a zero-value day is byte-identical to
+// one that never heard of them.
+func TestRunDayFaultKnobsDefaultOff(t *testing.T) {
+	clean, err := RunDay(DayConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.StaleHours != 0 || clean.OutageHours != 0 {
+		t.Errorf("clean day recorded faults: stale=%d outage=%d", clean.StaleHours, clean.OutageHours)
+	}
+	for _, h := range clean.Hours {
+		if h.FeedStale {
+			t.Errorf("clean hour %d marked stale", h.Hour)
+		}
+		if h.LiveSections != 20 {
+			t.Errorf("clean hour %d live sections = %d, want 20", h.Hour, h.LiveSections)
+		}
+	}
+}
+
+func TestRunDayFaultValidation(t *testing.T) {
+	if _, err := RunDay(DayConfig{Seed: 1, FeedFaults: &grid.FeedConfig{DropRate: 2}}); err == nil {
+		t.Error("bad feed config accepted")
+	}
+	if _, err := RunDay(DayConfig{Seed: 1, SectionOutages: []SectionOutage{{Section: 99}}}); err == nil {
+		t.Error("out-of-range outage section accepted")
+	}
+	if _, err := RunDay(DayConfig{Seed: 1, SectionOutages: []SectionOutage{{Section: 1, FromHour: 9, ToHour: 8}}}); err == nil {
+		t.Error("inverted outage span accepted")
+	}
+}

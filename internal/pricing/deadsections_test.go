@@ -1,0 +1,109 @@
+package pricing
+
+import (
+	"math"
+	"testing"
+)
+
+// A run with dead sections must schedule zero power on them, keep the
+// overload guard on the survivors, and equal the same game solved
+// directly on the shorter roadway.
+func TestDeadSectionsCompaction(t *testing.T) {
+	s := testScenario(t, 8, 10, 0.9)
+	s.DeadSections = []int{2, 7}
+	s.Tolerance = 1e-8
+
+	out, err := Nonlinear{}.Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Converged {
+		t.Fatal("masked game did not converge")
+	}
+	if len(out.SectionTotalsKW) != s.NumSections {
+		t.Fatalf("section totals width %d, want %d", len(out.SectionTotalsKW), s.NumSections)
+	}
+	for _, d := range s.DeadSections {
+		if out.SectionTotalsKW[d] != 0 {
+			t.Errorf("dead section %d carries %v kW", d, out.SectionTotalsKW[d])
+		}
+	}
+	if out.Schedule == nil || out.Schedule.NumSections() != s.NumSections {
+		t.Fatalf("schedule not expanded to full width: %+v", out.Schedule)
+	}
+	for n := 0; n < out.Schedule.NumOLEVs(); n++ {
+		for _, d := range s.DeadSections {
+			if out.Schedule.At(n, d) != 0 {
+				t.Errorf("vehicle %d allocated %v on dead section %d", n, out.Schedule.At(n, d), d)
+			}
+		}
+	}
+	// The overload penalty guards ηP_line per survivor.
+	slack := 1.05 * s.Eta * s.LineCapacityKW
+	for c, pc := range out.SectionTotalsKW {
+		if pc > slack {
+			t.Errorf("section %d total %v breaches usable capacity %v", c, pc, s.Eta*s.LineCapacityKW)
+		}
+	}
+
+	// Reference: the same fleet on an 8-section roadway directly.
+	ref := s
+	ref.DeadSections = nil
+	ref.NumSections = 8
+	refOut, err := Nonlinear{}.Run(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(out.Welfare-refOut.Welfare) > 1e-6*(1+math.Abs(refOut.Welfare)) {
+		t.Errorf("masked welfare %v != direct short-roadway welfare %v", out.Welfare, refOut.Welfare)
+	}
+	if math.Abs(out.TotalPowerKW-refOut.TotalPowerKW) > 1e-6*(1+refOut.TotalPowerKW) {
+		t.Errorf("masked power %v != direct %v", out.TotalPowerKW, refOut.TotalPowerKW)
+	}
+}
+
+// A full-width warm start survives the projection off dead sections.
+func TestDeadSectionsWarmStart(t *testing.T) {
+	s := testScenario(t, 6, 6, 0.9)
+	s.Tolerance = 1e-8
+	clean, err := Nonlinear{}.Run(s)
+	if err != nil || !clean.Converged {
+		t.Fatalf("clean run: converged=%v err=%v", clean.Converged, err)
+	}
+
+	warm := s
+	warm.DeadSections = []int{0}
+	warm.InitialSchedule = clean.Schedule
+	out, err := Nonlinear{}.Run(warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Converged {
+		t.Fatal("warm masked game did not converge")
+	}
+	if out.SectionTotalsKW[0] != 0 {
+		t.Errorf("dead section 0 carries %v kW", out.SectionTotalsKW[0])
+	}
+}
+
+func TestDeadSectionsValidate(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		dead []int
+	}{
+		{"out of range", []int{10}},
+		{"negative", []int{-1}},
+		{"duplicate", []int{1, 1}},
+	} {
+		s := testScenario(t, 4, 10, 0.9)
+		s.DeadSections = tc.dead
+		if err := s.Validate(); err == nil {
+			t.Errorf("%s accepted", tc.name)
+		}
+	}
+	all := testScenario(t, 4, 3, 0.9)
+	all.DeadSections = []int{0, 1, 2}
+	if err := all.Validate(); err == nil {
+		t.Error("fully dead roadway accepted")
+	}
+}

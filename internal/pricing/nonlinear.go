@@ -70,6 +70,9 @@ func (p Nonlinear) Run(s Scenario) (Outcome, error) {
 	if err := s.Validate(); err != nil {
 		return Outcome{}, err
 	}
+	if idx := s.liveIndices(); idx != nil {
+		return p.runCompacted(s, idx)
+	}
 	cost, err := p.CostFunction(s.BetaPerMWh, s.LineCapacityKW, s.Eta)
 	if err != nil {
 		return Outcome{}, err
@@ -153,4 +156,53 @@ func (p Nonlinear) Run(s Scenario) (Outcome, error) {
 		Converged:           res.Converged,
 		Schedule:            schedule,
 	}, nil
+}
+
+// runCompacted solves a scenario with dead sections over the surviving
+// ones only, then scatters the results back to full width with zeroed
+// dead columns. The per-section economics are untouched — each
+// survivor keeps its own P_line and ηP_line guard — so the compacted
+// game is exactly the paper's game on a shorter roadway; only the
+// congestion degree's denominator shrinks to the surviving capacity,
+// which is the operationally meaningful reading during an outage.
+func (p Nonlinear) runCompacted(s Scenario, liveIdx []int) (Outcome, error) {
+	cs := s
+	cs.DeadSections = nil
+	cs.NumSections = len(liveIdx)
+	if s.InitialSchedule != nil {
+		// A full-width warm start is re-projected onto the surviving
+		// sections: the row totals carry over (the demand guess), the
+		// shape is rebuilt by the first best responses.
+		ids := make([]string, len(s.Players))
+		for i, pl := range s.Players {
+			ids[i] = pl.ID
+		}
+		proj, err := core.ProjectSchedule(s.InitialSchedule, ids, s.Players, cs.NumSections)
+		if err != nil {
+			return Outcome{}, fmt.Errorf("pricing: project warm start off dead sections: %w", err)
+		}
+		cs.InitialSchedule = proj
+	}
+	out, err := p.Run(cs)
+	if err != nil {
+		return out, err
+	}
+	full := make([]float64, s.NumSections)
+	for i, j := range liveIdx {
+		full[j] = out.SectionTotalsKW[i]
+	}
+	out.SectionTotalsKW = full
+	if out.Schedule != nil {
+		exp, err := core.NewSchedule(out.Schedule.NumOLEVs(), s.NumSections)
+		if err != nil {
+			return Outcome{}, err
+		}
+		for n := 0; n < out.Schedule.NumOLEVs(); n++ {
+			for i, j := range liveIdx {
+				exp.Set(n, j, out.Schedule.At(n, i))
+			}
+		}
+		out.Schedule = exp
+	}
+	return out, nil
 }

@@ -61,6 +61,13 @@ type Scenario struct {
 	// update (ignored by the linear policy, whose allocation is
 	// one-shot).
 	OnUpdate func(update int, g *core.Game)
+	// DeadSections lists de-energized charging sections (a roadway
+	// segment outage): the nonlinear game is solved over the surviving
+	// sections only — the overload penalty keeps guarding ηP_line on
+	// each survivor — and the reported section totals and schedule are
+	// zero at the dead columns. Empty means all sections live. The
+	// one-shot linear policy ignores it, like InitialSchedule.
+	DeadSections []int
 }
 
 // Validate reports the first problem with the scenario.
@@ -80,7 +87,39 @@ func (s Scenario) Validate() error {
 	if s.BetaPerMWh <= 0 {
 		return fmt.Errorf("pricing: beta %v must be positive", s.BetaPerMWh)
 	}
+	seen := make(map[int]bool, len(s.DeadSections))
+	for _, d := range s.DeadSections {
+		if d < 0 || d >= s.NumSections {
+			return fmt.Errorf("pricing: dead section %d outside [0, %d)", d, s.NumSections)
+		}
+		if seen[d] {
+			return fmt.Errorf("pricing: dead section %d listed twice", d)
+		}
+		seen[d] = true
+	}
+	if len(seen) > 0 && len(seen) == s.NumSections {
+		return fmt.Errorf("pricing: all %d sections dead", s.NumSections)
+	}
 	return nil
+}
+
+// liveIndices returns the surviving sections' indices, or nil when no
+// section is dead (the fast path: no compaction needed).
+func (s Scenario) liveIndices() []int {
+	if len(s.DeadSections) == 0 {
+		return nil
+	}
+	dead := make(map[int]bool, len(s.DeadSections))
+	for _, d := range s.DeadSections {
+		dead[d] = true
+	}
+	idx := make([]int, 0, s.NumSections-len(dead))
+	for c := 0; c < s.NumSections; c++ {
+		if !dead[c] {
+			idx = append(idx, c)
+		}
+	}
+	return idx
 }
 
 // Outcome reports what a policy produced on a scenario.

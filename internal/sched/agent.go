@@ -24,6 +24,11 @@ type AgentConfig struct {
 	// Hello optionally carries extra registration fields.
 	VelocityMS float64
 	SOC        float64
+	// Autonomy, when set, arms the degraded-mode fallback: a control
+	// plane silent past the deadline budget makes the agent hold a
+	// local proportional-fair setpoint instead of blocking forever.
+	// Nil keeps the pre-failover blocking behavior.
+	Autonomy *AutonomyConfig
 }
 
 // Validate reports the first problem with the configuration.
@@ -55,6 +60,17 @@ type AgentResult struct {
 	// StaleDropped counts grid frames the agent discarded as replays
 	// or reordered-late deliveries.
 	StaleDropped int
+	// DegradedEpisodes counts silences that tripped the autonomy
+	// deadline and put the agent on its local fallback.
+	DegradedEpisodes int
+	// Reconnects counts recoveries: a grid frame arriving while the
+	// agent was degraded.
+	Reconnects int
+	// LastFallbackKW is the local setpoint the agent held during its
+	// most recent degraded episode (zero when state was too stale).
+	LastFallbackKW float64
+	// Heartbeats counts liveness beacons received.
+	Heartbeats int
 }
 
 // Agent is one OLEV's protocol driver.
@@ -67,6 +83,13 @@ type Agent struct {
 	// chaotic link cannot make the agent best-respond to an old quote
 	// after a newer one.
 	gridSeq uint64
+	// lastQuote and lastQuoteAt ground the degraded-mode fallback: the
+	// last grid state this agent saw, and when.
+	lastQuote   *v2i.Quote
+	lastQuoteAt time.Time
+	// degraded marks an autonomy episode in progress, so the next
+	// successful Recv counts as a reconnect.
+	degraded bool
 }
 
 // NewAgent validates and builds an agent over an established link.
@@ -102,8 +125,27 @@ func (a *Agent) Hello(ctx context.Context) error {
 func (a *Agent) Run(ctx context.Context) (AgentResult, error) {
 	var res AgentResult
 	for {
-		env, err := a.link.Recv(ctx)
+		rctx, cancel := ctx, context.CancelFunc(nil)
+		if a.cfg.Autonomy != nil && a.cfg.Autonomy.QuoteDeadline > 0 {
+			rctx, cancel = context.WithTimeout(ctx, a.cfg.Autonomy.QuoteDeadline)
+		}
+		env, err := a.link.Recv(rctx)
+		if cancel != nil {
+			cancel()
+		}
 		if err != nil {
+			if a.cfg.Autonomy != nil && ctx.Err() == nil && isSilenceTimeout(err) {
+				// The control plane went silent past the deadline
+				// budget: hold the local proportional-fair fallback and
+				// keep listening — a recovered coordinator (or a
+				// standby's first quote) resumes the exact protocol.
+				if !a.degraded {
+					res.DegradedEpisodes++
+					a.degraded = true
+				}
+				res.LastFallbackKW = a.fallbackKW(time.Now())
+				continue
+			}
 			if isDeparture(err) && res.Rounds > 0 {
 				// The grid hung up after at least one exchange —
 				// including the case where the final Bye frame was lost
@@ -111,6 +153,10 @@ func (a *Agent) Run(ctx context.Context) (AgentResult, error) {
 				return res, nil
 			}
 			return res, fmt.Errorf("sched: agent %s recv: %w", a.cfg.VehicleID, err)
+		}
+		if a.degraded {
+			a.degraded = false
+			res.Reconnects++
 		}
 		// Drop replays and reordered-late frames (a peer that does not
 		// stamp sequence numbers sends 0 and bypasses the filter).
@@ -135,6 +181,8 @@ func (a *Agent) Run(ctx context.Context) (AgentResult, error) {
 			res.FinalPaymentH = msg.PaymentH
 		case v2i.TypeConverged:
 			res.Converged = true
+		case v2i.TypeHeartbeat:
+			res.Heartbeats++ // liveness only; receiving it reset the silence clock
 		case v2i.TypeBye:
 			return res, nil
 		default:
@@ -150,11 +198,26 @@ func (a *Agent) answerQuote(ctx context.Context, env v2i.Envelope, res *AgentRes
 	if err := v2i.Open(env, v2i.TypeQuote, &quote); err != nil {
 		return err
 	}
+	a.lastQuote = &quote
+	a.lastQuoteAt = time.Now()
 	cost, err := BuildCost(quote.Cost)
 	if err != nil {
 		return err
 	}
-	psi := core.NewPaymentFunction(cost, quote.Others)
+	// A quote flagging dead sections prices only the live ones: the
+	// best response is computed over the compacted vector, and the
+	// grid water-fills the answer over the same live set.
+	others := quote.Others
+	if len(quote.Live) == len(others) {
+		compact := make([]float64, 0, len(others))
+		for i, ok := range quote.Live {
+			if ok {
+				compact = append(compact, others[i])
+			}
+		}
+		others = compact
+	}
+	psi := core.NewPaymentFunction(cost, others)
 	if a.cfg.MaxSectionDrawKW > 0 {
 		psi = psi.WithDrawCap(a.cfg.MaxSectionDrawKW)
 	}

@@ -1,0 +1,117 @@
+package sched
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"olevgrid/internal/core"
+	"olevgrid/internal/v2i"
+)
+
+// Close must drain in-flight sessions through the protocol: every
+// listening agent gets a Bye and exits cleanly, and a final checkpoint
+// lands in the journal before the links die.
+func TestCloseDrainsSessionsAndCheckpoints(t *testing.T) {
+	const n = 4
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	links := make(map[string]v2i.Transport, n)
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("ev-%02d", i)
+		gridSide, vehicleSide := v2i.NewPair(16)
+		links[id] = gridSide
+		agent, err := NewAgent(AgentConfig{
+			VehicleID:    id,
+			MaxPowerKW:   60,
+			Satisfaction: core.LogSatisfaction{Weight: chaosWeight(i)},
+		}, vehicleSide)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := agent.Run(ctx)
+			errs <- err
+		}()
+	}
+
+	journal := NewMemJournal()
+	coord, err := NewCoordinator(CoordinatorConfig{
+		NumSections:    n,
+		LineCapacityKW: 53.55,
+		Cost:           nonlinearSpec(),
+		Tolerance:      1e-4,
+		MaxRounds:      50,
+		Journal:        journal,
+		Seed:           3,
+	}, links)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := coord.Run(ctx)
+	if err != nil || !report.Converged {
+		t.Fatalf("run: converged=%v err=%v", report.Converged, err)
+	}
+	if err := coord.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if err := coord.Close(); err != nil { // idempotent
+		t.Fatalf("second close: %v", err)
+	}
+
+	// Agents blocked in Recv after the run exit through Bye (or the
+	// already-delivered end-of-run Bye), never with an error.
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Errorf("agent exited dirty across Close: %v", err)
+		}
+	}
+
+	// The drain journaled the session's durable state with the fencing
+	// fields a standby needs.
+	cp, ok, err := journal.Load()
+	if err != nil || !ok {
+		t.Fatalf("no final checkpoint after Close: ok=%v err=%v", ok, err)
+	}
+	if cp.Round != report.Rounds {
+		t.Errorf("checkpoint round %d, want final round %d", cp.Round, report.Rounds)
+	}
+	if cp.Seq == 0 {
+		t.Error("checkpoint carries no sequence fence")
+	}
+	if len(cp.Schedule) != n {
+		t.Errorf("checkpoint schedule has %d rows, want %d", len(cp.Schedule), n)
+	}
+}
+
+// A peer that never drains its receive buffer cannot stall shutdown
+// past the grace budget.
+func TestCloseBoundedByShutdownGrace(t *testing.T) {
+	gridSide, _ := v2i.NewPair(0) // rendezvous: Send blocks until read
+	links := map[string]v2i.Transport{"ev-00": gridSide}
+	coord, err := NewCoordinator(CoordinatorConfig{
+		NumSections:    2,
+		LineCapacityKW: 53.55,
+		Cost:           nonlinearSpec(),
+		ShutdownGrace:  50 * time.Millisecond,
+	}, links)
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if err := coord.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if took := time.Since(start); took > time.Second {
+		t.Errorf("Close took %v against a stalled peer; grace budget is 50ms", took)
+	}
+}

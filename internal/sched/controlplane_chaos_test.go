@@ -1,0 +1,267 @@
+package sched
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"olevgrid/internal/core"
+	"olevgrid/internal/grid"
+	"olevgrid/internal/v2i"
+)
+
+// TestControlPlaneChaos is the PR's headline acceptance experiment:
+// one seeded run (N=20, C=20) suffering, all at once,
+//
+//   - 20% frame loss plus duplication and reordering on every link,
+//   - a primary coordinator crash mid-iteration with a standby
+//     takeover off the journaled checkpoint,
+//   - a 20% LBMP feed dropout rate with decay toward the floor, and
+//   - two charging-section outages with scripted restorations,
+//
+// while every agent has degraded-mode autonomy armed. The fleet must
+// still converge, and the final social welfare must land within 1% of
+// a fault-free run — the potential-game guarantee that faults change
+// the path, never the destination.
+func TestControlPlaneChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("control-plane chaos takes seconds")
+	}
+	const n = 20
+	chaosPlan := func(seed int64) v2i.FaultConfig {
+		return v2i.FaultConfig{
+			DropRate:      0.20,
+			DuplicateRate: 0.10,
+			ReorderRate:   0.10,
+			MaxDelay:      2 * time.Millisecond,
+			Seed:          seed,
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	// Fleet: chaos-wrapped links, autonomy armed on every agent.
+	links := make(map[string]v2i.Transport, n)
+	fleet := make(map[string]*chaosFleet, n)
+	weights := make(map[string]float64, n)
+	var (
+		wg                   sync.WaitGroup
+		mu                   sync.Mutex
+		degraded, reconnects int
+		heartbeats           int
+		maxFallback          float64
+	)
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("ev-%02d", i)
+		rawGrid, rawVehicle := v2i.NewPair(64)
+		fg := v2i.NewFaulty(rawGrid, chaosPlan(300+int64(i)))
+		fv := v2i.NewFaulty(rawVehicle, chaosPlan(400+int64(i)))
+		agent, err := NewAgent(AgentConfig{
+			VehicleID:    id,
+			MaxPowerKW:   60,
+			Satisfaction: core.LogSatisfaction{Weight: chaosWeight(i)},
+			Autonomy:     &AutonomyConfig{QuoteDeadline: 40 * time.Millisecond},
+		}, fv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fleet[id] = &chaosFleet{id: id, rawGrid: rawGrid, faultyGrid: fg, faultyVeh: fv, agent: agent}
+		links[id] = fg
+		weights[id] = chaosWeight(i)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, _ := agent.Run(ctx)
+			mu.Lock()
+			degraded += res.DegradedEpisodes
+			reconnects += res.Reconnects
+			heartbeats += res.Heartbeats
+			if res.LastFallbackKW > maxFallback {
+				maxFallback = res.LastFallbackKW
+			}
+			mu.Unlock()
+		}()
+	}
+
+	// Exogenous faults: a constant-source LBMP feed going dark 20% of
+	// the rounds (decaying toward a floor, recovering to the true β so
+	// the destination is unchanged), plus two section outages that are
+	// both restored before the end of the script.
+	spec := nonlinearSpec()
+	feed, err := grid.NewLBMPFeed(func(int) float64 { return spec.BetaPerKWh }, grid.FeedConfig{
+		DropRate:  0.20,
+		Decay:     0.9,
+		FloorBeta: spec.BetaPerKWh / 2,
+		Seed:      11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outages := []SectionOutage{
+		{Section: 4, DownRound: 3, UpRound: 9},
+		{Section: 12, DownRound: 5, UpRound: 11},
+	}
+
+	journal := NewMemJournal()
+	lease := NewMemLease()
+	primCtx, crash := context.WithCancel(ctx)
+	defer crash()
+	cfg := CoordinatorConfig{
+		NumSections:      n,
+		LineCapacityKW:   53.55,
+		Cost:             spec,
+		Tolerance:        1e-3,
+		MaxRounds:        200,
+		RoundTimeout:     25 * time.Millisecond,
+		MaxRetries:       8,
+		RetryBackoff:     3 * time.Millisecond,
+		SkipUnresponsive: true,
+		DropDeparted:     true,
+		EvictAfter:       10,
+		Seed:             7,
+		Journal:          journal,
+		CheckpointEvery:  1,
+		Lease:            lease,
+		LeaseTTL:         60 * time.Millisecond,
+		InstanceID:       "primary",
+		HeartbeatEvery:   2,
+		Feed:             feed,
+		Outages:          outages,
+		OnRound: func(round int) {
+			if round == 4 {
+				crash() // the primary dies mid-iteration
+			}
+		},
+	}
+	prim, err := NewCoordinator(cfg, links)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := prim.Run(primCtx); err == nil {
+		t.Fatal("primary survived its scripted crash")
+	}
+
+	// Silence long enough for the lease to lapse and agents to trip
+	// their autonomy deadline.
+	time.Sleep(150 * time.Millisecond)
+
+	sb, err := NewStandby(StandbyConfig{
+		InstanceID: "standby", Journal: journal, Lease: lease, LeaseTTL: time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	take, ok, err := sb.TryTakeover(time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		take, ok, err = sb.TryTakeover(time.Now().Add(time.Second))
+		if err != nil || !ok {
+			t.Fatalf("takeover failed: ok=%v err=%v", ok, err)
+		}
+	}
+	cfg2 := cfg
+	cfg2.OnRound = nil
+	cfg2.InstanceID = "standby"
+	standby, err := ResumeCoordinator(cfg2, links, take)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !standby.Restored() {
+		t.Fatal("standby did not warm-start from the checkpoint")
+	}
+	report, err := standby.Run(ctx)
+	for _, v := range fleet {
+		_ = v.rawGrid.Close()
+	}
+	wg.Wait()
+	if err != nil {
+		t.Fatalf("standby run: %v", err)
+	}
+	if !report.Converged {
+		t.Fatalf("fleet did not converge under control-plane chaos: %+v", report)
+	}
+
+	// Every fault class must actually have fired.
+	if feed.Dropouts() == 0 {
+		t.Error("the feed never dropped a sample")
+	}
+	if report.FeedChanges == 0 {
+		t.Error("β never moved despite feed dropouts with decay")
+	}
+	if report.OutagesApplied != 2 || report.RestoresApplied != 2 {
+		t.Errorf("outage script: applied=%d restored=%d, want 2/2",
+			report.OutagesApplied, report.RestoresApplied)
+	}
+	if report.LiveSections != n {
+		t.Errorf("final live sections = %d, want %d (both outages restored)", report.LiveSections, n)
+	}
+	if degraded == 0 {
+		t.Error("no agent ever entered degraded-mode autonomy across the failover gap")
+	}
+	if reconnects == 0 {
+		t.Error("no agent ever re-converged out of degraded mode")
+	}
+	if maxFallback <= 0 {
+		t.Error("degraded agents held a zero fallback despite known capacities")
+	}
+	if heartbeats == 0 {
+		t.Error("no heartbeat ever landed")
+	}
+	if report.FinalEpoch < take.Epoch {
+		t.Errorf("final epoch %d below the takeover fence %d", report.FinalEpoch, take.Epoch)
+	}
+
+	// Baseline: the same fleet, clean links, no faults.
+	baseLinks := make(map[string]v2i.Transport, n)
+	var baseWG sync.WaitGroup
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("ev-%02d", i)
+		gridSide, vehicleSide := v2i.NewPair(64)
+		baseLinks[id] = gridSide
+		agent, err := NewAgent(AgentConfig{
+			VehicleID:    id,
+			MaxPowerKW:   60,
+			Satisfaction: core.LogSatisfaction{Weight: chaosWeight(i)},
+		}, vehicleSide)
+		if err != nil {
+			t.Fatal(err)
+		}
+		baseWG.Add(1)
+		go func() {
+			defer baseWG.Done()
+			_, _ = agent.Run(ctx)
+		}()
+	}
+	base, err := NewCoordinator(CoordinatorConfig{
+		NumSections:    n,
+		LineCapacityKW: 53.55,
+		Cost:           spec,
+		Tolerance:      1e-4,
+		MaxRounds:      300,
+		Seed:           7,
+	}, baseLinks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseReport, err := base.Run(ctx)
+	for _, l := range baseLinks {
+		_ = l.Close()
+	}
+	baseWG.Wait()
+	if err != nil || !baseReport.Converged {
+		t.Fatalf("clean baseline failed: %v %+v", err, baseReport)
+	}
+
+	wChaos := welfareOf(report, weights)
+	wClean := welfareOf(baseReport, weights)
+	if rel := math.Abs(wChaos-wClean) / math.Abs(wClean); rel > 0.01 {
+		t.Errorf("welfare under control-plane chaos %.6f vs clean %.6f: rel err %.4f > 1%%",
+			wChaos, wClean, rel)
+	}
+}

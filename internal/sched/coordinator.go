@@ -117,6 +117,43 @@ type CoordinatorConfig struct {
 	// MaxRounds without converging degrades to the journaled
 	// last-known-good schedule instead of keeping a half-settled one.
 	Journal Journal
+	// Feed, when set, re-samples the charging price coefficient once
+	// per round (the paper's volatile LBMP, Section III): a changed β
+	// rebuilds the shared cost and advances the epoch so stale
+	// best-responses are filtered. A sample the feed reports as
+	// unusable (stale beyond its ceiling) holds the last applied β.
+	Feed PriceFeed
+	// Outages scripts charging-section failures and restorations by
+	// round. A dying section's allocation mass is re-projected evenly
+	// onto the survivors (the warm-start idiom), quotes flag the
+	// dead sections, and the overload penalty Z keeps guarding ηP_line
+	// on what remains. Empty means no outages.
+	Outages []SectionOutage
+	// Lease, when set, is renewed at the top of every round; a refused
+	// renewal ends the run with ErrLeaseLost — another incarnation has
+	// taken over and this one must stop quoting rather than
+	// split-brain the schedule.
+	Lease Lease
+	// LeaseTTL is the term of each renewal; zero means 1 s.
+	LeaseTTL time.Duration
+	// InstanceID names this coordinator in lease records; empty means
+	// "primary".
+	InstanceID string
+	// HeartbeatEvery broadcasts a liveness beacon every that many
+	// rounds, letting agents distinguish "alive but busy elsewhere"
+	// from "control plane gone". Zero disables heartbeats.
+	HeartbeatEvery int
+	// CheckpointEvery journals a progress checkpoint every that many
+	// rounds (in addition to the converged checkpoint), giving a
+	// standby a recent warm-start after a mid-session crash. Zero
+	// journals only on convergence, the pre-failover behavior.
+	CheckpointEvery int
+	// ShutdownGrace bounds Close's drain of in-flight sessions; zero
+	// means 1 s.
+	ShutdownGrace time.Duration
+	// OnRound, when set, is called at the top of every round before any
+	// frame goes out — the crash-injection point for failover tests.
+	OnRound func(round int)
 	// Parallelism is the number of vehicles quoted concurrently within
 	// a round. 0 or 1 preserves the strictly sequential Gauss–Seidel
 	// protocol (the Theorem IV.1 setting, and the exact pre-batching
@@ -179,6 +216,39 @@ type Report struct {
 	DegradedRounds int
 	// FinalEpoch is the schedule version at the end of the run.
 	FinalEpoch uint64
+	// Schedule is each vehicle's final per-section allocation — what
+	// the failover differential suite compares across incarnations.
+	Schedule map[string][]float64
+	// FeedChanges counts rounds where the price feed moved β;
+	// FeedHeld counts rounds where the feed was unusable and the last
+	// applied β was held.
+	FeedChanges int
+	FeedHeld    int
+	// OutagesApplied and RestoresApplied count section events fired.
+	OutagesApplied  int
+	RestoresApplied int
+	// LiveSections is the number of energized sections at the end.
+	LiveSections int
+}
+
+// PriceFeed supplies the per-round charging price coefficient in
+// $/kWh. ok=false means the feed is unusable (dark past its staleness
+// ceiling) and the coordinator holds the last applied β.
+// *grid.LBMPFeed satisfies this shape given a $/kWh source.
+type PriceFeed interface {
+	Sample(step int) (betaPerKWh float64, ok bool)
+}
+
+// SectionOutage scripts one charging section's failure and optional
+// restoration, by round number (1-based, matching Report.Rounds).
+type SectionOutage struct {
+	// Section is the dying section's index.
+	Section int
+	// DownRound is the round at whose top the section dies.
+	DownRound int
+	// UpRound is the round at whose top it is restored; zero means
+	// never.
+	UpRound int
 }
 
 // Coordinator runs the smart-grid side of the protocol for a dynamic
@@ -200,12 +270,25 @@ type Coordinator struct {
 	// consecFails drives the per-vehicle circuit breaker.
 	consecFails map[string]int
 
+	// live flags which sections are energized; scripted outages clear
+	// entries and restorations set them. Only Run's goroutine writes
+	// it, at the top of a round.
+	live []bool
+
 	joins    chan pendingJoin
 	rng      *rand.Rand
 	seq      uint64
 	retries  int
 	stale    int
 	restored bool
+
+	feedChanges     int
+	feedHeld        int
+	outagesApplied  int
+	restoresApplied int
+	lastRound       int
+
+	closeOnce sync.Once
 
 	// mu guards the session state shared with concurrent batch
 	// collection goroutines: seq, lastSeq, stale, retries, and rng.
@@ -252,6 +335,17 @@ func NewCoordinator(cfg CoordinatorConfig, links map[string]v2i.Transport) (*Coo
 		attempts := time.Duration(cfg.MaxRetries + 1)
 		cfg.ExchangeDeadline = attempts*cfg.RoundTimeout + attempts*maxBackoffStep*cfg.RetryBackoff
 	}
+	for _, o := range cfg.Outages {
+		if o.Section < 0 || o.Section >= cfg.NumSections {
+			return nil, fmt.Errorf("sched: outage section %d outside [0, %d)", o.Section, cfg.NumSections)
+		}
+		if o.DownRound < 1 {
+			return nil, fmt.Errorf("sched: outage down round %d must be >= 1", o.DownRound)
+		}
+		if o.UpRound != 0 && o.UpRound <= o.DownRound {
+			return nil, fmt.Errorf("sched: outage up round %d not after down round %d", o.UpRound, o.DownRound)
+		}
+	}
 	c := &Coordinator{
 		cfg:         cfg,
 		cost:        cost,
@@ -262,6 +356,10 @@ func NewCoordinator(cfg CoordinatorConfig, links map[string]v2i.Transport) (*Coo
 		consecFails: make(map[string]int, len(links)),
 		joins:       make(chan pendingJoin, joinQueueDepth),
 		rng:         stats.NewRand(cfg.Seed),
+		live:        make([]bool, cfg.NumSections),
+	}
+	for i := range c.live {
+		c.live[i] = true
 	}
 	for id := range links {
 		c.schedule[id] = make([]float64, cfg.NumSections)
@@ -278,15 +376,41 @@ func NewCoordinator(cfg CoordinatorConfig, links map[string]v2i.Transport) (*Coo
 // from a journaled checkpoint.
 func (c *Coordinator) Restored() bool { return c.restored }
 
-// Close tears down every vehicle link. Call it once the session is
-// over (after the final Run): a closed link is the one end-of-session
-// signal a lossy network cannot swallow, so agents whose Converged or
-// Bye frames were dropped still exit cleanly. A closed coordinator
-// must not Run again.
+// Close drains the session and tears down every vehicle link. Call it
+// once the session is over (after the final Run). In-flight agents are
+// not dropped cold: each link first gets a best-effort Bye, sent
+// concurrently under the ShutdownGrace budget, so a vehicle blocked in
+// Recv exits through the protocol instead of a connection reset; then
+// a final checkpoint is journaled (the durable state a standby or
+// restart warm-starts from); only then do the links close — the one
+// end-of-session signal a lossy network cannot swallow. Close is
+// idempotent, and a closed coordinator must not Run again.
 func (c *Coordinator) Close() error {
-	for _, link := range c.links {
-		_ = link.Close()
-	}
+	c.closeOnce.Do(func() {
+		grace := c.cfg.ShutdownGrace
+		if grace <= 0 {
+			grace = time.Second
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), grace)
+		var wg sync.WaitGroup
+		for _, link := range c.links {
+			env, err := v2i.Seal(v2i.TypeBye, "smart-grid", c.nextSeq(), v2i.Bye{Reason: "shutdown"})
+			if err != nil {
+				continue
+			}
+			wg.Add(1)
+			go func(link v2i.Transport) {
+				defer wg.Done()
+				_ = link.Send(ctx, env)
+			}(link)
+		}
+		wg.Wait()
+		cancel()
+		c.saveCheckpoint(c.lastRound)
+		for _, link := range c.links {
+			_ = link.Close()
+		}
+	})
 	return nil
 }
 
@@ -310,6 +434,20 @@ func (c *Coordinator) Run(ctx context.Context) (Report, error) {
 	prevDelta := math.Inf(1)
 	sequentialNext := false
 	for round := 1; round <= c.cfg.MaxRounds; round++ {
+		if c.cfg.OnRound != nil {
+			c.cfg.OnRound(round)
+		}
+		if err := c.renewLease(); err != nil {
+			return report, err
+		}
+		// Exogenous events fire at the top of the round, before any
+		// quote goes out, so the whole round prices one consistent
+		// world: the sampled β and the live-section mask.
+		perturbed := c.applyFeed(round)
+		if c.applyOutages(round) {
+			perturbed = true
+		}
+		c.heartbeat(ctx, round)
 		ids = append(ids, c.admitJoins(&report)...)
 		c.rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
 		var maxDelta float64
@@ -391,6 +529,7 @@ func (c *Coordinator) Run(ctx context.Context) (Report, error) {
 			ids = kept
 		}
 		report.Rounds = round
+		c.lastRound = round
 		if len(ids) == 0 {
 			report.Converged = true
 			break
@@ -399,10 +538,16 @@ func (c *Coordinator) Run(ctx context.Context) (Report, error) {
 		// skips cannot be the converged one — only a full clean round
 		// with no movement settles the game. A vehicle waiting to join
 		// also blocks convergence: it enters next round and perturbs
-		// the schedule.
-		if maxDelta < c.cfg.Tolerance && roundSkipped == 0 && len(c.joins) == 0 {
+		// the schedule. Likewise a round where β moved or a section
+		// event fired, and any round while scripted events are still
+		// pending — the game they would perturb has not happened yet.
+		if maxDelta < c.cfg.Tolerance && roundSkipped == 0 && len(c.joins) == 0 &&
+			!perturbed && !c.eventsPending(round) {
 			report.Converged = true
 			break
+		}
+		if c.cfg.CheckpointEvery > 0 && round%c.cfg.CheckpointEvery == 0 {
+			c.saveCheckpoint(round)
 		}
 		if err := ctx.Err(); err != nil {
 			return report, err
@@ -420,11 +565,196 @@ func (c *Coordinator) Run(ctx context.Context) (Report, error) {
 	report.CongestionDegree = c.CongestionDegree()
 	report.TotalPowerKW = c.totalPower()
 	report.WelfareCost = c.welfareCost()
-	for id := range c.schedule {
-		report.Requests[id] = sum(c.schedule[id])
+	report.FeedChanges = c.feedChanges
+	report.FeedHeld = c.feedHeld
+	report.OutagesApplied = c.outagesApplied
+	report.RestoresApplied = c.restoresApplied
+	report.LiveSections = c.liveCount()
+	report.Schedule = make(map[string][]float64, len(c.schedule))
+	for id, row := range c.schedule {
+		report.Requests[id] = sum(row)
+		r := make([]float64, len(row))
+		copy(r, row)
+		report.Schedule[id] = r
 	}
 	c.broadcastDone(ctx, report)
 	return report, nil
+}
+
+// renewLease extends this incarnation's lease for the round; a refused
+// renewal means another incarnation won the election and this one must
+// stop quoting immediately.
+func (c *Coordinator) renewLease() error {
+	if c.cfg.Lease == nil {
+		return nil
+	}
+	ttl := c.cfg.LeaseTTL
+	if ttl <= 0 {
+		ttl = time.Second
+	}
+	id := c.cfg.InstanceID
+	if id == "" {
+		id = "primary"
+	}
+	ok, err := c.cfg.Lease.Renew(id, c.epoch, ttl, time.Now())
+	if err != nil {
+		return fmt.Errorf("sched: renew lease: %w", err)
+	}
+	if !ok {
+		return ErrLeaseLost
+	}
+	return nil
+}
+
+// applyFeed samples the price feed for the round and, when β moved,
+// rebuilds the shared cost and advances the epoch. Returns whether β
+// changed.
+func (c *Coordinator) applyFeed(round int) bool {
+	if c.cfg.Feed == nil {
+		return false
+	}
+	beta, ok := c.cfg.Feed.Sample(round)
+	if !ok {
+		c.feedHeld++
+		return false
+	}
+	if beta == c.cfg.Cost.BetaPerKWh {
+		return false
+	}
+	spec := c.cfg.Cost
+	spec.BetaPerKWh = beta
+	cost, err := BuildCost(spec)
+	if err != nil {
+		// An unusable sample (e.g. non-positive β) degrades to holding
+		// the last applied price, same as a stale feed.
+		c.feedHeld++
+		return false
+	}
+	c.cfg.Cost = spec
+	c.cost = cost
+	c.epoch++ // every outstanding quote priced a β that no longer exists
+	c.feedChanges++
+	return true
+}
+
+// applyOutages fires the section events scheduled for this round.
+// Returns whether any fired.
+func (c *Coordinator) applyOutages(round int) bool {
+	fired := false
+	for _, o := range c.cfg.Outages {
+		if o.DownRound == round && c.live[o.Section] {
+			c.killSection(o.Section)
+			c.outagesApplied++
+			fired = true
+		}
+		if o.UpRound == round && !c.live[o.Section] {
+			c.live[o.Section] = true
+			c.epoch++
+			c.restoresApplied++
+			fired = true
+		}
+	}
+	return fired
+}
+
+// killSection de-energizes a section and re-projects its allocation
+// mass evenly onto the survivors — the warm-start idiom: the totals
+// are still an excellent guess for each vehicle's demand, and the next
+// best response re-imposes exact feasibility. The overload penalty Z
+// keeps guarding ηP_line on the surviving sections because quotes and
+// water-fills now run over the compacted live vector.
+func (c *Coordinator) killSection(sec int) {
+	c.live[sec] = false
+	nLive := c.liveCount()
+	for _, row := range c.schedule {
+		mass := row[sec]
+		row[sec] = 0
+		if mass <= 0 || nLive == 0 {
+			continue
+		}
+		share := mass / float64(nLive)
+		for ci, ok := range c.live {
+			if ok {
+				row[ci] += share
+			}
+		}
+	}
+	c.epoch++
+}
+
+// eventsPending reports whether any scripted section event is still in
+// the future: the run must not settle before the world is done
+// changing.
+func (c *Coordinator) eventsPending(round int) bool {
+	for _, o := range c.cfg.Outages {
+		if o.DownRound > round || o.UpRound > round {
+			return true
+		}
+	}
+	return false
+}
+
+// heartbeat broadcasts the liveness beacon when the round is due one.
+// Best-effort: a lost heartbeat costs an agent at most one degraded
+// episode, which the next quote repairs.
+func (c *Coordinator) heartbeat(ctx context.Context, round int) {
+	if c.cfg.HeartbeatEvery <= 0 || round%c.cfg.HeartbeatEvery != 0 {
+		return
+	}
+	for _, link := range c.links {
+		hctx, cancel := context.WithTimeout(ctx, c.cfg.RoundTimeout)
+		if env, err := v2i.Seal(v2i.TypeHeartbeat, "smart-grid", c.nextSeq(), v2i.Heartbeat{
+			Epoch: c.epoch, Round: round,
+		}); err == nil {
+			_ = link.Send(hctx, env)
+		}
+		cancel()
+	}
+}
+
+// liveCount returns the number of energized sections.
+func (c *Coordinator) liveCount() int {
+	n := 0
+	for _, ok := range c.live {
+		if ok {
+			n++
+		}
+	}
+	return n
+}
+
+// liveIndices returns the energized sections' indices, or nil when all
+// sections are live (the fast path: no compaction needed).
+func (c *Coordinator) liveIndices() []int {
+	if c.liveCount() == len(c.live) {
+		return nil
+	}
+	idx := make([]int, 0, len(c.live))
+	for i, ok := range c.live {
+		if ok {
+			idx = append(idx, i)
+		}
+	}
+	return idx
+}
+
+// compactTo gathers vs at the given indices.
+func compactTo(vs []float64, idx []int) []float64 {
+	out := make([]float64, len(idx))
+	for i, j := range idx {
+		out[i] = vs[j]
+	}
+	return out
+}
+
+// scatterFrom spreads a compacted vector back to full width, zeroes
+// elsewhere.
+func scatterFrom(vs []float64, idx []int, width int) []float64 {
+	out := make([]float64, width)
+	for i, j := range idx {
+		out[j] = vs[i]
+	}
+	return out
 }
 
 // isDeparture reports whether an exchange failure means the vehicle's
@@ -633,8 +963,13 @@ func (c *Coordinator) collectRequest(ctx context.Context, id string, round int, 
 	rctx, cancel := context.WithTimeout(ctx, c.cfg.RoundTimeout)
 	defer cancel()
 
+	var liveMask []bool
+	if c.liveCount() != len(c.live) {
+		liveMask = append([]bool(nil), c.live...)
+	}
 	env, err := v2i.Seal(v2i.TypeQuote, "smart-grid", c.nextSeq(), v2i.Quote{
 		VehicleID: id, Others: others, Cost: c.cfg.Cost, Round: round, Epoch: epoch,
+		FleetSize: len(c.schedule), Live: liveMask,
 	})
 	if err != nil {
 		return v2i.Request{}, err
@@ -708,17 +1043,32 @@ func (c *Coordinator) nextSeq() uint64 {
 func (c *Coordinator) installRequest(ctx context.Context, id string, round int, others []float64, req v2i.Request) (float64, error) {
 	before := sum(c.schedule[id])
 	var alloc []float64
-	if req.DrawCapKW > 0 {
-		alloc, _ = core.PerDrawWaterFill(others, req.DrawCapKW, req.TotalKW)
+	var payment float64
+	if idx := c.liveIndices(); idx != nil {
+		// Dead sections take no power: water-fill and price over the
+		// compacted live vector, then scatter back with zeroed holes.
+		oc := compactTo(others, idx)
+		var ac []float64
+		if req.DrawCapKW > 0 {
+			ac, _ = core.PerDrawWaterFill(oc, req.DrawCapKW, req.TotalKW)
+		} else {
+			ac, _ = core.WaterFill(oc, req.TotalKW)
+		}
+		alloc = scatterFrom(ac, idx, c.cfg.NumSections)
+		payment = core.Payment(c.costVectorN(len(idx)), oc, ac)
 	} else {
-		alloc, _ = core.WaterFill(others, req.TotalKW)
+		if req.DrawCapKW > 0 {
+			alloc, _ = core.PerDrawWaterFill(others, req.DrawCapKW, req.TotalKW)
+		} else {
+			alloc, _ = core.WaterFill(others, req.TotalKW)
+		}
+		payment = core.Payment(c.costVector(), others, alloc)
 	}
 	c.schedule[id] = alloc
 	c.epoch++ // the background load everyone else was quoted has moved
 
 	sctx, cancel := context.WithTimeout(ctx, c.cfg.RoundTimeout)
 	defer cancel()
-	payment := core.Payment(c.costVector(), others, alloc)
 	env, err := v2i.Seal(v2i.TypeSchedule, "smart-grid", c.nextSeq(), v2i.ScheduleMsg{
 		VehicleID: id, AllocKW: alloc, PaymentH: payment, Round: round,
 	})
@@ -738,10 +1088,14 @@ func (c *Coordinator) saveCheckpoint(round int) bool {
 	if c.cfg.Journal == nil {
 		return false
 	}
+	c.mu.Lock()
+	seq := c.seq
+	c.mu.Unlock()
 	cp := Checkpoint{
 		Epoch:       c.epoch,
 		Round:       round,
 		NumSections: c.cfg.NumSections,
+		Seq:         seq,
 		Schedule:    make(map[string][]float64, len(c.schedule)),
 	}
 	for id, row := range c.schedule {
@@ -854,7 +1208,11 @@ func (c *Coordinator) welfareCost() float64 {
 }
 
 func (c *Coordinator) costVector() []core.CostFunction {
-	out := make([]core.CostFunction, c.cfg.NumSections)
+	return c.costVectorN(c.cfg.NumSections)
+}
+
+func (c *Coordinator) costVectorN(n int) []core.CostFunction {
+	out := make([]core.CostFunction, n)
 	for i := range out {
 		out[i] = c.cost
 	}

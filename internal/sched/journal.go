@@ -3,6 +3,7 @@ package sched
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"os"
 	"path/filepath"
 	"sync"
@@ -20,6 +21,11 @@ type Checkpoint struct {
 	// NumSections guards against restoring into a differently shaped
 	// roadway.
 	NumSections int `json:"num_sections"`
+	// Seq is the coordinator's outbound sequence counter at save time.
+	// A standby that takes over fences its own counter above it so the
+	// agents' monotonic-sequence filter (PR 1) accepts the new
+	// incarnation's frames and keeps rejecting the old one's.
+	Seq uint64 `json:"seq,omitempty"`
 	// Schedule is each vehicle's per-section allocation.
 	Schedule map[string][]float64 `json:"schedule"`
 }
@@ -35,6 +41,45 @@ func (cp Checkpoint) clone() Checkpoint {
 		out.Schedule[id] = r
 	}
 	return out
+}
+
+// MaxCheckpointBytes bounds one serialized checkpoint. A journal file
+// is attacker-adjacent state (it survives the process and may cross
+// machines on failover), so a reader must reject an oversized record
+// before handing it to the JSON decoder.
+const MaxCheckpointBytes = 8 << 20
+
+// DecodeCheckpoint parses and validates a serialized checkpoint. It is
+// the single untrusted-input gate for every journal reader: truncated,
+// corrupt, oversized, or semantically invalid records (negative
+// section counts, row-length mismatches, non-finite or negative
+// allocations) return an error and never panic.
+func DecodeCheckpoint(raw []byte) (Checkpoint, error) {
+	if len(raw) > MaxCheckpointBytes {
+		return Checkpoint{}, fmt.Errorf("sched: checkpoint %d bytes exceeds %d", len(raw), MaxCheckpointBytes)
+	}
+	var cp Checkpoint
+	if err := json.Unmarshal(raw, &cp); err != nil {
+		return Checkpoint{}, fmt.Errorf("sched: checkpoint decode: %w", err)
+	}
+	if cp.NumSections < 0 {
+		return Checkpoint{}, fmt.Errorf("sched: checkpoint has %d sections", cp.NumSections)
+	}
+	if cp.Round < 0 {
+		return Checkpoint{}, fmt.Errorf("sched: checkpoint round %d negative", cp.Round)
+	}
+	for id, row := range cp.Schedule {
+		if len(row) != cp.NumSections {
+			return Checkpoint{}, fmt.Errorf("sched: checkpoint row %q has %d sections, want %d",
+				id, len(row), cp.NumSections)
+		}
+		for c, kw := range row {
+			if math.IsNaN(kw) || math.IsInf(kw, 0) || kw < 0 {
+				return Checkpoint{}, fmt.Errorf("sched: checkpoint row %q section %d: invalid %v", id, c, kw)
+			}
+		}
+	}
+	return cp, nil
 }
 
 // Journal persists coordinator checkpoints across crashes.
@@ -129,9 +174,9 @@ func (j *FileJournal) Load() (Checkpoint, bool, error) {
 	if err != nil {
 		return Checkpoint{}, false, fmt.Errorf("sched: checkpoint read: %w", err)
 	}
-	var cp Checkpoint
-	if err := json.Unmarshal(raw, &cp); err != nil {
-		return Checkpoint{}, false, fmt.Errorf("sched: checkpoint decode: %w", err)
+	cp, err := DecodeCheckpoint(raw)
+	if err != nil {
+		return Checkpoint{}, false, err
 	}
 	return cp, true, nil
 }

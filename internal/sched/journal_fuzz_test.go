@@ -1,0 +1,126 @@
+package sched
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+// checkpointSeed marshals a realistic checkpoint for the fuzz corpus.
+func checkpointSeed(f *testing.F, cp Checkpoint) []byte {
+	f.Helper()
+	raw, err := json.Marshal(cp)
+	if err != nil {
+		f.Fatalf("marshal checkpoint: %v", err)
+	}
+	return raw
+}
+
+// FuzzJournalDecode drives the shared checkpoint decoder with real
+// checkpoints, truncated and corrupted variants, and records
+// straddling the MaxCheckpointBytes boundary. The invariants:
+// oversized records always error, the decoder never panics on
+// arbitrary bytes, and any checkpoint it accepts is internally
+// consistent (row lengths match NumSections, entries finite and
+// non-negative) and survives a marshal/decode round trip.
+func FuzzJournalDecode(f *testing.F) {
+	f.Add(checkpointSeed(f, Checkpoint{
+		Epoch: 17, Round: 4, NumSections: 3, Seq: 9,
+		Schedule: map[string][]float64{"ev-1": {1, 2, 3}, "ev-2": {0, 0.5, 0}},
+	}))
+	f.Add(checkpointSeed(f, Checkpoint{NumSections: 0, Schedule: map[string][]float64{}}))
+	f.Add(checkpointSeed(f, Checkpoint{Epoch: 1, NumSections: 1, Schedule: map[string][]float64{"solo": {42.5}}}))
+
+	// Semantically invalid records the decoder must reject.
+	f.Add([]byte(`{"epoch":1,"num_sections":-3,"schedule":{}}`))
+	f.Add([]byte(`{"epoch":1,"round":-1,"num_sections":1,"schedule":{"ev":[1]}}`))
+	f.Add([]byte(`{"num_sections":2,"schedule":{"ev":[1]}}`))
+	f.Add([]byte(`{"num_sections":1,"schedule":{"ev":[-5]}}`))
+	f.Add([]byte(`{"num_sections":1,"schedule":{"ev":[1e999]}}`))
+
+	// Truncated, corrupted, empty.
+	good := checkpointSeed(f, Checkpoint{
+		Epoch: 2, NumSections: 2, Schedule: map[string][]float64{"a": {1, 1}},
+	})
+	f.Add(good[:len(good)/2])
+	flipped := bytes.Clone(good)
+	flipped[len(flipped)/3] ^= 0x5a
+	f.Add(flipped)
+	f.Add([]byte{})
+	f.Add([]byte("{not json"))
+
+	// Size boundary: an oversized record padded with a long vehicle ID.
+	f.Add([]byte(`{"num_sections":0,"schedule":{"` + strings.Repeat("v", 256) + `":[]}}`))
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		cp, err := DecodeCheckpoint(raw)
+		if len(raw) > MaxCheckpointBytes {
+			if err == nil {
+				t.Fatalf("record of %d bytes decoded without error", len(raw))
+			}
+			return
+		}
+		if err != nil {
+			return // malformed input is allowed to fail, just not panic
+		}
+		// Accepted checkpoints must be internally consistent.
+		if cp.NumSections < 0 || cp.Round < 0 {
+			t.Fatalf("accepted checkpoint with negative shape: %+v", cp)
+		}
+		for id, row := range cp.Schedule {
+			if len(row) != cp.NumSections {
+				t.Fatalf("accepted row %q with %d sections, want %d", id, len(row), cp.NumSections)
+			}
+			for _, kw := range row {
+				if math.IsNaN(kw) || math.IsInf(kw, 0) || kw < 0 {
+					t.Fatalf("accepted invalid allocation %v in row %q", kw, id)
+				}
+			}
+		}
+		// Round trip through the journal's own encoding.
+		again, err := json.Marshal(cp)
+		if err != nil {
+			t.Fatalf("re-marshal accepted checkpoint: %v", err)
+		}
+		cp2, err := DecodeCheckpoint(again)
+		if err != nil {
+			t.Fatalf("round-trip decode: %v", err)
+		}
+		if cp2.Epoch != cp.Epoch || cp2.Round != cp.Round ||
+			cp2.NumSections != cp.NumSections || cp2.Seq != cp.Seq {
+			t.Fatalf("round-trip header mismatch: %+v vs %+v", cp2, cp)
+		}
+	})
+}
+
+// TestDecodeCheckpointRejections pins the decoder's validation rules
+// outside the fuzz loop so a regression fails fast in plain `go test`.
+func TestDecodeCheckpointRejections(t *testing.T) {
+	bad := map[string]string{
+		"not json":          `{nope`,
+		"negative sections": `{"num_sections":-1,"schedule":{}}`,
+		"negative round":    `{"round":-2,"num_sections":1,"schedule":{"ev":[0]}}`,
+		"row too short":     `{"num_sections":3,"schedule":{"ev":[1,2]}}`,
+		"row too long":      `{"num_sections":1,"schedule":{"ev":[1,2]}}`,
+		"negative alloc":    `{"num_sections":1,"schedule":{"ev":[-0.5]}}`,
+		"infinite alloc":    `{"num_sections":1,"schedule":{"ev":[1e999]}}`,
+	}
+	for name, raw := range bad {
+		if _, err := DecodeCheckpoint([]byte(raw)); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+	if _, err := DecodeCheckpoint(bytes.Repeat([]byte{'x'}, MaxCheckpointBytes+1)); err == nil {
+		t.Error("oversized record decoded without error")
+	}
+	good := `{"epoch":3,"round":1,"num_sections":2,"seq":12,"schedule":{"ev":[0,1.5]}}`
+	cp, err := DecodeCheckpoint([]byte(good))
+	if err != nil {
+		t.Fatalf("valid checkpoint rejected: %v", err)
+	}
+	if cp.Seq != 12 || cp.Schedule["ev"][1] != 1.5 {
+		t.Fatalf("valid checkpoint mangled: %+v", cp)
+	}
+}

@@ -28,6 +28,11 @@ const (
 	TypeConverged MessageType = "converged"
 	// TypeBye ends a session.
 	TypeBye MessageType = "bye"
+	// TypeHeartbeat is the coordinator's liveness beacon: agents use it
+	// to distinguish "the grid is alive but hasn't reached my turn yet"
+	// from "the control plane is gone", which arms the degraded-mode
+	// fallback only in the second case.
+	TypeHeartbeat MessageType = "heartbeat"
 )
 
 // Envelope is the wire frame around every message.
@@ -76,6 +81,14 @@ type Quote struct {
 	// can tell a best-response to this quote from one computed against
 	// an outdated background load (a late or replayed frame).
 	Epoch uint64 `json:"epoch"`
+	// FleetSize is the number of vehicles currently scheduled — the
+	// denominator of the degraded-mode proportional split an agent
+	// falls back to when the control plane goes silent.
+	FleetSize int `json:"fleet_size,omitempty"`
+	// Live, when present, flags which sections are energized; a dead
+	// section (false) must receive no allocation. Absent means all
+	// sections live.
+	Live []bool `json:"live,omitempty"`
 }
 
 // Request is an OLEV's best-response total power request (Eq. 21).
@@ -110,6 +123,16 @@ type Converged struct {
 // Bye closes a session; Reason is informational.
 type Bye struct {
 	Reason string `json:"reason,omitempty"`
+}
+
+// Heartbeat is the coordinator's periodic liveness beacon. Epoch and
+// Round let an agent observe which coordinator incarnation is alive —
+// after a failover the standby's heartbeats carry a fenced (strictly
+// higher) epoch, so a partitioned primary's stale beacons are
+// recognizable.
+type Heartbeat struct {
+	Epoch uint64 `json:"epoch"`
+	Round int    `json:"round"`
 }
 
 // Seal marshals a body into an envelope.

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 )
 
 // ErrClosed is returned by operations on a closed transport.
@@ -127,11 +128,35 @@ func DecodeFrame(line []byte) (Envelope, error) {
 	return env, nil
 }
 
+// Timeouts bounds a connection-backed transport's blocking operations
+// when the caller's context carries no deadline of its own. They are
+// the control plane's guard against a hung peer: a coordinator round
+// can never block indefinitely on one stalled socket. Zero fields
+// leave the corresponding operation bounded only by its context.
+type Timeouts struct {
+	// Dial bounds connection establishment.
+	Dial time.Duration
+	// Read bounds one Recv; the effective deadline is the earlier of
+	// this and the context's.
+	Read time.Duration
+	// Write bounds one Send; the effective deadline is the earlier of
+	// this and the context's.
+	Write time.Duration
+}
+
+// DefaultTimeouts is a sane deployment default: generous enough for a
+// congested 802.11p hop, tight enough that a dead peer is detected
+// within one coordinator round.
+func DefaultTimeouts() Timeouts {
+	return Timeouts{Dial: 5 * time.Second, Read: 10 * time.Second, Write: 5 * time.Second}
+}
+
 // tcpTransport frames envelopes as newline-delimited JSON over a
 // net.Conn.
 type tcpTransport struct {
 	conn net.Conn
 	r    *bufio.Reader
+	to   Timeouts
 
 	sendMu sync.Mutex
 	recvMu sync.Mutex
@@ -149,25 +174,58 @@ func NewConnTransport(conn net.Conn) Transport {
 	return &tcpTransport{conn: conn, r: bufio.NewReaderSize(conn, MaxFrameBytes)}
 }
 
+// NewConnTransportTimeouts wraps an established connection with
+// default read/write deadlines applied whenever the caller's context
+// carries none.
+func NewConnTransportTimeouts(conn net.Conn, to Timeouts) Transport {
+	t := NewConnTransport(conn).(*tcpTransport)
+	t.to = to
+	return t
+}
+
 // Dial connects to a listening smart grid.
 func Dial(ctx context.Context, addr string) (Transport, error) {
-	var d net.Dialer
+	return DialTimeouts(ctx, addr, Timeouts{})
+}
+
+// DialTimeouts connects with a bounded dial and arms the returned
+// transport with default read/write deadlines (see Timeouts).
+func DialTimeouts(ctx context.Context, addr string, to Timeouts) (Transport, error) {
+	d := net.Dialer{Timeout: to.Dial}
 	conn, err := d.DialContext(ctx, "tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("v2i: dial %s: %w", addr, err)
 	}
-	return NewConnTransport(conn), nil
+	return NewConnTransportTimeouts(conn, to), nil
 }
 
-// Send implements Transport. The context's deadline (if any) becomes
-// the write deadline.
+// deadlineFor resolves the effective deadline of one operation: the
+// earlier of the context's deadline and now+fallback. The zero time
+// means unbounded — and must be *applied* to clear any deadline a
+// previous call armed on the shared conn.
+func deadlineFor(ctx context.Context, fallback time.Duration) time.Time {
+	dl, ok := ctx.Deadline()
+	if fallback > 0 {
+		if fdl := time.Now().Add(fallback); !ok || fdl.Before(dl) {
+			return fdl
+		}
+	}
+	if !ok {
+		return time.Time{}
+	}
+	return dl
+}
+
+// Send implements Transport. The effective write deadline is the
+// earlier of the context's deadline and the transport's Write timeout.
 func (t *tcpTransport) Send(ctx context.Context, env Envelope) error {
 	t.sendMu.Lock()
 	defer t.sendMu.Unlock()
-	if dl, ok := ctx.Deadline(); ok {
-		if err := t.conn.SetWriteDeadline(dl); err != nil {
-			return fmt.Errorf("v2i: set write deadline: %w", err)
-		}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if err := t.conn.SetWriteDeadline(deadlineFor(ctx, t.to.Write)); err != nil {
+		return fmt.Errorf("v2i: set write deadline: %w", err)
 	}
 	raw, err := json.Marshal(env)
 	if err != nil {
@@ -183,15 +241,16 @@ func (t *tcpTransport) Send(ctx context.Context, env Envelope) error {
 	return nil
 }
 
-// Recv implements Transport. The context's deadline (if any) becomes
-// the read deadline.
+// Recv implements Transport. The effective read deadline is the
+// earlier of the context's deadline and the transport's Read timeout.
 func (t *tcpTransport) Recv(ctx context.Context) (Envelope, error) {
 	t.recvMu.Lock()
 	defer t.recvMu.Unlock()
-	if dl, ok := ctx.Deadline(); ok {
-		if err := t.conn.SetReadDeadline(dl); err != nil {
-			return Envelope{}, fmt.Errorf("v2i: set read deadline: %w", err)
-		}
+	if err := ctx.Err(); err != nil {
+		return Envelope{}, err
+	}
+	if err := t.conn.SetReadDeadline(deadlineFor(ctx, t.to.Read)); err != nil {
+		return Envelope{}, fmt.Errorf("v2i: set read deadline: %w", err)
 	}
 	line, err := t.r.ReadSlice('\n')
 	if err != nil {
@@ -212,6 +271,11 @@ func (t *tcpTransport) Close() error {
 // Server accepts V2I connections for the smart grid.
 type Server struct {
 	ln net.Listener
+	// ConnTimeouts, when non-zero, arms every accepted transport with
+	// default read/write deadlines; set it before the accept loop
+	// starts. A hung vehicle then times out instead of pinning a
+	// coordinator goroutine forever.
+	ConnTimeouts Timeouts
 }
 
 // Listen opens a TCP listener on addr ("127.0.0.1:0" for an ephemeral
@@ -233,7 +297,7 @@ func (s *Server) Accept() (Transport, error) {
 	if err != nil {
 		return nil, fmt.Errorf("v2i: accept: %w", err)
 	}
-	return NewConnTransport(conn), nil
+	return NewConnTransportTimeouts(conn, s.ConnTimeouts), nil
 }
 
 // Close stops the listener.

@@ -199,6 +199,65 @@ var (
 	NewFaultyTransport = v2i.NewFaulty
 )
 
+// Fault-tolerant control plane: coordinator failover, degraded-mode
+// autonomy, and exogenous-fault survival.
+type (
+	// Lease is the coordinator-election primitive a standby watches.
+	Lease = sched.Lease
+	// LeaseState is one observation of a lease.
+	LeaseState = sched.LeaseState
+	// MemLease is an in-process lease for tests and single-host demos.
+	MemLease = sched.MemLease
+	// Standby tails the journal and takes over a lapsed lease.
+	Standby = sched.Standby
+	// StandbyConfig configures a Standby.
+	StandbyConfig = sched.StandbyConfig
+	// Takeover is a won election: fenced epoch/sequence plus the
+	// checkpoint to warm-start from.
+	Takeover = sched.Takeover
+	// AutonomyConfig arms an agent's degraded-mode fallback.
+	AutonomyConfig = sched.AutonomyConfig
+	// SectionOutage scripts a charging-section outage by round.
+	SectionOutage = sched.SectionOutage
+	// PriceFeed supplies β to a running coordinator, possibly late or
+	// not at all.
+	PriceFeed = sched.PriceFeed
+	// LBMPFeed is a price feed with seeded dropouts and staleness
+	// accounting over any source.
+	LBMPFeed = grid.LBMPFeed
+	// FeedConfig scripts an LBMPFeed's fault plan.
+	FeedConfig = grid.FeedConfig
+	// FeedWindow is a scripted dark window of feed steps.
+	FeedWindow = grid.FeedWindow
+	// DayOutage scripts a charging-section outage by hour in a
+	// coupled day.
+	DayOutage = coupling.SectionOutage
+	// TransportTimeouts bound dial/read/write on TCP transports.
+	TransportTimeouts = v2i.Timeouts
+)
+
+var (
+	// NewMemLease builds an in-process lease.
+	NewMemLease = sched.NewMemLease
+	// NewStandby builds a standby coordinator watcher.
+	NewStandby = sched.NewStandby
+	// ResumeCoordinator builds a coordinator from a won takeover,
+	// warm-started from the checkpoint and fenced above the dead
+	// primary's counters.
+	ResumeCoordinator = sched.ResumeCoordinator
+	// ErrLeaseLost is returned by a coordinator whose lease renewal
+	// was refused mid-run.
+	ErrLeaseLost = sched.ErrLeaseLost
+	// DecodeCheckpoint validates an untrusted checkpoint blob.
+	DecodeCheckpoint = sched.DecodeCheckpoint
+	// NewLBMPFeed wraps a β source in a seeded fault plan.
+	NewLBMPFeed = grid.NewLBMPFeed
+	// DefaultTransportTimeouts are the TCP deadline defaults.
+	DefaultTransportTimeouts = v2i.DefaultTimeouts
+	// DialV2ITimeouts dials a coordinator with explicit deadlines.
+	DialV2ITimeouts = v2i.DialTimeouts
+)
+
 // Grid substrate (Section III's ISO day).
 type (
 	// GridDay is a synthesized ISO day.
