@@ -5,9 +5,15 @@
 // solver, the round engine at one worker, and the round engine at
 // GOMAXPROCS workers, plus the resulting steady-state speedup.
 //
+// It also measures what arming the obs metrics bundle costs the same
+// hot path (interleaved best-of-k bare-vs-armed trials on one host);
+// with -check it exits non-zero unless that overhead stays within 3%
+// — the observability layer's "free" gate CI enforces. -metrics-out
+// dumps the registry populated during the armed trials as JSON.
+//
 // Usage:
 //
-//	bench-core [-n 50] [-c 100] [-o BENCH_core.json] [-rounds 50]
+//	bench-core [-n 50] [-c 100] [-o BENCH_core.json] [-rounds 50] [-trials 5] [-check] [-metrics-out METRICS_bench.json]
 //
 // CI runs this and uploads the JSON as a build artifact; see DESIGN.md
 // for how to read it. Speedup is only meaningful on multi-core hosts —
@@ -23,6 +29,7 @@ import (
 	"time"
 
 	"olevgrid/internal/core"
+	"olevgrid/internal/obs"
 )
 
 // asyncBench is the legacy Game.Run measurement kept alongside the
@@ -53,7 +60,14 @@ type benchFile struct {
 	// WelfareAgreement is |W_p1 − W_pmax|, which the determinism
 	// contract requires to be exactly zero.
 	WelfareAgreement float64 `json:"welfare_agreement"`
+
+	// MetricsOverhead is the armed-vs-bare steady-state cost of the
+	// obs bundle; -check gates Overhead at ≤ 3%.
+	MetricsOverhead core.MetricsOverheadBench `json:"metrics_overhead"`
 }
+
+// overheadGate is the -check ceiling on MetricsOverhead.Overhead.
+const overheadGate = 0.03
 
 func main() {
 	if err := run(); err != nil {
@@ -67,6 +81,9 @@ func run() error {
 	c := flag.Int("c", 100, "number of charging sections")
 	out := flag.String("o", "BENCH_core.json", "output path (- for stdout)")
 	rounds := flag.Int("rounds", 50, "steady-state rounds to time per engine")
+	trials := flag.Int("trials", 5, "best-of trials for the metrics-overhead probe")
+	check := flag.Bool("check", false, "exit non-zero unless metrics overhead stays within 3%")
+	metricsOut := flag.String("metrics-out", "", "dump the armed obs registry as JSON to this path (empty disables)")
 	flag.Parse()
 
 	file := benchFile{
@@ -112,14 +129,45 @@ func run() error {
 	}
 	file.WelfareAgreement = diff
 
+	// The "free" probe: same engine, same rounds, bundle nil vs armed.
+	if g, err = newGame(*n, *c); err != nil {
+		return err
+	}
+	reg := obs.NewRegistry()
+	sink := obs.NewEventSink(4096)
+	file.MetricsOverhead = core.BenchMetricsOverhead(g, 1, *rounds, *trials, core.NewMetrics(reg, sink))
+
+	if *metricsOut != "" {
+		mf, err := os.Create(*metricsOut)
+		if err != nil {
+			return err
+		}
+		if err := obs.WriteJSON(mf, reg, sink); err != nil {
+			_ = mf.Close()
+			return err
+		}
+		if err := mf.Close(); err != nil {
+			return err
+		}
+	}
+
 	blob, err := json.MarshalIndent(file, "", "  ")
 	if err != nil {
 		return err
 	}
 	blob = append(blob, '\n')
+	gate := func() error {
+		if *check && file.MetricsOverhead.Overhead > overheadGate {
+			return fmt.Errorf("metrics-overhead gate failed: %+.2f%% > %.0f%%",
+				file.MetricsOverhead.Overhead*100, overheadGate*100)
+		}
+		return nil
+	}
 	if *out == "-" {
-		_, err = os.Stdout.Write(blob)
-		return err
+		if _, err = os.Stdout.Write(blob); err != nil {
+			return err
+		}
+		return gate()
 	}
 	if err := os.WriteFile(*out, blob, 0o644); err != nil {
 		return err
@@ -127,7 +175,10 @@ func run() error {
 	fmt.Printf("wrote %s: engine p1 %.0f ns/turn, p%d %.0f ns/turn (%.2fx), allocs/turn %.3f\n",
 		*out, file.EngineP1.NsPerTurn, file.EnginePMax.Parallelism,
 		file.EnginePMax.NsPerTurn, file.SteadySpeedup, file.EnginePMax.AllocsPerTurn)
-	return nil
+	fmt.Printf("  metrics overhead: bare %.0f ns/turn, armed %.0f ns/turn (%+.2f%%, gate %.0f%%)\n",
+		file.MetricsOverhead.BareNsPerTurn, file.MetricsOverhead.ArmedNsPerTurn,
+		file.MetricsOverhead.Overhead*100, overheadGate*100)
+	return gate()
 }
 
 // newGame builds the acceptance workload: a heterogeneous fleet over

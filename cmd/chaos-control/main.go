@@ -19,7 +19,11 @@
 //
 // Usage:
 //
-//	chaos-control [-n 20] [-c 20] [-seed 7] [-crash-at 4] [-feed-drop 0.2] [-sweep 6] [-o CHAOS_controlplane.json] [-check]
+// With -metrics-out the chaos run (only) arms the obs bundle — shared
+// by both coordinator incarnations, every agent, and the grid-side
+// frame accounting — and dumps the registry and event ring as JSON.
+//
+//	chaos-control [-n 20] [-c 20] [-seed 7] [-crash-at 4] [-feed-drop 0.2] [-sweep 6] [-o CHAOS_controlplane.json] [-check] [-metrics-out METRICS_chaos.json]
 package main
 
 import (
@@ -34,6 +38,7 @@ import (
 
 	"olevgrid/internal/core"
 	"olevgrid/internal/grid"
+	"olevgrid/internal/obs"
 	"olevgrid/internal/sched"
 	"olevgrid/internal/v2i"
 )
@@ -86,6 +91,7 @@ func run() error {
 	sweep := flag.Int("sweep", 6, "crash rounds to sweep in the failover determinism pass")
 	out := flag.String("o", "CHAOS_controlplane.json", "output path (- for stdout)")
 	check := flag.Bool("check", false, "exit non-zero unless the acceptance gates hold")
+	metricsOut := flag.String("metrics-out", "", "dump the chaos run's obs registry as JSON to this path (- for stdout)")
 	flag.Parse()
 
 	file := chaosFile{
@@ -99,8 +105,17 @@ func run() error {
 	}
 	file.CleanWelfare = welfare(clean, cleanWeights)
 
-	if err := runChaos(&file, *n, *c, *seed, *crashAt, *feedDrop); err != nil {
+	// Telemetry is armed on the chaos scenario only: the clean baseline
+	// and the determinism sweep run bare so they stay the reference.
+	var tel *chaosTelemetry
+	if *metricsOut != "" {
+		tel = newChaosTelemetry()
+	}
+	if err := runChaos(&file, *n, *c, *seed, *crashAt, *feedDrop, tel); err != nil {
 		return fmt.Errorf("chaos run: %w", err)
+	}
+	if err := tel.dump(*metricsOut); err != nil {
+		return err
 	}
 	file.WelfareRelErr = math.Abs(file.ChaosWelfare-file.CleanWelfare) / math.Abs(file.CleanWelfare)
 
@@ -167,7 +182,7 @@ type fleet struct {
 	degraded, reconnects, heartbeats int
 }
 
-func newFleet(ctx context.Context, n int, autonomy *sched.AutonomyConfig, chaosSeed int64) (*fleet, error) {
+func newFleet(ctx context.Context, n int, autonomy *sched.AutonomyConfig, chaosSeed int64, tel *chaosTelemetry) (*fleet, error) {
 	f := &fleet{
 		links:   make(map[string]v2i.Transport, n),
 		weights: make(map[string]float64, n),
@@ -177,6 +192,11 @@ func newFleet(ctx context.Context, n int, autonomy *sched.AutonomyConfig, chaosS
 		gridSide, vehicleSide := v2i.NewPair(64)
 		f.raw = append(f.raw, gridSide)
 		var gl, vl v2i.Transport = gridSide, vehicleSide
+		if tel != nil {
+			// Frame accounting sits under the fault plan, so the
+			// counters see what actually crossed the grid-side links.
+			gl = v2i.NewInstrumented(gl, tel.transport)
+		}
 		if chaosSeed != 0 {
 			plan := func(seed int64) v2i.FaultConfig {
 				return v2i.FaultConfig{
@@ -184,7 +204,7 @@ func newFleet(ctx context.Context, n int, autonomy *sched.AutonomyConfig, chaosS
 					MaxDelay: 2 * time.Millisecond, Seed: seed,
 				}
 			}
-			gl = v2i.NewFaulty(gridSide, plan(chaosSeed+int64(i)))
+			gl = v2i.NewFaulty(gl, plan(chaosSeed+int64(i)))
 			vl = v2i.NewFaulty(vehicleSide, plan(chaosSeed+1000+int64(i)))
 		}
 		agent, err := sched.NewAgent(sched.AgentConfig{
@@ -192,6 +212,7 @@ func newFleet(ctx context.Context, n int, autonomy *sched.AutonomyConfig, chaosS
 			MaxPowerKW:   60,
 			Satisfaction: core.LogSatisfaction{Weight: weight(i)},
 			Autonomy:     autonomy,
+			Metrics:      tel.controlPlane(),
 		}, vl)
 		if err != nil {
 			return nil, err
@@ -222,7 +243,7 @@ func (f *fleet) stop() {
 func runClean(n, c int, seed int64) (sched.Report, map[string]float64, error) {
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
 	defer cancel()
-	f, err := newFleet(ctx, n, nil, 0)
+	f, err := newFleet(ctx, n, nil, 0, nil)
 	if err != nil {
 		return sched.Report{}, nil, err
 	}
@@ -243,10 +264,10 @@ func runClean(n, c int, seed int64) (sched.Report, map[string]float64, error) {
 
 // runChaos executes the compound-fault scenario and folds its outcome
 // into the output file.
-func runChaos(file *chaosFile, n, c int, seed int64, crashAt int, feedDrop float64) error {
+func runChaos(file *chaosFile, n, c int, seed int64, crashAt int, feedDrop float64, tel *chaosTelemetry) error {
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
 	defer cancel()
-	f, err := newFleet(ctx, n, &sched.AutonomyConfig{QuoteDeadline: 40 * time.Millisecond}, seed*100)
+	f, err := newFleet(ctx, n, &sched.AutonomyConfig{QuoteDeadline: 40 * time.Millisecond}, seed*100, tel)
 	if err != nil {
 		return err
 	}
@@ -283,6 +304,7 @@ func runChaos(file *chaosFile, n, c int, seed int64, crashAt int, feedDrop float
 				crash()
 			}
 		},
+		Metrics: tel.controlPlane(),
 	}
 	prim, err := sched.NewCoordinator(cfg, f.links)
 	if err != nil {
@@ -383,7 +405,7 @@ var errNoCrash = fmt.Errorf("converged before the crash round")
 func sweepInstance(n int, seed int64, crashRound int) (sched.Report, error) {
 	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
 	defer cancel()
-	f, err := newFleet(ctx, n, nil, 0)
+	f, err := newFleet(ctx, n, nil, 0, nil)
 	if err != nil {
 		return sched.Report{}, err
 	}
@@ -451,4 +473,53 @@ func sweepInstance(n int, seed int64, crashRound int) (sched.Report, error) {
 		err = fmt.Errorf("post-takeover run did not converge")
 	}
 	return report, err
+}
+
+// chaosTelemetry is the obs bundle armed on the chaos scenario when
+// -metrics-out is set: one registry shared by the coordinator pair
+// (primary and standby), every agent, and the grid-side frame
+// accounting.
+type chaosTelemetry struct {
+	reg       *obs.Registry
+	sink      *obs.EventSink
+	sched     *sched.Metrics
+	transport *v2i.TransportMetrics
+}
+
+func newChaosTelemetry() *chaosTelemetry {
+	reg := obs.NewRegistry()
+	sink := obs.NewEventSink(1 << 14)
+	return &chaosTelemetry{
+		reg:       reg,
+		sink:      sink,
+		sched:     sched.NewMetrics(reg, sink),
+		transport: v2i.NewTransportMetrics(reg),
+	}
+}
+
+// controlPlane returns the shared sched bundle; on a nil receiver it
+// returns nil, which every observe hook treats as "off".
+func (t *chaosTelemetry) controlPlane() *sched.Metrics {
+	if t == nil {
+		return nil
+	}
+	return t.sched
+}
+
+func (t *chaosTelemetry) dump(path string) error {
+	if t == nil || path == "" {
+		return nil
+	}
+	if path == "-" {
+		return obs.WriteJSON(os.Stdout, t.reg, t.sink)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteJSON(f, t.reg, t.sink); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
 }

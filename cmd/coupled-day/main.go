@@ -19,10 +19,13 @@
 // charging sections down for hour spans ("sec:from[:to]",
 // comma-separated) so those hours solve on the survivors.
 //
+// With -metrics-out the run arms the obs telemetry bundle (day-loop and
+// solver instruments on one registry) and dumps it as JSON on exit.
+//
 // Usage:
 //
 //	coupled-day [-seed N] [-participation F] [-sections C] [-eta F] [-scale K] [-parallel P] [-warm]
-//	            [-feed-drop F] [-feed-ceiling H] [-outage "sec:from[:to],..."]
+//	            [-feed-drop F] [-feed-ceiling H] [-outage "sec:from[:to],..."] [-metrics-out METRICS_day.json]
 package main
 
 import (
@@ -34,6 +37,7 @@ import (
 
 	"olevgrid"
 	"olevgrid/internal/coupling"
+	"olevgrid/internal/obs"
 )
 
 func main() {
@@ -54,6 +58,7 @@ func run() error {
 	feedDrop := flag.Float64("feed-drop", 0, "LBMP feed per-hour dropout probability")
 	feedCeiling := flag.Int("feed-ceiling", 0, "hours a held price stays trustworthy (0 = forever)")
 	outageSpec := flag.String("outage", "", `section outages as "sec:from[:to]" hour spans, comma-separated`)
+	metricsOut := flag.String("metrics-out", "", "dump the obs registry as JSON to this path after the run (- for stdout)")
 	flag.Parse()
 
 	cfg := olevgrid.CoupledDayConfig{
@@ -63,6 +68,14 @@ func run() error {
 		Eta:           *eta,
 		Parallelism:   *parallel,
 		WarmStart:     *warm,
+	}
+	var reg *obs.Registry
+	var sink *obs.EventSink
+	if *metricsOut != "" {
+		reg = obs.NewRegistry()
+		sink = obs.NewEventSink(1 << 12)
+		cfg.Metrics = olevgrid.NewCoupledDayMetrics(reg, sink)
+		cfg.Solver = olevgrid.NewSolverMetrics(reg, sink)
 	}
 	if *feedDrop > 0 || *feedCeiling > 0 {
 		cfg.FeedFaults = &olevgrid.FeedConfig{
@@ -88,7 +101,7 @@ func run() error {
 			impact.BasePeakMW, impact.LoadedPeakMW)
 		fmt.Printf("  reserve shortfall:   %d hours, extra ancillary $%.0f\n",
 			impact.ReserveShortfallHours, impact.ExtraAncillaryUSD)
-		return nil
+		return dumpMetrics(*metricsOut, reg, sink)
 	}
 
 	res, err := olevgrid.RunCoupledDay(cfg)
@@ -119,7 +132,27 @@ func run() error {
 		fmt.Printf("faults: %d stale-priced hours, %d section-outage hours\n",
 			res.StaleHours, res.OutageHours)
 	}
-	return nil
+	return dumpMetrics(*metricsOut, reg, sink)
+}
+
+// dumpMetrics writes the day's populated registry and event ring as
+// JSON; a nil registry (flag unset) is a no-op.
+func dumpMetrics(path string, reg *obs.Registry, sink *obs.EventSink) error {
+	if reg == nil || path == "" {
+		return nil
+	}
+	if path == "-" {
+		return obs.WriteJSON(os.Stdout, reg, sink)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteJSON(f, reg, sink); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // parseOutages reads "sec:from[:to]" comma-separated hour spans into

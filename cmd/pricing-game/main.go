@@ -23,6 +23,9 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/ on the default mux
 	"os"
 	"strconv"
 	"strings"
@@ -61,7 +64,22 @@ func run() error {
 	autonomy := flag.Duration("autonomy", 0, "tcp: arm degraded-mode autonomy with this quote deadline (0 disables)")
 	feedDrop := flag.Float64("feed-drop", 0, "tcp: LBMP feed per-round dropout probability")
 	outageSpec := flag.String("outage", "", `tcp: section outages as "sec:down[:up]" round numbers, comma-separated`)
+	metricsOut := flag.String("metrics-out", "", "write the obs metrics/event dump as JSON to this path after the run (- for stdout)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof plus /metrics on this address (e.g. 127.0.0.1:6060) for the run's duration")
 	flag.Parse()
+
+	// One registry and sink cover whichever layers the mode arms: the
+	// solver bundle on the in-process paths, the control-plane and
+	// transport bundles on -tcp.
+	var telemetry *obsBundle
+	if *metricsOut != "" || *pprofAddr != "" {
+		telemetry = newObsBundle()
+	}
+	if *pprofAddr != "" {
+		if err := telemetry.servePprof(*pprofAddr); err != nil {
+			return err
+		}
+	}
 
 	vel := units.MPH(*mph)
 	lineCap := pricing.LineCapacityKW(units.Meters(15), vel)
@@ -77,13 +95,17 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		return runTCP(players, *c, lineCap, *eta, *beta, *seed, tcpOptions{
+		if err := runTCP(players, *c, lineCap, *eta, *beta, *seed, tcpOptions{
 			drop: *drop, dup: *dup, reorder: *reorder,
 			evictAfter: *evictAfter, journalPath: *journalPath,
 			parallelism: *parallelism,
 			crashAt:     *crashAt, autonomy: *autonomy,
 			feedDrop: *feedDrop, outages: outages,
-		})
+			telemetry: telemetry,
+		}); err != nil {
+			return err
+		}
+		return telemetry.dump(*metricsOut)
 	}
 	if *crashAt > 0 || *autonomy > 0 || *feedDrop > 0 || *outageSpec != "" {
 		return fmt.Errorf("-crash-at/-autonomy/-feed-drop/-outage require -tcp")
@@ -93,6 +115,7 @@ func run() error {
 		Players: players, NumSections: *c, LineCapacityKW: lineCap,
 		Eta: *eta, BetaPerMWh: *beta, Seed: *seed,
 		Parallelism: *parallelism,
+		Metrics:     telemetry.solver(),
 	}
 	var policies []pricing.Policy
 	switch *policy {
@@ -112,7 +135,82 @@ func run() error {
 		}
 		printOutcome(out)
 	}
+	return telemetry.dump(*metricsOut)
+}
+
+// obsBundle is the command's lazily-armed telemetry: one registry and
+// event sink shared by whichever layer bundles the mode activates.
+type obsBundle struct {
+	reg  *olevgrid.MetricsRegistry
+	sink *olevgrid.EventSink
+}
+
+func newObsBundle() *obsBundle {
+	return &obsBundle{
+		reg:  olevgrid.NewMetricsRegistry(),
+		sink: olevgrid.NewEventSink(1 << 14),
+	}
+}
+
+// solver arms the core round-engine bundle; nil receiver stays nil so
+// the off path pays nothing.
+func (b *obsBundle) solver() *olevgrid.SolverMetrics {
+	if b == nil {
+		return nil
+	}
+	return olevgrid.NewSolverMetrics(b.reg, b.sink)
+}
+
+// controlPlane arms the coordinator/agent bundle.
+func (b *obsBundle) controlPlane() *olevgrid.ControlPlaneMetrics {
+	if b == nil {
+		return nil
+	}
+	return olevgrid.NewControlPlaneMetrics(b.reg, b.sink)
+}
+
+// transport arms the V2I frame counters.
+func (b *obsBundle) transport() *olevgrid.TransportMetrics {
+	if b == nil {
+		return nil
+	}
+	return olevgrid.NewTransportMetrics(b.reg)
+}
+
+// servePprof mounts net/http/pprof (via the default mux) next to the
+// obs handler (/metrics, /metrics.json, /debug/vars) on addr for the
+// run's duration.
+func (b *obsBundle) servePprof(addr string) error {
+	mux := http.NewServeMux()
+	mux.Handle("/debug/pprof/", http.DefaultServeMux)
+	mux.Handle("/", olevgrid.MetricsHandler(b.reg, b.sink))
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("pprof listener: %w", err)
+	}
+	fmt.Printf("pprof+metrics listening on http://%s/\n", ln.Addr())
+	go func() { _ = http.Serve(ln, mux) }()
 	return nil
+}
+
+// dump writes the JSON metrics/event dump; nil bundle or empty path
+// is a no-op so call sites need no guards.
+func (b *obsBundle) dump(path string) error {
+	if b == nil || path == "" {
+		return nil
+	}
+	if path == "-" {
+		return olevgrid.WriteMetricsJSON(os.Stdout, b.reg, b.sink)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := olevgrid.WriteMetricsJSON(f, b.reg, b.sink); err != nil {
+		_ = f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func printOutcome(out olevgrid.Outcome) {
@@ -135,6 +233,7 @@ type tcpOptions struct {
 	autonomy           time.Duration
 	feedDrop           float64
 	outages            []olevgrid.SectionOutage
+	telemetry          *obsBundle
 }
 
 func (o tcpOptions) chaotic() bool { return o.drop > 0 || o.dup > 0 || o.reorder > 0 }
@@ -185,6 +284,7 @@ func runTCP(players []olevgrid.Player, c int, lineCap, eta, beta float64, seed i
 	if opts.autonomy > 0 {
 		auto = &olevgrid.AutonomyConfig{QuoteDeadline: opts.autonomy}
 	}
+	cpm := opts.telemetry.controlPlane()
 	for i, p := range players {
 		wg.Add(1)
 		go func(i int, p olevgrid.Player) {
@@ -194,6 +294,7 @@ func runTCP(players []olevgrid.Player, c int, lineCap, eta, beta float64, seed i
 				MaxPowerKW:   p.MaxPowerKW,
 				Satisfaction: p.Satisfaction,
 				Autonomy:     auto,
+				Metrics:      cpm,
 			})
 		}(i, p)
 	}
@@ -201,6 +302,14 @@ func runTCP(players []olevgrid.Player, c int, lineCap, eta, beta float64, seed i
 	links, err := olevgrid.CollectHellos(ctx, srv, len(players), 10*time.Second)
 	if err != nil {
 		return err
+	}
+	if opts.telemetry != nil {
+		// Frame accounting sits under any fault plan, so the counters
+		// see what actually crossed the grid-side links.
+		tm := opts.telemetry.transport()
+		for id, link := range links {
+			links[id] = olevgrid.NewInstrumentedTransport(link, tm)
+		}
 	}
 	if opts.chaotic() {
 		// Wrap every accepted link in a seeded fault plan; the session
@@ -235,6 +344,7 @@ func runTCP(players []olevgrid.Player, c int, lineCap, eta, beta float64, seed i
 		Seed:           seed,
 		Parallelism:    opts.parallelism,
 		Outages:        opts.outages,
+		Metrics:        cpm,
 	}
 	if opts.chaotic() {
 		cfg.RoundTimeout = 250 * time.Millisecond

@@ -77,3 +77,89 @@ func BenchSteadyState(g *Game, parallelism, maxRounds, steadyRounds int, tol flo
 	rep.Welfare = e.welfare()
 	return rep
 }
+
+// MetricsOverheadBench quantifies what arming the obs bundle costs the
+// steady-state hot path; cmd/bench-core gates it at ≤ 3% under -check.
+type MetricsOverheadBench struct {
+	// Parallelism is the engine's worker count during the probe.
+	Parallelism int `json:"parallelism"`
+	// SteadyRounds is rounds timed per trial, Trials the best-of count.
+	SteadyRounds int `json:"steady_rounds"`
+	Trials       int `json:"trials"`
+	// BareNsPerTurn and ArmedNsPerTurn are best-of-trials ns per player
+	// turn with the bundle nil versus armed.
+	BareNsPerTurn  float64 `json:"bare_ns_per_turn"`
+	ArmedNsPerTurn float64 `json:"armed_ns_per_turn"`
+	// Overhead is armed/bare − 1; negative readings are noise and mean
+	// the instrumentation cost is below the measurement floor.
+	Overhead float64 `json:"overhead"`
+	// ArmedAllocsPerTurn must stay 0: the instruments are atomics on
+	// preallocated state (the hard assertion is AllocsPerRun in the
+	// core test suite; this is the same contract read off MemStats).
+	ArmedAllocsPerTurn float64 `json:"armed_allocs_per_turn"`
+}
+
+// BenchMetricsOverhead interleaves bare and armed steady-state trials
+// on one converged engine and reports best-of-k ns/turn for each. Both
+// loops run the identical per-round work the solver itself performs —
+// round, welfare, congestion — and differ only in the Metrics receiver
+// (nil versus armed), so the ratio isolates exactly the off-switch
+// branch versus the atomic-store path. Interleaving plus best-of-k is
+// the noise defense: thermal drift and scheduler luck hit both sides
+// alike, and the minimum discards the outliers.
+func BenchMetricsOverhead(g *Game, parallelism, steadyRounds, trials int, m *Metrics) MetricsOverheadBench {
+	if steadyRounds <= 0 {
+		steadyRounds = 50
+	}
+	if trials <= 0 {
+		trials = 5
+	}
+	e := newRoundEngine(g, parallelism, DefaultBatchSize, 1e-6)
+	defer e.stop()
+	for round := 1; round <= 2000; round++ {
+		if e.round() < 1e-6 {
+			break
+		}
+	}
+	e.round() // warm-up on the converged state
+
+	turns := float64(steadyRounds * e.n)
+	trial := func(m *Metrics) float64 {
+		start := time.Now()
+		for i := 0; i < steadyRounds; i++ {
+			d := e.round()
+			m.observeRound(i+1, d, e.welfare(), e.congestion())
+		}
+		return float64(time.Since(start).Nanoseconds()) / turns
+	}
+
+	rep := MetricsOverheadBench{
+		Parallelism:  e.workers,
+		SteadyRounds: steadyRounds,
+		Trials:       trials,
+		// Seed the minima with one throwaway pair so best-of-k never
+		// reads an uninitialized zero.
+		BareNsPerTurn:  trial(nil),
+		ArmedNsPerTurn: trial(m),
+	}
+	var before, after runtime.MemStats
+	for t := 0; t < trials; t++ {
+		if ns := trial(nil); ns < rep.BareNsPerTurn {
+			rep.BareNsPerTurn = ns
+		}
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		ns := trial(m)
+		runtime.ReadMemStats(&after)
+		if ns < rep.ArmedNsPerTurn {
+			rep.ArmedNsPerTurn = ns
+		}
+		if a := float64(after.Mallocs-before.Mallocs) / turns; t == 0 || a < rep.ArmedAllocsPerTurn {
+			rep.ArmedAllocsPerTurn = a
+		}
+	}
+	if rep.BareNsPerTurn > 0 {
+		rep.Overhead = rep.ArmedNsPerTurn/rep.BareNsPerTurn - 1
+	}
+	return rep
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"olevgrid/internal/obs"
+)
+
+// Metrics is the solver's telemetry bundle: pre-resolved obs
+// instruments plus an optional event sink, threaded into the round
+// engine via ParallelOptions.Metrics (and Scenario/DayConfig above
+// it). A nil *Metrics is the off switch — every observe method is
+// nil-receiver safe, and the armed path performs only atomic writes,
+// so instrumented steady-state rounds stay allocation-free (the
+// conformance tests in parallel_test.go assert both).
+type Metrics struct {
+	// Per-solve counters.
+	Solves    *obs.Counter // completed loop() executions
+	Converged *obs.Counter // solves that met the tolerance
+	Rounds    *obs.Counter // full best-response rounds
+	Updates   *obs.Counter // player updates (rounds × fleet size)
+	Replays   *obs.Counter // blocks rolled back by the welfare guard
+
+	// Per-round trajectory gauges (last value wins) and the
+	// round-delta distribution.
+	Welfare    *obs.Gauge
+	Congestion *obs.Gauge
+	RoundDelta *obs.Histogram // max schedule delta per round
+
+	// End-of-solve reconciliation instruments: SectionLoad's Sum is the
+	// total scheduled mass (kW across sections), Payment is the
+	// fleet-total payment from core.Payment pricing.
+	SectionLoad *obs.Histogram
+	Payment     *obs.Gauge
+
+	// Sink receives one EventSolverRound span per round; may be nil
+	// independently of the instruments.
+	Sink *obs.EventSink
+}
+
+// SolverBuckets is the canonical round-delta bucket layout: the
+// engine's tolerances live in [1e-9, 1e-2], so decade buckets from
+// 1e-9 up cover the whole convergence tail.
+func SolverBuckets() []float64 { return obs.ExponentialBuckets(1e-9, 10, 12) }
+
+// LoadBuckets is the canonical per-section load layout (kW).
+func LoadBuckets() []float64 { return obs.LinearBuckets(0, 25, 20) }
+
+// NewMetrics registers the solver metric catalog on r (see DESIGN.md
+// §11) and returns the bundle. r may be nil, in which case every
+// instrument is nil and the bundle still works as a no-op; sink may be
+// nil independently.
+func NewMetrics(r *obs.Registry, sink *obs.EventSink) *Metrics {
+	m := &Metrics{
+		Solves:      r.Counter("olev_solver_solves_total"),
+		Converged:   r.Counter("olev_solver_converged_total"),
+		Rounds:      r.Counter("olev_solver_rounds_total"),
+		Updates:     r.Counter("olev_solver_updates_total"),
+		Replays:     r.Counter("olev_solver_replays_total"),
+		Welfare:     r.Gauge("olev_solver_welfare"),
+		Congestion:  r.Gauge("olev_solver_congestion_degree"),
+		RoundDelta:  r.Histogram("olev_solver_round_delta", SolverBuckets()),
+		SectionLoad: r.Histogram("olev_solver_section_load_kw", LoadBuckets()),
+		Payment:     r.Gauge("olev_solver_payment_usd"),
+		Sink:        sink,
+	}
+	r.Help("olev_solver_rounds_total", "full best-response rounds executed by the equilibrium engine")
+	r.Help("olev_solver_section_load_kw", "per-section scheduled load at end of solve; sum equals scheduled mass")
+	return m
+}
+
+// observeRound records one completed round. Called from the engine's
+// loop with values it has already computed for the result trajectory,
+// so arming metrics never adds work to the instrumented computation —
+// only atomic stores beside it.
+func (m *Metrics) observeRound(round int, maxDelta, welfare, congestion float64) {
+	if m == nil {
+		return
+	}
+	m.Rounds.Inc()
+	m.Welfare.Set(welfare)
+	m.Congestion.Set(congestion)
+	m.RoundDelta.Observe(maxDelta)
+	m.Sink.Emit(obs.EventSolverRound, "engine", int32(round), -1, maxDelta)
+}
+
+// observeSolve records end-of-solve reconciliation state: update and
+// replay totals, the per-section load distribution, and the fleet
+// payment. Runs once per solve, outside the steady-state turns the
+// zero-alloc guard measures, so it may read allocating accessors.
+func (m *Metrics) observeSolve(g *Game, res *ParallelResult) {
+	if m == nil {
+		return
+	}
+	m.Solves.Inc()
+	if res.Converged {
+		m.Converged.Inc()
+	}
+	m.Updates.Add(int64(res.Updates))
+	m.Replays.Add(int64(res.Replayed))
+	for _, load := range g.SectionTotals() {
+		m.SectionLoad.Observe(load)
+	}
+	m.Payment.Set(g.TotalPayment())
+}

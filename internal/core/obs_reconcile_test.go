@@ -1,0 +1,189 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+	"testing"
+
+	"olevgrid/internal/obs"
+)
+
+// promValue digs one sample line out of a Prometheus text exposition
+// and parses its value, so the reconciliation suite can assert not
+// just that the registry holds the right numbers but that the export
+// path reproduces them faithfully.
+func promValue(t *testing.T, exposition, name string) float64 {
+	t.Helper()
+	for _, line := range strings.Split(exposition, "\n") {
+		if !strings.HasPrefix(line, name+" ") && !strings.HasPrefix(line, name+"{") {
+			continue
+		}
+		fields := strings.Fields(line)
+		v, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+		if err != nil {
+			t.Fatalf("unparseable sample %q: %v", line, err)
+		}
+		return v
+	}
+	t.Fatalf("exposition has no sample %q", name)
+	return 0
+}
+
+// TestObsReconcilesWithSolverResults is the faithfulness half of the
+// observability conformance harness: across the same seed and instance
+// count as the 50-instance differential suite, every exported quantity
+// must agree exactly with the solver's own ground truth — rounds and
+// update counters with ParallelResult, the per-section load histogram
+// sum with the scheduled mass, the payment gauge with core.Payment
+// output — and arming metrics must leave the solve bit-for-bit
+// identical to an uninstrumented run.
+func TestObsReconcilesWithSolverResults(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const instances = 50
+	for trial := 0; trial < instances; trial++ {
+		nonlinear := trial%2 == 0
+		cfg := randomInstance(t, rng, nonlinear)
+		t.Run(fmt.Sprintf("trial%02d_n%d_c%d", trial, len(cfg.Players), cfg.NumSections), func(t *testing.T) {
+			gBare, err := NewGame(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gObs, err := NewGame(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			reg := obs.NewRegistry()
+			sink := obs.NewEventSink(8192)
+			m := NewMetrics(reg, sink)
+
+			opts := ParallelOptions{Tolerance: 1e-9, MaxRounds: 5000, Parallelism: 2}
+			resBare := gBare.RunParallel(opts)
+			opts.Metrics = m
+			res := gObs.RunParallel(opts)
+
+			// Free: metrics must not perturb the computation.
+			if res.Rounds != resBare.Rounds || res.Replayed != resBare.Replayed ||
+				res.Converged != resBare.Converged {
+				t.Fatalf("metrics changed the trajectory: rounds %d vs %d, replayed %d vs %d",
+					res.Rounds, resBare.Rounds, res.Replayed, resBare.Replayed)
+			}
+			sBare, sObs := gBare.Schedule(), gObs.Schedule()
+			for n := 0; n < len(cfg.Players); n++ {
+				for c := 0; c < cfg.NumSections; c++ {
+					if sBare.At(n, c) != sObs.At(n, c) {
+						t.Fatalf("metrics perturbed schedule entry (%d,%d): %v vs %v",
+							n, c, sBare.At(n, c), sObs.At(n, c))
+					}
+				}
+			}
+
+			// Faithful: counters == results.
+			if got := m.Rounds.Value(); got != uint64(res.Rounds) {
+				t.Errorf("rounds counter = %d, Result.Rounds = %d", got, res.Rounds)
+			}
+			if got := m.Updates.Value(); got != uint64(res.Updates) {
+				t.Errorf("updates counter = %d, Result.Updates = %d", got, res.Updates)
+			}
+			if got := m.Replays.Value(); got != uint64(res.Replayed) {
+				t.Errorf("replays counter = %d, Result.Replayed = %d", got, res.Replayed)
+			}
+			if got := m.Solves.Value(); got != 1 {
+				t.Errorf("solves counter = %d, want 1", got)
+			}
+			wantConv := uint64(0)
+			if res.Converged {
+				wantConv = 1
+			}
+			if got := m.Converged.Value(); got != wantConv {
+				t.Errorf("converged counter = %d, want %d", got, wantConv)
+			}
+
+			// Welfare/congestion gauges hold the final trajectory points.
+			if got := m.Welfare.Value(); got != res.Welfare[len(res.Welfare)-1] {
+				t.Errorf("welfare gauge = %v, trajectory end = %v", got, res.Welfare[len(res.Welfare)-1])
+			}
+			if got := m.Congestion.Value(); got != res.Congestion[len(res.Congestion)-1] {
+				t.Errorf("congestion gauge = %v, trajectory end = %v", got, res.Congestion[len(res.Congestion)-1])
+			}
+
+			// Σ per-section load histogram == scheduled mass, summed in
+			// the same section order so the float op order matches.
+			var mass float64
+			for _, load := range gObs.SectionTotals() {
+				mass += load
+			}
+			if got := m.SectionLoad.Sum(); got != mass {
+				t.Errorf("section-load histogram sum = %v, scheduled mass = %v", got, mass)
+			}
+			if got := m.SectionLoad.Count(); got != uint64(cfg.NumSections) {
+				t.Errorf("section-load histogram count = %d, sections = %d", got, cfg.NumSections)
+			}
+
+			// Payment gauge == core.Payment fleet total.
+			if got, want := m.Payment.Value(), gObs.TotalPayment(); got != want {
+				t.Errorf("payment gauge = %v, TotalPayment = %v", got, want)
+			}
+
+			// Every round left one span in the sink.
+			if got := sink.Emitted(); got != uint64(res.Rounds) {
+				t.Errorf("sink emitted %d events, rounds = %d", got, res.Rounds)
+			}
+			if res.Rounds <= sink.Cap() {
+				if got := sink.CountKind(obs.EventSolverRound); got != res.Rounds {
+					t.Errorf("sink retains %d solver_round events, want %d", got, res.Rounds)
+				}
+			}
+
+			// The Prometheus exposition reproduces the registry exactly.
+			var buf bytes.Buffer
+			if err := reg.WritePrometheus(&buf); err != nil {
+				t.Fatal(err)
+			}
+			exp := buf.String()
+			if got := promValue(t, exp, "olev_solver_rounds_total"); got != float64(res.Rounds) {
+				t.Errorf("exported rounds = %v, want %d", got, res.Rounds)
+			}
+			if got := promValue(t, exp, "olev_solver_section_load_kw_sum"); got != mass {
+				t.Errorf("exported load sum = %v, want %v", got, mass)
+			}
+			if got := promValue(t, exp, "olev_solver_payment_usd"); got != gObs.TotalPayment() {
+				t.Errorf("exported payment = %v, want %v", got, gObs.TotalPayment())
+			}
+		})
+	}
+}
+
+// TestObsAccumulatesAcrossSolves checks the bundle's counters are
+// cumulative across back-to-back solves on one registry — the shape
+// the coordinator and the coupled day rely on — with no resets or
+// double counting at solve boundaries.
+func TestObsAccumulatesAcrossSolves(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	reg := obs.NewRegistry()
+	m := NewMetrics(reg, nil)
+
+	var wantRounds, wantUpdates uint64
+	for i := 0; i < 4; i++ {
+		cfg := randomInstance(t, rng, i%2 == 0)
+		g, err := NewGame(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := g.RunParallel(ParallelOptions{Tolerance: 1e-7, MaxRounds: 5000, Parallelism: 2, Metrics: m})
+		wantRounds += uint64(res.Rounds)
+		wantUpdates += uint64(res.Updates)
+	}
+	if got := m.Solves.Value(); got != 4 {
+		t.Fatalf("solves = %d, want 4", got)
+	}
+	if got := m.Rounds.Value(); got != wantRounds {
+		t.Fatalf("rounds = %d, want %d", got, wantRounds)
+	}
+	if got := m.Updates.Value(); got != wantUpdates {
+		t.Fatalf("updates = %d, want %d", got, wantUpdates)
+	}
+}

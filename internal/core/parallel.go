@@ -75,6 +75,12 @@ type ParallelOptions struct {
 	Seed int64
 	// OnRound, if non-nil, observes the game after every round.
 	OnRound func(round int, g *Game)
+	// Metrics, if non-nil, receives solver telemetry (rounds, deltas,
+	// welfare trajectory, end-of-solve reconciliation values). Nil is
+	// the zero-overhead off switch; armed, it adds only atomic stores
+	// per round and never changes results — both halves of that
+	// contract are asserted by the conformance tests.
+	Metrics *Metrics
 }
 
 // DefaultBatchSize is the speculative block size when
@@ -143,8 +149,11 @@ func (e *roundEngine) loop(opts ParallelOptions) ParallelResult {
 		maxDelta := e.round()
 		res.Rounds = round
 		res.Updates += e.n
-		res.Welfare = append(res.Welfare, e.welfare())
-		res.Congestion = append(res.Congestion, e.congestion())
+		w := e.welfare()
+		cd := e.congestion()
+		res.Welfare = append(res.Welfare, w)
+		res.Congestion = append(res.Congestion, cd)
+		opts.Metrics.observeRound(round, maxDelta, w, cd)
 		if opts.OnRound != nil {
 			opts.OnRound(round, e.g)
 		}
@@ -154,6 +163,7 @@ func (e *roundEngine) loop(opts ParallelOptions) ParallelResult {
 		}
 	}
 	res.Replayed = e.replayed - replayedBefore
+	opts.Metrics.observeSolve(e.g, &res)
 	return res
 }
 

@@ -6,6 +6,8 @@ import (
 	"math/rand"
 	"sort"
 	"testing"
+
+	"olevgrid/internal/obs"
 )
 
 // parallelTestGame builds a moderately heterogeneous game for the
@@ -220,6 +222,48 @@ func TestRoundEngineSteadyStateZeroAllocs(t *testing.T) {
 	allocs = testing.AllocsPerRun(50, func() { e.round() })
 	if allocs != 0 {
 		t.Fatalf("steady-state shuffled round allocates %v times, want 0", allocs)
+	}
+}
+
+// TestInstrumentedRoundZeroAllocs is the "free" half of the
+// observability conformance harness: a steady-state round observed
+// through the metrics bundle must stay allocation-free both with the
+// nil off switch and with every instrument armed (registry + event
+// sink), exactly like the bare engine guard above.
+func TestInstrumentedRoundZeroAllocs(t *testing.T) {
+	g := parallelTestGame(t, 20, 16)
+	e := newRoundEngine(g, 2, DefaultBatchSize, 1e-6)
+	defer e.stop()
+	for i := 0; i < 2000; i++ {
+		if e.round() < 1e-9 {
+			break
+		}
+	}
+
+	// Nil-sink fast path: the off switch costs one predictable branch.
+	var off *Metrics
+	allocs := testing.AllocsPerRun(50, func() {
+		d := e.round()
+		off.observeRound(1, d, e.welfare(), e.congestion())
+	})
+	if allocs != 0 {
+		t.Fatalf("nil-metrics round allocates %v times, want 0", allocs)
+	}
+
+	// Armed path: counters, gauges, histogram, and ring emission are
+	// all atomic writes into preallocated state.
+	reg := obs.NewRegistry()
+	sink := obs.NewEventSink(1024)
+	m := NewMetrics(reg, sink)
+	allocs = testing.AllocsPerRun(50, func() {
+		d := e.round()
+		m.observeRound(1, d, e.welfare(), e.congestion())
+	})
+	if allocs != 0 {
+		t.Fatalf("armed-metrics round allocates %v times, want 0", allocs)
+	}
+	if m.Rounds.Value() == 0 || sink.Emitted() == 0 {
+		t.Fatal("armed instruments saw no traffic — the guard measured nothing")
 	}
 }
 

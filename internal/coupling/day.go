@@ -78,6 +78,14 @@ type DayConfig struct {
 	// affected hours solve the game over the surviving sections only
 	// (pricing.Scenario.DeadSections). Empty means no outages.
 	SectionOutages []SectionOutage
+	// Metrics, if non-nil, observes the hour loop itself (per-hour
+	// energy/revenue/rounds, stale and outage accounting) on either
+	// solver path; Solver, if non-nil, additionally instruments the
+	// inner round engine when Parallelism routes hours through it.
+	// Both are nil-safe off switches and never change results — the
+	// golden determinism test runs with them armed.
+	Metrics *DayMetrics
+	Solver  *core.Metrics
 }
 
 // SectionOutage de-energizes one section for the hour span
@@ -299,6 +307,7 @@ func RunDay(cfg DayConfig) (*DayResult, error) {
 				Parallelism:    cfg.Parallelism,
 				Tolerance:      cfg.Tolerance,
 				DeadSections:   dead,
+				Metrics:        cfg.Solver,
 			}
 			if cfg.WarmStart && prevSchedule != nil {
 				seed, err := core.ProjectSchedule(prevSchedule, prevIDs, players, cfg.NumSections)
@@ -329,6 +338,7 @@ func RunDay(cfg DayConfig) (*DayResult, error) {
 				}
 			}
 		}
+		cfg.Metrics.observeHour(&out, n >= 1 && !skip, len(dead) > 0)
 		res.Hours[h] = out
 		res.TotalEnergyKWh += out.EnergyKWh
 		res.TotalRevenueUSD += out.RevenueUSD

@@ -1,0 +1,66 @@
+package coupling
+
+import (
+	"olevgrid/internal/obs"
+)
+
+// DayMetrics is the coupled day's telemetry bundle. It observes the
+// hour loop itself — active on both the asynchronous and round-engine
+// solver paths — while DayConfig.Solver (a *core.Metrics) separately
+// instruments the inner equilibrium engine when Parallelism routes
+// hours through it. Nil is the off switch, as everywhere in obs.
+type DayMetrics struct {
+	Hours       *obs.Counter   // hours processed (always 24 per day)
+	GameHours   *obs.Counter   // hours that actually ran a game
+	StaleHours  *obs.Counter   // hours priced on a held (stale) β
+	OutageHours *obs.Counter   // hours with at least one dead section
+	Rounds      *obs.Counter   // solver rounds summed over the day
+	Energy      *obs.Histogram // delivered kWh per hour; Sum == day total
+	Revenue     *obs.Histogram // collected $ per hour; Sum == day total
+	Beta        *obs.Gauge     // last applied β ($/MWh)
+	Sink        *obs.EventSink // one EventHour span per hour
+}
+
+// HourEnergyBuckets is the canonical per-hour energy layout (kWh): a
+// 50-OLEV hour tops out well under 2000 kWh.
+func HourEnergyBuckets() []float64 { return obs.LinearBuckets(0, 100, 20) }
+
+// NewDayMetrics registers the coupling metric catalog on r (see
+// DESIGN.md §11); r and sink may each be nil.
+func NewDayMetrics(r *obs.Registry, sink *obs.EventSink) *DayMetrics {
+	m := &DayMetrics{
+		Hours:       r.Counter("olev_day_hours_total"),
+		GameHours:   r.Counter("olev_day_game_hours_total"),
+		StaleHours:  r.Counter("olev_day_stale_hours_total"),
+		OutageHours: r.Counter("olev_day_outage_hours_total"),
+		Rounds:      r.Counter("olev_day_rounds_total"),
+		Energy:      r.Histogram("olev_day_hour_energy_kwh", HourEnergyBuckets()),
+		Revenue:     r.Histogram("olev_day_hour_revenue_usd", obs.ExponentialBuckets(1, 2, 12)),
+		Beta:        r.Gauge("olev_day_beta_per_mwh"),
+		Sink:        sink,
+	}
+	r.Help("olev_day_hour_energy_kwh", "energy delivered per coupled hour; sum equals the day total")
+	return m
+}
+
+// observeHour records one completed hour of the coupled day.
+func (m *DayMetrics) observeHour(out *HourOutcome, ranGame, outage bool) {
+	if m == nil {
+		return
+	}
+	m.Hours.Inc()
+	if ranGame {
+		m.GameHours.Inc()
+	}
+	if out.FeedStale {
+		m.StaleHours.Inc()
+	}
+	if outage {
+		m.OutageHours.Inc()
+	}
+	m.Rounds.Add(int64(out.Rounds))
+	m.Energy.Observe(out.EnergyKWh)
+	m.Revenue.Observe(out.RevenueUSD)
+	m.Beta.Set(out.BetaPerMWh)
+	m.Sink.Emit(obs.EventHour, "day", int32(out.Hour), -1, out.EnergyKWh)
+}

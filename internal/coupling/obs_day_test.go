@@ -1,0 +1,136 @@
+package coupling
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"olevgrid/internal/core"
+	"olevgrid/internal/obs"
+)
+
+// formatDay renders a DayResult exactly as the golden test does, so
+// the metrics-armed run can be compared byte-for-byte against the
+// stored golden file.
+func formatDay(res *DayResult) string {
+	var sb strings.Builder
+	sb.WriteString("hour olevs beta($/MWh) congestion unit($/MWh) energy(kWh) revenue($) rounds degraded\n")
+	for _, h := range res.Hours {
+		fmt.Fprintf(&sb, "%4d %5d %11.4f %10.6f %11.4f %11.4f %10.4f %6d %8d\n",
+			h.Hour, h.OLEVs, h.BetaPerMWh, h.CongestionDegree, h.UnitPaymentPerMWh,
+			h.EnergyKWh, h.RevenueUSD, h.Rounds, h.DegradedRounds)
+	}
+	fmt.Fprintf(&sb, "totals: energy %.4f kWh, revenue %.4f $, rounds %d, peak hour %d, mean concurrent %.4f\n",
+		res.TotalEnergyKWh, res.TotalRevenueUSD, res.TotalRounds, res.PeakHour, res.MeanConcurrent)
+	return sb.String()
+}
+
+// TestGoldenBytesIdenticalWithMetricsArmed is the coupled day's half
+// of the "free" contract: arming DayMetrics (and the solver bundle)
+// must not move a single byte of the pinned golden output. The
+// instruments observe values the hour loop already computes; if this
+// test fails, instrumentation leaked into the physics.
+func TestGoldenBytesIdenticalWithMetricsArmed(t *testing.T) {
+	reg := obs.NewRegistry()
+	sink := obs.NewEventSink(64)
+	res, err := RunDay(DayConfig{
+		Seed:    1,
+		Metrics: NewDayMetrics(reg, sink),
+		Solver:  core.NewMetrics(reg, sink),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "day.golden"))
+	if err != nil {
+		t.Fatalf("read golden (generate via TestGoldenRunDay -update): %v", err)
+	}
+	if got := formatDay(res); got != string(want) {
+		t.Fatal("metrics-armed day output differs from the golden bytes")
+	}
+}
+
+// TestDayMetricsReconcileWithDayResult proves the day bundle faithful:
+// every counter, histogram sum and event count matches the DayResult
+// the run itself reported — bit-for-bit for the float sums, since the
+// histogram accumulates hours in the same order as the totals.
+func TestDayMetricsReconcileWithDayResult(t *testing.T) {
+	reg := obs.NewRegistry()
+	sink := obs.NewEventSink(64)
+	m := NewDayMetrics(reg, sink)
+	res, err := RunDay(DayConfig{Seed: 3, Metrics: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got := m.Hours.Value(); got != 24 {
+		t.Errorf("hours counter %d, want 24", got)
+	}
+	if got := m.Rounds.Value(); got != uint64(res.TotalRounds) {
+		t.Errorf("rounds counter %d, result says %d", got, res.TotalRounds)
+	}
+	if got := m.StaleHours.Value(); got != uint64(res.StaleHours) {
+		t.Errorf("stale-hours counter %d, result says %d", got, res.StaleHours)
+	}
+	if got := m.OutageHours.Value(); got != uint64(res.OutageHours) {
+		t.Errorf("outage-hours counter %d, result says %d", got, res.OutageHours)
+	}
+	if got := m.Energy.Sum(); got != res.TotalEnergyKWh {
+		t.Errorf("energy histogram sum %v, result total %v", got, res.TotalEnergyKWh)
+	}
+	if got := m.Energy.Count(); got != 24 {
+		t.Errorf("energy histogram count %d, want 24", got)
+	}
+	if got := m.Revenue.Sum(); got != res.TotalRevenueUSD {
+		t.Errorf("revenue histogram sum %v, result total %v", got, res.TotalRevenueUSD)
+	}
+	var games uint64
+	for _, h := range res.Hours {
+		if h.Rounds > 0 {
+			games++
+		}
+	}
+	if got := m.GameHours.Value(); got < games {
+		t.Errorf("game-hours counter %d below hours with rounds %d", got, games)
+	}
+	if got := sink.CountKind(obs.EventHour); got != 24 {
+		t.Errorf("hour events %d, want 24", got)
+	}
+	if got := m.Beta.Value(); got != res.Hours[23].BetaPerMWh {
+		t.Errorf("beta gauge %v, last hour's β %v", got, res.Hours[23].BetaPerMWh)
+	}
+}
+
+// TestDayParallelIdenticalWithSolverMetrics runs the round-engine day
+// twice — bare and with both bundles armed — and requires identical
+// physics plus a populated solver bundle: the inner engine's rounds
+// must surface through the coupling layer.
+func TestDayParallelIdenticalWithSolverMetrics(t *testing.T) {
+	bare, err := RunDay(DayConfig{Seed: 5, Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	sink := obs.NewEventSink(1 << 12)
+	sm := core.NewMetrics(reg, sink)
+	inst, err := RunDay(DayConfig{
+		Seed:        5,
+		Parallelism: 2,
+		Metrics:     NewDayMetrics(reg, sink),
+		Solver:      sm,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if formatDay(bare) != formatDay(inst) {
+		t.Fatal("solver metrics changed the parallel day's output")
+	}
+	if got := sm.Rounds.Value(); got != uint64(inst.TotalRounds) {
+		t.Errorf("solver rounds counter %d, day total %d", got, inst.TotalRounds)
+	}
+	if sm.Solves.Value() == 0 {
+		t.Error("no solves counted on the round-engine path")
+	}
+}

@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"bytes"
+	"regexp"
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+var (
+	metricNameRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	labelNameRe  = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+	// A sample line of the text format: name{labels} value, where the
+	// quoted label values may contain anything except a raw unescaped
+	// quote or newline.
+	sampleLineRe = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? \S+$`)
+)
+
+// FuzzPromEncoder feeds arbitrary metric names, label names, and label
+// values (including invalid UTF-8 and multi-byte section IDs) through
+// registration and the Prometheus-text encoder, asserting the output
+// stays inside the exposition grammar: sanitized names match the
+// Prometheus alphabets, every non-comment line parses as a sample, and
+// escaped label values round-trip.
+func FuzzPromEncoder(f *testing.F) {
+	f.Add("solver_rounds_total", "section", "12")
+	f.Add("1bad-name", "le", `quote"back\slash`)
+	f.Add("", "", "")
+	f.Add("세션:rounds", "구간", "구간-7\nnewline")
+	f.Add("a{b}", "__reserved", string([]byte{0xff, 0xfe}))
+	f.Add("with:colon", "k", "v\\")
+
+	f.Fuzz(func(t *testing.T, name, labelKey, labelValue string) {
+		sn := SanitizeMetricName(name)
+		if !metricNameRe.MatchString(sn) {
+			t.Fatalf("SanitizeMetricName(%q) = %q escapes the metric-name alphabet", name, sn)
+		}
+		ln := SanitizeLabelName(labelKey)
+		if !labelNameRe.MatchString(ln) {
+			t.Fatalf("SanitizeLabelName(%q) = %q escapes the label-name alphabet", labelKey, ln)
+		}
+		if strings.HasPrefix(ln, "__") {
+			t.Fatalf("SanitizeLabelName(%q) = %q kept the reserved __ prefix", labelKey, ln)
+		}
+
+		// Escaping must round-trip: unescape(escape(v)) == v.
+		esc := EscapeLabelValue(labelValue)
+		if strings.Contains(esc, "\n") {
+			t.Fatalf("EscapeLabelValue(%q) leaked a raw newline", labelValue)
+		}
+		if got := unescapeLabelValue(esc); got != labelValue {
+			t.Fatalf("escape round-trip: %q -> %q -> %q", labelValue, esc, got)
+		}
+
+		r := NewRegistry()
+		r.Counter(name, Label{Key: labelKey, Value: labelValue}).Add(1)
+		r.Gauge(name+"_g", Label{Key: labelKey, Value: labelValue}).Set(2.5)
+		r.Histogram(name+"_h", []float64{1, 2}, Label{Key: labelKey, Value: labelValue}).Observe(1.5)
+		r.Help(name, "fuzzed help\nwith newline")
+
+		var buf bytes.Buffer
+		if err := r.WritePrometheus(&buf); err != nil {
+			t.Fatalf("WritePrometheus: %v", err)
+		}
+		out := buf.String()
+		if len(out) == 0 || !strings.HasSuffix(out, "\n") {
+			t.Fatalf("exposition must be newline-terminated, got %q", out)
+		}
+		for _, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+			if strings.HasPrefix(line, "# ") {
+				continue
+			}
+			// Label values may legally contain '{'/'}' — strip the quoted
+			// spans before matching the structural grammar.
+			if !sampleLineRe.MatchString(stripQuoted(line)) {
+				t.Fatalf("sample line %q does not parse", line)
+			}
+		}
+		// The exposition must stay valid UTF-8 whenever the inputs were.
+		if utf8.ValidString(name) && utf8.ValidString(labelKey) && utf8.ValidString(labelValue) &&
+			!utf8.ValidString(out) {
+			t.Fatalf("valid UTF-8 in, invalid UTF-8 out:\n%q", out)
+		}
+	})
+}
+
+// unescapeLabelValue inverts EscapeLabelValue.
+func unescapeLabelValue(s string) string {
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) {
+			switch s[i+1] {
+			case '\\':
+				b.WriteByte('\\')
+				i++
+				continue
+			case '"':
+				b.WriteByte('"')
+				i++
+				continue
+			case 'n':
+				b.WriteByte('\n')
+				i++
+				continue
+			}
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String()
+}
+
+// stripQuoted replaces the contents of quoted label values with 'q' so
+// the structural regexp never trips on payload bytes.
+func stripQuoted(line string) string {
+	var b strings.Builder
+	in := false
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		if in {
+			if c == '\\' {
+				i++
+				continue
+			}
+			if c == '"' {
+				in = false
+				b.WriteByte('"')
+			}
+			continue
+		}
+		if c == '"' {
+			in = true
+			b.WriteString(`"q`)
+			continue
+		}
+		b.WriteByte(c)
+	}
+	return b.String()
+}

@@ -1,0 +1,389 @@
+// Package obs is the repo's observability layer: a dependency-free
+// metrics registry (counters, gauges, histograms with fixed bucket
+// layouts) and a ring-buffered structured event sink, designed around
+// two contracts the conformance suite enforces:
+//
+//   - Free: a nil metric, nil bundle, or nil sink is a complete no-op —
+//     every mutating method is nil-receiver safe — and an armed metric
+//     performs only atomic writes on the hot path, so instrumented
+//     steady-state solver turns allocate zero bytes (asserted with
+//     testing.AllocsPerRun next to the engine's own zero-alloc guards)
+//     and never perturb the instrumented computation (golden files stay
+//     byte-identical with metrics on).
+//
+//   - Faithful: exported values reconcile exactly with ground truth —
+//     rounds counters match solver results, histogram sums match
+//     scheduled mass, payment gauges match core.Payment output — which
+//     the reconciliation property suites assert across the seeds of the
+//     differential suite.
+//
+// Export is pull-based: WritePrometheus emits the Prometheus text
+// exposition format (names and labels sanitized and escaped; see
+// prom.go), WriteJSON emits a machine-readable dump for the commands'
+// -metrics-out flags, and Handler serves both over HTTP next to the
+// pprof hooks on the long-running commands.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one name=value metric dimension.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// Counter is a monotonically non-decreasing integer metric. The zero
+// value is ready to use; a nil *Counter ignores all writes.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n (negative n is ignored: counters only go up).
+func (c *Counter) Add(n int64) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.v.Add(uint64(n))
+}
+
+// Value returns the current count; zero on a nil counter.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float metric that can move both ways. The zero value is
+// ready to use; a nil *Gauge ignores all writes.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adds d to the gauge with a CAS loop, so concurrent adders never
+// lose updates (the degraded-episode accounting relies on this).
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value; zero on a nil gauge.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket distribution metric: observation counts
+// per upper bound plus an exact running sum and count. Bucket bounds
+// are fixed at registration — the layout is part of the metric's
+// identity, so dashboards and the reconciliation tests can rely on it.
+// A nil *Histogram ignores all writes.
+type Histogram struct {
+	bounds []float64 // strictly increasing upper bounds; +Inf is implicit
+	counts []atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-updated
+	count  atomic.Uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h == nil || math.IsNaN(v) {
+		return
+	}
+	// Linear scan: bucket layouts are small and fixed, and the scan is
+	// branch-predictable — cheaper than binary search at these sizes.
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Sum returns the exact sum of all observations; zero on nil.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// Count returns the number of observations; zero on nil.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Bounds returns the bucket upper bounds (the +Inf bucket is implicit).
+func (h *Histogram) Bounds() []float64 {
+	if h == nil {
+		return nil
+	}
+	out := make([]float64, len(h.bounds))
+	copy(out, h.bounds)
+	return out
+}
+
+// BucketCounts returns the per-bucket observation counts, one entry
+// per bound plus the final +Inf bucket.
+func (h *Histogram) BucketCounts() []uint64 {
+	if h == nil {
+		return nil
+	}
+	out := make([]uint64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// LinearBuckets returns n upper bounds start, start+width, … — the
+// layout for bounded quantities like per-section loads.
+func LinearBuckets(start, width float64, n int) []float64 {
+	if n < 1 {
+		n = 1
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start + float64(i)*width
+	}
+	return out
+}
+
+// ExponentialBuckets returns n upper bounds start, start·factor, … —
+// the layout for heavy-tailed quantities like round deltas and
+// latencies.
+func ExponentialBuckets(start, factor float64, n int) []float64 {
+	if n < 1 {
+		n = 1
+	}
+	if start <= 0 {
+		start = 1
+	}
+	if factor <= 1 {
+		factor = 2
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// metricKind discriminates registry entries.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+// metric is one registered instrument.
+type metric struct {
+	name   string // sanitized
+	help   string
+	labels []Label // sanitized keys, raw values (escaped at encode time)
+	kind   metricKind
+
+	counter   *Counter
+	gauge     *Gauge
+	histogram *Histogram
+}
+
+// id is the registry deduplication key: sanitized name plus the
+// canonical label encoding.
+func (m *metric) id() string {
+	if len(m.labels) == 0 {
+		return m.name
+	}
+	s := m.name + "{"
+	for i, l := range m.labels {
+		if i > 0 {
+			s += ","
+		}
+		s += l.Key + "=" + l.Value
+	}
+	return s + "}"
+}
+
+// Registry holds named metrics. Registration (Counter/Gauge/Histogram)
+// is get-or-create and safe for concurrent use; the instruments it
+// returns are lock-free. A nil *Registry returns nil instruments from
+// every getter, which in turn ignore all writes — so "metrics off" is
+// a nil registry threaded all the way down, with no branches at the
+// call sites beyond the instruments' own nil checks.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]*metric
+	order   []string // registration order, for stable export
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]*metric)}
+}
+
+// lookup returns the existing metric under the sanitized identity, or
+// registers the provided one.
+func (r *Registry) lookup(m *metric) *metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	id := m.id()
+	if got, ok := r.metrics[id]; ok {
+		return got
+	}
+	r.metrics[id] = m
+	r.order = append(r.order, id)
+	return m
+}
+
+// sanitizeLabels returns the label set with sanitized keys, sorted by
+// key so registration order never changes a metric's identity.
+func sanitizeLabels(labels []Label) []Label {
+	if len(labels) == 0 {
+		return nil
+	}
+	out := make([]Label, len(labels))
+	for i, l := range labels {
+		out[i] = Label{Key: SanitizeLabelName(l.Key), Value: l.Value}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// Counter returns the counter registered under name+labels, creating
+// it on first use. Conflicting kinds under one identity panic: that is
+// a programming error, not an operational condition.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	m := r.lookup(&metric{
+		name:    SanitizeMetricName(name),
+		labels:  sanitizeLabels(labels),
+		kind:    kindCounter,
+		counter: &Counter{},
+	})
+	if m.kind != kindCounter {
+		panic(fmt.Sprintf("obs: %s already registered with a different kind", name))
+	}
+	return m.counter
+}
+
+// Gauge returns the gauge registered under name+labels.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	m := r.lookup(&metric{
+		name:   SanitizeMetricName(name),
+		labels: sanitizeLabels(labels),
+		kind:   kindGauge,
+		gauge:  &Gauge{},
+	})
+	if m.kind != kindGauge {
+		panic(fmt.Sprintf("obs: %s already registered with a different kind", name))
+	}
+	return m.gauge
+}
+
+// Histogram returns the histogram registered under name+labels with
+// the given bucket bounds. The bounds are fixed by whichever call
+// registers first; they must be strictly increasing (violations are
+// repaired by dropping out-of-order bounds rather than panicking, so a
+// fuzzed layout cannot take the registry down).
+func (r *Registry) Histogram(name string, bounds []float64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	clean := make([]float64, 0, len(bounds))
+	for _, b := range bounds {
+		if math.IsNaN(b) {
+			continue
+		}
+		if len(clean) > 0 && b <= clean[len(clean)-1] {
+			continue
+		}
+		clean = append(clean, b)
+	}
+	h := &Histogram{bounds: clean, counts: make([]atomic.Uint64, len(clean)+1)}
+	m := r.lookup(&metric{
+		name:      SanitizeMetricName(name),
+		labels:    sanitizeLabels(labels),
+		kind:      kindHistogram,
+		histogram: h,
+	})
+	if m.kind != kindHistogram {
+		panic(fmt.Sprintf("obs: %s already registered with a different kind", name))
+	}
+	return m.histogram
+}
+
+// Help attaches a help string to every metric sharing the (sanitized)
+// name; shown as # HELP in the Prometheus exposition.
+func (r *Registry) Help(name, help string) {
+	if r == nil {
+		return
+	}
+	name = SanitizeMetricName(name)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, m := range r.metrics {
+		if m.name == name {
+			m.help = help
+		}
+	}
+}
+
+// snapshot returns the registered metrics in registration order.
+func (r *Registry) snapshot() []*metric {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*metric, 0, len(r.order))
+	for _, id := range r.order {
+		out = append(out, r.metrics[id])
+	}
+	return out
+}

@@ -1,0 +1,300 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("solver_rounds_total")
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // ignored: counters are monotone
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("solver_rounds_total"); again != c {
+		t.Fatal("re-registration returned a different counter")
+	}
+}
+
+func TestGaugeSetAddConcurrent(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("welfare")
+	g.Set(10)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				g.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := g.Value(); got != 8010 {
+		t.Fatalf("gauge = %v, want 8010 (lost CAS updates)", got)
+	}
+}
+
+func TestHistogramBucketsSumCount(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("load_kw", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1.5, 3, 100, math.NaN()} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 4 {
+		t.Fatalf("count = %d, want 4 (NaN must be dropped)", got)
+	}
+	if got := h.Sum(); got != 105 {
+		t.Fatalf("sum = %v, want 105", got)
+	}
+	want := []uint64{1, 1, 1, 1} // ≤1, ≤2, ≤4, +Inf
+	for i, c := range h.BucketCounts() {
+		if c != want[i] {
+			t.Fatalf("bucket %d = %d, want %d", i, c, want[i])
+		}
+	}
+}
+
+func TestHistogramRepairsBadBounds(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("weird", []float64{3, 1, math.NaN(), 3, 5})
+	if got := h.Bounds(); len(got) != 2 || got[0] != 3 || got[1] != 5 {
+		t.Fatalf("bounds = %v, want [3 5]", got)
+	}
+}
+
+func TestLabelIdentityOrderIndependent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x", Label{"b", "2"}, Label{"a", "1"})
+	b := r.Counter("x", Label{"a", "1"}, Label{"b", "2"})
+	if a != b {
+		t.Fatal("label order changed metric identity")
+	}
+	c := r.Counter("x", Label{"a", "1"}, Label{"b", "3"})
+	if a == c {
+		t.Fatal("distinct label values collapsed into one metric")
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("a")
+	g := r.Gauge("b")
+	h := r.Histogram("c", []float64{1})
+	var s *EventSink
+	// All of these must be no-ops, not panics.
+	c.Inc()
+	c.Add(5)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	s.Emit(EventSolverRound, "x", 0, 0, 0)
+	if c.Value() != 0 || g.Value() != 0 || h.Sum() != 0 || h.Count() != 0 ||
+		s.Emitted() != 0 || s.Snapshot() != nil || s.Cap() != 0 {
+		t.Fatal("nil instruments must read as zero")
+	}
+}
+
+func TestKindConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dual")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge must panic")
+		}
+	}()
+	r.Gauge("dual")
+}
+
+func TestSanitizeMetricName(t *testing.T) {
+	cases := map[string]string{
+		"good_name:total": "good_name:total",
+		"with-dash":       "with_dash",
+		"1leading":        "_1leading",
+		"":                "_",
+		"세션.rounds":       "_______rounds", // 3-byte runes ×2 + '.' → 7 underscores
+	}
+	for in, want := range cases {
+		if got := SanitizeMetricName(in); got != want {
+			t.Errorf("SanitizeMetricName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestSanitizeLabelName(t *testing.T) {
+	if got := SanitizeLabelName("a:b"); got != "a_b" {
+		t.Errorf("colon must be invalid in label names, got %q", got)
+	}
+	if got := SanitizeLabelName("__reserved"); got != "u__reserved" {
+		t.Errorf("reserved __ prefix must be rewritten, got %q", got)
+	}
+}
+
+func TestEscapeLabelValue(t *testing.T) {
+	if got := EscapeLabelValue("a\\b\"c\nd"); got != `a\\b\"c\nd` {
+		t.Fatalf("escape = %q", got)
+	}
+	// UTF-8 passes through verbatim.
+	if got := EscapeLabelValue("구간-7"); got != "구간-7" {
+		t.Fatalf("UTF-8 must pass through, got %q", got)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("rounds_total", Label{"engine", "parallel"}).Add(7)
+	r.Help("rounds_total", "solver rounds")
+	r.Gauge("welfare").Set(1.5)
+	h := r.Histogram("delta", []float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(5)
+	h.Observe(50)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# HELP rounds_total solver rounds",
+		"# TYPE rounds_total counter",
+		`rounds_total{engine="parallel"} 7`,
+		"# TYPE welfare gauge",
+		"welfare 1.5",
+		"# TYPE delta histogram",
+		`delta_bucket{le="1"} 1`,
+		`delta_bucket{le="10"} 2`,
+		`delta_bucket{le="+Inf"} 3`,
+		"delta_sum 55.5",
+		"delta_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestJSONDumpRoundTrips(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Add(3)
+	r.Gauge("g").Set(math.Inf(1)) // must be neutralized, not emitted as Inf
+	r.Histogram("h", []float64{2}).Observe(1)
+	sink := NewEventSink(4)
+	sink.Emit(EventFailover, "standby", -1, 2, 2)
+
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, r, sink); err != nil {
+		t.Fatal(err)
+	}
+	var d Dump
+	if err := json.Unmarshal(buf.Bytes(), &d); err != nil {
+		t.Fatalf("dump is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if len(d.Metrics) != 3 || d.Emitted != 1 || len(d.Events) != 1 {
+		t.Fatalf("dump shape = %d metrics, %d emitted, %d events", len(d.Metrics), d.Emitted, len(d.Events))
+	}
+	if d.Events[0].Kind != "failover" || d.Events[0].Actor != "standby" || d.Events[0].Epoch != 2 {
+		t.Fatalf("event round-trip broke: %+v", d.Events[0])
+	}
+}
+
+func TestEventSinkRingAndOrder(t *testing.T) {
+	s := NewEventSink(3)
+	for i := 1; i <= 5; i++ {
+		s.Emit(EventSolverRound, "engine", int32(i), 1, float64(i))
+	}
+	if s.Emitted() != 5 {
+		t.Fatalf("emitted = %d, want 5", s.Emitted())
+	}
+	evs := s.Snapshot()
+	if len(evs) != 3 {
+		t.Fatalf("retained %d events, want 3", len(evs))
+	}
+	for i, e := range evs {
+		if want := uint64(i + 3); e.Seq != want {
+			t.Fatalf("snapshot[%d].Seq = %d, want %d (oldest-first order)", i, e.Seq, want)
+		}
+	}
+	if got := evs[0].Actor(); got != "engine" {
+		t.Fatalf("actor = %q", got)
+	}
+}
+
+func TestEventSinkActorTruncation(t *testing.T) {
+	s := NewEventSink(1)
+	long := strings.Repeat("v", 40)
+	s.Emit(EventQuote, long, 0, 0, 0)
+	if got := s.Snapshot()[0].Actor(); got != strings.Repeat("v", 16) {
+		t.Fatalf("actor = %q, want 16-byte truncation", got)
+	}
+}
+
+func TestEventSinkConcurrentEmit(t *testing.T) {
+	s := NewEventSink(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				s.Emit(EventPropose, "agent", int32(i), int32(w), float64(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Emitted() != 4000 {
+		t.Fatalf("emitted = %d, want 4000", s.Emitted())
+	}
+	evs := s.Snapshot()
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq <= evs[i-1].Seq {
+			t.Fatalf("snapshot out of order at %d: %d then %d", i, evs[i-1].Seq, evs[i].Seq)
+		}
+	}
+}
+
+func TestHandlerServesAllEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("hits").Inc()
+	sink := NewEventSink(2)
+	h := Handler(r, sink)
+
+	for path, want := range map[string]string{
+		"/metrics":      "hits 1",
+		"/":             "hits 1",
+		"/metrics.json": `"name": "hits"`,
+		"/debug/vars":   "memstats",
+	} {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", path, nil))
+		if rec.Code != 200 {
+			t.Errorf("%s: status %d", path, rec.Code)
+		}
+		if !strings.Contains(rec.Body.String(), want) {
+			t.Errorf("%s: body missing %q", path, want)
+		}
+	}
+}
+
+func TestBucketHelpers(t *testing.T) {
+	lin := LinearBuckets(0, 10, 3)
+	if len(lin) != 3 || lin[0] != 0 || lin[2] != 20 {
+		t.Fatalf("LinearBuckets = %v", lin)
+	}
+	exp := ExponentialBuckets(1e-9, 10, 4)
+	if len(exp) != 4 || exp[3] != 1e-6 {
+		t.Fatalf("ExponentialBuckets = %v", exp)
+	}
+	if got := ExponentialBuckets(-1, 0.5, 2); got[0] != 1 || got[1] != 2 {
+		t.Fatalf("degenerate args not repaired: %v", got)
+	}
+}

@@ -1,0 +1,305 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// SanitizeMetricName maps an arbitrary string onto the Prometheus
+// metric-name alphabet [a-zA-Z_:][a-zA-Z0-9_:]*. Every invalid byte
+// becomes '_' (so distinct UTF-8 inputs may collide — callers that
+// need to preserve identity should carry the raw value in a label,
+// where it is escaped rather than rewritten). An empty or
+// digit-leading result is prefixed with '_'.
+func SanitizeMetricName(name string) string {
+	return sanitize(name, true)
+}
+
+// SanitizeLabelName maps an arbitrary string onto the label-name
+// alphabet [a-zA-Z_][a-zA-Z0-9_]*. Leading "__" is reserved by
+// Prometheus, so it is rewritten to "u__".
+func SanitizeLabelName(name string) string {
+	s := sanitize(name, false)
+	if strings.HasPrefix(s, "__") {
+		s = "u" + s
+	}
+	return s
+}
+
+// sanitize is the shared alphabet filter; colons are legal only in
+// metric names.
+func sanitize(name string, allowColon bool) string {
+	if name == "" {
+		return "_"
+	}
+	valid := func(b byte, first bool) bool {
+		switch {
+		case b >= 'a' && b <= 'z', b >= 'A' && b <= 'Z', b == '_':
+			return true
+		case b == ':':
+			return allowColon
+		case b >= '0' && b <= '9':
+			return !first
+		}
+		return false
+	}
+	clean := true
+	for i := 0; i < len(name); i++ {
+		if !valid(name[i], i == 0) {
+			clean = false
+			break
+		}
+	}
+	if clean {
+		return name
+	}
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i := 0; i < len(name); i++ {
+		if valid(name[i], b.Len() == 0) {
+			b.WriteByte(name[i])
+		} else if b.Len() == 0 && name[i] >= '0' && name[i] <= '9' {
+			// A leading digit is valid later; keep it behind a '_'.
+			b.WriteByte('_')
+			b.WriteByte(name[i])
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// EscapeLabelValue escapes a label value per the text exposition
+// format: backslash, double-quote, and newline are escaped; all other
+// bytes (including multi-byte UTF-8 such as section IDs) pass
+// through verbatim.
+func EscapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v) + 4)
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(v[i])
+		}
+	}
+	return b.String()
+}
+
+// formatValue renders a sample value the way Prometheus expects:
+// shortest round-trip float, with +Inf/-Inf/NaN spelled out.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// labelString renders {k="v",...} for a label set plus optional extra
+// pairs (used for histogram `le`); empty sets render as "".
+func labelString(labels []Label, extra ...Label) string {
+	if len(labels)+len(extra) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	write := func(l Label) {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(EscapeLabelValue(l.Value))
+		b.WriteByte('"')
+	}
+	for _, l := range labels {
+		write(l)
+	}
+	for _, l := range extra {
+		write(l)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// WritePrometheus writes every registered metric in the Prometheus
+// text exposition format (version 0.0.4): # HELP/# TYPE headers once
+// per metric family, then one sample line per label set, with
+// histograms expanded into cumulative _bucket/_sum/_count series.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	seen := make(map[string]bool)
+	metrics := r.snapshot()
+	for _, m := range metrics {
+		if !seen[m.name] {
+			seen[m.name] = true
+			if m.help != "" {
+				fmt.Fprintf(bw, "# HELP %s %s\n", m.name, strings.ReplaceAll(m.help, "\n", " "))
+			}
+			fmt.Fprintf(bw, "# TYPE %s %s\n", m.name, typeString(m.kind))
+		}
+		switch m.kind {
+		case kindCounter:
+			fmt.Fprintf(bw, "%s%s %d\n", m.name, labelString(m.labels), m.counter.Value())
+		case kindGauge:
+			fmt.Fprintf(bw, "%s%s %s\n", m.name, labelString(m.labels), formatValue(m.gauge.Value()))
+		case kindHistogram:
+			h := m.histogram
+			bounds := h.Bounds()
+			counts := h.BucketCounts()
+			var cum uint64
+			for i, c := range counts {
+				cum += c
+				le := "+Inf"
+				if i < len(bounds) {
+					le = formatValue(bounds[i])
+				}
+				fmt.Fprintf(bw, "%s_bucket%s %d\n",
+					m.name, labelString(m.labels, Label{Key: "le", Value: le}), cum)
+			}
+			fmt.Fprintf(bw, "%s_sum%s %s\n", m.name, labelString(m.labels), formatValue(h.Sum()))
+			fmt.Fprintf(bw, "%s_count%s %d\n", m.name, labelString(m.labels), h.Count())
+		}
+	}
+	return bw.Flush()
+}
+
+func typeString(k metricKind) string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// jsonMetric is one entry of the -metrics-out dump.
+type jsonMetric struct {
+	Name    string            `json:"name"`
+	Kind    string            `json:"kind"`
+	Labels  map[string]string `json:"labels,omitempty"`
+	Value   *float64          `json:"value,omitempty"`   // counter/gauge
+	Sum     *float64          `json:"sum,omitempty"`     // histogram
+	Count   *uint64           `json:"count,omitempty"`   // histogram
+	Bounds  []float64         `json:"bounds,omitempty"`  // histogram
+	Buckets []uint64          `json:"buckets,omitempty"` // histogram, non-cumulative
+}
+
+// jsonEvent is one entry of the events array in the dump.
+type jsonEvent struct {
+	Seq   uint64  `json:"seq"`
+	Kind  string  `json:"kind"`
+	Actor string  `json:"actor,omitempty"`
+	Round int32   `json:"round"`
+	Epoch int32   `json:"epoch"`
+	Value float64 `json:"value"`
+}
+
+// Dump is the -metrics-out JSON document: the full metric state plus
+// (optionally) the retained tail of the event ring.
+type Dump struct {
+	Metrics []jsonMetric `json:"metrics"`
+	Events  []jsonEvent  `json:"events,omitempty"`
+	Emitted uint64       `json:"events_emitted,omitempty"`
+}
+
+// BuildDump snapshots the registry (and sink, which may be nil) into
+// a Dump ready for json.Marshal.
+func BuildDump(r *Registry, sink *EventSink) Dump {
+	var d Dump
+	for _, m := range r.snapshot() {
+		jm := jsonMetric{Name: m.name, Kind: typeString(m.kind)}
+		if len(m.labels) > 0 {
+			jm.Labels = make(map[string]string, len(m.labels))
+			for _, l := range m.labels {
+				jm.Labels[l.Key] = l.Value
+			}
+		}
+		switch m.kind {
+		case kindCounter:
+			v := float64(m.counter.Value())
+			jm.Value = &v
+		case kindGauge:
+			v := m.gauge.Value()
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0 // JSON has no NaN/Inf; dumps must stay parseable
+			}
+			jm.Value = &v
+		case kindHistogram:
+			s, c := m.histogram.Sum(), m.histogram.Count()
+			jm.Sum = &s
+			jm.Count = &c
+			jm.Bounds = m.histogram.Bounds()
+			jm.Buckets = m.histogram.BucketCounts()
+		}
+		d.Metrics = append(d.Metrics, jm)
+	}
+	sort.Slice(d.Metrics, func(i, j int) bool {
+		if d.Metrics[i].Name != d.Metrics[j].Name {
+			return d.Metrics[i].Name < d.Metrics[j].Name
+		}
+		return fmt.Sprint(d.Metrics[i].Labels) < fmt.Sprint(d.Metrics[j].Labels)
+	})
+	if sink != nil {
+		d.Emitted = sink.Emitted()
+		for _, e := range sink.Snapshot() {
+			d.Events = append(d.Events, jsonEvent{
+				Seq: e.Seq, Kind: e.Kind.String(), Actor: e.Actor(),
+				Round: e.Round, Epoch: e.Epoch, Value: e.Value,
+			})
+		}
+	}
+	return d
+}
+
+// WriteJSON writes the indented -metrics-out document.
+func WriteJSON(w io.Writer, r *Registry, sink *EventSink) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(BuildDump(r, sink))
+}
+
+// Handler serves the registry over HTTP: "/metrics" (and "/") in
+// Prometheus text format, "/metrics.json" as the JSON dump, and
+// "/debug/vars" via the process expvar handler. Mount it next to
+// net/http/pprof on long-running commands.
+func Handler(r *Registry, sink *EventSink) http.Handler {
+	mux := http.NewServeMux()
+	prom := func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	}
+	mux.HandleFunc("/metrics", prom)
+	mux.HandleFunc("/", prom)
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = WriteJSON(w, r, sink)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
+}

@@ -107,6 +107,7 @@ func (p Nonlinear) Run(s Scenario) (Outcome, error) {
 			Parallelism: s.Parallelism,
 			Order:       order,
 			Seed:        s.Seed,
+			Metrics:     s.Metrics,
 			OnRound: func(round int, g *core.Game) {
 				if s.OnUpdate != nil {
 					s.OnUpdate(round*g.NumPlayers(), g)

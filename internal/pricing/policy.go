@@ -61,6 +61,12 @@ type Scenario struct {
 	// update (ignored by the linear policy, whose allocation is
 	// one-shot).
 	OnUpdate func(update int, g *core.Game)
+	// Metrics, if non-nil, receives solver telemetry from the round
+	// engine when Parallelism routes the nonlinear dynamics through
+	// it (see core.ParallelOptions.Metrics). The asynchronous path
+	// and the linear policy ignore it; nil is the zero-overhead off
+	// switch either way.
+	Metrics *core.Metrics
 	// DeadSections lists de-energized charging sections (a roadway
 	// segment outage): the nonlinear game is solved over the surviving
 	// sections only — the overload penalty keeps guarding ηP_line on

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"olevgrid/internal/core"
+	"olevgrid/internal/obs"
 	"olevgrid/internal/v2i"
 )
 
@@ -29,6 +30,13 @@ type AgentConfig struct {
 	// local proportional-fair setpoint instead of blocking forever.
 	// Nil keeps the pre-failover blocking behavior.
 	Autonomy *AutonomyConfig
+	// Metrics, if non-nil, mirrors the degraded-mode accounting
+	// (DegradedEpisodes/Reconnects/Heartbeats) onto shared obs gauges
+	// as the events happen and emits degraded/reconnect spans; the
+	// autonomy conformance test proves the gauges equal the legacy
+	// AgentResult counters. A fleet may share one bundle — the gauge
+	// Add is CAS-exact under concurrency. Nil is the off switch.
+	Metrics *Metrics
 }
 
 // Validate reports the first problem with the configuration.
@@ -139,11 +147,16 @@ func (a *Agent) Run(ctx context.Context) (AgentResult, error) {
 				// budget: hold the local proportional-fair fallback and
 				// keep listening — a recovered coordinator (or a
 				// standby's first quote) resumes the exact protocol.
-				if !a.degraded {
+				first := !a.degraded
+				if first {
 					res.DegradedEpisodes++
 					a.degraded = true
 				}
 				res.LastFallbackKW = a.fallbackKW(time.Now())
+				if m := a.cfg.Metrics; m != nil && first {
+					m.DegradedEpisodes.Add(1)
+					m.Sink.Emit(obs.EventDegraded, a.cfg.VehicleID, int32(res.Rounds), -1, res.LastFallbackKW)
+				}
 				continue
 			}
 			if isDeparture(err) && res.Rounds > 0 {
@@ -157,6 +170,10 @@ func (a *Agent) Run(ctx context.Context) (AgentResult, error) {
 		if a.degraded {
 			a.degraded = false
 			res.Reconnects++
+			if m := a.cfg.Metrics; m != nil {
+				m.Reconnects.Add(1)
+				m.Sink.Emit(obs.EventReconnect, a.cfg.VehicleID, int32(res.Rounds), -1, 0)
+			}
 		}
 		// Drop replays and reordered-late frames (a peer that does not
 		// stamp sequence numbers sends 0 and bypasses the filter).
@@ -183,6 +200,9 @@ func (a *Agent) Run(ctx context.Context) (AgentResult, error) {
 			res.Converged = true
 		case v2i.TypeHeartbeat:
 			res.Heartbeats++ // liveness only; receiving it reset the silence clock
+			if m := a.cfg.Metrics; m != nil {
+				m.Heartbeats.Add(1)
+			}
 		case v2i.TypeBye:
 			return res, nil
 		default:

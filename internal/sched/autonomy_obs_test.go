@@ -1,0 +1,146 @@
+package sched
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"olevgrid/internal/core"
+	"olevgrid/internal/obs"
+	"olevgrid/internal/v2i"
+)
+
+// TestAutonomyGaugesMirrorLegacyCounters replays the autonomy test
+// matrix — silence-tripped degradation, staleness shedding, a
+// reconnect, and a heartbeat-kept session — with one shared Metrics
+// bundle armed on every agent, and proves the migrated obs gauges
+// (DegradedEpisodes/Reconnects/Heartbeats) equal the legacy
+// AgentResult counters summed over the whole matrix, with the event
+// sink carrying exactly one span per episode transition.
+func TestAutonomyGaugesMirrorLegacyCounters(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	reg := obs.NewRegistry()
+	sink := obs.NewEventSink(256)
+	m := NewMetrics(reg, sink)
+	spec := nonlinearSpec()
+
+	scenarios := []struct {
+		name string
+		run  func(t *testing.T) AgentResult
+	}{
+		{"silence-degrades", func(t *testing.T) AgentResult {
+			grid, done := autonomyRig(t, ctx, AgentConfig{
+				VehicleID:    "ev-a",
+				MaxPowerKW:   200,
+				Satisfaction: core.LogSatisfaction{Weight: 1},
+				Autonomy:     &AutonomyConfig{QuoteDeadline: 20 * time.Millisecond},
+				Metrics:      m,
+			})
+			sendQuote(t, ctx, grid, 1, v2i.Quote{
+				VehicleID: "ev-a", Others: []float64{0, 0, 0}, Cost: spec,
+				Round: 1, Epoch: 1, FleetSize: 4,
+			})
+			time.Sleep(120 * time.Millisecond)
+			sendBye(t, ctx, grid, 2)
+			return <-done
+		}},
+		{"stale-state-sheds", func(t *testing.T) AgentResult {
+			grid, done := autonomyRig(t, ctx, AgentConfig{
+				VehicleID:    "ev-b",
+				MaxPowerKW:   200,
+				Satisfaction: core.LogSatisfaction{Weight: 1},
+				Autonomy: &AutonomyConfig{
+					QuoteDeadline: 20 * time.Millisecond,
+					StalenessTTL:  time.Millisecond,
+				},
+				Metrics: m,
+			})
+			sendQuote(t, ctx, grid, 1, v2i.Quote{
+				VehicleID: "ev-b", Others: []float64{0, 0}, Cost: spec,
+				Round: 1, Epoch: 1, FleetSize: 3,
+			})
+			time.Sleep(80 * time.Millisecond)
+			sendBye(t, ctx, grid, 2)
+			return <-done
+		}},
+		{"reconnect-ends-episode", func(t *testing.T) AgentResult {
+			grid, done := autonomyRig(t, ctx, AgentConfig{
+				VehicleID:    "ev-c",
+				MaxPowerKW:   200,
+				Satisfaction: core.LogSatisfaction{Weight: 1},
+				Autonomy:     &AutonomyConfig{QuoteDeadline: 20 * time.Millisecond},
+				Metrics:      m,
+			})
+			sendQuote(t, ctx, grid, 1, v2i.Quote{
+				VehicleID: "ev-c", Others: []float64{0, 0}, Cost: spec,
+				Round: 1, Epoch: 1, FleetSize: 2,
+			})
+			time.Sleep(80 * time.Millisecond)
+			sendQuote(t, ctx, grid, 2, v2i.Quote{
+				VehicleID: "ev-c", Others: []float64{1, 1}, Cost: spec,
+				Round: 2, Epoch: 1, FleetSize: 2,
+			})
+			sendBye(t, ctx, grid, 3)
+			return <-done
+		}},
+		{"heartbeats-prevent-degrade", func(t *testing.T) AgentResult {
+			grid, done := autonomyRig(t, ctx, AgentConfig{
+				VehicleID:    "ev-d",
+				MaxPowerKW:   200,
+				Satisfaction: core.LogSatisfaction{Weight: 1},
+				Autonomy:     &AutonomyConfig{QuoteDeadline: 80 * time.Millisecond},
+				Metrics:      m,
+			})
+			var seq uint64
+			for i := 0; i < 4; i++ {
+				seq++
+				env, err := v2i.Seal(v2i.TypeHeartbeat, "grid", seq, v2i.Heartbeat{Epoch: 1, Round: i})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := grid.Send(ctx, env); err != nil {
+					t.Fatal(err)
+				}
+				time.Sleep(20 * time.Millisecond)
+			}
+			seq++
+			sendBye(t, ctx, grid, seq)
+			return <-done
+		}},
+	}
+
+	var degraded, reconnects, heartbeats int
+	for _, sc := range scenarios {
+		res := sc.run(t)
+		degraded += res.DegradedEpisodes
+		reconnects += res.Reconnects
+		heartbeats += res.Heartbeats
+	}
+	if degraded == 0 || reconnects == 0 || heartbeats == 0 {
+		t.Fatalf("matrix exercised nothing: degraded=%d reconnects=%d heartbeats=%d",
+			degraded, reconnects, heartbeats)
+	}
+
+	// The migrated gauges must equal the legacy counters exactly —
+	// the same events, counted at the same sites, just shared.
+	if got := int(m.DegradedEpisodes.Value()); got != degraded {
+		t.Errorf("degraded-episodes gauge %d, legacy sum %d", got, degraded)
+	}
+	if got := int(m.Reconnects.Value()); got != reconnects {
+		t.Errorf("reconnects gauge %d, legacy sum %d", got, reconnects)
+	}
+	if got := int(m.Heartbeats.Value()); got != heartbeats {
+		t.Errorf("heartbeats gauge %d, legacy sum %d", got, heartbeats)
+	}
+
+	// One span per transition: episode starts and reconnects land in
+	// the sink exactly once each, never once per silent timeout tick.
+	if got := sink.CountKind(obs.EventDegraded); got != degraded {
+		t.Errorf("degraded events %d, episodes %d", got, degraded)
+	}
+	if got := sink.CountKind(obs.EventReconnect); got != reconnects {
+		t.Errorf("reconnect events %d, reconnects %d", got, reconnects)
+	}
+}

@@ -170,6 +170,14 @@ type CoordinatorConfig struct {
 	// Seed shuffles the per-round update order and drives retry
 	// jitter.
 	Seed int64
+	// Metrics, if non-nil, receives control-plane telemetry (rounds,
+	// quote/propose spans, retry/stale/fault accounting, the fencing
+	// epoch). Share one bundle across a session's incarnations —
+	// primary, standby, resumed coordinator — and the counters stay
+	// cumulative with no double counting across failover; the chaos
+	// conformance suite runs with it armed under -race. Nil is the
+	// zero-overhead off switch.
+	Metrics *Metrics
 }
 
 // Report summarizes a coordinator run.
@@ -470,6 +478,9 @@ func (c *Coordinator) Run(ctx context.Context) (Report, error) {
 					maxDelta = math.Max(maxDelta, c.cfg.Tolerance*2)
 				}
 				report.Departed++
+				if m := c.cfg.Metrics; m != nil {
+					m.Departed.Inc()
+				}
 			case c.breakerTrips(id) && ctx.Err() == nil:
 				// Circuit breaker: the vehicle has failed EvictAfter
 				// consecutive turns; treat it as gone so its stranded
@@ -480,10 +491,16 @@ func (c *Coordinator) Run(ctx context.Context) (Report, error) {
 					maxDelta = math.Max(maxDelta, c.cfg.Tolerance*2)
 				}
 				report.Evicted++
+				if m := c.cfg.Metrics; m != nil {
+					m.Evicted.Inc()
+				}
 			case (c.cfg.SkipUnresponsive || c.cfg.EvictAfter > 0) && ctx.Err() == nil:
 				c.consecFails[id]++
 				report.Skipped++
 				roundSkipped++
+				if m := c.cfg.Metrics; m != nil {
+					m.Skipped.Inc()
+				}
 			default:
 				return fmt.Errorf("sched: round %d vehicle %s: %w", round, id, err)
 			}
@@ -497,6 +514,9 @@ func (c *Coordinator) Run(ctx context.Context) (Report, error) {
 		if sequentialNext && batch > 1 {
 			batch = 1
 			report.DegradedRounds++
+			if m := c.cfg.Metrics; m != nil {
+				m.Degraded.Inc()
+			}
 		}
 		if batch > 1 {
 			if err := c.runBatchedRound(ctx, ids, round, batch, handleTurn); err != nil {
@@ -530,6 +550,7 @@ func (c *Coordinator) Run(ctx context.Context) (Report, error) {
 		}
 		report.Rounds = round
 		c.lastRound = round
+		c.cfg.Metrics.observeRound(round, c.epoch, maxDelta, c.liveCount())
 		if len(ids) == 0 {
 			report.Converged = true
 			break
@@ -616,6 +637,9 @@ func (c *Coordinator) applyFeed(round int) bool {
 	beta, ok := c.cfg.Feed.Sample(round)
 	if !ok {
 		c.feedHeld++
+		if m := c.cfg.Metrics; m != nil {
+			m.FeedHeld.Inc()
+		}
 		return false
 	}
 	if beta == c.cfg.Cost.BetaPerKWh {
@@ -628,12 +652,18 @@ func (c *Coordinator) applyFeed(round int) bool {
 		// An unusable sample (e.g. non-positive β) degrades to holding
 		// the last applied price, same as a stale feed.
 		c.feedHeld++
+		if m := c.cfg.Metrics; m != nil {
+			m.FeedHeld.Inc()
+		}
 		return false
 	}
 	c.cfg.Cost = spec
 	c.cost = cost
 	c.epoch++ // every outstanding quote priced a β that no longer exists
 	c.feedChanges++
+	if m := c.cfg.Metrics; m != nil {
+		m.FeedChanges.Inc()
+	}
 	return true
 }
 
@@ -645,12 +675,14 @@ func (c *Coordinator) applyOutages(round int) bool {
 		if o.DownRound == round && c.live[o.Section] {
 			c.killSection(o.Section)
 			c.outagesApplied++
+			c.cfg.Metrics.observeOutage(o.Section, round, c.epoch, false)
 			fired = true
 		}
 		if o.UpRound == round && !c.live[o.Section] {
 			c.live[o.Section] = true
 			c.epoch++
 			c.restoresApplied++
+			c.cfg.Metrics.observeOutage(o.Section, round, c.epoch, true)
 			fired = true
 		}
 	}
@@ -872,6 +904,9 @@ func (c *Coordinator) countRetry() {
 	c.mu.Lock()
 	c.retries++
 	c.mu.Unlock()
+	if m := c.cfg.Metrics; m != nil {
+		m.Retries.Inc()
+	}
 }
 
 // runBatchedRound visits the fleet in blocks of batch vehicles: each
@@ -977,6 +1012,7 @@ func (c *Coordinator) collectRequest(ctx context.Context, id string, round int, 
 	if err := link.Send(rctx, env); err != nil {
 		return v2i.Request{}, fmt.Errorf("send quote: %w", err)
 	}
+	c.cfg.Metrics.observeQuote(id, round, epoch, len(c.schedule))
 
 	var req v2i.Request
 	for {
@@ -1016,6 +1052,9 @@ func (c *Coordinator) acceptSeq(id string, seq uint64) bool {
 	defer c.mu.Unlock()
 	if seq <= c.lastSeq[id] {
 		c.stale++
+		if m := c.cfg.Metrics; m != nil {
+			m.Stale.Inc()
+		}
 		return false
 	}
 	c.lastSeq[id] = seq
@@ -1026,6 +1065,9 @@ func (c *Coordinator) countStale() {
 	c.mu.Lock()
 	c.stale++
 	c.mu.Unlock()
+	if m := c.cfg.Metrics; m != nil {
+		m.Stale.Inc()
+	}
 }
 
 // nextSeq returns the next globally monotonic envelope sequence number.
@@ -1078,6 +1120,7 @@ func (c *Coordinator) installRequest(ctx context.Context, id string, round int, 
 	if err := c.links[id].Send(sctx, env); err != nil {
 		return 0, fmt.Errorf("send schedule: %w", err)
 	}
+	c.cfg.Metrics.observePropose(id, round, c.epoch, req.TotalKW)
 	return math.Abs(req.TotalKW - before), nil
 }
 
@@ -1103,7 +1146,11 @@ func (c *Coordinator) saveCheckpoint(round int) bool {
 		copy(r, row)
 		cp.Schedule[id] = r
 	}
-	return c.cfg.Journal.Save(cp) == nil
+	saved := c.cfg.Journal.Save(cp) == nil
+	if m := c.cfg.Metrics; m != nil && saved {
+		m.Checkpoints.Inc()
+	}
+	return saved
 }
 
 // fallBackToLastGood replaces a half-settled schedule with the

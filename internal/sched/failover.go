@@ -302,5 +302,6 @@ func ResumeCoordinator(cfg CoordinatorConfig, links map[string]v2i.Transport, t 
 	if t.InitialSeq > c.seq {
 		c.seq = t.InitialSeq
 	}
+	cfg.Metrics.observeFailover(cfg.InstanceID, c.epoch)
 	return c, nil
 }

@@ -82,6 +82,9 @@ func (c *Coordinator) admitJoins(report *Report) []string {
 			c.consecFails[j.id] = 0
 			c.epoch++ // quotes must reflect the newcomer's load
 			report.Joined++
+			if m := c.cfg.Metrics; m != nil {
+				m.Joined.Inc()
+			}
 			added = append(added, j.id)
 		default:
 			return added

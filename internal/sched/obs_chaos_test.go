@@ -1,0 +1,308 @@
+package sched
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"olevgrid/internal/core"
+	"olevgrid/internal/grid"
+	"olevgrid/internal/obs"
+	"olevgrid/internal/v2i"
+)
+
+// TestObsChaosNoDoubleCountAcrossFailover re-runs the compound chaos
+// scenario — lossy links, a primary crash with standby takeover off
+// the journal, feed dropouts, and two section outages — with one
+// shared Metrics bundle and event sink armed across both coordinator
+// incarnations and the whole fleet. It is the conformance proof that
+// the telemetry is faithful under the worst conditions the control
+// plane supports:
+//
+//   - the rounds counter equals primary rounds + standby rounds
+//     exactly (increments happen at event sites, so a takeover cannot
+//     double-count the checkpointed prefix);
+//   - epochs observed on the event stream are non-decreasing in
+//     emission order, jumping the fencing gap exactly once at the
+//     recorded failover;
+//   - the agent gauges match the summed legacy AgentResult counters
+//     even with twenty agents bumping them concurrently;
+//   - frame counters on the instrumented transports reconcile with
+//     the coordinator's own quote/proposal counters across layers.
+//
+// The suite runs under -race in CI, so every armed hook is also a
+// data-race probe.
+func TestObsChaosNoDoubleCountAcrossFailover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("control-plane chaos takes seconds")
+	}
+	const n = 20
+	chaosPlan := func(seed int64) v2i.FaultConfig {
+		return v2i.FaultConfig{
+			DropRate:      0.20,
+			DuplicateRate: 0.10,
+			ReorderRate:   0.10,
+			MaxDelay:      2 * time.Millisecond,
+			Seed:          seed,
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	reg := obs.NewRegistry()
+	sink := obs.NewEventSink(1 << 15)
+	m := NewMetrics(reg, sink)
+	tm := v2i.NewTransportMetrics(reg)
+
+	links := make(map[string]v2i.Transport, n)
+	raws := make([]v2i.Transport, 0, n)
+	var (
+		wg                   sync.WaitGroup
+		mu                   sync.Mutex
+		degraded, reconnects int
+		heartbeats           int
+	)
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("ev-%02d", i)
+		rawGrid, rawVehicle := v2i.NewPair(64)
+		fg := v2i.NewFaulty(rawGrid, chaosPlan(300+int64(i)))
+		fv := v2i.NewFaulty(rawVehicle, chaosPlan(400+int64(i)))
+		agent, err := NewAgent(AgentConfig{
+			VehicleID:    id,
+			MaxPowerKW:   60,
+			Satisfaction: core.LogSatisfaction{Weight: chaosWeight(i)},
+			Autonomy:     &AutonomyConfig{QuoteDeadline: 40 * time.Millisecond},
+			Metrics:      m,
+		}, fv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raws = append(raws, rawGrid)
+		links[id] = v2i.NewInstrumented(fg, tm)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, _ := agent.Run(ctx)
+			mu.Lock()
+			degraded += res.DegradedEpisodes
+			reconnects += res.Reconnects
+			heartbeats += res.Heartbeats
+			mu.Unlock()
+		}()
+	}
+
+	spec := nonlinearSpec()
+	feed, err := grid.NewLBMPFeed(func(int) float64 { return spec.BetaPerKWh }, grid.FeedConfig{
+		DropRate:  0.20,
+		Decay:     0.9,
+		FloorBeta: spec.BetaPerKWh / 2,
+		Seed:      11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	journal := NewMemJournal()
+	lease := NewMemLease()
+	primCtx, crash := context.WithCancel(ctx)
+	defer crash()
+	cfg := CoordinatorConfig{
+		NumSections:      n,
+		LineCapacityKW:   53.55,
+		Cost:             spec,
+		Tolerance:        1e-3,
+		MaxRounds:        200,
+		RoundTimeout:     25 * time.Millisecond,
+		MaxRetries:       8,
+		RetryBackoff:     3 * time.Millisecond,
+		SkipUnresponsive: true,
+		DropDeparted:     true,
+		EvictAfter:       10,
+		Seed:             7,
+		Journal:          journal,
+		CheckpointEvery:  1,
+		Lease:            lease,
+		LeaseTTL:         60 * time.Millisecond,
+		InstanceID:       "primary",
+		HeartbeatEvery:   2,
+		Parallelism:      2, // quote collection (and observeQuote) runs on concurrent goroutines
+		Feed:             feed,
+		Outages: []SectionOutage{
+			{Section: 4, DownRound: 3, UpRound: 9},
+			{Section: 12, DownRound: 5, UpRound: 11},
+		},
+		Metrics: m,
+		OnRound: func(round int) {
+			if round == 4 {
+				crash()
+			}
+		},
+	}
+	prim, err := NewCoordinator(cfg, links)
+	if err != nil {
+		t.Fatal(err)
+	}
+	primReport, err := prim.Run(primCtx)
+	if err == nil {
+		t.Fatal("primary survived its scripted crash")
+	}
+	if got := m.Rounds.Value(); got != uint64(primReport.Rounds) {
+		t.Fatalf("rounds counter %d after the crash, primary report says %d", got, primReport.Rounds)
+	}
+
+	time.Sleep(150 * time.Millisecond)
+
+	sb, err := NewStandby(StandbyConfig{
+		InstanceID: "standby", Journal: journal, Lease: lease, LeaseTTL: time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	take, ok, err := sb.TryTakeover(time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		take, ok, err = sb.TryTakeover(time.Now().Add(time.Second))
+		if err != nil || !ok {
+			t.Fatalf("takeover failed: ok=%v err=%v", ok, err)
+		}
+	}
+	cfg2 := cfg
+	cfg2.OnRound = nil
+	cfg2.InstanceID = "standby"
+	standby, err := ResumeCoordinator(cfg2, links, take)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := standby.Run(ctx)
+	for _, r := range raws {
+		_ = r.Close()
+	}
+	wg.Wait()
+	if err != nil {
+		t.Fatalf("standby run: %v", err)
+	}
+	if !report.Converged {
+		t.Fatalf("fleet did not converge under control-plane chaos: %+v", report)
+	}
+
+	// No double count: every round increments the counter exactly once
+	// at the site that also sets Report.Rounds, so the cumulative
+	// counter is the exact sum of both incarnations' reports — the
+	// checkpointed prefix the standby warm-started from is not
+	// replayed into the metrics.
+	if got, want := m.Rounds.Value(), uint64(primReport.Rounds+report.Rounds); got != want {
+		t.Errorf("rounds counter %d, want primary %d + standby %d = %d",
+			got, primReport.Rounds, report.Rounds, want)
+	}
+	if got := m.Failovers.Value(); got != 1 {
+		t.Errorf("failovers counter %d, want exactly 1", got)
+	}
+	if got := sink.CountKind(obs.EventFailover); got != 1 {
+		t.Errorf("failover events in sink %d, want exactly 1", got)
+	}
+
+	// The standby's report accounts only its own incarnation; the
+	// shared counters accumulate the primary's contribution on top.
+	if got := m.Restores.Value(); got != uint64(report.RestoresApplied) {
+		// Both restorations are scripted after the crash round, so the
+		// primary cannot have contributed any.
+		t.Errorf("restores counter %d, want %d (standby only)", got, report.RestoresApplied)
+	}
+	if got := m.Outages.Value(); got < uint64(report.OutagesApplied) {
+		t.Errorf("outages counter %d below the standby's own %d", got, report.OutagesApplied)
+	}
+	if got := m.FeedChanges.Value(); got < uint64(report.FeedChanges) {
+		t.Errorf("feed-change counter %d below the standby's own %d", got, report.FeedChanges)
+	}
+	if got := m.Retries.Value(); got < uint64(report.Retries) {
+		t.Errorf("retries counter %d below the standby's own %d", got, report.Retries)
+	}
+	if m.Checkpoints.Value() == 0 {
+		t.Error("no checkpoint ever counted despite CheckpointEvery=1")
+	}
+
+	// Agent gauges, bumped concurrently by twenty agents sharing the
+	// bundle, must equal the mutex-summed legacy counters exactly.
+	if got := int(m.DegradedEpisodes.Value()); got != degraded {
+		t.Errorf("degraded-episodes gauge %d, legacy sum %d", got, degraded)
+	}
+	if got := int(m.Reconnects.Value()); got != reconnects {
+		t.Errorf("reconnects gauge %d, legacy sum %d", got, reconnects)
+	}
+	if got := int(m.Heartbeats.Value()); got != heartbeats {
+		t.Errorf("heartbeats gauge %d, legacy sum %d", got, heartbeats)
+	}
+	if degraded == 0 || reconnects == 0 {
+		t.Errorf("chaos run tripped no autonomy (degraded=%d reconnects=%d); gauge equality is vacuous",
+			degraded, reconnects)
+	}
+
+	// Cross-layer reconciliation: the coordinator counts a quote or
+	// proposal only after its Send succeeds, and the instrumented
+	// transport counts exactly the successful sends — so the two
+	// layers must agree frame for frame, across both incarnations.
+	if got, want := tm.Sent(v2i.TypeQuote), m.Quotes.Value(); got != want {
+		t.Errorf("transport counted %d quote frames, coordinator counted %d", got, want)
+	}
+	if got, want := tm.Sent(v2i.TypeSchedule), m.Proposals.Value(); got != want {
+		t.Errorf("transport counted %d schedule frames, coordinator counted %d", got, want)
+	}
+
+	// Epoch monotonicity per fencing epoch: in emission order, epochs
+	// stamped on coordinator events never decrease — within an
+	// incarnation they only grow, and the takeover fence jumps them
+	// strictly upward exactly once. The failover event itself must sit
+	// at or above the fence.
+	events := sink.Snapshot()
+	last := int32(-1)
+	fenced := false
+	for _, ev := range events {
+		switch ev.Kind {
+		case obs.EventQuote, obs.EventPropose, obs.EventFailover, obs.EventOutage, obs.EventRestore:
+		default:
+			continue
+		}
+		if ev.Epoch < 0 {
+			continue
+		}
+		if ev.Epoch < last {
+			t.Fatalf("epoch regressed in emission order: seq %d kind %s epoch %d after %d",
+				ev.Seq, ev.Kind, ev.Epoch, last)
+		}
+		last = ev.Epoch
+		if ev.Kind == obs.EventFailover {
+			fenced = true
+			if uint64(ev.Epoch) < take.Epoch {
+				t.Errorf("failover event epoch %d below the takeover fence %d", ev.Epoch, take.Epoch)
+			}
+		}
+		if fenced && uint64(ev.Epoch) < take.Epoch {
+			t.Errorf("post-failover event seq %d kind %s epoch %d below the fence %d",
+				ev.Seq, ev.Kind, ev.Epoch, take.Epoch)
+		}
+	}
+	if !fenced && sink.Emitted() <= uint64(sink.Cap()) {
+		t.Error("failover event missing from a sink that never wrapped")
+	}
+
+	// The exposition must carry the cumulative story.
+	var sb2 strings.Builder
+	if err := reg.WritePrometheus(&sb2); err != nil {
+		t.Fatal(err)
+	}
+	exposition := sb2.String()
+	for _, want := range []string{
+		"olev_sched_failovers_total 1",
+		fmt.Sprintf("olev_sched_rounds_total %d", primReport.Rounds+report.Rounds),
+	} {
+		if !strings.Contains(exposition, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}

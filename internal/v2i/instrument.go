@@ -1,0 +1,119 @@
+package v2i
+
+import (
+	"context"
+
+	"olevgrid/internal/obs"
+)
+
+// TransportMetrics counts frames crossing an instrumented transport,
+// split by direction and message type. Counters are per-type so the
+// exposition shows the protocol mix (quotes vs requests vs control
+// frames); errors are lumped per direction. Nil is the off switch.
+type TransportMetrics struct {
+	sent      map[MessageType]*obs.Counter
+	received  map[MessageType]*obs.Counter
+	sentOther *obs.Counter // types outside the protocol set
+	recvOther *obs.Counter
+	SendErrs  *obs.Counter
+	RecvErrs  *obs.Counter
+}
+
+// knownTypes is the closed protocol set the per-type counters cover.
+var knownTypes = []MessageType{
+	TypeHello, TypeQuote, TypeRequest, TypeSchedule,
+	TypeConverged, TypeBye, TypeHeartbeat,
+}
+
+// NewTransportMetrics registers the frame counters on r; r may be nil.
+func NewTransportMetrics(r *obs.Registry) *TransportMetrics {
+	m := &TransportMetrics{
+		sent:      make(map[MessageType]*obs.Counter, len(knownTypes)),
+		received:  make(map[MessageType]*obs.Counter, len(knownTypes)),
+		sentOther: r.Counter("olev_v2i_frames_sent_total", obs.Label{Key: "type", Value: "other"}),
+		recvOther: r.Counter("olev_v2i_frames_received_total", obs.Label{Key: "type", Value: "other"}),
+		SendErrs:  r.Counter("olev_v2i_send_errors_total"),
+		RecvErrs:  r.Counter("olev_v2i_recv_errors_total"),
+	}
+	for _, t := range knownTypes {
+		m.sent[t] = r.Counter("olev_v2i_frames_sent_total", obs.Label{Key: "type", Value: string(t)})
+		m.received[t] = r.Counter("olev_v2i_frames_received_total", obs.Label{Key: "type", Value: string(t)})
+	}
+	return m
+}
+
+// Sent returns the sent-frame count for one message type.
+func (m *TransportMetrics) Sent(t MessageType) uint64 {
+	if m == nil {
+		return 0
+	}
+	if c, ok := m.sent[t]; ok {
+		return c.Value()
+	}
+	return m.sentOther.Value()
+}
+
+// Received returns the received-frame count for one message type.
+func (m *TransportMetrics) Received(t MessageType) uint64 {
+	if m == nil {
+		return 0
+	}
+	if c, ok := m.received[t]; ok {
+		return c.Value()
+	}
+	return m.recvOther.Value()
+}
+
+// Instrumented wraps any Transport with frame accounting. It forwards
+// every call unchanged — ordering, blocking, and errors are the inner
+// transport's — so wrapping is invisible to the protocol; the chaos
+// suite stacks it under Faulty without perturbing the fault plan.
+type Instrumented struct {
+	inner Transport
+	m     *TransportMetrics
+}
+
+// NewInstrumented wraps t; a nil metrics bundle yields a transparent
+// pass-through.
+func NewInstrumented(t Transport, m *TransportMetrics) *Instrumented {
+	return &Instrumented{inner: t, m: m}
+}
+
+// Send implements Transport.
+func (i *Instrumented) Send(ctx context.Context, env Envelope) error {
+	err := i.inner.Send(ctx, env)
+	if i.m == nil {
+		return err
+	}
+	if err != nil {
+		i.m.SendErrs.Inc()
+		return err
+	}
+	if c, ok := i.m.sent[env.Type]; ok {
+		c.Inc()
+	} else {
+		i.m.sentOther.Inc()
+	}
+	return nil
+}
+
+// Recv implements Transport.
+func (i *Instrumented) Recv(ctx context.Context) (Envelope, error) {
+	env, err := i.inner.Recv(ctx)
+	if i.m == nil {
+		return env, err
+	}
+	if err != nil {
+		i.m.RecvErrs.Inc()
+		return env, err
+	}
+	if c, ok := i.m.received[env.Type]; ok {
+		c.Inc()
+	} else {
+		i.m.recvOther.Inc()
+	}
+	return env, err
+}
+
+// Close implements Transport.
+func (i *Instrumented) Close() error { return i.inner.Close() }

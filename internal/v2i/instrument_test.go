@@ -1,0 +1,77 @@
+package v2i
+
+import (
+	"context"
+	"testing"
+
+	"olevgrid/internal/obs"
+)
+
+// TestInstrumentedCountsFramesByType drives a mixed frame sequence
+// through an instrumented pair and checks the per-type accounting —
+// and that the wrapper is invisible: every envelope arrives unchanged.
+func TestInstrumentedCountsFramesByType(t *testing.T) {
+	a, b := NewPair(8)
+	reg := obs.NewRegistry()
+	tm := NewTransportMetrics(reg)
+	ia := NewInstrumented(a, tm)
+	ib := NewInstrumented(b, tm)
+	ctx := context.Background()
+
+	frames := []MessageType{TypeHello, TypeQuote, TypeQuote, TypeRequest, "weird", TypeBye}
+	for i, typ := range frames {
+		env, err := Seal(typ, "grid", uint64(i+1), Heartbeat{Round: i})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ia.Send(ctx, env); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ib.Recv(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Type != typ || got.Seq != uint64(i+1) {
+			t.Fatalf("frame %d mutated in flight: %+v", i, got)
+		}
+	}
+
+	if got := tm.Sent(TypeQuote); got != 2 {
+		t.Errorf("sent quotes = %d, want 2", got)
+	}
+	if got := tm.Received(TypeQuote); got != 2 {
+		t.Errorf("received quotes = %d, want 2", got)
+	}
+	if got := tm.Sent(TypeHello); got != 1 {
+		t.Errorf("sent hellos = %d, want 1", got)
+	}
+	if got := tm.Sent("weird"); got != 1 {
+		t.Errorf("sent other = %d, want 1", got)
+	}
+	if got := tm.SendErrs.Value(); got != 0 {
+		t.Errorf("send errors = %d, want 0", got)
+	}
+
+	// Errors count on the error counters, not the frame counters.
+	_ = ia.Close()
+	env, _ := Seal(TypeQuote, "grid", 99, Heartbeat{})
+	if err := ia.Send(ctx, env); err == nil {
+		t.Fatal("send on closed transport must fail")
+	}
+	if got := tm.SendErrs.Value(); got != 1 {
+		t.Errorf("send errors = %d, want 1", got)
+	}
+	if got := tm.Sent(TypeQuote); got != 2 {
+		t.Errorf("failed send leaked into frame counter: %d", got)
+	}
+
+	// A nil bundle is a transparent pass-through.
+	c, d := NewPair(1)
+	nc := NewInstrumented(c, nil)
+	if err := nc.Send(ctx, env); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := NewInstrumented(d, nil).Recv(ctx); err != nil || got.Seq != 99 {
+		t.Fatalf("nil-bundle pass-through broke: %+v, %v", got, err)
+	}
+}

@@ -40,6 +40,7 @@ import (
 	"olevgrid/internal/deploy"
 	"olevgrid/internal/experiments"
 	"olevgrid/internal/grid"
+	"olevgrid/internal/obs"
 	"olevgrid/internal/pricing"
 	"olevgrid/internal/sched"
 	"olevgrid/internal/sweep"
@@ -256,6 +257,61 @@ var (
 	DefaultTransportTimeouts = v2i.DefaultTimeouts
 	// DialV2ITimeouts dials a coordinator with explicit deadlines.
 	DialV2ITimeouts = v2i.DialTimeouts
+)
+
+// Observability (DESIGN.md §11): a dependency-free metrics registry
+// plus an event sink, with per-layer bundles threaded through the
+// solver, control plane, feed, coupling and transport. Every bundle
+// treats nil as a zero-overhead off switch, and arming one never
+// changes results — the conformance suites pin both properties.
+type (
+	// MetricsRegistry holds counters, gauges and histograms and writes
+	// Prometheus text exposition or a JSON dump.
+	MetricsRegistry = obs.Registry
+	// MetricLabel is one key/value dimension on a metric.
+	MetricLabel = obs.Label
+	// EventSink is a lock-free ring of structured spans (solver
+	// rounds, quotes, failover epochs, outage windows).
+	EventSink = obs.EventSink
+	// SolverMetrics instruments core round engines (ParallelOptions.Metrics).
+	SolverMetrics = core.Metrics
+	// ControlPlaneMetrics instruments coordinators and agents
+	// (CoordinatorConfig.Metrics, AgentConfig.Metrics); share one
+	// bundle across failover incarnations.
+	ControlPlaneMetrics = sched.Metrics
+	// CoupledDayMetrics instruments the coupled day's hour loop
+	// (CoupledDayConfig.Metrics).
+	CoupledDayMetrics = coupling.DayMetrics
+	// FeedMetrics instruments an LBMPFeed (LBMPFeed.Instrument).
+	FeedMetrics = grid.FeedMetrics
+	// TransportMetrics counts V2I frames per direction and type.
+	TransportMetrics = v2i.TransportMetrics
+)
+
+var (
+	// NewMetricsRegistry builds an empty registry.
+	NewMetricsRegistry = obs.NewRegistry
+	// NewEventSink builds a ring sink with the given capacity.
+	NewEventSink = obs.NewEventSink
+	// NewSolverMetrics registers the olev_solver_* catalog.
+	NewSolverMetrics = core.NewMetrics
+	// NewControlPlaneMetrics registers the olev_sched_*/olev_agent_*
+	// catalog.
+	NewControlPlaneMetrics = sched.NewMetrics
+	// NewCoupledDayMetrics registers the olev_day_* catalog.
+	NewCoupledDayMetrics = coupling.NewDayMetrics
+	// NewFeedMetrics registers the olev_feed_* catalog.
+	NewFeedMetrics = grid.NewFeedMetrics
+	// NewTransportMetrics registers the olev_v2i_* catalog.
+	NewTransportMetrics = v2i.NewTransportMetrics
+	// NewInstrumentedTransport wraps a Transport with frame counting.
+	NewInstrumentedTransport = v2i.NewInstrumented
+	// WriteMetricsJSON dumps a registry (and sink) as indented JSON.
+	WriteMetricsJSON = obs.WriteJSON
+	// MetricsHandler serves /metrics (Prometheus text),
+	// /metrics.json and /debug/vars; mount next to net/http/pprof on
+	// long-running commands.
+	MetricsHandler = obs.Handler
 )
 
 // Grid substrate (Section III's ISO day).
