@@ -1,0 +1,133 @@
+// Command olevgridd is the self-protecting multi-session service
+// daemon: it hosts many concurrent pricing-game sessions (one per
+// arterial/fleet, the per-arterial games of the source paper) behind
+// an HTTP/JSON admin API, with the service layer's full robustness
+// envelope:
+//
+//   - admission control + backpressure — a bounded session table and a
+//     solver-capacity semaphore; creates beyond either bound are
+//     rejected with an explicit 503 + Retry-After, never queued;
+//   - graceful drain — SIGTERM/SIGINT stops admissions, lets in-flight
+//     sessions finish within -drain-grace, and checkpoints the rest to
+//     the journal directory;
+//   - crash-restart — boot scans -journal-dir and resumes every
+//     interrupted session from its manifest + checkpoint, warm where
+//     the checkpoint decodes, cold otherwise.
+//
+// The admin surface (see internal/serve.Handler):
+//
+//	POST   /api/v1/sessions        create (201, or 503 + Retry-After)
+//	GET    /api/v1/sessions        list
+//	GET    /api/v1/sessions/{id}   inspect
+//	DELETE /api/v1/sessions/{id}   cancel
+//	GET    /healthz                liveness
+//	GET    /readyz                 readiness (503 when draining or full)
+//	GET    /metrics                Prometheus exposition (+ /metrics.json, /debug/vars)
+//
+// Usage:
+//
+//	olevgridd [-addr :8080] [-max-sessions 1024] [-max-concurrent 0]
+//	          [-drain-grace 5s] [-retry-after 1s] [-max-wall 2m]
+//	          [-journal-dir DIR]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"olevgrid/internal/obs"
+	"olevgrid/internal/serve"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "olevgridd:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	addr := flag.String("addr", ":8080", "admin API listen address")
+	maxSessions := flag.Int("max-sessions", 1024, "bounded session table size; creates beyond it get 503")
+	maxConcurrent := flag.Int("max-concurrent", 0, "solver-capacity semaphore; 0 means max-sessions")
+	drainGrace := flag.Duration("drain-grace", 5*time.Second, "how long a drain lets in-flight sessions finish before checkpointing them")
+	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint on overload rejections")
+	maxWall := flag.Duration("max-wall", 2*time.Minute, "default per-session wall budget")
+	journalDir := flag.String("journal-dir", "", "directory for session manifests + checkpoints; empty disables durability")
+	flag.Parse()
+
+	reg := obs.NewRegistry()
+	sink := obs.NewEventSink(1024)
+
+	if *journalDir != "" {
+		if err := os.MkdirAll(*journalDir, 0o755); err != nil {
+			return fmt.Errorf("journal dir: %w", err)
+		}
+	}
+	srv := serve.NewServer(serve.Config{
+		MaxSessions:    *maxSessions,
+		MaxConcurrent:  *maxConcurrent,
+		DrainGrace:     *drainGrace,
+		DefaultMaxWall: *maxWall,
+		RetryAfter:     *retryAfter,
+		JournalDir:     *journalDir,
+		Registry:       reg,
+		Sink:           sink,
+	})
+
+	// Crash-restart: resume whatever the previous incarnation left
+	// mid-run before accepting new work, and say what happened to each.
+	decisions, err := srv.ResumeScanned()
+	if err != nil {
+		return fmt.Errorf("boot resume: %w", err)
+	}
+	for _, d := range decisions {
+		if d.Reason != "" {
+			fmt.Fprintf(os.Stderr, "olevgridd: boot scan %s: %s (%s)\n", d.ID, d.Action, d.Reason)
+		} else {
+			fmt.Fprintf(os.Stderr, "olevgridd: boot scan %s: %s\n", d.ID, d.Action)
+		}
+	}
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errCh <- err
+		}
+	}()
+	fmt.Fprintf(os.Stderr, "olevgridd: serving on %s (max sessions %d, drain grace %s)\n",
+		*addr, *maxSessions, *drainGrace)
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-errCh:
+		srv.Close()
+		return fmt.Errorf("admin listener: %w", err)
+	case sig := <-sigCh:
+		fmt.Fprintf(os.Stderr, "olevgridd: %s: draining (grace %s)\n", sig, *drainGrace)
+	}
+
+	// Drain order matters: admissions close first (creates now get 503
+	// and /readyz flips), in-flight sessions get the grace to finish,
+	// stragglers checkpoint; only then does the listener stop, so
+	// inspection endpoints answer throughout the drain.
+	interrupted := srv.Drain()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_ = httpSrv.Shutdown(shutdownCtx)
+	fmt.Fprintf(os.Stderr, "olevgridd: drained; %d sessions checkpointed for resume\n", interrupted)
+	return nil
+}

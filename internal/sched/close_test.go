@@ -2,6 +2,7 @@ package sched
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
@@ -114,4 +115,203 @@ func TestCloseBoundedByShutdownGrace(t *testing.T) {
 	if took := time.Since(start); took > time.Second {
 		t.Errorf("Close took %v against a stalled peer; grace budget is 50ms", took)
 	}
+}
+
+// Close must be safe to call from many goroutines at once: exactly one
+// drain runs, the rest block until it finishes, and a closed
+// coordinator refuses to Run again.
+func TestCloseConcurrentAndRunAfterClose(t *testing.T) {
+	const n = 3
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	links := make(map[string]v2i.Transport, n)
+	var agents sync.WaitGroup
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("ev-%02d", i)
+		gridSide, vehicleSide := v2i.NewPair(16)
+		links[id] = gridSide
+		agent, err := NewAgent(AgentConfig{
+			VehicleID:    id,
+			MaxPowerKW:   60,
+			Satisfaction: core.LogSatisfaction{Weight: chaosWeight(i)},
+		}, vehicleSide)
+		if err != nil {
+			t.Fatal(err)
+		}
+		agents.Add(1)
+		go func() {
+			defer agents.Done()
+			_, _ = agent.Run(ctx)
+		}()
+	}
+
+	journal := NewMemJournal()
+	coord, err := NewCoordinator(CoordinatorConfig{
+		NumSections:    n,
+		LineCapacityKW: 53.55,
+		Cost:           nonlinearSpec(),
+		Tolerance:      1e-4,
+		MaxRounds:      50,
+		Journal:        journal,
+		Seed:           5,
+	}, links)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report, err := coord.Run(ctx); err != nil || !report.Converged {
+		t.Fatalf("run: converged=%v err=%v", report.Converged, err)
+	}
+
+	var closers sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		closers.Add(1)
+		go func() {
+			defer closers.Done()
+			if err := coord.Close(); err != nil {
+				t.Errorf("concurrent close: %v", err)
+			}
+		}()
+	}
+	closers.Wait()
+	agents.Wait()
+
+	if _, ok, err := journal.Load(); err != nil || !ok {
+		t.Fatalf("no checkpoint after concurrent closes: ok=%v err=%v", ok, err)
+	}
+	if _, err := coord.Run(ctx); err == nil {
+		t.Fatal("Run on a closed coordinator must fail")
+	}
+}
+
+// Close-during-failover: a primary that lost its lease must stand
+// down quietly. Its Close must neither tear down the links the new
+// incarnation inherited nor overwrite the new incarnation's fresher
+// checkpoint with its own stale schedule.
+func TestCloseAfterLeaseLossDoesNotSabotageSuccessor(t *testing.T) {
+	const n = 4
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+
+	links := make(map[string]v2i.Transport, n)
+	var agents sync.WaitGroup
+	for i := 0; i < n; i++ {
+		id := fmt.Sprintf("ev-%02d", i)
+		gridSide, vehicleSide := v2i.NewPair(16)
+		links[id] = gridSide
+		agent, err := NewAgent(AgentConfig{
+			VehicleID:    id,
+			MaxPowerKW:   60,
+			Satisfaction: core.LogSatisfaction{Weight: chaosWeight(i)},
+		}, vehicleSide)
+		if err != nil {
+			t.Fatal(err)
+		}
+		agents.Add(1)
+		go func() {
+			defer agents.Done()
+			_, _ = agent.Run(ctx)
+		}()
+	}
+
+	journal := NewMemJournal()
+	lease := NewMemLease()
+	cfg := CoordinatorConfig{
+		NumSections:     n,
+		LineCapacityKW:  53.55,
+		Cost:            nonlinearSpec(),
+		Tolerance:       1e-6,
+		MaxRounds:       500,
+		Journal:         journal,
+		CheckpointEvery: 1,
+		Lease:           lease,
+		LeaseTTL:        50 * time.Millisecond,
+		InstanceID:      "primary",
+		Seed:            5,
+	}
+	// The primary runs a few rounds, then the standby steals the lease
+	// (simulating the primary's pause being mistaken for death).
+	steal := make(chan struct{})
+	cfg.OnRound = func(round int) {
+		if round == 3 {
+			close(steal)
+			time.Sleep(120 * time.Millisecond) // lease lapses mid-pause
+		}
+	}
+	prim, err := NewCoordinator(cfg, links)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	primDone := make(chan error, 1)
+	go func() {
+		_, err := prim.Run(ctx)
+		primDone <- err
+	}()
+	<-steal
+
+	sb, err := NewStandby(StandbyConfig{
+		InstanceID: "standby", Journal: journal, Lease: lease, LeaseTTL: time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var take Takeover
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var ok bool
+		take, ok, err = sb.TryTakeover(time.Now())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("standby never took over")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// The deposed primary notices on its next renewal and exits with
+	// ErrLeaseLost; its Close races the successor's run.
+	if err := <-primDone; !errors.Is(err, ErrLeaseLost) {
+		t.Fatalf("primary exit: %v, want ErrLeaseLost", err)
+	}
+
+	cfg2 := cfg
+	cfg2.OnRound = nil
+	cfg2.InstanceID = "standby"
+	successor, err := ResumeCoordinator(cfg2, links, take)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runDone := make(chan struct{})
+	var report Report
+	var runErr error
+	go func() {
+		report, runErr = successor.Run(ctx)
+		close(runDone)
+	}()
+	if err := prim.Close(); err != nil { // must be a quiet no-op
+		t.Fatalf("deposed close: %v", err)
+	}
+	<-runDone
+	if runErr != nil || !report.Converged {
+		t.Fatalf("successor run: converged=%v err=%v (deposed Close sabotaged it?)", report.Converged, runErr)
+	}
+
+	// The journal must hold the successor's fenced state, not the
+	// deposed primary's stale one.
+	cp, ok, err := journal.Load()
+	if err != nil || !ok {
+		t.Fatalf("journal: ok=%v err=%v", ok, err)
+	}
+	if cp.Epoch < take.Epoch {
+		t.Errorf("checkpoint epoch %d below the takeover fence %d: deposed primary clobbered the journal", cp.Epoch, take.Epoch)
+	}
+	if err := successor.Close(); err != nil {
+		t.Fatal(err)
+	}
+	agents.Wait()
 }

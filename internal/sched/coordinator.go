@@ -27,6 +27,7 @@ import (
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"olevgrid/internal/core"
@@ -297,6 +298,15 @@ type Coordinator struct {
 	lastRound       int
 
 	closeOnce sync.Once
+	// closed flips when Close runs; a closed coordinator refuses to
+	// Run again instead of quoting over dead links.
+	closed atomic.Bool
+	// deposed flips when a lease renewal is refused: another
+	// incarnation owns the session now, so this one's Close must stand
+	// down quietly — no Bye storm, no stale checkpoint clobbering the
+	// new primary's journal, and the links (which the new primary
+	// inherited) stay open.
+	deposed atomic.Bool
 
 	// mu guards the session state shared with concurrent batch
 	// collection goroutines: seq, lastSeq, stale, retries, and rng.
@@ -392,9 +402,18 @@ func (c *Coordinator) Restored() bool { return c.restored }
 // a final checkpoint is journaled (the durable state a standby or
 // restart warm-starts from); only then do the links close — the one
 // end-of-session signal a lossy network cannot swallow. Close is
-// idempotent, and a closed coordinator must not Run again.
+// idempotent and safe to call concurrently — later callers block until
+// the first Close finishes, then return — and a closed coordinator
+// refuses to Run again. A deposed coordinator (one whose lease renewal
+// was refused, ErrLeaseLost) closes to a no-op: the links now belong
+// to the incarnation that won the lease, and journaling this loser's
+// stale schedule would overwrite the winner's newer checkpoint.
 func (c *Coordinator) Close() error {
 	c.closeOnce.Do(func() {
+		c.closed.Store(true)
+		if c.deposed.Load() {
+			return
+		}
 		grace := c.cfg.ShutdownGrace
 		if grace <= 0 {
 			grace = time.Second
@@ -432,6 +451,9 @@ func (c *Coordinator) Epoch() uint64 { return c.epoch }
 // schedule. It stops when requests settle or MaxRounds is reached,
 // then broadcasts Converged and Bye.
 func (c *Coordinator) Run(ctx context.Context) (Report, error) {
+	if c.closed.Load() {
+		return Report{}, errors.New("sched: coordinator is closed")
+	}
 	ids := make([]string, 0, len(c.links))
 	for id := range c.links {
 		ids = append(ids, id)
@@ -622,6 +644,7 @@ func (c *Coordinator) renewLease() error {
 		return fmt.Errorf("sched: renew lease: %w", err)
 	}
 	if !ok {
+		c.deposed.Store(true)
 		return ErrLeaseLost
 	}
 	return nil

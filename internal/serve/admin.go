@@ -1,0 +1,136 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"olevgrid/internal/obs"
+)
+
+// Handler serves the daemon's HTTP surface:
+//
+//	POST   /api/v1/sessions        create (201, or 503 + Retry-After)
+//	GET    /api/v1/sessions        list
+//	GET    /api/v1/sessions/{id}   inspect
+//	DELETE /api/v1/sessions/{id}   cancel
+//	GET    /healthz                liveness (200 while the process runs)
+//	GET    /readyz                 readiness (503 when draining or full)
+//
+// plus the obs endpoints (/metrics, /metrics.json, /debug/vars) when
+// the server was built with a registry. Admission rejections are
+// always explicit HTTP statuses — the daemon never holds a create
+// waiting for capacity.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /api/v1/sessions", s.handleCreate)
+	mux.HandleFunc("GET /api/v1/sessions", s.handleList)
+	mux.HandleFunc("GET /api/v1/sessions/{id}", s.handleGet)
+	mux.HandleFunc("DELETE /api/v1/sessions/{id}", s.handleCancel)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	if s.cfg.Registry != nil {
+		oh := obs.Handler(s.cfg.Registry, s.cfg.Sink)
+		mux.Handle("/metrics", oh)
+		mux.Handle("/metrics.json", oh)
+		mux.Handle("/debug/vars", oh)
+	}
+	return mux
+}
+
+// jsonError is the admin API's uniform error body.
+type jsonError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	raw, err := io.ReadAll(io.LimitReader(r.Body, MaxAdminBytes+1))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, jsonError{Error: err.Error()})
+		return
+	}
+	spec, err := DecodeSessionSpec(raw)
+	if err != nil {
+		s.metrics.RejectedInvalid.Inc()
+		writeJSON(w, http.StatusBadRequest, jsonError{Error: err.Error()})
+		return
+	}
+	sess, err := s.Create(spec)
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusCreated, sess.View())
+	case errors.Is(err, ErrOverloaded), errors.Is(err, ErrDraining):
+		// Explicit backpressure: the one response an overloaded daemon
+		// sends instead of queueing. Retry-After tells a well-behaved
+		// client when capacity is plausible again.
+		secs := int(s.cfg.RetryAfter.Seconds())
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		writeJSON(w, http.StatusServiceUnavailable, jsonError{Error: err.Error()})
+	case errors.Is(err, ErrDuplicateID):
+		writeJSON(w, http.StatusConflict, jsonError{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusBadRequest, jsonError{Error: err.Error()})
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.List())
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.Get(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, jsonError{Error: "no such session"})
+		return
+	}
+	writeJSON(w, http.StatusOK, sess.View())
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	sess, ok := s.Get(r.PathValue("id"))
+	if !ok {
+		writeJSON(w, http.StatusNotFound, jsonError{Error: "no such session"})
+		return
+	}
+	sess.Cancel()
+	writeJSON(w, http.StatusAccepted, sess.View())
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	// Liveness: the process is up and serving. Draining is still
+	// alive — kubelets must not kill a daemon mid-drain.
+	w.WriteHeader(http.StatusOK)
+	_, _ = fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	// Readiness: can this instance admit a session right now? Drain
+	// and saturation both answer no, steering load balancers away
+	// while in-flight sessions finish.
+	s.mu.Lock()
+	draining, active := s.draining, s.active
+	s.mu.Unlock()
+	switch {
+	case draining:
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_, _ = fmt.Fprintln(w, "draining")
+	case active >= s.cfg.MaxSessions || len(s.sem) == cap(s.sem):
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_, _ = fmt.Fprintln(w, "saturated")
+	default:
+		w.WriteHeader(http.StatusOK)
+		_, _ = fmt.Fprintln(w, "ready")
+	}
+}

@@ -1,0 +1,219 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"olevgrid/internal/obs"
+)
+
+func postSession(t *testing.T, ts *httptest.Server, body string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/api/v1/sessions", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func decodeView(t *testing.T, resp *http.Response) View {
+	t.Helper()
+	defer resp.Body.Close()
+	var v View
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// The admin API's full surface: create, list, inspect, cancel, and
+// the health endpoints.
+func TestAdminAPILifecycle(t *testing.T) {
+	s := NewServer(Config{MaxSessions: 4, Registry: obs.NewRegistry()})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp := postSession(t, ts, `{"id":"art-1","vehicles":3,"sections":4,"seed":1}`)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create status %d, want 201", resp.StatusCode)
+	}
+	v := decodeView(t, resp)
+	if v.ID != "art-1" {
+		t.Fatalf("created ID %q, want art-1", v.ID)
+	}
+
+	// Duplicate ID conflicts rather than double-admitting.
+	resp = postSession(t, ts, `{"id":"art-1","vehicles":3,"sections":4}`)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("duplicate status %d, want 409", resp.StatusCode)
+	}
+
+	// Invalid spec is a 400, not a crash.
+	resp = postSession(t, ts, `{"vehicles":-5,"sections":4}`)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("invalid status %d, want 400", resp.StatusCode)
+	}
+
+	// Inspect and list both see the session.
+	getResp, err := http.Get(ts.URL + "/api/v1/sessions/art-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if getResp.StatusCode != http.StatusOK {
+		t.Fatalf("inspect status %d, want 200", getResp.StatusCode)
+	}
+	getResp.Body.Close()
+	listResp, err := http.Get(ts.URL + "/api/v1/sessions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var views []View
+	if err := json.NewDecoder(listResp.Body).Decode(&views); err != nil {
+		t.Fatal(err)
+	}
+	listResp.Body.Close()
+	if len(views) != 1 || views[0].ID != "art-1" {
+		t.Fatalf("list %+v, want one art-1", views)
+	}
+
+	// Unknown ID is a 404.
+	getResp, err = http.Get(ts.URL + "/api/v1/sessions/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	getResp.Body.Close()
+	if getResp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown inspect status %d, want 404", getResp.StatusCode)
+	}
+
+	// Health endpoints answer while serving.
+	for path, want := range map[string]int{"/healthz": 200, "/readyz": 200} {
+		r, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if r.StatusCode != want {
+			t.Fatalf("%s status %d, want %d", path, r.StatusCode, want)
+		}
+	}
+
+	// /metrics is mounted when the server has a registry.
+	r, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	_, _ = buf.ReadFrom(r.Body)
+	r.Body.Close()
+	if r.StatusCode != http.StatusOK || !strings.Contains(buf.String(), "olev_serve_sessions_admitted_total") {
+		t.Fatalf("/metrics status %d body %q", r.StatusCode, buf.String())
+	}
+
+	// Cancel via DELETE is accepted; the session reaches a terminal
+	// state soon after.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/api/v1/sessions/art-1", nil)
+	delResp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delResp.Body.Close()
+	if delResp.StatusCode != http.StatusAccepted {
+		t.Fatalf("cancel status %d, want 202", delResp.StatusCode)
+	}
+	sess, _ := s.Get("art-1")
+	deadline := time.Now().Add(10 * time.Second)
+	for !sess.StateNow().Terminal() {
+		if time.Now().After(deadline) {
+			t.Fatalf("canceled session stuck in %s", sess.StateNow())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// Overload surfaces as an explicit 503 with a Retry-After hint — the
+// HTTP face of the bounded-table discipline — and /readyz flips to
+// saturated.
+func TestAdminAPIOverloadAndReadiness(t *testing.T) {
+	s := NewServer(Config{MaxSessions: 1, RetryAfter: 3 * time.Second})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	resp := postSession(t, ts, `{"vehicles":3,"sections":4,"hello_delay_ms":30000}`)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("first create status %d, want 201", resp.StatusCode)
+	}
+
+	resp = postSession(t, ts, `{"vehicles":3,"sections":4}`)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("overload status %d, want 503", resp.StatusCode)
+	}
+	secs, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || secs < 1 {
+		t.Fatalf("Retry-After %q, want a positive integer", resp.Header.Get("Retry-After"))
+	}
+
+	r, err := http.Get(ts.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("saturated /readyz status %d, want 503", r.StatusCode)
+	}
+}
+
+// Draining rejects creates with 503 + Retry-After and flips /readyz,
+// while /healthz keeps answering 200 so orchestrators don't kill the
+// process mid-drain.
+func TestAdminAPIDraining(t *testing.T) {
+	s := NewServer(Config{MaxSessions: 4})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	s.Drain()
+
+	resp := postSession(t, ts, `{"vehicles":3,"sections":4}`)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("draining create: status %d Retry-After %q", resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+	for path, want := range map[string]int{"/healthz": 200, "/readyz": 503} {
+		r, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if r.StatusCode != want {
+			t.Fatalf("draining %s status %d, want %d", path, r.StatusCode, want)
+		}
+	}
+}
+
+// Oversized request bodies are rejected at the size gate, not
+// buffered without bound.
+func TestAdminAPIOversizedBody(t *testing.T) {
+	s := NewServer(Config{MaxSessions: 4})
+	defer s.Close()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	huge := fmt.Sprintf(`{"vehicles":3,"sections":4,"id":%q}`, strings.Repeat("a", MaxAdminBytes))
+	resp := postSession(t, ts, huge)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized status %d, want 400", resp.StatusCode)
+	}
+}

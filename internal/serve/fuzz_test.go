@@ -1,0 +1,43 @@
+package serve
+
+import (
+	"testing"
+)
+
+// FuzzAdminRequest hammers the admin API's untrusted-input gate: any
+// byte sequence must decode-or-reject without panicking, and whatever
+// it accepts must re-validate — the invariant the HTTP handler relies
+// on before spawning goroutines on a request's behalf.
+func FuzzAdminRequest(f *testing.F) {
+	f.Add([]byte(`{"vehicles":3,"sections":4}`))
+	f.Add([]byte(`{"id":"art-1","vehicles":1,"sections":1,"seed":-9,"parallelism":8}`))
+	f.Add([]byte(`{"vehicles":3,"sections":4,"chaos":{"drop_rate":0.2,"max_delay_ms":5}}`))
+	f.Add([]byte(`{"vehicles":3,"sections":4,"join_at_round":3,"leave_at_round":5}`))
+	f.Add([]byte(`{"id":"../evil","vehicles":3,"sections":4}`))
+	f.Add([]byte(`{"vehicles":1e99,"sections":4}`))
+	f.Add([]byte(`{"vehicles":3,"sections":4,"alpha":1.5}`))
+	f.Add([]byte(`{"vehicles":3,"sections":4,"tolerance":"NaN"}`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(``))
+	f.Add([]byte(`{"vehicles":3,"sections":4,"max_wall_ms":-1}`))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		spec, err := DecodeSessionSpec(raw)
+		if err != nil {
+			return
+		}
+		// Accepted specs must be internally consistent: re-validation
+		// and default-filling both succeed, and the filled spec still
+		// validates (defaults never break the invariants).
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("accepted spec fails re-validation: %v\ninput: %q", err, raw)
+		}
+		filled := spec.withDefaults(0)
+		if filled.MaxWallMS < 0 {
+			t.Fatalf("defaults produced negative wall budget: %+v", filled)
+		}
+		if err := filled.Validate(); err != nil {
+			t.Fatalf("defaulted spec fails validation: %v\ninput: %q", err, raw)
+		}
+	})
+}

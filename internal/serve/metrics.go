@@ -1,0 +1,66 @@
+package serve
+
+import (
+	"olevgrid/internal/obs"
+)
+
+// Metrics is the daemon's telemetry bundle, registered on the shared
+// obs registry next to the control-plane bundle. Same contract as
+// every other bundle in the repo: nil is the off switch, every site
+// increments exactly once when the event happens, and the load
+// harness reconciles the counters against its own ground truth.
+type Metrics struct {
+	// Admission accounting. Every create lands in exactly one of
+	// these.
+	Admitted         *obs.Counter
+	RejectedOverload *obs.Counter // bounded table or solver semaphore full
+	RejectedDraining *obs.Counter // SIGTERM received; no new work
+	RejectedInvalid  *obs.Counter // spec failed validation
+
+	// Terminal session outcomes. Every admitted session lands in
+	// exactly one of these.
+	Completed   *obs.Counter
+	Failed      *obs.Counter
+	Canceled    *obs.Counter
+	Interrupted *obs.Counter // drained mid-run, checkpointed, resumable
+
+	// Resumed counts sessions re-admitted from a journal scan at boot.
+	Resumed *obs.Counter
+
+	// Active is the current non-terminal session count; Peak is its
+	// high-water mark (the load harness's concurrency gate).
+	Active *obs.Gauge
+	Peak   *obs.Gauge
+
+	// RoundMS observes each finished session's mean per-round wall
+	// latency in milliseconds; SessionMS the whole solve.
+	RoundMS   *obs.Histogram
+	SessionMS *obs.Histogram
+}
+
+// roundLatencyBuckets spans sub-millisecond in-memory rounds through
+// the multi-second rounds of a congested TCP deployment.
+var roundLatencyBuckets = []float64{0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500}
+
+// sessionBuckets spans the session wall clock in milliseconds.
+var sessionBuckets = []float64{1, 5, 10, 50, 100, 500, 1000, 5000, 10_000, 30_000, 60_000}
+
+// NewMetrics registers the serve metric catalog on r; a nil registry
+// yields a bundle of nil metrics, the zero-overhead off switch.
+func NewMetrics(r *obs.Registry) *Metrics {
+	return &Metrics{
+		Admitted:         r.Counter("olev_serve_sessions_admitted_total"),
+		RejectedOverload: r.Counter("olev_serve_sessions_rejected_total", obs.Label{Key: "reason", Value: "overload"}),
+		RejectedDraining: r.Counter("olev_serve_sessions_rejected_total", obs.Label{Key: "reason", Value: "draining"}),
+		RejectedInvalid:  r.Counter("olev_serve_sessions_rejected_total", obs.Label{Key: "reason", Value: "invalid"}),
+		Completed:        r.Counter("olev_serve_sessions_completed_total"),
+		Failed:           r.Counter("olev_serve_sessions_failed_total"),
+		Canceled:         r.Counter("olev_serve_sessions_canceled_total"),
+		Interrupted:      r.Counter("olev_serve_sessions_interrupted_total"),
+		Resumed:          r.Counter("olev_serve_sessions_resumed_total"),
+		Active:           r.Gauge("olev_serve_sessions_active"),
+		Peak:             r.Gauge("olev_serve_sessions_peak"),
+		RoundMS:          r.Histogram("olev_serve_round_latency_ms", roundLatencyBuckets),
+		SessionMS:        r.Histogram("olev_serve_session_ms", sessionBuckets),
+	}
+}

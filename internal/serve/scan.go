@@ -1,0 +1,175 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"olevgrid/internal/sched"
+)
+
+// This file is the crash-restart half of the service layer: every
+// durable session leaves two files in the journal directory — a
+// manifest (the spec plus the last known lifecycle state) and the
+// coordinator's checkpoint journal. On boot the daemon scans the
+// directory and decides, per session, whether to resume it, leave it
+// complete, or skip it as unreadable. The decision function is pure
+// and table-tested over mixed directories (complete, mid-run,
+// truncated, corrupt), reusing the FuzzJournalDecode corpus shapes.
+
+// Manifest is the durable per-session record beside the checkpoint.
+type Manifest struct {
+	// Spec is everything needed to re-run the session.
+	Spec SessionSpec `json:"spec"`
+	// State is the session's last recorded lifecycle state.
+	State State `json:"state"`
+}
+
+// manifestPath and checkpointPath name a session's two durable files.
+func manifestPath(dir, id string) string   { return filepath.Join(dir, id+".manifest.json") }
+func checkpointPath(dir, id string) string { return filepath.Join(dir, id+".checkpoint.json") }
+
+// writeManifest persists the manifest through a temp-file rename, the
+// same torn-write discipline as the checkpoint journal.
+func writeManifest(dir, id string, m Manifest) error {
+	raw, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("serve: marshal manifest: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, ".manifest-*.tmp")
+	if err != nil {
+		return fmt.Errorf("serve: manifest temp: %w", err)
+	}
+	defer func() { _ = os.Remove(tmp.Name()) }()
+	if _, err := tmp.Write(raw); err != nil {
+		_ = tmp.Close()
+		return fmt.Errorf("serve: manifest write: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("serve: manifest close: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), manifestPath(dir, id)); err != nil {
+		return fmt.Errorf("serve: manifest rename: %w", err)
+	}
+	return nil
+}
+
+// readManifest loads and validates one manifest; the spec inside is
+// re-validated because the journal directory is attacker-adjacent
+// state, same as the checkpoint files.
+func readManifest(dir, id string) (Manifest, error) {
+	raw, err := os.ReadFile(manifestPath(dir, id))
+	if err != nil {
+		return Manifest{}, err
+	}
+	if len(raw) > MaxAdminBytes {
+		return Manifest{}, fmt.Errorf("serve: manifest %d bytes exceeds %d", len(raw), MaxAdminBytes)
+	}
+	var m Manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return Manifest{}, fmt.Errorf("serve: manifest decode: %w", err)
+	}
+	if err := m.Spec.Validate(); err != nil {
+		return Manifest{}, fmt.Errorf("serve: manifest spec: %w", err)
+	}
+	return m, nil
+}
+
+// Action is a journal-scan decision for one session.
+type Action string
+
+// The three decisions a boot scan can reach.
+const (
+	// ActionResume re-admits the session: the manifest says it was
+	// mid-run, and the checkpoint (if any) warm-starts it.
+	ActionResume Action = "resume"
+	// ActionComplete leaves a terminal session alone.
+	ActionComplete Action = "complete"
+	// ActionSkip refuses an unreadable record: corrupt or truncated
+	// manifest/checkpoint, or a spec that no longer validates.
+	ActionSkip Action = "skip"
+)
+
+// Decision is one session's scan outcome.
+type Decision struct {
+	ID     string
+	Action Action
+	// Reason explains skips and resumes for the boot log.
+	Reason string
+	// Spec is the manifest's session spec (resume/complete only).
+	Spec SessionSpec
+	// Checkpoint is the decoded warm-start state; HasCheckpoint is
+	// false when the session never checkpointed (cold resume).
+	Checkpoint    sched.Checkpoint
+	HasCheckpoint bool
+}
+
+// ScanJournals walks a journal directory and decides each session's
+// fate. The scan itself never fails on a bad record — unreadable
+// state yields an ActionSkip decision, because a daemon that refuses
+// to boot over one corrupt file is worse than one that reports it.
+func ScanJournals(dir string) ([]Decision, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("serve: scan %s: %w", dir, err)
+	}
+	var out []Decision
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".manifest.json") {
+			continue
+		}
+		id := strings.TrimSuffix(name, ".manifest.json")
+		out = append(out, decide(dir, id))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}
+
+// decide reaches the resume/complete/skip decision for one session.
+func decide(dir, id string) Decision {
+	d := Decision{ID: id}
+	m, err := readManifest(dir, id)
+	if err != nil {
+		d.Action = ActionSkip
+		d.Reason = fmt.Sprintf("manifest unreadable: %v", err)
+		return d
+	}
+	d.Spec = m.Spec
+	if m.State.Terminal() && m.State != StateInterrupted {
+		d.Action = ActionComplete
+		return d
+	}
+	// Mid-run (pending/running at crash time, or interrupted by a
+	// drain): resumable, warm if the checkpoint decodes.
+	raw, err := os.ReadFile(checkpointPath(dir, id))
+	switch {
+	case os.IsNotExist(err):
+		d.Action = ActionResume
+		d.Reason = "no checkpoint; cold resume from spec"
+		return d
+	case err != nil:
+		d.Action = ActionSkip
+		d.Reason = fmt.Sprintf("checkpoint unreadable: %v", err)
+		return d
+	}
+	cp, err := sched.DecodeCheckpoint(raw)
+	if err != nil {
+		d.Action = ActionSkip
+		d.Reason = fmt.Sprintf("checkpoint corrupt: %v", err)
+		return d
+	}
+	if cp.NumSections != m.Spec.Sections {
+		d.Action = ActionSkip
+		d.Reason = fmt.Sprintf("checkpoint has %d sections, spec %d", cp.NumSections, m.Spec.Sections)
+		return d
+	}
+	d.Action = ActionResume
+	d.Reason = fmt.Sprintf("warm resume from round %d", cp.Round)
+	d.Checkpoint = cp
+	d.HasCheckpoint = true
+	return d
+}

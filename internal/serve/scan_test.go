@@ -1,0 +1,154 @@
+package serve
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"olevgrid/internal/sched"
+)
+
+// validCheckpoint encodes a checkpoint matching spec's section count.
+func validCheckpoint(t *testing.T, spec SessionSpec, round int) []byte {
+	t.Helper()
+	cp := sched.Checkpoint{
+		Epoch:       1,
+		Round:       round,
+		NumSections: spec.Sections,
+		Seq:         uint64(round * 10),
+		Schedule:    map[string][]float64{"ev-000": make([]float64, spec.Sections)},
+	}
+	raw, err := json.Marshal(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+// The journal-scan decision table over a mixed directory: complete,
+// mid-run with a valid checkpoint, mid-run with no checkpoint,
+// truncated checkpoint, corrupt manifest, mismatched geometry. The
+// boot scan must resume what it can, leave the finished alone, and
+// skip — never crash on — everything unreadable.
+func TestScanJournalsDecisionTable(t *testing.T) {
+	dir := t.TempDir()
+	spec := smallSpec(1)
+
+	write := func(t *testing.T, path string, raw []byte) {
+		t.Helper()
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	manifest := func(t *testing.T, id string, st State) {
+		t.Helper()
+		s := spec
+		s.ID = id
+		if err := writeManifest(dir, id, Manifest{Spec: s, State: st}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// complete: terminal manifest; checkpoint presence is irrelevant.
+	manifest(t, "done-1", StateDone)
+	write(t, checkpointPath(dir, "done-1"), validCheckpoint(t, spec, 40))
+	manifest(t, "failed-1", StateFailed)
+	manifest(t, "canceled-1", StateCanceled)
+
+	// mid-run: running at crash time with a decodable checkpoint.
+	manifest(t, "midrun-warm", StateRunning)
+	write(t, checkpointPath(dir, "midrun-warm"), validCheckpoint(t, spec, 7))
+
+	// mid-run: interrupted by a drain, checkpointed.
+	manifest(t, "drained-warm", StateInterrupted)
+	write(t, checkpointPath(dir, "drained-warm"), validCheckpoint(t, spec, 12))
+
+	// mid-run: crashed before the first checkpoint — cold resume.
+	manifest(t, "midrun-cold", StateRunning)
+
+	// truncated checkpoint: a torn write the rename discipline should
+	// prevent, but the scan must survive anyway.
+	manifest(t, "truncated-cp", StateRunning)
+	full := validCheckpoint(t, spec, 9)
+	write(t, checkpointPath(dir, "truncated-cp"), full[:len(full)/2])
+
+	// corrupt checkpoint: decodes as JSON but fails the checkpoint
+	// gate (negative round).
+	manifest(t, "corrupt-cp", StateRunning)
+	write(t, checkpointPath(dir, "corrupt-cp"), []byte(`{"epoch":1,"round":-3,"num_sections":4}`))
+
+	// geometry mismatch: checkpoint sections disagree with the spec.
+	manifest(t, "mismatch-cp", StateRunning)
+	other := spec
+	other.Sections = spec.Sections + 1
+	write(t, checkpointPath(dir, "mismatch-cp"), validCheckpoint(t, other, 5))
+
+	// corrupt manifest: not JSON at all.
+	write(t, manifestPath(dir, "bad-manifest"), []byte("not json{{"))
+
+	// manifest whose embedded spec no longer validates.
+	write(t, manifestPath(dir, "bad-spec"), []byte(`{"spec":{"vehicles":-1,"sections":4},"state":"running"}`))
+
+	decisions, err := ScanJournals(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(map[string]Decision, len(decisions))
+	for _, d := range decisions {
+		got[d.ID] = d
+	}
+
+	want := map[string]struct {
+		action Action
+		warm   bool
+	}{
+		"done-1":       {ActionComplete, false},
+		"failed-1":     {ActionComplete, false},
+		"canceled-1":   {ActionComplete, false},
+		"midrun-warm":  {ActionResume, true},
+		"drained-warm": {ActionResume, true},
+		"midrun-cold":  {ActionResume, false},
+		"truncated-cp": {ActionSkip, false},
+		"corrupt-cp":   {ActionSkip, false},
+		"mismatch-cp":  {ActionSkip, false},
+		"bad-manifest": {ActionSkip, false},
+		"bad-spec":     {ActionSkip, false},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("scan saw %d sessions, want %d: %+v", len(got), len(want), decisions)
+	}
+	for id, w := range want {
+		d, ok := got[id]
+		if !ok {
+			t.Errorf("no decision for %s", id)
+			continue
+		}
+		if d.Action != w.action {
+			t.Errorf("%s: action %s (%s), want %s", id, d.Action, d.Reason, w.action)
+		}
+		if d.HasCheckpoint != w.warm {
+			t.Errorf("%s: warm=%v, want %v", id, d.HasCheckpoint, w.warm)
+		}
+		if w.action == ActionSkip && d.Reason == "" {
+			t.Errorf("%s: skip with no reason", id)
+		}
+	}
+	if got["midrun-warm"].Checkpoint.Round != 7 {
+		t.Errorf("midrun-warm checkpoint round %d, want 7", got["midrun-warm"].Checkpoint.Round)
+	}
+}
+
+// An empty directory scans clean; a missing one errors (the daemon
+// creates it before scanning).
+func TestScanJournalsEdges(t *testing.T) {
+	decisions, err := ScanJournals(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(decisions) != 0 {
+		t.Fatalf("empty dir produced %d decisions", len(decisions))
+	}
+	if _, err := ScanJournals("/nonexistent/journal/dir"); err == nil {
+		t.Fatal("missing dir scanned without error")
+	}
+}

@@ -276,6 +276,11 @@ type Server struct {
 	// starts. A hung vehicle then times out instead of pinning a
 	// coordinator goroutine forever.
 	ConnTimeouts Timeouts
+
+	// slots, when non-nil, is the accept-side admission semaphore:
+	// Accept takes a slot before accepting and each accepted
+	// transport's Close returns it. See SetMaxConns.
+	slots chan struct{}
 }
 
 // Listen opens a TCP listener on addr ("127.0.0.1:0" for an ephemeral
@@ -291,13 +296,81 @@ func Listen(addr string) (*Server, error) {
 // Addr returns the bound address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Accept blocks for the next vehicle connection.
-func (s *Server) Accept() (Transport, error) {
-	conn, err := s.ln.Accept()
-	if err != nil {
-		return nil, fmt.Errorf("v2i: accept: %w", err)
+// SetMaxConns bounds the number of concurrently open accepted
+// transports. At the limit Accept pauses — the flood waits in the
+// kernel backlog instead of exhausting file descriptors — and resumes
+// as soon as an accepted transport is closed. Zero or negative removes
+// the limit. Set it before the accept loop starts; it is not safe to
+// change while Accept is running.
+func (s *Server) SetMaxConns(n int) {
+	if n <= 0 {
+		s.slots = nil
+		return
 	}
-	return NewConnTransportTimeouts(conn, s.ConnTimeouts), nil
+	s.slots = make(chan struct{}, n)
+}
+
+// acceptBackoff bounds the retry backoff applied when the listener
+// reports a temporary error (EMFILE, ECONNABORTED under a SYN flood):
+// the accept loop degrades to a slower accept rate instead of tearing
+// the daemon down.
+const (
+	acceptBackoffBase = 5 * time.Millisecond
+	acceptBackoffMax  = time.Second
+)
+
+// Accept blocks for the next vehicle connection. With a MaxConns
+// limit armed it first waits for a free connection slot; temporary
+// listener errors are retried with exponential backoff rather than
+// surfaced, so a connection flood degrades service instead of ending
+// the accept loop.
+func (s *Server) Accept() (Transport, error) {
+	if s.slots != nil {
+		s.slots <- struct{}{} // accept-pause until a slot frees up
+	}
+	backoff := acceptBackoffBase
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			if isTemporary(err) {
+				time.Sleep(backoff)
+				if backoff *= 2; backoff > acceptBackoffMax {
+					backoff = acceptBackoffMax
+				}
+				continue
+			}
+			if s.slots != nil {
+				<-s.slots
+			}
+			return nil, fmt.Errorf("v2i: accept: %w", err)
+		}
+		t := NewConnTransportTimeouts(conn, s.ConnTimeouts)
+		if s.slots != nil {
+			t = &slottedTransport{Transport: t, slots: s.slots}
+		}
+		return t, nil
+	}
+}
+
+// isTemporary reports whether an accept error is transient. The
+// Temporary method is deprecated for general errors but remains the
+// documented contract for listener errors like ECONNABORTED.
+func isTemporary(err error) bool {
+	var te interface{ Temporary() bool }
+	return errors.As(err, &te) && te.Temporary()
+}
+
+// slottedTransport returns its accept slot exactly once on Close.
+type slottedTransport struct {
+	Transport
+	slots chan struct{}
+	once  sync.Once
+}
+
+func (t *slottedTransport) Close() error {
+	err := t.Transport.Close()
+	t.once.Do(func() { <-t.slots })
+	return err
 }
 
 // Close stops the listener.
