@@ -1,0 +1,312 @@
+// Command bench-meanfield measures the aggregated solver tier
+// (internal/meanfield) and emits machine-readable BENCH_meanfield.json
+// with two sections:
+//
+//   - accuracy: on fleet sizes the exact engine can still afford, the
+//     tier's disaggregated welfare against the exact equilibrium — the
+//     same differential the test suite gates, here on the benchmark
+//     workload;
+//   - scaling: wall clock and ns/turn (wall / (rounds × N)) as the
+//     fleet grows to 10^6 OLEVs with the schedule streamed
+//     (SkipSchedule), the regime the exact engine cannot reach.
+//
+// With -check it exits non-zero unless every accuracy point is within
+// the 2% welfare envelope (and never better than the exact optimum
+// beyond float tolerance) and ns/turn at N=10^6 stays within 10× of
+// N=10^4 — the sub-linear-per-player scaling claim CI enforces.
+//
+// Usage:
+//
+//	bench-meanfield [-c 12] [-o BENCH_meanfield.json] [-check] [-quick]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"olevgrid/internal/core"
+	"olevgrid/internal/meanfield"
+)
+
+// The -check gates.
+const (
+	welfareGate = 0.02 // accuracy: |gap| ceiling as a fraction of exact welfare
+	beatGate    = 1e-4 // accuracy: how far the tier may "beat" the oracle (solver tolerance slack)
+	scalingGate = 10.0 // scaling: ns/turn(maxN) over ns/turn(minN) ceiling
+)
+
+type accuracyPoint struct {
+	N              int     `json:"n"`
+	ExactWelfare   float64 `json:"exact_welfare"`
+	MFWelfare      float64 `json:"mf_welfare"`
+	GapFrac        float64 `json:"gap_frac"` // (exact − mf) / |exact|
+	Clusters       int     `json:"clusters"`
+	ExactRounds    int     `json:"exact_rounds"`
+	MFRounds       int     `json:"mf_rounds"`
+	ExactConverged bool    `json:"exact_converged"`
+	MFConverged    bool    `json:"mf_converged"`
+	ExactWallMs    float64 `json:"exact_wall_ms"`
+	MFWallMs       float64 `json:"mf_wall_ms"`
+}
+
+type scalingPoint struct {
+	N                int     `json:"n"`
+	Clusters         int     `json:"clusters"`
+	Rounds           int     `json:"rounds"`
+	Converged        bool    `json:"converged"`
+	WallMs           float64 `json:"wall_ms"`
+	NsPerTurn        float64 `json:"ns_per_turn"` // wall / (rounds × N)
+	CongestionDegree float64 `json:"congestion_degree"`
+	Welfare          float64 `json:"welfare"`
+}
+
+type benchFile struct {
+	C          int    `json:"c"`
+	GoVersion  string `json:"go_version"`
+	NumCPU     int    `json:"num_cpu"`
+	GoMaxProcs int    `json:"go_max_procs"`
+
+	Accuracy []accuracyPoint `json:"accuracy"`
+	Scaling  []scalingPoint  `json:"scaling"`
+	// ScalingRatio is ns/turn at the largest N over the smallest —
+	// flat-ish (≤ the gate) means per-player cost is not growing with
+	// the fleet.
+	ScalingRatio float64 `json:"scaling_ratio"`
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "bench-meanfield:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	c := flag.Int("c", 12, "number of charging sections")
+	out := flag.String("o", "BENCH_meanfield.json", "output path (- for stdout)")
+	check := flag.Bool("check", false, "exit non-zero unless the welfare envelope and scaling gates hold")
+	quick := flag.Bool("quick", false, "cap the scaling sweep at 10^5 OLEVs (local smoke runs)")
+	flag.Parse()
+
+	file := benchFile{
+		C:          *c,
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+
+	for _, n := range []int{50, 200, 500} {
+		pt, err := accuracyRun(n, *c)
+		if err != nil {
+			return err
+		}
+		file.Accuracy = append(file.Accuracy, pt)
+	}
+
+	sizes := []int{10_000, 100_000, 1_000_000}
+	if *quick {
+		sizes = sizes[:2]
+	}
+	for _, n := range sizes {
+		pt, err := scalingRun(n, *c)
+		if err != nil {
+			return err
+		}
+		file.Scaling = append(file.Scaling, pt)
+	}
+	first, last := file.Scaling[0], file.Scaling[len(file.Scaling)-1]
+	if first.NsPerTurn > 0 {
+		file.ScalingRatio = last.NsPerTurn / first.NsPerTurn
+	}
+
+	blob, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		return err
+	}
+	blob = append(blob, '\n')
+	gate := func() error {
+		if !*check {
+			return nil
+		}
+		for _, pt := range file.Accuracy {
+			if !pt.ExactConverged || !pt.MFConverged {
+				return fmt.Errorf("accuracy n=%d: convergence exact=%v mf=%v",
+					pt.N, pt.ExactConverged, pt.MFConverged)
+			}
+			if pt.GapFrac > welfareGate {
+				return fmt.Errorf("accuracy n=%d: welfare gap %.4f%% exceeds %.0f%%",
+					pt.N, pt.GapFrac*100, welfareGate*100)
+			}
+			if pt.GapFrac < -beatGate {
+				return fmt.Errorf("accuracy n=%d: tier beats the exact oracle by %.6f%% — oracle under-converged",
+					pt.N, -pt.GapFrac*100)
+			}
+		}
+		for _, pt := range file.Scaling {
+			if !pt.Converged {
+				return fmt.Errorf("scaling n=%d did not converge in %d rounds", pt.N, pt.Rounds)
+			}
+		}
+		if file.ScalingRatio > scalingGate {
+			return fmt.Errorf("scaling gate failed: ns/turn grew %.1fx from n=%d to n=%d (gate %.0fx)",
+				file.ScalingRatio, first.N, last.N, scalingGate)
+		}
+		return nil
+	}
+	if *out == "-" {
+		if _, err = os.Stdout.Write(blob); err != nil {
+			return err
+		}
+		return gate()
+	}
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		return err
+	}
+	for _, pt := range file.Accuracy {
+		fmt.Printf("accuracy n=%-4d gap %+.4f%%  (exact %.2f in %.0f ms, mf %.2f in %.0f ms, K=%d)\n",
+			pt.N, pt.GapFrac*100, pt.ExactWelfare, pt.ExactWallMs, pt.MFWelfare, pt.MFWallMs, pt.Clusters)
+	}
+	for _, pt := range file.Scaling {
+		fmt.Printf("scaling  n=%-8d %.1f ns/turn  (%.0f ms, %d rounds, K=%d, congestion %.3f)\n",
+			pt.N, pt.NsPerTurn, pt.WallMs, pt.Rounds, pt.Clusters, pt.CongestionDegree)
+	}
+	fmt.Printf("wrote %s: scaling ratio %.2fx over %dx fleet growth (gate %.0fx)\n",
+		*out, file.ScalingRatio, last.N/first.N, scalingGate)
+	return gate()
+}
+
+// fleet builds the benchmark's heterogeneous fleet with deterministic
+// arithmetic (no RNG, so two runs of the binary bench the same game):
+// five satisfaction-weight tiers, a square-root family every fourth
+// vehicle, staggered power ceilings, and per-section draw caps on
+// every fifth.
+func fleet(n int) []core.Player {
+	players := make([]core.Player, n)
+	for i := range players {
+		w := 4 + float64(i%5)
+		var sat core.Satisfaction = core.LogSatisfaction{Weight: 2 * w}
+		if i%4 == 3 {
+			sat = core.SqrtSatisfaction{Weight: w}
+		}
+		p := core.Player{
+			ID:           fmt.Sprintf("olev-%06d", i),
+			MaxPowerKW:   40 + float64((i*13)%61),
+			Satisfaction: sat,
+		}
+		if i%5 == 2 {
+			p.MaxSectionDrawKW = 6 + float64(i%7)
+		}
+		players[i] = p
+	}
+	return players
+}
+
+// instance sizes the shared infrastructure to the fleet: the usable
+// capacity ηCP_line tracks N so every size runs at the same moderate
+// congestion instead of degenerating into a pure capacity grab.
+func instance(n, c int) ([]core.Player, float64, float64, core.CostFunction, error) {
+	const eta = 0.9
+	players := fleet(n)
+	lineCap := 10 * float64(n) / (float64(c) * eta * 0.8)
+	charging, err := core.NewQuadraticCharging(0.02, 0.875, lineCap)
+	if err != nil {
+		return nil, 0, 0, nil, err
+	}
+	cost := core.SectionCost{
+		Charging: charging,
+		Overload: core.OverloadPenalty{Kappa: 10, Capacity: eta * lineCap},
+	}
+	return players, lineCap, eta, cost, nil
+}
+
+func accuracyRun(n, c int) (accuracyPoint, error) {
+	players, lineCap, eta, cost, err := instance(n, c)
+	if err != nil {
+		return accuracyPoint{}, err
+	}
+	g, err := core.NewGame(core.Config{
+		Players: players, NumSections: c,
+		LineCapacityKW: lineCap, Eta: eta, Cost: cost,
+	})
+	if err != nil {
+		return accuracyPoint{}, err
+	}
+	// The oracle settings of the differential suite: a generous round
+	// budget and randomized visit order so near-identical players
+	// crowding the same sections still contract.
+	start := time.Now()
+	eres := g.RunParallel(core.ParallelOptions{
+		MaxRounds: 20_000,
+		Tolerance: 1e-5,
+		Order:     core.OrderRandom,
+		Seed:      99,
+	})
+	exactWall := time.Since(start)
+	exactWelfare := g.Welfare()
+
+	start = time.Now()
+	mf, err := meanfield.Solve(meanfield.Config{
+		Players: players, NumSections: c,
+		LineCapacityKW: lineCap, Eta: eta, Cost: cost,
+		Order: core.OrderRandom, Seed: 1,
+	})
+	mfWall := time.Since(start)
+	if err != nil {
+		return accuracyPoint{}, err
+	}
+	return accuracyPoint{
+		N:              n,
+		ExactWelfare:   exactWelfare,
+		MFWelfare:      mf.Welfare,
+		GapFrac:        (exactWelfare - mf.Welfare) / abs(exactWelfare),
+		Clusters:       mf.Clusters,
+		ExactRounds:    eres.Rounds,
+		MFRounds:       mf.Rounds,
+		ExactConverged: eres.Converged,
+		MFConverged:    mf.Converged,
+		ExactWallMs:    float64(exactWall.Microseconds()) / 1000,
+		MFWallMs:       float64(mfWall.Microseconds()) / 1000,
+	}, nil
+}
+
+func scalingRun(n, c int) (scalingPoint, error) {
+	players, lineCap, eta, cost, err := instance(n, c)
+	if err != nil {
+		return scalingPoint{}, err
+	}
+	start := time.Now()
+	mf, err := meanfield.Solve(meanfield.Config{
+		Players: players, NumSections: c,
+		LineCapacityKW: lineCap, Eta: eta, Cost: cost,
+		Order: core.OrderRandom, Seed: 1,
+		SkipSchedule: true,
+	})
+	wall := time.Since(start)
+	if err != nil {
+		return scalingPoint{}, err
+	}
+	pt := scalingPoint{
+		N:                n,
+		Clusters:         mf.Clusters,
+		Rounds:           mf.Rounds,
+		Converged:        mf.Converged,
+		WallMs:           float64(wall.Microseconds()) / 1000,
+		CongestionDegree: mf.CongestionDegree,
+		Welfare:          mf.Welfare,
+	}
+	if mf.Rounds > 0 {
+		pt.NsPerTurn = float64(wall.Nanoseconds()) / (float64(mf.Rounds) * float64(n))
+	}
+	return pt, nil
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

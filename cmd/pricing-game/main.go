@@ -7,6 +7,12 @@
 //
 //	pricing-game [-n 50] [-c 20] [-eta 0.9] [-beta 20] [-mph 60] [-policy nonlinear|linear|both] [-tcp]
 //
+// With -solver=meanfield the nonlinear policy routes through the
+// aggregated population tier (internal/meanfield): the fleet is
+// clustered into -clusters representative populations, the macro game
+// is solved exactly, and per-vehicle schedules are disaggregated back
+// — the engine for -n far beyond what the exact dynamics can afford.
+//
 // The -tcp mode exposes the resilience knobs: -drop/-dup/-reorder
 // inject chaos on every grid-side link, -evict-after arms the
 // per-vehicle circuit breaker, and -journal persists the last
@@ -54,6 +60,8 @@ func run() error {
 	policy := flag.String("policy", "both", "nonlinear, linear, or both")
 	seed := flag.Int64("seed", 1, "seed")
 	parallelism := flag.Int("parallel", 0, "proposal workers for the round engine (0 = asynchronous dynamics); with -tcp, vehicles quoted per batch")
+	solver := flag.String("solver", "", "equilibrium engine for the nonlinear policy: empty/exact (per-vehicle dynamics) or meanfield (aggregated population tier)")
+	clusters := flag.Int("clusters", 0, "meanfield: population budget K (0 = tier default)")
 	tcp := flag.Bool("tcp", false, "run distributed over localhost TCP")
 	drop := flag.Float64("drop", 0, "tcp: per-frame drop probability on grid-side links")
 	dup := flag.Float64("dup", 0, "tcp: per-frame duplication probability on grid-side links")
@@ -91,6 +99,9 @@ func run() error {
 	}
 
 	if *tcp {
+		if *solver != "" {
+			return fmt.Errorf("-solver selects an in-process engine; drop -tcp")
+		}
 		outages, err := parseOutages(*outageSpec)
 		if err != nil {
 			return err
@@ -114,8 +125,10 @@ func run() error {
 	scenario := olevgrid.Scenario{
 		Players: players, NumSections: *c, LineCapacityKW: lineCap,
 		Eta: *eta, BetaPerMWh: *beta, Seed: *seed,
-		Parallelism: *parallelism,
-		Metrics:     telemetry.solver(),
+		Parallelism:       *parallelism,
+		Solver:            *solver,
+		MeanFieldClusters: *clusters,
+		Metrics:           telemetry.solver(),
 	}
 	var policies []pricing.Policy
 	switch *policy {

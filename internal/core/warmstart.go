@@ -75,6 +75,17 @@ func ProjectSchedule(prev *Schedule, prevIDs []string, players []Player, numSect
 	return out, nil
 }
 
+// ClampRowToPlayer re-imposes a player's own feasibility on a
+// projected row in place: negative and NaN entries zeroed, the
+// per-section Eq. (3) draw cap applied entrywise, then a proportional
+// rescale of the total onto the Eq. (2) power ceiling. It is the
+// projection rule ProjectSchedule applies to every carried-over row,
+// exported so approximation tiers (internal/meanfield) can
+// disaggregate population schedules through the identical clamp.
+func ClampRowToPlayer(row []float64, p Player) {
+	clampRowToPlayer(row, p)
+}
+
 // clampRowToPlayer re-imposes the player's own feasibility on a
 // projected row: the per-section draw cap first, then a proportional
 // rescale of the total onto the power ceiling.

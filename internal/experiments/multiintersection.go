@@ -158,6 +158,10 @@ type MultiIntersectionPoint struct {
 	CorridorKWh        float64
 	PerIntersectionKWh float64 // corridor mean
 	CityEstimateMWh    float64
+	// Vehicles is the number of distinct vehicles the corridor charged —
+	// the demand signal the regional mean-field study sizes its fleets
+	// from.
+	Vehicles int
 }
 
 // MultiIntersectionSweep runs the corridor study at several corridor
@@ -178,6 +182,7 @@ func MultiIntersectionSweep(counts []int, base MultiIntersectionConfig, parallel
 			CorridorKWh:        res.CorridorKWh,
 			PerIntersectionKWh: res.CorridorKWh / float64(len(res.PerIntersectionKWh)),
 			CityEstimateMWh:    res.CityEstimateMWh,
+			Vehicles:           res.Vehicles,
 		}, nil
 	})
 }

@@ -1,0 +1,195 @@
+package experiments
+
+import (
+	"fmt"
+
+	"olevgrid/internal/core"
+	"olevgrid/internal/meanfield"
+	"olevgrid/internal/pricing"
+	"olevgrid/internal/units"
+)
+
+// Regional mean-field study: the ROADMAP's metropolitan picture is
+// many arterials, each an independent pricing game, coupled only by
+// the upstream feeder. This harness builds one region per corridor of
+// the MultiIntersectionSweep — the corridor's traffic sizes the
+// region's fleet, its intersections size the roadway — and solves the
+// whole metro through the aggregated tier's sharded path
+// (meanfield.SolveSharded) with cross-shard capacity settlement.
+// It is the scale regime the exact engine cannot reach: the corridor
+// fleet counts multiply into tens of thousands of OLEVs, which the
+// population games absorb at a fixed macro size per region.
+
+// RegionalConfig drives the metropolitan sharding study.
+type RegionalConfig struct {
+	// CorridorIntersections lists one corridor length per region; zero
+	// means {3, 5, 8}.
+	CorridorIntersections []int
+	// VehiclesPerCorridorVehicle scales a corridor's observed vehicle
+	// count into the region's fleet size (a corridor hosts many
+	// parallel arterials); zero means 20.
+	VehicleScale int
+	// FeederFraction caps the shared feeder at this fraction of the
+	// summed regional usable capacity; zero means 0.8, negative means
+	// uncoupled (no settlement).
+	FeederFraction float64
+	// Clusters is the per-region population budget; zero means
+	// meanfield.DefaultClusters.
+	Clusters int
+	// Defaults carries the shared game parameters (β, section length,
+	// seed, parallelism).
+	Defaults GameDefaults
+}
+
+func (c *RegionalConfig) applyDefaults() {
+	if len(c.CorridorIntersections) == 0 {
+		c.CorridorIntersections = []int{3, 5, 8}
+	}
+	if c.VehicleScale == 0 {
+		c.VehicleScale = 20
+	}
+	if c.FeederFraction == 0 {
+		c.FeederFraction = 0.8
+	}
+	c.Defaults.apply()
+}
+
+// RegionalPoint is one region's settled outcome.
+type RegionalPoint struct {
+	Region        string
+	Intersections int
+	// Vehicles is the region's fleet size (corridor count × scale).
+	Vehicles int
+	// Clusters is the number of populations the fleet aggregated into.
+	Clusters int
+	// CorridorKWh is the corridor's harvested energy from the traffic
+	// substrate — the physical demand signal.
+	CorridorKWh float64
+	// Welfare, TotalPowerKW and Converged describe the region's
+	// aggregated game at settlement.
+	Welfare      float64
+	TotalPowerKW float64
+	Converged    bool
+	// EffectiveEta is the safety factor after feeder settlement.
+	EffectiveEta float64
+}
+
+// RegionalResult is the settled metropolitan outcome.
+type RegionalResult struct {
+	Points []RegionalPoint
+	// FeederCapKW is the shared feeder capacity the study settled
+	// against (0 = uncoupled).
+	FeederCapKW float64
+	// TotalPowerKW, Welfare, SettleRounds and Settled mirror
+	// meanfield.ShardedResult for the whole metro.
+	TotalPowerKW float64
+	Welfare      float64
+	SettleRounds int
+	Settled      bool
+}
+
+// Table renders the per-region outcomes.
+func (r *RegionalResult) Table() Table {
+	t := Table{
+		Title:   "Regional mean-field sharding: per-region settlement",
+		Columns: []string{"region", "intersections", "vehicles", "clusters", "welfare $/h", "power kW", "eff eta"},
+	}
+	for _, p := range r.Points {
+		t.Rows = append(t.Rows, []string{
+			p.Region,
+			fmt.Sprintf("%d", p.Intersections),
+			fmt.Sprintf("%d", p.Vehicles),
+			fmt.Sprintf("%d", p.Clusters),
+			fmt.Sprintf("%.2f", p.Welfare),
+			fmt.Sprintf("%.2f", p.TotalPowerKW),
+			fmt.Sprintf("%.4f", p.EffectiveEta),
+		})
+	}
+	return t
+}
+
+// RegionalMeanField runs the metropolitan sharding study.
+func RegionalMeanField(cfg RegionalConfig) (*RegionalResult, error) {
+	cfg.applyDefaults()
+	d := cfg.Defaults
+
+	// Physical demand per corridor: the traffic substrate decides how
+	// many vehicles each region serves.
+	base := MultiIntersectionConfig{Seed: d.Seed}
+	points, err := MultiIntersectionSweep(cfg.CorridorIntersections, base, d.Parallelism)
+	if err != nil {
+		return nil, err
+	}
+
+	vel := units.KMH(50) // the corridor study's speed limit
+	lineCap := pricing.LineCapacityKW(d.SectionLength, vel)
+	eta := 0.9
+	regions := make([]meanfield.Region, len(points))
+	var usableSum float64
+	for i, pt := range points {
+		n := pt.Vehicles * cfg.VehicleScale
+		if n < 1 {
+			n = 1
+		}
+		_, players, err := pricing.BuildFleet(pricing.FleetConfig{
+			N:        n,
+			Velocity: vel,
+			Seed:     d.Seed + int64(i),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: region %d fleet: %w", i, err)
+		}
+		regions[i] = meanfield.Region{
+			Name:           fmt.Sprintf("corridor-%02d", pt.Intersections),
+			Players:        players,
+			NumSections:    pt.Intersections,
+			LineCapacityKW: lineCap,
+			Eta:            eta,
+			Clusters:       cfg.Clusters,
+		}
+		usableSum += eta * lineCap * float64(pt.Intersections)
+	}
+
+	var feederCap float64
+	if cfg.FeederFraction > 0 {
+		feederCap = cfg.FeederFraction * usableSum
+	}
+	sharded, err := meanfield.SolveSharded(meanfield.ShardedConfig{
+		Regions: regions,
+		CostFor: func(lineCapacityKW, eta float64) (core.CostFunction, error) {
+			return pricing.Nonlinear{}.CostFunction(d.BetaPerMWh, lineCapacityKW, eta)
+		},
+		FeederCapKW: feederCap,
+		Parallelism: d.Parallelism,
+		// Randomized visit order: near-identical populations crowding
+		// the same sections contract slowly round-robin; the paper's
+		// randomly-chosen-OLEV dynamics break the symmetry.
+		Order: core.OrderRandom,
+		Seed:  d.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	out := &RegionalResult{
+		FeederCapKW:  feederCap,
+		TotalPowerKW: sharded.TotalPowerKW,
+		Welfare:      sharded.Welfare,
+		SettleRounds: sharded.SettleRounds,
+		Settled:      sharded.Settled,
+	}
+	for i, rr := range sharded.Regions {
+		out.Points = append(out.Points, RegionalPoint{
+			Region:        rr.Name,
+			Intersections: points[i].Intersections,
+			Vehicles:      len(regions[i].Players),
+			Clusters:      rr.Result.Clusters,
+			CorridorKWh:   points[i].CorridorKWh,
+			Welfare:       rr.Result.Welfare,
+			TotalPowerKW:  rr.Result.TotalPowerKW,
+			Converged:     rr.Result.Converged,
+			EffectiveEta:  rr.EffectiveEta,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func TestRegionalMeanFieldSettlesFeeder(t *testing.T) {
+	res, err := RegionalMeanField(RegionalConfig{Defaults: GameDefaults{Seed: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Settled {
+		t.Fatalf("metro did not settle in %d rounds (total %v, cap %v)", res.SettleRounds, res.TotalPowerKW, res.FeederCapKW)
+	}
+	if res.FeederCapKW <= 0 {
+		t.Fatal("default config built no feeder cap")
+	}
+	if res.TotalPowerKW > res.FeederCapKW*1.001 {
+		t.Fatalf("settled draw %v exceeds feeder cap %v", res.TotalPowerKW, res.FeederCapKW)
+	}
+	if len(res.Points) != 3 {
+		t.Fatalf("%d regions, want 3 defaults", len(res.Points))
+	}
+	for _, p := range res.Points {
+		if !p.Converged {
+			t.Fatalf("region %s macro game did not converge", p.Region)
+		}
+		if p.Vehicles < 1000 {
+			t.Fatalf("region %s fleet %d; the study is supposed to exceed exact-tier scale", p.Region, p.Vehicles)
+		}
+		if p.Welfare <= 0 || p.TotalPowerKW <= 0 {
+			t.Fatalf("region %s degenerate outcome: W=%v P=%v", p.Region, p.Welfare, p.TotalPowerKW)
+		}
+		if p.CorridorKWh <= 0 {
+			t.Fatalf("region %s: corridor harvested %v kWh", p.Region, p.CorridorKWh)
+		}
+	}
+	// The study renders: every region appears in the table.
+	tab := res.Table()
+	if len(tab.Rows) != len(res.Points) {
+		t.Fatalf("table has %d rows for %d regions", len(tab.Rows), len(res.Points))
+	}
+}
+
+func TestRegionalMeanFieldUncoupled(t *testing.T) {
+	res, err := RegionalMeanField(RegionalConfig{
+		CorridorIntersections: []int{3, 4},
+		FeederFraction:        -1,
+		Defaults:              GameDefaults{Seed: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FeederCapKW != 0 || res.SettleRounds != 1 || !res.Settled {
+		t.Fatalf("uncoupled study: cap=%v rounds=%d settled=%v", res.FeederCapKW, res.SettleRounds, res.Settled)
+	}
+	for _, p := range res.Points {
+		if p.EffectiveEta != 0.9 {
+			t.Fatalf("region %s shed capacity (%v) with no feeder constraint", p.Region, p.EffectiveEta)
+		}
+	}
+}
+
+func TestRegionalMeanFieldWorkerCountIndependent(t *testing.T) {
+	run := func(par int) *RegionalResult {
+		res, err := RegionalMeanField(RegionalConfig{
+			CorridorIntersections: []int{3, 5},
+			Defaults:              GameDefaults{Seed: 2, Parallelism: par},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	ref := run(1)
+	got := run(4)
+	if got.Welfare != ref.Welfare || got.TotalPowerKW != ref.TotalPowerKW || got.SettleRounds != ref.SettleRounds {
+		t.Fatalf("parallelism changed the study: W %v vs %v, P %v vs %v, rounds %d vs %d",
+			got.Welfare, ref.Welfare, got.TotalPowerKW, ref.TotalPowerKW, got.SettleRounds, ref.SettleRounds)
+	}
+	for i := range ref.Points {
+		if got.Points[i].Welfare != ref.Points[i].Welfare || got.Points[i].EffectiveEta != ref.Points[i].EffectiveEta {
+			t.Fatalf("region %d diverged across worker counts", i)
+		}
+	}
+}

@@ -1,0 +1,290 @@
+package meanfield
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"olevgrid/internal/core"
+)
+
+// DefaultClusters is the population count K when Config.Clusters is
+// zero: wide enough to resolve the mild type heterogeneity the
+// evaluation fleets carry (five satisfaction-weight tiers, a handful
+// of battery-headroom bands), narrow enough that the macro game stays
+// O(1) in the fleet size.
+const DefaultClusters = 16
+
+// Cluster is one representative population: the member player indices
+// (into the original fleet, ascending) and the macro player that
+// stands in for all of them in the population game.
+type Cluster struct {
+	// Members indexes the original players this cluster aggregates.
+	Members []int
+	// Macro is the aggregated stand-in: power ceiling and draw cap are
+	// member sums, the satisfaction is the members' scaled centroid
+	// (see ScaledSatisfaction).
+	Macro core.Player
+}
+
+// ScaledSatisfaction lifts one representative member's satisfaction to
+// a population of Count members under the equal-split reading: a
+// population receiving aggregate power q splits it evenly, so
+//
+//	U_pop(q) = Count · U_rep(q/Count),  U'_pop(q) = U'_rep(q/Count).
+//
+// For a homogeneous cluster this is exact, and for log satisfactions
+// it is exact even under weight heterogeneity when Rep carries the
+// mean weight: Σ_n w_n·log(1+q/m) = m·w̄·log(1+q/m). Concavity and
+// monotonicity are inherited from Rep, so the macro game stays inside
+// Theorem IV.1's hypotheses.
+type ScaledSatisfaction struct {
+	Rep   core.Satisfaction
+	Count float64
+}
+
+var _ core.Satisfaction = ScaledSatisfaction{}
+
+// Value implements core.Satisfaction.
+func (s ScaledSatisfaction) Value(q float64) float64 {
+	return s.Count * s.Rep.Value(q/s.Count)
+}
+
+// Marginal implements core.Satisfaction.
+func (s ScaledSatisfaction) Marginal(q float64) float64 {
+	return s.Rep.Marginal(q / s.Count)
+}
+
+// profileKey is the scalar type signature players are bucketed by:
+// satisfaction intensity at a reference load, then the feasibility
+// bounds. Marginal(1) is finite and ordering-faithful for every
+// concave satisfaction the repo ships (log, sqrt), unlike Marginal(0)
+// which diverges for sqrt.
+type profileKey struct {
+	tag      string // concrete satisfaction family, so centroids stay within-family
+	marginal float64
+	maxPower float64
+	drawCap  float64
+	index    int // original position; the final, total tie-break
+}
+
+func keyOf(i int, p core.Player) profileKey {
+	tag := "other"
+	switch p.Satisfaction.(type) {
+	case core.LogSatisfaction:
+		tag = "log"
+	case core.SqrtSatisfaction:
+		tag = "sqrt"
+	}
+	return profileKey{
+		tag:      tag,
+		marginal: p.Satisfaction.Marginal(1),
+		maxPower: p.MaxPowerKW,
+		drawCap:  p.MaxSectionDrawKW,
+		index:    i,
+	}
+}
+
+func (a profileKey) less(b profileKey) bool {
+	if a.tag != b.tag {
+		return a.tag < b.tag
+	}
+	if a.marginal != b.marginal {
+		return a.marginal < b.marginal
+	}
+	if a.maxPower != b.maxPower {
+		return a.maxPower < b.maxPower
+	}
+	if a.drawCap != b.drawCap {
+		return a.drawCap < b.drawCap
+	}
+	return a.index < b.index
+}
+
+// ClusterPlayers partitions a fleet into at most k representative
+// populations and returns the clusters plus the player→cluster
+// assignment, index-aligned with players.
+//
+// The rule is deterministic and refinement-friendly: players are
+// sorted by profile key (satisfaction family, marginal intensity,
+// power ceiling, draw cap, original index) and cut into contiguous
+// near-equal buckets per family, with bucket boundaries at
+// ⌊i·m/k⌋ so that doubling k exactly refines the partition — the
+// property the cluster-count-monotonicity suite leans on. k is
+// clamped to [1, len(players)]; every cluster is non-empty. k is a
+// budget, not an exact count: each satisfaction family present gets at
+// least one cluster (centroids never mix families), so the result has
+// at most max(k, #families) clusters.
+func ClusterPlayers(players []core.Player, k int) ([]Cluster, []int, error) {
+	n := len(players)
+	if n == 0 {
+		return nil, nil, fmt.Errorf("meanfield: cluster needs players")
+	}
+	if k <= 0 {
+		k = DefaultClusters
+	}
+	if k > n {
+		k = n
+	}
+	keys := make([]profileKey, n)
+	for i, p := range players {
+		if p.Satisfaction == nil {
+			return nil, nil, fmt.Errorf("meanfield: player %d has no satisfaction function", i)
+		}
+		if p.MaxPowerKW < 0 || math.IsNaN(p.MaxPowerKW) {
+			return nil, nil, fmt.Errorf("meanfield: player %d max power %v invalid", i, p.MaxPowerKW)
+		}
+		keys[i] = keyOf(i, p)
+	}
+	sort.Slice(keys, func(a, b int) bool { return keys[a].less(keys[b]) })
+
+	// Per-family bucket budgets: proportional by size (largest
+	// remainder), at least one per non-empty family, never more than
+	// the family's member count.
+	var families []family
+	for _, key := range keys {
+		if len(families) == 0 || families[len(families)-1].tag != key.tag {
+			families = append(families, family{tag: key.tag})
+		}
+		f := &families[len(families)-1]
+		f.keys = append(f.keys, key)
+	}
+	budgets := familyBudgets(families, k, n)
+
+	var clusters []Cluster
+	assignment := make([]int, n)
+	for fi, f := range families {
+		kf := budgets[fi]
+		m := len(f.keys)
+		for b := 0; b < kf; b++ {
+			lo, hi := b*m/kf, (b+1)*m/kf
+			if lo == hi {
+				continue
+			}
+			members := make([]int, 0, hi-lo)
+			for _, key := range f.keys[lo:hi] {
+				members = append(members, key.index)
+			}
+			sort.Ints(members)
+			ci := len(clusters)
+			for _, idx := range members {
+				assignment[idx] = ci
+			}
+			clusters = append(clusters, Cluster{
+				Members: members,
+				Macro:   macroPlayer(ci, players, members),
+			})
+		}
+	}
+	return clusters, assignment, nil
+}
+
+// family groups the sorted profile keys of one satisfaction family.
+type family struct {
+	tag  string
+	keys []profileKey
+}
+
+// familyBudgets splits k cluster slots across families proportionally
+// to their member counts, with a one-slot floor and a member-count
+// ceiling per family. Deterministic largest-remainder rounding.
+func familyBudgets(families []family, k, n int) []int {
+	budgets := make([]int, len(families))
+	remainders := make([]float64, len(families))
+	used := 0
+	for i, f := range families {
+		exact := float64(k) * float64(len(f.keys)) / float64(n)
+		b := int(exact)
+		if b < 1 {
+			b = 1
+		}
+		if b > len(f.keys) {
+			b = len(f.keys)
+		}
+		budgets[i] = b
+		remainders[i] = exact - float64(b)
+		used += b
+	}
+	for used < k {
+		best := -1
+		for i, f := range families {
+			if budgets[i] >= len(f.keys) {
+				continue
+			}
+			if best < 0 || remainders[i] > remainders[best] {
+				best = i
+			}
+		}
+		if best < 0 {
+			break // every family saturated: k exceeds n, already clamped
+		}
+		budgets[best]++
+		remainders[best]--
+		used++
+	}
+	return budgets
+}
+
+// macroPlayer aggregates a member set into the population's stand-in
+// player: ceilings and caps sum (the population's joint feasible
+// set), the satisfaction is the scaled within-family centroid — the
+// mean-weight member for the log/sqrt families, the median member for
+// anything else. A per-section draw cap survives aggregation only if
+// every member carries one; a single uncapped member makes the
+// population uncapped (disaggregation re-imposes individual caps).
+func macroPlayer(ci int, players []core.Player, members []int) core.Player {
+	m := len(members)
+	if m == 1 {
+		p := players[members[0]]
+		p.ID = fmt.Sprintf("mf-%04d", ci)
+		return p
+	}
+	var sumPower, sumCap float64
+	allCapped := true
+	for _, idx := range members {
+		sumPower += players[idx].MaxPowerKW
+		if players[idx].MaxSectionDrawKW > 0 {
+			sumCap += players[idx].MaxSectionDrawKW
+		} else {
+			allCapped = false
+		}
+	}
+	macro := core.Player{
+		ID:           fmt.Sprintf("mf-%04d", ci),
+		MaxPowerKW:   sumPower,
+		Satisfaction: ScaledSatisfaction{Rep: centroidSatisfaction(players, members), Count: float64(m)},
+	}
+	if allCapped {
+		macro.MaxSectionDrawKW = sumCap
+	}
+	return macro
+}
+
+// centroidSatisfaction picks the population's representative
+// satisfaction: mean weight for homogeneous log or sqrt families
+// (exact under the equal-split reading for log), the median member
+// otherwise.
+func centroidSatisfaction(players []core.Player, members []int) core.Satisfaction {
+	allLog, allSqrt := true, true
+	var weightSum float64
+	for _, idx := range members {
+		switch s := players[idx].Satisfaction.(type) {
+		case core.LogSatisfaction:
+			allSqrt = false
+			weightSum += s.Weight
+		case core.SqrtSatisfaction:
+			allLog = false
+			weightSum += s.Weight
+		default:
+			allLog, allSqrt = false, false
+		}
+	}
+	mean := weightSum / float64(len(members))
+	switch {
+	case allLog:
+		return core.LogSatisfaction{Weight: mean}
+	case allSqrt:
+		return core.SqrtSatisfaction{Weight: mean}
+	}
+	return players[members[len(members)/2]].Satisfaction
+}

@@ -1,0 +1,193 @@
+package meanfield
+
+import (
+	"sort"
+
+	"olevgrid/internal/core"
+)
+
+// This file is the tier's trust-critical half: mapping a converged
+// population schedule back onto individual OLEVs without ever handing
+// a vehicle an infeasible instruction. The split rule inside one
+// cluster is the capped equal share — the allocation the exact game
+// itself converges to for identical members:
+//
+//	t_n = min(pmax_n, θ)   with   Σ_n t_n = q,
+//
+// θ the common share level (the within-cluster analogue of Lemma
+// IV.1's water level, over member power ceilings instead of section
+// loads). Each member's row then takes the macro row's shape scaled
+// to t_n/q and passes through core.ClampRowToPlayer — the identical
+// feasibility clamp ProjectSchedule applies to warm starts — so the
+// published schedule satisfies every Eq. (2)/(3) bound by
+// construction, whatever the macro solve produced. The property suite
+// asserts exactly that.
+
+// splitScratch is one disaggregation worker's reusable buffers.
+type splitScratch struct {
+	caps      []float64 // sort buffer over effective ceilings
+	effective []float64 // member effective ceilings, member order
+	targets   []float64 // member totals t_n
+	row       []float64 // one member row under construction
+}
+
+func newSplitScratch(numSections int) *splitScratch {
+	return &splitScratch{row: make([]float64, numSections)}
+}
+
+// ensure sizes the per-member buffers for a cluster of m members.
+func (ws *splitScratch) ensure(m int) {
+	if cap(ws.effective) < m {
+		ws.effective = make([]float64, m)
+		ws.targets = make([]float64, m)
+		ws.caps = make([]float64, 0, m)
+	}
+	ws.effective = ws.effective[:m]
+	ws.targets = ws.targets[:m]
+}
+
+// clusterShares computes the capped equal-split member totals for one
+// cluster: targets[i] = min(cap_i, θ) with Σ targets = q (exactly, up
+// to one residual repair), where cap_i is member i's effective
+// ceiling. caps is scratch and is overwritten. The walk over sorted
+// ceilings is the exact breakpoint solution; no bisection needed.
+func clusterShares(targets []float64, caps []float64, effective []float64, q float64) {
+	m := len(effective)
+	if q <= 0 {
+		for i := range targets {
+			targets[i] = 0
+		}
+		return
+	}
+	caps = caps[:0]
+	var total float64
+	for _, c := range effective {
+		caps = append(caps, c)
+		total += c
+	}
+	if q >= total {
+		// Population asked for everything its members can take (the
+		// macro ceiling is the member sum, so beyond-total requests are
+		// float noise): everyone saturates.
+		copy(targets, effective)
+		return
+	}
+	sort.Float64s(caps)
+	// Find the share level θ: members below θ saturate, the rest split
+	// the remainder evenly.
+	var prefix float64
+	theta := 0.0
+	for k := 0; k < m; k++ {
+		// With k members saturated at the k smallest ceilings, the
+		// remaining m−k members share q − prefix; θ is consistent when
+		// it does not exceed the next ceiling.
+		candidate := (q - prefix) / float64(m-k)
+		if candidate <= caps[k] {
+			theta = candidate
+			break
+		}
+		prefix += caps[k] // member k saturates; keep walking
+	}
+	var sum float64
+	for i, c := range effective {
+		t := theta
+		if t > c {
+			t = c
+		}
+		targets[i] = t
+		sum += t
+	}
+	// Repair the float residual proportionally over unsaturated
+	// members so the cluster total lands exactly on q.
+	if diff := q - sum; diff != 0 {
+		var slack float64
+		for i, c := range effective {
+			if targets[i] < c {
+				slack += targets[i]
+			}
+		}
+		if slack > 0 {
+			for i, c := range effective {
+				if targets[i] < c {
+					targets[i] += diff * targets[i] / slack
+					if targets[i] > c {
+						targets[i] = c
+					}
+				}
+			}
+		}
+	}
+}
+
+// effectiveCeiling is the member's joint Eq. (2)/(3) budget: the power
+// ceiling, additionally bounded by drawCap·C when a per-section cap is
+// set (a row can never carry more than that).
+func effectiveCeiling(p core.Player, numSections int) float64 {
+	pmax := p.MaxPowerKW
+	if p.MaxSectionDrawKW > 0 {
+		if ceil := p.MaxSectionDrawKW * float64(numSections); ceil < pmax {
+			pmax = ceil
+		}
+	}
+	return pmax
+}
+
+// clusterPartial is one cluster's disaggregation contribution,
+// combined in cluster-index order so results never depend on the
+// worker count.
+type clusterPartial struct {
+	satisfaction  float64
+	sectionTotals []float64
+	powerKW       float64
+	clampedKW     float64 // mass lost to per-member feasibility clamps
+}
+
+// disaggregateCluster maps one cluster's macro row onto its members.
+// When sched is non-nil the member rows are written into it (rows of
+// distinct clusters are disjoint, so concurrent clusters are safe);
+// the aggregate statistics are returned either way, which is how the
+// streaming (SkipSchedule) path evaluates million-player fleets in
+// O(C) memory per worker.
+func disaggregateCluster(cl Cluster, players []core.Player, macroRow []float64, sched *core.Schedule, ws *splitScratch) clusterPartial {
+	c := len(macroRow)
+	part := clusterPartial{sectionTotals: make([]float64, c)}
+	var q float64
+	for _, v := range macroRow {
+		q += v
+	}
+	ws.ensure(len(cl.Members))
+	for i, idx := range cl.Members {
+		ws.effective[i] = effectiveCeiling(players[idx], c)
+	}
+	clusterShares(ws.targets, ws.caps, ws.effective, q)
+
+	for i, idx := range cl.Members {
+		t := ws.targets[i]
+		row := ws.row
+		if q > 0 {
+			scale := t / q
+			for j, v := range macroRow {
+				row[j] = v * scale
+			}
+		} else {
+			for j := range row {
+				row[j] = 0
+			}
+		}
+		core.ClampRowToPlayer(row, players[idx])
+		var rowSum float64
+		for j, v := range row {
+			part.sectionTotals[j] += v
+			rowSum += v
+		}
+		part.satisfaction += players[idx].Satisfaction.Value(rowSum)
+		part.powerKW += rowSum
+		if lost := t - rowSum; lost > 0 {
+			part.clampedKW += lost
+		}
+		if sched != nil {
+			sched.SetRow(idx, row)
+		}
+	}
+	return part
+}

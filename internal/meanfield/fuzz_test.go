@@ -1,0 +1,153 @@
+package meanfield
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"olevgrid/internal/core"
+)
+
+// FuzzClusterAssign drives the type-bucketing/disaggregation boundary
+// with adversarial shapes: zero-size fleets, k far above and below the
+// fleet size, degenerate fleets where every demand profile is
+// identical (one giant cluster), single-player clusters, zero and
+// overshooting macro demands. The invariants checked are the ones the
+// rest of the tier builds on: ClusterPlayers yields an exact partition
+// with non-empty clusters and a consistent assignment, and
+// disaggregation conserves mass up to the feasibility clamp while
+// never exceeding any member's own bounds.
+func FuzzClusterAssign(f *testing.F) {
+	f.Add(int64(1), uint8(20), int16(4), uint8(6), false, 100.0)
+	f.Add(int64(2), uint8(0), int16(8), uint8(4), false, 50.0)   // empty fleet
+	f.Add(int64(3), uint8(7), int16(500), uint8(3), false, 10.0) // k ≫ n: singletons
+	f.Add(int64(4), uint8(50), int16(1), uint8(5), true, 900.0)  // identical demands, one bucket
+	f.Add(int64(5), uint8(1), int16(0), uint8(1), false, 0.0)    // single player, default k, zero demand
+	f.Add(int64(6), uint8(33), int16(-3), uint8(2), true, 1e9)   // negative k, absurd demand
+	f.Fuzz(func(t *testing.T, seed int64, n uint8, k int16, c uint8, identical bool, q float64) {
+		rng := rand.New(rand.NewSource(seed))
+		numSections := 1 + int(c%16)
+		players := make([]core.Player, int(n))
+		for i := range players {
+			p := core.Player{
+				ID:         fmt.Sprintf("olev-%04d", i),
+				MaxPowerKW: 40 + 60*rng.Float64(),
+			}
+			if identical {
+				p.MaxPowerKW = 55
+				p.Satisfaction = core.LogSatisfaction{Weight: 8}
+			} else if i%3 == 2 {
+				p.Satisfaction = core.SqrtSatisfaction{Weight: 0.5 + rng.Float64()}
+			} else {
+				p.Satisfaction = core.LogSatisfaction{Weight: 2 + 10*rng.Float64()}
+			}
+			if !identical && i%4 == 1 {
+				p.MaxSectionDrawKW = 1 + 9*rng.Float64()
+			}
+			players[i] = p
+		}
+
+		clusters, assignment, err := ClusterPlayers(players, int(k))
+		if len(players) == 0 {
+			if err == nil {
+				t.Fatal("empty fleet accepted")
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("ClusterPlayers rejected a valid fleet: %v", err)
+		}
+		if len(assignment) != len(players) {
+			t.Fatalf("assignment length %d for %d players", len(assignment), len(players))
+		}
+		seen := make([]bool, len(players))
+		for ci, cl := range clusters {
+			if len(cl.Members) == 0 {
+				t.Fatalf("cluster %d empty", ci)
+			}
+			var sumPower float64
+			for i, idx := range cl.Members {
+				if idx < 0 || idx >= len(players) {
+					t.Fatalf("cluster %d: member index %d out of range", ci, idx)
+				}
+				if seen[idx] {
+					t.Fatalf("player %d assigned twice", idx)
+				}
+				seen[idx] = true
+				if assignment[idx] != ci {
+					t.Fatalf("assignment[%d]=%d, member of %d", idx, assignment[idx], ci)
+				}
+				if i > 0 && cl.Members[i-1] >= idx {
+					t.Fatalf("cluster %d members not ascending", ci)
+				}
+				sumPower += players[idx].MaxPowerKW
+			}
+			if math.Abs(cl.Macro.MaxPowerKW-sumPower) > 1e-9*(1+sumPower) {
+				t.Fatalf("cluster %d: macro ceiling %v, member sum %v", ci, cl.Macro.MaxPowerKW, sumPower)
+			}
+			if cl.Macro.Satisfaction == nil {
+				t.Fatalf("cluster %d: macro player has no satisfaction", ci)
+			}
+		}
+		for idx, ok := range seen {
+			if !ok {
+				t.Fatalf("player %d unassigned", idx)
+			}
+		}
+		if identical && len(clusters) > 1 && int(k) >= 1 && int(k) < len(players) {
+			// Degenerate identical profiles collapse into min(k, n)
+			// clusters at most; with 1 ≤ k < n that is k.
+			if len(clusters) > int(k) {
+				t.Fatalf("identical fleet split into %d clusters with k=%d", len(clusters), k)
+			}
+		}
+
+		// Disaggregate a synthetic macro row through every cluster and
+		// check the published rows against each member's own bounds.
+		if math.IsNaN(q) || math.IsInf(q, 0) || q < 0 {
+			return
+		}
+		ws := newSplitScratch(numSections)
+		sched, err := core.NewSchedule(len(players), numSections)
+		if err != nil {
+			t.Fatal(err)
+		}
+		macroRow := make([]float64, numSections)
+		for ci, cl := range clusters {
+			rowQ := q * float64(ci+1) / float64(len(clusters))
+			for j := range macroRow {
+				macroRow[j] = rowQ / float64(numSections)
+			}
+			part := disaggregateCluster(cl, players, macroRow, sched, ws)
+			var capSum float64
+			for _, idx := range cl.Members {
+				capSum += effectiveCeiling(players[idx], numSections)
+			}
+			want := math.Min(rowQ, capSum)
+			if part.powerKW > want*(1+1e-9)+1e-9 {
+				t.Fatalf("cluster %d: disaggregated %v kW from a demand of %v (cap %v)", ci, part.powerKW, rowQ, capSum)
+			}
+			if part.powerKW < 0 || math.IsNaN(part.powerKW) {
+				t.Fatalf("cluster %d: power %v", ci, part.powerKW)
+			}
+		}
+		const eps = 1e-9
+		for p, player := range players {
+			var total float64
+			for s := 0; s < numSections; s++ {
+				v := sched.At(p, s)
+				if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+					t.Fatalf("player %d: entry %v", p, v)
+				}
+				if player.MaxSectionDrawKW > 0 && v > player.MaxSectionDrawKW*(1+eps) {
+					t.Fatalf("player %d: draw %v exceeds cap %v", p, v, player.MaxSectionDrawKW)
+				}
+				total += v
+			}
+			if total > player.MaxPowerKW*(1+eps) {
+				t.Fatalf("player %d: total %v exceeds budget %v", p, total, player.MaxPowerKW)
+			}
+		}
+	})
+}

@@ -1,0 +1,169 @@
+package meanfield
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"olevgrid/internal/core"
+)
+
+// Golden determinism test, matching the fig2/fig3/RunDay conventions:
+// the rendered mean-field solve for a fixed seed is pinned
+// byte-for-byte under testdata/, and the render is repeated for
+// several positive Parallelism values — every one must produce the
+// identical bytes, because the tier inherits the exact engine's
+// worker-count invariance and combines disaggregation partials in
+// cluster-index order. Floats are rendered with strconv's shortest
+// round-trip form, so a single ULP of drift fails the test.
+// Regenerate with:
+//
+//	go test ./internal/meanfield -run Golden -update
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if got == string(want) {
+		return
+	}
+	gotLines, wantLines := strings.Split(got, "\n"), strings.Split(string(want), "\n")
+	for i := 0; i < len(gotLines) || i < len(wantLines); i++ {
+		var g, w string
+		if i < len(gotLines) {
+			g = gotLines[i]
+		}
+		if i < len(wantLines) {
+			w = wantLines[i]
+		}
+		if g != w {
+			t.Fatalf("%s: first difference at line %d:\n got: %q\nwant: %q", name, i+1, g, w)
+		}
+	}
+	t.Fatalf("%s: output differs from golden", name)
+}
+
+func f64(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// renderSolve serializes a Result losslessly enough that any numeric
+// drift — a reordered float sum, a changed bisection — flips a byte.
+func renderSolve(cfg Config, res *Result) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "meanfield solve: n=%d c=%d k=%d seed=%d\n",
+		len(cfg.Players), cfg.NumSections, cfg.Clusters, cfg.Seed)
+	fmt.Fprintf(&sb, "clusters=%d rounds=%d updates=%d converged=%v replayed=%d\n",
+		res.Clusters, res.Rounds, res.Updates, res.Converged, res.Replayed)
+	fmt.Fprintf(&sb, "welfare=%s macro=%s power=%s congestion=%s clamped=%s\n",
+		f64(res.Welfare), f64(res.MacroWelfare), f64(res.TotalPowerKW),
+		f64(res.CongestionDegree), f64(res.ClampedKW))
+	sb.WriteString("sections:")
+	for _, v := range res.SectionTotalsKW {
+		sb.WriteByte(' ')
+		sb.WriteString(f64(v))
+	}
+	sb.WriteByte('\n')
+	sb.WriteString("assignment:")
+	for _, ci := range res.Assignment {
+		fmt.Fprintf(&sb, " %d", ci)
+	}
+	sb.WriteByte('\n')
+	for p := 0; p < res.Schedule.NumOLEVs(); p++ {
+		fmt.Fprintf(&sb, "row %03d:", p)
+		for c := 0; c < res.Schedule.NumSections(); c++ {
+			sb.WriteByte(' ')
+			sb.WriteString(f64(res.Schedule.At(p, c)))
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+func goldenConfig(t *testing.T) Config {
+	t.Helper()
+	// A fixed fleet off the same generator as the differential suite,
+	// spanning both satisfaction families, draw caps and weight tiers.
+	players := goldenFleet(48)
+	const c = 10
+	eta := 0.9
+	lineCap := 140.0
+	charging, err := core.NewQuadraticCharging(0.02, 0.875, eta*lineCap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		Players:        players,
+		NumSections:    c,
+		LineCapacityKW: lineCap,
+		Eta:            eta,
+		Cost: core.SectionCost{
+			Charging: charging,
+			Overload: core.OverloadPenalty{Kappa: 10, Capacity: eta * lineCap},
+		},
+		Clusters: 8,
+		Order:    core.OrderRandom,
+		Seed:     1,
+	}
+}
+
+// goldenFleet is a deterministic arithmetic fleet (no rand dependency,
+// so the golden survives any future change to the test-fleet
+// generator).
+func goldenFleet(n int) []core.Player {
+	players := make([]core.Player, n)
+	for i := range players {
+		p := core.Player{
+			ID:         fmt.Sprintf("olev-%04d", i),
+			MaxPowerKW: 40 + float64((i*13)%61),
+		}
+		tier := 1 + 0.06*float64(i%5)
+		if i%4 == 3 {
+			p.Satisfaction = core.SqrtSatisfaction{Weight: 2 * tier}
+		} else {
+			p.Satisfaction = core.LogSatisfaction{Weight: 8 * tier}
+		}
+		if i%5 == 4 {
+			p.MaxSectionDrawKW = 6 + float64(i%7)
+		}
+		players[i] = p
+	}
+	return players
+}
+
+func TestGoldenMeanFieldDeterminism(t *testing.T) {
+	base := goldenConfig(t)
+	var ref string
+	for _, par := range []int{1, 2, 3, 8} {
+		cfg := base
+		cfg.Parallelism = par
+		res, err := Solve(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := renderSolve(cfg, res)
+		if par == 1 {
+			ref = got
+			checkGolden(t, "meanfield.golden", got)
+			continue
+		}
+		if got != ref {
+			t.Fatalf("parallelism %d output differs from parallelism 1", par)
+		}
+	}
+}

@@ -1,0 +1,345 @@
+package meanfield
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"olevgrid/internal/core"
+	"olevgrid/internal/obs"
+)
+
+// homogeneousFleet builds n identical OLEVs — the regime where the
+// aggregation is exact: one cluster per type, equal split optimal by
+// symmetry, mean-weight centroid the member itself.
+func homogeneousFleet(n int) []core.Player {
+	players := make([]core.Player, n)
+	for i := range players {
+		players[i] = core.Player{
+			ID:           fmt.Sprintf("olev-%04d", i),
+			MaxPowerKW:   80,
+			Satisfaction: core.LogSatisfaction{Weight: 8},
+		}
+	}
+	return players
+}
+
+func testCost(t *testing.T, eta, lineCap float64) core.CostFunction {
+	t.Helper()
+	charging, err := core.NewQuadraticCharging(0.02, 0.875, eta*lineCap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return core.SectionCost{
+		Charging: charging,
+		Overload: core.OverloadPenalty{Kappa: 10, Capacity: eta * lineCap},
+	}
+}
+
+func TestClusterPlayersPartition(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	players := diffFleet(rng, 137)
+	for _, k := range []int{1, 3, 16, 50, 137, 1000} {
+		clusters, assignment, err := ClusterPlayers(players, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantK := k
+		if wantK < 2 {
+			wantK = 2 // one-per-family floor: diffFleet spans log and sqrt
+		}
+		if wantK > len(players) {
+			wantK = len(players)
+		}
+		if len(clusters) > wantK {
+			t.Fatalf("k=%d: %d clusters exceeds budget %d", k, len(clusters), wantK)
+		}
+		seen := make(map[int]int)
+		for ci, cl := range clusters {
+			if len(cl.Members) == 0 {
+				t.Fatalf("k=%d: cluster %d empty", k, ci)
+			}
+			for i, idx := range cl.Members {
+				if i > 0 && cl.Members[i-1] >= idx {
+					t.Fatalf("k=%d: cluster %d members not strictly ascending", k, ci)
+				}
+				if prev, dup := seen[idx]; dup {
+					t.Fatalf("k=%d: player %d in clusters %d and %d", k, idx, prev, ci)
+				}
+				seen[idx] = ci
+				if assignment[idx] != ci {
+					t.Fatalf("k=%d: assignment[%d]=%d, member of %d", k, idx, assignment[idx], ci)
+				}
+			}
+		}
+		if len(seen) != len(players) {
+			t.Fatalf("k=%d: %d of %d players assigned", k, len(seen), len(players))
+		}
+	}
+}
+
+func TestClusterPlayersRefinementNesting(t *testing.T) {
+	// Single-family fleet: doubling k must exactly refine the partition
+	// (boundaries ⌊i·m/k⌋ of the coarse cut all survive in the fine
+	// cut), the structural fact the monotonicity property leans on.
+	rng := rand.New(rand.NewSource(11))
+	players := make([]core.Player, 96)
+	for i := range players {
+		players[i] = core.Player{
+			ID:           fmt.Sprintf("olev-%04d", i),
+			MaxPowerKW:   40 + 60*rng.Float64(),
+			Satisfaction: core.LogSatisfaction{Weight: 4 + 8*rng.Float64()},
+		}
+	}
+	for _, k := range []int{2, 4, 8, 16} {
+		_, coarse, err := ClusterPlayers(players, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, fine, err := ClusterPlayers(players, 2*k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Nesting: two players sharing a fine cluster share the coarse one.
+		for i := range players {
+			for j := i + 1; j < len(players); j++ {
+				if fine[i] == fine[j] && coarse[i] != coarse[j] {
+					t.Fatalf("k=%d→%d: players %d,%d merged in fine but split in coarse", k, 2*k, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestScaledSatisfactionExactForLogFamily(t *testing.T) {
+	// Σ_n w_n·log(1+q/m) = m·w̄·log(1+q/m): the scaled mean-weight
+	// centroid reproduces the population's equal-split value exactly,
+	// for any weight mix.
+	weights := []float64{2, 3.5, 8, 11, 13.25}
+	var mean float64
+	for _, w := range weights {
+		mean += w
+	}
+	mean /= float64(len(weights))
+	s := ScaledSatisfaction{Rep: core.LogSatisfaction{Weight: mean}, Count: float64(len(weights))}
+	for _, q := range []float64{0, 0.5, 7, 42, 300} {
+		var want float64
+		for _, w := range weights {
+			want += core.LogSatisfaction{Weight: w}.Value(q / float64(len(weights)))
+		}
+		if got := s.Value(q); math.Abs(got-want) > 1e-9*(1+math.Abs(want)) {
+			t.Fatalf("Value(%v): got %v want %v", q, got, want)
+		}
+	}
+	// The marginal is the representative's at the per-member share.
+	if got, want := s.Marginal(10), (core.LogSatisfaction{Weight: mean}).Marginal(2); got != want {
+		t.Fatalf("Marginal: got %v want %v", got, want)
+	}
+}
+
+func TestClusterSharesCappedEqualSplit(t *testing.T) {
+	cases := []struct {
+		name string
+		caps []float64
+		q    float64
+		want []float64
+	}{
+		{"uncapped equal", []float64{50, 50, 50}, 30, []float64{10, 10, 10}},
+		{"one saturates", []float64{4, 50, 50}, 34, []float64{4, 15, 15}},
+		{"two saturate", []float64{2, 4, 50}, 26, []float64{2, 4, 20}},
+		{"all saturate", []float64{2, 4, 6}, 12, []float64{2, 4, 6}},
+		{"overshoot clamps", []float64{2, 4, 6}, 99, []float64{2, 4, 6}},
+		{"zero demand", []float64{2, 4, 6}, 0, []float64{0, 0, 0}},
+		{"unsorted input", []float64{50, 4, 50}, 34, []float64{15, 4, 15}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			targets := make([]float64, len(tc.caps))
+			clusterShares(targets, nil, tc.caps, tc.q)
+			for i, want := range tc.want {
+				if math.Abs(targets[i]-want) > 1e-12 {
+					t.Fatalf("targets=%v want %v", targets, tc.want)
+				}
+			}
+		})
+	}
+}
+
+func TestClusterSharesConserveMass(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 200; trial++ {
+		m := 1 + rng.Intn(12)
+		caps := make([]float64, m)
+		var total float64
+		for i := range caps {
+			caps[i] = rng.Float64() * 100
+			total += caps[i]
+		}
+		q := rng.Float64() * total
+		targets := make([]float64, m)
+		clusterShares(targets, nil, caps, q)
+		var sum float64
+		for i, v := range targets {
+			if v < 0 || v > caps[i]+1e-9 {
+				t.Fatalf("trial %d: target %v outside [0, %v]", trial, v, caps[i])
+			}
+			sum += v
+		}
+		if math.Abs(sum-q) > 1e-9*(1+q) {
+			t.Fatalf("trial %d: split sums to %v, want %v", trial, sum, q)
+		}
+	}
+}
+
+func TestMacroPlayerAggregatesFeasibleSet(t *testing.T) {
+	players := []core.Player{
+		{ID: "a", MaxPowerKW: 30, MaxSectionDrawKW: 3, Satisfaction: core.LogSatisfaction{Weight: 4}},
+		{ID: "b", MaxPowerKW: 50, MaxSectionDrawKW: 5, Satisfaction: core.LogSatisfaction{Weight: 6}},
+	}
+	m := macroPlayer(0, players, []int{0, 1})
+	if m.MaxPowerKW != 80 || m.MaxSectionDrawKW != 8 {
+		t.Fatalf("macro bounds %v/%v, want 80/8", m.MaxPowerKW, m.MaxSectionDrawKW)
+	}
+	s, ok := m.Satisfaction.(ScaledSatisfaction)
+	if !ok {
+		t.Fatalf("macro satisfaction %T, want ScaledSatisfaction", m.Satisfaction)
+	}
+	if rep, ok := s.Rep.(core.LogSatisfaction); !ok || rep.Weight != 5 {
+		t.Fatalf("centroid %v, want mean-weight log(5)", s.Rep)
+	}
+
+	// One uncapped member makes the population uncapped.
+	players[1].MaxSectionDrawKW = 0
+	if m := macroPlayer(0, players, []int{0, 1}); m.MaxSectionDrawKW != 0 {
+		t.Fatalf("uncapped member leaked a macro draw cap %v", m.MaxSectionDrawKW)
+	}
+}
+
+func TestSolveExactOnHomogeneousFleet(t *testing.T) {
+	// Identical players: equal split is the true optimum by symmetry,
+	// so the aggregated tier must land on the exact welfare to float
+	// noise, not merely within the differential envelope.
+	const n, c = 60, 12
+	players := homogeneousFleet(n)
+	eta, lineCap := 0.9, 180.0
+	cost := testCost(t, eta, lineCap)
+
+	mf, err := Solve(Config{
+		Players: players, NumSections: c, LineCapacityKW: lineCap, Eta: eta,
+		Cost: cost, Clusters: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := solveExact(t, players, c, lineCap, eta, cost)
+	if !mf.Converged {
+		t.Fatal("macro game did not converge")
+	}
+	rel := math.Abs(mf.Welfare-exact.Welfare()) / math.Abs(exact.Welfare())
+	if rel > 1e-6 {
+		t.Fatalf("homogeneous welfare gap %.3g (mf %.9f, exact %.9f)", rel, mf.Welfare, exact.Welfare())
+	}
+	if mf.ClampedKW > 1e-9 {
+		t.Fatalf("homogeneous disaggregation clamped %v kW", mf.ClampedKW)
+	}
+}
+
+func TestSolveSkipScheduleMatchesMaterialized(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	players := diffFleet(rng, 150)
+	eta, lineCap := 0.9, 120.0
+	cost := testCost(t, eta, lineCap)
+	cfg := Config{
+		Players: players, NumSections: 10, LineCapacityKW: lineCap, Eta: eta,
+		Cost: cost, Clusters: 12,
+	}
+	full, err := Solve(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.SkipSchedule = true
+	stream, err := Solve(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stream.Schedule != nil {
+		t.Fatal("SkipSchedule still materialized a schedule")
+	}
+	if full.Schedule == nil {
+		t.Fatal("materialized solve returned no schedule")
+	}
+	if stream.Welfare != full.Welfare || stream.TotalPowerKW != full.TotalPowerKW || stream.ClampedKW != full.ClampedKW {
+		t.Fatalf("streamed aggregates diverge: %v/%v/%v vs %v/%v/%v",
+			stream.Welfare, stream.TotalPowerKW, stream.ClampedKW,
+			full.Welfare, full.TotalPowerKW, full.ClampedKW)
+	}
+	for c := range stream.SectionTotalsKW {
+		if stream.SectionTotalsKW[c] != full.SectionTotalsKW[c] {
+			t.Fatalf("section %d: streamed %v vs %v", c, stream.SectionTotalsKW[c], full.SectionTotalsKW[c])
+		}
+	}
+	// The streamed section totals must equal the materialized schedule's.
+	fromSched := full.Schedule.SectionTotals()
+	for c := range fromSched {
+		if math.Abs(fromSched[c]-full.SectionTotalsKW[c]) > 1e-9 {
+			t.Fatalf("section %d: partials %v vs schedule %v", c, full.SectionTotalsKW[c], fromSched[c])
+		}
+	}
+}
+
+func TestSolveValidation(t *testing.T) {
+	base := Config{
+		Players:        homogeneousFleet(4),
+		NumSections:    5,
+		LineCapacityKW: 50,
+		Eta:            0.9,
+	}
+	base.Cost = testCost(t, base.Eta, base.LineCapacityKW)
+	for name, mutate := range map[string]func(*Config){
+		"no players":   func(c *Config) { c.Players = nil },
+		"no sections":  func(c *Config) { c.NumSections = 0 },
+		"bad capacity": func(c *Config) { c.LineCapacityKW = -1 },
+		"bad eta":      func(c *Config) { c.Eta = 1.5 },
+		"no cost":      func(c *Config) { c.Cost = nil },
+		"negative k":   func(c *Config) { c.Clusters = -2 },
+	} {
+		cfg := base
+		mutate(&cfg)
+		if _, err := Solve(cfg); err == nil {
+			t.Errorf("%s: Solve accepted invalid config", name)
+		}
+	}
+	if _, err := Solve(base); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+func TestMetricsObserveSolve(t *testing.T) {
+	r := obs.NewRegistry()
+	m := NewMetrics(r)
+	players := homogeneousFleet(20)
+	cost := testCost(t, 0.9, 100)
+	res, err := Solve(Config{
+		Players: players, NumSections: 8, LineCapacityKW: 100, Eta: 0.9,
+		Cost: cost, Clusters: 4, Metrics: m,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Solves.Value(); got != 1 {
+		t.Fatalf("solves counter %d, want 1", got)
+	}
+	if got := m.Players.Value(); got != 20 {
+		t.Fatalf("players counter %d, want 20", got)
+	}
+	if got := m.Rounds.Value(); got != uint64(res.Rounds) {
+		t.Fatalf("rounds counter %d, want %d", got, res.Rounds)
+	}
+	if got := m.Welfare.Value(); got != res.Welfare {
+		t.Fatalf("welfare gauge %v, want %v", got, res.Welfare)
+	}
+	// Nil bundle is a no-op, not a crash.
+	var nilM *Metrics
+	nilM.observeSolve(5, res)
+}

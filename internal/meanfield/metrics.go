@@ -1,0 +1,68 @@
+package meanfield
+
+import (
+	"olevgrid/internal/obs"
+)
+
+// Metrics is the aggregated tier's telemetry bundle (olev_mf_*),
+// observed once per Solve — the tier's unit of work is the whole
+// solve, not the round (the inner macro rounds carry the standard
+// olev_solver_* catalog via Config.SolverMetrics). A nil *Metrics is
+// the off switch; every observe method is nil-receiver safe, matching
+// the repo-wide bundle contract.
+type Metrics struct {
+	// Per-solve counters.
+	Solves    *obs.Counter // completed aggregated solves
+	Converged *obs.Counter // solves whose macro game met the tolerance
+	Rounds    *obs.Counter // macro best-response rounds
+	Players   *obs.Counter // fleet players disaggregated
+
+	// Shape and outcome gauges (last solve wins).
+	FleetSize  *obs.Gauge // N of the last solve
+	Clusters   *obs.Gauge // populations actually formed
+	Welfare    *obs.Gauge // W of the disaggregated schedule
+	MacroGap   *obs.Gauge // MacroWelfare − Welfare: the fiction's optimism
+	ClampedKW  *obs.Gauge // mass removed by per-player feasibility clamps
+	Congestion *obs.Gauge // congestion degree of the disaggregated schedule
+}
+
+// NewMetrics registers the tier's metric catalog on r (see DESIGN.md
+// §13) and returns the bundle. r may be nil, in which case every
+// instrument is nil and the bundle still works as a no-op.
+func NewMetrics(r *obs.Registry) *Metrics {
+	m := &Metrics{
+		Solves:     r.Counter("olev_mf_solves_total"),
+		Converged:  r.Counter("olev_mf_converged_total"),
+		Rounds:     r.Counter("olev_mf_macro_rounds_total"),
+		Players:    r.Counter("olev_mf_players_total"),
+		FleetSize:  r.Gauge("olev_mf_fleet_size"),
+		Clusters:   r.Gauge("olev_mf_clusters"),
+		Welfare:    r.Gauge("olev_mf_welfare"),
+		MacroGap:   r.Gauge("olev_mf_macro_gap"),
+		ClampedKW:  r.Gauge("olev_mf_clamped_kw"),
+		Congestion: r.Gauge("olev_mf_congestion_degree"),
+	}
+	r.Help("olev_mf_macro_rounds_total", "best-response rounds of the K-player macro game (not per-OLEV updates)")
+	r.Help("olev_mf_macro_gap", "macro-game welfare minus disaggregated welfare; the aggregation fiction's optimism")
+	r.Help("olev_mf_clamped_kw", "power removed by per-player feasibility clamps during disaggregation")
+	return m
+}
+
+// observeSolve records one completed aggregated solve.
+func (m *Metrics) observeSolve(fleet int, res *Result) {
+	if m == nil {
+		return
+	}
+	m.Solves.Inc()
+	if res.Converged {
+		m.Converged.Inc()
+	}
+	m.Rounds.Add(int64(res.Rounds))
+	m.Players.Add(int64(fleet))
+	m.FleetSize.Set(float64(fleet))
+	m.Clusters.Set(float64(res.Clusters))
+	m.Welfare.Set(res.Welfare)
+	m.MacroGap.Set(res.MacroWelfare - res.Welfare)
+	m.ClampedKW.Set(res.ClampedKW)
+	m.Congestion.Set(res.CongestionDegree)
+}

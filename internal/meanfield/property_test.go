@@ -1,0 +1,159 @@
+package meanfield
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"olevgrid/internal/core"
+)
+
+// Property suite for the disaggregation path: whatever the macro game
+// produced, every published per-player row must be individually
+// feasible and individually chargeable. These are the guarantees the
+// tier's construction claims (capped equal split + ClampRowToPlayer),
+// checked over randomized instances rather than trusted.
+
+// TestPropertyDisaggregatedFeasibility: every projected schedule
+// satisfies the player's own Eq. (2) budget and Eq. (3) draw caps,
+// with non-negative finite entries.
+func TestPropertyDisaggregatedFeasibility(t *testing.T) {
+	rng := rand.New(rand.NewSource(4242))
+	for trial := 0; trial < 12; trial++ {
+		n := 30 + rng.Intn(220)
+		inst := diffInstanceAt(t, rng, n)
+		k := 1 + rng.Intn(24)
+		t.Run(fmt.Sprintf("trial%02d_n%d_k%d", trial, n, k), func(t *testing.T) {
+			mf, err := Solve(Config{
+				Players: inst.players, NumSections: inst.c,
+				LineCapacityKW: inst.lineCap, Eta: inst.eta, Cost: inst.cost,
+				Clusters: k,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			const eps = 1e-9
+			for p, player := range inst.players {
+				var total float64
+				for c := 0; c < inst.c; c++ {
+					v := mf.Schedule.At(p, c)
+					if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+						t.Fatalf("player %d section %d: entry %v is not a power draw", p, c, v)
+					}
+					if player.MaxSectionDrawKW > 0 && v > player.MaxSectionDrawKW*(1+eps) {
+						t.Fatalf("player %d section %d: draw %v exceeds cap %v", p, c, v, player.MaxSectionDrawKW)
+					}
+					total += v
+				}
+				if total > player.MaxPowerKW*(1+eps) {
+					t.Fatalf("player %d: total %v exceeds budget %v", p, total, player.MaxPowerKW)
+				}
+			}
+		})
+	}
+}
+
+// TestPropertyPaymentNonnegative: pricing the disaggregated schedule
+// through the paper's Eq. (8) payment (cost with the player's load
+// minus cost without it) never bills a player a negative amount — the
+// section cost is non-decreasing, and the clamp keeps every row a
+// physical draw.
+func TestPropertyPaymentNonnegative(t *testing.T) {
+	rng := rand.New(rand.NewSource(515))
+	for trial := 0; trial < 8; trial++ {
+		n := 25 + rng.Intn(120)
+		inst := diffInstanceAt(t, rng, n)
+		t.Run(fmt.Sprintf("trial%02d_n%d", trial, n), func(t *testing.T) {
+			mf, err := Solve(Config{
+				Players: inst.players, NumSections: inst.c,
+				LineCapacityKW: inst.lineCap, Eta: inst.eta, Cost: inst.cost,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			g, err := core.NewGame(core.Config{
+				Players:         inst.players,
+				NumSections:     inst.c,
+				LineCapacityKW:  inst.lineCap,
+				Eta:             inst.eta,
+				Cost:            inst.cost,
+				InitialSchedule: mf.Schedule,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var total float64
+			for p := range inst.players {
+				pay := g.PaymentOf(p)
+				if pay < -1e-9 {
+					t.Fatalf("player %d: negative payment %v", p, pay)
+				}
+				total += pay
+			}
+			if math.IsNaN(total) || math.IsInf(total, 0) {
+				t.Fatalf("fleet payment %v is not finite", total)
+			}
+		})
+	}
+}
+
+// TestPropertyClusterCountMonotonicity: refining the partition never
+// makes the tier worse. The fleet is single-family with generous power
+// ceilings so equilibria are interior (no member cap binds — asserted
+// via ClampedKW); there the macro objective coincides exactly with the
+// realized equal-split welfare, boundaries at ⌊i·m/k⌋ nest under
+// doubling, and the refined restricted feasible set contains the
+// coarse optimum — so the welfare error against the exact oracle is
+// non-increasing in k, up to solver tolerance.
+func TestPropertyClusterCountMonotonicity(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			const n, c = 60, 12
+			players := make([]core.Player, n)
+			for i := range players {
+				players[i] = core.Player{
+					ID:           fmt.Sprintf("olev-%04d", i),
+					MaxPowerKW:   150 + 50*rng.Float64(),
+					Satisfaction: core.LogSatisfaction{Weight: 4 + 8*rng.Float64()},
+				}
+			}
+			eta := 0.9
+			lineCap := 60.0 * float64(n) / (float64(c) * eta)
+			charging, err := core.NewQuadraticCharging(0.02, 0.875, eta*lineCap)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cost := core.SectionCost{
+				Charging: charging,
+				Overload: core.OverloadPenalty{Kappa: 10, Capacity: eta * lineCap},
+			}
+			exact := solveExact(t, players, c, lineCap, eta, cost)
+			w := exact.Welfare()
+			slack := 1e-6 * (1 + math.Abs(w))
+			prev := math.Inf(1)
+			for _, k := range []int{1, 2, 4, 8, 16, 32} {
+				mf, err := Solve(Config{
+					Players: players, NumSections: c, LineCapacityKW: lineCap,
+					Eta: eta, Cost: cost, Clusters: k,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if mf.ClampedKW > 1e-9 {
+					t.Fatalf("k=%d: interior fleet clamped %v kW; monotonicity premise broken", k, mf.ClampedKW)
+				}
+				errK := math.Abs(w - mf.Welfare)
+				if errK > prev+slack {
+					t.Fatalf("k=%d: welfare error %v grew past %v (+%v slack)", k, errK, prev, slack)
+				}
+				prev = errK
+			}
+			// And the finest partitions must essentially close the gap.
+			if prev > 0.01*math.Abs(w) {
+				t.Fatalf("k=32 error %v still above 1%% of |W|=%v", prev, math.Abs(w))
+			}
+		})
+	}
+}

@@ -1,0 +1,189 @@
+package meanfield
+
+import (
+	"fmt"
+	"math"
+
+	"olevgrid/internal/core"
+	"olevgrid/internal/sweep"
+)
+
+// Regional sharding: a metropolitan deployment is not one game but
+// many — one arterial/feeder region each running its own pricing game
+// — coupled only through the shared upstream feeder's capacity. Shards
+// therefore solve independently (full parallel fan-out), and a
+// settlement loop reconciles the shared constraint: when the summed
+// regional draw oversubscribes the feeder, every region's safety
+// factor η is scaled down by the common oversubscription ratio and the
+// affected games re-solve. Scaling η is exactly the paper's own
+// capacity lever (Eq. 4: usable capacity is η·P_line), so settlement
+// stays inside the model instead of bolting a second mechanism onto
+// it. Shrinking η only removes usable capacity, so the total draw is
+// non-increasing across settlement rounds and the loop converges
+// geometrically; the round budget is a backstop, and the result
+// reports Settled either way.
+
+// Region is one shard of a metropolitan fleet: its own players,
+// roadway and capacity, solved as an independent aggregated game.
+type Region struct {
+	// Name labels the shard in results.
+	Name string
+	// Players is the region's fleet.
+	Players []core.Player
+	// NumSections, LineCapacityKW and Eta describe the region's roadway
+	// with core.Config semantics.
+	NumSections    int
+	LineCapacityKW float64
+	Eta            float64
+	// Clusters is the region's population budget K; 0 means
+	// DefaultClusters.
+	Clusters int
+}
+
+// ShardedConfig configures a sharded metropolitan solve.
+type ShardedConfig struct {
+	// Regions are the shards; each solves independently per settlement
+	// round.
+	Regions []Region
+	// CostFor builds a region's section cost from its line capacity and
+	// (effective) safety factor. Settlement re-solves with a scaled η,
+	// so the cost must be rebuilt rather than captured — this is the
+	// same (capacity, η) ↦ cost shape pricing.Nonlinear.CostFunction
+	// exposes.
+	CostFor func(lineCapacityKW, eta float64) (core.CostFunction, error)
+	// FeederCapKW is the shared upstream feeder's capacity across all
+	// regions; 0 or negative means uncoupled shards (no settlement).
+	FeederCapKW float64
+	// SettleRounds bounds settlement iterations; 0 means 8.
+	SettleRounds int
+	// SettleTol is the relative feeder overdraw tolerated before a
+	// re-solve; 0 means 1e-3 (0.1% overdraw).
+	SettleTol float64
+
+	// Parallelism, Tolerance, MaxRounds, Order and Seed pass through to
+	// each region's Solve with their usual semantics. Results never
+	// depend on Parallelism.
+	Parallelism int
+	Tolerance   float64
+	MaxRounds   int
+	Order       core.UpdateOrder
+	Seed        int64
+	// SkipSchedule streams every region's disaggregation (no per-player
+	// schedules are materialized).
+	SkipSchedule bool
+	// Metrics instruments each region's aggregated solve; nil is off.
+	Metrics *Metrics
+}
+
+// RegionResult is one shard's outcome at settlement.
+type RegionResult struct {
+	Name string
+	// EffectiveEta is the safety factor the final solve ran with —
+	// Region.Eta scaled by the settlement ratio when the feeder bound.
+	EffectiveEta float64
+	// Result is the region's aggregated solve at the settled capacity.
+	*Result
+}
+
+// ShardedResult is the settled metropolitan outcome.
+type ShardedResult struct {
+	Regions []RegionResult
+	// TotalPowerKW is the settled cross-region draw.
+	TotalPowerKW float64
+	// Welfare is the summed regional welfare at settlement.
+	Welfare float64
+	// SettleRounds counts re-solve sweeps performed (1 = the feeder
+	// never bound).
+	SettleRounds int
+	// Settled reports whether the final draw respects the feeder cap
+	// within tolerance (always true without a cap).
+	Settled bool
+}
+
+// SolveSharded solves every region's aggregated game and settles the
+// shared feeder constraint. Deterministic for a fixed config modulo
+// Parallelism: regions fan out via sweep.Map (index-ordered), and the
+// settlement scale is a single global ratio computed from the ordered
+// totals.
+func SolveSharded(cfg ShardedConfig) (*ShardedResult, error) {
+	if len(cfg.Regions) == 0 {
+		return nil, fmt.Errorf("meanfield: sharded solve needs regions")
+	}
+	if cfg.CostFor == nil {
+		return nil, fmt.Errorf("meanfield: sharded solve needs a cost builder")
+	}
+	rounds := cfg.SettleRounds
+	if rounds <= 0 {
+		rounds = 8
+	}
+	tol := cfg.SettleTol
+	if tol <= 0 {
+		tol = 1e-3
+	}
+
+	solveAll := func(scale float64) ([]RegionResult, float64, error) {
+		results, err := sweep.Map(len(cfg.Regions), cfg.Parallelism, func(i int) (RegionResult, error) {
+			r := cfg.Regions[i]
+			eta := r.Eta * scale
+			cost, err := cfg.CostFor(r.LineCapacityKW, eta)
+			if err != nil {
+				return RegionResult{}, fmt.Errorf("region %q: %w", r.Name, err)
+			}
+			res, err := Solve(Config{
+				Players:        r.Players,
+				NumSections:    r.NumSections,
+				LineCapacityKW: r.LineCapacityKW,
+				Eta:            eta,
+				Cost:           cost,
+				Clusters:       r.Clusters,
+				Parallelism:    cfg.Parallelism,
+				Tolerance:      cfg.Tolerance,
+				MaxRounds:      cfg.MaxRounds,
+				Order:          cfg.Order,
+				Seed:           cfg.Seed,
+				SkipSchedule:   cfg.SkipSchedule,
+				Metrics:        cfg.Metrics,
+			})
+			if err != nil {
+				return RegionResult{}, fmt.Errorf("region %q: %w", r.Name, err)
+			}
+			return RegionResult{Name: r.Name, EffectiveEta: eta, Result: res}, nil
+		})
+		if err != nil {
+			return nil, 0, err
+		}
+		var total float64
+		for _, rr := range results {
+			total += rr.TotalPowerKW
+		}
+		return results, total, nil
+	}
+
+	scale := 1.0
+	out := &ShardedResult{}
+	for round := 1; round <= rounds; round++ {
+		results, total, err := solveAll(scale)
+		if err != nil {
+			return nil, err
+		}
+		out.Regions = results
+		out.TotalPowerKW = total
+		out.SettleRounds = round
+		if cfg.FeederCapKW <= 0 || total <= cfg.FeederCapKW*(1+tol) {
+			out.Settled = true
+			break
+		}
+		// Uniform capacity shed: every region keeps its proportional
+		// share of the feeder. The regional games re-solve at the lower
+		// η, which can only reduce the draw further, so the next round's
+		// total lands at or below the cap.
+		scale *= cfg.FeederCapKW / total
+		if math.IsNaN(scale) || scale <= 0 {
+			return nil, fmt.Errorf("meanfield: settlement scale degenerated to %v", scale)
+		}
+	}
+	for _, rr := range out.Regions {
+		out.Welfare += rr.Result.Welfare
+	}
+	return out, nil
+}

@@ -1,0 +1,167 @@
+package meanfield
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"olevgrid/internal/core"
+)
+
+func shardCostFor(t *testing.T) func(lineCapacityKW, eta float64) (core.CostFunction, error) {
+	t.Helper()
+	return func(lineCapacityKW, eta float64) (core.CostFunction, error) {
+		charging, err := core.NewQuadraticCharging(0.02, 0.875, eta*lineCapacityKW)
+		if err != nil {
+			return nil, err
+		}
+		return core.SectionCost{
+			Charging: charging,
+			Overload: core.OverloadPenalty{Kappa: 10, Capacity: eta * lineCapacityKW},
+		}, nil
+	}
+}
+
+func shardRegions(rng *rand.Rand, count int) []Region {
+	regions := make([]Region, count)
+	for r := range regions {
+		n := 40 + rng.Intn(80)
+		players := diffFleet(rng, n)
+		var demand float64
+		for _, p := range players {
+			demand += p.MaxPowerKW
+		}
+		c := 8 + rng.Intn(8)
+		eta := 0.9
+		regions[r] = Region{
+			Name:           fmt.Sprintf("region-%02d", r),
+			Players:        players,
+			NumSections:    c,
+			LineCapacityKW: demand * 0.8 / (float64(c) * eta),
+			Eta:            eta,
+		}
+	}
+	return regions
+}
+
+func TestSolveShardedUncoupledMatchesSoloSolves(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	regions := shardRegions(rng, 4)
+	costFor := shardCostFor(t)
+	out, err := SolveSharded(ShardedConfig{Regions: regions, CostFor: costFor})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Settled || out.SettleRounds != 1 {
+		t.Fatalf("uncoupled shards settled=%v rounds=%d, want true/1", out.Settled, out.SettleRounds)
+	}
+	var wantWelfare, wantPower float64
+	for i, r := range regions {
+		cost, err := costFor(r.LineCapacityKW, r.Eta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		solo, err := Solve(Config{
+			Players: r.Players, NumSections: r.NumSections,
+			LineCapacityKW: r.LineCapacityKW, Eta: r.Eta, Cost: cost,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Regions[i].Welfare != solo.Welfare {
+			t.Fatalf("region %d: sharded welfare %v differs from solo %v", i, out.Regions[i].Welfare, solo.Welfare)
+		}
+		wantWelfare += solo.Welfare
+		wantPower += solo.TotalPowerKW
+	}
+	if math.Abs(out.Welfare-wantWelfare) > 1e-9*(1+math.Abs(wantWelfare)) {
+		t.Fatalf("sharded welfare %v, solo sum %v", out.Welfare, wantWelfare)
+	}
+	if math.Abs(out.TotalPowerKW-wantPower) > 1e-9*(1+wantPower) {
+		t.Fatalf("sharded power %v, solo sum %v", out.TotalPowerKW, wantPower)
+	}
+}
+
+func TestSolveShardedSettlesFeederCap(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	regions := shardRegions(rng, 3)
+	costFor := shardCostFor(t)
+	free, err := SolveSharded(ShardedConfig{Regions: regions, CostFor: costFor})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cap the feeder at 60% of the unconstrained draw: settlement must
+	// shed capacity until the cap holds.
+	cap := 0.6 * free.TotalPowerKW
+	const tol = 1e-3
+	capped, err := SolveSharded(ShardedConfig{
+		Regions: regions, CostFor: costFor,
+		FeederCapKW: cap, SettleTol: tol,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !capped.Settled {
+		t.Fatalf("settlement did not converge in %d rounds (total %v, cap %v)", capped.SettleRounds, capped.TotalPowerKW, cap)
+	}
+	if capped.SettleRounds < 2 {
+		t.Fatalf("binding cap settled in %d rounds; the constraint never engaged", capped.SettleRounds)
+	}
+	if capped.TotalPowerKW > cap*(1+tol) {
+		t.Fatalf("settled draw %v exceeds feeder cap %v", capped.TotalPowerKW, cap)
+	}
+	if capped.Welfare >= free.Welfare {
+		t.Fatalf("capped welfare %v not below unconstrained %v", capped.Welfare, free.Welfare)
+	}
+	for i, rr := range capped.Regions {
+		if rr.EffectiveEta >= regions[i].Eta {
+			t.Fatalf("region %d: effective eta %v not shed below %v", i, rr.EffectiveEta, regions[i].Eta)
+		}
+		if rr.EffectiveEta <= 0 || rr.EffectiveEta > 1 {
+			t.Fatalf("region %d: effective eta %v outside (0,1]", i, rr.EffectiveEta)
+		}
+	}
+}
+
+func TestSolveShardedWorkerCountIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(55))
+	regions := shardRegions(rng, 3)
+	costFor := shardCostFor(t)
+	base := ShardedConfig{Regions: regions, CostFor: costFor, FeederCapKW: 0}
+	// Engage settlement too: cap at 70% of a probe solve.
+	probe, err := SolveSharded(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.FeederCapKW = 0.7 * probe.TotalPowerKW
+
+	base.Parallelism = 1
+	ref, err := SolveSharded(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, par := range []int{2, 8} {
+		cfg := base
+		cfg.Parallelism = par
+		got, err := SolveSharded(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Welfare != ref.Welfare || got.TotalPowerKW != ref.TotalPowerKW || got.SettleRounds != ref.SettleRounds {
+			t.Fatalf("parallelism %d diverged: welfare %v vs %v, power %v vs %v, rounds %d vs %d",
+				par, got.Welfare, ref.Welfare, got.TotalPowerKW, ref.TotalPowerKW, got.SettleRounds, ref.SettleRounds)
+		}
+	}
+}
+
+func TestSolveShardedValidation(t *testing.T) {
+	costFor := shardCostFor(t)
+	if _, err := SolveSharded(ShardedConfig{CostFor: costFor}); err == nil {
+		t.Error("no regions accepted")
+	}
+	rng := rand.New(rand.NewSource(1))
+	if _, err := SolveSharded(ShardedConfig{Regions: shardRegions(rng, 1)}); err == nil {
+		t.Error("nil cost builder accepted")
+	}
+}

@@ -1,0 +1,89 @@
+package pricing
+
+import (
+	"fmt"
+
+	"olevgrid/internal/core"
+	"olevgrid/internal/meanfield"
+)
+
+// runMeanField routes the nonlinear policy through the aggregated
+// population tier: cluster the fleet, solve the macro game on the
+// exact engine, disaggregate (see internal/meanfield). The scenario's
+// economics are untouched — the tier runs the very cost function the
+// exact path would — so the Outcome is comparable field for field;
+// only the equilibrium is approximate, with the welfare envelope the
+// differential suite gates. Reached via Scenario.Solver, including on
+// the dead-section path (runCompacted re-enters Run with the solver
+// preserved, so the tier solves the compacted roadway and the caller
+// scatters the results back).
+func (p Nonlinear) runMeanField(s Scenario) (Outcome, error) {
+	cost, err := p.CostFunction(s.BetaPerMWh, s.LineCapacityKW, s.Eta)
+	if err != nil {
+		return Outcome{}, err
+	}
+	// MaxUpdates keeps its per-player budget semantics: the macro game
+	// gets the same number of fleet rounds the parallel exact path
+	// would have run.
+	maxRounds := 0
+	if s.MaxUpdates > 0 {
+		maxRounds = (s.MaxUpdates + len(s.Players) - 1) / len(s.Players)
+	}
+	order := p.Order
+	if order == 0 {
+		order = core.OrderRandom
+	}
+	mf, err := meanfield.Solve(meanfield.Config{
+		Players:        s.Players,
+		NumSections:    s.NumSections,
+		LineCapacityKW: s.LineCapacityKW,
+		Eta:            s.Eta,
+		Cost:           cost,
+		Clusters:       s.MeanFieldClusters,
+		Parallelism:    s.Parallelism,
+		Tolerance:      s.Tolerance,
+		MaxRounds:      maxRounds,
+		Order:          order,
+		Seed:           s.Seed,
+		SolverMetrics:  s.Metrics,
+	})
+	if err != nil {
+		return Outcome{}, err
+	}
+	// Payments are per-player ledger quantities the macro game never
+	// sees: evaluate them by standing the exact game up on the
+	// disaggregated schedule. Every row already satisfies its player's
+	// constraints (the tier clamps during disaggregation), so this is a
+	// pure measurement, not a re-solve.
+	game, err := core.NewGame(core.Config{
+		Players:         s.Players,
+		NumSections:     s.NumSections,
+		LineCapacityKW:  s.LineCapacityKW,
+		Eta:             s.Eta,
+		Cost:            cost,
+		InitialSchedule: mf.Schedule,
+	})
+	if err != nil {
+		return Outcome{}, fmt.Errorf("pricing: mean-field ledger game: %w", err)
+	}
+	schedule := game.Schedule()
+	playerTotals := make([]float64, game.NumPlayers())
+	for n := range playerTotals {
+		playerTotals[n] = schedule.OLEVTotal(n)
+	}
+	return Outcome{
+		Policy:              p.Name() + "+meanfield",
+		UnitPaymentPerMWh:   clampNonNegative(game.UnitPaymentPerMWh()),
+		TotalPaymentPerHour: clampNonNegative(game.TotalPayment()),
+		Welfare:             game.Welfare(),
+		TotalPowerKW:        game.TotalPowerKW(),
+		SectionTotalsKW:     game.SectionTotals(),
+		PlayerTotalsKW:      playerTotals,
+		CongestionDegree:    game.CongestionDegree(),
+		Updates:             mf.Updates,
+		Rounds:              mf.Rounds,
+		DegradedRounds:      mf.Replayed,
+		Converged:           mf.Converged,
+		Schedule:            schedule,
+	}, nil
+}

@@ -1,0 +1,113 @@
+package pricing
+
+import (
+	"math"
+	"testing"
+
+	"olevgrid/internal/units"
+)
+
+func meanFieldScenario(t *testing.T, n int) Scenario {
+	t.Helper()
+	_, players, err := BuildFleet(FleetConfig{
+		N:        n,
+		Velocity: units.KMH(50),
+		Seed:     7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Scenario{
+		Players:        players,
+		NumSections:    10,
+		LineCapacityKW: LineCapacityKW(units.Meters(15), units.KMH(50)),
+		Eta:            0.9,
+		BetaPerMWh:     20,
+		Seed:           7,
+		Parallelism:    2,
+	}
+}
+
+func TestNonlinearMeanFieldTracksExact(t *testing.T) {
+	s := meanFieldScenario(t, 120)
+	exact, err := Nonlinear{}.Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Solver = SolverMeanField
+	mf, err := Nonlinear{}.Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mf.Converged {
+		t.Fatal("mean-field path did not converge")
+	}
+	if mf.Policy != "nonlinear+meanfield" {
+		t.Fatalf("policy label %q", mf.Policy)
+	}
+	// The tier's welfare envelope: within 2% of the exact equilibrium,
+	// never above it beyond float tolerance (the exact equilibrium is
+	// the social optimum; the restricted one cannot beat it).
+	gap := exact.Welfare - mf.Welfare
+	if gap < -1e-6*math.Abs(exact.Welfare) {
+		t.Fatalf("mean-field welfare %v beats exact %v", mf.Welfare, exact.Welfare)
+	}
+	if gap > 0.02*math.Abs(exact.Welfare) {
+		t.Fatalf("mean-field welfare %v more than 2%% below exact %v", mf.Welfare, exact.Welfare)
+	}
+	// The ledger must be populated like any other outcome.
+	if mf.Schedule == nil || mf.Schedule.NumOLEVs() != len(s.Players) {
+		t.Fatal("mean-field outcome lacks the full per-player schedule")
+	}
+	if len(mf.PlayerTotalsKW) != len(s.Players) {
+		t.Fatalf("player totals %d, want %d", len(mf.PlayerTotalsKW), len(s.Players))
+	}
+	if mf.TotalPaymentPerHour <= 0 || mf.UnitPaymentPerMWh <= 0 {
+		t.Fatalf("degenerate payments: total %v unit %v", mf.TotalPaymentPerHour, mf.UnitPaymentPerMWh)
+	}
+	if mf.TotalPowerKW <= 0 || mf.CongestionDegree <= 0 {
+		t.Fatalf("degenerate load: P=%v congestion=%v", mf.TotalPowerKW, mf.CongestionDegree)
+	}
+}
+
+func TestNonlinearMeanFieldDeadSections(t *testing.T) {
+	s := meanFieldScenario(t, 60)
+	s.Solver = SolverMeanField
+	s.DeadSections = []int{0, 4}
+	out, err := Nonlinear{}.Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.SectionTotalsKW) != s.NumSections {
+		t.Fatalf("section totals %d, want full width %d", len(out.SectionTotalsKW), s.NumSections)
+	}
+	for _, d := range s.DeadSections {
+		if out.SectionTotalsKW[d] != 0 {
+			t.Fatalf("dead section %d carries %v kW", d, out.SectionTotalsKW[d])
+		}
+	}
+	if out.TotalPowerKW <= 0 {
+		t.Fatal("outage scenario scheduled no power at all")
+	}
+}
+
+func TestScenarioValidateSolver(t *testing.T) {
+	s := meanFieldScenario(t, 5)
+	s.Solver = "simulated-annealing"
+	if err := s.Validate(); err == nil {
+		t.Fatal("unknown solver accepted")
+	}
+	s.Solver = SolverMeanField
+	s.MeanFieldClusters = -1
+	if err := s.Validate(); err == nil {
+		t.Fatal("negative cluster budget accepted")
+	}
+	s.MeanFieldClusters = 0
+	if err := s.Validate(); err != nil {
+		t.Fatalf("valid mean-field scenario rejected: %v", err)
+	}
+	s.Solver = SolverExact
+	if err := s.Validate(); err != nil {
+		t.Fatalf("explicit exact solver rejected: %v", err)
+	}
+}

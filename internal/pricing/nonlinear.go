@@ -73,6 +73,9 @@ func (p Nonlinear) Run(s Scenario) (Outcome, error) {
 	if idx := s.liveIndices(); idx != nil {
 		return p.runCompacted(s, idx)
 	}
+	if s.Solver == SolverMeanField {
+		return p.runMeanField(s)
+	}
 	cost, err := p.CostFunction(s.BetaPerMWh, s.LineCapacityKW, s.Eta)
 	if err != nil {
 		return Outcome{}, err

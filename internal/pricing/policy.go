@@ -74,7 +74,29 @@ type Scenario struct {
 	// zero at the dead columns. Empty means all sections live. The
 	// one-shot linear policy ignores it, like InitialSchedule.
 	DeadSections []int
+	// Solver selects the nonlinear policy's equilibrium engine: "" or
+	// SolverExact runs the paper's per-player dynamics (the default
+	// everywhere); SolverMeanField routes through the aggregated
+	// population tier (internal/meanfield), which clusters the fleet,
+	// solves a K-player macro game and disaggregates — the approximate
+	// engine for fleets the exact tier cannot afford. The linear policy
+	// is one-shot and ignores it. The mean-field path ignores
+	// InitialSchedule and OnUpdate (the macro game cold-starts; its
+	// rounds are population-level).
+	Solver string
+	// MeanFieldClusters is the population budget K for SolverMeanField;
+	// 0 means meanfield.DefaultClusters. Ignored by the exact solver.
+	MeanFieldClusters int
 }
+
+// Solver values for Scenario.Solver.
+const (
+	// SolverExact is the paper's per-player best-response engine —
+	// equivalent to leaving Solver empty.
+	SolverExact = "exact"
+	// SolverMeanField is the aggregated population tier.
+	SolverMeanField = "meanfield"
+)
 
 // Validate reports the first problem with the scenario.
 func (s Scenario) Validate() error {
@@ -105,6 +127,14 @@ func (s Scenario) Validate() error {
 	}
 	if len(seen) > 0 && len(seen) == s.NumSections {
 		return fmt.Errorf("pricing: all %d sections dead", s.NumSections)
+	}
+	switch s.Solver {
+	case "", SolverExact, SolverMeanField:
+	default:
+		return fmt.Errorf("pricing: unknown solver %q", s.Solver)
+	}
+	if s.MeanFieldClusters < 0 {
+		return fmt.Errorf("pricing: mean-field cluster count %d must be non-negative", s.MeanFieldClusters)
 	}
 	return nil
 }

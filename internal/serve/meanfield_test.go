@@ -1,0 +1,83 @@
+package serve
+
+import (
+	"testing"
+	"time"
+
+	"olevgrid/internal/obs"
+)
+
+// A mean-field session is past the per-vehicle fleet ceiling yet runs
+// through the same lifecycle: pending → running → done, with the
+// aggregated tier's figures in the view.
+func TestMeanFieldSessionConverges(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := NewServer(Config{MaxSessions: 4, Registry: reg})
+	defer s.Close()
+	spec := SessionSpec{
+		Vehicles: 5 * MaxFleet, // impossible for the per-vehicle path
+		Sections: 8,
+		Solver:   SolverMeanField,
+		Seed:     3,
+	}
+	sess, err := s.Create(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, sess, StateDone, 30*time.Second)
+	v := sess.View()
+	if !v.Converged || v.Rounds == 0 {
+		t.Fatalf("mean-field session not converged: %+v", v)
+	}
+	if v.Solver != SolverMeanField {
+		t.Fatalf("view solver %q", v.Solver)
+	}
+	if v.Clusters < 1 {
+		t.Fatalf("view reports %d populations", v.Clusters)
+	}
+	if v.TotalPowerKW <= 0 || v.CongestionDegree <= 0 {
+		t.Fatalf("degenerate aggregated outcome: %+v", v)
+	}
+	if got := s.Metrics().Completed.Value(); got != 1 {
+		t.Fatalf("completed counter %d, want 1", got)
+	}
+	// The aggregated tier's own bundle observed the solve (the registry
+	// hands back the same counter by identity).
+	if got := reg.Counter("olev_mf_solves_total").Value(); got != 1 {
+		t.Fatalf("olev_mf_solves_total = %d, want 1", got)
+	}
+}
+
+// The per-vehicle knobs that have no meaning without v2i links are
+// rejected up front, and the fleet ceilings stay solver-specific.
+func TestMeanFieldSpecValidation(t *testing.T) {
+	base := SessionSpec{Vehicles: 10, Sections: 4, Solver: SolverMeanField}
+	if err := base.Validate(); err != nil {
+		t.Fatalf("valid mean-field spec rejected: %v", err)
+	}
+	cases := map[string]func(*SessionSpec){
+		"chaos":           func(s *SessionSpec) { s.Chaos.DropRate = 0.1 },
+		"join":            func(s *SessionSpec) { s.JoinAtRound = 2 },
+		"leave":           func(s *SessionSpec) { s.LeaveAtRound = 2 },
+		"too many":        func(s *SessionSpec) { s.Vehicles = MaxMeanFieldFleet + 1 },
+		"cluster ceiling": func(s *SessionSpec) { s.Clusters = MaxMeanFieldClusters + 1 },
+		"unknown solver":  func(s *SessionSpec) { s.Solver = "annealing" },
+	}
+	for name, mutate := range cases {
+		spec := base
+		mutate(&spec)
+		if err := spec.Validate(); err == nil {
+			t.Errorf("%s: invalid spec accepted", name)
+		}
+	}
+	// A big fleet needs the aggregated solver; the exact path keeps its
+	// goroutine-bounded ceiling, and stray cluster budgets are caught.
+	exact := SessionSpec{Vehicles: MaxFleet + 1, Sections: 4}
+	if err := exact.Validate(); err == nil {
+		t.Error("per-vehicle spec above MaxFleet accepted")
+	}
+	exact = SessionSpec{Vehicles: 10, Sections: 4, Clusters: 8}
+	if err := exact.Validate(); err == nil {
+		t.Error("clusters without mean-field solver accepted")
+	}
+}

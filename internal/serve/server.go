@@ -7,6 +7,8 @@ import (
 	"sync"
 	"time"
 
+	"olevgrid/internal/core"
+	"olevgrid/internal/meanfield"
 	"olevgrid/internal/obs"
 	"olevgrid/internal/sched"
 )
@@ -79,7 +81,8 @@ var (
 type Server struct {
 	cfg     Config
 	metrics *Metrics
-	cpm     *sched.Metrics // control-plane bundle shared by all sessions
+	cpm     *sched.Metrics     // control-plane bundle shared by all sessions
+	mfm     *meanfield.Metrics // aggregated-tier bundle shared by all sessions
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -109,6 +112,7 @@ func NewServer(cfg Config) *Server {
 		cfg:        cfg,
 		metrics:    NewMetrics(cfg.Registry),
 		cpm:        sched.NewMetrics(cfg.Registry, cfg.Sink),
+		mfm:        meanfield.NewMetrics(cfg.Registry),
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		sem:        make(chan struct{}, cfg.MaxConcurrent),
@@ -295,6 +299,11 @@ func (s *Server) runSession(ctx context.Context, sess *Session) {
 		}
 	}
 
+	if spec.Solver == SolverMeanField {
+		s.runMeanFieldSession(ctx, sess)
+		return
+	}
+
 	f, err := newFleet(ctx, spec)
 	if err != nil {
 		s.finish(sess, StateFailed, err.Error())
@@ -348,6 +357,124 @@ func (s *Server) runSession(ctx context.Context, sess *Session) {
 	s.metrics.SessionMS.Observe(solveMS)
 
 	if runErr == nil && !report.Converged {
+		runErr = fmt.Errorf("serve: no convergence in %d rounds", report.Rounds)
+	}
+	s.finishCtx(ctx, sess, report, runErr)
+}
+
+// runMeanFieldSession is the aggregated-tier session body: no vehicle
+// goroutines, no v2i links — the fleet exists only as a player slice
+// the population tier clusters, solves and streams back through
+// SkipSchedule. Everything around it (admission, wall budget, drain,
+// terminal accounting, durability manifests) is the same machinery the
+// per-vehicle path uses, which is the point: a million-OLEV session is
+// just another row in the table.
+func (s *Server) runMeanFieldSession(ctx context.Context, sess *Session) {
+	spec := sess.spec
+	players := make([]core.Player, spec.Vehicles)
+	for i := range players {
+		players[i] = core.Player{
+			ID:           fmt.Sprintf("ev-%06d", i),
+			MaxPowerKW:   spec.MaxPowerKW,
+			Satisfaction: core.LogSatisfaction{Weight: weight(i)},
+		}
+	}
+	charging, err := core.NewQuadraticCharging(spec.BetaPerKWh, spec.Alpha, spec.LineCapacityKW)
+	if err != nil {
+		s.finish(sess, StateFailed, err.Error())
+		return
+	}
+	// Mirror coordinatorConfig's CostSpec exactly: the same nonlinear
+	// price and the same overload wall at 0.9·P_line, so a mean-field
+	// session is the aggregated view of the very game the per-vehicle
+	// path would run.
+	const eta = 0.9
+	cost := core.SectionCost{
+		Charging: charging,
+		Overload: core.OverloadPenalty{Kappa: 10, Capacity: eta * spec.LineCapacityKW},
+	}
+	// The spec's tolerance is per-vehicle (the coordinator's reading);
+	// macro totals are population sums, so scale it by the mean cluster
+	// size — the same per-member precision the tier's own default
+	// expresses.
+	k := spec.Clusters
+	if k == 0 {
+		k = meanfield.DefaultClusters
+	}
+	if k > spec.Vehicles {
+		k = spec.Vehicles
+	}
+	tol := spec.Tolerance * float64(spec.Vehicles) / float64(k)
+
+	sess.mu.Lock()
+	sess.state = StateRunning
+	sess.solveStart = time.Now()
+	sess.mu.Unlock()
+
+	type outcome struct {
+		res *meanfield.Result
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		res, err := meanfield.Solve(meanfield.Config{
+			Players:        players,
+			NumSections:    spec.Sections,
+			LineCapacityKW: spec.LineCapacityKW,
+			Eta:            eta,
+			Cost:           cost,
+			Clusters:       spec.Clusters,
+			Parallelism:    spec.Parallelism,
+			Tolerance:      tol,
+			MaxRounds:      spec.MaxRounds,
+			Order:          core.OrderRandom,
+			Seed:           spec.Seed,
+			SkipSchedule:   true,
+			Metrics:        s.mfm,
+		})
+		ch <- outcome{res, err}
+	}()
+
+	var out outcome
+	select {
+	case out = <-ch:
+	case <-ctx.Done():
+		// The solve has no cancellation point; it finishes on its own
+		// goroutine while the session settles its terminal state — the
+		// wall budget bounds the slot, not the arithmetic.
+		s.finishCtx(ctx, sess, sched.Report{}, ctx.Err())
+		return
+	}
+	if out.err != nil {
+		s.finish(sess, StateFailed, out.err.Error())
+		return
+	}
+	res := out.res
+
+	report := sched.Report{
+		Rounds:           res.Rounds,
+		Converged:        res.Converged,
+		CongestionDegree: res.CongestionDegree,
+		TotalPowerKW:     res.TotalPowerKW,
+	}
+	for _, load := range res.SectionTotalsKW {
+		report.WelfareCost += cost.Cost(load)
+	}
+
+	now := time.Now()
+	sess.mu.Lock()
+	sess.solveEnd = now
+	sess.report = report
+	sess.mfClusters = res.Clusters
+	solveMS := float64(now.Sub(sess.solveStart)) / float64(time.Millisecond)
+	sess.mu.Unlock()
+	if report.Rounds > 0 {
+		s.metrics.RoundMS.Observe(solveMS / float64(report.Rounds))
+	}
+	s.metrics.SessionMS.Observe(solveMS)
+
+	var runErr error
+	if !report.Converged {
 		runErr = fmt.Errorf("serve: no convergence in %d rounds", report.Rounds)
 	}
 	s.finishCtx(ctx, sess, report, runErr)

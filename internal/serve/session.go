@@ -78,6 +78,7 @@ type Session struct {
 	state      State
 	errMsg     string
 	report     sched.Report
+	mfClusters int // populations formed by a mean-field session
 	created    time.Time
 	solveStart time.Time
 	solveEnd   time.Time
@@ -91,6 +92,11 @@ type View struct {
 	Error    string `json:"error,omitempty"`
 	Vehicles int    `json:"vehicles"`
 	Sections int    `json:"sections"`
+	// Solver and Clusters surface the mean-field tier: which engine
+	// ran the session and how many populations the fleet aggregated
+	// into (zero for per-vehicle sessions).
+	Solver   string `json:"solver,omitempty"`
+	Clusters int    `json:"clusters,omitempty"`
 
 	Rounds           int     `json:"rounds,omitempty"`
 	Converged        bool    `json:"converged,omitempty"`
@@ -118,6 +124,8 @@ func (s *Session) View() View {
 		Error:    s.errMsg,
 		Vehicles: s.spec.Vehicles,
 		Sections: s.spec.Sections,
+		Solver:   s.spec.Solver,
+		Clusters: s.mfClusters,
 		Rounds:   s.report.Rounds,
 
 		Converged:        s.report.Converged,

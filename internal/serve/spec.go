@@ -19,7 +19,20 @@ const (
 	MaxSections = 4096
 	// MaxRoundsCeiling bounds the per-session iteration budget.
 	MaxRoundsCeiling = 100_000
+	// MaxMeanFieldFleet bounds a mean-field session's vehicle count.
+	// The aggregated tier solves a fixed-size macro game and streams
+	// the disaggregation, so its ceiling is set by O(N) clustering
+	// memory, not by goroutines — MaxFleet guards the per-vehicle
+	// agent path, this guards the aggregated one.
+	MaxMeanFieldFleet = 2_000_000
+	// MaxMeanFieldClusters bounds the population budget K.
+	MaxMeanFieldClusters = 4096
 )
+
+// SolverMeanField routes a session through the aggregated population
+// tier (internal/meanfield) instead of the per-vehicle control plane.
+// The spec string matches pricing.SolverMeanField.
+const SolverMeanField = "meanfield"
 
 // SessionSpec is the admin API's create-session request: one
 // per-arterial pricing game of the source paper, described completely
@@ -75,6 +88,17 @@ type SessionSpec struct {
 	// Zero disables either.
 	JoinAtRound  int `json:"join_at_round,omitempty"`
 	LeaveAtRound int `json:"leave_at_round,omitempty"`
+
+	// Solver selects the session's engine: "" or "exact" runs the
+	// per-vehicle control plane (one agent goroutine per OLEV over
+	// v2i); "meanfield" runs the aggregated population tier in
+	// process, which lifts the fleet ceiling to MaxMeanFieldFleet but
+	// forgoes the per-vehicle transport — so chaos injection and
+	// mid-run churn are rejected for it.
+	Solver string `json:"solver,omitempty"`
+	// Clusters is the mean-field population budget K; zero means the
+	// tier default. Only meaningful with solver "meanfield".
+	Clusters int `json:"clusters,omitempty"`
 }
 
 // ChaosSpec is the per-session fault plan applied to each v2i link.
@@ -129,8 +153,31 @@ func (s SessionSpec) Validate() error {
 	if s.ID == "." || s.ID == ".." {
 		return fmt.Errorf("serve: session ID %q reserved", s.ID)
 	}
-	if s.Vehicles < 1 || s.Vehicles > MaxFleet {
-		return fmt.Errorf("serve: vehicles %d outside [1, %d]", s.Vehicles, MaxFleet)
+	switch s.Solver {
+	case "", "exact":
+		if s.Clusters != 0 {
+			return fmt.Errorf("serve: clusters %d set without solver %q", s.Clusters, SolverMeanField)
+		}
+		if s.Vehicles < 1 || s.Vehicles > MaxFleet {
+			return fmt.Errorf("serve: vehicles %d outside [1, %d]", s.Vehicles, MaxFleet)
+		}
+	case SolverMeanField:
+		if s.Vehicles < 1 || s.Vehicles > MaxMeanFieldFleet {
+			return fmt.Errorf("serve: mean-field vehicles %d outside [1, %d]", s.Vehicles, MaxMeanFieldFleet)
+		}
+		if s.Clusters < 0 || s.Clusters > MaxMeanFieldClusters {
+			return fmt.Errorf("serve: clusters %d outside [0, %d]", s.Clusters, MaxMeanFieldClusters)
+		}
+		// The aggregated tier has no per-vehicle links: nothing to
+		// fault-inject, nothing to churn.
+		if s.Chaos.enabled() {
+			return fmt.Errorf("serve: chaos requires the per-vehicle solver")
+		}
+		if s.JoinAtRound != 0 || s.LeaveAtRound != 0 {
+			return fmt.Errorf("serve: mid-run churn requires the per-vehicle solver")
+		}
+	default:
+		return fmt.Errorf("serve: unknown solver %q", s.Solver)
 	}
 	if s.Sections < 1 || s.Sections > MaxSections {
 		return fmt.Errorf("serve: sections %d outside [1, %d]", s.Sections, MaxSections)

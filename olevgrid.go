@@ -40,6 +40,7 @@ import (
 	"olevgrid/internal/deploy"
 	"olevgrid/internal/experiments"
 	"olevgrid/internal/grid"
+	"olevgrid/internal/meanfield"
 	"olevgrid/internal/obs"
 	"olevgrid/internal/pricing"
 	"olevgrid/internal/sched"
@@ -133,6 +134,55 @@ type (
 	LinearPolicy = pricing.Linear
 	// FleetConfig draws an OLEV fleet.
 	FleetConfig = pricing.FleetConfig
+)
+
+// Scenario.Solver values: the exact per-player engine (the default)
+// and the aggregated mean-field tier.
+const (
+	SolverExact     = pricing.SolverExact
+	SolverMeanField = pricing.SolverMeanField
+)
+
+// Mean-field aggregated solver tier: a K-population macro game stands
+// in for an N-player fleet, solved on the unchanged exact engine and
+// disaggregated back to feasible per-player schedules. The approximate
+// engine for fleets the exact tier cannot afford (differentially
+// gated against it; see internal/meanfield).
+type (
+	// MeanFieldConfig configures one aggregated solve.
+	MeanFieldConfig = meanfield.Config
+	// MeanFieldResult reports one aggregated solve; all aggregate
+	// figures are evaluated on the disaggregated schedule.
+	MeanFieldResult = meanfield.Result
+	// MeanFieldCluster is one representative population.
+	MeanFieldCluster = meanfield.Cluster
+	// MeanFieldRegion is one shard of a sharded metro solve.
+	MeanFieldRegion = meanfield.Region
+	// MeanFieldShardedConfig couples regional solves through a shared
+	// feeder capacity.
+	MeanFieldShardedConfig = meanfield.ShardedConfig
+	// MeanFieldShardedResult is the settled metro outcome.
+	MeanFieldShardedResult = meanfield.ShardedResult
+	// MeanFieldMetrics instruments the tier (olev_mf_* catalog).
+	MeanFieldMetrics = meanfield.Metrics
+)
+
+// DefaultMeanFieldClusters is the tier's default population budget K.
+const DefaultMeanFieldClusters = meanfield.DefaultClusters
+
+var (
+	// MeanFieldSolve runs the aggregated tier: cluster, solve the
+	// macro game, disaggregate.
+	MeanFieldSolve = meanfield.Solve
+	// MeanFieldSolveSharded solves regions independently and settles
+	// them against a shared feeder capacity.
+	MeanFieldSolveSharded = meanfield.SolveSharded
+	// ClusterPlayers partitions a fleet into representative
+	// populations (exposed for callers that want the clustering
+	// without the solve).
+	ClusterPlayers = meanfield.ClusterPlayers
+	// NewMeanFieldMetrics registers the olev_mf_* catalog.
+	NewMeanFieldMetrics = meanfield.NewMetrics
 )
 
 // BuildFleet draws a fleet of OLEVs and the corresponding game
@@ -339,6 +389,10 @@ type (
 	GameDefaults = experiments.GameDefaults
 	// ExperimentTable is a rendered experiment result.
 	ExperimentTable = experiments.Table
+	// RegionalMeanFieldConfig drives the metropolitan sharding study.
+	RegionalMeanFieldConfig = experiments.RegionalConfig
+	// RegionalMeanFieldResult is the settled metropolitan outcome.
+	RegionalMeanFieldResult = experiments.RegionalResult
 )
 
 var (
@@ -359,6 +413,9 @@ var (
 	// MultiIntersectionSweep fans the corridor study over a list of
 	// intersection counts on the sweep engine.
 	MultiIntersectionSweep = experiments.MultiIntersectionSweep
+	// RegionalMeanField runs the metropolitan sharding study: one
+	// mean-field region per corridor, settled against a shared feeder.
+	RegionalMeanField = experiments.RegionalMeanField
 	// PolicyComparison contrasts the three pricing objectives.
 	PolicyComparison = experiments.PolicyComparison
 	// SaveExperimentCSVs writes rendered tables for external plotting.
