@@ -88,9 +88,10 @@ type restartPhase struct {
 }
 
 type benchFile struct {
-	Sessions      int   `json:"sessions"`
-	MinConcurrent int   `json:"min_concurrent"`
-	Seed          int64 `json:"seed"`
+	Sessions      int    `json:"sessions"`
+	MinConcurrent int    `json:"min_concurrent"`
+	Seed          int64  `json:"seed"`
+	Wire          string `json:"wire,omitempty"`
 
 	Load     loadPhase     `json:"load"`
 	Overload overloadPhase `json:"overload"`
@@ -117,11 +118,17 @@ func run() error {
 	seed := flag.Int64("seed", 7, "base seed for session chaos plans")
 	out := flag.String("o", "BENCH_serve.json", "output path (- for stdout)")
 	check := flag.Bool("check", false, "exit non-zero unless every gate holds")
+	wire := flag.String("wire", "", `V2I frame codec for load sessions: "json" (default) or "binary"`)
 	flag.Parse()
 
-	file := benchFile{Sessions: *sessions, MinConcurrent: *minConcurrent, Seed: *seed}
+	switch *wire {
+	case "", "json", "binary":
+	default:
+		return fmt.Errorf("unknown -wire %q; use \"json\" or \"binary\"", *wire)
+	}
+	file := benchFile{Sessions: *sessions, MinConcurrent: *minConcurrent, Seed: *seed, Wire: *wire}
 
-	if err := runLoad(&file, *sessions, *hold, *smear, *seed); err != nil {
+	if err := runLoad(&file, *sessions, *hold, *smear, *seed, *wire); err != nil {
 		return fmt.Errorf("load phase: %w", err)
 	}
 	if err := runOverload(&file, *seed); err != nil {
@@ -170,8 +177,9 @@ func run() error {
 // to completion) while the solve starts spread out instead of
 // stampeding — the latency gate measures round time under bounded
 // solver load, not scheduler collapse.
-func loadSpec(i int, hold, smear time.Duration, seed int64) serve.SessionSpec {
+func loadSpec(i int, hold, smear time.Duration, seed int64, wire string) serve.SessionSpec {
 	spec := serve.SessionSpec{
+		Wire:         wire,
 		Vehicles:     3,
 		Sections:     4,
 		Tolerance:    1e-4,
@@ -190,7 +198,7 @@ func loadSpec(i int, hold, smear time.Duration, seed int64) serve.SessionSpec {
 	return spec
 }
 
-func runLoad(file *benchFile, n int, hold, smear time.Duration, seed int64) error {
+func runLoad(file *benchFile, n int, hold, smear time.Duration, seed int64, wire string) error {
 	s := serve.NewServer(serve.Config{
 		MaxSessions:    n + 16,
 		DefaultMaxWall: 2 * time.Minute,
@@ -201,7 +209,7 @@ func runLoad(file *benchFile, n int, hold, smear time.Duration, seed int64) erro
 	start := time.Now()
 	held := make([]*serve.Session, 0, n)
 	for i := 0; i < n; i++ {
-		spec := loadSpec(i, hold, smear, seed)
+		spec := loadSpec(i, hold, smear, seed, wire)
 		if spec.Chaos.DropRate > 0 {
 			file.Load.ChaosSessions++
 		}

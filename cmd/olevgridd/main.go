@@ -61,7 +61,14 @@ func run() error {
 	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint on overload rejections")
 	maxWall := flag.Duration("max-wall", 2*time.Minute, "default per-session wall budget")
 	journalDir := flag.String("journal-dir", "", "directory for session manifests + checkpoints; empty disables durability")
+	wire := flag.String("wire", "", `default V2I frame codec for sessions that don't pick one: "json" (default) or "binary"`)
 	flag.Parse()
+
+	switch *wire {
+	case "", "json", "binary":
+	default:
+		return fmt.Errorf("unknown -wire %q; use \"json\" or \"binary\"", *wire)
+	}
 
 	reg := obs.NewRegistry()
 	sink := obs.NewEventSink(1024)
@@ -78,6 +85,7 @@ func run() error {
 		DefaultMaxWall: *maxWall,
 		RetryAfter:     *retryAfter,
 		JournalDir:     *journalDir,
+		DefaultWire:    *wire,
 		Registry:       reg,
 		Sink:           sink,
 	})

@@ -63,6 +63,7 @@ func run() error {
 	solver := flag.String("solver", "", "equilibrium engine for the nonlinear policy: empty/exact (per-vehicle dynamics) or meanfield (aggregated population tier)")
 	clusters := flag.Int("clusters", 0, "meanfield: population budget K (0 = tier default)")
 	tcp := flag.Bool("tcp", false, "run distributed over localhost TCP")
+	wireName := flag.String("wire", "", `tcp: V2I frame codec, "json" (default) or "binary" (negotiated; a mixed pair settles on json)`)
 	drop := flag.Float64("drop", 0, "tcp: per-frame drop probability on grid-side links")
 	dup := flag.Float64("dup", 0, "tcp: per-frame duplication probability on grid-side links")
 	reorder := flag.Float64("reorder", 0, "tcp: per-frame reorder probability on grid-side links")
@@ -106,17 +107,24 @@ func run() error {
 		if err != nil {
 			return err
 		}
+		wire, err := olevgrid.ParseWire(*wireName)
+		if err != nil {
+			return err
+		}
 		if err := runTCP(players, *c, lineCap, *eta, *beta, *seed, tcpOptions{
 			drop: *drop, dup: *dup, reorder: *reorder,
 			evictAfter: *evictAfter, journalPath: *journalPath,
 			parallelism: *parallelism,
 			crashAt:     *crashAt, autonomy: *autonomy,
 			feedDrop: *feedDrop, outages: outages,
-			telemetry: telemetry,
+			telemetry: telemetry, wire: wire,
 		}); err != nil {
 			return err
 		}
 		return telemetry.dump(*metricsOut)
+	}
+	if *wireName != "" {
+		return fmt.Errorf("-wire selects the V2I codec; it requires -tcp")
 	}
 	if *crashAt > 0 || *autonomy > 0 || *feedDrop > 0 || *outageSpec != "" {
 		return fmt.Errorf("-crash-at/-autonomy/-feed-drop/-outage require -tcp")
@@ -247,6 +255,7 @@ type tcpOptions struct {
 	feedDrop           float64
 	outages            []olevgrid.SectionOutage
 	telemetry          *obsBundle
+	wire               olevgrid.Wire
 }
 
 func (o tcpOptions) chaotic() bool { return o.drop > 0 || o.dup > 0 || o.reorder > 0 }
@@ -286,7 +295,8 @@ func runTCP(players []olevgrid.Player, c int, lineCap, eta, beta float64, seed i
 		return err
 	}
 	defer func() { _ = srv.Close() }()
-	fmt.Printf("smart grid listening on %s\n", srv.Addr())
+	srv.Wire = opts.wire // codec the server accepts; dialers below it settle on JSON
+	fmt.Printf("smart grid listening on %s (wire %s)\n", srv.Addr(), opts.wire)
 
 	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
 	defer cancel()
@@ -302,13 +312,13 @@ func runTCP(players []olevgrid.Player, c int, lineCap, eta, beta float64, seed i
 		wg.Add(1)
 		go func(i int, p olevgrid.Player) {
 			defer wg.Done()
-			_, errs[i] = olevgrid.RunAgentTCP(ctx, srv.Addr(), olevgrid.AgentConfig{
+			_, errs[i] = olevgrid.RunAgentTCPWire(ctx, srv.Addr(), olevgrid.AgentConfig{
 				VehicleID:    p.ID,
 				MaxPowerKW:   p.MaxPowerKW,
 				Satisfaction: p.Satisfaction,
 				Autonomy:     auto,
 				Metrics:      cpm,
-			})
+			}, opts.wire)
 		}(i, p)
 	}
 

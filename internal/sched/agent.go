@@ -95,6 +95,10 @@ type Agent struct {
 	// last grid state this agent saw, and when.
 	lastQuote   *v2i.Quote
 	lastQuoteAt time.Time
+	// lastAlloc is the own schedule row the grid last confirmed (exact
+	// float bits, both wires). A batched quote that elides the own row
+	// is reconstructed against it: others = totals − lastAlloc.
+	lastAlloc []float64
 	// degraded marks an autonomy episode in progress, so the next
 	// successful Recv counts as a reconnect.
 	degraded bool
@@ -116,16 +120,12 @@ func NewAgent(cfg AgentConfig, link v2i.Transport) (*Agent, error) {
 // coordinator is constructed with the links already keyed.
 func (a *Agent) Hello(ctx context.Context) error {
 	a.seq++
-	env, err := v2i.Seal(v2i.TypeHello, a.cfg.VehicleID, a.seq, v2i.Hello{
+	return v2i.SendMsg(ctx, a.link, v2i.TypeHello, a.cfg.VehicleID, a.seq, &v2i.Hello{
 		VehicleID:  a.cfg.VehicleID,
 		MaxPowerKW: a.cfg.MaxPowerKW,
 		VelocityMS: a.cfg.VelocityMS,
 		SOC:        a.cfg.SOC,
 	})
-	if err != nil {
-		return err
-	}
-	return a.link.Send(ctx, env)
 }
 
 // Run answers quotes with best responses until the grid says the game
@@ -189,6 +189,10 @@ func (a *Agent) Run(ctx context.Context) (AgentResult, error) {
 			if err := a.answerQuote(ctx, env, &res); err != nil {
 				return res, err
 			}
+		case v2i.TypeQuoteBatch:
+			if err := a.answerBatch(ctx, env, &res); err != nil {
+				return res, err
+			}
 		case v2i.TypeSchedule:
 			var msg v2i.ScheduleMsg
 			if err := v2i.Open(env, v2i.TypeSchedule, &msg); err != nil {
@@ -196,6 +200,7 @@ func (a *Agent) Run(ctx context.Context) (AgentResult, error) {
 			}
 			res.FinalAllocKW = msg.AllocKW
 			res.FinalPaymentH = msg.PaymentH
+			a.lastAlloc = msg.AllocKW
 		case v2i.TypeConverged:
 			res.Converged = true
 		case v2i.TypeHeartbeat:
@@ -218,7 +223,50 @@ func (a *Agent) answerQuote(ctx context.Context, env v2i.Envelope, res *AgentRes
 	if err := v2i.Open(env, v2i.TypeQuote, &quote); err != nil {
 		return err
 	}
-	a.lastQuote = &quote
+	return a.respond(ctx, &quote, 0, res)
+}
+
+// answerBatch answers a coalesced quote: reconstruct the private
+// background load as totals − own — own taken from the frame when
+// present, else from the last confirmed schedule row — then best
+// respond exactly as for a unicast quote. The request echoes a
+// checksum of the own row used, so a coordinator whose row cache
+// drifted (a lost ScheduleMsg) detects the desync and re-quotes with
+// the row inlined.
+func (a *Agent) answerBatch(ctx context.Context, env v2i.Envelope, res *AgentResult) error {
+	var qb v2i.QuoteBatch
+	if err := v2i.Open(env, v2i.TypeQuoteBatch, &qb); err != nil {
+		return err
+	}
+	own := qb.Own
+	if own == nil {
+		if len(a.lastAlloc) == len(qb.Totals) {
+			own = a.lastAlloc
+		} else {
+			own = make([]float64, len(qb.Totals)) // never scheduled: zero row
+		}
+	} else {
+		if len(own) != len(qb.Totals) {
+			return fmt.Errorf("sched: agent %s: batch own width %d, totals width %d",
+				a.cfg.VehicleID, len(own), len(qb.Totals))
+		}
+		a.lastAlloc = own // the grid just told us our row authoritatively
+	}
+	quote := v2i.Quote{
+		VehicleID: a.cfg.VehicleID, Others: othersFrom(qb.Totals, own),
+		Cost: qb.Cost, Round: qb.Round, Epoch: qb.Epoch,
+		FleetSize: qb.FleetSize, Live: qb.Live,
+	}
+	return a.respond(ctx, &quote, sum(own), res)
+}
+
+// respond computes the best response to a quote (unicast or
+// reconstructed from a batch) and sends the request. ownSum is echoed
+// as the batch desync checksum; unicast answers pass the zero value,
+// which the omitempty JSON field drops — unicast wire bytes are
+// unchanged.
+func (a *Agent) respond(ctx context.Context, quote *v2i.Quote, ownSum float64, res *AgentResult) error {
+	a.lastQuote = quote
 	a.lastQuoteAt = time.Now()
 	cost, err := BuildCost(quote.Cost)
 	if err != nil {
@@ -244,15 +292,12 @@ func (a *Agent) answerQuote(ctx context.Context, env v2i.Envelope, res *AgentRes
 	request := core.BestResponse(a.cfg.Satisfaction, psi, a.cfg.MaxPowerKW)
 
 	a.seq++
-	out, err := v2i.Seal(v2i.TypeRequest, a.cfg.VehicleID, a.seq, v2i.Request{
+	err = v2i.SendMsg(ctx, a.link, v2i.TypeRequest, a.cfg.VehicleID, a.seq, &v2i.Request{
 		VehicleID: a.cfg.VehicleID, TotalKW: request,
 		DrawCapKW: a.cfg.MaxSectionDrawKW, Round: quote.Round,
-		Epoch: quote.Epoch,
+		Epoch: quote.Epoch, OwnKWSum: ownSum,
 	})
 	if err != nil {
-		return err
-	}
-	if err := a.link.Send(ctx, out); err != nil {
 		return fmt.Errorf("sched: agent %s send request: %w", a.cfg.VehicleID, err)
 	}
 	res.FinalRequestKW = request
@@ -263,7 +308,14 @@ func (a *Agent) answerQuote(ctx context.Context, env v2i.Envelope, res *AgentRes
 // RunTCP is the full client-side lifecycle for a TCP deployment:
 // dial, hello, run.
 func RunTCP(ctx context.Context, addr string, cfg AgentConfig) (AgentResult, error) {
-	link, err := v2i.Dial(ctx, addr)
+	return RunTCPWire(ctx, addr, cfg, v2i.WireJSON)
+}
+
+// RunTCPWire is RunTCP offering a wire codec at dial time; the
+// negotiated wire is whatever the server accepts (a JSON-only server
+// settles a binary-offering agent down to JSON).
+func RunTCPWire(ctx context.Context, addr string, cfg AgentConfig, w v2i.Wire) (AgentResult, error) {
+	link, err := v2i.DialWire(ctx, addr, w)
 	if err != nil {
 		return AgentResult{}, err
 	}

@@ -284,6 +284,15 @@ type Coordinator struct {
 	// it, at the top of a round.
 	live []bool
 
+	// sentRow caches, per vehicle, a copy of the schedule row the
+	// vehicle last acknowledged (i.e. the row carried by its last
+	// accepted ScheduleMsg). A batched quote elides the vehicle's own
+	// row only while the cached copy is bit-identical to the live row;
+	// any divergence (outage zeroing, checkpoint restore) forces the
+	// row back onto the wire. Guarded by mu: installRequest writes it
+	// from Run's goroutine while batch collection goroutines read it.
+	sentRow map[string][]float64
+
 	joins    chan pendingJoin
 	rng      *rand.Rand
 	seq      uint64
@@ -372,6 +381,7 @@ func NewCoordinator(cfg CoordinatorConfig, links map[string]v2i.Transport) (*Coo
 		epoch:       1,
 		lastSeq:     make(map[string]uint64, len(links)),
 		consecFails: make(map[string]int, len(links)),
+		sentRow:     make(map[string][]float64, len(links)),
 		joins:       make(chan pendingJoin, joinQueueDepth),
 		rng:         stats.NewRand(cfg.Seed),
 		live:        make([]bool, cfg.NumSections),
@@ -421,15 +431,12 @@ func (c *Coordinator) Close() error {
 		ctx, cancel := context.WithTimeout(context.Background(), grace)
 		var wg sync.WaitGroup
 		for _, link := range c.links {
-			env, err := v2i.Seal(v2i.TypeBye, "smart-grid", c.nextSeq(), v2i.Bye{Reason: "shutdown"})
-			if err != nil {
-				continue
-			}
+			seq := c.nextSeq()
 			wg.Add(1)
-			go func(link v2i.Transport) {
+			go func(link v2i.Transport, seq uint64) {
 				defer wg.Done()
-				_ = link.Send(ctx, env)
-			}(link)
+				_ = v2i.SendMsg(ctx, link, v2i.TypeBye, "smart-grid", seq, &v2i.Bye{Reason: "shutdown"})
+			}(link, seq)
 		}
 		wg.Wait()
 		cancel()
@@ -758,11 +765,9 @@ func (c *Coordinator) heartbeat(ctx context.Context, round int) {
 	}
 	for _, link := range c.links {
 		hctx, cancel := context.WithTimeout(ctx, c.cfg.RoundTimeout)
-		if env, err := v2i.Seal(v2i.TypeHeartbeat, "smart-grid", c.nextSeq(), v2i.Heartbeat{
+		_ = v2i.SendMsg(hctx, link, v2i.TypeHeartbeat, "smart-grid", c.nextSeq(), &v2i.Heartbeat{
 			Epoch: c.epoch, Round: round,
-		}); err == nil {
-			_ = link.Send(hctx, env)
-		}
+		})
 		cancel()
 	}
 }
@@ -823,6 +828,12 @@ func isDeparture(err error) bool {
 // errVehicleLeft marks a Bye received where a Request was expected.
 var errVehicleLeft = errors.New("sched: vehicle sent bye")
 
+// errOwnDesync marks a batch answer whose echoed own-row checksum does
+// not bit-match the coordinator's row: the vehicle best-responded
+// against the wrong own allocation. Retryable — the cached row is
+// invalidated, so the re-quote carries the row explicitly.
+var errOwnDesync = errors.New("sched: batch answer computed on desynced own row")
+
 // breakerTrips reports whether this failed turn is the vehicle's
 // EvictAfter-th consecutive failure.
 func (c *Coordinator) breakerTrips(id string) bool {
@@ -838,6 +849,9 @@ func (c *Coordinator) removeVehicle(id string) float64 {
 	delete(c.schedule, id)
 	delete(c.lastSeq, id)
 	delete(c.consecFails, id)
+	c.mu.Lock()
+	delete(c.sentRow, id)
+	c.mu.Unlock()
 	if link, ok := c.links[id]; ok {
 		_ = link.Close()
 		delete(c.links, id)
@@ -855,9 +869,7 @@ func (c *Coordinator) sayBye(ctx context.Context, id, reason string) {
 	}
 	bctx, cancel := context.WithTimeout(ctx, c.cfg.RoundTimeout)
 	defer cancel()
-	if env, err := v2i.Seal(v2i.TypeBye, "smart-grid", c.nextSeq(), v2i.Bye{Reason: reason}); err == nil {
-		_ = link.Send(bctx, env)
-	}
+	_ = v2i.SendMsg(bctx, link, v2i.TypeBye, "smart-grid", c.nextSeq(), &v2i.Bye{Reason: reason})
 }
 
 // maxBackoffStep caps the exponential backoff at 2^maxBackoffStep
@@ -898,7 +910,7 @@ func (c *Coordinator) updateWithRetries(ctx context.Context, id string, round in
 // collectWithRetries is the retry loop around the network half of an
 // exchange, used by the batched rounds; the install half runs later on
 // Run's goroutine. Retry structure mirrors updateWithRetries.
-func (c *Coordinator) collectWithRetries(ctx context.Context, id string, round int, others []float64, epoch uint64) (v2i.Request, error) {
+func (c *Coordinator) collectWithRetries(ctx context.Context, id string, round int, others, totals []float64, epoch uint64) (v2i.Request, error) {
 	deadline := time.Now().Add(c.cfg.ExchangeDeadline)
 	var lastErr error
 	for attempt := 0; attempt <= c.cfg.MaxRetries; attempt++ {
@@ -911,7 +923,7 @@ func (c *Coordinator) collectWithRetries(ctx context.Context, id string, round i
 				break
 			}
 		}
-		req, err := c.collectRequest(ctx, id, round, others, epoch)
+		req, err := c.collectRequest(ctx, id, round, others, totals, epoch)
 		if err == nil {
 			return req, nil
 		}
@@ -950,13 +962,17 @@ func (c *Coordinator) runBatchedRound(ctx context.Context, ids []string, round, 
 		}
 		group := ids[lo:hi]
 		epoch := c.epoch
+		// One totals vector serves the whole block: every quote in it is
+		// against the same frozen background load, and on the binary
+		// wire the block shares the identical Totals payload.
+		totals := c.totalsVec()
 		var wg sync.WaitGroup
 		for i, id := range group {
-			others[i] = c.othersTotals(id)
+			others[i] = othersFrom(totals, c.schedule[id])
 			wg.Add(1)
 			go func(i int, id string) {
 				defer wg.Done()
-				reqs[i], errs[i] = c.collectWithRetries(ctx, id, round, others[i], epoch)
+				reqs[i], errs[i] = c.collectWithRetries(ctx, id, round, others[i], totals, epoch)
 			}(i, id)
 		}
 		wg.Wait()
@@ -1001,8 +1017,9 @@ func (c *Coordinator) backoff(ctx context.Context, attempt int) error {
 // and returns |Δp_n|: the sequential composition of the network half
 // (collectRequest) and the scheduling half (installRequest).
 func (c *Coordinator) updateOne(ctx context.Context, id string, round int) (float64, error) {
-	others := c.othersTotals(id)
-	req, err := c.collectRequest(ctx, id, round, others, c.epoch)
+	totals := c.totalsVec()
+	others := othersFrom(totals, c.schedule[id])
+	req, err := c.collectRequest(ctx, id, round, others, totals, c.epoch)
 	if err != nil {
 		return 0, err
 	}
@@ -1014,9 +1031,18 @@ func (c *Coordinator) updateOne(ctx context.Context, id string, round int) (floa
 // side filters the realities of a lossy link: replayed frames
 // (sequence number at or below the last accepted one) and
 // best-responses to an outdated quote (epoch mismatch) are counted and
-// discarded, never water-filled. It never touches the schedule, so
-// batched rounds run it concurrently for several vehicles.
-func (c *Coordinator) collectRequest(ctx context.Context, id string, round int, others []float64, epoch uint64) (v2i.Request, error) {
+// discarded, never water-filled. It never touches the schedule (only
+// the mu-guarded sentRow cache), so batched rounds run it concurrently
+// for several vehicles.
+//
+// When totals is non-nil and the link negotiated the binary wire, the
+// quote goes out as a QuoteBatch: the shared section totals instead of
+// a per-vehicle background vector, with the vehicle's own row elided
+// whenever the sentRow cache proves the vehicle already holds it bit
+// for bit. The agent reconstructs others = totals − own locally and
+// echoes a checksum of the own row it used; a checksum mismatch
+// invalidates the cache and retries with the row inlined.
+func (c *Coordinator) collectRequest(ctx context.Context, id string, round int, others, totals []float64, epoch uint64) (v2i.Request, error) {
 	link := c.links[id]
 	rctx, cancel := context.WithTimeout(ctx, c.cfg.RoundTimeout)
 	defer cancel()
@@ -1025,15 +1051,28 @@ func (c *Coordinator) collectRequest(ctx context.Context, id string, round int, 
 	if c.liveCount() != len(c.live) {
 		liveMask = append([]bool(nil), c.live...)
 	}
-	env, err := v2i.Seal(v2i.TypeQuote, "smart-grid", c.nextSeq(), v2i.Quote{
-		VehicleID: id, Others: others, Cost: c.cfg.Cost, Round: round, Epoch: epoch,
-		FleetSize: len(c.schedule), Live: liveMask,
-	})
-	if err != nil {
-		return v2i.Request{}, err
-	}
-	if err := link.Send(rctx, env); err != nil {
-		return v2i.Request{}, fmt.Errorf("send quote: %w", err)
+	batched := totals != nil && v2i.WireOf(link) == v2i.WireBinary
+	if batched {
+		row := c.schedule[id]
+		var own []float64
+		if !c.rowInSync(id, row) {
+			own = append([]float64(nil), row...)
+		}
+		err := v2i.SendMsg(rctx, link, v2i.TypeQuoteBatch, "smart-grid", c.nextSeq(), &v2i.QuoteBatch{
+			Round: round, Epoch: epoch, FleetSize: len(c.schedule),
+			Cost: c.cfg.Cost, Live: liveMask, Totals: totals, Own: own,
+		})
+		if err != nil {
+			return v2i.Request{}, fmt.Errorf("send quote: %w", err)
+		}
+	} else {
+		err := v2i.SendMsg(rctx, link, v2i.TypeQuote, "smart-grid", c.nextSeq(), &v2i.Quote{
+			VehicleID: id, Others: others, Cost: c.cfg.Cost, Round: round, Epoch: epoch,
+			FleetSize: len(c.schedule), Live: liveMask,
+		})
+		if err != nil {
+			return v2i.Request{}, fmt.Errorf("send quote: %w", err)
+		}
 	}
 	c.cfg.Metrics.observeQuote(id, round, epoch, len(c.schedule))
 
@@ -1065,7 +1104,32 @@ func (c *Coordinator) collectRequest(ctx context.Context, id string, round int, 
 	if req.TotalKW < 0 || math.IsNaN(req.TotalKW) || math.IsInf(req.TotalKW, 0) {
 		return v2i.Request{}, fmt.Errorf("invalid request %v", req.TotalKW)
 	}
+	if batched && math.Float64bits(req.OwnKWSum) != math.Float64bits(sum(c.schedule[id])) {
+		c.mu.Lock()
+		delete(c.sentRow, id)
+		c.mu.Unlock()
+		c.countStale()
+		return v2i.Request{}, errOwnDesync
+	}
 	return req, nil
+}
+
+// rowInSync reports whether the vehicle's cached acknowledged row is
+// bit-identical to the live schedule row, i.e. the batch quote may
+// elide it.
+func (c *Coordinator) rowInSync(id string, row []float64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cached, ok := c.sentRow[id]
+	if !ok || len(cached) != len(row) {
+		return false
+	}
+	for i := range row {
+		if math.Float64bits(cached[i]) != math.Float64bits(row[i]) {
+			return false
+		}
+	}
+	return true
 }
 
 // acceptSeq records an envelope sequence number, reporting whether the
@@ -1134,15 +1198,18 @@ func (c *Coordinator) installRequest(ctx context.Context, id string, round int, 
 
 	sctx, cancel := context.WithTimeout(ctx, c.cfg.RoundTimeout)
 	defer cancel()
-	env, err := v2i.Seal(v2i.TypeSchedule, "smart-grid", c.nextSeq(), v2i.ScheduleMsg{
+	err := v2i.SendMsg(sctx, c.links[id], v2i.TypeSchedule, "smart-grid", c.nextSeq(), &v2i.ScheduleMsg{
 		VehicleID: id, AllocKW: alloc, PaymentH: payment, Round: round,
 	})
 	if err != nil {
-		return 0, err
-	}
-	if err := c.links[id].Send(sctx, env); err != nil {
 		return 0, fmt.Errorf("send schedule: %w", err)
 	}
+	// The vehicle now holds this exact row (both wires transmit exact
+	// float bits), so future batch quotes may elide it. Cache a copy —
+	// outage handling mutates schedule rows in place.
+	c.mu.Lock()
+	c.sentRow[id] = append([]float64(nil), alloc...)
+	c.mu.Unlock()
 	c.cfg.Metrics.observePropose(id, round, c.epoch, req.TotalKW)
 	return math.Abs(req.TotalKW - before), nil
 }
@@ -1217,43 +1284,57 @@ func (c *Coordinator) restoreCheckpoint(cp Checkpoint) bool {
 func (c *Coordinator) broadcastDone(ctx context.Context, report Report) {
 	for _, link := range c.links {
 		bctx, cancel := context.WithTimeout(ctx, c.cfg.RoundTimeout)
-		if env, err := v2i.Seal(v2i.TypeConverged, "smart-grid", c.nextSeq(), v2i.Converged{
+		_ = v2i.SendMsg(bctx, link, v2i.TypeConverged, "smart-grid", c.nextSeq(), &v2i.Converged{
 			Rounds:           report.Rounds,
 			CongestionDegree: report.CongestionDegree,
 			WelfarePerHour:   -report.WelfareCost,
-		}); err == nil {
-			_ = link.Send(bctx, env)
-		}
-		if env, err := v2i.Seal(v2i.TypeBye, "smart-grid", c.nextSeq(), v2i.Bye{Reason: "converged"}); err == nil {
-			_ = link.Send(bctx, env)
-		}
+		})
+		_ = v2i.SendMsg(bctx, link, v2i.TypeBye, "smart-grid", c.nextSeq(), &v2i.Bye{Reason: "converged"})
 		cancel()
 	}
 }
 
-// othersTotals returns P_−n per section.
-func (c *Coordinator) othersTotals(id string) []float64 {
+// totalsVec returns the full P_c vector, accumulated in sorted
+// vehicle-ID order. The order matters: float addition is not
+// associative, so a map-order sum would make the schedule's arithmetic
+// nondeterministic run to run — and the batched wire derives each
+// vehicle's background load as totals − own, which only reproduces the
+// unicast quote bit for bit when both sides build totals the same way.
+func (c *Coordinator) totalsVec() []float64 {
+	ids := make([]string, 0, len(c.schedule))
+	for id := range c.schedule {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
 	out := make([]float64, c.cfg.NumSections)
-	for other, row := range c.schedule {
-		if other == id {
-			continue
-		}
-		for i, v := range row {
+	for _, id := range ids {
+		for i, v := range c.schedule[id] {
 			out[i] += v
 		}
 	}
 	return out
 }
 
-// SectionTotals returns the current P_c vector.
-func (c *Coordinator) SectionTotals() []float64 {
-	out := make([]float64, c.cfg.NumSections)
-	for _, row := range c.schedule {
-		for i, v := range row {
-			out[i] += v
-		}
+// othersFrom derives P_−n as totals − own, elementwise. This is the
+// exact arithmetic a batch-quoted agent performs locally, so the
+// coordinator uses the same derivation on the unicast path — the two
+// wires then quote bit-identical background loads.
+func othersFrom(totals, own []float64) []float64 {
+	out := append([]float64(nil), totals...)
+	for i := range out {
+		out[i] -= own[i]
 	}
 	return out
+}
+
+// othersTotals returns P_−n per section.
+func (c *Coordinator) othersTotals(id string) []float64 {
+	return othersFrom(c.totalsVec(), c.schedule[id])
+}
+
+// SectionTotals returns the current P_c vector.
+func (c *Coordinator) SectionTotals() []float64 {
+	return c.totalsVec()
 }
 
 // CongestionDegree returns Σp / ΣP_line.
@@ -1262,11 +1343,7 @@ func (c *Coordinator) CongestionDegree() float64 {
 }
 
 func (c *Coordinator) totalPower() float64 {
-	var total float64
-	for _, row := range c.schedule {
-		total += sum(row)
-	}
-	return total
+	return sum(c.SectionTotals())
 }
 
 func (c *Coordinator) welfareCost() float64 {

@@ -39,6 +39,11 @@ type Config struct {
 	// still-running rest, and a later boot's journal scan resumes
 	// them. Empty runs memory-only.
 	JournalDir string
+	// DefaultWire is the V2I frame codec for per-vehicle sessions
+	// whose spec leaves wire unset: "" or "json" keeps the JSON wire,
+	// "binary" the length-prefixed binary codec. Per-session specs
+	// override it.
+	DefaultWire string
 	// Registry/Sink arm telemetry; nil runs dark.
 	Registry *obs.Registry
 	Sink     *obs.EventSink
@@ -154,8 +159,18 @@ func (s *Server) Create(spec SessionSpec) (*Session, error) {
 		s.metrics.RejectedInvalid.Inc()
 		return nil, err
 	}
-	spec = spec.withDefaults(s.cfg.DefaultMaxWall)
+	spec = s.applyDefaultWire(spec.withDefaults(s.cfg.DefaultMaxWall))
 	return s.admit(spec, nil, false)
+}
+
+// applyDefaultWire fills the server's default V2I wire into a
+// per-vehicle spec that left it unset; the aggregated tier has no
+// links, so a mean-field spec is left alone.
+func (s *Server) applyDefaultWire(spec SessionSpec) SessionSpec {
+	if spec.Wire == "" && spec.Solver != SolverMeanField {
+		spec.Wire = s.cfg.DefaultWire
+	}
+	return spec
 }
 
 // admit is the single admission path for fresh and resumed sessions.
@@ -592,7 +607,7 @@ func (s *Server) ResumeScanned() ([]Decision, error) {
 		}
 		spec := d.Spec
 		spec.ID = d.ID
-		spec = spec.withDefaults(s.cfg.DefaultMaxWall)
+		spec = s.applyDefaultWire(spec.withDefaults(s.cfg.DefaultMaxWall))
 		var takeover *sched.Takeover
 		if d.HasCheckpoint {
 			// Fence above the dead incarnation's checkpoint exactly as

@@ -192,9 +192,18 @@ func chaosFor(spec SessionSpec, i int) v2i.FaultConfig {
 }
 
 // launchVehicle wires one agent over an in-memory pair and starts its
-// Run goroutine, returning the grid-side transport.
+// Run goroutine, returning the grid-side transport. A "binary" wire
+// spec swaps the channel pair for a connection-backed pipe pair preset
+// to the binary codec, so the session exercises the same frames a
+// binary TCP deployment would.
 func (f *fleet) launchVehicle(ctx context.Context, spec SessionSpec, id string, i int) (v2i.Transport, error) {
-	gridSide, vehicleSide := v2i.NewPair(64)
+	var gridSide, vehicleSide v2i.Transport
+	if spec.Wire == "binary" {
+		gridSide, vehicleSide = v2i.NewPipePair(v2i.WireBinary)
+		f.raw = append(f.raw, vehicleSide)
+	} else {
+		gridSide, vehicleSide = v2i.NewPair(64)
+	}
 	f.raw = append(f.raw, gridSide)
 	var gl, vl v2i.Transport = gridSide, vehicleSide
 	if spec.Chaos.enabled() {
@@ -221,6 +230,12 @@ func (f *fleet) launchVehicle(ctx context.Context, spec SessionSpec, id string, 
 	go func() {
 		defer f.wg.Done()
 		_, _ = agent.Run(ctx)
+		if spec.Wire == "binary" {
+			// A synchronous pipe has no reader once the agent exits;
+			// close it so the coordinator's farewell Bye fails fast
+			// instead of waiting out the shutdown grace.
+			_ = vl.Close()
+		}
 	}()
 	return gl, nil
 }

@@ -89,6 +89,14 @@ type SessionSpec struct {
 	JoinAtRound  int `json:"join_at_round,omitempty"`
 	LeaveAtRound int `json:"leave_at_round,omitempty"`
 
+	// Wire selects the V2I frame codec for the session's links: "" or
+	// "json" is the newline-delimited JSON wire (the default),
+	// "binary" the length-prefixed binary codec with coalesced
+	// QuoteBatch quotes. Both codecs carry exact float64 bits, so the
+	// equilibrium is identical either way; binary trades
+	// human-readable frames for zero-allocation encode/decode.
+	Wire string `json:"wire,omitempty"`
+
 	// Solver selects the session's engine: "" or "exact" runs the
 	// per-vehicle control plane (one agent goroutine per OLEV over
 	// v2i); "meanfield" runs the aggregated population tier in
@@ -178,6 +186,17 @@ func (s SessionSpec) Validate() error {
 		}
 	default:
 		return fmt.Errorf("serve: unknown solver %q", s.Solver)
+	}
+	switch s.Wire {
+	case "", "json":
+	case "binary":
+		// The aggregated tier has no per-vehicle links, so there is no
+		// wire to pick.
+		if s.Solver == SolverMeanField {
+			return fmt.Errorf("serve: wire %q requires the per-vehicle solver", s.Wire)
+		}
+	default:
+		return fmt.Errorf("serve: unknown wire %q; use \"json\" or \"binary\"", s.Wire)
 	}
 	if s.Sections < 1 || s.Sections > MaxSections {
 		return fmt.Errorf("serve: sections %d outside [1, %d]", s.Sections, MaxSections)

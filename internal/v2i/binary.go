@@ -1,0 +1,632 @@
+package v2i
+
+// The binary codec (wire version 1). Frames are length-prefixed with
+// a fixed little-endian layout:
+//
+//	u32  payload length n (bytes after this prefix; 12 <= n < MaxFrameBytes)
+//	u8   message type code (binCodes)
+//	u8   body codec: 0 = typed binary body, 1 = raw JSON body bytes
+//	u16  len(From), then From bytes
+//	u64  Seq
+//	...  body (layout per message type, or JSON when body codec is 1)
+//
+// Scalars are little-endian; float64s are IEEE-754 bits; strings are
+// u16-length-prefixed UTF-8; slices are a u32 element count followed
+// by the elements (count 0 decodes to nil, matching the JSON
+// omitempty convention). Body codec 1 exists so wrappers that can
+// only see sealed Envelopes (the fault injector) still ride a binary
+// connection: the JSON body bytes travel inside a binary frame and
+// Open falls back to encoding/json for them.
+//
+// Everything here is allocation-free in steady state: encoding
+// appends into a caller-owned scratch buffer, and decoding aliases
+// the FrameDecoder's receive buffer, interning the handful of
+// distinct peer/vehicle ID strings a connection ever sees.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+)
+
+const (
+	// binLenPrefix is the size of the u32 payload-length prefix.
+	binLenPrefix = 4
+	// binMinPayload is the smallest legal payload: type + codec +
+	// empty From + Seq and an empty body.
+	binMinPayload = 1 + 1 + 2 + 8
+)
+
+// Body codec values inside a binary frame.
+const (
+	bodyBinary = 0
+	bodyJSON   = 1
+)
+
+// Message type codes. 0 is reserved as invalid.
+var binCodes = map[MessageType]byte{
+	TypeHello:      1,
+	TypeQuote:      2,
+	TypeRequest:    3,
+	TypeSchedule:   4,
+	TypeConverged:  5,
+	TypeBye:        6,
+	TypeHeartbeat:  7,
+	TypeQuoteBatch: 8,
+}
+
+var binTypes = [...]MessageType{
+	1: TypeHello,
+	2: TypeQuote,
+	3: TypeRequest,
+	4: TypeSchedule,
+	5: TypeConverged,
+	6: TypeBye,
+	7: TypeHeartbeat,
+	8: TypeQuoteBatch,
+}
+
+// --- append-style encoders -------------------------------------------------
+
+func appendU16(dst []byte, v uint16) []byte {
+	return append(dst, byte(v), byte(v>>8))
+}
+
+func appendU32(dst []byte, v uint32) []byte {
+	return append(dst, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+func appendU64(dst []byte, v uint64) []byte {
+	return append(dst, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+
+func appendF64(dst []byte, v float64) []byte {
+	return appendU64(dst, math.Float64bits(v))
+}
+
+func appendStr16(dst []byte, s string) ([]byte, error) {
+	if len(s) > math.MaxUint16 {
+		return dst, fmt.Errorf("v2i: string of %d bytes exceeds wire limit", len(s))
+	}
+	dst = appendU16(dst, uint16(len(s)))
+	return append(dst, s...), nil
+}
+
+func appendF64s(dst []byte, vs []float64) []byte {
+	dst = appendU32(dst, uint32(len(vs)))
+	for _, v := range vs {
+		dst = appendF64(dst, v)
+	}
+	return dst
+}
+
+func appendBools(dst []byte, vs []bool) []byte {
+	dst = appendU32(dst, uint32(len(vs)))
+	for _, v := range vs {
+		b := byte(0)
+		if v {
+			b = 1
+		}
+		dst = append(dst, b)
+	}
+	return dst
+}
+
+// --- per-type body encoders ------------------------------------------------
+
+func appendHello(dst []byte, m *Hello) ([]byte, error) {
+	dst, err := appendStr16(dst, m.VehicleID)
+	if err != nil {
+		return dst, err
+	}
+	dst = appendF64(dst, m.MaxPowerKW)
+	dst = appendF64(dst, m.VelocityMS)
+	dst = appendF64(dst, m.SOC)
+	return dst, nil
+}
+
+func appendCostSpec(dst []byte, m *CostSpec) ([]byte, error) {
+	// Kind travels as a string, not an enum byte: an old decoder can
+	// then surface an unknown future kind verbatim instead of
+	// mis-mapping it.
+	dst, err := appendStr16(dst, m.Kind)
+	if err != nil {
+		return dst, err
+	}
+	dst = appendF64(dst, m.BetaPerKWh)
+	dst = appendF64(dst, m.Alpha)
+	dst = appendF64(dst, m.LineCapacityKW)
+	dst = appendF64(dst, m.OverloadKappaPerKWh)
+	dst = appendF64(dst, m.OverloadCapacityKW)
+	return dst, nil
+}
+
+func appendQuote(dst []byte, m *Quote) ([]byte, error) {
+	dst, err := appendStr16(dst, m.VehicleID)
+	if err != nil {
+		return dst, err
+	}
+	dst = appendF64s(dst, m.Others)
+	if dst, err = appendCostSpec(dst, &m.Cost); err != nil {
+		return dst, err
+	}
+	dst = appendU32(dst, uint32(int32(m.Round)))
+	dst = appendU64(dst, m.Epoch)
+	dst = appendU32(dst, uint32(int32(m.FleetSize)))
+	dst = appendBools(dst, m.Live)
+	return dst, nil
+}
+
+func appendQuoteBatch(dst []byte, m *QuoteBatch) ([]byte, error) {
+	dst = appendU32(dst, uint32(int32(m.Round)))
+	dst = appendU64(dst, m.Epoch)
+	dst = appendU32(dst, uint32(int32(m.FleetSize)))
+	dst, err := appendCostSpec(dst, &m.Cost)
+	if err != nil {
+		return dst, err
+	}
+	dst = appendBools(dst, m.Live)
+	dst = appendF64s(dst, m.Totals)
+	dst = appendF64s(dst, m.Own)
+	return dst, nil
+}
+
+func appendRequest(dst []byte, m *Request) ([]byte, error) {
+	dst, err := appendStr16(dst, m.VehicleID)
+	if err != nil {
+		return dst, err
+	}
+	dst = appendF64(dst, m.TotalKW)
+	dst = appendF64(dst, m.DrawCapKW)
+	dst = appendU32(dst, uint32(int32(m.Round)))
+	dst = appendU64(dst, m.Epoch)
+	dst = appendF64(dst, m.OwnKWSum)
+	return dst, nil
+}
+
+func appendSchedule(dst []byte, m *ScheduleMsg) ([]byte, error) {
+	dst, err := appendStr16(dst, m.VehicleID)
+	if err != nil {
+		return dst, err
+	}
+	dst = appendF64s(dst, m.AllocKW)
+	dst = appendF64(dst, m.PaymentH)
+	dst = appendU32(dst, uint32(int32(m.Round)))
+	return dst, nil
+}
+
+func appendConverged(dst []byte, m *Converged) ([]byte, error) {
+	dst = appendU32(dst, uint32(int32(m.Rounds)))
+	dst = appendF64(dst, m.CongestionDegree)
+	dst = appendF64(dst, m.WelfarePerHour)
+	return dst, nil
+}
+
+func appendBye(dst []byte, m *Bye) ([]byte, error) {
+	return appendStr16(dst, m.Reason)
+}
+
+func appendHeartbeat(dst []byte, m *Heartbeat) ([]byte, error) {
+	dst = appendU64(dst, m.Epoch)
+	dst = appendU32(dst, uint32(int32(m.Round)))
+	return dst, nil
+}
+
+// appendBinaryBody dispatches on the concrete body type. ok=false
+// means the type has no fixed layout and the caller should fall back
+// to a JSON body.
+func appendBinaryBody(dst []byte, body any) (_ []byte, ok bool, err error) {
+	switch m := body.(type) {
+	case *Hello:
+		dst, err = appendHello(dst, m)
+	case Hello:
+		dst, err = appendHello(dst, &m)
+	case *Quote:
+		dst, err = appendQuote(dst, m)
+	case Quote:
+		dst, err = appendQuote(dst, &m)
+	case *QuoteBatch:
+		dst, err = appendQuoteBatch(dst, m)
+	case QuoteBatch:
+		dst, err = appendQuoteBatch(dst, &m)
+	case *Request:
+		dst, err = appendRequest(dst, m)
+	case Request:
+		dst, err = appendRequest(dst, &m)
+	case *ScheduleMsg:
+		dst, err = appendSchedule(dst, m)
+	case ScheduleMsg:
+		dst, err = appendSchedule(dst, &m)
+	case *Converged:
+		dst, err = appendConverged(dst, m)
+	case Converged:
+		dst, err = appendConverged(dst, &m)
+	case *Bye:
+		dst, err = appendBye(dst, m)
+	case Bye:
+		dst, err = appendBye(dst, &m)
+	case *Heartbeat:
+		dst, err = appendHeartbeat(dst, m)
+	case Heartbeat:
+		dst, err = appendHeartbeat(dst, &m)
+	default:
+		return dst, false, nil
+	}
+	return dst, true, err
+}
+
+// --- frame encoders --------------------------------------------------------
+
+// finishFrame back-fills the length prefix written as a placeholder
+// at start and enforces the frame bound.
+func finishFrame(dst []byte, start int) ([]byte, error) {
+	n := len(dst) - start - binLenPrefix
+	if n >= MaxFrameBytes {
+		return dst, fmt.Errorf("v2i: send %d bytes: %w", n, ErrFrameTooLarge)
+	}
+	dst[start] = byte(n)
+	dst[start+1] = byte(n >> 8)
+	dst[start+2] = byte(n >> 16)
+	dst[start+3] = byte(n >> 24)
+	return dst, nil
+}
+
+func appendFrameHeader(dst []byte, code, codec byte, from string, seq uint64) ([]byte, error) {
+	dst = append(dst, 0, 0, 0, 0) // length prefix placeholder
+	dst = append(dst, code, codec)
+	dst, err := appendStr16(dst, from)
+	if err != nil {
+		return dst, err
+	}
+	return appendU64(dst, seq), nil
+}
+
+// AppendBinaryFrame appends one complete binary frame (length prefix
+// included) for a typed message to dst and returns the extended
+// slice. It allocates only when dst lacks capacity, so callers that
+// reuse the returned slice reach zero steady-state allocations. A
+// body type without a fixed layout is carried as JSON bytes inside
+// the frame (body codec 1).
+func AppendBinaryFrame(dst []byte, typ MessageType, from string, seq uint64, body any) ([]byte, error) {
+	code, ok := binCodes[typ]
+	if !ok {
+		return dst, fmt.Errorf("v2i: no binary code for message type %q", typ)
+	}
+	start := len(dst)
+	out, err := appendFrameHeader(dst, code, bodyBinary, from, seq)
+	if err != nil {
+		return dst, err
+	}
+	out, ok, err = appendBinaryBody(out, body)
+	if err != nil {
+		return dst, err
+	}
+	if !ok {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			return dst, fmt.Errorf("v2i: marshal %s body: %w", typ, err)
+		}
+		out[start+binLenPrefix+1] = bodyJSON
+		out = append(out, raw...)
+	}
+	return finishFrame(out, start)
+}
+
+// EncodeBinaryFrame appends one complete binary frame for a sealed
+// Envelope to dst. The Body travels as JSON bytes (body codec 1)
+// unless the envelope was produced by the binary decoder itself, in
+// which case its typed-binary body bytes are forwarded verbatim.
+func EncodeBinaryFrame(dst []byte, env Envelope) ([]byte, error) {
+	code, ok := binCodes[env.Type]
+	if !ok {
+		return dst, fmt.Errorf("v2i: no binary code for message type %q", env.Type)
+	}
+	codec := byte(bodyJSON)
+	if env.bodyBin {
+		codec = bodyBinary
+	}
+	start := len(dst)
+	out, err := appendFrameHeader(dst, code, codec, env.From, env.Seq)
+	if err != nil {
+		return dst, err
+	}
+	out = append(out, env.Body...)
+	return finishFrame(out, start)
+}
+
+// --- decoding --------------------------------------------------------------
+
+// binReader is a bounds-checked cursor over a payload. All read
+// methods return zero values once err is set, so decoders can read a
+// whole struct and check err once.
+type binReader struct {
+	b   []byte
+	off int
+	err bool
+}
+
+func (r *binReader) fail() { r.err = true }
+
+func (r *binReader) take(n int) []byte {
+	if r.err || n < 0 || len(r.b)-r.off < n {
+		r.fail()
+		return nil
+	}
+	b := r.b[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+func (r *binReader) u8() byte {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *binReader) u16() uint16 {
+	b := r.take(2)
+	if b == nil {
+		return 0
+	}
+	return uint16(b[0]) | uint16(b[1])<<8
+}
+
+func (r *binReader) u32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+func (r *binReader) u64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+func (r *binReader) i32() int { return int(int32(r.u32())) }
+
+func (r *binReader) f64() float64 { return math.Float64frombits(r.u64()) }
+
+// str decodes a u16-length-prefixed string, interning through d when
+// non-nil so repeated IDs on one connection cost one allocation ever.
+func (r *binReader) str(d *FrameDecoder) string {
+	b := r.take(int(r.u16()))
+	if len(b) == 0 {
+		return ""
+	}
+	if d != nil {
+		return d.intern(b)
+	}
+	return string(b)
+}
+
+// f64s decodes a float64 slice into dst's storage when it has the
+// capacity. Count 0 yields nil, matching JSON omitempty.
+func (r *binReader) f64s(dst []float64) []float64 {
+	n := int(r.u32())
+	if r.err || n <= 0 {
+		if n != 0 {
+			r.fail()
+		}
+		return nil
+	}
+	if len(r.b)-r.off < 8*n {
+		r.fail()
+		return nil
+	}
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	} else {
+		dst = dst[:n]
+	}
+	for i := range dst {
+		dst[i] = r.f64()
+	}
+	return dst
+}
+
+func (r *binReader) bools(dst []bool) []bool {
+	n := int(r.u32())
+	if r.err || n <= 0 {
+		if n != 0 {
+			r.fail()
+		}
+		return nil
+	}
+	b := r.take(n)
+	if b == nil {
+		return nil
+	}
+	if cap(dst) < n {
+		dst = make([]bool, n)
+	} else {
+		dst = dst[:n]
+	}
+	for i := range dst {
+		switch b[i] {
+		case 0:
+			dst[i] = false
+		case 1:
+			dst[i] = true
+		default:
+			r.fail()
+			return nil
+		}
+	}
+	return dst
+}
+
+// FrameDecoder carries the per-connection receive state of the
+// binary codec: the payload scratch buffer the decoded Envelope
+// aliases, and a small intern cache for the handful of distinct ID
+// strings one connection sees. A decoded Envelope (and anything
+// Opened out of it that aliases strings) is valid until the next
+// Decode on the same FrameDecoder — the transport's Recv contract.
+// The zero value is ready to use. Not safe for concurrent use.
+type FrameDecoder struct {
+	scratch []byte
+	lenb    [binLenPrefix]byte
+	names   [8]string
+	nNames  int
+}
+
+// intern returns a string equal to b, reusing a previously decoded
+// one when possible. The linear scan over at most 8 entries with a
+// direct ==string(b) comparison is allocation-free.
+func (d *FrameDecoder) intern(b []byte) string {
+	for i := 0; i < d.nNames; i++ {
+		if d.names[i] == string(b) {
+			return d.names[i]
+		}
+	}
+	s := string(b)
+	if d.nNames < len(d.names) {
+		d.names[d.nNames] = s
+		d.nNames++
+	}
+	return s
+}
+
+// grow returns d's scratch buffer resized to n bytes, reallocating
+// only when capacity is short.
+func (d *FrameDecoder) grow(n int) []byte {
+	if cap(d.scratch) < n {
+		d.scratch = make([]byte, n)
+	}
+	d.scratch = d.scratch[:n]
+	return d.scratch
+}
+
+// Decode parses one complete binary frame — length prefix included,
+// no trailing bytes — into an Envelope whose Body and From alias the
+// frame (or d's intern cache). The frame bytes must stay untouched
+// while the Envelope is in use.
+func (d *FrameDecoder) Decode(frame []byte) (Envelope, error) {
+	if len(frame) < binLenPrefix {
+		return Envelope{}, fmt.Errorf("v2i: binary frame of %d bytes: short length prefix", len(frame))
+	}
+	n := int(uint32(frame[0]) | uint32(frame[1])<<8 | uint32(frame[2])<<16 | uint32(frame[3])<<24)
+	if n != len(frame)-binLenPrefix {
+		return Envelope{}, fmt.Errorf("v2i: binary frame length prefix %d does not match %d payload bytes", n, len(frame)-binLenPrefix)
+	}
+	return d.parsePayload(frame[binLenPrefix:])
+}
+
+// parsePayload decodes the payload that follows the length prefix.
+func (d *FrameDecoder) parsePayload(p []byte) (Envelope, error) {
+	if len(p) >= MaxFrameBytes {
+		return Envelope{}, fmt.Errorf("v2i: recv %d bytes: %w", len(p), ErrFrameTooLarge)
+	}
+	if len(p) < binMinPayload {
+		return Envelope{}, fmt.Errorf("v2i: binary payload of %d bytes: truncated header", len(p))
+	}
+	r := binReader{b: p}
+	code := r.u8()
+	codec := r.u8()
+	from := r.str(d)
+	seq := r.u64()
+	if r.err {
+		return Envelope{}, fmt.Errorf("v2i: binary payload of %d bytes: truncated header", len(p))
+	}
+	if int(code) >= len(binTypes) || binTypes[code] == "" {
+		return Envelope{}, fmt.Errorf("v2i: unknown binary message code %d", code)
+	}
+	if codec != bodyBinary && codec != bodyJSON {
+		return Envelope{}, fmt.Errorf("v2i: unknown body codec %d", codec)
+	}
+	return Envelope{
+		Type:    binTypes[code],
+		From:    from,
+		Seq:     seq,
+		Body:    json.RawMessage(p[r.off:]),
+		bodyBin: codec == bodyBinary,
+		dec:     d,
+	}, nil
+}
+
+// decodeBinaryBody decodes a typed-binary body into out, reusing
+// out's slice storage. Trailing bytes are an error so corruption
+// cannot hide behind a successful prefix parse.
+func decodeBinaryBody(typ MessageType, body []byte, d *FrameDecoder, out any) error {
+	r := binReader{b: body}
+	switch m := out.(type) {
+	case *Hello:
+		m.VehicleID = r.str(d)
+		m.MaxPowerKW = r.f64()
+		m.VelocityMS = r.f64()
+		m.SOC = r.f64()
+	case *Quote:
+		m.VehicleID = r.str(d)
+		m.Others = r.f64s(m.Others)
+		decodeCostSpec(&r, d, &m.Cost)
+		m.Round = r.i32()
+		m.Epoch = r.u64()
+		m.FleetSize = r.i32()
+		m.Live = r.bools(m.Live)
+	case *QuoteBatch:
+		m.Round = r.i32()
+		m.Epoch = r.u64()
+		m.FleetSize = r.i32()
+		decodeCostSpec(&r, d, &m.Cost)
+		m.Live = r.bools(m.Live)
+		m.Totals = r.f64s(m.Totals)
+		m.Own = r.f64s(m.Own)
+	case *Request:
+		m.VehicleID = r.str(d)
+		m.TotalKW = r.f64()
+		m.DrawCapKW = r.f64()
+		m.Round = r.i32()
+		m.Epoch = r.u64()
+		m.OwnKWSum = r.f64()
+	case *ScheduleMsg:
+		m.VehicleID = r.str(d)
+		m.AllocKW = r.f64s(m.AllocKW)
+		m.PaymentH = r.f64()
+		m.Round = r.i32()
+	case *Converged:
+		m.Rounds = r.i32()
+		m.CongestionDegree = r.f64()
+		m.WelfarePerHour = r.f64()
+	case *Bye:
+		m.Reason = r.str(d)
+	case *Heartbeat:
+		m.Epoch = r.u64()
+		m.Round = r.i32()
+	case *CostSpec:
+		decodeCostSpec(&r, d, m)
+	default:
+		return fmt.Errorf("v2i: no binary decoder for %T", out)
+	}
+	if r.err {
+		return fmt.Errorf("v2i: truncated %s body", typ)
+	}
+	if r.off != len(r.b) {
+		return fmt.Errorf("v2i: %d trailing bytes after %s body", len(r.b)-r.off, typ)
+	}
+	return nil
+}
+
+func decodeCostSpec(r *binReader, d *FrameDecoder, m *CostSpec) {
+	m.Kind = r.str(d)
+	m.BetaPerKWh = r.f64()
+	m.Alpha = r.f64()
+	m.LineCapacityKW = r.f64()
+	m.OverloadKappaPerKWh = r.f64()
+	m.OverloadCapacityKW = r.f64()
+}
+
+// DecodeBinaryFrame parses one complete binary frame with a fresh
+// decoder. Convenience for tests and one-shot callers; hot paths
+// hold a FrameDecoder and call its Decode.
+func DecodeBinaryFrame(frame []byte) (Envelope, error) {
+	var d FrameDecoder
+	return d.Decode(frame)
+}

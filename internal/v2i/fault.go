@@ -139,6 +139,14 @@ func (f *Faulty) Recv(ctx context.Context) (Envelope, error) {
 	return f.inner.Recv(ctx)
 }
 
+// Unwrap exposes the wrapped transport to WireOf. Faulty deliberately
+// does NOT implement TypedSender: every send must pass through Send
+// so the fault plan (drop/dup/reorder/partition) applies identically
+// on every codec — SendMsg through a Faulty falls back to Seal+Send,
+// and the sealed JSON body rides inside a binary frame when the
+// connection negotiated one.
+func (f *Faulty) Unwrap() Transport { return f.inner }
+
 // Close implements Transport. A frame still held by a pending reorder
 // dies with the link, exactly like a real connection tearing down.
 func (f *Faulty) Close() error {

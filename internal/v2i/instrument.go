@@ -9,7 +9,10 @@ import (
 // TransportMetrics counts frames crossing an instrumented transport,
 // split by direction and message type. Counters are per-type so the
 // exposition shows the protocol mix (quotes vs requests vs control
-// frames); errors are lumped per direction. Nil is the off switch.
+// frames); errors are lumped per direction. Frames and bytes are also
+// counted per wire codec when the underlying connection exposes one,
+// so a mixed fleet shows exactly how much traffic negotiated down to
+// JSON. Nil is the off switch.
 type TransportMetrics struct {
 	sent      map[MessageType]*obs.Counter
 	received  map[MessageType]*obs.Counter
@@ -17,12 +20,17 @@ type TransportMetrics struct {
 	recvOther *obs.Counter
 	SendErrs  *obs.Counter
 	RecvErrs  *obs.Counter
+
+	// Indexed by Wire (0 = json, 1 = binary). Plain array indexing and
+	// Counter.Add keep the armed accounting allocation-free.
+	framesByCodec [2]*obs.Counter
+	bytesByCodec  [2]*obs.Counter
 }
 
 // knownTypes is the closed protocol set the per-type counters cover.
 var knownTypes = []MessageType{
 	TypeHello, TypeQuote, TypeRequest, TypeSchedule,
-	TypeConverged, TypeBye, TypeHeartbeat,
+	TypeConverged, TypeBye, TypeHeartbeat, TypeQuoteBatch,
 }
 
 // NewTransportMetrics registers the frame counters on r; r may be nil.
@@ -38,6 +46,10 @@ func NewTransportMetrics(r *obs.Registry) *TransportMetrics {
 	for _, t := range knownTypes {
 		m.sent[t] = r.Counter("olev_v2i_frames_sent_total", obs.Label{Key: "type", Value: string(t)})
 		m.received[t] = r.Counter("olev_v2i_frames_received_total", obs.Label{Key: "type", Value: string(t)})
+	}
+	for _, w := range []Wire{WireJSON, WireBinary} {
+		m.framesByCodec[w] = r.Counter("olev_v2i_frames_total", obs.Label{Key: "codec", Value: w.String()})
+		m.bytesByCodec[w] = r.Counter("olev_v2i_bytes_total", obs.Label{Key: "codec", Value: w.String()})
 	}
 	return m
 }
@@ -64,6 +76,48 @@ func (m *TransportMetrics) Received(t MessageType) uint64 {
 	return m.recvOther.Value()
 }
 
+// FramesOnWire returns the frame count (both directions) attributed
+// to one codec.
+func (m *TransportMetrics) FramesOnWire(w Wire) uint64 {
+	if m == nil || int(w) >= len(m.framesByCodec) {
+		return 0
+	}
+	return m.framesByCodec[w].Value()
+}
+
+// BytesOnWire returns the on-the-wire byte count (both directions)
+// attributed to one codec.
+func (m *TransportMetrics) BytesOnWire(w Wire) uint64 {
+	if m == nil || int(w) >= len(m.bytesByCodec) {
+		return 0
+	}
+	return m.bytesByCodec[w].Value()
+}
+
+// wireStats is the codec/byte accounting surface a connection-backed
+// transport exposes for per-codec metrics.
+type wireStats interface {
+	Wire() Wire
+	BytesSent() uint64
+	BytesReceived() uint64
+}
+
+// findWireStats walks the Unwrap chain to the connection transport,
+// if any.
+func findWireStats(t Transport) wireStats {
+	for t != nil {
+		if ws, ok := t.(wireStats); ok {
+			return ws
+		}
+		u, ok := t.(Unwrapper)
+		if !ok {
+			return nil
+		}
+		t = u.Unwrap()
+	}
+	return nil
+}
+
 // Instrumented wraps any Transport with frame accounting. It forwards
 // every call unchanged — ordering, blocking, and errors are the inner
 // transport's — so wrapping is invisible to the protocol; the chaos
@@ -71,12 +125,59 @@ func (m *TransportMetrics) Received(t MessageType) uint64 {
 type Instrumented struct {
 	inner Transport
 	m     *TransportMetrics
+
+	// ws is the underlying connection's codec/byte accounting, found
+	// once at construction. prevSent/prevRecv turn its cumulative byte
+	// counters into per-frame deltas; they are guarded by the
+	// Transport contract (one concurrent sender, one receiver), not a
+	// lock.
+	ws       wireStats
+	prevSent uint64
+	prevRecv uint64
 }
+
+var _ TypedSender = (*Instrumented)(nil)
 
 // NewInstrumented wraps t; a nil metrics bundle yields a transparent
 // pass-through.
 func NewInstrumented(t Transport, m *TransportMetrics) *Instrumented {
-	return &Instrumented{inner: t, m: m}
+	return &Instrumented{inner: t, m: m, ws: findWireStats(t)}
+}
+
+// Unwrap exposes the wrapped transport to WireOf.
+func (i *Instrumented) Unwrap() Transport { return i.inner }
+
+// countSentWire attributes one successful send to the connection's
+// negotiated codec.
+func (i *Instrumented) countSentWire() {
+	if i.ws == nil {
+		return
+	}
+	w := i.ws.Wire()
+	if int(w) >= len(i.m.framesByCodec) {
+		return
+	}
+	s := i.ws.BytesSent()
+	d := s - i.prevSent
+	i.prevSent = s
+	i.m.framesByCodec[w].Inc()
+	i.m.bytesByCodec[w].Add(int64(d))
+}
+
+// countRecvWire is the receive-side counterpart of countSentWire.
+func (i *Instrumented) countRecvWire() {
+	if i.ws == nil {
+		return
+	}
+	w := i.ws.Wire()
+	if int(w) >= len(i.m.framesByCodec) {
+		return
+	}
+	s := i.ws.BytesReceived()
+	d := s - i.prevRecv
+	i.prevRecv = s
+	i.m.framesByCodec[w].Inc()
+	i.m.bytesByCodec[w].Add(int64(d))
 }
 
 // Send implements Transport.
@@ -94,6 +195,37 @@ func (i *Instrumented) Send(ctx context.Context, env Envelope) error {
 	} else {
 		i.m.sentOther.Inc()
 	}
+	i.countSentWire()
+	return nil
+}
+
+// SendTyped implements TypedSender, forwarding the typed path when
+// the wrapped transport offers it so instrumentation does not cost
+// the zero-alloc send its zero.
+func (i *Instrumented) SendTyped(ctx context.Context, typ MessageType, from string, seq uint64, body any) error {
+	var err error
+	if ts, ok := i.inner.(TypedSender); ok {
+		err = ts.SendTyped(ctx, typ, from, seq, body)
+	} else {
+		var env Envelope
+		env, err = Seal(typ, from, seq, body)
+		if err == nil {
+			err = i.inner.Send(ctx, env)
+		}
+	}
+	if i.m == nil {
+		return err
+	}
+	if err != nil {
+		i.m.SendErrs.Inc()
+		return err
+	}
+	if c, ok := i.m.sent[typ]; ok {
+		c.Inc()
+	} else {
+		i.m.sentOther.Inc()
+	}
+	i.countSentWire()
 	return nil
 }
 
@@ -112,6 +244,7 @@ func (i *Instrumented) Recv(ctx context.Context) (Envelope, error) {
 	} else {
 		i.m.recvOther.Inc()
 	}
+	i.countRecvWire()
 	return env, err
 }
 

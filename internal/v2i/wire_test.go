@@ -1,0 +1,571 @@
+package v2i
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net"
+	"reflect"
+	"testing"
+	"time"
+
+	"olevgrid/internal/obs"
+)
+
+// jsonFrame renders an envelope as its newline-delimited JSON wire
+// bytes.
+func jsonFrame(env Envelope) ([]byte, error) {
+	raw, err := json.Marshal(env)
+	if err != nil {
+		return nil, err
+	}
+	return append(raw, '\n'), nil
+}
+
+func testQuote() *Quote {
+	return &Quote{
+		VehicleID: "ev-001",
+		Others:    []float64{1.5, 0.25, 3.125, 0.0625},
+		Cost: CostSpec{
+			Kind: "nonlinear", BetaPerKWh: 0.02, Alpha: 0.875,
+			LineCapacityKW: 50, OverloadKappaPerKWh: 10, OverloadCapacityKW: 45,
+		},
+		Round: 7, Epoch: 13, FleetSize: 4, Live: []bool{true, false, true, true},
+	}
+}
+
+// testBodies pairs every protocol type with a populated body and an
+// empty out-struct factory for round-trip assertions.
+func testBodies() []struct {
+	typ  MessageType
+	body any
+	out  func() any
+} {
+	return []struct {
+		typ  MessageType
+		body any
+		out  func() any
+	}{
+		{TypeHello, &Hello{VehicleID: "ev-001", MaxPowerKW: 68, VelocityMS: 26.8, SOC: 0.41}, func() any { return new(Hello) }},
+		{TypeQuote, testQuote(), func() any { return new(Quote) }},
+		{TypeQuoteBatch, &QuoteBatch{
+			Round: 3, Epoch: 21, FleetSize: 5,
+			Cost:   CostSpec{Kind: "linear", BetaPerKWh: 0.03},
+			Live:   []bool{true, true, false},
+			Totals: []float64{10.5, 2.25, 0},
+			Own:    []float64{1.5, 0.75, 0},
+		}, func() any { return new(QuoteBatch) }},
+		{TypeRequest, &Request{VehicleID: "ev-001", TotalKW: 41.5, DrawCapKW: 12, Round: 7, Epoch: 13, OwnKWSum: 4.875}, func() any { return new(Request) }},
+		{TypeSchedule, &ScheduleMsg{VehicleID: "ev-001", AllocKW: []float64{2, 0, 1.5}, PaymentH: 0.8125, Round: 7}, func() any { return new(ScheduleMsg) }},
+		{TypeConverged, &Converged{Rounds: 11, CongestionDegree: 0.9, WelfarePerHour: 120.5}, func() any { return new(Converged) }},
+		{TypeBye, &Bye{Reason: "session complete"}, func() any { return new(Bye) }},
+		{TypeHeartbeat, &Heartbeat{Epoch: 9, Round: 4}, func() any { return new(Heartbeat) }},
+	}
+}
+
+// TestBinaryRoundTripAllTypes pushes every protocol message through
+// the typed binary path of a pre-negotiated pipe pair and checks the
+// decoded struct matches field for field.
+func TestBinaryRoundTripAllTypes(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	for _, tc := range testBodies() {
+		a, b := NewPipePair(WireBinary)
+		errc := make(chan error, 1)
+		go func() { errc <- SendMsg(ctx, a, tc.typ, "grid", 42, tc.body) }()
+		env, err := b.Recv(ctx)
+		if err != nil {
+			t.Fatalf("%s: recv: %v", tc.typ, err)
+		}
+		if err := <-errc; err != nil {
+			t.Fatalf("%s: send: %v", tc.typ, err)
+		}
+		if env.Type != tc.typ || env.From != "grid" || env.Seq != 42 {
+			t.Fatalf("%s: header mismatch: %+v", tc.typ, env)
+		}
+		out := tc.out()
+		if err := Open(env, tc.typ, out); err != nil {
+			t.Fatalf("%s: open: %v", tc.typ, err)
+		}
+		if !reflect.DeepEqual(out, tc.body) {
+			t.Fatalf("%s: round trip mismatch:\n got %+v\nwant %+v", tc.typ, out, tc.body)
+		}
+		a.Close()
+		b.Close()
+	}
+}
+
+// TestSealedEnvelopeOverBinary sends a sealed (JSON-bodied) envelope
+// through a binary connection: the JSON body must ride inside the
+// binary frame and Open on the far side must fall back to
+// encoding/json transparently. This is the path every Faulty-wrapped
+// send takes on a binary link.
+func TestSealedEnvelopeOverBinary(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	a, b := NewPipePair(WireBinary)
+	defer a.Close()
+	defer b.Close()
+
+	want := testQuote()
+	env, err := Seal(TypeQuote, "grid", 3, want)
+	if err != nil {
+		t.Fatalf("seal: %v", err)
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- a.Send(ctx, env) }()
+	got, err := b.Recv(ctx)
+	if err != nil {
+		t.Fatalf("recv: %v", err)
+	}
+	if err := <-errc; err != nil {
+		t.Fatalf("send: %v", err)
+	}
+	var q Quote
+	if err := Open(got, TypeQuote, &q); err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if !reflect.DeepEqual(&q, want) {
+		t.Fatalf("sealed-over-binary mismatch:\n got %+v\nwant %+v", &q, want)
+	}
+}
+
+// exchange runs one hello→quote round trip between a dialer and an
+// accepted transport and returns the codecs both sides settled on.
+func exchange(t *testing.T, dial, acc Transport) (dialWire, accWire Wire) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+
+	errc := make(chan error, 1)
+	go func() {
+		errc <- SendMsg(ctx, dial, TypeHello, "ev-001", 1, &Hello{VehicleID: "ev-001", MaxPowerKW: 68})
+	}()
+	env, err := acc.Recv(ctx)
+	if err != nil {
+		t.Fatalf("server recv hello: %v", err)
+	}
+	if err := <-errc; err != nil {
+		t.Fatalf("client send hello: %v", err)
+	}
+	var h Hello
+	if err := Open(env, TypeHello, &h); err != nil {
+		t.Fatalf("open hello: %v", err)
+	}
+	if h.VehicleID != "ev-001" || h.MaxPowerKW != 68 {
+		t.Fatalf("hello mismatch: %+v", h)
+	}
+
+	go func() { errc <- SendMsg(ctx, acc, TypeQuote, "grid", 2, testQuote()) }()
+	env, err = dial.Recv(ctx)
+	if err != nil {
+		t.Fatalf("client recv quote: %v", err)
+	}
+	if err := <-errc; err != nil {
+		t.Fatalf("server send quote: %v", err)
+	}
+	var q Quote
+	if err := Open(env, TypeQuote, &q); err != nil {
+		t.Fatalf("open quote: %v", err)
+	}
+	if !reflect.DeepEqual(&q, testQuote()) {
+		t.Fatalf("quote mismatch: %+v", q)
+	}
+	return WireOf(dial), WireOf(acc)
+}
+
+// TestWireNegotiationMatrix covers all four dialer×listener codec
+// combinations over real TCP: binary only when both sides offer it,
+// JSON in every mixed pairing, and never an error.
+func TestWireNegotiationMatrix(t *testing.T) {
+	cases := []struct {
+		name       string
+		dialerWire Wire
+		serverWire Wire
+		want       Wire
+	}{
+		{"binary-binary", WireBinary, WireBinary, WireBinary},
+		{"binary-jsonServer", WireBinary, WireJSON, WireJSON},
+		{"json-binaryServer", WireJSON, WireBinary, WireJSON},
+		{"json-json", WireJSON, WireJSON, WireJSON},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			srv, err := Listen("127.0.0.1:0")
+			if err != nil {
+				t.Fatalf("listen: %v", err)
+			}
+			defer srv.Close()
+			srv.Wire = tc.serverWire
+			srv.ConnTimeouts = DefaultTimeouts()
+
+			accc := make(chan Transport, 1)
+			acce := make(chan error, 1)
+			go func() {
+				tr, err := srv.Accept()
+				accc <- tr
+				acce <- err
+			}()
+
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			dial, err := DialWireTimeouts(ctx, srv.Addr(), tc.dialerWire, DefaultTimeouts())
+			if err != nil {
+				t.Fatalf("dial: %v", err)
+			}
+			defer dial.Close()
+			acc := <-accc
+			if err := <-acce; err != nil {
+				t.Fatalf("accept: %v", err)
+			}
+			defer acc.Close()
+
+			dw, aw := exchange(t, dial, acc)
+			if dw != tc.want || aw != tc.want {
+				t.Fatalf("settled on dialer=%s server=%s, want %s", dw, aw, tc.want)
+			}
+		})
+	}
+}
+
+// TestServerSendFirstLateSniff covers the accepted side speaking
+// before it ever reads: it must settle on JSON, the binary dialer
+// must follow from the '{' first byte, and the dialer's queued
+// preamble must be swallowed by the server's first Recv.
+func TestServerSendFirstLateSniff(t *testing.T) {
+	srv, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	defer srv.Close()
+	srv.Wire = WireBinary
+	srv.ConnTimeouts = DefaultTimeouts()
+
+	accc := make(chan Transport, 1)
+	go func() {
+		tr, _ := srv.Accept()
+		accc <- tr
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	dial, err := DialWireTimeouts(ctx, srv.Addr(), WireBinary, DefaultTimeouts())
+	if err != nil {
+		t.Fatalf("dial: %v", err)
+	}
+	defer dial.Close()
+	acc := <-accc
+	if acc == nil {
+		t.Fatal("accept failed")
+	}
+	defer acc.Close()
+
+	// Server sends before receiving anything.
+	if err := SendMsg(ctx, acc, TypeQuote, "grid", 1, testQuote()); err != nil {
+		t.Fatalf("server send-first: %v", err)
+	}
+	env, err := dial.Recv(ctx)
+	if err != nil {
+		t.Fatalf("client recv: %v", err)
+	}
+	var q Quote
+	if err := Open(env, TypeQuote, &q); err != nil {
+		t.Fatalf("open quote: %v", err)
+	}
+
+	// Client replies; the server's first Recv must skip the stale
+	// preamble and parse the hello.
+	if err := SendMsg(ctx, dial, TypeRequest, "ev-001", 2, &Request{VehicleID: "ev-001", TotalKW: 10, Round: 1, Epoch: 1}); err != nil {
+		t.Fatalf("client send: %v", err)
+	}
+	env, err = acc.Recv(ctx)
+	if err != nil {
+		t.Fatalf("server recv after send-first: %v", err)
+	}
+	var req Request
+	if err := Open(env, TypeRequest, &req); err != nil {
+		t.Fatalf("open request: %v", err)
+	}
+	if WireOf(dial) != WireJSON || WireOf(acc) != WireJSON {
+		t.Fatalf("send-first connection settled on dialer=%s server=%s, want json both", WireOf(dial), WireOf(acc))
+	}
+}
+
+// deliveryPattern drives a seeded fault plan over a transport pair
+// and records which seq numbers arrive, in order, plus the injector's
+// own accounting.
+func deliveryPattern(t *testing.T, cfg FaultConfig, mk func() (Transport, Transport)) (seqs []uint64, dropped, dup, reord int) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	a, b := mk()
+	f := NewFaulty(a, cfg)
+
+	const frames = 60
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < frames; i++ {
+			env, err := Seal(TypeHeartbeat, "grid", uint64(i+1), &Heartbeat{Epoch: 1, Round: i})
+			if err != nil {
+				t.Errorf("seal: %v", err)
+				return
+			}
+			if err := f.Send(ctx, env); err != nil {
+				t.Errorf("send %d: %v", i, err)
+				return
+			}
+		}
+		f.Close()
+	}()
+	for {
+		env, err := b.Recv(ctx)
+		if err != nil {
+			break
+		}
+		seqs = append(seqs, env.Seq)
+	}
+	<-done
+	b.Close()
+	return seqs, f.Dropped(), f.Duplicated(), f.Reordered()
+}
+
+// TestFaultyComposesOverBinary replays one seeded chaos plan over the
+// in-memory channel pair and over a binary pipe connection: the
+// delivered sequence (drops, duplicates, reorders included) must be
+// identical, proving the fault plan composes unchanged with the
+// binary codec.
+func TestFaultyComposesOverBinary(t *testing.T) {
+	cfg := FaultConfig{
+		DropRate:      0.15,
+		DuplicateRate: 0.15,
+		ReorderRate:   0.2,
+		Partitions:    []SendWindow{{From: 10, To: 14}},
+		Seed:          424242,
+	}
+	chanSeqs, chanDrop, chanDup, chanReord := deliveryPattern(t, cfg, func() (Transport, Transport) { return NewPair(256) })
+	binSeqs, binDrop, binDup, binReord := deliveryPattern(t, cfg, func() (Transport, Transport) { return NewPipePair(WireBinary) })
+
+	if !reflect.DeepEqual(chanSeqs, binSeqs) {
+		t.Fatalf("delivery pattern diverged:\n chan %v\n bin  %v", chanSeqs, binSeqs)
+	}
+	if chanDrop != binDrop || chanDup != binDup || chanReord != binReord {
+		t.Fatalf("fault accounting diverged: chan=(%d,%d,%d) bin=(%d,%d,%d)",
+			chanDrop, chanDup, chanReord, binDrop, binDup, binReord)
+	}
+	if chanDrop == 0 || chanDup == 0 || chanReord == 0 {
+		t.Fatalf("fault plan too tame to prove composition: drops=%d dups=%d reorders=%d", chanDrop, chanDup, chanReord)
+	}
+}
+
+// TestWireOfUnwrap checks WireOf sees through the decorator stack the
+// deployments actually build (Instrumented over Faulty over conn).
+func TestWireOfUnwrap(t *testing.T) {
+	a, b := NewPipePair(WireBinary)
+	defer a.Close()
+	defer b.Close()
+	wrapped := NewInstrumented(NewFaulty(a, FaultConfig{Seed: 1}), nil)
+	if w := WireOf(wrapped); w != WireBinary {
+		t.Fatalf("WireOf(wrapped binary conn) = %s, want binary", w)
+	}
+	ca, cb := NewPair(1)
+	defer ca.Close()
+	defer cb.Close()
+	if w := WireOf(NewInstrumented(ca, nil)); w != WireJSON {
+		t.Fatalf("WireOf(chan pair) = %s, want json", w)
+	}
+}
+
+// TestCrossDecodeRejection: a JSON frame fed to the binary decoder
+// and a binary frame fed to the JSON decoder must both be rejected —
+// deterministically, not by luck — so a codec mismatch can never be
+// silently misparsed.
+func TestCrossDecodeRejection(t *testing.T) {
+	env, err := Seal(TypeQuote, "grid", 9, testQuote())
+	if err != nil {
+		t.Fatalf("seal: %v", err)
+	}
+
+	// Binary frame into the JSON decoder.
+	bin, err := AppendBinaryFrame(nil, TypeQuote, "grid", 9, testQuote())
+	if err != nil {
+		t.Fatalf("encode binary: %v", err)
+	}
+	if _, err := DecodeFrame(bin); err == nil {
+		t.Fatal("JSON decoder accepted a binary frame")
+	}
+
+	// JSON frame into the binary decoder: the '{' heavy first word
+	// reads as a gigantic length prefix, which the frame bound
+	// rejects before any allocation.
+	raw, err := jsonFrame(env)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	if _, err := DecodeBinaryFrame(raw); err == nil {
+		t.Fatal("binary decoder accepted a JSON frame")
+	}
+
+	// And at the transport level: a binary-preset receiver fed JSON
+	// line bytes must fail with ErrFrameTooLarge, not misparse.
+	ca, cb := net.Pipe()
+	rx := newPresetConn(cb, WireBinary)
+	defer rx.Close()
+	go func() {
+		ca.Write(raw)
+		ca.Close()
+	}()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if _, err := rx.Recv(ctx); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("binary recv of JSON bytes: err=%v, want ErrFrameTooLarge", err)
+	}
+}
+
+// discardConn is a net.Conn that swallows writes: the send-side
+// zero-alloc harness.
+type discardConn struct{}
+
+func (discardConn) Read(b []byte) (int, error)         { return 0, errors.New("discardConn: no reads") }
+func (discardConn) Write(b []byte) (int, error)        { return len(b), nil }
+func (discardConn) Close() error                       { return nil }
+func (discardConn) LocalAddr() net.Addr                { return nil }
+func (discardConn) RemoteAddr() net.Addr               { return nil }
+func (discardConn) SetDeadline(t time.Time) error      { return nil }
+func (discardConn) SetReadDeadline(t time.Time) error  { return nil }
+func (discardConn) SetWriteDeadline(t time.Time) error { return nil }
+
+// replayConn serves one frame's bytes in a loop: the receive-side
+// zero-alloc harness.
+type replayConn struct {
+	frame []byte
+	off   int
+}
+
+func (c *replayConn) Read(b []byte) (int, error) {
+	n := copy(b, c.frame[c.off:])
+	c.off = (c.off + n) % len(c.frame)
+	return n, nil
+}
+func (c *replayConn) Write(b []byte) (int, error)        { return len(b), nil }
+func (c *replayConn) Close() error                       { return nil }
+func (c *replayConn) LocalAddr() net.Addr                { return nil }
+func (c *replayConn) RemoteAddr() net.Addr               { return nil }
+func (c *replayConn) SetDeadline(t time.Time) error      { return nil }
+func (c *replayConn) SetReadDeadline(t time.Time) error  { return nil }
+func (c *replayConn) SetWriteDeadline(t time.Time) error { return nil }
+
+// TestBinaryCodecZeroAlloc is the wire counterpart of the solver's
+// steady-state zero-alloc guards: encode into a reused buffer, decode
+// into reused structs, and the full transport send/recv paths must
+// all run allocation-free once warm.
+func TestBinaryCodecZeroAlloc(t *testing.T) {
+	ctx := context.Background()
+	q := testQuote()
+
+	// Pure encode.
+	var ebuf []byte
+	if allocs := testing.AllocsPerRun(100, func() {
+		var err error
+		ebuf, err = AppendBinaryFrame(ebuf[:0], TypeQuote, "grid", 42, q)
+		if err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+	}); allocs != 0 {
+		t.Fatalf("encode allocates %v/op, want 0", allocs)
+	}
+
+	// Pure decode + Open into a reused struct.
+	frame, err := AppendBinaryFrame(nil, TypeQuote, "grid", 42, q)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	var dec FrameDecoder
+	var out Quote
+	if allocs := testing.AllocsPerRun(100, func() {
+		env, err := dec.Decode(frame)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if err := Open(env, TypeQuote, &out); err != nil {
+			t.Fatalf("open: %v", err)
+		}
+	}); allocs != 0 {
+		t.Fatalf("decode+open allocates %v/op, want 0", allocs)
+	}
+
+	// Transport send path (typed, negotiated binary).
+	tx := newPresetConn(discardConn{}, WireBinary)
+	defer tx.Close()
+	if allocs := testing.AllocsPerRun(100, func() {
+		if err := tx.SendTyped(ctx, TypeQuote, "grid", 42, q); err != nil {
+			t.Fatalf("send: %v", err)
+		}
+	}); allocs != 0 {
+		t.Fatalf("transport SendTyped allocates %v/op, want 0", allocs)
+	}
+
+	// Transport receive path.
+	rx := newPresetConn(&replayConn{frame: frame}, WireBinary)
+	defer rx.Close()
+	if allocs := testing.AllocsPerRun(100, func() {
+		env, err := rx.Recv(ctx)
+		if err != nil {
+			t.Fatalf("recv: %v", err)
+		}
+		if err := Open(env, TypeQuote, &out); err != nil {
+			t.Fatalf("open: %v", err)
+		}
+	}); allocs != 0 {
+		t.Fatalf("transport Recv allocates %v/op, want 0", allocs)
+	}
+}
+
+// TestInstrumentedBinaryZeroAlloc is the conformance guard for the
+// per-codec counters: an armed metrics bundle must not cost the
+// binary path a single allocation in either direction.
+func TestInstrumentedBinaryZeroAlloc(t *testing.T) {
+	ctx := context.Background()
+	q := testQuote()
+	reg := obs.NewRegistry()
+	m := NewTransportMetrics(reg)
+
+	tx := NewInstrumented(newPresetConn(discardConn{}, WireBinary), m)
+	defer tx.Close()
+	if allocs := testing.AllocsPerRun(100, func() {
+		if err := tx.SendTyped(ctx, TypeQuote, "grid", 42, q); err != nil {
+			t.Fatalf("send: %v", err)
+		}
+	}); allocs != 0 {
+		t.Fatalf("armed SendTyped allocates %v/op, want 0", allocs)
+	}
+
+	frame, err := AppendBinaryFrame(nil, TypeQuote, "grid", 42, q)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	rx := NewInstrumented(newPresetConn(&replayConn{frame: frame}, WireBinary), m)
+	defer rx.Close()
+	var out Quote
+	if allocs := testing.AllocsPerRun(100, func() {
+		env, err := rx.Recv(ctx)
+		if err != nil {
+			t.Fatalf("recv: %v", err)
+		}
+		if err := Open(env, TypeQuote, &out); err != nil {
+			t.Fatalf("open: %v", err)
+		}
+	}); allocs != 0 {
+		t.Fatalf("armed Recv allocates %v/op, want 0", allocs)
+	}
+
+	if got := m.FramesOnWire(WireBinary); got == 0 {
+		t.Fatal("per-codec frame counter did not advance on the binary path")
+	}
+	if got := m.BytesOnWire(WireBinary); got == 0 {
+		t.Fatal("per-codec byte counter did not advance on the binary path")
+	}
+	if got := m.FramesOnWire(WireJSON); got != 0 {
+		t.Fatalf("JSON codec counter advanced %d on a binary-only run", got)
+	}
+}
