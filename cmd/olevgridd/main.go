@@ -28,7 +28,7 @@
 //
 //	olevgridd [-addr :8080] [-max-sessions 1024] [-max-concurrent 0]
 //	          [-drain-grace 5s] [-retry-after 1s] [-max-wall 2m]
-//	          [-journal-dir DIR]
+//	          [-journal-dir DIR] [-store file|segment] [-fsync always|interval|never]
 package main
 
 import (
@@ -44,6 +44,7 @@ import (
 
 	"olevgrid/internal/obs"
 	"olevgrid/internal/serve"
+	"olevgrid/internal/store"
 )
 
 func main() {
@@ -62,12 +63,22 @@ func run() error {
 	maxWall := flag.Duration("max-wall", 2*time.Minute, "default per-session wall budget")
 	journalDir := flag.String("journal-dir", "", "directory for session manifests + checkpoints; empty disables durability")
 	wire := flag.String("wire", "", `default V2I frame codec for sessions that don't pick one: "json" (default) or "binary"`)
+	storeKind := flag.String("store", "", `checkpoint backend under -journal-dir: "file" (default, one JSON file per session) or "segment" (append-only log + snapshot compaction)`)
+	fsync := flag.String("fsync", "", `checkpoint durability policy: "always" (default; acked saves survive power loss), "interval" or "never"`)
 	flag.Parse()
 
 	switch *wire {
 	case "", "json", "binary":
 	default:
 		return fmt.Errorf("unknown -wire %q; use \"json\" or \"binary\"", *wire)
+	}
+	switch *storeKind {
+	case "", "file", "segment":
+	default:
+		return fmt.Errorf("unknown -store %q; use \"file\" or \"segment\"", *storeKind)
+	}
+	if _, err := store.ParseFsyncPolicy(*fsync); err != nil {
+		return err
 	}
 
 	reg := obs.NewRegistry()
@@ -86,6 +97,8 @@ func run() error {
 		RetryAfter:     *retryAfter,
 		JournalDir:     *journalDir,
 		DefaultWire:    *wire,
+		Store:          *storeKind,
+		Fsync:          *fsync,
 		Registry:       reg,
 		Sink:           sink,
 	})

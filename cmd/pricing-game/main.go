@@ -68,7 +68,9 @@ func run() error {
 	dup := flag.Float64("dup", 0, "tcp: per-frame duplication probability on grid-side links")
 	reorder := flag.Float64("reorder", 0, "tcp: per-frame reorder probability on grid-side links")
 	evictAfter := flag.Int("evict-after", 0, "tcp: evict a vehicle after this many consecutive failed turns (0 disables)")
-	journalPath := flag.String("journal", "", "tcp: checkpoint file for crash recovery (empty disables)")
+	journalPath := flag.String("journal", "", "tcp: checkpoint file (or, with -store segment, directory) for crash recovery (empty disables)")
+	storeKind := flag.String("store", "", `tcp: checkpoint backend for -journal: "file" (default) or "segment" (append-only log + snapshot compaction)`)
+	fsyncPolicy := flag.String("fsync", "", `tcp: checkpoint durability policy: "always" (default), "interval" or "never"`)
 	crashAt := flag.Int("crash-at", 0, "tcp: crash the primary coordinator at this round and fail over to a standby (0 disables)")
 	autonomy := flag.Duration("autonomy", 0, "tcp: arm degraded-mode autonomy with this quote deadline (0 disables)")
 	feedDrop := flag.Float64("feed-drop", 0, "tcp: LBMP feed per-round dropout probability")
@@ -99,6 +101,15 @@ func run() error {
 		return err
 	}
 
+	switch *storeKind {
+	case "", "file", "segment":
+	default:
+		return fmt.Errorf("unknown -store %q; use \"file\" or \"segment\"", *storeKind)
+	}
+	if _, err := olevgrid.ParseFsyncPolicy(*fsyncPolicy); err != nil {
+		return err
+	}
+
 	if *tcp {
 		if *solver != "" {
 			return fmt.Errorf("-solver selects an in-process engine; drop -tcp")
@@ -114,6 +125,7 @@ func run() error {
 		if err := runTCP(players, *c, lineCap, *eta, *beta, *seed, tcpOptions{
 			drop: *drop, dup: *dup, reorder: *reorder,
 			evictAfter: *evictAfter, journalPath: *journalPath,
+			storeKind: *storeKind, fsync: *fsyncPolicy,
 			parallelism: *parallelism,
 			crashAt:     *crashAt, autonomy: *autonomy,
 			feedDrop: *feedDrop, outages: outages,
@@ -125,6 +137,9 @@ func run() error {
 	}
 	if *wireName != "" {
 		return fmt.Errorf("-wire selects the V2I codec; it requires -tcp")
+	}
+	if *storeKind != "" || *fsyncPolicy != "" {
+		return fmt.Errorf("-store/-fsync shape the -journal backend; they require -tcp")
 	}
 	if *crashAt > 0 || *autonomy > 0 || *feedDrop > 0 || *outageSpec != "" {
 		return fmt.Errorf("-crash-at/-autonomy/-feed-drop/-outage require -tcp")
@@ -249,6 +264,8 @@ type tcpOptions struct {
 	drop, dup, reorder float64
 	evictAfter         int
 	journalPath        string
+	storeKind          string
+	fsync              string
 	parallelism        int
 	crashAt            int
 	autonomy           time.Duration
@@ -351,7 +368,20 @@ func runTCP(players []olevgrid.Player, c int, lineCap, eta, beta float64, seed i
 	}
 	var journal olevgrid.Journal
 	if opts.journalPath != "" {
-		journal = olevgrid.NewFileJournal(opts.journalPath)
+		if opts.storeKind == "segment" {
+			policy, err := olevgrid.ParseFsyncPolicy(opts.fsync)
+			if err != nil {
+				return err
+			}
+			st, err := olevgrid.OpenStore(opts.journalPath, olevgrid.StoreOptions{Fsync: policy})
+			if err != nil {
+				return err
+			}
+			defer st.Close()
+			journal = olevgrid.NewStoreJournal(st)
+		} else {
+			journal = olevgrid.NewFileJournal(opts.journalPath)
+		}
 	} else if opts.crashAt > 0 {
 		// A failover demo needs a checkpoint to hand the standby.
 		journal = olevgrid.NewMemJournal()

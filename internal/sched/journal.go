@@ -2,11 +2,13 @@ package sched
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io/fs"
 	"math"
-	"os"
-	"path/filepath"
 	"sync"
+
+	"olevgrid/internal/store"
 )
 
 // Checkpoint is the coordinator's durable state: the last schedule
@@ -123,18 +125,34 @@ func (j *MemJournal) Load() (Checkpoint, bool, error) {
 	return j.cp.clone(), true, nil
 }
 
-// FileJournal persists checkpoints as JSON, writing through a
-// temporary file and rename so a crash mid-save never corrupts the
-// last good checkpoint.
+// FileJournal persists checkpoints as a single JSON file through the
+// durability layer's atomic-rename write: temp file, fsync, rename,
+// directory fsync. A crash mid-save never corrupts the last good
+// checkpoint, and — unlike the pre-store rename-only version — a
+// power loss right after a nil Save return can never roll the
+// checkpoint back either.
 type FileJournal struct {
 	mu   sync.Mutex
 	path string
+	fsys store.FS
 }
 
 var _ Journal = (*FileJournal)(nil)
 
 // NewFileJournal journals to path; the file is created on first Save.
-func NewFileJournal(path string) *FileJournal { return &FileJournal{path: path} }
+func NewFileJournal(path string) *FileJournal {
+	return &FileJournal{path: path, fsys: store.OS}
+}
+
+// NewFileJournalFS is NewFileJournal over an injected filesystem —
+// the seam the crash-consistency regression tests drive a FaultFS
+// through.
+func NewFileJournalFS(fsys store.FS, path string) *FileJournal {
+	if fsys == nil {
+		fsys = store.OS
+	}
+	return &FileJournal{path: path, fsys: fsys}
+}
 
 // Save implements Journal.
 func (j *FileJournal) Save(cp Checkpoint) error {
@@ -144,31 +162,22 @@ func (j *FileJournal) Save(cp Checkpoint) error {
 	if err != nil {
 		return fmt.Errorf("sched: marshal checkpoint: %w", err)
 	}
-	dir := filepath.Dir(j.path)
-	tmp, err := os.CreateTemp(dir, ".checkpoint-*.tmp")
-	if err != nil {
-		return fmt.Errorf("sched: checkpoint temp: %w", err)
-	}
-	defer func() { _ = os.Remove(tmp.Name()) }()
-	if _, err := tmp.Write(raw); err != nil {
-		_ = tmp.Close()
-		return fmt.Errorf("sched: checkpoint write: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("sched: checkpoint close: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), j.path); err != nil {
-		return fmt.Errorf("sched: checkpoint rename: %w", err)
+	if err := store.WriteFileAtomic(j.fsys, j.path, raw); err != nil {
+		return fmt.Errorf("sched: checkpoint save: %w", err)
 	}
 	return nil
 }
 
-// Load implements Journal.
+// Load implements Journal. Failures keep their nature: a transient
+// read error (permissions blip, EIO) surfaces with its os error chain
+// intact, while bytes that are present but undecodable are marked
+// with store.ErrCorrupt — so callers like the boot journal scan can
+// tell "retry might work" from "the data is gone".
 func (j *FileJournal) Load() (Checkpoint, bool, error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	raw, err := os.ReadFile(j.path)
-	if os.IsNotExist(err) {
+	raw, err := j.fsys.ReadFile(j.path)
+	if errors.Is(err, fs.ErrNotExist) {
 		return Checkpoint{}, false, nil
 	}
 	if err != nil {
@@ -176,7 +185,48 @@ func (j *FileJournal) Load() (Checkpoint, bool, error) {
 	}
 	cp, err := DecodeCheckpoint(raw)
 	if err != nil {
-		return Checkpoint{}, false, err
+		return Checkpoint{}, false, fmt.Errorf("%w: %v", store.ErrCorrupt, err)
+	}
+	return cp, true, nil
+}
+
+// StoreJournal adapts a durable segment store (store.SegmentStore or
+// any store.Store) to the Journal interface: each Save appends one
+// framed checkpoint record, compaction bounds the log, and Load
+// decodes whatever the store recovered. This is the journal the
+// daemon's "-store segment" sessions run on.
+type StoreJournal struct {
+	s store.Store
+}
+
+var _ Journal = (*StoreJournal)(nil)
+
+// NewStoreJournal wraps s; the caller keeps ownership of s's
+// lifecycle (Close).
+func NewStoreJournal(s store.Store) *StoreJournal { return &StoreJournal{s: s} }
+
+// Save implements Journal. A nil return carries the store's
+// durability acknowledgement under its fsync policy.
+func (j *StoreJournal) Save(cp Checkpoint) error {
+	raw, err := json.Marshal(cp)
+	if err != nil {
+		return fmt.Errorf("sched: marshal checkpoint: %w", err)
+	}
+	if err := j.s.Append(raw); err != nil {
+		return fmt.Errorf("sched: checkpoint append: %w", err)
+	}
+	return nil
+}
+
+// Load implements Journal.
+func (j *StoreJournal) Load() (Checkpoint, bool, error) {
+	raw, _, ok := j.s.Last()
+	if !ok {
+		return Checkpoint{}, false, nil
+	}
+	cp, err := DecodeCheckpoint(raw)
+	if err != nil {
+		return Checkpoint{}, false, fmt.Errorf("%w: %v", store.ErrCorrupt, err)
 	}
 	return cp, true, nil
 }

@@ -2,23 +2,28 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
-	"os"
+	"io/fs"
 	"path/filepath"
 	"sort"
 	"strings"
 
 	"olevgrid/internal/sched"
+	"olevgrid/internal/store"
 )
 
 // This file is the crash-restart half of the service layer: every
-// durable session leaves two files in the journal directory — a
-// manifest (the spec plus the last known lifecycle state) and the
-// coordinator's checkpoint journal. On boot the daemon scans the
+// durable session leaves its state in the journal directory — a
+// manifest (the spec plus the last known lifecycle state, written
+// through the store layer's atomic-rename-with-fsync) and the
+// coordinator's checkpoint, either a single JSON file or a segment
+// store directory (Config.Store). On boot the daemon scans the
 // directory and decides, per session, whether to resume it, leave it
 // complete, or skip it as unreadable. The decision function is pure
 // and table-tested over mixed directories (complete, mid-run,
-// truncated, corrupt), reusing the FuzzJournalDecode corpus shapes.
+// truncated, corrupt, transient-unreadable, store-backed), reusing
+// the FuzzJournalDecode corpus shapes.
 
 // Manifest is the durable per-session record beside the checkpoint.
 type Manifest struct {
@@ -28,52 +33,44 @@ type Manifest struct {
 	State State `json:"state"`
 }
 
-// manifestPath and checkpointPath name a session's two durable files.
+// manifestPath and checkpointPath name a session's two durable files;
+// storeDirPath names its segment-store directory under "-store
+// segment".
 func manifestPath(dir, id string) string   { return filepath.Join(dir, id+".manifest.json") }
 func checkpointPath(dir, id string) string { return filepath.Join(dir, id+".checkpoint.json") }
+func storeDirPath(dir, id string) string   { return filepath.Join(dir, id+".store") }
 
-// writeManifest persists the manifest through a temp-file rename, the
-// same torn-write discipline as the checkpoint journal.
-func writeManifest(dir, id string, m Manifest) error {
+// writeManifest persists the manifest through the store layer's
+// crash-consistent write: temp file, fsync, rename, directory fsync.
+func writeManifest(fsys store.FS, dir, id string, m Manifest) error {
 	raw, err := json.Marshal(m)
 	if err != nil {
 		return fmt.Errorf("serve: marshal manifest: %w", err)
 	}
-	tmp, err := os.CreateTemp(dir, ".manifest-*.tmp")
-	if err != nil {
-		return fmt.Errorf("serve: manifest temp: %w", err)
-	}
-	defer func() { _ = os.Remove(tmp.Name()) }()
-	if _, err := tmp.Write(raw); err != nil {
-		_ = tmp.Close()
-		return fmt.Errorf("serve: manifest write: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("serve: manifest close: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), manifestPath(dir, id)); err != nil {
-		return fmt.Errorf("serve: manifest rename: %w", err)
+	if err := store.WriteFileAtomic(fsys, manifestPath(dir, id), raw); err != nil {
+		return fmt.Errorf("serve: manifest save: %w", err)
 	}
 	return nil
 }
 
 // readManifest loads and validates one manifest; the spec inside is
 // re-validated because the journal directory is attacker-adjacent
-// state, same as the checkpoint files.
-func readManifest(dir, id string) (Manifest, error) {
-	raw, err := os.ReadFile(manifestPath(dir, id))
+// state, same as the checkpoint files. Transient read errors keep
+// their os error chain; undecodable bytes are marked store.ErrCorrupt.
+func readManifest(fsys store.FS, dir, id string) (Manifest, error) {
+	raw, err := fsys.ReadFile(manifestPath(dir, id))
 	if err != nil {
 		return Manifest{}, err
 	}
 	if len(raw) > MaxAdminBytes {
-		return Manifest{}, fmt.Errorf("serve: manifest %d bytes exceeds %d", len(raw), MaxAdminBytes)
+		return Manifest{}, fmt.Errorf("%w: manifest %d bytes exceeds %d", store.ErrCorrupt, len(raw), MaxAdminBytes)
 	}
 	var m Manifest
 	if err := json.Unmarshal(raw, &m); err != nil {
-		return Manifest{}, fmt.Errorf("serve: manifest decode: %w", err)
+		return Manifest{}, fmt.Errorf("%w: manifest decode: %v", store.ErrCorrupt, err)
 	}
 	if err := m.Spec.Validate(); err != nil {
-		return Manifest{}, fmt.Errorf("serve: manifest spec: %w", err)
+		return Manifest{}, fmt.Errorf("%w: manifest spec: %v", store.ErrCorrupt, err)
 	}
 	return m, nil
 }
@@ -89,7 +86,8 @@ const (
 	// ActionComplete leaves a terminal session alone.
 	ActionComplete Action = "complete"
 	// ActionSkip refuses an unreadable record: corrupt or truncated
-	// manifest/checkpoint, or a spec that no longer validates.
+	// manifest/checkpoint, a spec that no longer validates, or a
+	// transient I/O failure (Transient distinguishes the last).
 	ActionSkip Action = "skip"
 )
 
@@ -99,43 +97,66 @@ type Decision struct {
 	Action Action
 	// Reason explains skips and resumes for the boot log.
 	Reason string
+	// Transient marks a skip caused by an I/O error that may clear on
+	// retry (permissions blip, EIO) rather than by corrupt bytes — so
+	// an operator, or a retrying boot loop, can tell "try again" from
+	// "the data is gone". A permissions blip used to masquerade as
+	// corruption and silently cost the session.
+	Transient bool
 	// Spec is the manifest's session spec (resume/complete only).
 	Spec SessionSpec
 	// Checkpoint is the decoded warm-start state; HasCheckpoint is
 	// false when the session never checkpointed (cold resume).
 	Checkpoint    sched.Checkpoint
 	HasCheckpoint bool
+	// Store carries the segment store's recovery and compaction stats
+	// for store-backed checkpoints (zero value for JSON-file ones):
+	// what was recovered, how many torn/corrupt records the open
+	// repaired, and the current snapshot/segment footprint.
+	Store store.Stats
 }
 
 // ScanJournals walks a journal directory and decides each session's
 // fate. The scan itself never fails on a bad record — unreadable
 // state yields an ActionSkip decision, because a daemon that refuses
 // to boot over one corrupt file is worse than one that reports it.
-func ScanJournals(dir string) ([]Decision, error) {
-	entries, err := os.ReadDir(dir)
+func ScanJournals(dir string) ([]Decision, error) { return ScanJournalsFS(store.OS, dir) }
+
+// ScanJournalsFS is ScanJournals over an injected filesystem — the
+// seam cmd/crash-store recovers thousands of FaultFS crash images
+// through.
+func ScanJournalsFS(fsys store.FS, dir string) ([]Decision, error) {
+	if fsys == nil {
+		fsys = store.OS
+	}
+	names, err := fsys.ReadDir(dir)
 	if err != nil {
 		return nil, fmt.Errorf("serve: scan %s: %w", dir, err)
 	}
 	var out []Decision
-	for _, e := range entries {
-		name := e.Name()
-		if e.IsDir() || !strings.HasSuffix(name, ".manifest.json") {
+	for _, name := range names {
+		if !strings.HasSuffix(name, ".manifest.json") {
 			continue
 		}
 		id := strings.TrimSuffix(name, ".manifest.json")
-		out = append(out, decide(dir, id))
+		out = append(out, decide(fsys, dir, id))
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out, nil
 }
 
 // decide reaches the resume/complete/skip decision for one session.
-func decide(dir, id string) Decision {
+func decide(fsys store.FS, dir, id string) Decision {
 	d := Decision{ID: id}
-	m, err := readManifest(dir, id)
+	m, err := readManifest(fsys, dir, id)
 	if err != nil {
 		d.Action = ActionSkip
-		d.Reason = fmt.Sprintf("manifest unreadable: %v", err)
+		d.Transient = !errors.Is(err, store.ErrCorrupt)
+		if d.Transient {
+			d.Reason = fmt.Sprintf("manifest unreadable (transient, retry may succeed): %v", err)
+		} else {
+			d.Reason = fmt.Sprintf("manifest unreadable: %v", err)
+		}
 		return d
 	}
 	d.Spec = m.Spec
@@ -144,16 +165,21 @@ func decide(dir, id string) Decision {
 		return d
 	}
 	// Mid-run (pending/running at crash time, or interrupted by a
-	// drain): resumable, warm if the checkpoint decodes.
-	raw, err := os.ReadFile(checkpointPath(dir, id))
+	// drain): resumable, warm if the checkpoint decodes. A segment
+	// store directory takes precedence over a legacy JSON file.
+	if ok, err := fsys.DirExists(storeDirPath(dir, id)); err == nil && ok {
+		return decideStore(fsys, dir, id, d)
+	}
+	raw, err := fsys.ReadFile(checkpointPath(dir, id))
 	switch {
-	case os.IsNotExist(err):
+	case errors.Is(err, fs.ErrNotExist):
 		d.Action = ActionResume
 		d.Reason = "no checkpoint; cold resume from spec"
 		return d
 	case err != nil:
 		d.Action = ActionSkip
-		d.Reason = fmt.Sprintf("checkpoint unreadable: %v", err)
+		d.Transient = true
+		d.Reason = fmt.Sprintf("checkpoint unreadable (transient, retry may succeed): %v", err)
 		return d
 	}
 	cp, err := sched.DecodeCheckpoint(raw)
@@ -162,9 +188,48 @@ func decide(dir, id string) Decision {
 		d.Reason = fmt.Sprintf("checkpoint corrupt: %v", err)
 		return d
 	}
-	if cp.NumSections != m.Spec.Sections {
+	return finishDecision(d, m, cp)
+}
+
+// decideStore recovers a segment-store-backed checkpoint. Opening the
+// store runs its recovery (torn-tail truncation, corrupt-record
+// skipping, snapshot fallback), whose stats ride on the decision.
+func decideStore(fsys store.FS, dir, id string, d Decision) Decision {
+	st, err := store.Open(storeDirPath(dir, id), store.Options{FS: fsys})
+	if err != nil {
 		d.Action = ActionSkip
-		d.Reason = fmt.Sprintf("checkpoint has %d sections, spec %d", cp.NumSections, m.Spec.Sections)
+		d.Transient = true
+		d.Reason = fmt.Sprintf("checkpoint store unreadable (transient, retry may succeed): %v", err)
+		return d
+	}
+	raw, _, ok := st.Last()
+	d.Store = st.Stats()
+	_ = st.Close()
+	if !ok {
+		d.Action = ActionResume
+		d.Reason = "empty checkpoint store; cold resume from spec"
+		return d
+	}
+	cp, err := sched.DecodeCheckpoint(raw)
+	if err != nil {
+		d.Action = ActionSkip
+		d.Reason = fmt.Sprintf("checkpoint corrupt: %v", err)
+		return d
+	}
+	d = finishDecision(d, Manifest{Spec: d.Spec}, cp)
+	if d.Action == ActionResume && (d.Store.TornTruncated > 0 || d.Store.CorruptSkipped > 0) {
+		d.Reason += fmt.Sprintf(" (store repaired: %d torn tails truncated, %d corrupt records skipped)",
+			d.Store.TornTruncated, d.Store.CorruptSkipped)
+	}
+	return d
+}
+
+// finishDecision applies the geometry gate and fills the warm-resume
+// fields.
+func finishDecision(d Decision, m Manifest, cp sched.Checkpoint) Decision {
+	if cp.NumSections != d.Spec.Sections {
+		d.Action = ActionSkip
+		d.Reason = fmt.Sprintf("checkpoint has %d sections, spec %d", cp.NumSections, d.Spec.Sections)
 		return d
 	}
 	d.Action = ActionResume

@@ -1,0 +1,265 @@
+package serve
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"olevgrid/internal/sched"
+	"olevgrid/internal/store"
+)
+
+// The journal-scan cases PR 9 adds: segment-store-backed checkpoints,
+// the transient-vs-corrupt skip distinction, and recovery stats
+// riding on the decision.
+
+// writeStoreCheckpoints fills a session's segment store with rounds
+// 1..n through the same adapter the daemon uses.
+func writeStoreCheckpoints(t *testing.T, fsys store.FS, dir, id string, spec SessionSpec, n int) {
+	t.Helper()
+	st, err := store.Open(storeDirPath(dir, id), store.Options{FS: fsys, CompactBytes: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	j := sched.NewStoreJournal(st)
+	for r := 1; r <= n; r++ {
+		cp := sched.Checkpoint{
+			Epoch: 1, Round: r, NumSections: spec.Sections, Seq: uint64(r),
+			Schedule: map[string][]float64{"ev-000": make([]float64, spec.Sections)},
+		}
+		if err := j.Save(cp); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestScanStoreBackedDecisions: a <id>.store directory wins over the
+// legacy JSON file, recovers the newest checkpoint through the
+// store's repair path, and reports its stats on the decision.
+func TestScanStoreBackedDecisions(t *testing.T) {
+	dir := t.TempDir()
+	spec := smallSpec(1)
+	manifest := func(id string, st State) {
+		s := spec
+		s.ID = id
+		if err := writeManifest(store.OS, dir, id, Manifest{Spec: s, State: st}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Warm store-backed resume, with many compacted rounds.
+	manifest("store-warm", StateRunning)
+	writeStoreCheckpoints(t, store.OS, dir, "store-warm", spec, 40)
+
+	// Empty store directory: cold resume, not a skip.
+	manifest("store-cold", StateRunning)
+	st, err := store.Open(storeDirPath(dir, "store-cold"), store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = st.Close()
+
+	// Store beats a stale legacy JSON checkpoint beside it.
+	manifest("store-over-file", StateRunning)
+	writeStoreCheckpoints(t, store.OS, dir, "store-over-file", spec, 9)
+	if err := os.WriteFile(checkpointPath(dir, "store-over-file"), validCheckpoint(t, spec, 3), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Torn segment tail: recovery repairs it and says so.
+	manifest("store-torn", StateRunning)
+	writeStoreCheckpoints(t, store.OS, dir, "store-torn", spec, 5)
+	seg := filepath.Join(storeDirPath(dir, "store-torn"), "segment.log")
+	raw, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(seg, append(raw, []byte("torn!")...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Geometry mismatch still skips, even via the store path.
+	manifest("store-mismatch", StateRunning)
+	bad := spec
+	bad.Sections = spec.Sections + 3
+	writeStoreCheckpoints(t, store.OS, dir, "store-mismatch", bad, 2)
+
+	decisions, err := ScanJournals(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID := map[string]Decision{}
+	for _, d := range decisions {
+		byID[d.ID] = d
+	}
+
+	warm := byID["store-warm"]
+	if warm.Action != ActionResume || !warm.HasCheckpoint || warm.Checkpoint.Round != 40 {
+		t.Fatalf("store-warm = %+v", warm)
+	}
+	if !warm.Store.Recovered || warm.Store.RecoveredSeq != 40 {
+		t.Fatalf("store-warm stats %+v", warm.Store)
+	}
+
+	cold := byID["store-cold"]
+	if cold.Action != ActionResume || cold.HasCheckpoint {
+		t.Fatalf("store-cold = %+v", cold)
+	}
+
+	over := byID["store-over-file"]
+	if over.Action != ActionResume || !over.HasCheckpoint || over.Checkpoint.Round != 9 {
+		t.Fatalf("store-over-file = %+v (store must beat the JSON file)", over)
+	}
+
+	torn := byID["store-torn"]
+	if torn.Action != ActionResume || !torn.HasCheckpoint || torn.Checkpoint.Round != 5 {
+		t.Fatalf("store-torn = %+v", torn)
+	}
+	if torn.Store.TornTruncated != 1 || !strings.Contains(torn.Reason, "store repaired") {
+		t.Fatalf("store-torn repair not reported: stats %+v reason %q", torn.Store, torn.Reason)
+	}
+
+	mismatch := byID["store-mismatch"]
+	if mismatch.Action != ActionSkip || mismatch.Transient {
+		t.Fatalf("store-mismatch = %+v", mismatch)
+	}
+}
+
+// TestScanTransientVsCorruptSkips: a transient read failure and
+// corrupt bytes both skip, but the decision says which one happened —
+// the operator's "retry" versus "the data is gone" signal.
+func TestScanTransientVsCorruptSkips(t *testing.T) {
+	fsys := store.NewFaultFS(store.FaultConfig{Seed: 1})
+	const dir = "/journal"
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	spec := smallSpec(1)
+	manifest := func(id string) {
+		s := spec
+		s.ID = id
+		if err := writeManifest(fsys, dir, id, Manifest{Spec: s, State: StateRunning}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	save := func(t *testing.T, id string, round int) {
+		t.Helper()
+		j := sched.NewFileJournalFS(fsys, checkpointPath(dir, id))
+		cp := sched.Checkpoint{
+			Epoch: 1, Round: round, NumSections: spec.Sections,
+			Schedule: map[string][]float64{"ev-000": make([]float64, spec.Sections)},
+		}
+		if err := j.Save(cp); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	manifest("cp-transient")
+	save(t, "cp-transient", 4)
+	fsys.SetReadError(checkpointPath(dir, "cp-transient"), errors.New("injected EIO"))
+
+	manifest("cp-corrupt")
+	h, err := fsys.OpenFile(checkpointPath(dir, "cp-corrupt"), os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Write([]byte("{torn")); err != nil {
+		t.Fatal(err)
+	}
+	_ = h.Close()
+
+	manifest("m-transient")
+	fsys.SetReadError(manifestPath(dir, "m-transient"), errors.New("injected EACCES"))
+
+	decisions, err := ScanJournalsFS(fsys, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byID := map[string]Decision{}
+	for _, d := range decisions {
+		byID[d.ID] = d
+	}
+
+	dt := byID["cp-transient"]
+	if dt.Action != ActionSkip || !dt.Transient || !strings.Contains(dt.Reason, "transient") {
+		t.Fatalf("cp-transient = %+v", dt)
+	}
+	dc := byID["cp-corrupt"]
+	if dc.Action != ActionSkip || dc.Transient {
+		t.Fatalf("cp-corrupt = %+v (corrupt must not read as transient)", dc)
+	}
+	mt := byID["m-transient"]
+	if mt.Action != ActionSkip || !mt.Transient {
+		t.Fatalf("m-transient = %+v", mt)
+	}
+
+	// The transient condition clearing turns the skip into a resume on
+	// the next scan — nothing was lost.
+	fsys.SetReadError(checkpointPath(dir, "cp-transient"), nil)
+	fsys.SetReadError(manifestPath(dir, "m-transient"), nil)
+	decisions, err = ScanJournalsFS(fsys, dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range decisions {
+		if d.ID == "cp-transient" {
+			if d.Action != ActionResume || !d.HasCheckpoint || d.Checkpoint.Round != 4 {
+				t.Fatalf("cp-transient after retry = %+v", d)
+			}
+		}
+	}
+}
+
+// TestServerSegmentStoreDrainResume is the end-to-end path on the
+// real filesystem: a daemon on the segment backend drains a session
+// mid-run, and a fresh daemon over the same directory warm-resumes it
+// to convergence.
+func TestServerSegmentStoreDrainResume(t *testing.T) {
+	dir := t.TempDir()
+	s := NewServer(Config{
+		MaxSessions: 4, DrainGrace: 300 * time.Millisecond,
+		JournalDir: dir, Store: "segment",
+	})
+	sess, err := s.Create(slowSpec(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, sess, StateRunning, 5*time.Second)
+	time.Sleep(150 * time.Millisecond) // let rounds checkpoint
+	if interrupted := s.Drain(); interrupted != 1 {
+		t.Fatalf("interrupted %d, want 1", interrupted)
+	}
+	if ok, err := store.OS.DirExists(storeDirPath(dir, sess.ID)); err != nil || !ok {
+		t.Fatalf("no store directory after drain: %v %v", ok, err)
+	}
+
+	s2 := NewServer(Config{
+		MaxSessions: 4, DrainGrace: 5 * time.Second,
+		JournalDir: dir, Store: "segment",
+	})
+	defer s2.Close()
+	decisions, err := s2.ResumeScanned()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var d *Decision
+	for i := range decisions {
+		if decisions[i].ID == sess.ID {
+			d = &decisions[i]
+		}
+	}
+	if d == nil || d.Action != ActionResume || !d.HasCheckpoint {
+		t.Fatalf("restart decision = %+v", d)
+	}
+	if !d.Store.Recovered {
+		t.Fatalf("resume did not recover through the store: %+v", d.Store)
+	}
+	resumed, ok := s2.Get(sess.ID)
+	if !ok || !resumed.Resumed {
+		t.Fatal("session not re-admitted after restart")
+	}
+}

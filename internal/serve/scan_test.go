@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"olevgrid/internal/sched"
+	"olevgrid/internal/store"
 )
 
 // validCheckpoint encodes a checkpoint matching spec's section count.
@@ -44,7 +45,7 @@ func TestScanJournalsDecisionTable(t *testing.T) {
 		t.Helper()
 		s := spec
 		s.ID = id
-		if err := writeManifest(dir, id, Manifest{Spec: s, State: st}); err != nil {
+		if err := writeManifest(store.OS, dir, id, Manifest{Spec: s, State: st}); err != nil {
 			t.Fatal(err)
 		}
 	}

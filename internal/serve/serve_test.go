@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"olevgrid/internal/obs"
+	"olevgrid/internal/store"
 )
 
 // smallSpec is a session that converges in well under a second.
@@ -220,7 +221,7 @@ func TestDrainForcesStragglers(t *testing.T) {
 		t.Fatalf("forced drain took %v; grace was 100ms", took)
 	}
 	// The manifest stays resumable.
-	m, err := readManifest(dir, sess.ID)
+	m, err := readManifest(store.OS, dir, sess.ID)
 	if err != nil {
 		t.Fatal(err)
 	}

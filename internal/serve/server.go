@@ -11,6 +11,7 @@ import (
 	"olevgrid/internal/meanfield"
 	"olevgrid/internal/obs"
 	"olevgrid/internal/sched"
+	"olevgrid/internal/store"
 )
 
 // Config sizes the daemon's self-protection machinery.
@@ -44,6 +45,19 @@ type Config struct {
 	// "binary" the length-prefixed binary codec. Per-session specs
 	// override it.
 	DefaultWire string
+	// Store picks the checkpoint persistence backend under JournalDir:
+	// "" or "file" keeps the single-JSON-file journal, "segment" the
+	// append-only segment store with snapshot compaction (one
+	// <id>.store directory per session).
+	Store string
+	// Fsync is the durability policy for checkpoint writes: "" or
+	// "always" (a nil Save survives any crash), "interval" (bounded
+	// loss), "never" (the pre-store behavior). Manifests always get
+	// the full fsync sequence — they are tiny and rare.
+	Fsync string
+	// FS is the filesystem seam for all durable writes; nil means the
+	// real filesystem. The crash harness injects a store.FaultFS here.
+	FS store.FS
 	// Registry/Sink arm telemetry; nil runs dark.
 	Registry *obs.Registry
 	Sink     *obs.EventSink
@@ -64,6 +78,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
+	}
+	if c.Store == "" {
+		c.Store = "file"
+	}
+	if c.FS == nil {
+		c.FS = store.OS
 	}
 	return c
 }
@@ -88,6 +108,8 @@ type Server struct {
 	metrics *Metrics
 	cpm     *sched.Metrics     // control-plane bundle shared by all sessions
 	mfm     *meanfield.Metrics // aggregated-tier bundle shared by all sessions
+	stm     *store.Metrics     // durability bundle shared by all sessions
+	fsync   store.FsyncPolicy  // parsed Config.Fsync
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -112,12 +134,17 @@ type Server struct {
 // have created cfg.JournalDir already (the daemon binary does).
 func NewServer(cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	// The daemon binary validates -fsync up front; anything else that
+	// hands in an unknown policy gets the safe default (always).
+	fsync, _ := store.ParseFsyncPolicy(cfg.Fsync)
 	ctx, cancel := context.WithCancel(context.Background())
 	return &Server{
 		cfg:        cfg,
 		metrics:    NewMetrics(cfg.Registry),
 		cpm:        sched.NewMetrics(cfg.Registry, cfg.Sink),
 		mfm:        meanfield.NewMetrics(cfg.Registry),
+		stm:        store.NewMetrics(cfg.Registry),
+		fsync:      fsync,
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		sem:        make(chan struct{}, cfg.MaxConcurrent),
@@ -230,7 +257,7 @@ func (s *Server) admit(spec SessionSpec, takeover *sched.Takeover, resumed bool)
 	if s.cfg.JournalDir != "" {
 		// Best-effort: a manifest write failure costs durability, not
 		// the live session.
-		_ = writeManifest(s.cfg.JournalDir, spec.ID, Manifest{Spec: spec, State: StateRunning})
+		_ = writeManifest(s.cfg.FS, s.cfg.JournalDir, spec.ID, Manifest{Spec: spec, State: StateRunning})
 	}
 	s.wg.Add(1)
 	go func() {
@@ -273,7 +300,7 @@ func (s *Server) finish(sess *Session, st State, errMsg string) {
 
 	if s.cfg.JournalDir != "" {
 		// interrupted stays resumable: the manifest keeps saying so.
-		_ = writeManifest(s.cfg.JournalDir, sess.ID, Manifest{Spec: sess.spec, State: st})
+		_ = writeManifest(s.cfg.FS, s.cfg.JournalDir, sess.ID, Manifest{Spec: sess.spec, State: st})
 	}
 
 	<-s.sem
@@ -292,6 +319,29 @@ func (s *Server) finish(sess *Session, st State, errMsg string) {
 	case StateInterrupted:
 		s.metrics.Interrupted.Inc()
 	}
+}
+
+// sessionJournal builds one session's checkpoint journal per the
+// configured store backend. The closer releases the backend when the
+// session ends (the segment store holds an open segment handle); the
+// file backend has nothing to release.
+func (s *Server) sessionJournal(id string) (sched.Journal, func(), error) {
+	noop := func() {}
+	if s.cfg.JournalDir == "" {
+		return nil, noop, nil
+	}
+	if s.cfg.Store == "segment" {
+		st, err := store.Open(storeDirPath(s.cfg.JournalDir, id), store.Options{
+			FS:      s.cfg.FS,
+			Fsync:   s.fsync,
+			Metrics: s.stm,
+		})
+		if err != nil {
+			return nil, nil, fmt.Errorf("serve: open checkpoint store: %w", err)
+		}
+		return sched.NewStoreJournal(st), func() { _ = st.Close() }, nil
+	}
+	return sched.NewFileJournalFS(s.cfg.FS, checkpointPath(s.cfg.JournalDir, id)), noop, nil
 }
 
 // runSession is a session's whole life on its own goroutine: fleet
@@ -326,10 +376,12 @@ func (s *Server) runSession(ctx context.Context, sess *Session) {
 	}
 	defer f.stop()
 
-	var journal sched.Journal
-	if s.cfg.JournalDir != "" {
-		journal = sched.NewFileJournal(checkpointPath(s.cfg.JournalDir, sess.ID))
+	journal, closeJournal, err := s.sessionJournal(sess.ID)
+	if err != nil {
+		s.finish(sess, StateFailed, err.Error())
+		return
 	}
+	defer closeJournal()
 	cfg := coordinatorConfig(spec, journal, s.cpm)
 	cfg.InstanceID = sess.ID
 	// The churn hook needs the coordinator that doesn't exist yet;
@@ -597,7 +649,7 @@ func (s *Server) ResumeScanned() ([]Decision, error) {
 	if s.cfg.JournalDir == "" {
 		return nil, nil
 	}
-	decisions, err := ScanJournals(s.cfg.JournalDir)
+	decisions, err := ScanJournalsFS(s.cfg.FS, s.cfg.JournalDir)
 	if err != nil {
 		return nil, err
 	}

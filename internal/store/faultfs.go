@@ -1,0 +1,446 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Injected fault errors. ErrCrashed marks every operation after the
+// filesystem's crash point; ErrNoSpace models ENOSPC.
+var (
+	ErrCrashed = errors.New("store: filesystem crashed (injected)")
+	ErrNoSpace = errors.New("store: no space left on device (injected)")
+	// errSyncFail is an injected fsync failure (EIO-shaped).
+	errSyncFail = errors.New("store: fsync failed (injected)")
+)
+
+// FaultConfig is FaultFS's seeded, deterministic fault plan. All
+// rates are per-operation probabilities in [0,1); zero disables.
+type FaultConfig struct {
+	// Seed drives every random decision; the same seed and the same
+	// operation sequence reproduce the same faults bit-for-bit.
+	Seed int64
+	// CrashAtOp crashes the filesystem at the Nth operation (1-based):
+	// that operation and every later one fail with ErrCrashed, and the
+	// in-memory state collapses to what was durable — synced file
+	// contents, dir-synced namespace entries, plus a random prefix of
+	// any unsynced appended tail (the torn write a power loss leaves).
+	// Zero disables.
+	CrashAtOp int64
+	// ShortWriteRate makes a Write persist only a random prefix and
+	// return an error, the partial-write failure mode.
+	ShortWriteRate float64
+	// ENOSPCRate makes a Write fail with ErrNoSpace after persisting a
+	// random prefix.
+	ENOSPCRate float64
+	// SyncFailRate makes a File.Sync or SyncDir fail without making
+	// anything durable.
+	SyncFailRate float64
+	// BitFlipRate silently flips one random bit in a Write's data —
+	// the silent-corruption case CRC framing exists to catch. Note a
+	// flip that lands in synced data survives ack, so trials with this
+	// armed assert recovery validity, not acked durability.
+	BitFlipRate float64
+}
+
+// faultInode is one file's content with page-cache modeling: data is
+// what readers of the live filesystem see, durable what survives a
+// crash (advanced only by File.Sync).
+type faultInode struct {
+	data    []byte
+	durable []byte
+}
+
+// FaultFS is a deterministic in-memory filesystem with durability
+// modeling and seeded fault injection — the store's crash-test rig.
+// Contents are tracked per inode (so renames carry durability) and
+// the namespace is tracked per directory (so an un-fsynced rename or
+// create vanishes on crash, exactly like a real journaled FS with a
+// lazy directory). It is safe for concurrent use, though crash-point
+// determinism additionally requires a single-threaded driver.
+type FaultFS struct {
+	mu      sync.Mutex
+	cfg     FaultConfig
+	rng     *rand.Rand
+	ops     int64
+	crashed bool
+
+	files   map[string]*faultInode // live namespace
+	durable map[string]*faultInode // namespace as of last SyncDir
+	dirs    map[string]bool
+	readErr map[string]error
+}
+
+var _ FS = (*FaultFS)(nil)
+
+// NewFaultFS builds an empty fault-injecting filesystem.
+func NewFaultFS(cfg FaultConfig) *FaultFS {
+	return &FaultFS{
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		files:   map[string]*faultInode{},
+		durable: map[string]*faultInode{},
+		dirs:    map[string]bool{},
+		readErr: map[string]error{},
+	}
+}
+
+// Ops returns how many operations have executed, so a harness can dry
+// run a workload once and then sweep CrashAtOp across [1, Ops()].
+func (f *FaultFS) Ops() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.ops
+}
+
+// Crashed reports whether the crash point has fired.
+func (f *FaultFS) Crashed() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.crashed
+}
+
+// SetReadError makes ReadFile on path fail with err until cleared
+// with a nil err — the transient-I/O (permissions blip, EIO) case the
+// journal scan must distinguish from corruption.
+func (f *FaultFS) SetReadError(path string, err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err == nil {
+		delete(f.readErr, clean(path))
+	} else {
+		f.readErr[clean(path)] = err
+	}
+}
+
+// Restart returns the filesystem a freshly booted process would see:
+// durable state only, with the given (typically fault-free) config.
+// If the crash point has not fired yet it is simulated first, so
+// Restart always answers "what survives a power loss right now?".
+func (f *FaultFS) Restart(cfg FaultConfig) *FaultFS {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if !f.crashed {
+		f.crashLocked()
+	}
+	nf := NewFaultFS(cfg)
+	for name, ino := range f.durable {
+		nf.files[name] = &faultInode{
+			data:    append([]byte(nil), ino.data...),
+			durable: append([]byte(nil), ino.data...),
+		}
+		nf.durable[name] = nf.files[name]
+	}
+	for d := range f.dirs {
+		nf.dirs[d] = true
+	}
+	return nf
+}
+
+// op charges one operation: fires the crash point, and fails
+// everything after it.
+func (f *FaultFS) op() error {
+	if f.crashed {
+		return ErrCrashed
+	}
+	f.ops++
+	if f.cfg.CrashAtOp > 0 && f.ops >= f.cfg.CrashAtOp {
+		f.crashLocked()
+		return ErrCrashed
+	}
+	return nil
+}
+
+// crashLocked collapses live state to durable state. Unsynced
+// appended tails survive as a random prefix — the torn write.
+func (f *FaultFS) crashLocked() {
+	f.crashed = true
+	for name, ino := range f.durable {
+		live, ok := f.files[name]
+		if ok && live == ino && len(ino.data) > len(ino.durable) &&
+			prefixEq(ino.data, ino.durable) {
+			keep := len(ino.durable) + f.rng.Intn(len(ino.data)-len(ino.durable)+1)
+			ino.data = append([]byte(nil), ino.data[:keep]...)
+		} else {
+			ino.data = append([]byte(nil), ino.durable...)
+		}
+	}
+}
+
+func prefixEq(data, prefix []byte) bool {
+	if len(data) < len(prefix) {
+		return false
+	}
+	for i := range prefix {
+		if data[i] != prefix[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func clean(p string) string { return filepath.Clean(p) }
+
+// pathErr wraps an injected error the way the os package would.
+func pathErr(op, path string, err error) error {
+	return &fs.PathError{Op: op, Path: path, Err: err}
+}
+
+// OpenFile implements FS. Supported flag combinations are the ones
+// the store and WriteFileAtomic use: O_WRONLY with O_CREATE plus
+// O_TRUNC or O_APPEND.
+func (f *FaultFS) OpenFile(name string, flag int, _ os.FileMode) (File, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.op(); err != nil {
+		return nil, pathErr("open", name, err)
+	}
+	name = clean(name)
+	ino, ok := f.files[name]
+	switch {
+	case !ok && flag&os.O_CREATE == 0:
+		return nil, pathErr("open", name, fs.ErrNotExist)
+	case !ok:
+		ino = &faultInode{}
+		f.files[name] = ino
+	case flag&os.O_TRUNC != 0:
+		ino.data = nil
+	}
+	return &faultFile{fs: f, name: name, ino: ino}, nil
+}
+
+// faultFile is an open handle; all writes append (the only mode the
+// store uses — fresh O_TRUNC files and O_APPEND segments).
+type faultFile struct {
+	fs     *FaultFS
+	name   string
+	ino    *faultInode
+	closed bool
+}
+
+// Write implements File with short-write, ENOSPC and bit-flip
+// injection.
+func (h *faultFile) Write(p []byte) (int, error) {
+	f := h.fs
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if h.closed {
+		return 0, pathErr("write", h.name, fs.ErrClosed)
+	}
+	if err := f.op(); err != nil {
+		return 0, pathErr("write", h.name, err)
+	}
+	data := p
+	if f.cfg.BitFlipRate > 0 && len(p) > 0 && f.rng.Float64() < f.cfg.BitFlipRate {
+		data = append([]byte(nil), p...)
+		data[f.rng.Intn(len(data))] ^= 1 << uint(f.rng.Intn(8))
+	}
+	if f.cfg.ShortWriteRate > 0 && len(p) > 1 && f.rng.Float64() < f.cfg.ShortWriteRate {
+		n := f.rng.Intn(len(p))
+		h.ino.data = append(h.ino.data, data[:n]...)
+		return n, pathErr("write", h.name, fmt.Errorf("short write: %d of %d bytes", n, len(p)))
+	}
+	if f.cfg.ENOSPCRate > 0 && f.rng.Float64() < f.cfg.ENOSPCRate {
+		n := 0
+		if len(p) > 0 {
+			n = f.rng.Intn(len(p))
+		}
+		h.ino.data = append(h.ino.data, data[:n]...)
+		return n, pathErr("write", h.name, ErrNoSpace)
+	}
+	h.ino.data = append(h.ino.data, data...)
+	return len(p), nil
+}
+
+// Sync implements File: current content becomes crash-durable.
+func (h *faultFile) Sync() error {
+	f := h.fs
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if h.closed {
+		return pathErr("sync", h.name, fs.ErrClosed)
+	}
+	if err := f.op(); err != nil {
+		return pathErr("sync", h.name, err)
+	}
+	if f.cfg.SyncFailRate > 0 && f.rng.Float64() < f.cfg.SyncFailRate {
+		return pathErr("sync", h.name, errSyncFail)
+	}
+	h.ino.durable = append([]byte(nil), h.ino.data...)
+	return nil
+}
+
+// Close implements File.
+func (h *faultFile) Close() error {
+	f := h.fs
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if h.closed {
+		return pathErr("close", h.name, fs.ErrClosed)
+	}
+	h.closed = true
+	// Close is not charged as a faultable op: it neither persists nor
+	// loses data in this model.
+	return nil
+}
+
+// ReadFile implements FS.
+func (f *FaultFS) ReadFile(name string) ([]byte, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.op(); err != nil {
+		return nil, pathErr("read", name, err)
+	}
+	name = clean(name)
+	if err := f.readErr[name]; err != nil {
+		return nil, pathErr("read", name, err)
+	}
+	ino, ok := f.files[name]
+	if !ok {
+		return nil, pathErr("read", name, fs.ErrNotExist)
+	}
+	return append([]byte(nil), ino.data...), nil
+}
+
+// Rename implements FS. The new entry is durable only after SyncDir
+// on the parent; until then a crash reverts it.
+func (f *FaultFS) Rename(oldpath, newpath string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.op(); err != nil {
+		return pathErr("rename", oldpath, err)
+	}
+	oldpath, newpath = clean(oldpath), clean(newpath)
+	ino, ok := f.files[oldpath]
+	if !ok {
+		return pathErr("rename", oldpath, fs.ErrNotExist)
+	}
+	delete(f.files, oldpath)
+	f.files[newpath] = ino
+	return nil
+}
+
+// Remove implements FS; durable after SyncDir on the parent.
+func (f *FaultFS) Remove(name string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.op(); err != nil {
+		return pathErr("remove", name, err)
+	}
+	name = clean(name)
+	if _, ok := f.files[name]; !ok {
+		return pathErr("remove", name, fs.ErrNotExist)
+	}
+	delete(f.files, name)
+	return nil
+}
+
+// Truncate implements FS.
+func (f *FaultFS) Truncate(name string, size int64) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.op(); err != nil {
+		return pathErr("truncate", name, err)
+	}
+	name = clean(name)
+	ino, ok := f.files[name]
+	if !ok {
+		return pathErr("truncate", name, fs.ErrNotExist)
+	}
+	if size < 0 || size > int64(len(ino.data)) {
+		return pathErr("truncate", name, fmt.Errorf("invalid size %d", size))
+	}
+	ino.data = append([]byte(nil), ino.data[:size]...)
+	return nil
+}
+
+// ReadDir implements FS, listing live files and subdirectories.
+func (f *FaultFS) ReadDir(dir string) ([]string, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.op(); err != nil {
+		return nil, pathErr("readdir", dir, err)
+	}
+	dir = clean(dir)
+	if !f.dirs[dir] {
+		return nil, pathErr("readdir", dir, fs.ErrNotExist)
+	}
+	seen := map[string]bool{}
+	for name := range f.files {
+		if filepath.Dir(name) == dir {
+			seen[filepath.Base(name)] = true
+		}
+	}
+	for d := range f.dirs {
+		if filepath.Dir(d) == dir && d != dir {
+			seen[filepath.Base(d)] = true
+		}
+	}
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// MkdirAll implements FS. Directory creation is modeled as
+// immediately durable — the daemon creates its journal directory once
+// at boot, long before any interesting crash point.
+func (f *FaultFS) MkdirAll(dir string, _ os.FileMode) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.op(); err != nil {
+		return pathErr("mkdir", dir, err)
+	}
+	for d := clean(dir); ; d = filepath.Dir(d) {
+		f.dirs[d] = true
+		if d == "." || d == string(filepath.Separator) || d == filepath.Dir(d) {
+			break
+		}
+	}
+	return nil
+}
+
+// DirExists implements FS.
+func (f *FaultFS) DirExists(name string) (bool, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.op(); err != nil {
+		return false, pathErr("stat", name, err)
+	}
+	return f.dirs[clean(name)], nil
+}
+
+// SyncDir implements FS: the directory's live entries (renames,
+// creates, removes) become crash-durable.
+func (f *FaultFS) SyncDir(dir string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.op(); err != nil {
+		return pathErr("syncdir", dir, err)
+	}
+	if f.cfg.SyncFailRate > 0 && f.rng.Float64() < f.cfg.SyncFailRate {
+		return pathErr("syncdir", dir, errSyncFail)
+	}
+	dir = clean(dir)
+	for name, ino := range f.files {
+		if filepath.Dir(name) == dir {
+			f.durable[name] = ino
+		}
+	}
+	for name := range f.durable {
+		if filepath.Dir(name) == dir {
+			if _, ok := f.files[name]; !ok {
+				delete(f.durable, name)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,204 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"io/fs"
+	"os"
+	"testing"
+)
+
+// The FaultFS durability model itself must be right before anything
+// built on it can be trusted; these tests pin its page-cache and
+// namespace semantics.
+
+// TestFaultFSDurabilityModel walks the create→sync→dirsync ladder:
+// each rung alone is not enough, together they are.
+func TestFaultFSDurabilityModel(t *testing.T) {
+	write := func(t *testing.T, f *FaultFS, sync, dirsync bool) {
+		t.Helper()
+		_ = f.MkdirAll("/d", 0o755)
+		h, err := f.OpenFile("/d/a", os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := h.Write([]byte("hello")); err != nil {
+			t.Fatal(err)
+		}
+		if sync {
+			if err := h.Sync(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		_ = h.Close()
+		if dirsync {
+			if err := f.SyncDir("/d"); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	t.Run("unsynced create vanishes", func(t *testing.T) {
+		f := NewFaultFS(FaultConfig{Seed: 1})
+		write(t, f, false, false)
+		if _, err := f.Restart(FaultConfig{}).ReadFile("/d/a"); !errors.Is(err, fs.ErrNotExist) {
+			t.Fatalf("unsynced file survived: %v", err)
+		}
+	})
+	t.Run("synced data without dirsync vanishes", func(t *testing.T) {
+		f := NewFaultFS(FaultConfig{Seed: 1})
+		write(t, f, true, false)
+		if _, err := f.Restart(FaultConfig{}).ReadFile("/d/a"); !errors.Is(err, fs.ErrNotExist) {
+			t.Fatalf("file with no durable dir entry survived: %v", err)
+		}
+	})
+	t.Run("synced plus dirsync survives", func(t *testing.T) {
+		f := NewFaultFS(FaultConfig{Seed: 1})
+		write(t, f, true, true)
+		got, err := f.Restart(FaultConfig{}).ReadFile("/d/a")
+		if err != nil || string(got) != "hello" {
+			t.Fatalf("durable file = %q, %v", got, err)
+		}
+	})
+	t.Run("dirsync alone leaves unsynced content empty", func(t *testing.T) {
+		f := NewFaultFS(FaultConfig{Seed: 1})
+		write(t, f, false, true)
+		got, err := f.Restart(FaultConfig{}).ReadFile("/d/a")
+		if err != nil {
+			t.Fatalf("dir-synced entry vanished: %v", err)
+		}
+		// The entry is durable but the page cache was never flushed;
+		// at most a torn prefix of the data survives.
+		if !bytes.HasPrefix([]byte("hello"), got) {
+			t.Fatalf("content %q is not a prefix of the unsynced write", got)
+		}
+	})
+}
+
+// TestFaultFSTornTail: an unsynced appended tail survives a crash as
+// a random prefix — never as reordered or invented bytes.
+func TestFaultFSTornTail(t *testing.T) {
+	seen := map[int]bool{}
+	for seed := int64(0); seed < 64; seed++ {
+		f := NewFaultFS(FaultConfig{Seed: seed})
+		_ = f.MkdirAll("/d", 0o755)
+		h, _ := f.OpenFile("/d/log", os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+		if _, err := h.Write([]byte("base.")); err != nil {
+			t.Fatal(err)
+		}
+		if err := h.Sync(); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.SyncDir("/d"); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := h.Write([]byte("tail-unsynced")); err != nil {
+			t.Fatal(err)
+		}
+		got, err := f.Restart(FaultConfig{}).ReadFile("/d/log")
+		if err != nil {
+			t.Fatal(err)
+		}
+		full := []byte("base.tail-unsynced")
+		if !bytes.HasPrefix(full, got) || len(got) < len("base.") {
+			t.Fatalf("seed %d: crash image %q is not base+prefix-of-tail", seed, got)
+		}
+		seen[len(got)] = true
+	}
+	if len(seen) < 3 {
+		t.Fatalf("torn-tail lengths not randomized: %v", seen)
+	}
+}
+
+// TestFaultFSRenameDurability: a rename is visible immediately but
+// durable only after SyncDir on the parent.
+func TestFaultFSRenameDurability(t *testing.T) {
+	f := NewFaultFS(FaultConfig{Seed: 2})
+	_ = f.MkdirAll("/d", 0o755)
+	h, _ := f.OpenFile("/d/a.tmp", os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	_, _ = h.Write([]byte("x"))
+	_ = h.Sync()
+	_ = h.Close()
+	if err := f.Rename("/d/a.tmp", "/d/a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.ReadFile("/d/a"); err != nil {
+		t.Fatalf("rename not visible live: %v", err)
+	}
+	booted := f.Restart(FaultConfig{})
+	if _, err := booted.ReadFile("/d/a"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("un-dirsynced rename survived crash: %v", err)
+	}
+}
+
+// TestFaultFSInjectedWriteFaults: seeded short writes and ENOSPC
+// persist only a prefix and report the failure.
+func TestFaultFSInjectedWriteFaults(t *testing.T) {
+	for name, cfg := range map[string]FaultConfig{
+		"short":  {Seed: 5, ShortWriteRate: 1},
+		"enospc": {Seed: 5, ENOSPCRate: 1},
+	} {
+		t.Run(name, func(t *testing.T) {
+			f := NewFaultFS(cfg)
+			_ = f.MkdirAll("/d", 0o755)
+			h, _ := f.OpenFile("/d/a", os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+			n, err := h.Write([]byte("0123456789"))
+			if err == nil {
+				t.Fatal("armed write fault did not fire")
+			}
+			if name == "enospc" && !errors.Is(err, ErrNoSpace) {
+				t.Fatalf("err = %v, want ErrNoSpace", err)
+			}
+			got, rerr := f.ReadFile("/d/a")
+			if rerr != nil || len(got) != n || !bytes.HasPrefix([]byte("0123456789"), got) {
+				t.Fatalf("persisted %q (n=%d): %v", got, n, rerr)
+			}
+		})
+	}
+}
+
+// TestFaultFSCrashAtOpDeterminism: the same seed and workload reach
+// the same crash image byte for byte.
+func TestFaultFSCrashAtOpDeterminism(t *testing.T) {
+	image := func() []byte {
+		f := NewFaultFS(FaultConfig{Seed: 11, CrashAtOp: 6})
+		_ = f.MkdirAll("/d", 0o755)
+		h, err := f.OpenFile("/d/a", os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 10; i++ {
+			if _, err := h.Write([]byte("abcdefgh")); err != nil {
+				break
+			}
+			if err := h.Sync(); err != nil {
+				break
+			}
+		}
+		booted := f.Restart(FaultConfig{})
+		got, _ := booted.ReadFile("/d/a")
+		return got
+	}
+	a, b := image(), image()
+	if !bytes.Equal(a, b) {
+		t.Fatalf("same seed, different crash images: %q vs %q", a, b)
+	}
+}
+
+// TestFaultFSSetReadError is the transient-I/O seam: the error
+// surfaces with its chain intact and clears on demand.
+func TestFaultFSSetReadError(t *testing.T) {
+	f := NewFaultFS(FaultConfig{Seed: 1})
+	_ = f.MkdirAll("/d", 0o755)
+	h, _ := f.OpenFile("/d/a", os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	_, _ = h.Write([]byte("x"))
+	_ = h.Close()
+	sentinel := errors.New("injected EIO")
+	f.SetReadError("/d/a", sentinel)
+	if _, err := f.ReadFile("/d/a"); !errors.Is(err, sentinel) || errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("read err = %v, want the injected sentinel", err)
+	}
+	f.SetReadError("/d/a", nil)
+	if _, err := f.ReadFile("/d/a"); err != nil {
+		t.Fatalf("read after clearing: %v", err)
+	}
+}

@@ -1,0 +1,44 @@
+package store
+
+import (
+	"olevgrid/internal/obs"
+)
+
+// Metrics is the durability layer's telemetry bundle, shared by every
+// store the process opens (the daemon passes one bundle to all
+// per-session stores). Same contract as every bundle in the repo: nil
+// is the off switch, each site increments exactly once when the event
+// happens, and the crash harness reconciles the counters against its
+// own ground truth.
+type Metrics struct {
+	// Saves counts records durably appended (journal checkpoints).
+	Saves *obs.Counter
+	// Fsyncs counts actual file and directory fsync calls issued.
+	Fsyncs *obs.Counter
+	// Compactions counts completed snapshot+truncate cycles.
+	Compactions *obs.Counter
+	// Recoveries counts opens that found and restored prior state.
+	Recoveries *obs.Counter
+	// TornTruncated counts torn segment tails cut off during open.
+	TornTruncated *obs.Counter
+	// CorruptSkipped counts CRC-mismatch records (and unreadable
+	// snapshots) skipped during recovery.
+	CorruptSkipped *obs.Counter
+}
+
+// NewMetrics registers the store metric catalog on r (see DESIGN.md
+// §15); a nil registry yields a bundle of nil metrics, the
+// zero-overhead off switch.
+func NewMetrics(r *obs.Registry) *Metrics {
+	m := &Metrics{
+		Saves:          r.Counter("olev_store_saves_total"),
+		Fsyncs:         r.Counter("olev_store_fsyncs_total"),
+		Compactions:    r.Counter("olev_store_compactions_total"),
+		Recoveries:     r.Counter("olev_store_recoveries_total"),
+		TornTruncated:  r.Counter("olev_store_torn_tails_truncated_total"),
+		CorruptSkipped: r.Counter("olev_store_corrupt_records_skipped_total"),
+	}
+	r.Help("olev_store_saves_total", "records durably appended to segment stores")
+	r.Help("olev_store_torn_tails_truncated_total", "torn segment tails detected and truncated during recovery")
+	return m
+}

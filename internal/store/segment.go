@@ -1,0 +1,113 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+)
+
+// Record framing (little-endian), the same for log segments and
+// snapshot files:
+//
+//	u32  payload length n (0 <= n <= MaxRecordBytes)
+//	u32  CRC32C (Castagnoli) over seq bytes ++ payload
+//	u64  seq — the store's monotone record sequence number
+//	...  payload (n bytes)
+//
+// The CRC covers the sequence number so a bit-flip anywhere in a
+// record — header or body — fails the checksum. The length field is
+// outside the CRC; a flipped length either points past MaxRecordBytes
+// (treated as a torn tail: framing can no longer be trusted, the rest
+// of the segment is truncated) or misframes the next record, whose
+// CRC then fails.
+const (
+	frameHeaderSize = 16
+	// MaxRecordBytes bounds one record's payload, matching the
+	// checkpoint decoder's own ceiling: a segment is attacker-adjacent
+	// state, so the scanner rejects an oversized length before
+	// allocating for it.
+	MaxRecordBytes = 8 << 20
+)
+
+// ErrCorrupt marks data that is present but fails validation —
+// distinct from transient I/O errors, which keep their os error
+// chain. Callers branch with errors.Is.
+var ErrCorrupt = errors.New("store: corrupt record")
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// appendFrame appends one framed record to dst.
+func appendFrame(dst []byte, seq uint64, payload []byte) []byte {
+	var hdr [frameHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint64(hdr[8:16], seq)
+	crc := crc32.Update(0, castagnoli, hdr[8:16])
+	crc = crc32.Update(crc, castagnoli, payload)
+	binary.LittleEndian.PutUint32(hdr[4:8], crc)
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// record is one decoded segment entry.
+type record struct {
+	seq     uint64
+	payload []byte // aliases the scanned buffer
+}
+
+// scanResult is what scanning a segment recovered.
+type scanResult struct {
+	// records holds every frame whose CRC verified, in file order.
+	records []record
+	// goodLen is the byte offset the segment is trustworthy up to:
+	// the end of the last intact frame (including corrupt-but-framed
+	// records that were skipped). Everything past it is a torn tail.
+	goodLen int
+	// torn reports trailing bytes past goodLen: a partial header, a
+	// partial payload, or a length field framing cannot trust.
+	torn bool
+	// corrupt counts CRC-mismatch records that were skipped while the
+	// length framing stayed intact (e.g. a bit-flip inside a record).
+	corrupt int
+}
+
+// scanSegment walks a segment's bytes and recovers every record it
+// can. It never fails: corruption shrinks the result, it does not
+// error — the store's recovery policy (fall back to the previous
+// record or snapshot) lives above, in Open. The scanner is the fuzz
+// surface (FuzzSegmentScan): it must never panic and never read past
+// the buffer for any input.
+func scanSegment(data []byte) scanResult {
+	res := scanResult{}
+	off := 0
+	for {
+		rest := len(data) - off
+		if rest == 0 {
+			res.goodLen = off
+			return res
+		}
+		if rest < frameHeaderSize {
+			res.goodLen, res.torn = off, true
+			return res
+		}
+		n := int(binary.LittleEndian.Uint32(data[off : off+4]))
+		if n > MaxRecordBytes || rest < frameHeaderSize+n {
+			// An implausible length means the framing itself is gone;
+			// a plausible one that overruns the file is a torn write.
+			// Either way nothing past this offset can be trusted.
+			res.goodLen, res.torn = off, true
+			return res
+		}
+		want := binary.LittleEndian.Uint32(data[off+4 : off+8])
+		body := data[off+8 : off+frameHeaderSize+n]
+		if crc32.Checksum(body, castagnoli) != want {
+			res.corrupt++
+			off += frameHeaderSize + n
+			continue
+		}
+		res.records = append(res.records, record{
+			seq:     binary.LittleEndian.Uint64(body[:8]),
+			payload: body[8:],
+		})
+		off += frameHeaderSize + n
+	}
+}

@@ -1,0 +1,440 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// payloadN is a recognizable record body for round n.
+func payloadN(n int) []byte { return []byte(fmt.Sprintf(`{"round":%d,"pad":"xxxxxxxxxxxxxxxx"}`, n)) }
+
+// appendN appends rounds lo..hi and fails the test on any error.
+func appendN(t *testing.T, s *SegmentStore, lo, hi int) {
+	t.Helper()
+	for n := lo; n <= hi; n++ {
+		if err := s.Append(payloadN(n)); err != nil {
+			t.Fatalf("append %d: %v", n, err)
+		}
+	}
+}
+
+// TestSegmentStoreRoundTrip covers the basic contract on the real
+// filesystem: append, read back, close, reopen, recover.
+func TestSegmentStoreRoundTrip(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "s.store")
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := s.Last(); ok {
+		t.Fatal("fresh store has a record")
+	}
+	appendN(t, s, 1, 5)
+	raw, seq, ok := s.Last()
+	if !ok || seq != 5 || !bytes.Equal(raw, payloadN(5)) {
+		t.Fatalf("Last = %q seq %d ok %v", raw, seq, ok)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	raw, seq, ok = s2.Last()
+	if !ok || seq != 5 || !bytes.Equal(raw, payloadN(5)) {
+		t.Fatalf("recovered Last = %q seq %d ok %v", raw, seq, ok)
+	}
+	st := s2.Stats()
+	if !st.Recovered || st.RecoveredSeq != 5 || st.SnapshotUsed {
+		t.Fatalf("recovery stats %+v", st)
+	}
+	// Appends continue the recovered sequence.
+	if err := s2.Append(payloadN(6)); err != nil {
+		t.Fatal(err)
+	}
+	if _, seq, _ := s2.Last(); seq != 6 {
+		t.Fatalf("post-recovery seq %d, want 6", seq)
+	}
+}
+
+// TestSegmentStoreCompactionBound drives many compactions and asserts
+// the disk footprint invariant: at most two snapshots, one segment,
+// zero temp files — and the log length stays bounded.
+func TestSegmentStoreCompactionBound(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "s.store")
+	s, err := Open(dir, Options{CompactBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	appendN(t, s, 1, 200)
+	st := s.Stats()
+	if st.Compactions == 0 {
+		t.Fatalf("no compactions after 200 appends at 256-byte threshold: %+v", st)
+	}
+	if st.SegmentBytes > 512 {
+		t.Fatalf("segment grew to %d bytes; compaction is not bounding it", st.SegmentBytes)
+	}
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snaps, tmps := 0, 0
+	for _, e := range names {
+		switch {
+		case strings.HasSuffix(e.Name(), ".tmp"):
+			tmps++
+		case strings.HasPrefix(e.Name(), "snap-"):
+			snaps++
+		case e.Name() != segmentName:
+			t.Fatalf("unexpected file %q in store dir", e.Name())
+		}
+	}
+	if snaps > 2 || tmps != 0 {
+		t.Fatalf("footprint: %d snapshots, %d tmps; want <=2, 0", snaps, tmps)
+	}
+	// The newest record must survive a reopen through the snapshot.
+	_ = s.Close()
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if raw, seq, ok := s2.Last(); !ok || seq != 200 || !bytes.Equal(raw, payloadN(200)) {
+		t.Fatalf("recovered %q seq %d ok %v, want round 200", raw, seq, ok)
+	}
+}
+
+// TestParseFsyncPolicy pins the flag surface.
+func TestParseFsyncPolicy(t *testing.T) {
+	for in, want := range map[string]FsyncPolicy{
+		"": FsyncAlways, "always": FsyncAlways,
+		"interval": FsyncInterval, "never": FsyncNever,
+	} {
+		got, err := ParseFsyncPolicy(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseFsyncPolicy(%q) = %v, %v", in, got, err)
+		}
+		if in != "" && got.String() != in {
+			t.Fatalf("String() = %q, want %q", got.String(), in)
+		}
+	}
+	if _, err := ParseFsyncPolicy("sometimes"); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+// TestFsyncPolicyCrashSemantics is the policy contract on the fault
+// filesystem: under FsyncAlways every acked append survives a crash;
+// under FsyncNever a crash may erase everything ever acked.
+func TestFsyncPolicyCrashSemantics(t *testing.T) {
+	open := func(t *testing.T, fsys FS, p FsyncPolicy) *SegmentStore {
+		t.Helper()
+		s, err := Open("/d/s.store", Options{FS: fsys, Fsync: p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	t.Run("always", func(t *testing.T) {
+		fsys := NewFaultFS(FaultConfig{Seed: 1})
+		s := open(t, fsys, FsyncAlways)
+		appendN(t, s, 1, 5)
+		booted := fsys.Restart(FaultConfig{})
+		s2, err := Open("/d/s.store", Options{FS: booted})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if raw, seq, ok := s2.Last(); !ok || seq != 5 || !bytes.Equal(raw, payloadN(5)) {
+			t.Fatalf("acked append lost across crash: %q seq %d ok %v", raw, seq, ok)
+		}
+	})
+	t.Run("never", func(t *testing.T) {
+		fsys := NewFaultFS(FaultConfig{Seed: 1})
+		s := open(t, fsys, FsyncNever)
+		appendN(t, s, 1, 5)
+		booted := fsys.Restart(FaultConfig{})
+		s2, err := Open("/d/s.store", Options{FS: booted})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, ok := s2.Last(); ok {
+			t.Fatal("FsyncNever made an append crash-durable; the policy model is wrong")
+		}
+	})
+}
+
+// TestWriteFileAtomicCrashMatrix sweeps a crash through every
+// operation of an overwrite and asserts the atomic contract: the file
+// reads as the old content or the new content, never a mix — and once
+// the call returns nil, only the new content.
+func TestWriteFileAtomicCrashMatrix(t *testing.T) {
+	const path = "/d/cp.json"
+	v1, v2 := []byte(`{"v":1}`), []byte(`{"v":2,"longer":true}`)
+
+	// Dry run: ops consumed by setup and by the overwrite.
+	dry := NewFaultFS(FaultConfig{Seed: 7})
+	if err := dry.MkdirAll("/d", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileAtomic(dry, path, v1); err != nil {
+		t.Fatal(err)
+	}
+	base := dry.Ops()
+	if err := WriteFileAtomic(dry, path, v2); err != nil {
+		t.Fatal(err)
+	}
+	total := dry.Ops()
+
+	for crash := base + 1; crash <= total; crash++ {
+		fsys := NewFaultFS(FaultConfig{Seed: 7, CrashAtOp: crash})
+		_ = fsys.MkdirAll("/d", 0o755)
+		if err := WriteFileAtomic(fsys, path, v1); err != nil {
+			t.Fatalf("crash %d: v1 write: %v", crash, err)
+		}
+		err := WriteFileAtomic(fsys, path, v2)
+		booted := fsys.Restart(FaultConfig{})
+		got, rerr := booted.ReadFile(path)
+		if rerr != nil {
+			t.Fatalf("crash %d: file vanished: %v", crash, rerr)
+		}
+		switch {
+		case bytes.Equal(got, v1):
+			if err == nil {
+				t.Fatalf("crash %d: write acked but old content survived the crash", crash)
+			}
+		case bytes.Equal(got, v2): // durable early is fine, acked or not
+		default:
+			t.Fatalf("crash %d: torn content %q", crash, got)
+		}
+	}
+}
+
+// TestRenameWithoutFsyncIsNotDurable documents the bug the shared
+// atomic-write helper fixes: the pre-store journal and manifest
+// writers renamed without fsync, so a "successful" save could roll
+// back — or vanish entirely — on power loss. The fault filesystem
+// models exactly that.
+func TestRenameWithoutFsyncIsNotDurable(t *testing.T) {
+	const path = "/d/cp.json"
+	fsys := NewFaultFS(FaultConfig{Seed: 3})
+	_ = fsys.MkdirAll("/d", 0o755)
+	// sync=false is the old write discipline: tmp, rename, no fsyncs.
+	if err := writeFileAtomic(fsys, path, []byte(`{"v":1}`), false, nil); err != nil {
+		t.Fatal(err)
+	}
+	booted := fsys.Restart(FaultConfig{})
+	if _, err := booted.ReadFile(path); err == nil {
+		t.Fatal("un-fsynced rename survived a crash; FaultFS durability model is broken")
+	}
+}
+
+// frames builds a segment image from (seq, payload) pairs.
+func frames(recs ...record) []byte {
+	var out []byte
+	for _, r := range recs {
+		out = appendFrame(out, r.seq, r.payload)
+	}
+	return out
+}
+
+// TestRecoveryDecisionTable is the injected-fault recovery matrix: for
+// each crafted on-disk state, Open must recover exactly the expected
+// record and repair the directory. Images are written directly so
+// every case is byte-precise.
+func TestRecoveryDecisionTable(t *testing.T) {
+	type result struct {
+		seq     uint64
+		ok      bool
+		payload []byte
+	}
+	cases := []struct {
+		name    string
+		files   map[string][]byte // relative name -> content
+		want    result
+		torn    uint64
+		corrupt uint64
+	}{
+		{
+			name:  "torn tail truncated",
+			files: map[string][]byte{segmentName: append(frames(record{1, payloadN(1)}, record{2, payloadN(2)}), frames(record{3, payloadN(3)})[:10]...)},
+			want:  result{2, true, payloadN(2)},
+			torn:  1,
+		},
+		{
+			name: "corrupt crc mid-log skipped",
+			files: map[string][]byte{segmentName: func() []byte {
+				img := frames(record{1, payloadN(1)}, record{2, payloadN(2)}, record{3, payloadN(3)})
+				// Flip a payload bit inside record 2 (header 16 bytes +
+				// record 1, then past record 2's header).
+				img[frameHeaderSize+len(payloadN(1))+frameHeaderSize+4] ^= 0x01
+				return img
+			}()},
+			want:    result{3, true, payloadN(3)},
+			corrupt: 1,
+		},
+		{
+			name:  "implausible length treated as torn",
+			files: map[string][]byte{segmentName: append(frames(record{1, payloadN(1)}), 0xff, 0xff, 0xff, 0xff, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12)},
+			want:  result{1, true, payloadN(1)},
+			torn:  1,
+		},
+		{
+			name:  "no snapshot, log only",
+			files: map[string][]byte{segmentName: frames(record{4, payloadN(4)})},
+			want:  result{4, true, payloadN(4)},
+		},
+		{
+			name: "crash between snapshot and truncate: both agree",
+			files: map[string][]byte{
+				snapshotName(3): frames(record{3, payloadN(3)}),
+				segmentName:     frames(record{1, payloadN(1)}, record{2, payloadN(2)}, record{3, payloadN(3)}),
+			},
+			want: result{3, true, payloadN(3)},
+		},
+		{
+			name: "crash before old snapshot delete: newest wins, stale pruned",
+			files: map[string][]byte{
+				snapshotName(2): frames(record{2, payloadN(2)}),
+				snapshotName(5): frames(record{5, payloadN(5)}),
+				segmentName:     nil,
+			},
+			want: result{5, true, payloadN(5)},
+		},
+		{
+			name: "corrupt newest snapshot falls back to predecessor",
+			files: map[string][]byte{
+				snapshotName(2): frames(record{2, payloadN(2)}),
+				snapshotName(5): {0xde, 0xad, 0xbe, 0xef},
+				segmentName:     nil,
+			},
+			want:    result{2, true, payloadN(2)},
+			torn:    0,
+			corrupt: 1,
+		},
+		{
+			name: "leftover tmp removed, never recovered",
+			files: map[string][]byte{
+				snapshotName(9) + ".tmp": frames(record{9, payloadN(9)}),
+				segmentName:              frames(record{1, payloadN(1)}),
+			},
+			want: result{1, true, payloadN(1)},
+		},
+		{
+			name:  "empty store",
+			files: map[string][]byte{},
+			want:  result{0, false, nil},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := filepath.Join(t.TempDir(), "s.store")
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				t.Fatal(err)
+			}
+			for name, raw := range tc.files {
+				if err := os.WriteFile(filepath.Join(dir, name), raw, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			s, err := Open(dir, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+			raw, seq, ok := s.Last()
+			if ok != tc.want.ok || seq != tc.want.seq || !bytes.Equal(raw, tc.want.payload) {
+				t.Fatalf("recovered %q seq %d ok %v; want %q seq %d ok %v",
+					raw, seq, ok, tc.want.payload, tc.want.seq, tc.want.ok)
+			}
+			st := s.Stats()
+			if st.TornTruncated != tc.torn || st.CorruptSkipped != tc.corrupt {
+				t.Fatalf("repair stats torn %d corrupt %d; want %d, %d",
+					st.TornTruncated, st.CorruptSkipped, tc.torn, tc.corrupt)
+			}
+			// Repair pruned: no tmps, at most one snapshot left.
+			names, err := os.ReadDir(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			snaps := 0
+			for _, e := range names {
+				if strings.HasSuffix(e.Name(), ".tmp") {
+					t.Fatalf("tmp %q survived open", e.Name())
+				}
+				if strings.HasPrefix(e.Name(), "snap-") {
+					snaps++
+				}
+			}
+			if snaps > 1 {
+				t.Fatalf("%d snapshots after repair, want <=1", snaps)
+			}
+			// The recovered state must accept the next append.
+			if err := s.Append(payloadN(100)); err != nil {
+				t.Fatalf("append after recovery: %v", err)
+			}
+			if _, seq, _ := s.Last(); seq != tc.want.seq+1 {
+				t.Fatalf("post-recovery seq %d, want %d", seq, tc.want.seq+1)
+			}
+		})
+	}
+}
+
+// snapFailFS wraps an FS and fails snapshot temp writes on demand —
+// the deterministic ENOSPC-mid-compaction injection.
+type snapFailFS struct {
+	FS
+	arm bool
+}
+
+func (f *snapFailFS) OpenFile(name string, flag int, perm os.FileMode) (File, error) {
+	if f.arm && strings.Contains(filepath.Base(name), "snap-") && strings.HasSuffix(name, ".tmp") {
+		return nil, ErrNoSpace
+	}
+	return f.FS.OpenFile(name, flag, perm)
+}
+
+// TestCompactionENOSPCKeepsPriorSnapshot: a compaction that cannot
+// write its successor snapshot must leave the prior snapshot and the
+// log intact — the append that triggered it is never lost, and the
+// error surfaces through Stats and CompactErr.
+func TestCompactionENOSPCKeepsPriorSnapshot(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "s.store")
+	ffs := &snapFailFS{FS: OS}
+	s, err := Open(dir, Options{FS: ffs, CompactBytes: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	appendN(t, s, 1, 20) // several clean compactions
+	if s.Stats().Compactions == 0 {
+		t.Fatal("no clean compaction before arming the fault")
+	}
+	ffs.arm = true
+	appendN(t, s, 21, 60) // compaction attempts now fail; appends must not
+	st := s.Stats()
+	if st.CompactErrors == 0 || s.CompactErr() == nil {
+		t.Fatalf("ENOSPC compaction not surfaced: %+v", st)
+	}
+	if !errors.Is(s.CompactErr(), ErrNoSpace) {
+		t.Fatalf("CompactErr = %v, want ErrNoSpace", s.CompactErr())
+	}
+	// Prior snapshot intact, newest record reachable after reopen.
+	_ = s.Close()
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if raw, seq, ok := s2.Last(); !ok || seq != 60 || !bytes.Equal(raw, payloadN(60)) {
+		t.Fatalf("recovered %q seq %d ok %v after failed compactions, want round 60", raw, seq, ok)
+	}
+}

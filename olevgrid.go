@@ -44,6 +44,7 @@ import (
 	"olevgrid/internal/obs"
 	"olevgrid/internal/pricing"
 	"olevgrid/internal/sched"
+	"olevgrid/internal/store"
 	"olevgrid/internal/sweep"
 	"olevgrid/internal/traffic"
 	"olevgrid/internal/units"
@@ -219,6 +220,11 @@ type (
 	Journal = sched.Journal
 	// Checkpoint is a journaled schedule snapshot.
 	Checkpoint = sched.Checkpoint
+	// StoreOptions configures OpenStore (fsync policy, compaction
+	// threshold, filesystem seam).
+	StoreOptions = store.Options
+	// FsyncPolicy says when a store makes appended records durable.
+	FsyncPolicy = store.FsyncPolicy
 	// FaultConfig scripts a seeded fault plan for one V2I link.
 	FaultConfig = v2i.FaultConfig
 	// SendWindow scripts a partition blackout by send index.
@@ -271,10 +277,20 @@ var (
 	ListenV2I = v2i.Listen
 	// ServeJoins accepts mid-iteration vehicle joins on a listener.
 	ServeJoins = sched.ServeJoins
-	// NewFileJournal persists checkpoints to a file, atomically.
+	// NewFileJournal persists checkpoints to a file, atomically and
+	// durably (fsync before and after the rename).
 	NewFileJournal = sched.NewFileJournal
 	// NewMemJournal keeps checkpoints in process memory.
 	NewMemJournal = sched.NewMemJournal
+	// NewStoreJournal adapts a durable segment store to the Journal
+	// interface.
+	NewStoreJournal = sched.NewStoreJournal
+	// OpenStore opens (creating if needed) a segment store directory:
+	// an append-only CRC32C-framed log with torn-tail repair and
+	// snapshot compaction. See DESIGN.md §15.
+	OpenStore = store.Open
+	// ParseFsyncPolicy maps "always"/"interval"/"never" onto a policy.
+	ParseFsyncPolicy = store.ParseFsyncPolicy
 	// NewFaultyTransport wraps a transport with a seeded fault plan.
 	NewFaultyTransport = v2i.NewFaulty
 )
