@@ -22,10 +22,18 @@
 // With -metrics-out the run arms the obs telemetry bundle (day-loop and
 // solver instruments on one registry) and dumps it as JSON on exit.
 //
+// With -scenario a registered city archetype (or a scenario .json
+// file) compiles the whole day — traffic profile, participation,
+// sections, lane speed, grid day, feed faults, outage spans — in
+// place of the sizing and fault flags. -seed still overrides the
+// archetype's; the runtime knobs (-scale/-parallel/-warm/-metrics-out)
+// compose as usual.
+//
 // Usage:
 //
 //	coupled-day [-seed N] [-participation F] [-sections C] [-eta F] [-scale K] [-parallel P] [-warm]
 //	            [-feed-drop F] [-feed-ceiling H] [-outage "sec:from[:to],..."] [-metrics-out METRICS_day.json]
+//	coupled-day -scenario blackout-recovery
 package main
 
 import (
@@ -49,6 +57,7 @@ func main() {
 
 func run() error {
 	seed := flag.Int64("seed", 1, "seed")
+	scenarioRef := flag.String("scenario", "", "named city archetype or scenario .json file; replaces the sizing and fault flags")
 	participation := flag.Float64("participation", 0.3, "OLEV fraction of traffic")
 	sections := flag.Int("sections", 20, "charging sections on the lane")
 	eta := flag.Float64("eta", 0.9, "safety factor")
@@ -61,13 +70,50 @@ func run() error {
 	metricsOut := flag.String("metrics-out", "", "dump the obs registry as JSON to this path after the run (- for stdout)")
 	flag.Parse()
 
-	cfg := olevgrid.CoupledDayConfig{
-		Seed:          *seed,
-		Participation: *participation,
-		NumSections:   *sections,
-		Eta:           *eta,
-		Parallelism:   *parallel,
-		WarmStart:     *warm,
+	var cfg olevgrid.CoupledDayConfig
+	if *scenarioRef != "" {
+		// The archetype compiles the whole day; setting a sizing or
+		// fault flag alongside is a conflict, not a merge.
+		set := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		for _, name := range []string{"participation", "sections", "eta", "feed-drop", "feed-ceiling", "outage"} {
+			if set[name] {
+				return fmt.Errorf("-scenario compiles the day; drop -%s", name)
+			}
+		}
+		spec, err := olevgrid.LoadScenario(*scenarioRef)
+		if err != nil {
+			return err
+		}
+		if set["seed"] {
+			spec.Seed = *seed
+		}
+		if cfg, err = spec.DayConfig(); err != nil {
+			return err
+		}
+		cfg.Parallelism = *parallel
+		cfg.WarmStart = *warm
+	} else {
+		cfg = olevgrid.CoupledDayConfig{
+			Seed:          *seed,
+			Participation: *participation,
+			NumSections:   *sections,
+			Eta:           *eta,
+			Parallelism:   *parallel,
+			WarmStart:     *warm,
+		}
+		if *feedDrop > 0 || *feedCeiling > 0 {
+			cfg.FeedFaults = &olevgrid.FeedConfig{
+				DropRate:         *feedDrop,
+				StalenessCeiling: *feedCeiling,
+				Seed:             *seed + 4,
+			}
+		}
+		outages, err := parseOutages(*outageSpec)
+		if err != nil {
+			return err
+		}
+		cfg.SectionOutages = outages
 	}
 	var reg *obs.Registry
 	var sink *obs.EventSink
@@ -77,18 +123,6 @@ func run() error {
 		cfg.Metrics = olevgrid.NewCoupledDayMetrics(reg, sink)
 		cfg.Solver = olevgrid.NewSolverMetrics(reg, sink)
 	}
-	if *feedDrop > 0 || *feedCeiling > 0 {
-		cfg.FeedFaults = &olevgrid.FeedConfig{
-			DropRate:         *feedDrop,
-			StalenessCeiling: *feedCeiling,
-			Seed:             *seed + 4,
-		}
-	}
-	outages, err := parseOutages(*outageSpec)
-	if err != nil {
-		return err
-	}
-	cfg.SectionOutages = outages
 	if *scale > 0 {
 		impact, err := coupling.RunDayWithGridFeedback(cfg, *scale)
 		if err != nil {
@@ -116,7 +150,7 @@ func run() error {
 			if h.FeedStale {
 				flags += " stale-price"
 			}
-			if h.LiveSections < *sections {
+			if h.LiveSections < cfg.NumSections {
 				flags += fmt.Sprintf(" live=%d", h.LiveSections)
 			}
 		}

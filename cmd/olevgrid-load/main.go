@@ -20,10 +20,18 @@
 // With -check it exits non-zero unless every gate holds — the serve
 // SLOs CI enforces under -race.
 //
+// With -scenario a registered city archetype (or a scenario .json
+// file) sizes every load-phase session — fleet, sections, capacity,
+// price, scripted outages — in place of the built-in 3-vehicle
+// micro-game; each session still gets its own seed offset plus the
+// harness's chaos and churn decoration. Archetype fleets are far
+// bigger than the micro-game's, so pair it with a smaller -sessions.
+//
 // Usage:
 //
 //	olevgrid-load [-sessions 1200] [-min-concurrent 1000] [-hold 1500ms]
 //	              [-p99-ms 250] [-seed 7] [-o BENCH_serve.json] [-check]
+//	olevgrid-load -scenario rush-hour-surge -sessions 40 -min-concurrent 32
 package main
 
 import (
@@ -37,6 +45,7 @@ import (
 	"time"
 
 	"olevgrid/internal/obs"
+	"olevgrid/internal/scenario"
 	"olevgrid/internal/serve"
 )
 
@@ -92,6 +101,7 @@ type benchFile struct {
 	MinConcurrent int    `json:"min_concurrent"`
 	Seed          int64  `json:"seed"`
 	Wire          string `json:"wire,omitempty"`
+	Scenario      string `json:"scenario,omitempty"`
 
 	Load     loadPhase     `json:"load"`
 	Overload overloadPhase `json:"overload"`
@@ -119,6 +129,7 @@ func run() error {
 	out := flag.String("o", "BENCH_serve.json", "output path (- for stdout)")
 	check := flag.Bool("check", false, "exit non-zero unless every gate holds")
 	wire := flag.String("wire", "", `V2I frame codec for load sessions: "json" (default) or "binary"`)
+	scenarioRef := flag.String("scenario", "", "size every load-phase session from this named city archetype or scenario .json file")
 	flag.Parse()
 
 	switch *wire {
@@ -126,9 +137,21 @@ func run() error {
 	default:
 		return fmt.Errorf("unknown -wire %q; use \"json\" or \"binary\"", *wire)
 	}
-	file := benchFile{Sessions: *sessions, MinConcurrent: *minConcurrent, Seed: *seed, Wire: *wire}
+	var base *serve.SessionSpec
+	if *scenarioRef != "" {
+		sc, err := scenario.Load(*scenarioRef)
+		if err != nil {
+			return err
+		}
+		b, err := scenarioBase(sc)
+		if err != nil {
+			return err
+		}
+		base = &b
+	}
+	file := benchFile{Sessions: *sessions, MinConcurrent: *minConcurrent, Seed: *seed, Wire: *wire, Scenario: *scenarioRef}
 
-	if err := runLoad(&file, *sessions, *hold, *smear, *seed, *wire); err != nil {
+	if err := runLoad(&file, *sessions, *hold, *smear, *seed, *wire, base); err != nil {
 		return fmt.Errorf("load phase: %w", err)
 	}
 	if err := runOverload(&file, *seed); err != nil {
@@ -177,17 +200,22 @@ func run() error {
 // to completion) while the solve starts spread out instead of
 // stampeding — the latency gate measures round time under bounded
 // solver load, not scheduler collapse.
-func loadSpec(i int, hold, smear time.Duration, seed int64, wire string) serve.SessionSpec {
+func loadSpec(i int, hold, smear time.Duration, seed int64, wire string, base *serve.SessionSpec) serve.SessionSpec {
 	spec := serve.SessionSpec{
-		Wire:         wire,
-		Vehicles:     3,
-		Sections:     4,
-		Tolerance:    1e-4,
-		MaxRounds:    400,
-		Seed:         seed + int64(i)*101,
-		HelloDelayMS: int(hold/time.Millisecond) + i*int(smear/time.Millisecond),
-		MaxWallMS:    300_000,
+		Vehicles:  3,
+		Sections:  4,
+		Tolerance: 1e-4,
+		MaxRounds: 400,
 	}
+	if base != nil {
+		// An archetype sizes the game; the harness keeps decorating it
+		// with per-session seeds, chaos, and churn below.
+		spec = *base
+	}
+	spec.Wire = wire
+	spec.Seed = seed + int64(i)*101
+	spec.HelloDelayMS = int(hold/time.Millisecond) + i*int(smear/time.Millisecond)
+	spec.MaxWallMS = 300_000
 	if i%3 == 0 {
 		spec.Chaos = serve.ChaosSpec{DropRate: 0.1, DuplicateRate: 0.03, ReorderRate: 0.03, MaxDelayMS: 1}
 	}
@@ -198,7 +226,33 @@ func loadSpec(i int, hold, smear time.Duration, seed int64, wire string) serve.S
 	return spec
 }
 
-func runLoad(file *benchFile, n int, hold, smear time.Duration, seed int64, wire string) error {
+// scenarioBase compiles an archetype into the load phase's base
+// session spec (the admin boundary takes names only; the harness,
+// like the daemon's -scenario flag, compiles specs itself so .json
+// files work too).
+func scenarioBase(sc scenario.Spec) (serve.SessionSpec, error) {
+	p, err := sc.SessionParams()
+	if err != nil {
+		return serve.SessionSpec{}, err
+	}
+	spec := serve.SessionSpec{
+		Vehicles:       p.Vehicles,
+		Sections:       p.Sections,
+		LineCapacityKW: p.LineCapacityKW,
+		BetaPerKWh:     p.BetaPerKWh,
+		Tolerance:      1e-4,
+		MaxRounds:      400,
+		FromScenario:   sc.Name,
+	}
+	for _, o := range p.Outages {
+		spec.Outages = append(spec.Outages, serve.OutageSpec{
+			Section: o.Section, DownRound: o.DownRound, UpRound: o.UpRound,
+		})
+	}
+	return spec, nil
+}
+
+func runLoad(file *benchFile, n int, hold, smear time.Duration, seed int64, wire string, base *serve.SessionSpec) error {
 	s := serve.NewServer(serve.Config{
 		MaxSessions:    n + 16,
 		DefaultMaxWall: 2 * time.Minute,
@@ -209,7 +263,7 @@ func runLoad(file *benchFile, n int, hold, smear time.Duration, seed int64, wire
 	start := time.Now()
 	held := make([]*serve.Session, 0, n)
 	for i := 0; i < n; i++ {
-		spec := loadSpec(i, hold, smear, seed, wire)
+		spec := loadSpec(i, hold, smear, seed, wire, base)
 		if spec.Chaos.DropRate > 0 {
 			file.Load.ChaosSessions++
 		}

@@ -24,11 +24,18 @@
 //	GET    /readyz                 readiness (503 when draining or full)
 //	GET    /metrics                Prometheus exposition (+ /metrics.json, /debug/vars)
 //
+// With -scenario the daemon admits one session compiled from a named
+// city archetype (or a scenario .json file) at boot, after journal
+// resume — the systemd-unit way to bring an arterial up under a
+// declared workload. The same archetypes are available to any client
+// via the "scenario" field on the create-session request.
+//
 // Usage:
 //
 //	olevgridd [-addr :8080] [-max-sessions 1024] [-max-concurrent 0]
 //	          [-drain-grace 5s] [-retry-after 1s] [-max-wall 2m]
 //	          [-journal-dir DIR] [-store file|segment] [-fsync always|interval|never]
+//	          [-scenario rush-hour-surge]
 package main
 
 import (
@@ -43,6 +50,7 @@ import (
 	"time"
 
 	"olevgrid/internal/obs"
+	"olevgrid/internal/scenario"
 	"olevgrid/internal/serve"
 	"olevgrid/internal/store"
 )
@@ -65,6 +73,7 @@ func run() error {
 	wire := flag.String("wire", "", `default V2I frame codec for sessions that don't pick one: "json" (default) or "binary"`)
 	storeKind := flag.String("store", "", `checkpoint backend under -journal-dir: "file" (default, one JSON file per session) or "segment" (append-only log + snapshot compaction)`)
 	fsync := flag.String("fsync", "", `checkpoint durability policy: "always" (default; acked saves survive power loss), "interval" or "never"`)
+	scenarioRef := flag.String("scenario", "", "admit one boot session from this named city archetype or scenario .json file")
 	flag.Parse()
 
 	switch *wire {
@@ -117,6 +126,18 @@ func run() error {
 		}
 	}
 
+	if *scenarioRef != "" {
+		spec, err := bootScenarioSpec(*scenarioRef)
+		if err != nil {
+			return err
+		}
+		sess, err := srv.Create(spec)
+		if err != nil {
+			return fmt.Errorf("boot scenario %s: %w", *scenarioRef, err)
+		}
+		fmt.Fprintf(os.Stderr, "olevgridd: boot scenario %s admitted as session %s\n", *scenarioRef, sess.ID)
+	}
+
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),
@@ -151,4 +172,37 @@ func run() error {
 	_ = httpSrv.Shutdown(shutdownCtx)
 	fmt.Fprintf(os.Stderr, "olevgridd: drained; %d sessions checkpointed for resume\n", interrupted)
 	return nil
+}
+
+// bootScenarioSpec builds the boot session's create request. A
+// registered name rides the server's own scenario expansion (the same
+// path an API client's "scenario" field takes, so the session records
+// from_scenario); a .json file is compiled here, because the admin
+// boundary accepts names only — it never opens files.
+func bootScenarioSpec(ref string) (serve.SessionSpec, error) {
+	if _, ok := scenario.Get(ref); ok {
+		return serve.SessionSpec{Scenario: ref}, nil
+	}
+	sc, err := scenario.Load(ref)
+	if err != nil {
+		return serve.SessionSpec{}, err
+	}
+	p, err := sc.SessionParams()
+	if err != nil {
+		return serve.SessionSpec{}, err
+	}
+	spec := serve.SessionSpec{
+		Vehicles:       p.Vehicles,
+		Sections:       p.Sections,
+		LineCapacityKW: p.LineCapacityKW,
+		BetaPerKWh:     p.BetaPerKWh,
+		Seed:           p.Seed,
+		FromScenario:   sc.Name,
+	}
+	for _, o := range p.Outages {
+		spec.Outages = append(spec.Outages, serve.OutageSpec{
+			Section: o.Section, DownRound: o.DownRound, UpRound: o.UpRound,
+		})
+	}
+	return spec, nil
 }

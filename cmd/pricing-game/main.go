@@ -6,6 +6,13 @@
 // Usage:
 //
 //	pricing-game [-n 50] [-c 20] [-eta 0.9] [-beta 20] [-mph 60] [-policy nonlinear|linear|both] [-tcp]
+//	pricing-game -scenario rush-hour-surge
+//
+// With -scenario a registered city archetype (or a scenario .json
+// file) sizes the whole game — fleet, sections, capacity, price level,
+// dead sections, scripted outages — in place of -n/-c/-eta/-beta/-mph,
+// and the nonlinear outcome is scored against the archetype's declared
+// expected-outcome envelope. -seed still overrides the archetype's.
 //
 // With -solver=meanfield the nonlinear policy routes through the
 // aggregated population tier (internal/meanfield): the fleet is
@@ -58,6 +65,7 @@ func run() error {
 	beta := flag.Float64("beta", 20, "LBMP beta in $/MWh")
 	mph := flag.Float64("mph", 60, "OLEV velocity")
 	policy := flag.String("policy", "both", "nonlinear, linear, or both")
+	scenarioRef := flag.String("scenario", "", "named city archetype or scenario .json file; replaces -n/-c/-eta/-beta/-mph/-outage")
 	seed := flag.Int64("seed", 1, "seed")
 	parallelism := flag.Int("parallel", 0, "proposal workers for the round engine (0 = asynchronous dynamics); with -tcp, vehicles quoted per batch")
 	solver := flag.String("solver", "", "equilibrium engine for the nonlinear policy: empty/exact (per-vehicle dynamics) or meanfield (aggregated population tier)")
@@ -92,13 +100,47 @@ func run() error {
 		}
 	}
 
-	vel := units.MPH(*mph)
-	lineCap := pricing.LineCapacityKW(units.Meters(15), vel)
-	_, players, err := olevgrid.BuildFleet(olevgrid.FleetConfig{
-		N: *n, Velocity: vel, SatisfactionWeight: 1, Seed: *seed,
-	})
-	if err != nil {
-		return err
+	// A scenario reference replaces the sizing flags wholesale; setting
+	// both is a conflict, not a merge (-seed stays a caller override).
+	var spec *olevgrid.ScenarioSpec
+	if *scenarioRef != "" {
+		set := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+		for _, name := range []string{"n", "c", "eta", "beta", "mph", "outage"} {
+			if set[name] {
+				return fmt.Errorf("-scenario sizes the game; drop -%s", name)
+			}
+		}
+		s, err := olevgrid.LoadScenario(*scenarioRef)
+		if err != nil {
+			return err
+		}
+		if set["seed"] {
+			s.Seed = *seed
+		}
+		spec = &s
+	}
+
+	var game olevgrid.Scenario
+	if spec != nil {
+		var err error
+		game, err = spec.GameScenario()
+		if err != nil {
+			return err
+		}
+	} else {
+		vel := units.MPH(*mph)
+		lineCap := pricing.LineCapacityKW(units.Meters(15), vel)
+		_, players, err := olevgrid.BuildFleet(olevgrid.FleetConfig{
+			N: *n, Velocity: vel, SatisfactionWeight: 1, Seed: *seed,
+		})
+		if err != nil {
+			return err
+		}
+		game = olevgrid.Scenario{
+			Players: players, NumSections: *c, LineCapacityKW: lineCap,
+			Eta: *eta, BetaPerMWh: *beta, Seed: *seed,
+		}
 	}
 
 	switch *storeKind {
@@ -118,11 +160,25 @@ func run() error {
 		if err != nil {
 			return err
 		}
+		if spec != nil {
+			// The archetype's scripted outages (and its steady-state dead
+			// sections, expressed as immediate outages) drive the
+			// coordinator's outage machinery.
+			params, err := spec.SessionParams()
+			if err != nil {
+				return err
+			}
+			for _, o := range params.Outages {
+				outages = append(outages, olevgrid.SectionOutage{
+					Section: o.Section, DownRound: o.DownRound, UpRound: o.UpRound,
+				})
+			}
+		}
 		wire, err := olevgrid.ParseWire(*wireName)
 		if err != nil {
 			return err
 		}
-		if err := runTCP(players, *c, lineCap, *eta, *beta, *seed, tcpOptions{
+		if err := runTCP(game.Players, game.NumSections, game.LineCapacityKW, game.Eta, game.BetaPerMWh, game.Seed, tcpOptions{
 			drop: *drop, dup: *dup, reorder: *reorder,
 			evictAfter: *evictAfter, journalPath: *journalPath,
 			storeKind: *storeKind, fsync: *fsyncPolicy,
@@ -145,14 +201,10 @@ func run() error {
 		return fmt.Errorf("-crash-at/-autonomy/-feed-drop/-outage require -tcp")
 	}
 
-	scenario := olevgrid.Scenario{
-		Players: players, NumSections: *c, LineCapacityKW: lineCap,
-		Eta: *eta, BetaPerMWh: *beta, Seed: *seed,
-		Parallelism:       *parallelism,
-		Solver:            *solver,
-		MeanFieldClusters: *clusters,
-		Metrics:           telemetry.solver(),
-	}
+	game.Parallelism = *parallelism
+	game.Solver = *solver
+	game.MeanFieldClusters = *clusters
+	game.Metrics = telemetry.solver()
 	var policies []pricing.Policy
 	switch *policy {
 	case "nonlinear":
@@ -165,13 +217,27 @@ func run() error {
 		return fmt.Errorf("unknown -policy %q", *policy)
 	}
 	for _, p := range policies {
-		out, err := p.Run(scenario)
+		out, err := p.Run(game)
 		if err != nil {
 			return err
 		}
 		printOutcome(out)
+		if spec != nil && out.Policy == "nonlinear" {
+			printConformance(spec.CheckOutcome(out))
+		}
 	}
 	return telemetry.dump(*metricsOut)
+}
+
+// printConformance scores a scenario run against its declared
+// envelope, gate by gate.
+func printConformance(c olevgrid.ScenarioConformance) {
+	verdict := "PASS"
+	if !c.Pass {
+		verdict = "FAIL"
+	}
+	fmt.Printf("  envelope %s        welfare=%v rounds=%v congestion=%v payments=%v converged=%v\n",
+		verdict, c.GateWelfareBand, c.GateRounds, c.GateCongestion, c.GatePayments, c.GateConverged)
 }
 
 // obsBundle is the command's lazily-armed telemetry: one registry and

@@ -1,0 +1,102 @@
+// Command scenario-conform runs every registered city archetype (or
+// one named scenario, or a scenario .json file) and scores its outcome
+// against the expected-outcome envelope the archetype declares:
+// welfare band, rounds ceiling, congestion within η on live sections,
+// payment nonnegativity, convergence, and — where declared — the
+// coupled day's welfare within its bound of the fault-stripped clean
+// twin. It emits machine-readable SCENARIO_conformance.json.
+//
+// With -check it exits non-zero unless every archetype passes every
+// gate — the regression surface CI enforces under -race: if a solver
+// or pricing change moves a named workload out of its promised
+// envelope, this gate says which scenario and which promise.
+//
+// Usage:
+//
+//	scenario-conform [-scenario name|file.json] [-o SCENARIO_conformance.json] [-check]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"olevgrid"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "scenario-conform:", err)
+		os.Exit(1)
+	}
+}
+
+// conformanceFile is the emitted artifact: one row per archetype plus
+// the aggregate verdict.
+type conformanceFile struct {
+	Scenarios []olevgrid.ScenarioConformance `json:"scenarios"`
+	Pass      bool                           `json:"pass"`
+}
+
+func run() error {
+	scenarioRef := flag.String("scenario", "", "check one named archetype or scenario .json file (default: every registered archetype)")
+	out := flag.String("o", "SCENARIO_conformance.json", "output path (- for stdout)")
+	check := flag.Bool("check", false, "exit non-zero unless every scenario passes its envelope")
+	flag.Parse()
+
+	var specs []olevgrid.ScenarioSpec
+	if *scenarioRef != "" {
+		s, err := olevgrid.LoadScenario(*scenarioRef)
+		if err != nil {
+			return err
+		}
+		specs = append(specs, s)
+	} else {
+		for _, name := range olevgrid.ScenarioNames() {
+			s, _ := olevgrid.GetScenario(name)
+			specs = append(specs, s)
+		}
+	}
+
+	file := conformanceFile{Pass: true}
+	var failed []string
+	for _, s := range specs {
+		c, err := olevgrid.ConformScenario(s)
+		if err != nil {
+			return fmt.Errorf("scenario %s: %w", s.Name, err)
+		}
+		file.Scenarios = append(file.Scenarios, c)
+		verdict := "PASS"
+		if !c.Pass {
+			verdict = "FAIL"
+			file.Pass = false
+			failed = append(failed, c.Name)
+		}
+		fmt.Fprintf(os.Stderr,
+			"scenario-conform: %-22s %s welfare=%.2f rounds=%d congestion=%.3f converged=%v\n",
+			c.Name, verdict, c.Welfare, c.Rounds, c.CongestionDegree, c.Converged)
+	}
+
+	if err := emit(*out, file); err != nil {
+		return err
+	}
+	if *check && !file.Pass {
+		return fmt.Errorf("envelopes failed: %s", strings.Join(failed, ", "))
+	}
+	return nil
+}
+
+func emit(path string, file conformanceFile) error {
+	raw, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		return err
+	}
+	raw = append(raw, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(raw)
+		return err
+	}
+	return os.WriteFile(path, raw, 0o644)
+}

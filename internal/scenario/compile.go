@@ -1,0 +1,186 @@
+package scenario
+
+import (
+	"fmt"
+
+	"olevgrid/internal/coupling"
+	"olevgrid/internal/grid"
+	"olevgrid/internal/pricing"
+	"olevgrid/internal/trace"
+	"olevgrid/internal/units"
+)
+
+// GameScenario compiles the spec into the single-hour pricing game:
+// the fleet is drawn from the spec's seed, the line capacity follows
+// Eq. (1) from the spec's section length and velocity, and the
+// blackout's steady-state dead sections carry through. The
+// compilation is deterministic — same spec, same game, bit for bit.
+func (s Spec) GameScenario() (pricing.Scenario, error) {
+	if err := s.Validate(); err != nil {
+		return pricing.Scenario{}, err
+	}
+	s = s.withDefaults()
+	vel := units.MPH(s.VelocityMPH)
+	_, players, err := pricing.BuildFleet(pricing.FleetConfig{
+		N:                  s.Vehicles,
+		Velocity:           vel,
+		SatisfactionWeight: s.SatisfactionWeight,
+		Seed:               s.Seed,
+	})
+	if err != nil {
+		return pricing.Scenario{}, fmt.Errorf("scenario %s: fleet: %w", s.Name, err)
+	}
+	return pricing.Scenario{
+		Players:        players,
+		NumSections:    s.Sections,
+		LineCapacityKW: s.LineCapacityKW(),
+		Eta:            s.Eta,
+		BetaPerMWh:     s.BetaPerMWh,
+		Seed:           s.Seed,
+		DeadSections:   s.sortedDead(),
+	}, nil
+}
+
+// LineCapacityKW evaluates Eq. (1) for the spec's section length and
+// velocity — the per-section capacity every compile target shares.
+func (s Spec) LineCapacityKW() float64 {
+	s = s.withDefaults()
+	return pricing.LineCapacityKW(units.Meters(s.SectionLengthM), units.MPH(s.VelocityMPH))
+}
+
+// DayConfig compiles the spec into a coupled 24-hour run: the day
+// profile decides hourly traffic, the (possibly heat-wave-scaled) ISO
+// day prices each hour, and the day-level faults — feed dropouts and
+// section outage spans — degrade it.
+func (s Spec) DayConfig() (coupling.DayConfig, error) {
+	if err := s.Validate(); err != nil {
+		return coupling.DayConfig{}, err
+	}
+	s = s.withDefaults()
+	day := (DaySpec{}).withDefaults()
+	if s.Day != nil {
+		day = *s.Day
+	}
+	cfg := coupling.DayConfig{
+		Counts:        dayCounts(day),
+		Participation: day.Participation,
+		SpeedLimit:    units.MPH(s.VelocityMPH),
+		NumSections:   s.Sections,
+		SectionLength: units.Meters(s.SectionLengthM),
+		Eta:           s.Eta,
+		Grid:          dayGrid(day, s.Seed),
+		Seed:          s.Seed,
+		MaxOLEVs:      day.MaxOLEVs,
+	}
+	if day.FeedDropRate > 0 || day.FeedCeiling > 0 {
+		cfg.FeedFaults = &grid.FeedConfig{
+			DropRate:         day.FeedDropRate,
+			StalenessCeiling: day.FeedCeiling,
+			Seed:             s.Seed + 4,
+		}
+	}
+	for _, o := range day.SectionOutages {
+		cfg.SectionOutages = append(cfg.SectionOutages, coupling.SectionOutage{
+			Section: o.Section, FromHour: o.FromHour, ToHour: o.ToHour,
+		})
+	}
+	return cfg, nil
+}
+
+// SessionParams is the daemon-facing compilation target: the sizing
+// and pricing of one hosted per-arterial session. The serve layer
+// maps it onto a SessionSpec; keeping the struct here (rather than
+// importing serve) leaves the dependency pointing the right way.
+type SessionParams struct {
+	Vehicles       int
+	Sections       int
+	LineCapacityKW float64
+	// BetaPerKWh is the session cost spec's unit ($/kWh, not the
+	// spec's $/MWh).
+	BetaPerKWh float64
+	Seed       int64
+	// Outages scripts mid-session section failures by round, for the
+	// coordinator's outage machinery.
+	Outages []RoundOutage
+}
+
+// SessionParams compiles the spec into daemon session parameters.
+// The per-vehicle control plane has no dead-section steady state —
+// a blackout session starts whole and loses sections mid-run via
+// Outages, which is the recovery the archetype is named for.
+func (s Spec) SessionParams() (SessionParams, error) {
+	if err := s.Validate(); err != nil {
+		return SessionParams{}, err
+	}
+	s = s.withDefaults()
+	p := SessionParams{
+		Vehicles:       s.Vehicles,
+		Sections:       s.Sections,
+		LineCapacityKW: s.LineCapacityKW(),
+		BetaPerKWh:     s.BetaPerMWh / 1000,
+		Seed:           s.Seed,
+		Outages:        append([]RoundOutage(nil), s.Outages...),
+	}
+	// The steady-state blackout (dead from round one) is expressed as
+	// an immediate outage with no restoration.
+	for _, d := range s.sortedDead() {
+		p.Outages = append(p.Outages, RoundOutage{Section: d, DownRound: 1})
+	}
+	return p, nil
+}
+
+// dayCounts builds the hourly traffic profile the day spec names.
+func dayCounts(d DaySpec) trace.HourlyCounts {
+	var counts trace.HourlyCounts
+	switch d.Profile {
+	case ProfileWeekend:
+		counts = trace.FlatlandsAvenueWeekend()
+	case ProfileOvernight:
+		counts = depotOvernightCounts()
+	case ProfileEvent:
+		counts = eventEgressCounts(d.EventHour)
+	default:
+		counts = trace.FlatlandsAvenue()
+	}
+	if d.TrafficScale != 1 {
+		counts = counts.Scale(d.TrafficScale)
+	}
+	return counts
+}
+
+// dayGrid builds the ISO day, heat-wave-scaled when asked: the price
+// bounds stretch while the load calibration stays, which is exactly
+// what a scarcity day does to an LBMP curve.
+func dayGrid(d DaySpec, seed int64) grid.Config {
+	cfg := grid.DefaultConfig()
+	cfg.Seed = seed
+	if d.LBMPScale != 1 {
+		cfg.LBMPMin *= d.LBMPScale
+		cfg.LBMPMax *= d.LBMPScale
+	}
+	return cfg
+}
+
+// depotOvernightCounts is the depot arterial's day: the fleet rolls
+// in through the evening, sits over the charging lane all night, and
+// is gone by mid-morning — the inverse of the commuter profile.
+func depotOvernightCounts() trace.HourlyCounts {
+	return trace.HourlyCounts{
+		//  0    1    2    3    4    5    6    7
+		760, 740, 720, 700, 640, 520, 330, 180,
+		//  8    9   10   11   12   13   14   15
+		110, 80, 60, 50, 50, 60, 70, 90,
+		// 16   17   18   19   20   21   22   23
+		130, 210, 330, 470, 590, 680, 730, 760,
+	}
+}
+
+// eventEgressCounts is a weekday arterial with a stadium letting out:
+// the base profile damped (fans are at the game, not commuting) with
+// a sharp two-hour egress pulse.
+func eventEgressCounts(hour int) trace.HourlyCounts {
+	counts := trace.FlatlandsAvenue().Scale(0.6)
+	counts[hour] += 2400
+	counts[(hour+1)%24] += 1100
+	return counts
+}

@@ -1,0 +1,71 @@
+package scenario
+
+// FuzzScenarioSpec drives arbitrary bytes through the scenario
+// loader's untrusted-input gate — the same boundary a -scenario file
+// crosses. The invariants: DecodeSpec never panics, and any spec it
+// accepts validates, carries a safe path-segment name, and compiles
+// into every target (game, day, session) without panicking.
+//
+// CI runs a 20s smoke of this fuzzer; run it longer locally with
+//
+//	go test ./internal/scenario -run '^$' -fuzz FuzzScenarioSpec
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func FuzzScenarioSpec(f *testing.F) {
+	// Every registered archetype, as JSON, is a seed: the fuzzer
+	// mutates real working specs, not just `{}`.
+	for _, name := range Names() {
+		s, _ := Get(name)
+		raw, err := json.Marshal(s)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(raw)
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"name":"x","vehicles":2,"sections":4,"expect":{"min_welfare":0,"max_welfare":100,"max_rounds":40}}`))
+	f.Add([]byte(`{"name":"../../etc/passwd","vehicles":2,"sections":4}`))
+	f.Add([]byte(`{"name":"x","vehicles":1000000000,"sections":4}`))
+	f.Add([]byte(`{"name":"x","vehicles":2,"sections":4,"velocity_mph":1e999}`))
+	f.Add([]byte(`{"name":"x","vehicles":2,"sections":4,"unknown_knob":true}`))
+	f.Add([]byte(`{"name":"x","vehicles":2,"sections":4,"day":{"profile":"event","feed_drop_rate":0.5}}`))
+	f.Add([]byte(`{"name":"x","vehicles":2,"sections":4,"dead_sections":[0,1,2,3]}`))
+
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		s, err := DecodeSpec(raw)
+		if err != nil {
+			return
+		}
+		// Accepted means valid, bounded, and safely named.
+		if err := s.Validate(); err != nil {
+			t.Fatalf("DecodeSpec accepted a spec Validate rejects: %v\n%s", err, raw)
+		}
+		if err := ValidateName(s.Name); err != nil {
+			t.Fatalf("accepted unsafe name %q: %v", s.Name, err)
+		}
+		if strings.ContainsAny(s.Name, "/\\") || s.Name == ".." {
+			t.Fatalf("accepted path-like name %q", s.Name)
+		}
+		if s.Vehicles > MaxVehicles || s.Sections > MaxSections {
+			t.Fatalf("accepted out-of-bounds sizing: %d vehicles, %d sections", s.Vehicles, s.Sections)
+		}
+		// Accepted also means compilable: every target builds without
+		// panicking. (Building the game draws the fleet, so keep the
+		// fuzz iteration cheap by skipping absurd accepted fleets —
+		// Validate already capped them at MaxVehicles.)
+		if _, err := s.GameScenario(); err != nil {
+			t.Fatalf("accepted spec fails GameScenario: %v", err)
+		}
+		if _, err := s.DayConfig(); err != nil {
+			t.Fatalf("accepted spec fails DayConfig: %v", err)
+		}
+		if _, err := s.SessionParams(); err != nil {
+			t.Fatalf("accepted spec fails SessionParams: %v", err)
+		}
+	})
+}

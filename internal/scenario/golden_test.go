@@ -1,0 +1,110 @@
+package scenario
+
+// Golden-file determinism tests per archetype, matching the
+// coupling/experiments golden pattern: each registered scenario's
+// compiled game and solved outcome are rendered to a fixed-format
+// report and pinned byte-for-byte in testdata/<name>.golden. The same
+// report is rendered through the round engine at 1, 2 and 8 proposal
+// workers and must be byte-identical at each — the worker-count
+// independence the engine promises, now asserted per named workload.
+// Regenerate with:
+//
+//	go test ./internal/scenario -run Golden -update
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"olevgrid/internal/pricing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenReport compiles and solves the archetype's single-hour game at
+// the given worker count and renders the outcome deterministically.
+func goldenReport(t *testing.T, s Spec, parallelism int) string {
+	t.Helper()
+	game, err := s.GameScenario()
+	if err != nil {
+		t.Fatal(err)
+	}
+	game.Parallelism = parallelism
+	out, err := pricing.Nonlinear{}.Run(game)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "scenario %s (seed %d)\n", s.Name, s.Seed)
+	fmt.Fprintf(&sb, "fleet %d, sections %d, line %.4f kW, eta %.2f, beta %.2f $/MWh, dead %v\n",
+		len(game.Players), game.NumSections, game.LineCapacityKW, game.Eta,
+		game.BetaPerMWh, game.DeadSections)
+	fmt.Fprintf(&sb, "welfare %.6f $/h, unit %.6f $/MWh, payment %.6f $/h, power %.4f kW\n",
+		out.Welfare, out.UnitPaymentPerMWh, out.TotalPaymentPerHour, out.TotalPowerKW)
+	fmt.Fprintf(&sb, "congestion %.6f, rounds %d, converged %v\n",
+		out.CongestionDegree, out.Rounds, out.Converged)
+	for sec, total := range out.SectionTotalsKW {
+		fmt.Fprintf(&sb, "section %3d %12.6f kW\n", sec, total)
+	}
+	return sb.String()
+}
+
+func TestGoldenArchetypes(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			s, _ := Get(name)
+			got := goldenReport(t, s, 1)
+
+			path := filepath.Join("testdata", name+".golden")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("read golden (run with -update to create): %v", err)
+			}
+			if got != string(want) {
+				diffLine(t, name, got, string(want))
+			}
+
+			// Worker-count independence: the round engine's schedules do
+			// not depend on how many proposal workers execute them, so
+			// the report — floats and all — is byte-identical at any
+			// positive parallelism.
+			for _, p := range []int{2, 8} {
+				if rep := goldenReport(t, s, p); rep != got {
+					t.Fatalf("%s: report at parallelism %d differs from parallelism 1", name, p)
+				}
+			}
+		})
+	}
+}
+
+// diffLine reports the first differing line — a readable failure for a
+// many-line golden.
+func diffLine(t *testing.T, name, got, want string) {
+	t.Helper()
+	gotLines, wantLines := strings.Split(got, "\n"), strings.Split(want, "\n")
+	for i := 0; i < len(gotLines) || i < len(wantLines); i++ {
+		var g, w string
+		if i < len(gotLines) {
+			g = gotLines[i]
+		}
+		if i < len(wantLines) {
+			w = wantLines[i]
+		}
+		if g != w {
+			t.Fatalf("%s.golden: first difference at line %d:\n got: %q\nwant: %q", name, i+1, g, w)
+		}
+	}
+	t.Fatalf("%s.golden: output differs from golden", name)
+}

@@ -1,0 +1,225 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// The registered city archetypes. Each is a Spec the compilers accept
+// unchanged, so a registered name and a JSON file are the same thing
+// to every consumer; the envelopes are calibrated loosely enough to
+// hold across seeds (the cross-seed property suite pins that).
+//
+// Welfare bands are in $/h for the archetype's single-hour game at
+// its registered fleet and price level; they were measured across
+// seeds and widened by a safety margin, so they assert the
+// archetype's economic character, not one draw's decimals.
+var registry = map[string]Spec{
+	// RushHourSurge: the evaluation's headline condition — a full
+	// arterial at commuter crawl. Slow traffic raises Eq. (1)'s
+	// per-section capacity, the paper's 50-OLEV ceiling fills the
+	// lane, and the envelope asserts the policy still holds
+	// congestion at η while every OLEV pays a nonnegative bill.
+	RushHourSurge: {
+		Name:        RushHourSurge,
+		Description: "AM-peak commuter surge: a full 50-OLEV arterial at 30 mph, mid-morning LBMP",
+		Seed:        11,
+		Vehicles:    50,
+		VelocityMPH: 30,
+		Sections:    20,
+		BetaPerMWh:  35,
+		Day:         &DaySpec{Participation: 0.35},
+		Expect: Envelope{
+			MinWelfare:       120,
+			MaxWelfare:       155,
+			MaxRounds:        40,
+			RequireConverged: true,
+		},
+	},
+	// StadiumEgress: a night game lets out — more than twice the
+	// rush-hour fleet hits a longer arterial at walking-pace egress
+	// speeds. The point of the archetype is scale shock: the rounds
+	// ceiling asserts convergence doesn't degrade with the pulse.
+	StadiumEgress: {
+		Name:        StadiumEgress,
+		Description: "stadium egress pulse: 120 OLEVs crawling out at 15 mph onto a 24-section arterial",
+		Seed:        23,
+		Vehicles:    120,
+		VelocityMPH: 15,
+		Sections:    24,
+		BetaPerMWh:  28,
+		Day:         &DaySpec{Profile: ProfileEvent, EventHour: 22, Participation: 0.25},
+		Expect: Envelope{
+			MinWelfare:       300,
+			MaxWelfare:       385,
+			MaxRounds:        40,
+			RequireConverged: true,
+		},
+	},
+	// BlackoutRecovery: a feeder fault kills three of twenty sections
+	// and the LBMP feed goes intermittent while crews restore power.
+	// The single-hour game solves the blackout's steady state on the
+	// survivors; the control-plane compile scripts the mid-session
+	// failure and restoration (CoordinatorConfig.Outages); the
+	// coupled day drives the same outage over an afternoon span with
+	// a faulty feed (coupling.FeedFaults) and the envelope holds the
+	// day's welfare within 1% of the clean twin — the same bound the
+	// control plane's compound-chaos gate enforces.
+	BlackoutRecovery: {
+		Name:         BlackoutRecovery,
+		Description:  "feeder blackout and restoration: 3 of 20 sections dark, LBMP feed intermittent",
+		Seed:         31,
+		Vehicles:     40,
+		VelocityMPH:  45,
+		Sections:     20,
+		BetaPerMWh:   24,
+		DeadSections: []int{6, 7, 8},
+		Outages: []RoundOutage{
+			{Section: 6, DownRound: 2, UpRound: 8},
+			{Section: 7, DownRound: 2, UpRound: 10},
+			{Section: 8, DownRound: 3, UpRound: 10},
+		},
+		Day: &DaySpec{
+			FeedDropRate: 0.05,
+			FeedCeiling:  2,
+			SectionOutages: []HourOutage{
+				{Section: 6, FromHour: 9, ToHour: 15},
+				{Section: 7, FromHour: 9, ToHour: 16},
+				{Section: 8, FromHour: 10, ToHour: 16},
+			},
+		},
+		Expect: Envelope{
+			MinWelfare:            95,
+			MaxWelfare:            130,
+			MaxRounds:             40,
+			RequireConverged:      true,
+			MaxWelfareDropVsClean: 0.01,
+		},
+	},
+	// DepotOvernight: a delivery fleet settles over the depot's
+	// charging lane for the night at the day's cheapest prices — few
+	// vehicles, slow loop speeds, high capacity headroom. The
+	// envelope asserts the calm: quick convergence, low congestion
+	// pressure, cheap energy.
+	DepotOvernight: {
+		Name:        DepotOvernight,
+		Description: "depot fleet overnight: 24 OLEVs looping a depot lane at 15 mph on trough-hour LBMP",
+		Seed:        43,
+		Vehicles:    24,
+		VelocityMPH: 15,
+		Sections:    16,
+		BetaPerMWh:  14,
+		Day:         &DaySpec{Profile: ProfileOvernight, Participation: 0.6},
+		Expect: Envelope{
+			MinWelfare:       75,
+			MaxWelfare:       105,
+			MaxRounds:        12,
+			RequireConverged: true,
+		},
+	},
+	// HeatWavePriceSpike: a scarcity afternoon — the LBMP spikes to
+	// many times its usual level and the grid derates the lane's
+	// safety factor. The envelope asserts the policy's demand
+	// response: the fleet still charges (welfare stays positive),
+	// congestion respects the tightened η, and nobody is paid to
+	// charge (payment nonnegativity under extreme prices).
+	HeatWavePriceSpike: {
+		Name:        HeatWavePriceSpike,
+		Description: "heat-wave price spike: LBMP at 180 $/MWh and the lane derated to eta 0.85",
+		Seed:        53,
+		Vehicles:    50,
+		VelocityMPH: 40,
+		Sections:    20,
+		Eta:         0.85,
+		BetaPerMWh:  180,
+		Day:         &DaySpec{LBMPScale: 2.5, Participation: 0.35},
+		Expect: Envelope{
+			MinWelfare:       70,
+			MaxWelfare:       100,
+			MaxRounds:        40,
+			RequireConverged: true,
+		},
+	},
+}
+
+// The registered archetype names.
+const (
+	RushHourSurge      = "rush-hour-surge"
+	StadiumEgress      = "stadium-egress"
+	BlackoutRecovery   = "blackout-recovery"
+	DepotOvernight     = "depot-overnight"
+	HeatWavePriceSpike = "heat-wave-price-spike"
+)
+
+// Names lists the registered archetypes in sorted order.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Get returns a registered archetype by name.
+func Get(name string) (Spec, bool) {
+	s, ok := registry[name]
+	return s, ok
+}
+
+// Load resolves a -scenario argument: a registered archetype name, or
+// a path to a JSON spec file (recognized by a ".json" suffix or a
+// path separator). Anything else is an unknown scenario, reported
+// with the registered names so the error is actionable.
+func Load(nameOrPath string) (Spec, error) {
+	if s, ok := registry[nameOrPath]; ok {
+		return s, nil
+	}
+	if strings.HasSuffix(nameOrPath, ".json") || strings.ContainsRune(nameOrPath, os.PathSeparator) {
+		return LoadFile(nameOrPath)
+	}
+	return Spec{}, fmt.Errorf("scenario: unknown scenario %q (registered: %s; or a .json spec file)",
+		nameOrPath, strings.Join(Names(), ", "))
+}
+
+// LoadFile reads and decodes one scenario spec file.
+func LoadFile(path string) (Spec, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return Spec{}, fmt.Errorf("scenario: %w", err)
+	}
+	s, err := DecodeSpec(raw)
+	if err != nil {
+		return Spec{}, fmt.Errorf("scenario: %s: %w", path, err)
+	}
+	return s, nil
+}
+
+// DecodeSpec is the single untrusted-input gate for scenario files
+// (and its fuzz target): bounded size, strict JSON — unknown fields
+// are errors, so a typoed knob can't silently fall back to a default
+// — and full range validation. It never panics on any input.
+func DecodeSpec(raw []byte) (Spec, error) {
+	if len(raw) > MaxSpecBytes {
+		return Spec{}, fmt.Errorf("spec %d bytes exceeds %d", len(raw), MaxSpecBytes)
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("decode spec: %w", err)
+	}
+	// A second document after the spec is a malformed file, not
+	// trailing garbage to ignore.
+	if dec.More() {
+		return Spec{}, fmt.Errorf("decode spec: trailing data after spec")
+	}
+	if err := s.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}

@@ -1,0 +1,190 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRegistry pins the library's contract: at least the five named
+// archetypes, sorted names, and every registered spec valid with its
+// map key as its name.
+func TestRegistry(t *testing.T) {
+	names := Names()
+	if len(names) < 5 {
+		t.Fatalf("registry has %d archetypes, want >= 5", len(names))
+	}
+	for _, want := range []string{RushHourSurge, StadiumEgress, BlackoutRecovery, DepotOvernight, HeatWavePriceSpike} {
+		if _, ok := Get(want); !ok {
+			t.Errorf("archetype %q not registered", want)
+		}
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("Names() not sorted: %q before %q", names[i-1], names[i])
+		}
+	}
+	for _, name := range names {
+		s, _ := Get(name)
+		if s.Name != name {
+			t.Errorf("archetype %q has Name %q", name, s.Name)
+		}
+		if err := s.Validate(); err != nil {
+			t.Errorf("archetype %q invalid: %v", name, err)
+		}
+		if err := ValidateName(name); err != nil {
+			t.Errorf("archetype name %q fails its own charset: %v", name, err)
+		}
+		e := s.Expect
+		if e.MinWelfare >= e.MaxWelfare || e.MaxRounds <= 0 || !e.RequireConverged {
+			t.Errorf("archetype %q envelope undeclared: %+v", name, e)
+		}
+	}
+}
+
+// TestValidateName rejects anything that isn't a plain registered-name
+// segment — the path-traversal guard for every boundary that accepts
+// scenario names.
+func TestValidateName(t *testing.T) {
+	for _, bad := range []string{
+		"", "..", "a/b", "../rush-hour-surge", "a\\b", "Rush-Hour", "a b",
+		"rush.hour", "a\x00b", strings.Repeat("x", MaxNameLen+1),
+	} {
+		if err := ValidateName(bad); err == nil {
+			t.Errorf("ValidateName(%q) accepted", bad)
+		}
+	}
+	for _, good := range []string{"rush-hour-surge", "a", "x-1"} {
+		if err := ValidateName(good); err != nil {
+			t.Errorf("ValidateName(%q): %v", good, err)
+		}
+	}
+}
+
+// TestDecodeSpecRejects is the untrusted-input reject table: every
+// entry must produce an error, never a panic and never a silently
+// defaulted spec.
+func TestDecodeSpecRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		raw  string
+	}{
+		{"empty", ``},
+		{"not json", `{`},
+		{"unknown field", `{"name":"x","vehicles":2,"sections":4,"velocity_mhp":30}`},
+		{"trailing data", `{"name":"x","vehicles":2,"sections":4} {"again":1}`},
+		{"bad name charset", `{"name":"../etc","vehicles":2,"sections":4}`},
+		{"name too long", `{"name":"` + strings.Repeat("a", MaxNameLen+1) + `","vehicles":2,"sections":4}`},
+		{"zero vehicles", `{"name":"x","vehicles":0,"sections":4}`},
+		{"absurd fleet", `{"name":"x","vehicles":1000000,"sections":4}`},
+		{"absurd sections", `{"name":"x","vehicles":2,"sections":100000}`},
+		{"inf velocity", `{"name":"x","vehicles":2,"sections":4,"velocity_mph":1e999}`},
+		{"negative velocity", `{"name":"x","vehicles":2,"sections":4,"velocity_mph":-5}`},
+		{"absurd velocity", `{"name":"x","vehicles":2,"sections":4,"velocity_mph":1000}`},
+		{"velocity as string", `{"name":"x","vehicles":2,"sections":4,"velocity_mph":"fast"}`},
+		{"eta above one", `{"name":"x","vehicles":2,"sections":4,"eta":1.5}`},
+		{"beta absurd", `{"name":"x","vehicles":2,"sections":4,"beta_per_mwh":1e12}`},
+		{"dead section out of range", `{"name":"x","vehicles":2,"sections":4,"dead_sections":[4]}`},
+		{"dead section duplicate", `{"name":"x","vehicles":2,"sections":4,"dead_sections":[1,1]}`},
+		{"all sections dead", `{"name":"x","vehicles":2,"sections":2,"dead_sections":[0,1]}`},
+		{"outage round zero", `{"name":"x","vehicles":2,"sections":4,"outages":[{"section":1,"down_round":0}]}`},
+		{"outage restore before fail", `{"name":"x","vehicles":2,"sections":4,"outages":[{"section":1,"down_round":5,"up_round":3}]}`},
+		{"outage section out of range", `{"name":"x","vehicles":2,"sections":4,"outages":[{"section":9,"down_round":2}]}`},
+		{"day participation above one", `{"name":"x","vehicles":2,"sections":4,"day":{"participation":1.5}}`},
+		{"day unknown profile", `{"name":"x","vehicles":2,"sections":4,"day":{"profile":"mars"}}`},
+		{"day feed drop above one", `{"name":"x","vehicles":2,"sections":4,"day":{"feed_drop_rate":1.5}}`},
+		{"envelope inverted band", `{"name":"x","vehicles":2,"sections":4,"expect":{"min_welfare":10,"max_welfare":5,"max_rounds":9}}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := DecodeSpec([]byte(tc.raw)); err == nil {
+				t.Fatalf("DecodeSpec accepted %s", tc.raw)
+			}
+		})
+	}
+	if _, err := DecodeSpec(make([]byte, MaxSpecBytes+1)); err == nil {
+		t.Fatal("DecodeSpec accepted an oversized spec")
+	}
+}
+
+// TestLoad covers the name-or-path resolution: registered names hit
+// the registry, .json paths hit the file loader, anything else is an
+// actionable unknown-scenario error naming the registry.
+func TestLoad(t *testing.T) {
+	if s, err := Load(RushHourSurge); err != nil || s.Name != RushHourSurge {
+		t.Fatalf("Load(%q) = %v, %v", RushHourSurge, s.Name, err)
+	}
+	_, err := Load("no-such-city")
+	if err == nil || !strings.Contains(err.Error(), RushHourSurge) {
+		t.Fatalf("unknown-name error should list registered names, got %v", err)
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("Load of a missing file succeeded")
+	}
+
+	path := filepath.Join(t.TempDir(), "custom.json")
+	raw := `{"name":"custom-town","vehicles":4,"sections":6,"seed":9,"beta_per_mwh":18,
+		"expect":{"min_welfare":0,"max_welfare":1000,"max_rounds":50}}`
+	if err := os.WriteFile(path, []byte(raw), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Load(path)
+	if err != nil {
+		t.Fatalf("Load(file): %v", err)
+	}
+	if s.Name != "custom-town" || s.Vehicles != 4 || s.Seed != 9 {
+		t.Fatalf("file spec decoded wrong: %+v", s)
+	}
+	// A file spec compiles through the same paths as a registered one.
+	game, err := s.GameScenario()
+	if err != nil {
+		t.Fatalf("file spec GameScenario: %v", err)
+	}
+	if len(game.Players) != 4 || game.NumSections != 6 || game.BetaPerMWh != 18 {
+		t.Fatalf("file spec compiled wrong: %d players, %d sections, beta %v",
+			len(game.Players), game.NumSections, game.BetaPerMWh)
+	}
+}
+
+// TestCleanTwin strips every fault channel and nothing else.
+func TestCleanTwin(t *testing.T) {
+	s, _ := Get(BlackoutRecovery)
+	c := s.CleanTwin()
+	if len(c.DeadSections) != 0 || len(c.Outages) != 0 {
+		t.Fatalf("clean twin keeps game faults: %+v", c)
+	}
+	if c.Day == nil {
+		t.Fatal("clean twin dropped the day spec")
+	}
+	if c.Day.FeedDropRate != 0 || c.Day.FeedCeiling != 0 || len(c.Day.SectionOutages) != 0 {
+		t.Fatalf("clean twin keeps day faults: %+v", *c.Day)
+	}
+	if c.Seed != s.Seed || c.Vehicles != s.Vehicles || c.BetaPerMWh != s.BetaPerMWh {
+		t.Fatalf("clean twin changed non-fault fields: %+v", c)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("clean twin invalid: %v", err)
+	}
+}
+
+// TestSessionParams pins the daemon compilation: $/MWh to $/kWh price
+// conversion and dead sections becoming immediate unrestored outages.
+func TestSessionParams(t *testing.T) {
+	s, _ := Get(BlackoutRecovery)
+	p, err := s.SessionParams()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.BetaPerKWh != s.BetaPerMWh/1000 {
+		t.Fatalf("beta %v $/kWh, want %v", p.BetaPerKWh, s.BetaPerMWh/1000)
+	}
+	if len(p.Outages) != len(s.Outages)+len(s.DeadSections) {
+		t.Fatalf("%d outages, want %d scripted + %d dead", len(p.Outages), len(s.Outages), len(s.DeadSections))
+	}
+	for _, o := range p.Outages[len(s.Outages):] {
+		if o.DownRound != 1 || o.UpRound != 0 {
+			t.Fatalf("dead section should be down from round 1 forever: %+v", o)
+		}
+	}
+}

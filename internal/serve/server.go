@@ -186,6 +186,11 @@ func (s *Server) Create(spec SessionSpec) (*Session, error) {
 		s.metrics.RejectedInvalid.Inc()
 		return nil, err
 	}
+	spec, err := spec.expandScenario()
+	if err != nil {
+		s.metrics.RejectedInvalid.Inc()
+		return nil, err
+	}
 	spec = s.applyDefaultWire(spec.withDefaults(s.cfg.DefaultMaxWall))
 	return s.admit(spec, nil, false)
 }

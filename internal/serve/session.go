@@ -92,6 +92,9 @@ type View struct {
 	Error    string `json:"error,omitempty"`
 	Vehicles int    `json:"vehicles"`
 	Sections int    `json:"sections"`
+	// Scenario is the archetype the session's spec was expanded from,
+	// when it was created by name.
+	Scenario string `json:"scenario,omitempty"`
 	// Solver and Clusters surface the mean-field tier: which engine
 	// ran the session and how many populations the fleet aggregated
 	// into (zero for per-vehicle sessions).
@@ -124,6 +127,7 @@ func (s *Session) View() View {
 		Error:    s.errMsg,
 		Vehicles: s.spec.Vehicles,
 		Sections: s.spec.Sections,
+		Scenario: s.spec.FromScenario,
 		Solver:   s.spec.Solver,
 		Clusters: s.mfClusters,
 		Rounds:   s.report.Rounds,
@@ -293,6 +297,11 @@ func coordinatorConfig(spec SessionSpec, journal sched.Journal, metrics *sched.M
 		ShutdownGrace:    250 * time.Millisecond,
 		Journal:          journal,
 		Metrics:          metrics,
+	}
+	for _, o := range spec.Outages {
+		cfg.Outages = append(cfg.Outages, sched.SectionOutage{
+			Section: o.Section, DownRound: o.DownRound, UpRound: o.UpRound,
+		})
 	}
 	if journal != nil {
 		cfg.CheckpointEvery = 2

@@ -3,7 +3,10 @@ package serve
 import (
 	"encoding/json"
 	"fmt"
+	"strings"
 	"time"
+
+	"olevgrid/internal/scenario"
 )
 
 // Limits on what one admin request may ask for. The admin API is an
@@ -44,6 +47,22 @@ type SessionSpec struct {
 	// caller-supplied ID makes create idempotent-ish: a duplicate ID is
 	// rejected rather than double-admitted.
 	ID string `json:"id,omitempty"`
+
+	// Scenario names a registered city archetype
+	// (internal/scenario.Names) to size the session from: the server
+	// expands it into explicit vehicles/sections/capacity/price/outage
+	// fields at create, so the persisted manifest is always fully
+	// explicit and resumes without consulting the registry. Names only
+	// at this boundary — the admin API never opens scenario files.
+	// Setting it alongside any of the fields it would fill (vehicles,
+	// sections, line_capacity_kw, beta_per_kwh, outages) is a conflict
+	// and rejected; seed and the runtime knobs (tolerance, rounds,
+	// wire, chaos, churn, …) remain caller overrides.
+	Scenario string `json:"scenario,omitempty"`
+	// FromScenario records, informationally, which archetype an
+	// expanded spec came from. Server-written; harmless if a caller
+	// sets it.
+	FromScenario string `json:"from_scenario,omitempty"`
 
 	// Vehicles is the fleet size N (required, 1..MaxFleet).
 	Vehicles int `json:"vehicles"`
@@ -97,6 +116,12 @@ type SessionSpec struct {
 	// human-readable frames for zero-allocation encode/decode.
 	Wire string `json:"wire,omitempty"`
 
+	// Outages scripts charging-section failures and restorations by
+	// round boundary, mapped onto the coordinator's outage machinery
+	// (sched.CoordinatorConfig.Outages). Per-vehicle solver only: the
+	// aggregated tier has no round boundaries to script against.
+	Outages []OutageSpec `json:"outages,omitempty"`
+
 	// Solver selects the session's engine: "" or "exact" runs the
 	// per-vehicle control plane (one agent goroutine per OLEV over
 	// v2i); "meanfield" runs the aggregated population tier in
@@ -107,6 +132,15 @@ type SessionSpec struct {
 	// Clusters is the mean-field population budget K; zero means the
 	// tier default. Only meaningful with solver "meanfield".
 	Clusters int `json:"clusters,omitempty"`
+}
+
+// OutageSpec scripts one charging section's failure and optional
+// restoration by round (1-based; up_round 0 means never restored),
+// mirroring sched.SectionOutage at the JSON boundary.
+type OutageSpec struct {
+	Section   int `json:"section"`
+	DownRound int `json:"down_round"`
+	UpRound   int `json:"up_round,omitempty"`
 }
 
 // ChaosSpec is the per-session fault plan applied to each v2i link.
@@ -161,12 +195,31 @@ func (s SessionSpec) Validate() error {
 	if s.ID == "." || s.ID == ".." {
 		return fmt.Errorf("serve: session ID %q reserved", s.ID)
 	}
+	if s.Scenario != "" {
+		// A scenario reference is a registered name, never a path: the
+		// charset check (no separators, no dots) rejects traversal
+		// before the registry lookup says whether the name exists.
+		if err := scenario.ValidateName(s.Scenario); err != nil {
+			return fmt.Errorf("serve: scenario: %w", err)
+		}
+		if _, ok := scenario.Get(s.Scenario); !ok {
+			return fmt.Errorf("serve: unknown scenario %q (registered: %s)",
+				s.Scenario, strings.Join(scenario.Names(), ", "))
+		}
+		if s.Vehicles != 0 || s.Sections != 0 || s.LineCapacityKW != 0 ||
+			s.BetaPerKWh != 0 || len(s.Outages) != 0 {
+			return fmt.Errorf("serve: scenario %q conflicts with explicit vehicles/sections/line_capacity_kw/beta_per_kwh/outages", s.Scenario)
+		}
+		if s.Solver == SolverMeanField {
+			return fmt.Errorf("serve: scenario requires the per-vehicle solver")
+		}
+	}
 	switch s.Solver {
 	case "", "exact":
 		if s.Clusters != 0 {
 			return fmt.Errorf("serve: clusters %d set without solver %q", s.Clusters, SolverMeanField)
 		}
-		if s.Vehicles < 1 || s.Vehicles > MaxFleet {
+		if s.Scenario == "" && (s.Vehicles < 1 || s.Vehicles > MaxFleet) {
 			return fmt.Errorf("serve: vehicles %d outside [1, %d]", s.Vehicles, MaxFleet)
 		}
 	case SolverMeanField:
@@ -198,8 +251,28 @@ func (s SessionSpec) Validate() error {
 	default:
 		return fmt.Errorf("serve: unknown wire %q; use \"json\" or \"binary\"", s.Wire)
 	}
-	if s.Sections < 1 || s.Sections > MaxSections {
+	if s.Scenario == "" && (s.Sections < 1 || s.Sections > MaxSections) {
 		return fmt.Errorf("serve: sections %d outside [1, %d]", s.Sections, MaxSections)
+	}
+	if len(s.Outages) > MaxSections {
+		return fmt.Errorf("serve: %d outages exceed %d", len(s.Outages), MaxSections)
+	}
+	for _, o := range s.Outages {
+		if s.Solver == SolverMeanField {
+			return fmt.Errorf("serve: outages require the per-vehicle solver")
+		}
+		if o.Section < 0 || o.Section >= s.Sections {
+			return fmt.Errorf("serve: outage section %d outside [0, %d)", o.Section, s.Sections)
+		}
+		if o.DownRound < 1 || o.DownRound > MaxRoundsCeiling {
+			return fmt.Errorf("serve: outage down_round %d outside [1, %d]", o.DownRound, MaxRoundsCeiling)
+		}
+		if o.UpRound != 0 && o.UpRound <= o.DownRound {
+			return fmt.Errorf("serve: outage up_round %d not after down_round %d", o.UpRound, o.DownRound)
+		}
+		if o.UpRound > MaxRoundsCeiling {
+			return fmt.Errorf("serve: outage up_round %d exceeds %d", o.UpRound, MaxRoundsCeiling)
+		}
 	}
 	for name, v := range map[string]float64{
 		"line_capacity_kw": s.LineCapacityKW,
@@ -249,6 +322,44 @@ func (s SessionSpec) Validate() error {
 		return fmt.Errorf("serve: leave_at_round needs at least 2 vehicles")
 	}
 	return nil
+}
+
+// expandScenario resolves a scenario-named spec into a fully explicit
+// one: sizing, capacity, price, and scripted outages come from the
+// archetype's session compilation; the caller's seed (when set) and
+// every runtime knob stay as overrides. The expanded spec carries
+// from_scenario for observability and re-validates as a plain explicit
+// spec, so persisted manifests resume without the registry.
+func (s SessionSpec) expandScenario() (SessionSpec, error) {
+	if s.Scenario == "" {
+		return s, nil
+	}
+	sc, ok := scenario.Get(s.Scenario)
+	if !ok {
+		return s, fmt.Errorf("serve: unknown scenario %q", s.Scenario)
+	}
+	p, err := sc.SessionParams()
+	if err != nil {
+		return s, fmt.Errorf("serve: scenario %q: %w", s.Scenario, err)
+	}
+	s.Vehicles = p.Vehicles
+	s.Sections = p.Sections
+	s.LineCapacityKW = p.LineCapacityKW
+	s.BetaPerKWh = p.BetaPerKWh
+	if s.Seed == 0 {
+		s.Seed = p.Seed
+	}
+	for _, o := range p.Outages {
+		s.Outages = append(s.Outages, OutageSpec{
+			Section: o.Section, DownRound: o.DownRound, UpRound: o.UpRound,
+		})
+	}
+	s.FromScenario = s.Scenario
+	s.Scenario = ""
+	if err := s.Validate(); err != nil {
+		return s, fmt.Errorf("serve: scenario %q expands invalid: %w", s.FromScenario, err)
+	}
+	return s, nil
 }
 
 // withDefaults fills server defaults into zero fields.

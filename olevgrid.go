@@ -43,6 +43,7 @@ import (
 	"olevgrid/internal/meanfield"
 	"olevgrid/internal/obs"
 	"olevgrid/internal/pricing"
+	"olevgrid/internal/scenario"
 	"olevgrid/internal/sched"
 	"olevgrid/internal/store"
 	"olevgrid/internal/sweep"
@@ -500,6 +501,31 @@ var (
 	OptimizePlacement = deploy.OptimizePlacement
 	// GreedyPlacement is the comparison baseline.
 	GreedyPlacement = deploy.GreedyPlacement
+)
+
+// Scenario library: named, seeded city archetypes with declared
+// expected-outcome envelopes (internal/scenario).
+type (
+	// ScenarioSpec is one named city archetype: a seeded workload that
+	// compiles deterministically into the game, coupled-day, and
+	// session configurations, plus the outcome envelope it promises.
+	ScenarioSpec = scenario.Spec
+	// ScenarioEnvelope declares an archetype's expected outcome.
+	ScenarioEnvelope = scenario.Envelope
+	// ScenarioConformance is one archetype's measured outcome scored
+	// against its envelope, gate by gate.
+	ScenarioConformance = scenario.Conformance
+)
+
+var (
+	// ScenarioNames lists the registered archetypes in sorted order.
+	ScenarioNames = scenario.Names
+	// GetScenario returns a registered archetype by name.
+	GetScenario = scenario.Get
+	// LoadScenario resolves a name-or-file scenario reference.
+	LoadScenario = scenario.Load
+	// ConformScenario runs an archetype and asserts its envelope.
+	ConformScenario = scenario.Conform
 )
 
 // RunAllExperiments regenerates every figure and writes rendered
